@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the algorithmic primitives of Section 2:
+//! cut enumeration, rewriting, refactoring, resubstitution, balancing and
+//! LUT mapping on a mid-size arithmetic circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glsx_core::balancing::{balance, BalanceParams};
+use glsx_core::cuts::{CutManager, CutParams};
+use glsx_core::lut_mapping::{lut_map, LutMapParams};
+use glsx_core::refactoring::{refactor, RefactorParams};
+use glsx_core::resubstitution::{resubstitute, ResubParams};
+use glsx_core::rewriting::{rewrite, RewriteParams};
+use glsx_benchmarks::arithmetic::multiplier;
+use glsx_network::{Aig, Network};
+
+fn subject() -> Aig {
+    multiplier(8)
+}
+
+fn bench_cut_enumeration(c: &mut Criterion) {
+    let aig = subject();
+    c.bench_function("primitives/cut_enumeration_4", |b| {
+        b.iter(|| {
+            let mut manager = CutManager::new(CutParams {
+                cut_size: 4,
+                cut_limit: 8,
+            });
+            let mut total = 0usize;
+            for node in aig.gate_nodes() {
+                total += manager.cuts_of(&aig, node).len();
+            }
+            total
+        })
+    });
+}
+
+fn bench_optimisation_passes(c: &mut Criterion) {
+    let aig = subject();
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(10);
+    group.bench_function("rewrite", |b| {
+        b.iter(|| {
+            let mut ntk = aig.clone();
+            rewrite(&mut ntk, &RewriteParams::default());
+            ntk.num_gates()
+        })
+    });
+    group.bench_function("refactor", |b| {
+        b.iter(|| {
+            let mut ntk = aig.clone();
+            refactor(&mut ntk, &RefactorParams::default());
+            ntk.num_gates()
+        })
+    });
+    group.bench_function("resubstitute", |b| {
+        b.iter(|| {
+            let mut ntk = aig.clone();
+            resubstitute(&mut ntk, &ResubParams::default());
+            ntk.num_gates()
+        })
+    });
+    group.bench_function("balance", |b| {
+        b.iter(|| {
+            let mut ntk = aig.clone();
+            balance(&mut ntk, &BalanceParams::default());
+            ntk.num_gates()
+        })
+    });
+    group.bench_function("lut_map_6", |b| {
+        b.iter(|| lut_map(&aig, &LutMapParams::with_lut_size(6)).num_gates())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cut_enumeration, bench_optimisation_passes);
+criterion_main!(benches);

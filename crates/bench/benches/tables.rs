@@ -1,0 +1,57 @@
+//! Criterion benchmarks regenerating the paper's tables at reduced scale:
+//! one benchmark group per table, measuring the end-to-end flow time per
+//! representation and printing the resulting quality numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glsx_bench::{
+    baseline_metrics, run_generic_aig, run_generic_mig, run_generic_xag, run_specialized_aig,
+};
+use glsx_benchmarks::{benchmark_by_name, SuiteScale};
+
+/// Table 1 at reduced scale: generic vs. specialised flow on AIGs.
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for name in ["adder", "i2c", "priority"] {
+        let benchmark = benchmark_by_name(name, SuiteScale::Tiny).expect("known benchmark");
+        group.bench_function(format!("{name}/generic_aig"), |b| {
+            b.iter(|| run_generic_aig(&benchmark.network, 6))
+        });
+        group.bench_function(format!("{name}/specialized_aig"), |b| {
+            b.iter(|| run_specialized_aig(&benchmark.network, 6))
+        });
+    }
+    group.finish();
+}
+
+/// Table 2 at reduced scale: the generic flow per representation.
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for name in ["adder", "multiplier", "voter"] {
+        let benchmark = benchmark_by_name(name, SuiteScale::Tiny).expect("known benchmark");
+        // print the quality numbers once so the bench log doubles as a
+        // reduced-scale table
+        let base = baseline_metrics(&benchmark.network, 6);
+        let a = run_generic_aig(&benchmark.network, 6);
+        let m = run_generic_mig(&benchmark.network, 6);
+        let x = run_generic_xag(&benchmark.network, 6);
+        println!(
+            "{name}: baseline {} LUTs | AIG {} | MIG {} | XAG {}",
+            base.luts, a.luts, m.luts, x.luts
+        );
+        group.bench_function(format!("{name}/aig"), |b| {
+            b.iter(|| run_generic_aig(&benchmark.network, 6))
+        });
+        group.bench_function(format!("{name}/mig"), |b| {
+            b.iter(|| run_generic_mig(&benchmark.network, 6))
+        });
+        group.bench_function(format!("{name}/xag"), |b| {
+            b.iter(|| run_generic_xag(&benchmark.network, 6))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation studies for the design choices of Section 2: resubstitution
+//! cut-size sweep (`-c 6..12`), resubstitution depth sweep (`-d 0..2`),
+//! and the effect of zero-gain rewriting — run on a representative subset
+//! of the benchmark suite.
+
+use glsx_core::resubstitution::{resubstitute, ResubParams};
+use glsx_core::rewriting::{rewrite, RewriteParams};
+use glsx_benchmarks::{benchmark_by_name, SuiteScale};
+use glsx_network::Network;
+
+fn main() {
+    let scale = SuiteScale::Small;
+    let subjects = ["adder", "multiplier", "i2c", "voter"];
+
+    println!("Ablation 1: resubstitution cut-size sweep (-c)");
+    for name in subjects {
+        let benchmark = benchmark_by_name(name, scale).expect("known benchmark");
+        print!("{name:<12}");
+        for cut_size in [6usize, 8, 10, 12] {
+            let mut ntk = benchmark.network.clone();
+            let stats = resubstitute(
+                &mut ntk,
+                &ResubParams {
+                    max_leaves: cut_size.min(12),
+                    max_inserts: 1,
+                    ..ResubParams::default()
+                },
+            );
+            print!("  c={cut_size}: {:>5} gates ({:>4} subs)", ntk.num_gates(), stats.substitutions);
+        }
+        println!();
+    }
+
+    println!();
+    println!("Ablation 2: resubstitution depth sweep (-d)");
+    for name in subjects {
+        let benchmark = benchmark_by_name(name, scale).expect("known benchmark");
+        print!("{name:<12}");
+        for depth in [0usize, 1, 2] {
+            let mut ntk = benchmark.network.clone();
+            resubstitute(
+                &mut ntk,
+                &ResubParams {
+                    max_leaves: 8,
+                    max_inserts: depth,
+                    ..ResubParams::default()
+                },
+            );
+            print!("  d={depth}: {:>5} gates", ntk.num_gates());
+        }
+        println!();
+    }
+
+    println!();
+    println!("Ablation 3: rewriting with and without zero-gain replacements");
+    for name in subjects {
+        let benchmark = benchmark_by_name(name, scale).expect("known benchmark");
+        let mut plain = benchmark.network.clone();
+        rewrite(&mut plain, &RewriteParams::default());
+        let mut zero = benchmark.network.clone();
+        rewrite(
+            &mut zero,
+            &RewriteParams {
+                allow_zero_gain: true,
+                ..RewriteParams::default()
+            },
+        );
+        println!(
+            "{name:<12}  rw: {:>5} gates   rwz: {:>5} gates   (initial {:>5})",
+            plain.num_gates(),
+            zero.num_gates(),
+            benchmark.network.num_gates()
+        );
+    }
+}

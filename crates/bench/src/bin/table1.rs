@@ -1,0 +1,57 @@
+//! Regenerates Table 1: apple-to-apple comparison of the generic flow
+//! (using AIGs) against the AIG-specialised flow on the full benchmark
+//! suite.  Reported numbers are the total node count, level count and
+//! 6-LUT count relative to the specialised baseline.
+
+use glsx_bench::{format_row, percent_change, run_generic_aig, run_specialized_aig};
+use glsx_benchmarks::{epfl_like_suite, SuiteScale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => SuiteScale::Tiny,
+        Some("medium") => SuiteScale::Medium,
+        _ => SuiteScale::Small,
+    };
+    let lut_size = 6;
+    println!("Table 1: apple-to-apple comparison with the AIG-specialised flow");
+    println!(
+        "{}",
+        format_row(
+            "benchmark",
+            &["spec Nd".into(), "spec LUT".into(), "gen Nd".into(), "gen LUT".into()]
+        )
+    );
+    let (mut spec_nodes, mut spec_levels, mut spec_luts) = (0usize, 0u64, 0usize);
+    let (mut gen_nodes, mut gen_levels, mut gen_luts) = (0usize, 0u64, 0usize);
+    for benchmark in epfl_like_suite(scale) {
+        let specialised = run_specialized_aig(&benchmark.network, lut_size);
+        let generic = run_generic_aig(&benchmark.network, lut_size);
+        spec_nodes += specialised.nodes;
+        spec_levels += specialised.levels as u64;
+        spec_luts += specialised.luts;
+        gen_nodes += generic.nodes;
+        gen_levels += generic.levels as u64;
+        gen_luts += generic.luts;
+        println!(
+            "{}",
+            format_row(
+                benchmark.name,
+                &[
+                    specialised.nodes.to_string(),
+                    specialised.luts.to_string(),
+                    generic.nodes.to_string(),
+                    generic.luts.to_string(),
+                ]
+            )
+        );
+    }
+    println!();
+    println!("Flows                          Nd        Lvl       LUTs");
+    println!("Baseline (specialised AIG)     1         1         1");
+    println!(
+        "Generic flow using AIGs        {:+.2}%    {:+.2}%    {:+.2}%",
+        percent_change(spec_nodes, gen_nodes),
+        percent_change(spec_levels as usize, gen_levels as usize),
+        percent_change(spec_luts, gen_luts),
+    );
+}

@@ -1,0 +1,83 @@
+//! Regenerates Table 2: optimisation results for the benchmark suite using
+//! different logic representations (AIG, MIG, XAG), reporting node count,
+//! level count, 6-LUT count and runtime per representation, total LUT
+//! improvement over the unoptimised baseline, and the portfolio result.
+
+use glsx_bench::{
+    baseline_metrics, percent_change, run_generic_aig, run_generic_mig, run_generic_xag,
+};
+use glsx_benchmarks::{epfl_like_suite, SuiteScale};
+use glsx_network::Network;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => SuiteScale::Tiny,
+        Some("medium") => SuiteScale::Medium,
+        _ => SuiteScale::Small,
+    };
+    let lut_size = 6;
+    println!("Table 2: optimisation results using different logic representations (6-LUT mapping)");
+    println!(
+        "{:<12} {:>9} | {:>7} {:>5} {:>6} | {:>7} {:>5} {:>6} {:>7} | {:>7} {:>5} {:>6} {:>7} | {:>7} {:>5} {:>6} {:>7}",
+        "benchmark", "I/O", "Nd", "Lvl", "LUTs", "Nd", "Lvl", "LUTs", "t[s]", "Nd", "Lvl", "LUTs", "t[s]", "Nd", "Lvl", "LUTs", "t[s]"
+    );
+    println!(
+        "{:<12} {:>9} | {:^20} | {:^29} | {:^29} | {:^29}",
+        "", "", "baseline", "AIG", "MIG", "XAG"
+    );
+    let mut totals = [0usize; 4]; // baseline, aig, mig, xag LUT totals
+    let mut portfolio_total = 0usize;
+    let mut total_time = [0.0f64; 3];
+    for benchmark in epfl_like_suite(scale) {
+        let aig = &benchmark.network;
+        let base = baseline_metrics(aig, lut_size);
+        let a = run_generic_aig(aig, lut_size);
+        let m = run_generic_mig(aig, lut_size);
+        let x = run_generic_xag(aig, lut_size);
+        totals[0] += base.luts;
+        totals[1] += a.luts;
+        totals[2] += m.luts;
+        totals[3] += x.luts;
+        portfolio_total += a.luts.min(m.luts).min(x.luts);
+        total_time[0] += a.seconds;
+        total_time[1] += m.seconds;
+        total_time[2] += x.seconds;
+        println!(
+            "{:<12} {:>4}/{:<4} | {:>7} {:>5} {:>6} | {:>7} {:>5} {:>6} {:>7.2} | {:>7} {:>5} {:>6} {:>7.2} | {:>7} {:>5} {:>6} {:>7.2}",
+            benchmark.name,
+            aig.num_pis(),
+            aig.num_pos(),
+            base.nodes,
+            base.levels,
+            base.luts,
+            a.nodes,
+            a.levels,
+            a.luts,
+            a.seconds,
+            m.nodes,
+            m.levels,
+            m.luts,
+            m.seconds,
+            x.nodes,
+            x.levels,
+            x.luts,
+            x.seconds,
+        );
+    }
+    println!();
+    println!(
+        "Total LUTs    baseline {:>7}   AIG {:>7}   MIG {:>7}   XAG {:>7}   portfolio {:>7}",
+        totals[0], totals[1], totals[2], totals[3], portfolio_total
+    );
+    println!(
+        "Improvement              {:>6.2}%      {:>6.2}%      {:>6.2}%          {:>6.2}%",
+        -percent_change(totals[0], totals[1]),
+        -percent_change(totals[0], totals[2]),
+        -percent_change(totals[0], totals[3]),
+        -percent_change(totals[0], portfolio_total),
+    );
+    println!(
+        "Total time [s]            AIG {:>8.2}   MIG {:>8.2}   XAG {:>8.2}",
+        total_time[0], total_time[1], total_time[2]
+    );
+}

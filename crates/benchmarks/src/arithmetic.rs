@@ -1,0 +1,458 @@
+//! Arithmetic benchmark circuit generators (adder, multiplier, square,
+//! divider, square root, shifter, comparator).
+//!
+//! All generators are written against the [`GateBuilder`] interface, so
+//! they can target any representation; the benchmark suite instantiates
+//! them as AIGs (matching the EPFL suite, which is distributed as AIGs)
+//! and converts to other representations structurally.
+
+use glsx_network::{GateBuilder, Signal};
+
+/// A word of signals, least-significant bit first.
+pub type Word = Vec<Signal>;
+
+/// Creates `bits` fresh primary inputs as a word.
+pub fn input_word<N: GateBuilder>(ntk: &mut N, bits: usize) -> Word {
+    (0..bits).map(|_| ntk.create_pi()).collect()
+}
+
+/// Builds a full adder, returning `(sum, carry)`.
+pub fn full_adder<N: GateBuilder>(ntk: &mut N, a: Signal, b: Signal, cin: Signal) -> (Signal, Signal) {
+    let axb = ntk.create_xor(a, b);
+    let sum = ntk.create_xor(axb, cin);
+    let carry = ntk.create_maj(a, b, cin);
+    (sum, carry)
+}
+
+/// Builds a ripple-carry adder over two words, returning the sum word and
+/// the final carry.
+pub fn ripple_carry_adder<N: GateBuilder>(
+    ntk: &mut N,
+    a: &[Signal],
+    b: &[Signal],
+    mut carry: Signal,
+) -> (Word, Signal) {
+    assert_eq!(a.len(), b.len());
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let (s, c) = full_adder(ntk, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Builds a subtractor `a - b`, returning the difference and a borrow-free
+/// flag (`1` when `a >= b`).
+pub fn subtractor<N: GateBuilder>(ntk: &mut N, a: &[Signal], b: &[Signal]) -> (Word, Signal) {
+    let one = ntk.get_constant(true);
+    let not_b: Word = b.iter().map(|&s| !s).collect();
+    let (diff, carry) = ripple_carry_adder(ntk, a, &not_b, one);
+    (diff, carry)
+}
+
+/// The `adder` benchmark: an n-bit ripple-carry adder (the EPFL adder is
+/// 128 bits with a carry output).
+pub fn adder<N: GateBuilder>(bits: usize) -> N {
+    let mut ntk = N::new();
+    let a = input_word(&mut ntk, bits);
+    let b = input_word(&mut ntk, bits);
+    let zero = ntk.get_constant(false);
+    let (sum, carry) = ripple_carry_adder(&mut ntk, &a, &b, zero);
+    for s in sum {
+        ntk.create_po(s);
+    }
+    ntk.create_po(carry);
+    ntk
+}
+
+/// A 2:1 multiplexer word: `sel ? a : b`.
+pub fn mux_word<N: GateBuilder>(ntk: &mut N, sel: Signal, a: &[Signal], b: &[Signal]) -> Word {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| ntk.create_ite(sel, x, y))
+        .collect()
+}
+
+/// The `bar` benchmark: a logarithmic barrel shifter (left rotate) of a
+/// `width`-bit word by a `log2(width)`-bit shift amount.
+pub fn barrel_shifter<N: GateBuilder>(width: usize) -> N {
+    assert!(width.is_power_of_two());
+    let mut ntk = N::new();
+    let data = input_word(&mut ntk, width);
+    let shift_bits = width.trailing_zeros() as usize;
+    let shift = input_word(&mut ntk, shift_bits);
+    let mut current = data;
+    for (stage, &sel) in shift.iter().enumerate() {
+        let amount = 1usize << stage;
+        let rotated: Word = (0..width)
+            .map(|i| current[(i + width - amount) % width])
+            .collect();
+        current = mux_word(&mut ntk, sel, &rotated, &current);
+    }
+    for s in current {
+        ntk.create_po(s);
+    }
+    ntk
+}
+
+/// The `dec` benchmark: a `sel_bits`-to-`2^sel_bits` decoder.
+pub fn decoder<N: GateBuilder>(sel_bits: usize) -> N {
+    let mut ntk = N::new();
+    let sel = input_word(&mut ntk, sel_bits);
+    for value in 0..(1usize << sel_bits) {
+        let literals: Word = sel
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s.complement_if((value >> i) & 1 == 0))
+            .collect();
+        let output = ntk.create_nary_and(&literals);
+        ntk.create_po(output);
+    }
+    ntk
+}
+
+/// Builds an unsigned array multiplier over two words, returning the
+/// product word (of length `a.len() + b.len()`).
+pub fn array_multiplier<N: GateBuilder>(ntk: &mut N, a: &[Signal], b: &[Signal]) -> Word {
+    let zero = ntk.get_constant(false);
+    let mut accumulator: Word = vec![zero; a.len() + b.len()];
+    for (j, &bj) in b.iter().enumerate() {
+        // partial product row: a_i & b_j
+        let row: Word = a.iter().map(|&ai| ntk.create_and(ai, bj)).collect();
+        // add the row into the accumulator at offset j
+        let mut carry = zero;
+        for (i, &p) in row.iter().enumerate() {
+            let (s, c) = full_adder(ntk, accumulator[j + i], p, carry);
+            accumulator[j + i] = s;
+            carry = c;
+        }
+        // propagate the remaining carry
+        let mut k = j + a.len();
+        while k < accumulator.len() {
+            let (s, c) = full_adder(ntk, accumulator[k], carry, zero);
+            accumulator[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    accumulator
+}
+
+/// The `multiplier` benchmark: an n×n array multiplier.
+pub fn multiplier<N: GateBuilder>(bits: usize) -> N {
+    let mut ntk = N::new();
+    let a = input_word(&mut ntk, bits);
+    let b = input_word(&mut ntk, bits);
+    let product = array_multiplier(&mut ntk, &a, &b);
+    for s in product {
+        ntk.create_po(s);
+    }
+    ntk
+}
+
+/// The `square` benchmark: an n-bit squarer.
+pub fn square<N: GateBuilder>(bits: usize) -> N {
+    let mut ntk = N::new();
+    let a = input_word(&mut ntk, bits);
+    let product = array_multiplier(&mut ntk, &a.clone(), &a);
+    for s in product {
+        ntk.create_po(s);
+    }
+    ntk
+}
+
+/// The `div` benchmark stand-in: a restoring divider producing quotient and
+/// remainder of an n-bit division.
+pub fn divider<N: GateBuilder>(bits: usize) -> N {
+    let mut ntk = N::new();
+    let dividend = input_word(&mut ntk, bits);
+    let divisor = input_word(&mut ntk, bits);
+    let zero = ntk.get_constant(false);
+    // remainder register, one bit wider than the divisor
+    let mut remainder: Word = vec![zero; bits + 1];
+    let mut quotient: Word = vec![zero; bits];
+    let wide_divisor: Word = divisor.iter().copied().chain([zero]).collect();
+    for step in (0..bits).rev() {
+        // shift remainder left and bring in the next dividend bit
+        let mut shifted: Word = Vec::with_capacity(bits + 1);
+        shifted.push(dividend[step]);
+        shifted.extend_from_slice(&remainder[..bits]);
+        // trial subtraction
+        let (difference, no_borrow) = subtractor(&mut ntk, &shifted, &wide_divisor);
+        quotient[step] = no_borrow;
+        remainder = mux_word(&mut ntk, no_borrow, &difference, &shifted);
+    }
+    for s in quotient {
+        ntk.create_po(s);
+    }
+    for s in remainder.into_iter().take(bits) {
+        ntk.create_po(s);
+    }
+    ntk
+}
+
+/// The `sqrt` benchmark stand-in: a restoring square-root circuit over an
+/// n-bit radicand (n even), producing an n/2-bit root.
+pub fn isqrt<N: GateBuilder>(bits: usize) -> N {
+    assert!(bits % 2 == 0, "radicand width must be even");
+    let half = bits / 2;
+    let mut ntk = N::new();
+    let radicand = input_word(&mut ntk, bits);
+    let zero = ntk.get_constant(false);
+    let one = ntk.get_constant(true);
+    let width = bits + 2;
+    let mut remainder: Word = vec![zero; width];
+    let mut root: Word = vec![zero; half];
+    for step in (0..half).rev() {
+        // bring down the next two radicand bits
+        let mut shifted: Word = Vec::with_capacity(width);
+        shifted.push(radicand[2 * step]);
+        shifted.push(radicand[2 * step + 1]);
+        shifted.extend_from_slice(&remainder[..width - 2]);
+        // trial value: (root << 2) | 01
+        let mut trial: Word = Vec::with_capacity(width);
+        trial.push(one);
+        trial.push(zero);
+        trial.extend_from_slice(&root);
+        trial.resize(width, zero);
+        let (difference, no_borrow) = subtractor(&mut ntk, &shifted, &trial);
+        remainder = mux_word(&mut ntk, no_borrow, &difference, &shifted);
+        // shift the root left and set the new bit
+        for i in (1..half).rev() {
+            root[i] = root[i - 1];
+        }
+        root[0] = no_borrow;
+    }
+    for s in root {
+        ntk.create_po(s);
+    }
+    ntk
+}
+
+/// Builds an unsigned comparator `a > b`.
+pub fn greater_than<N: GateBuilder>(ntk: &mut N, a: &[Signal], b: &[Signal]) -> Signal {
+    assert_eq!(a.len(), b.len());
+    let mut result = ntk.get_constant(false);
+    // iterate from LSB to MSB: result = (a_i & !b_i) | (equal_i & result)
+    for (&ai, &bi) in a.iter().zip(b.iter()) {
+        let gt = ntk.create_and(ai, !bi);
+        let eq = ntk.create_xnor(ai, bi);
+        let keep = ntk.create_and(eq, result);
+        result = ntk.create_or(gt, keep);
+    }
+    result
+}
+
+/// The `max` benchmark: the maximum of four n-bit words.
+pub fn max4<N: GateBuilder>(bits: usize) -> N {
+    let mut ntk = N::new();
+    let words: Vec<Word> = (0..4).map(|_| input_word(&mut ntk, bits)).collect();
+    let ab_gt = greater_than(&mut ntk, &words[0], &words[1]);
+    let ab = mux_word(&mut ntk, ab_gt, &words[0], &words[1]);
+    let cd_gt = greater_than(&mut ntk, &words[2], &words[3]);
+    let cd = mux_word(&mut ntk, cd_gt, &words[2], &words[3]);
+    let final_gt = greater_than(&mut ntk, &ab, &cd);
+    let result = mux_word(&mut ntk, final_gt, &ab, &cd);
+    for s in result {
+        ntk.create_po(s);
+    }
+    ntk
+}
+
+/// The `log2`/`sin` stand-in: evaluates a degree-3 polynomial
+/// `c3·x³ + c2·x² + c1·x + c0` over an n-bit input using Horner's scheme
+/// (constants are derived from the seed), exercising the same
+/// multiplier/adder substrate as the transcendental EPFL benchmarks.
+pub fn polynomial<N: GateBuilder>(bits: usize, seed: u64) -> N {
+    let mut ntk = N::new();
+    let x = input_word(&mut ntk, bits);
+    let mut coefficients = Vec::new();
+    let mut state = seed | 1;
+    for _ in 0..4 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let word: Word = (0..bits)
+            .map(|i| ntk.get_constant((state >> (i % 64)) & 1 == 1))
+            .collect();
+        coefficients.push(word);
+    }
+    // Horner: acc = c3; acc = acc*x + c2; acc = acc*x + c1; acc = acc*x + c0
+    let mut acc = coefficients[3].clone();
+    for c in coefficients[..3].iter().rev() {
+        let product = array_multiplier(&mut ntk, &acc, &x);
+        let truncated: Word = product.into_iter().take(bits).collect();
+        let zero = ntk.get_constant(false);
+        let (sum, _) = ripple_carry_adder(&mut ntk, &truncated, c, zero);
+        acc = sum;
+    }
+    for s in acc {
+        ntk.create_po(s);
+    }
+    ntk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::simulation::{simulate, simulate_patterns};
+    use glsx_network::{Aig, Network, Xag};
+
+    fn eval_word(outputs: &[u64], start: usize, len: usize, pattern_bit: usize) -> u64 {
+        let mut value = 0u64;
+        for i in 0..len {
+            if (outputs[start + i] >> pattern_bit) & 1 == 1 {
+                value |= 1 << i;
+            }
+        }
+        value
+    }
+
+    #[test]
+    fn adder_computes_sums() {
+        let bits = 8;
+        let aig: Aig = adder(bits);
+        assert_eq!(aig.num_pis(), 16);
+        assert_eq!(aig.num_pos(), 9);
+        // drive with specific values: a = 77, b = 200 (in pattern bit 0); a=255,b=255 (bit 1)
+        let cases = [(77u64, 200u64), (255, 255), (0, 0), (1, 127)];
+        let mut patterns = vec![0u64; 16];
+        for (bit, (a, b)) in cases.iter().enumerate() {
+            for i in 0..bits {
+                if (a >> i) & 1 == 1 {
+                    patterns[i] |= 1 << bit;
+                }
+                if (b >> i) & 1 == 1 {
+                    patterns[bits + i] |= 1 << bit;
+                }
+            }
+        }
+        let outputs = simulate_patterns(&aig, &patterns);
+        for (bit, (a, b)) in cases.iter().enumerate() {
+            let sum = eval_word(&outputs, 0, 9, bit);
+            assert_eq!(sum, a + b, "sum of {a} and {b}");
+        }
+    }
+
+    #[test]
+    fn multiplier_computes_products() {
+        let bits = 4;
+        let aig: Aig = multiplier(bits);
+        assert_eq!(aig.num_pis(), 8);
+        assert_eq!(aig.num_pos(), 8);
+        let cases = [(3u64, 5u64), (15, 15), (0, 9), (7, 8)];
+        let mut patterns = vec![0u64; 8];
+        for (bit, (a, b)) in cases.iter().enumerate() {
+            for i in 0..bits {
+                if (a >> i) & 1 == 1 {
+                    patterns[i] |= 1 << bit;
+                }
+                if (b >> i) & 1 == 1 {
+                    patterns[bits + i] |= 1 << bit;
+                }
+            }
+        }
+        let outputs = simulate_patterns(&aig, &patterns);
+        for (bit, (a, b)) in cases.iter().enumerate() {
+            assert_eq!(eval_word(&outputs, 0, 8, bit), a * b, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn divider_computes_quotient_and_remainder() {
+        let bits = 4;
+        let aig: Aig = divider(bits);
+        let cases = [(13u64, 3u64), (15, 4), (7, 7), (9, 2)];
+        let mut patterns = vec![0u64; 8];
+        for (bit, (a, b)) in cases.iter().enumerate() {
+            for i in 0..bits {
+                if (a >> i) & 1 == 1 {
+                    patterns[i] |= 1 << bit;
+                }
+                if (b >> i) & 1 == 1 {
+                    patterns[bits + i] |= 1 << bit;
+                }
+            }
+        }
+        let outputs = simulate_patterns(&aig, &patterns);
+        for (bit, (a, b)) in cases.iter().enumerate() {
+            assert_eq!(eval_word(&outputs, 0, bits, bit), a / b, "{a} / {b}");
+            assert_eq!(eval_word(&outputs, bits, bits, bit), a % b, "{a} % {b}");
+        }
+    }
+
+    #[test]
+    fn sqrt_computes_integer_roots() {
+        let aig: Aig = isqrt(8);
+        let cases = [0u64, 1, 4, 10, 81, 100, 255];
+        let mut patterns = vec![0u64; 8];
+        for (bit, value) in cases.iter().enumerate() {
+            for i in 0..8 {
+                if (value >> i) & 1 == 1 {
+                    patterns[i] |= 1 << bit;
+                }
+            }
+        }
+        let outputs = simulate_patterns(&aig, &patterns);
+        for (bit, value) in cases.iter().enumerate() {
+            let expected = (*value as f64).sqrt().floor() as u64;
+            assert_eq!(eval_word(&outputs, 0, 4, bit), expected, "isqrt({value})");
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let aig: Aig = decoder(3);
+        let tts = simulate(&aig);
+        assert_eq!(tts.len(), 8);
+        for (value, tt) in tts.iter().enumerate() {
+            assert_eq!(tt.count_ones(), 1);
+            assert!(tt.bit(value));
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_rotates() {
+        let aig: Aig = barrel_shifter(8);
+        assert_eq!(aig.num_pis(), 8 + 3);
+        assert_eq!(aig.num_pos(), 8);
+        // data = 0b0000_0101, shift = 1 -> 0b0000_1010
+        let mut patterns = vec![0u64; 11];
+        patterns[0] |= 1; // data bit 0
+        patterns[2] |= 1; // data bit 2
+        patterns[8] |= 1; // shift bit 0 = 1
+        let outputs = simulate_patterns(&aig, &patterns);
+        let result: u64 = (0..8).map(|i| ((outputs[i] & 1) as u64) << i).sum();
+        assert_eq!(result, 0b0000_1010);
+    }
+
+    #[test]
+    fn max4_selects_the_maximum() {
+        let bits = 4;
+        let xag: Xag = max4(bits);
+        let words = [3u64, 11, 7, 9];
+        let mut patterns = vec![0u64; 16];
+        for (w, value) in words.iter().enumerate() {
+            for i in 0..bits {
+                if (value >> i) & 1 == 1 {
+                    patterns[w * bits + i] |= 1;
+                }
+            }
+        }
+        let outputs = simulate_patterns(&xag, &patterns);
+        let result: u64 = (0..bits).map(|i| ((outputs[i] & 1) as u64) << i).sum();
+        assert_eq!(result, 11);
+    }
+
+    #[test]
+    fn polynomial_and_square_have_expected_interfaces() {
+        let poly: Aig = polynomial(8, 42);
+        assert_eq!(poly.num_pis(), 8);
+        assert_eq!(poly.num_pos(), 8);
+        assert!(poly.num_gates() > 100);
+        let sq: Aig = square(6);
+        assert_eq!(sq.num_pis(), 6);
+        assert_eq!(sq.num_pos(), 12);
+    }
+}

@@ -1,0 +1,264 @@
+//! Control-logic benchmark generators: priority encoder, majority voter,
+//! round-robin arbiter and seeded pseudo-random control circuits standing
+//! in for the EPFL control benchmarks (ctrl, cavlc, i2c, int2float,
+//! router, mem_ctrl).
+
+use crate::arithmetic::{full_adder, input_word, ripple_carry_adder, Word};
+use glsx_network::{GateBuilder, Signal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The `priority` benchmark: an n-input priority encoder producing a
+/// one-hot grant vector plus a "no request" flag.
+pub fn priority_encoder<N: GateBuilder>(bits: usize) -> N {
+    let mut ntk = N::new();
+    let requests = input_word(&mut ntk, bits);
+    let mut none_before = ntk.get_constant(true);
+    let mut grants = Vec::with_capacity(bits);
+    for &request in &requests {
+        let grant = ntk.create_and(request, none_before);
+        grants.push(grant);
+        none_before = ntk.create_and(none_before, !request);
+    }
+    for grant in grants {
+        ntk.create_po(grant);
+    }
+    ntk.create_po(none_before);
+    ntk
+}
+
+/// The `voter` benchmark: a majority vote over `n` inputs (n odd),
+/// implemented by a population-count adder tree and a comparison against
+/// `n/2`.
+pub fn voter<N: GateBuilder>(n: usize) -> N {
+    assert!(n % 2 == 1, "the voter needs an odd number of inputs");
+    let mut ntk = N::new();
+    let inputs = input_word(&mut ntk, n);
+    // adder tree of popcounts: represent every operand as a word
+    let mut words: Vec<Word> = inputs.iter().map(|&s| vec![s]).collect();
+    while words.len() > 1 {
+        let mut next = Vec::with_capacity(words.len().div_ceil(2));
+        let mut iter = words.chunks(2);
+        for chunk in &mut iter {
+            if chunk.len() == 1 {
+                next.push(chunk[0].clone());
+                continue;
+            }
+            let width = chunk[0].len().max(chunk[1].len()) + 1;
+            let zero = ntk.get_constant(false);
+            let mut a = chunk[0].clone();
+            let mut b = chunk[1].clone();
+            a.resize(width, zero);
+            b.resize(width, zero);
+            let (sum, _) = ripple_carry_adder(&mut ntk, &a, &b, zero);
+            next.push(sum);
+        }
+        words = next;
+    }
+    let count = &words[0];
+    // majority iff count > n/2, i.e. count >= (n+1)/2
+    let threshold = (n + 1) / 2;
+    let result = unsigned_geq_constant(&mut ntk, count, threshold as u64);
+    ntk.create_po(result);
+    ntk
+}
+
+/// Builds `word >= constant` for an unsigned word.
+fn unsigned_geq_constant<N: GateBuilder>(ntk: &mut N, word: &[Signal], constant: u64) -> Signal {
+    // word >= constant  <=>  !(word < constant); compute word < constant by
+    // ripple borrow from LSB to MSB
+    let mut less = ntk.get_constant(false);
+    for (i, &bit) in word.iter().enumerate() {
+        let c = (constant >> i) & 1 == 1;
+        less = if c {
+            // bit < 1 when bit == 0; equal when bit == 1
+            let lt = !bit;
+            let keep = ntk.create_and(bit, less);
+            ntk.create_or(lt, keep)
+        } else {
+            // bit < 0 never; equal when bit == 0
+            ntk.create_and(!bit, less)
+        };
+    }
+    !less
+}
+
+/// The `arbiter` benchmark stand-in: a combinational round-robin arbiter
+/// over `n` requesters with an `log2(n)`-bit pointer input; produces one
+/// grant per requester.
+pub fn round_robin_arbiter<N: GateBuilder>(n: usize) -> N {
+    assert!(n.is_power_of_two());
+    let mut ntk = N::new();
+    let requests = input_word(&mut ntk, n);
+    let pointer = input_word(&mut ntk, n.trailing_zeros() as usize);
+    // thermometer mask: position i is enabled when i >= pointer
+    let mut grants = vec![ntk.get_constant(false); n];
+    // two passes over the requesters starting from the pointer position
+    let mut any_granted = ntk.get_constant(false);
+    for round in 0..2 {
+        for i in 0..n {
+            // enabled in the first round only if i >= pointer
+            let geq = position_geq_pointer(&mut ntk, i, &pointer);
+            let enabled = if round == 0 { geq } else { !geq };
+            let can_grant = ntk.create_and(requests[i], enabled);
+            let grant_now = ntk.create_and(can_grant, !any_granted);
+            grants[i] = ntk.create_or(grants[i], grant_now);
+            any_granted = ntk.create_or(any_granted, grant_now);
+        }
+    }
+    for grant in grants {
+        ntk.create_po(grant);
+    }
+    ntk
+}
+
+fn position_geq_pointer<N: GateBuilder>(ntk: &mut N, position: usize, pointer: &[Signal]) -> Signal {
+    // position >= pointer  <=>  !(pointer > position), compared LSB to MSB
+    let mut greater = ntk.get_constant(false);
+    for (i, &p) in pointer.iter().enumerate() {
+        greater = if (position >> i) & 1 == 1 {
+            // pointer can only stay greater if its bit is also set
+            ntk.create_and(p, greater)
+        } else {
+            // a set pointer bit makes it greater at this position
+            ntk.create_or(p, greater)
+        };
+    }
+    !greater
+}
+
+/// A seeded pseudo-random control circuit: a DAG of AND/XOR/MUX gates over
+/// `num_pis` inputs with `num_gates` gates and `num_pos` outputs.  These
+/// stand in for the irregular control benchmarks of the EPFL suite (ctrl,
+/// cavlc, i2c, int2float, router, mem_ctrl), whose defining characteristic
+/// for the flow is irregular, reconvergent control logic rather than any
+/// specific function.
+pub fn random_control<N: GateBuilder>(
+    num_pis: usize,
+    num_gates: usize,
+    num_pos: usize,
+    seed: u64,
+) -> N {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ntk = N::new();
+    let mut signals: Vec<Signal> = (0..num_pis).map(|_| ntk.create_pi()).collect();
+    while ntk.num_gates() < num_gates {
+        let pick = |rng: &mut StdRng, signals: &[Signal]| {
+            let s = signals[rng.gen_range(0..signals.len())];
+            if rng.gen_bool(0.5) {
+                !s
+            } else {
+                s
+            }
+        };
+        let a = pick(&mut rng, &signals);
+        let b = pick(&mut rng, &signals);
+        let gate = match rng.gen_range(0..10) {
+            0..=5 => ntk.create_and(a, b),
+            6..=7 => {
+                let c = pick(&mut rng, &signals);
+                ntk.create_ite(a, b, c)
+            }
+            _ => ntk.create_xor(a, b),
+        };
+        signals.push(gate);
+    }
+    // outputs: prefer recently created signals so most logic is observable
+    let candidates: Vec<Signal> = signals.iter().rev().take(num_pos * 2).copied().collect();
+    for i in 0..num_pos {
+        let s = candidates[i % candidates.len()];
+        ntk.create_po(s);
+    }
+    ntk
+}
+
+/// The `full adder` helper re-exported for tests of this module.
+pub fn single_full_adder<N: GateBuilder>() -> N {
+    let mut ntk = N::new();
+    let a = ntk.create_pi();
+    let b = ntk.create_pi();
+    let c = ntk.create_pi();
+    let (sum, carry) = full_adder(&mut ntk, a, b, c);
+    ntk.create_po(sum);
+    ntk.create_po(carry);
+    ntk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::simulation::{simulate, simulate_patterns};
+    use glsx_network::{Aig, Network};
+
+    #[test]
+    fn priority_encoder_grants_lowest_request() {
+        let aig: Aig = priority_encoder(4);
+        assert_eq!(aig.num_pos(), 5);
+        let tts = simulate(&aig);
+        // for input pattern 0b0110 the grant must be on output 1
+        let m = 0b0110;
+        assert!(!tts[0].bit(m));
+        assert!(tts[1].bit(m));
+        assert!(!tts[2].bit(m));
+        assert!(!tts[3].bit(m));
+        assert!(!tts[4].bit(m));
+        // no requests: the "none" output is high
+        assert!(tts[4].bit(0));
+    }
+
+    #[test]
+    fn voter_computes_majority() {
+        let aig: Aig = voter(7);
+        assert_eq!(aig.num_pos(), 1);
+        let tts = simulate(&aig);
+        for m in 0..(1usize << 7) {
+            let ones = (m as u32).count_ones();
+            assert_eq!(tts[0].bit(m), ones >= 4, "pattern {m:b}");
+        }
+    }
+
+    #[test]
+    fn arbiter_grants_at_most_one() {
+        let aig: Aig = round_robin_arbiter(4);
+        assert_eq!(aig.num_pis(), 6);
+        assert_eq!(aig.num_pos(), 4);
+        let tts = simulate(&aig);
+        for m in 0..(1usize << 6) {
+            let grants: usize = (0..4).filter(|&i| tts[i].bit(m)).count();
+            let requests = m & 0xF;
+            if requests == 0 {
+                assert_eq!(grants, 0);
+            } else {
+                assert_eq!(grants, 1, "pattern {m:b} must grant exactly one requester");
+            }
+            // a grant implies the corresponding request
+            for i in 0..4 {
+                if tts[i].bit(m) {
+                    assert!((requests >> i) & 1 == 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_control_is_deterministic() {
+        let a: Aig = random_control(10, 150, 8, 7);
+        let b: Aig = random_control(10, 150, 8, 7);
+        assert_eq!(a.num_gates(), b.num_gates());
+        assert_eq!(a.num_pos(), 8);
+        assert!(a.num_gates() >= 150);
+        let patterns: Vec<u64> = (0..10).map(|i| 0x1234_5678_9abc_def0u64.rotate_left(i)).collect();
+        assert_eq!(simulate_patterns(&a, &patterns), simulate_patterns(&b, &patterns));
+        // different seeds give different circuits
+        let c: Aig = random_control(10, 150, 8, 8);
+        assert_ne!(simulate_patterns(&a, &patterns), simulate_patterns(&c, &patterns));
+    }
+
+    #[test]
+    fn full_adder_helper() {
+        let aig: Aig = single_full_adder();
+        let tts = simulate(&aig);
+        assert_eq!(tts[0].to_hex(), "96");
+        assert_eq!(tts[1].to_hex(), "e8");
+    }
+}

@@ -1,0 +1,35 @@
+//! # glsx-benchmarks
+//!
+//! Synthetic benchmark circuit generators standing in for the EPFL
+//! combinational benchmark suite used in the paper's evaluation.
+//!
+//! The generators cover the same two families as the EPFL suite:
+//!
+//! * **arithmetic** — [`arithmetic::adder`], [`arithmetic::barrel_shifter`],
+//!   [`arithmetic::multiplier`], [`arithmetic::square`],
+//!   [`arithmetic::divider`], [`arithmetic::isqrt`], [`arithmetic::max4`],
+//!   [`arithmetic::polynomial`] (stand-in for `log2`/`sin`),
+//! * **control** — [`control::priority_encoder`], [`control::voter`],
+//!   [`control::round_robin_arbiter`], [`control::random_control`]
+//!   (seeded stand-ins for ctrl, cavlc, i2c, int2float, router, mem_ctrl).
+//!
+//! [`suite::epfl_like_suite`] assembles the full 19-circuit suite at a
+//! chosen [`suite::SuiteScale`]; circuits are generated as AIGs, matching
+//! the distribution format of the original suite.
+//!
+//! # Example
+//!
+//! ```
+//! use glsx_benchmarks::arithmetic::adder;
+//! use glsx_network::{Aig, Network};
+//!
+//! let adder: Aig = adder(8);
+//! assert_eq!(adder.num_pis(), 16);
+//! assert_eq!(adder.num_pos(), 9);
+//! ```
+
+pub mod arithmetic;
+pub mod control;
+pub mod suite;
+
+pub use suite::{benchmark_by_name, epfl_like_suite, Benchmark, SuiteScale};

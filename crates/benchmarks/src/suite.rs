@@ -1,0 +1,130 @@
+//! The benchmark suite registry: a synthetic stand-in for the EPFL
+//! combinational benchmark suite used in the paper's evaluation.
+//!
+//! Every entry mirrors the *character* of the corresponding EPFL benchmark
+//! (arithmetic vs. control, XOR-rich vs. AND-rich, wide vs. deep); absolute
+//! sizes are scaled down by the [`SuiteScale`] so that the full
+//! table-reproduction experiments finish in minutes on a laptop.
+
+use crate::arithmetic::{
+    adder, barrel_shifter, decoder, divider, isqrt, max4, multiplier, polynomial, square,
+};
+use crate::control::{priority_encoder, random_control, round_robin_arbiter, voter};
+use glsx_network::Aig;
+
+/// Size scale of the generated suite.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Tiny circuits for unit tests (seconds for the whole flow).
+    Tiny,
+    /// Small circuits for the benchmark harness (a few minutes for the
+    /// complete table reproduction).
+    Small,
+    /// Medium circuits approaching the EPFL sizes (tens of minutes).
+    Medium,
+}
+
+/// A named benchmark instance.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Benchmark name (mirrors the EPFL benchmark it stands in for).
+    pub name: &'static str,
+    /// The circuit, generated as an AIG (the EPFL suite is distributed as
+    /// AIGs).
+    pub network: Aig,
+}
+
+fn scale_factor(scale: SuiteScale) -> usize {
+    match scale {
+        SuiteScale::Tiny => 1,
+        SuiteScale::Small => 2,
+        SuiteScale::Medium => 4,
+    }
+}
+
+/// Generates the full benchmark suite at the given scale.
+///
+/// The returned networks are AIGs; use
+/// [`convert_network`](glsx_network::convert_network) to obtain MIG/XAG
+/// versions for the cross-representation experiments.
+pub fn epfl_like_suite(scale: SuiteScale) -> Vec<Benchmark> {
+    let s = scale_factor(scale);
+    let mut suite = Vec::new();
+    let mut push = |name: &'static str, network: Aig| suite.push(Benchmark { name, network });
+
+    // arithmetic benchmarks
+    push("adder", adder(16 * s));
+    push("bar", barrel_shifter(16 * s));
+    push("div", divider(4 * s));
+    push("log2", polynomial(4 * s, 0x1092));
+    push("max", max4(8 * s));
+    push("multiplier", multiplier(6 * s));
+    push("sin", polynomial(4 * s, 0x517));
+    push("sqrt", isqrt(8 * s));
+    push("square", square(6 * s));
+
+    // control benchmarks
+    push("arbiter", round_robin_arbiter(16 * s));
+    push("cavlc", random_control(10, 160 * s, 11, 0xCA71C));
+    push("ctrl", random_control(7, 40 * s, 25, 0xC7A1));
+    push("dec", decoder(3 + scale_factor(scale)));
+    push("i2c", random_control(16, 300 * s, 15, 0x12C));
+    push("int2float", random_control(11, 60 * s, 7, 0x1F2F));
+    push("mem_ctrl", random_control(16, 1000 * s, 30, 0x3E3C));
+    push("priority", priority_encoder(32 * s));
+    push("router", random_control(16, 70 * s, 10, 0x4007E));
+    push("voter", voter(16 * s + 1));
+
+    suite
+}
+
+/// Returns a single benchmark by name (at the given scale).
+pub fn benchmark_by_name(name: &str, scale: SuiteScale) -> Option<Benchmark> {
+    epfl_like_suite(scale).into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::views::check_network_integrity;
+    use glsx_network::Network;
+
+    #[test]
+    fn suite_has_nineteen_benchmarks() {
+        let suite = epfl_like_suite(SuiteScale::Tiny);
+        assert_eq!(suite.len(), 19);
+        let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+        for expected in ["adder", "multiplier", "voter", "mem_ctrl", "sqrt"] {
+            assert!(names.contains(&expected));
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_are_well_formed() {
+        for benchmark in epfl_like_suite(SuiteScale::Tiny) {
+            assert!(benchmark.network.num_pis() > 0, "{}", benchmark.name);
+            assert!(benchmark.network.num_pos() > 0, "{}", benchmark.name);
+            assert!(benchmark.network.num_gates() > 0, "{}", benchmark.name);
+            assert!(
+                check_network_integrity(&benchmark.network).is_ok(),
+                "{} fails the integrity check",
+                benchmark.name
+            );
+        }
+    }
+
+    #[test]
+    fn scales_are_monotone() {
+        let tiny = epfl_like_suite(SuiteScale::Tiny);
+        let small = epfl_like_suite(SuiteScale::Small);
+        let total_tiny: usize = tiny.iter().map(|b| b.network.num_gates()).sum();
+        let total_small: usize = small.iter().map(|b| b.network.num_gates()).sum();
+        assert!(total_small > total_tiny);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark_by_name("adder", SuiteScale::Tiny).is_some());
+        assert!(benchmark_by_name("does-not-exist", SuiteScale::Tiny).is_none());
+    }
+}

@@ -1,0 +1,464 @@
+//! Cut enumeration (Section 2.2.1 of the paper).
+//!
+//! Two flavours are provided, both expressed purely through the network
+//! interface API:
+//!
+//! * bottom-up *priority cut* enumeration ([`CutManager`]) merging fanin
+//!   cut sets (used by rewriting and LUT mapping), and
+//! * top-down *reconvergence-driven* cut computation
+//!   ([`reconvergence_driven_cut`]) growing a cut from a root node (used by
+//!   resubstitution and refactoring).
+//!
+//! Cut functions are computed by exhaustive simulation of the cut cone
+//! ([`simulate_cut`]), the paper's `computeTruthTable`.
+
+use glsx_network::{Network, NodeId};
+use glsx_truth::TruthTable;
+use std::collections::HashMap;
+
+/// A cut: a set of leaf nodes such that every path from a primary input to
+/// the cut's root passes through a leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cut {
+    /// Leaf nodes, sorted ascending.
+    pub leaves: Vec<NodeId>,
+    /// Bloom-filter style signature used for fast domination checks.
+    signature: u64,
+}
+
+impl Cut {
+    /// Creates a cut from (unsorted) leaves.
+    pub fn new(mut leaves: Vec<NodeId>) -> Self {
+        leaves.sort_unstable();
+        leaves.dedup();
+        let signature = leaves.iter().fold(0u64, |acc, &l| acc | (1u64 << (l % 64)));
+        Self { leaves, signature }
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Returns `true` if `self`'s leaves are a subset of `other`'s leaves
+    /// (then `self` dominates `other`).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len() {
+            return false;
+        }
+        if self.signature & !other.signature != 0 {
+            return false;
+        }
+        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+
+    /// Merges two cuts; returns `None` if the union exceeds `max_size`
+    /// leaves.
+    pub fn merge(&self, other: &Cut, max_size: usize) -> Option<Cut> {
+        let mut leaves = Vec::with_capacity(self.leaves.len() + other.leaves.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.leaves.len() || j < other.leaves.len() {
+            if leaves.len() > max_size {
+                return None;
+            }
+            match (self.leaves.get(i), other.leaves.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    leaves.push(a);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    leaves.push(a);
+                    i += 1;
+                }
+                (Some(_), Some(&b)) => {
+                    leaves.push(b);
+                    j += 1;
+                }
+                (Some(&a), None) => {
+                    leaves.push(a);
+                    i += 1;
+                }
+                (None, Some(&b)) => {
+                    leaves.push(b);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        if leaves.len() > max_size {
+            return None;
+        }
+        Some(Cut::new(leaves))
+    }
+}
+
+/// Parameters of bottom-up cut enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct CutParams {
+    /// Maximum number of leaves per cut.
+    pub cut_size: usize,
+    /// Maximum number of cuts kept per node (priority cuts).
+    pub cut_limit: usize,
+}
+
+impl Default for CutParams {
+    fn default() -> Self {
+        Self {
+            cut_size: 4,
+            cut_limit: 12,
+        }
+    }
+}
+
+/// Bottom-up priority-cut enumeration with lazy, per-node memoisation.
+///
+/// Cut sets are computed on demand from the fanins' cut sets (Cartesian
+/// product, pruned by size and dominance), so the manager remains usable
+/// while the network is being rewritten: nodes created after construction
+/// simply get their cuts computed when first requested.
+#[derive(Debug)]
+pub struct CutManager {
+    params: CutParams,
+    cuts: HashMap<NodeId, Vec<Cut>>,
+}
+
+impl CutManager {
+    /// Creates a cut manager with the given parameters.
+    pub fn new(params: CutParams) -> Self {
+        Self {
+            params,
+            cuts: HashMap::new(),
+        }
+    }
+
+    /// Returns the cut set of `node`, computing it (and its ancestors'
+    /// sets) if necessary.  The first cut is always the trivial cut
+    /// `{node}`.
+    pub fn cuts_of<N: Network>(&mut self, ntk: &N, node: NodeId) -> &[Cut] {
+        self.ensure_cuts(ntk, node);
+        &self.cuts[&node]
+    }
+
+    /// Drops the memoised cut set of `node` (used after the node has been
+    /// substituted).
+    pub fn invalidate(&mut self, node: NodeId) {
+        self.cuts.remove(&node);
+    }
+
+    fn ensure_cuts<N: Network>(&mut self, ntk: &N, node: NodeId) {
+        if self.cuts.contains_key(&node) {
+            return;
+        }
+        // iterative dependency resolution to avoid deep recursion
+        let mut stack = vec![node];
+        while let Some(&current) = stack.last() {
+            if self.cuts.contains_key(&current) {
+                stack.pop();
+                continue;
+            }
+            if !ntk.is_gate(current) {
+                self.cuts.insert(current, vec![Cut::new(vec![current])]);
+                stack.pop();
+                continue;
+            }
+            let fanins = ntk.fanins(current);
+            let missing: Vec<NodeId> = fanins
+                .iter()
+                .map(|f| f.node())
+                .filter(|n| !self.cuts.contains_key(n))
+                .collect();
+            if !missing.is_empty() {
+                stack.extend(missing);
+                continue;
+            }
+            let computed = self.compute_cuts(ntk, current, &fanins.iter().map(|f| f.node()).collect::<Vec<_>>());
+            self.cuts.insert(current, computed);
+            stack.pop();
+        }
+    }
+
+    fn compute_cuts<N: Network>(&self, _ntk: &N, node: NodeId, fanins: &[NodeId]) -> Vec<Cut> {
+        let mut result: Vec<Cut> = Vec::new();
+        // Cartesian product of the fanins' cut sets
+        let fanin_cuts: Vec<&Vec<Cut>> = fanins.iter().map(|n| &self.cuts[n]).collect();
+        let mut partial: Vec<Cut> = vec![Cut::new(vec![])];
+        for cuts in fanin_cuts {
+            let mut next = Vec::new();
+            for base in &partial {
+                for cut in cuts {
+                    if let Some(merged) = base.merge(cut, self.params.cut_size) {
+                        next.push(merged);
+                    }
+                }
+            }
+            partial = next;
+            if partial.is_empty() {
+                break;
+            }
+        }
+        for cut in partial {
+            if cut.size() <= self.params.cut_size {
+                add_cut_pruned(&mut result, cut, self.params.cut_limit);
+            }
+        }
+        // the trivial cut comes first so callers can skip it easily
+        let mut cuts = vec![Cut::new(vec![node])];
+        cuts.extend(result);
+        cuts
+    }
+}
+
+/// Inserts `cut` into `set` unless it is dominated; removes cuts it
+/// dominates; enforces the size limit (keeping smaller cuts first).
+fn add_cut_pruned(set: &mut Vec<Cut>, cut: Cut, limit: usize) {
+    if set.iter().any(|c| c.dominates(&cut)) {
+        return;
+    }
+    set.retain(|c| !cut.dominates(c));
+    set.push(cut);
+    if set.len() > limit {
+        set.sort_by_key(Cut::size);
+        set.truncate(limit);
+    }
+}
+
+/// Computes the truth table of `root` expressed over the cut `leaves` by
+/// exhaustive simulation of the cut cone (the paper's `computeTruthTable`).
+///
+/// # Panics
+///
+/// Panics if the cone of `root` reaches a primary input or constant that is
+/// not among the leaves, or if there are more than 16 leaves.
+pub fn simulate_cut<N: Network>(ntk: &N, root: NodeId, leaves: &[NodeId]) -> TruthTable {
+    let num_leaves = leaves.len();
+    assert!(num_leaves <= 16, "cut simulation supports at most 16 leaves");
+    let mut values: HashMap<NodeId, TruthTable> = HashMap::new();
+    values.insert(0, TruthTable::zero(num_leaves));
+    for (i, &leaf) in leaves.iter().enumerate() {
+        values.insert(leaf, TruthTable::nth_var(num_leaves, i));
+    }
+    simulate_cone(ntk, root, &mut values);
+    values[&root].clone()
+}
+
+/// Computes truth tables for every node in the cone between `leaves` and
+/// `root` (inclusive), returned as a map.
+pub fn simulate_cut_cone<N: Network>(
+    ntk: &N,
+    root: NodeId,
+    leaves: &[NodeId],
+) -> HashMap<NodeId, TruthTable> {
+    let num_leaves = leaves.len();
+    assert!(num_leaves <= 16, "cut simulation supports at most 16 leaves");
+    let mut values: HashMap<NodeId, TruthTable> = HashMap::new();
+    values.insert(0, TruthTable::zero(num_leaves));
+    for (i, &leaf) in leaves.iter().enumerate() {
+        values.insert(leaf, TruthTable::nth_var(num_leaves, i));
+    }
+    simulate_cone(ntk, root, &mut values);
+    values
+}
+
+fn simulate_cone<N: Network>(
+    ntk: &N,
+    root: NodeId,
+    values: &mut HashMap<NodeId, TruthTable>,
+) {
+    if values.contains_key(&root) {
+        return;
+    }
+    let mut stack = vec![root];
+    while let Some(&node) = stack.last() {
+        if values.contains_key(&node) {
+            stack.pop();
+            continue;
+        }
+        assert!(
+            ntk.is_gate(node),
+            "cut cone reached node {node} outside the cut (not a gate, not a leaf)"
+        );
+        let fanins = ntk.fanins(node);
+        let missing: Vec<NodeId> = fanins
+            .iter()
+            .map(|f| f.node())
+            .filter(|n| !values.contains_key(n))
+            .collect();
+        if !missing.is_empty() {
+            stack.extend(missing);
+            continue;
+        }
+        let fanin_tts: Vec<TruthTable> = fanins
+            .iter()
+            .map(|f| {
+                let tt = &values[&f.node()];
+                if f.is_complemented() {
+                    !tt
+                } else {
+                    tt.clone()
+                }
+            })
+            .collect();
+        let tt = glsx_network::simulation::evaluate_function(
+            &ntk.node_function(node),
+            ntk.gate_kind(node),
+            &fanin_tts,
+        );
+        values.insert(node, tt);
+        stack.pop();
+    }
+}
+
+/// Computes a reconvergence-driven cut of at most `max_leaves` leaves
+/// rooted at `root` (top-down expansion choosing the leaf whose expansion
+/// adds the fewest new leaves).
+///
+/// Returns the leaves of the cut (primary inputs may appear as leaves).
+pub fn reconvergence_driven_cut<N: Network>(
+    ntk: &N,
+    root: NodeId,
+    max_leaves: usize,
+) -> Vec<NodeId> {
+    let mut leaves: Vec<NodeId> = Vec::new();
+    let mut visited: Vec<NodeId> = vec![root];
+    // start from the fanins of the root
+    for f in ntk.fanins(root) {
+        if !leaves.contains(&f.node()) {
+            leaves.push(f.node());
+        }
+    }
+    loop {
+        // pick the best leaf to expand: a gate whose fanins add the fewest
+        // new leaves (and at least keeps us within the limit)
+        let mut best: Option<(usize, usize)> = None; // (cost, index)
+        for (i, &leaf) in leaves.iter().enumerate() {
+            if !ntk.is_gate(leaf) {
+                continue;
+            }
+            let fanins = ntk.fanins(leaf);
+            let new_leaves = fanins
+                .iter()
+                .filter(|f| !leaves.contains(&f.node()) && !visited.contains(&f.node()))
+                .count();
+            let cost = new_leaves;
+            if leaves.len() - 1 + new_leaves > max_leaves {
+                continue;
+            }
+            if best.map_or(true, |(c, _)| cost < c) {
+                best = Some((cost, i));
+            }
+        }
+        match best {
+            None => break,
+            Some((_, index)) => {
+                let leaf = leaves.swap_remove(index);
+                visited.push(leaf);
+                for f in ntk.fanins(leaf) {
+                    if !leaves.contains(&f.node()) && !visited.contains(&f.node()) {
+                        leaves.push(f.node());
+                    }
+                }
+            }
+        }
+        if leaves.len() >= max_leaves {
+            break;
+        }
+    }
+    leaves.sort_unstable();
+    leaves.dedup();
+    leaves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::{Aig, GateBuilder, Network};
+
+    fn chain_aig() -> (Aig, Vec<glsx_network::Signal>) {
+        let mut aig = Aig::new();
+        let pis: Vec<_> = (0..4).map(|_| aig.create_pi()).collect();
+        let g1 = aig.create_and(pis[0], pis[1]);
+        let g2 = aig.create_and(pis[2], pis[3]);
+        let g3 = aig.create_and(g1, g2);
+        aig.create_po(g3);
+        (aig, vec![g1, g2, g3])
+    }
+
+    #[test]
+    fn cut_merge_and_domination() {
+        let a = Cut::new(vec![1, 2]);
+        let b = Cut::new(vec![2, 3]);
+        let merged = a.merge(&b, 4).unwrap();
+        assert_eq!(merged.leaves, vec![1, 2, 3]);
+        assert!(a.merge(&b, 2).is_none());
+        let small = Cut::new(vec![2]);
+        assert!(small.dominates(&a));
+        assert!(!a.dominates(&small));
+        assert!(a.dominates(&a));
+    }
+
+    #[test]
+    fn cut_enumeration_finds_structural_cuts() {
+        let (aig, gs) = chain_aig();
+        let mut mgr = CutManager::new(CutParams { cut_size: 4, cut_limit: 8 });
+        let cuts = mgr.cuts_of(&aig, gs[2].node()).to_vec();
+        // trivial cut first
+        assert_eq!(cuts[0].leaves, vec![gs[2].node()]);
+        // the 4-input cut over the PIs must be found
+        let pis: Vec<NodeId> = aig.pi_nodes();
+        assert!(cuts.iter().any(|c| c.leaves == pis));
+        // the cut {g1, g2} must be found
+        assert!(cuts
+            .iter()
+            .any(|c| c.leaves == vec![gs[0].node(), gs[1].node()]));
+    }
+
+    #[test]
+    fn cut_simulation_matches_function() {
+        let (aig, gs) = chain_aig();
+        let pis = aig.pi_nodes();
+        let tt = simulate_cut(&aig, gs[2].node(), &pis);
+        assert_eq!(tt.count_ones(), 1);
+        assert!(tt.bit(0b1111));
+        // over the intermediate cut the function is a simple AND
+        let tt2 = simulate_cut(&aig, gs[2].node(), &[gs[0].node(), gs[1].node()]);
+        assert_eq!(tt2.to_hex(), "8");
+    }
+
+    #[test]
+    fn cut_simulation_handles_complements() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let g = aig.create_and(!a, b);
+        aig.create_po(g);
+        let tt = simulate_cut(&aig, g.node(), &[a.node(), b.node()]);
+        assert_eq!(tt.to_hex(), "4");
+    }
+
+    #[test]
+    fn reconvergent_cut_stays_within_limit() {
+        let (aig, gs) = chain_aig();
+        let cut = reconvergence_driven_cut(&aig, gs[2].node(), 4);
+        assert!(cut.len() <= 4);
+        // with limit 4 the cut should reach the primary inputs
+        assert_eq!(cut, aig.pi_nodes());
+        let cut2 = reconvergence_driven_cut(&aig, gs[2].node(), 2);
+        assert!(cut2.len() <= 2);
+    }
+
+    #[test]
+    fn cuts_are_recomputed_for_new_nodes() {
+        let (mut aig, gs) = chain_aig();
+        let mut mgr = CutManager::new(CutParams::default());
+        let _ = mgr.cuts_of(&aig, gs[2].node());
+        // add a new node after the manager was created
+        let pis = aig.pi_nodes();
+        let extra = aig.create_and(
+            glsx_network::Signal::new(pis[0], false),
+            glsx_network::Signal::new(pis[2], false),
+        );
+        let cuts = mgr.cuts_of(&aig, extra.node()).to_vec();
+        assert!(cuts.iter().any(|c| c.leaves == vec![pis[0], pis[2]]));
+    }
+}

@@ -1,0 +1,295 @@
+//! Cut-based k-LUT technology mapping.
+//!
+//! Maps a graph-based logic network into a [`Klut`] network of `k`-input
+//! look-up tables, the representation in which the paper compares the
+//! different logic representations (number of 6-LUTs after area
+//! optimisation).  The mapper enumerates priority cuts, selects one best
+//! cut per node (delay-oriented first, then an area-flow refinement pass)
+//! and derives the cover from the primary outputs.
+
+use crate::cuts::{simulate_cut, Cut, CutManager, CutParams};
+use glsx_network::{Klut, Network, NodeId, Signal};
+use std::collections::HashMap;
+
+/// Parameters of LUT mapping.
+#[derive(Clone, Copy, Debug)]
+pub struct LutMapParams {
+    /// Number of LUT inputs (`k`).
+    pub lut_size: usize,
+    /// Maximum number of priority cuts per node.
+    pub cut_limit: usize,
+    /// Number of area-flow refinement passes after the delay-oriented pass.
+    pub area_flow_rounds: usize,
+}
+
+impl Default for LutMapParams {
+    fn default() -> Self {
+        Self {
+            lut_size: 6,
+            cut_limit: 8,
+            area_flow_rounds: 1,
+        }
+    }
+}
+
+impl LutMapParams {
+    /// Creates parameters for a given LUT size with default settings
+    /// otherwise.
+    pub fn with_lut_size(lut_size: usize) -> Self {
+        Self {
+            lut_size,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result statistics of a mapping run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LutMapStats {
+    /// Number of LUTs in the cover.
+    pub num_luts: usize,
+    /// Depth of the mapped network in LUT levels.
+    pub depth: u32,
+}
+
+#[derive(Clone, Debug)]
+struct MapChoice {
+    cut: Cut,
+    level: u32,
+    area_flow: f64,
+}
+
+/// Maps `ntk` into a k-LUT network.
+///
+/// # Example
+///
+/// ```
+/// use glsx_core::lut_mapping::{lut_map, LutMapParams};
+/// use glsx_network::{Aig, GateBuilder, Network};
+///
+/// let mut aig = Aig::new();
+/// let pis: Vec<_> = (0..8).map(|_| aig.create_pi()).collect();
+/// let f = aig.create_nary_and(&pis);
+/// aig.create_po(f);
+/// let klut = lut_map(&aig, &LutMapParams::with_lut_size(6));
+/// assert!(klut.num_gates() <= 3);
+/// ```
+pub fn lut_map<N: Network>(ntk: &N, params: &LutMapParams) -> Klut {
+    let (cover, choices) = select_cover(ntk, params);
+    build_klut(ntk, &cover, &choices)
+}
+
+/// Maps `ntk` and returns only the statistics (LUT count and depth) without
+/// materialising the k-LUT network.
+pub fn lut_map_stats<N: Network>(ntk: &N, params: &LutMapParams) -> LutMapStats {
+    let klut = lut_map(ntk, params);
+    let depth = glsx_network::views::network_depth(&klut);
+    LutMapStats {
+        num_luts: klut.num_gates(),
+        depth,
+    }
+}
+
+fn select_cover<N: Network>(
+    ntk: &N,
+    params: &LutMapParams,
+) -> (Vec<NodeId>, HashMap<NodeId, MapChoice>) {
+    let mut cut_manager = CutManager::new(CutParams {
+        cut_size: params.lut_size,
+        cut_limit: params.cut_limit,
+    });
+    let order = ntk.gate_nodes();
+    let mut choices: HashMap<NodeId, MapChoice> = HashMap::new();
+
+    // delay-oriented pass followed by area-flow refinement passes
+    for round in 0..(1 + params.area_flow_rounds) {
+        let area_oriented = round > 0;
+        for &node in &order {
+            let cuts = cut_manager.cuts_of(ntk, node).to_vec();
+            let mut best: Option<MapChoice> = None;
+            for cut in cuts.iter().skip(1) {
+                if cut.size() == 0 || cut.leaves.contains(&node) {
+                    continue;
+                }
+                let level = 1 + cut
+                    .leaves
+                    .iter()
+                    .map(|l| choices.get(l).map(|c| c.level).unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
+                let area_flow = 1.0
+                    + cut
+                        .leaves
+                        .iter()
+                        .map(|l| {
+                            let leaf_flow =
+                                choices.get(l).map(|c| c.area_flow).unwrap_or(0.0);
+                            leaf_flow / (ntk.fanout_size(*l).max(1) as f64)
+                        })
+                        .sum::<f64>();
+                let candidate = MapChoice {
+                    cut: cut.clone(),
+                    level,
+                    area_flow,
+                };
+                let better = match &best {
+                    None => true,
+                    Some(current) => {
+                        if area_oriented {
+                            (candidate.area_flow, candidate.level)
+                                < (current.area_flow, current.level)
+                        } else {
+                            (candidate.level, candidate.area_flow)
+                                < (current.level, current.area_flow)
+                        }
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+            if let Some(best) = best {
+                choices.insert(node, best);
+            }
+        }
+    }
+
+    // derive the cover by walking from the primary outputs
+    let mut cover = Vec::new();
+    let mut in_cover: HashMap<NodeId, bool> = HashMap::new();
+    let mut stack: Vec<NodeId> = ntk
+        .po_signals()
+        .iter()
+        .map(|s| s.node())
+        .filter(|&n| ntk.is_gate(n))
+        .collect();
+    while let Some(node) = stack.pop() {
+        if in_cover.contains_key(&node) {
+            continue;
+        }
+        in_cover.insert(node, true);
+        cover.push(node);
+        let choice = choices
+            .get(&node)
+            .expect("every reachable gate has a mapping choice");
+        for &leaf in &choice.cut.leaves {
+            if ntk.is_gate(leaf) && !in_cover.contains_key(&leaf) {
+                stack.push(leaf);
+            }
+        }
+    }
+    // topological order of the cover (creation order of the original gates)
+    cover.sort_unstable();
+    (cover, choices)
+}
+
+fn build_klut<N: Network>(
+    ntk: &N,
+    cover: &[NodeId],
+    choices: &HashMap<NodeId, MapChoice>,
+) -> Klut {
+    let mut klut = Klut::new();
+    let mut map: HashMap<NodeId, Signal> = HashMap::new();
+    map.insert(0, klut.get_constant(false));
+    for pi in ntk.pi_nodes() {
+        let s = klut.create_pi();
+        map.insert(pi, s);
+    }
+    for &node in cover {
+        let choice = &choices[&node];
+        let mut function = simulate_cut(ntk, node, &choice.cut.leaves);
+        let mut fanins = Vec::with_capacity(choice.cut.leaves.len());
+        for (i, &leaf) in choice.cut.leaves.iter().enumerate() {
+            let mapped = map[&leaf];
+            if mapped.is_complemented() {
+                function = function.flip(i);
+            }
+            fanins.push(mapped.regular());
+        }
+        let signal = klut.create_lut(&fanins, function);
+        map.insert(node, signal);
+    }
+    for po in ntk.po_signals() {
+        let mapped = map[&po.node()].complement_if(po.is_complemented());
+        klut.create_po(mapped);
+    }
+    klut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::simulation::equivalent_by_simulation;
+    use glsx_network::views::network_depth;
+    use glsx_network::{Aig, GateBuilder, Mig, Network, Xag};
+
+    #[test]
+    fn wide_and_maps_into_few_luts() {
+        let mut aig = Aig::new();
+        let pis: Vec<Signal> = (0..8).map(|_| aig.create_pi()).collect();
+        let f = aig.create_nary_and(&pis);
+        aig.create_po(f);
+        let klut = lut_map(&aig, &LutMapParams::with_lut_size(6));
+        assert!(klut.num_gates() <= 3);
+        assert!(klut.max_fanin_size() <= 6);
+        assert!(equivalent_by_simulation(&aig, &klut));
+        let stats = lut_map_stats(&aig, &LutMapParams::with_lut_size(6));
+        assert_eq!(stats.num_luts, klut.num_gates());
+        assert_eq!(stats.depth, network_depth(&klut));
+    }
+
+    #[test]
+    fn four_input_luts_cover_a_full_adder() {
+        let mut xag = Xag::new();
+        let a = xag.create_pi();
+        let b = xag.create_pi();
+        let c = xag.create_pi();
+        let ab = xag.create_xor(a, b);
+        let sum = xag.create_xor(ab, c);
+        let t = xag.create_and(ab, c);
+        let g = xag.create_and(a, b);
+        let carry = xag.create_or(t, g);
+        xag.create_po(sum);
+        xag.create_po(carry);
+        let klut = lut_map(&xag, &LutMapParams::with_lut_size(4));
+        assert!(klut.num_gates() <= 2, "a full adder fits into two 4-LUTs");
+        assert!(equivalent_by_simulation(&xag, &klut));
+    }
+
+    #[test]
+    fn mapping_preserves_functions_of_random_networks() {
+        let mut state = 0x5555_aaaa_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..4 {
+            let mut mig = Mig::new();
+            let mut signals: Vec<Signal> = (0..6).map(|_| mig.create_pi()).collect();
+            for _ in 0..50 {
+                let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                let c = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                signals.push(mig.create_maj(a, b, c));
+            }
+            for s in signals.iter().rev().take(4) {
+                mig.create_po(*s);
+            }
+            let klut = lut_map(&mig, &LutMapParams::with_lut_size(6));
+            assert!(equivalent_by_simulation(&mig, &klut));
+            assert!(klut.num_gates() <= mig.num_gates());
+        }
+    }
+
+    #[test]
+    fn complemented_outputs_are_preserved() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let g = aig.create_and(a, b);
+        aig.create_po(!g);
+        aig.create_po(a);
+        let klut = lut_map(&aig, &LutMapParams::default());
+        assert!(equivalent_by_simulation(&aig, &klut));
+    }
+}

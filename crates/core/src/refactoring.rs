@@ -1,0 +1,170 @@
+//! Refactoring (Algorithm 4 of the paper).
+//!
+//! Refactoring collapses a larger cone of logic rooted at a node into its
+//! truth table and resynthesises it from scratch — a powerful way to
+//! overcome structural bias that local rewriting cannot fix.  The cone is a
+//! reconvergence-driven cut with a bounded number of leaves; the new
+//! structure is accepted when it is cheaper than the maximum fanout-free
+//! cone it replaces (or equal, for zero-gain refactoring).
+
+use crate::cuts::reconvergence_driven_cut;
+use crate::replace::{try_replace_on_cut, ReplaceOutcome};
+use glsx_network::{GateBuilder, Network, NodeId};
+use glsx_synth::{Resynthesis, SopResynthesis};
+
+/// Parameters of refactoring.
+#[derive(Clone, Copy, Debug)]
+pub struct RefactorParams {
+    /// Maximum number of leaves of the collapsed cone.
+    pub max_leaves: usize,
+    /// Accept replacements that do not change the size.
+    pub allow_zero_gain: bool,
+    /// Only refactor nodes whose maximum fanout-free cone has at least this
+    /// many gates (small cones are better served by rewriting).
+    pub min_mffc_size: usize,
+}
+
+impl Default for RefactorParams {
+    fn default() -> Self {
+        Self {
+            max_leaves: 10,
+            allow_zero_gain: false,
+            min_mffc_size: 2,
+        }
+    }
+}
+
+/// Statistics of a refactoring pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefactorStats {
+    /// Number of gates visited.
+    pub visited: usize,
+    /// Number of committed substitutions.
+    pub substitutions: usize,
+    /// Sum of the estimated gains of committed substitutions.
+    pub estimated_gain: i64,
+}
+
+/// Refactors `ntk` using the given resynthesis engine.
+pub fn refactor_with<N, R>(
+    ntk: &mut N,
+    resynthesis: &mut R,
+    params: &RefactorParams,
+) -> RefactorStats
+where
+    N: Network + GateBuilder,
+    R: Resynthesis<N>,
+{
+    let mut stats = RefactorStats::default();
+    let nodes: Vec<NodeId> = ntk.gate_nodes();
+    for node in nodes {
+        if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
+            continue;
+        }
+        stats.visited += 1;
+        if crate::refs::mffc_size(ntk, node) < params.min_mffc_size {
+            continue;
+        }
+        let leaves = reconvergence_driven_cut(ntk, node, params.max_leaves);
+        if leaves.len() < 2 || leaves.len() > 16 {
+            continue;
+        }
+        match try_replace_on_cut(ntk, node, &leaves, resynthesis, params.allow_zero_gain) {
+            ReplaceOutcome::Substituted(gain) => {
+                stats.substitutions += 1;
+                stats.estimated_gain += gain;
+            }
+            ReplaceOutcome::Rejected => {}
+        }
+    }
+    stats
+}
+
+/// Refactors `ntk` with the default SOP-factoring resynthesis engine.
+pub fn refactor<N>(ntk: &mut N, params: &RefactorParams) -> RefactorStats
+where
+    N: Network + GateBuilder,
+{
+    refactor_with(ntk, &mut SopResynthesis, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::simulation::equivalent_by_simulation;
+    use glsx_network::{Aig, GateBuilder, Mig, Network, Signal};
+
+    /// A sum-of-minterms implementation of a 3-input OR (structurally very
+    /// redundant: 7 minterm cubes ORed together).
+    fn minterm_or_aig() -> Aig {
+        let mut aig = Aig::new();
+        let pis: Vec<Signal> = (0..3).map(|_| aig.create_pi()).collect();
+        let mut minterms = Vec::new();
+        for m in 1u32..8 {
+            let literals: Vec<Signal> = pis
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| s.complement_if((m >> i) & 1 == 0))
+                .collect();
+            minterms.push(aig.create_nary_and(&literals));
+        }
+        let f = aig.create_nary_or(&minterms);
+        aig.create_po(f);
+        aig
+    }
+
+    #[test]
+    fn refactoring_collapses_redundant_cones() {
+        let mut aig = minterm_or_aig();
+        let reference = aig.clone();
+        let before = aig.num_gates();
+        let stats = refactor(&mut aig, &RefactorParams::default());
+        assert!(stats.substitutions > 0);
+        assert!(
+            aig.num_gates() < before,
+            "refactoring should shrink the minterm expansion ({} -> {})",
+            before,
+            aig.num_gates()
+        );
+        assert!(equivalent_by_simulation(&reference, &aig));
+    }
+
+    #[test]
+    fn refactoring_preserves_functions_on_random_networks() {
+        let mut state = 0x1357_9bdf_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..4 {
+            let mut mig = Mig::new();
+            let mut signals: Vec<Signal> = (0..5).map(|_| mig.create_pi()).collect();
+            for _ in 0..30 {
+                let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                let c = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                signals.push(mig.create_maj(a, b, c));
+            }
+            for s in signals.iter().rev().take(2) {
+                mig.create_po(*s);
+            }
+            let reference = mig.clone();
+            refactor(&mut mig, &RefactorParams::default());
+            assert!(equivalent_by_simulation(&reference, &mig));
+            assert!(mig.num_gates() <= reference.num_gates());
+        }
+    }
+
+    #[test]
+    fn zero_gain_refactoring_does_not_grow_the_network() {
+        let mut aig = minterm_or_aig();
+        let params = RefactorParams {
+            allow_zero_gain: true,
+            ..RefactorParams::default()
+        };
+        let reference = aig.clone();
+        refactor(&mut aig, &params);
+        assert!(aig.num_gates() <= reference.num_gates());
+        assert!(equivalent_by_simulation(&reference, &aig));
+    }
+}

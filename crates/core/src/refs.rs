@@ -1,0 +1,215 @@
+//! DAG-aware reference counting (Section 2.2.3 of the paper) and maximum
+//! fanout-free cone (MFFC) computation.
+//!
+//! Replacement gains are measured by *virtually* removing a node: fanin
+//! reference counts are decremented recursively, and every gate whose count
+//! drops to zero would disappear together with the node.  The symmetric
+//! operation re-references a structure and counts how many new gates it
+//! requires, taking logic sharing (structural hashing) into account.
+//!
+//! The view is lazy: a node's count is materialised from its fanout size on
+//! first access, so creating a view is O(1) and only the nodes actually
+//! touched by a local transformation are tracked.
+
+use glsx_network::{Network, NodeId};
+use std::collections::HashMap;
+
+/// Lazily initialised per-node reference counts.
+#[derive(Clone, Debug, Default)]
+pub struct RefCountView {
+    counts: HashMap<NodeId, i64>,
+}
+
+impl RefCountView {
+    /// Creates an empty (lazy) view; counts are initialised from the
+    /// network's fanout sizes on first access.
+    pub fn new<N: Network>(_ntk: &N) -> Self {
+        Self { counts: HashMap::new() }
+    }
+
+    /// Returns the current reference count of `node`, initialising it from
+    /// the fanout size if it has not been touched yet.
+    pub fn count<N: Network>(&mut self, ntk: &N, node: NodeId) -> i64 {
+        *self
+            .counts
+            .entry(node)
+            .or_insert_with(|| ntk.fanout_size(node) as i64)
+    }
+
+    fn add<N: Network>(&mut self, ntk: &N, node: NodeId, delta: i64) -> i64 {
+        let entry = self
+            .counts
+            .entry(node)
+            .or_insert_with(|| ntk.fanout_size(node) as i64);
+        *entry += delta;
+        *entry
+    }
+
+    /// Overrides the count of `node` (used to treat freshly created
+    /// candidate nodes as unreferenced).
+    pub fn set_count(&mut self, node: NodeId, value: i64) {
+        self.counts.insert(node, value);
+    }
+
+    /// Virtually removes the cone rooted at `node`: decrements the
+    /// reference counts of its fanins recursively and returns the number of
+    /// gates that would be freed (the node itself plus every gate whose
+    /// count reaches zero).
+    pub fn deref_recursive<N: Network>(&mut self, ntk: &N, node: NodeId) -> u32 {
+        if !ntk.is_gate(node) {
+            return 0;
+        }
+        let mut freed = 1;
+        for fanin in ntk.fanins(node) {
+            let f = fanin.node();
+            if self.add(ntk, f, -1) == 0 && ntk.is_gate(f) {
+                freed += self.deref_recursive(ntk, f);
+            }
+        }
+        freed
+    }
+
+    /// Virtually (re-)adds the cone rooted at `node`: increments the
+    /// reference counts of its fanins recursively and returns the number of
+    /// gates that would be (re-)created.
+    pub fn ref_recursive<N: Network>(&mut self, ntk: &N, node: NodeId) -> u32 {
+        if !ntk.is_gate(node) {
+            return 0;
+        }
+        let mut added = 1;
+        for fanin in ntk.fanins(node) {
+            let f = fanin.node();
+            if self.count(ntk, f) == 0 && ntk.is_gate(f) {
+                added += self.ref_recursive(ntk, f);
+            }
+            self.add(ntk, f, 1);
+        }
+        added
+    }
+}
+
+/// Computes the maximum fanout-free cone (MFFC) of `node`: the set of gates
+/// that are only used (transitively) by `node` and would therefore
+/// disappear if `node` were removed.  The root itself is included.
+pub fn mffc<N: Network>(ntk: &N, node: NodeId) -> Vec<NodeId> {
+    if !ntk.is_gate(node) {
+        return Vec::new();
+    }
+    let mut counts = RefCountView::new(ntk);
+    let mut cone = Vec::new();
+    collect_mffc(ntk, node, &mut counts, &mut cone, true);
+    cone
+}
+
+/// Returns the size of the MFFC of `node`.
+pub fn mffc_size<N: Network>(ntk: &N, node: NodeId) -> usize {
+    mffc(ntk, node).len()
+}
+
+fn collect_mffc<N: Network>(
+    ntk: &N,
+    node: NodeId,
+    counts: &mut RefCountView,
+    cone: &mut Vec<NodeId>,
+    is_root: bool,
+) {
+    if !ntk.is_gate(node) {
+        return;
+    }
+    if !is_root && counts.count(ntk, node) != 0 {
+        return;
+    }
+    cone.push(node);
+    for fanin in ntk.fanins(node) {
+        let f = fanin.node();
+        if counts.add(ntk, f, -1) == 0 {
+            collect_mffc(ntk, f, counts, cone, false);
+        }
+    }
+}
+
+/// Computes the MFFC of `node` restricted to the given `leaves`: gates in
+/// the cone excluding the leaves themselves.  Used by refactoring and
+/// resubstitution to bound the collapsed cone.
+pub fn mffc_with_leaves<N: Network>(ntk: &N, node: NodeId, leaves: &[NodeId]) -> Vec<NodeId> {
+    mffc(ntk, node)
+        .into_iter()
+        .filter(|n| !leaves.contains(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::{Aig, GateBuilder, Network};
+
+    #[test]
+    fn mffc_of_shared_and_unshared_logic() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let g1 = aig.create_and(a, b); // shared
+        let g2 = aig.create_and(g1, c);
+        let g3 = aig.create_and(g1, !c);
+        aig.create_po(g2);
+        aig.create_po(g3);
+        // g1 has two fanouts, so the MFFC of g2 is just {g2}
+        assert_eq!(mffc(&aig, g2.node()), vec![g2.node()]);
+        assert_eq!(mffc_size(&aig, g3.node()), 1);
+        // if g3 is removed, the MFFC of g2 becomes {g2, g1}
+        aig.substitute_node(g3.node(), aig.get_constant(false));
+        let cone = mffc(&aig, g2.node());
+        assert!(cone.contains(&g2.node()));
+        assert!(cone.contains(&g1.node()));
+    }
+
+    #[test]
+    fn deref_and_ref_are_inverse() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let g1 = aig.create_and(a, b);
+        let g2 = aig.create_and(g1, c);
+        let g3 = aig.create_and(g2, a);
+        aig.create_po(g3);
+        let mut view = RefCountView::new(&aig);
+        let freed = view.deref_recursive(&aig, g3.node());
+        assert_eq!(freed, 3); // the whole chain is single-fanout
+        let added = view.ref_recursive(&aig, g3.node());
+        assert_eq!(added, 3);
+        // counts are restored
+        for node in aig.node_ids() {
+            assert_eq!(view.count(&aig, node), aig.fanout_size(node) as i64);
+        }
+    }
+
+    #[test]
+    fn mffc_does_not_cross_shared_fanins() {
+        let mut aig = Aig::new();
+        let pis: Vec<_> = (0..4).map(|_| aig.create_pi()).collect();
+        let shared = aig.create_and(pis[0], pis[1]);
+        let x = aig.create_and(shared, pis[2]);
+        let y = aig.create_and(x, pis[3]);
+        let other = aig.create_and(shared, !pis[3]);
+        aig.create_po(y);
+        aig.create_po(other);
+        let cone = mffc(&aig, y.node());
+        assert!(cone.contains(&y.node()));
+        assert!(cone.contains(&x.node()));
+        assert!(!cone.contains(&shared.node()), "shared node must not be in the MFFC");
+        assert_eq!(mffc_with_leaves(&aig, y.node(), &[x.node()]), vec![y.node()]);
+    }
+
+    #[test]
+    fn pis_and_constants_have_empty_mffc() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        aig.create_po(a);
+        assert!(mffc(&aig, a.node()).is_empty());
+        assert!(mffc(&aig, 0).is_empty());
+        let mut view = RefCountView::new(&aig);
+        assert_eq!(view.deref_recursive(&aig, a.node()), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Shared DAG-aware replacement machinery used by rewriting and
+//! refactoring: evaluate the gain of re-expressing a node over a cut and
+//! commit the substitution if it pays off.
+
+use crate::cuts::simulate_cut;
+use crate::refs::RefCountView;
+use glsx_network::{GateBuilder, Network, NodeId, Signal};
+use glsx_synth::Resynthesis;
+
+/// Result of a replacement attempt.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReplaceOutcome {
+    /// The node was substituted; the payload is the estimated gain in gate
+    /// count (freed minus added).
+    Substituted(i64),
+    /// No beneficial replacement was found; the network is unchanged
+    /// (candidate nodes, if any, were taken out again).
+    Rejected,
+}
+
+/// Attempts to replace `node` by a resynthesised structure over the cut
+/// `leaves`.
+///
+/// The gain is measured DAG-aware via reference counting: `freed` counts
+/// the gates that disappear with `node`'s maximum fanout-free cone, `added`
+/// counts the new gates the candidate needs after structural hashing.  The
+/// candidate is committed when `added < freed`, or `added <= freed` if
+/// `allow_zero_gain` is set.
+pub fn try_replace_on_cut<N, R>(
+    ntk: &mut N,
+    node: NodeId,
+    leaves: &[NodeId],
+    resynthesis: &mut R,
+    allow_zero_gain: bool,
+) -> ReplaceOutcome
+where
+    N: Network + GateBuilder,
+    R: Resynthesis<N>,
+{
+    if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
+        return ReplaceOutcome::Rejected;
+    }
+    if leaves.is_empty()
+        || leaves.contains(&node)
+        || leaves.iter().any(|&l| ntk.is_dead(l))
+    {
+        return ReplaceOutcome::Rejected;
+    }
+    let function = simulate_cut(ntk, node, leaves);
+
+    // virtually remove the node's cone
+    let mut refs = RefCountView::new(ntk);
+    let freed = refs.deref_recursive(ntk, node) as i64;
+
+    // build the candidate structure
+    let size_before = ntk.size();
+    let leaf_signals: Vec<Signal> = leaves.iter().map(|&l| Signal::new(l, false)).collect();
+    let candidate = match resynthesis.resynthesize(ntk, &function, &leaf_signals) {
+        Some(c) => c,
+        None => {
+            refs.ref_recursive(ntk, node);
+            return ReplaceOutcome::Rejected;
+        }
+    };
+
+    // the candidate must neither be the node itself nor contain it
+    if candidate.node() == node
+        || candidate_contains(ntk, candidate.node(), node, leaves)
+    {
+        refs.ref_recursive(ntk, node);
+        discard_candidate(ntk, candidate, size_before);
+        sweep_new_dangling(ntk, size_before);
+        return ReplaceOutcome::Rejected;
+    }
+
+    // treat freshly created nodes as unreferenced for gain measurement
+    for id in size_before..ntk.size() {
+        let id = id as NodeId;
+        let external = ntk
+            .fanouts(id)
+            .iter()
+            .filter(|&&p| (p as usize) < size_before)
+            .count() as i64;
+        refs.set_count(id, external);
+    }
+    let added = if (candidate.node() as usize) < size_before {
+        // pure reuse of existing logic
+        0
+    } else {
+        refs.ref_recursive(ntk, candidate.node()) as i64
+    };
+
+    let accept = if allow_zero_gain {
+        added <= freed
+    } else {
+        added < freed
+    };
+    let outcome = if accept {
+        ntk.substitute_node(node, candidate);
+        ReplaceOutcome::Substituted(freed - added)
+    } else {
+        discard_candidate(ntk, candidate, size_before);
+        ReplaceOutcome::Rejected
+    };
+    sweep_new_dangling(ntk, size_before);
+    outcome
+}
+
+/// Removes nodes created during a replacement attempt that ended up without
+/// any fanout (e.g. intermediate gates orphaned by constructor
+/// simplification rules).
+pub(crate) fn sweep_new_dangling<N: Network>(ntk: &mut N, size_before: usize) {
+    for id in size_before..ntk.size() {
+        let id = id as NodeId;
+        if ntk.is_gate(id) && ntk.fanout_size(id) == 0 {
+            ntk.take_out_node(id);
+        }
+    }
+}
+
+/// Checks whether `forbidden` occurs in the candidate structure rooted at
+/// `root`, searching only down to the cut leaves.
+fn candidate_contains<N: Network>(
+    ntk: &N,
+    root: NodeId,
+    forbidden: NodeId,
+    leaves: &[NodeId],
+) -> bool {
+    let mut stack = vec![root];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(n) = stack.pop() {
+        if n == forbidden {
+            return true;
+        }
+        if leaves.contains(&n) || !seen.insert(n) || !ntk.is_gate(n) {
+            continue;
+        }
+        for f in ntk.fanins(n) {
+            stack.push(f.node());
+        }
+    }
+    false
+}
+
+/// Removes a rejected candidate structure (only nodes without fanout are
+/// taken out, so shared logic is untouched).
+fn discard_candidate<N: Network>(ntk: &mut N, candidate: Signal, _size_before: usize) {
+    if ntk.is_gate(candidate.node()) && ntk.fanout_size(candidate.node()) == 0 {
+        ntk.take_out_node(candidate.node());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::simulation::equivalent_by_simulation;
+    use glsx_network::{Aig, GateBuilder};
+    use glsx_synth::SopResynthesis;
+
+    #[test]
+    fn redundant_logic_is_replaced() {
+        // f = (a & b) & (a & c): over the cut {a, b, c} this is a three-input
+        // AND, which SOP factoring realises with 2 gates instead of 3.
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let ab = aig.create_and(a, b);
+        let ac = aig.create_and(a, c);
+        let f = aig.create_and(ab, ac);
+        aig.create_po(f);
+        let reference = aig.clone();
+        assert_eq!(aig.num_gates(), 3);
+        let outcome = try_replace_on_cut(
+            &mut aig,
+            f.node(),
+            &[a.node(), b.node(), c.node()],
+            &mut SopResynthesis,
+            false,
+        );
+        assert_eq!(outcome, ReplaceOutcome::Substituted(1));
+        assert_eq!(aig.num_gates(), 2);
+        assert!(equivalent_by_simulation(&reference, &aig));
+    }
+
+    #[test]
+    fn optimal_logic_is_left_alone() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let ab = aig.create_and(a, b);
+        let f = aig.create_and(ab, c);
+        aig.create_po(f);
+        let outcome = try_replace_on_cut(
+            &mut aig,
+            f.node(),
+            &[a.node(), b.node(), c.node()],
+            &mut SopResynthesis,
+            false,
+        );
+        assert_eq!(outcome, ReplaceOutcome::Rejected);
+        assert_eq!(aig.num_gates(), 2);
+    }
+
+    #[test]
+    fn shared_logic_reduces_the_gain() {
+        // the inner AND gate is shared with another output, so replacing the
+        // top gate would free only one gate and the rejected candidate must
+        // not bloat the network
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let ab = aig.create_and(a, b);
+        let ac = aig.create_and(a, c);
+        let f = aig.create_and(ab, ac);
+        aig.create_po(f);
+        aig.create_po(ab); // extra fanout for ab
+        aig.create_po(ac); // extra fanout for ac
+        let before = aig.num_gates();
+        let outcome = try_replace_on_cut(
+            &mut aig,
+            f.node(),
+            &[a.node(), b.node(), c.node()],
+            &mut SopResynthesis,
+            false,
+        );
+        assert_eq!(outcome, ReplaceOutcome::Rejected);
+        assert_eq!(aig.num_gates(), before);
+    }
+}

@@ -1,0 +1,475 @@
+//! Boolean resubstitution (Algorithm 5 of the paper).
+//!
+//! Resubstitution re-expresses the function of a node using *divisors* —
+//! nodes that already exist in a window around it — adding at most `k` new
+//! gates.  A substitution is beneficial when the maximum fanout-free cone
+//! freed by removing the node is larger than the number of inserted gates.
+//!
+//! Only the computational kernel depends on the representation (the
+//! paper's "performance tweak" layer): the divisor arity and the
+//! filtering rules differ between AND/OR (AIG), AND/XOR (XAG) and majority
+//! (MIG/XMG) networks.  The kernel is selected through the
+//! [`ResubNetwork`] trait.
+
+use crate::cuts::{reconvergence_driven_cut, simulate_cut_cone};
+use crate::refs::mffc;
+use glsx_network::{Aig, GateBuilder, Mig, Network, NodeId, Signal, Xag, Xmg};
+use glsx_truth::TruthTable;
+use std::collections::HashMap;
+
+/// The divisor-selection and resubstitution-rule style of a representation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ResubStyle {
+    /// Two-input AND/OR rules (And-inverter graphs).
+    AndOr,
+    /// AND/OR plus XOR rules (Xor-and graphs).
+    AndXor,
+    /// Majority rules in addition to AND/OR (majority-based graphs).
+    Majority,
+}
+
+/// Networks that provide a resubstitution kernel (the representation-
+/// specific specialisation required by the generic resubstitution
+/// algorithm).
+pub trait ResubNetwork: GateBuilder {
+    /// Kernel style used for this representation.
+    const STYLE: ResubStyle;
+}
+
+impl ResubNetwork for Aig {
+    const STYLE: ResubStyle = ResubStyle::AndOr;
+}
+
+impl ResubNetwork for Xag {
+    const STYLE: ResubStyle = ResubStyle::AndXor;
+}
+
+impl ResubNetwork for Mig {
+    const STYLE: ResubStyle = ResubStyle::Majority;
+}
+
+impl ResubNetwork for Xmg {
+    const STYLE: ResubStyle = ResubStyle::Majority;
+}
+
+/// Parameters of Boolean resubstitution.
+#[derive(Clone, Copy, Debug)]
+pub struct ResubParams {
+    /// Maximum number of leaves of the reconvergence-driven cut (the `-c`
+    /// parameter of the flow script).
+    pub max_leaves: usize,
+    /// Maximum number of gates inserted per substitution (the `-d`
+    /// parameter; `0` means only direct divisor replacement).
+    pub max_inserts: usize,
+    /// Maximum number of divisors considered per node.
+    pub max_divisors: usize,
+    /// Accept zero-gain substitutions.
+    pub allow_zero_gain: bool,
+}
+
+impl Default for ResubParams {
+    fn default() -> Self {
+        Self {
+            max_leaves: 8,
+            max_inserts: 1,
+            max_divisors: 50,
+            allow_zero_gain: false,
+        }
+    }
+}
+
+/// Statistics of a resubstitution pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResubStats {
+    /// Number of gates visited.
+    pub visited: usize,
+    /// Number of committed substitutions.
+    pub substitutions: usize,
+    /// Sum of the estimated gains of committed substitutions.
+    pub estimated_gain: i64,
+}
+
+/// A divisor: an existing signal together with its window function.
+#[derive(Clone, Debug)]
+struct Divisor {
+    signal: Signal,
+    function: TruthTable,
+}
+
+/// Runs Boolean resubstitution on `ntk`.
+pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams) -> ResubStats {
+    let mut stats = ResubStats::default();
+    let nodes: Vec<NodeId> = ntk.gate_nodes();
+    for node in nodes {
+        if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
+            continue;
+        }
+        stats.visited += 1;
+        let leaves = reconvergence_driven_cut(ntk, node, params.max_leaves);
+        if leaves.is_empty() || leaves.len() > 14 {
+            continue;
+        }
+        let mut window = simulate_cut_cone(ntk, node, &leaves);
+        let target = window[&node].clone();
+        let mffc_nodes = mffc(ntk, node);
+        let mffc_size = mffc_nodes.len() as i64;
+
+        // Expand the window with side divisors: nodes outside the cone of
+        // `node` whose fanins already lie in the window (their functions are
+        // therefore expressible over the cut and they cannot depend on
+        // `node`).
+        expand_window(ntk, node, &mut window, params.max_divisors * 2);
+
+        // collect divisors: window nodes (including leaves) outside the MFFC
+        let mut divisors: Vec<Divisor> = window
+            .iter()
+            .filter(|(&n, _)| n != node && n != 0 && !mffc_nodes.contains(&n) && !ntk.is_dead(n))
+            .map(|(&n, tt)| Divisor {
+                signal: Signal::new(n, false),
+                function: tt.clone(),
+            })
+            .collect();
+        divisors.sort_by_key(|d| d.signal.node());
+        divisors.truncate(params.max_divisors);
+
+        let min_gain = if params.allow_zero_gain { 0 } else { 1 };
+        let size_before = ntk.size();
+        if let Some((replacement, inserted)) =
+            find_resubstitution::<N>(ntk, &target, &divisors, params, mffc_size, min_gain)
+        {
+            let gain = mffc_size - inserted;
+            if replacement.node() != node {
+                ntk.substitute_node(node, replacement);
+                stats.substitutions += 1;
+                stats.estimated_gain += gain;
+            }
+        }
+        crate::replace::sweep_new_dangling(ntk, size_before);
+    }
+    stats
+}
+
+/// Grows the simulation window with side divisors: fanouts of window nodes
+/// whose fanins all lie in the window already.  Such nodes are expressible
+/// over the cut and can never contain `root` in their fanin cone.
+fn expand_window<N: Network>(
+    ntk: &N,
+    root: NodeId,
+    window: &mut HashMap<NodeId, TruthTable>,
+    limit: usize,
+) {
+    let mut changed = true;
+    while changed && window.len() < limit {
+        changed = false;
+        let members: Vec<NodeId> = window.keys().copied().collect();
+        for member in members {
+            for candidate in ntk.fanouts(member) {
+                if window.len() >= limit {
+                    return;
+                }
+                if candidate == root
+                    || window.contains_key(&candidate)
+                    || !ntk.is_gate(candidate)
+                {
+                    continue;
+                }
+                let fanins = ntk.fanins(candidate);
+                if !fanins
+                    .iter()
+                    .all(|f| f.node() != root && window.contains_key(&f.node()))
+                {
+                    continue;
+                }
+                let fanin_tts: Vec<TruthTable> = fanins
+                    .iter()
+                    .map(|f| {
+                        let tt = &window[&f.node()];
+                        if f.is_complemented() {
+                            !tt
+                        } else {
+                            tt.clone()
+                        }
+                    })
+                    .collect();
+                let tt = glsx_network::simulation::evaluate_function(
+                    &ntk.node_function(candidate),
+                    ntk.gate_kind(candidate),
+                    &fanin_tts,
+                );
+                window.insert(candidate, tt);
+                changed = true;
+            }
+        }
+    }
+}
+
+/// Tries resubstitution kernels of increasing size (0-, 1-, 2-resub) and
+/// returns the replacement signal and the number of inserted gates.
+fn find_resubstitution<N: ResubNetwork>(
+    ntk: &mut N,
+    target: &TruthTable,
+    divisors: &[Divisor],
+    params: &ResubParams,
+    mffc_size: i64,
+    min_gain: i64,
+) -> Option<(Signal, i64)> {
+    // constants
+    if target.is_zero() {
+        return Some((ntk.get_constant(false), 0));
+    }
+    if target.is_one() {
+        return Some((ntk.get_constant(true), 0));
+    }
+    // 0-resubstitution: an existing divisor (or its complement) matches
+    for d in divisors {
+        if &d.function == target {
+            return Some((d.signal, 0));
+        }
+        if d.function == !target {
+            return Some((!d.signal, 0));
+        }
+    }
+    if params.max_inserts == 0 {
+        return None;
+    }
+
+    // divisor lists with both polarities
+    let polarised: Vec<(Signal, TruthTable)> = divisors
+        .iter()
+        .flat_map(|d| {
+            [
+                (d.signal, d.function.clone()),
+                (!d.signal, !&d.function),
+            ]
+        })
+        .collect();
+    // filtering rules: candidates that can appear in an AND (they cover the
+    // target) and candidates that can appear in an OR (covered by it)
+    let up: Vec<&(Signal, TruthTable)> = polarised
+        .iter()
+        .filter(|(_, tt)| target.implies(tt))
+        .take(40)
+        .collect();
+    let down: Vec<&(Signal, TruthTable)> = polarised
+        .iter()
+        .filter(|(_, tt)| tt.implies(target))
+        .take(40)
+        .collect();
+
+    // 1-resubstitution (one inserted gate)
+    if mffc_size - 1 >= min_gain {
+        // AND of two covering divisors
+        for (i, (sa, ta)) in up.iter().enumerate() {
+            for (sb, tb) in up.iter().skip(i + 1) {
+                if &(ta & tb) == target {
+                    let g = ntk.create_and(*sa, *sb);
+                    return Some((g, 1));
+                }
+            }
+        }
+        // OR of two covered divisors
+        for (i, (sa, ta)) in down.iter().enumerate() {
+            for (sb, tb) in down.iter().skip(i + 1) {
+                if &(ta | tb) == target {
+                    let g = ntk.create_or(*sa, *sb);
+                    return Some((g, 1));
+                }
+            }
+        }
+        // XOR via hash lookup (XAG-style kernels)
+        if N::STYLE == ResubStyle::AndXor || N::STYLE == ResubStyle::Majority {
+            let by_function: HashMap<&TruthTable, Signal> = divisors
+                .iter()
+                .map(|d| (&d.function, d.signal))
+                .collect();
+            for d in divisors {
+                let needed = target ^ &d.function;
+                if let Some(&other) = by_function.get(&needed) {
+                    if other.node() != d.signal.node() && N::STYLE == ResubStyle::AndXor {
+                        let g = ntk.create_xor(d.signal, other);
+                        return Some((g, 1));
+                    }
+                }
+            }
+        }
+        // majority of three divisors (MIG/XMG-style kernels)
+        if N::STYLE == ResubStyle::Majority {
+            let limited: Vec<&(Signal, TruthTable)> = polarised.iter().take(24).collect();
+            for i in 0..limited.len() {
+                for j in (i + 1)..limited.len() {
+                    for k in (j + 1)..limited.len() {
+                        let (sa, ta) = limited[i];
+                        let (sb, tb) = limited[j];
+                        let (sc, tc) = limited[k];
+                        if &TruthTable::maj(ta, tb, tc) == target {
+                            let g = ntk.create_maj(*sa, *sb, *sc);
+                            return Some((g, 1));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 2-resubstitution (two inserted gates)
+    if params.max_inserts >= 2 && mffc_size - 2 >= min_gain {
+        let inner: Vec<&(Signal, TruthTable)> = polarised.iter().take(30).collect();
+        // target = d1 & (d2 | d3) with d1 covering the target
+        for (s1, t1) in &up {
+            for i in 0..inner.len() {
+                for j in (i + 1)..inner.len() {
+                    let (s2, t2) = inner[i];
+                    let (s3, t3) = inner[j];
+                    if &(t1 & &(t2 | t3)) == target {
+                        let or = ntk.create_or(*s2, *s3);
+                        let g = ntk.create_and(*s1, or);
+                        return Some((g, 2));
+                    }
+                    if N::STYLE == ResubStyle::AndXor && &(t1 & &(t2 ^ t3)) == target {
+                        let xor = ntk.create_xor(*s2, *s3);
+                        let g = ntk.create_and(*s1, xor);
+                        return Some((g, 2));
+                    }
+                }
+            }
+        }
+        // target = d1 | (d2 & d3) with d1 covered by the target
+        for (s1, t1) in &down {
+            for i in 0..inner.len() {
+                for j in (i + 1)..inner.len() {
+                    let (s2, t2) = inner[i];
+                    let (s3, t3) = inner[j];
+                    if &(t1 | &(t2 & t3)) == target {
+                        let and = ntk.create_and(*s2, *s3);
+                        let g = ntk.create_or(*s1, and);
+                        return Some((g, 2));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::simulation::equivalent_by_simulation;
+    use glsx_network::{GateBuilder, Network};
+
+    #[test]
+    fn zero_resub_removes_duplicate_logic() {
+        // two structurally different but functionally equal cones
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        // f = a & (b | c)
+        let b_or_c = aig.create_or(b, c);
+        let f = aig.create_and(a, b_or_c);
+        // g = (a & b) | (a & c)  == f, but built differently
+        let ab = aig.create_and(a, b);
+        let ac = aig.create_and(a, c);
+        let g = aig.create_or(ab, ac);
+        aig.create_po(f);
+        aig.create_po(g);
+        let reference = aig.clone();
+        let before = aig.num_gates();
+        let stats = resubstitute(&mut aig, &ResubParams::default());
+        assert!(stats.substitutions >= 1);
+        assert!(aig.num_gates() < before);
+        assert!(equivalent_by_simulation(&reference, &aig));
+    }
+
+    #[test]
+    fn one_resub_reuses_existing_divisors() {
+        // h = a & b & c can be expressed as and(ab, c) but is built from
+        // scratch next to an existing ab divisor with extra fanout
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let d = aig.create_pi();
+        let ab = aig.create_and(a, b);
+        let keep = aig.create_and(ab, d); // gives ab an external fanout
+        let ac = aig.create_and(a, c);
+        let h = aig.create_and(ac, b); // a & b & c without using ab
+        aig.create_po(keep);
+        aig.create_po(h);
+        let reference = aig.clone();
+        let stats = resubstitute(
+            &mut aig,
+            &ResubParams {
+                max_leaves: 8,
+                max_inserts: 1,
+                ..ResubParams::default()
+            },
+        );
+        assert!(equivalent_by_simulation(&reference, &aig));
+        assert!(stats.visited > 0);
+        assert!(aig.num_gates() <= reference.num_gates());
+    }
+
+    #[test]
+    fn resubstitution_works_on_migs() {
+        let mut mig = Mig::new();
+        let a = mig.create_pi();
+        let b = mig.create_pi();
+        let c = mig.create_pi();
+        // build maj(a, b, c) the wasteful way: or(and(a,b), and(c, or(a,b)))
+        let ab = mig.create_and(a, b);
+        let aob = mig.create_or(a, b);
+        let t = mig.create_and(c, aob);
+        let m = mig.create_or(ab, t);
+        mig.create_po(m);
+        let reference = mig.clone();
+        let before = mig.num_gates();
+        resubstitute(
+            &mut mig,
+            &ResubParams {
+                max_leaves: 6,
+                max_inserts: 1,
+                ..ResubParams::default()
+            },
+        );
+        assert!(equivalent_by_simulation(&reference, &mig));
+        assert!(mig.num_gates() <= before);
+    }
+
+    #[test]
+    fn resubstitution_preserves_functions_on_random_networks() {
+        let mut state = 0xfeed_f00d_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..4 {
+            let mut xag = Xag::new();
+            let mut signals: Vec<Signal> = (0..6).map(|_| xag.create_pi()).collect();
+            for step in 0..40 {
+                let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                let g = if step % 3 == 0 {
+                    xag.create_xor(a, b)
+                } else {
+                    xag.create_and(a, b)
+                };
+                signals.push(g);
+            }
+            for s in signals.iter().rev().take(3) {
+                xag.create_po(*s);
+            }
+            let reference = xag.clone();
+            resubstitute(
+                &mut xag,
+                &ResubParams {
+                    max_leaves: 8,
+                    max_inserts: 2,
+                    ..ResubParams::default()
+                },
+            );
+            assert!(equivalent_by_simulation(&reference, &xag));
+            assert!(xag.num_gates() <= reference.num_gates());
+        }
+    }
+}

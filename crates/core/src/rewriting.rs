@@ -1,0 +1,201 @@
+//! DAG-aware cut rewriting (Algorithm 3 of the paper).
+//!
+//! For every gate, cuts of bounded size are enumerated; each cut function
+//! is handed to a [`Resynthesis`] engine (typically the NPN database) and
+//! the replacement is committed when the DAG-aware gain — freed gates minus
+//! newly added gates, accounting for structural hashing — is positive (or
+//! non-negative for zero-gain rewriting).
+
+use crate::cuts::{CutManager, CutParams};
+use crate::replace::{try_replace_on_cut, ReplaceOutcome};
+use glsx_network::{GateBuilder, Network, NodeId};
+use glsx_synth::{NpnDatabase, Resynthesis};
+
+/// Parameters of cut rewriting.
+#[derive(Clone, Copy, Debug)]
+pub struct RewriteParams {
+    /// Maximum cut size (number of leaves considered per subnetwork).
+    pub cut_size: usize,
+    /// Maximum number of priority cuts kept per node.
+    pub cut_limit: usize,
+    /// Accept replacements that do not change the size (restructuring that
+    /// enables follow-up optimisations; the `rwz` step of the flow).
+    pub allow_zero_gain: bool,
+}
+
+impl Default for RewriteParams {
+    fn default() -> Self {
+        Self {
+            cut_size: 4,
+            cut_limit: 8,
+            allow_zero_gain: false,
+        }
+    }
+}
+
+/// Statistics of a rewriting pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Number of gates visited.
+    pub visited: usize,
+    /// Number of committed substitutions.
+    pub substitutions: usize,
+    /// Sum of the estimated gains of committed substitutions.
+    pub estimated_gain: i64,
+}
+
+/// Rewrites `ntk` using the given resynthesis engine and returns pass
+/// statistics.
+pub fn rewrite_with<N, R>(ntk: &mut N, resynthesis: &mut R, params: &RewriteParams) -> RewriteStats
+where
+    N: Network + GateBuilder,
+    R: Resynthesis<N>,
+{
+    let mut stats = RewriteStats::default();
+    let mut cut_manager = CutManager::new(CutParams {
+        cut_size: params.cut_size,
+        cut_limit: params.cut_limit,
+    });
+    let nodes: Vec<NodeId> = ntk.gate_nodes();
+    for node in nodes {
+        if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
+            continue;
+        }
+        stats.visited += 1;
+        let cuts = cut_manager.cuts_of(ntk, node).to_vec();
+        for cut in cuts.iter().skip(1) {
+            if cut.size() < 2 {
+                continue;
+            }
+            match try_replace_on_cut(
+                ntk,
+                node,
+                &cut.leaves,
+                resynthesis,
+                params.allow_zero_gain,
+            ) {
+                ReplaceOutcome::Substituted(gain) => {
+                    stats.substitutions += 1;
+                    stats.estimated_gain += gain;
+                    cut_manager.invalidate(node);
+                    break;
+                }
+                ReplaceOutcome::Rejected => {}
+            }
+        }
+    }
+    stats
+}
+
+/// Rewrites `ntk` with a fresh NPN-database resynthesis engine (heuristic
+/// structures); convenience wrapper over [`rewrite_with`].
+pub fn rewrite<N>(ntk: &mut N, params: &RewriteParams) -> RewriteStats
+where
+    N: Network + GateBuilder,
+{
+    let mut database = NpnDatabase::new();
+    rewrite_with(ntk, &mut database, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::simulation::{equivalent_by_simulation, simulate};
+    use glsx_network::{Aig, GateBuilder, Mig, Network, Xag};
+
+    /// Builds a deliberately wasteful implementation of the projection
+    /// `f = a`: `f = (a & b) | (a & !b)`, three gates that a four-input cut
+    /// rewrite collapses to zero gates.
+    fn wasteful_projection_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let ab = aig.create_and(a, b);
+        let anb = aig.create_and(a, !b);
+        let f = aig.create_or(ab, anb); // == a
+        let g = aig.create_and(f, c); // == a & c
+        aig.create_po(g);
+        aig
+    }
+
+    #[test]
+    fn rewriting_reduces_redundant_logic() {
+        let mut aig = wasteful_projection_aig();
+        let reference = aig.clone();
+        let before = aig.num_gates();
+        let stats = rewrite(&mut aig, &RewriteParams::default());
+        assert!(stats.substitutions > 0);
+        assert!(aig.num_gates() < before, "rewriting should reduce the size");
+        assert!(equivalent_by_simulation(&reference, &aig));
+        // the remaining logic computes a & c
+        let tt = simulate(&aig)[0].clone();
+        assert_eq!(tt, simulate(&reference)[0]);
+    }
+
+    #[test]
+    fn rewriting_preserves_function_on_random_networks() {
+        use glsx_network::Signal;
+        let mut state = 0xabcd_ef01_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..5 {
+            let mut aig = Aig::new();
+            let mut signals: Vec<Signal> = (0..6).map(|_| aig.create_pi()).collect();
+            for _ in 0..40 {
+                let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                signals.push(aig.create_and(a, b));
+            }
+            for s in signals.iter().rev().take(3) {
+                aig.create_po(*s);
+            }
+            let reference = aig.clone();
+            rewrite(&mut aig, &RewriteParams::default());
+            assert!(equivalent_by_simulation(&reference, &aig));
+        }
+    }
+
+    #[test]
+    fn rewriting_works_for_migs_and_xags() {
+        fn build<N: Network + GateBuilder>() -> N {
+            let mut ntk = N::new();
+            let a = ntk.create_pi();
+            let b = ntk.create_pi();
+            let c = ntk.create_pi();
+            let t1 = ntk.create_and(a, b);
+            let t2 = ntk.create_and(a, c);
+            let t3 = ntk.create_or(t1, t2); // a & (b | c)
+            let t4 = ntk.create_and(t3, a); // still a & (b | c)
+            ntk.create_po(t4);
+            ntk
+        }
+        let mut mig: Mig = build();
+        let mig_ref = mig.clone();
+        rewrite(&mut mig, &RewriteParams::default());
+        assert!(equivalent_by_simulation(&mig_ref, &mig));
+        assert!(mig.num_gates() <= mig_ref.num_gates());
+
+        let mut xag: Xag = build();
+        let xag_ref = xag.clone();
+        rewrite(&mut xag, &RewriteParams::default());
+        assert!(equivalent_by_simulation(&xag_ref, &xag));
+        assert!(xag.num_gates() <= xag_ref.num_gates());
+    }
+
+    #[test]
+    fn zero_gain_rewriting_does_not_increase_size() {
+        let mut aig = wasteful_projection_aig();
+        let reference = aig.clone();
+        let params = RewriteParams {
+            allow_zero_gain: true,
+            ..RewriteParams::default()
+        };
+        let before = aig.num_gates();
+        rewrite(&mut aig, &params);
+        assert!(aig.num_gates() <= before);
+        assert!(equivalent_by_simulation(&reference, &aig));
+    }
+}

@@ -1,0 +1,225 @@
+//! # glsx-flow
+//!
+//! The generic resynthesis flow of the paper: a sequence of balancing,
+//! resubstitution, rewriting and refactoring passes modelled after the
+//! ABC `compress2rs` area-optimisation script, formulated entirely through
+//! the network interface API so that the same script optimises AIGs, XAGs,
+//! MIGs and XMGs.
+//!
+//! The crate also provides a small flow-script language
+//! ([`FlowScript::parse`], accepting the `bz; rs -c 6; rw; …` syntax used
+//! in the paper), a hand-specialised AIG-only flow
+//! ([`specialized::specialized_aig_compress2rs`]) serving as the Table-1
+//! baseline, and a [`portfolio_best_luts`] runner that optimises a
+//! benchmark with all representations and keeps the best result.
+//!
+//! # Example
+//!
+//! ```
+//! use glsx_benchmarks::arithmetic::adder;
+//! use glsx_flow::{compress2rs, FlowOptions};
+//! use glsx_network::{Aig, Network};
+//!
+//! let mut aig: Aig = adder(4);
+//! let stats = compress2rs(&mut aig, &FlowOptions::default());
+//! assert!(stats.final_size <= stats.initial_size);
+//! ```
+
+mod portfolio;
+mod script;
+pub mod specialized;
+
+pub use portfolio::{portfolio_best_luts, PortfolioResult};
+pub use script::{FlowScript, FlowStep, ParseFlowScriptError};
+
+use glsx_core::balancing::{balance, BalanceParams};
+use glsx_core::refactoring::{refactor_with, RefactorParams};
+use glsx_core::resubstitution::{resubstitute, ResubNetwork, ResubParams};
+use glsx_core::rewriting::{rewrite_with, RewriteParams};
+use glsx_network::{cleanup_dangling, GateBuilder, Network};
+use glsx_synth::{NpnDatabase, SopResynthesis};
+use std::time::Instant;
+
+/// Options of the generic resynthesis flow.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowOptions {
+    /// Maximum cut size used by rewriting.
+    pub rewrite_cut_size: usize,
+    /// Maximum number of leaves used by refactoring.
+    pub refactor_leaves: usize,
+    /// Upper bound on resubstitution divisors.
+    pub max_divisors: usize,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            rewrite_cut_size: 4,
+            refactor_leaves: 10,
+            max_divisors: 50,
+        }
+    }
+}
+
+/// Statistics of a flow run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FlowStats {
+    /// Gate count before the flow.
+    pub initial_size: usize,
+    /// Gate count after the flow.
+    pub final_size: usize,
+    /// Depth before the flow.
+    pub initial_depth: u32,
+    /// Depth after the flow.
+    pub final_depth: u32,
+    /// Wall-clock runtime of the flow in seconds.
+    pub runtime_seconds: f64,
+    /// Total number of committed substitutions over all passes.
+    pub substitutions: usize,
+}
+
+/// Runs one step of the flow script on a network and returns the number of
+/// committed substitutions (rebuild operations for balancing).
+pub fn run_step<N>(ntk: &mut N, step: &FlowStep, options: &FlowOptions) -> usize
+where
+    N: Network + GateBuilder + ResubNetwork,
+{
+    match step {
+        FlowStep::Balance => {
+            let stats = balance(ntk, &BalanceParams::default());
+            stats.rebuilt
+        }
+        FlowStep::Rewrite { zero_gain } => {
+            let mut database = NpnDatabase::new();
+            let stats = rewrite_with(
+                ntk,
+                &mut database,
+                &RewriteParams {
+                    cut_size: options.rewrite_cut_size,
+                    allow_zero_gain: *zero_gain,
+                    ..RewriteParams::default()
+                },
+            );
+            stats.substitutions
+        }
+        FlowStep::Refactor { zero_gain } => {
+            let stats = refactor_with(
+                ntk,
+                &mut SopResynthesis,
+                &RefactorParams {
+                    max_leaves: options.refactor_leaves,
+                    allow_zero_gain: *zero_gain,
+                    ..RefactorParams::default()
+                },
+            );
+            stats.substitutions
+        }
+        FlowStep::Resubstitute { cut_size, depth } => {
+            let stats = resubstitute(
+                ntk,
+                &ResubParams {
+                    max_leaves: (*cut_size).min(12),
+                    max_inserts: *depth,
+                    max_divisors: options.max_divisors,
+                    allow_zero_gain: false,
+                },
+            );
+            stats.substitutions
+        }
+    }
+}
+
+/// Runs a complete flow script on a network and returns statistics.  The
+/// network is compacted (dangling logic removed) at the end.
+pub fn run_script<N>(ntk: &mut N, script: &FlowScript, options: &FlowOptions) -> FlowStats
+where
+    N: Network + GateBuilder + ResubNetwork,
+{
+    let start = Instant::now();
+    let mut stats = FlowStats {
+        initial_size: ntk.num_gates(),
+        initial_depth: glsx_network::views::network_depth(ntk),
+        ..FlowStats::default()
+    };
+    for step in script.steps() {
+        stats.substitutions += run_step(ntk, step, options);
+    }
+    *ntk = cleanup_dangling(ntk);
+    stats.final_size = ntk.num_gates();
+    stats.final_depth = glsx_network::views::network_depth(ntk);
+    stats.runtime_seconds = start.elapsed().as_secs_f64();
+    stats
+}
+
+/// The paper's generic area-optimisation flow, modelled after ABC's
+/// `compress2rs`:
+///
+/// ```text
+/// bz; rs -c 6; rw; rs -c 6 -d 2; rf; rs -c 8; bz; rs -c 8 -d 2; rw;
+/// rs -c 10; rwz; rs -c 10 -d 2; bz; rs -c 12; rfz; rs -c 12 -d 2; rwz; bz
+/// ```
+pub fn compress2rs_script() -> FlowScript {
+    FlowScript::parse(
+        "bz; rs -c 6; rw; rs -c 6 -d 2; rf; rs -c 8; bz; rs -c 8 -d 2; rw; \
+         rs -c 10; rwz; rs -c 10 -d 2; bz; rs -c 12; rfz; rs -c 12 -d 2; rwz; bz",
+    )
+    .expect("the built-in script is well-formed")
+}
+
+/// Runs the `compress2rs`-style generic flow on a network.
+pub fn compress2rs<N>(ntk: &mut N, options: &FlowOptions) -> FlowStats
+where
+    N: Network + GateBuilder + ResubNetwork,
+{
+    run_script(ntk, &compress2rs_script(), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_benchmarks::arithmetic::{adder, multiplier};
+    use glsx_benchmarks::control::random_control;
+    use glsx_network::simulation::{equivalent_by_random_simulation, equivalent_by_simulation};
+    use glsx_network::{convert_network, Aig, Mig, Xag};
+
+    #[test]
+    fn compress2rs_shrinks_an_adder_in_every_representation() {
+        let aig: Aig = adder(4);
+        let mut opt_aig = aig.clone();
+        let stats = compress2rs(&mut opt_aig, &FlowOptions::default());
+        assert!(stats.final_size <= stats.initial_size);
+        assert!(equivalent_by_simulation(&aig, &opt_aig));
+
+        let mig: Mig = convert_network(&aig);
+        let mut opt_mig = mig.clone();
+        let stats = compress2rs(&mut opt_mig, &FlowOptions::default());
+        assert!(stats.final_size <= stats.initial_size);
+        assert!(equivalent_by_simulation(&aig, &opt_mig));
+
+        let xag: Xag = convert_network(&aig);
+        let mut opt_xag = xag.clone();
+        let stats = compress2rs(&mut opt_xag, &FlowOptions::default());
+        assert!(stats.final_size <= stats.initial_size);
+        assert!(equivalent_by_simulation(&aig, &opt_xag));
+    }
+
+    #[test]
+    fn flow_preserves_function_of_control_logic() {
+        let aig: Aig = random_control(12, 120, 10, 99);
+        let mut optimised = aig.clone();
+        let stats = compress2rs(&mut optimised, &FlowOptions::default());
+        assert!(stats.final_size <= stats.initial_size);
+        assert!(equivalent_by_random_simulation(&aig, &optimised, 16, 3));
+    }
+
+    #[test]
+    fn single_steps_can_be_run_in_isolation() {
+        let mut aig: Aig = multiplier(3);
+        let before = aig.num_gates();
+        let script = FlowScript::parse("rw; rs -c 8; bz").unwrap();
+        let stats = run_script(&mut aig, &script, &FlowOptions::default());
+        assert_eq!(stats.initial_size, before);
+        assert_eq!(stats.final_size, aig.num_gates());
+        assert!(stats.final_size <= before);
+    }
+}

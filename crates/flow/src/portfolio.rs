@@ -1,0 +1,68 @@
+//! The portfolio approach suggested in the paper's conclusion: run the
+//! same generic flow with every representation and keep the best result
+//! after LUT mapping.
+
+use crate::{compress2rs, FlowOptions};
+use glsx_core::lut_mapping::{lut_map_stats, LutMapParams};
+use glsx_network::{convert_network, Aig, Mig, Xag};
+
+/// Result of a portfolio run for one benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortfolioResult {
+    /// Name of the winning representation (`"AIG"`, `"MIG"` or `"XAG"`).
+    pub winner: &'static str,
+    /// Number of k-LUTs of the winning result.
+    pub best_luts: usize,
+    /// LUT counts per representation, in the order AIG, MIG, XAG.
+    pub luts_per_representation: [usize; 3],
+}
+
+/// Optimises `aig` with the generic flow instantiated for AIGs, MIGs and
+/// XAGs, maps every result into `lut_size`-input LUTs and returns the best.
+pub fn portfolio_best_luts(
+    aig: &Aig,
+    options: &FlowOptions,
+    lut_size: usize,
+) -> PortfolioResult {
+    let map_params = LutMapParams::with_lut_size(lut_size);
+
+    let mut as_aig = aig.clone();
+    compress2rs(&mut as_aig, options);
+    let aig_luts = lut_map_stats(&as_aig, &map_params).num_luts;
+
+    let mut as_mig: Mig = convert_network(aig);
+    compress2rs(&mut as_mig, options);
+    let mig_luts = lut_map_stats(&as_mig, &map_params).num_luts;
+
+    let mut as_xag: Xag = convert_network(aig);
+    compress2rs(&mut as_xag, options);
+    let xag_luts = lut_map_stats(&as_xag, &map_params).num_luts;
+
+    let results = [("AIG", aig_luts), ("MIG", mig_luts), ("XAG", xag_luts)];
+    let (winner, best_luts) = results
+        .iter()
+        .copied()
+        .min_by_key(|&(_, luts)| luts)
+        .expect("three candidates");
+    PortfolioResult {
+        winner,
+        best_luts,
+        luts_per_representation: [aig_luts, mig_luts, xag_luts],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_benchmarks::arithmetic::adder;
+
+    #[test]
+    fn portfolio_picks_the_minimum() {
+        let aig: Aig = adder(4);
+        let result = portfolio_best_luts(&aig, &FlowOptions::default(), 6);
+        let expected_best = *result.luts_per_representation.iter().min().unwrap();
+        assert_eq!(result.best_luts, expected_best);
+        assert!(["AIG", "MIG", "XAG"].contains(&result.winner));
+        assert!(result.best_luts > 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! The flow-script mini language (`bz; rs -c 6; rw; rfz; …`).
+
+use std::error::Error;
+use std::fmt;
+
+/// A single optimisation step of a flow script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowStep {
+    /// Tree balancing (`b`/`bz`).
+    Balance,
+    /// DAG-aware rewriting (`rw`, or `rwz` for zero-gain).
+    Rewrite {
+        /// Accept zero-gain replacements.
+        zero_gain: bool,
+    },
+    /// Refactoring (`rf`, or `rfz` for zero-gain).
+    Refactor {
+        /// Accept zero-gain replacements.
+        zero_gain: bool,
+    },
+    /// Boolean resubstitution (`rs -c <cut> [-d <depth>]`).
+    Resubstitute {
+        /// Maximum cut size (`-c`).
+        cut_size: usize,
+        /// Maximum number of inserted gates (`-d`, default 1).
+        depth: usize,
+    },
+}
+
+/// Error returned when a flow script cannot be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseFlowScriptError {
+    message: String,
+}
+
+impl fmt::Display for ParseFlowScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid flow script: {}", self.message)
+    }
+}
+
+impl Error for ParseFlowScriptError {}
+
+/// A parsed flow script: an ordered list of [`FlowStep`]s.
+///
+/// # Example
+///
+/// ```
+/// use glsx_flow::{FlowScript, FlowStep};
+///
+/// let script = FlowScript::parse("bz; rs -c 6; rwz")?;
+/// assert_eq!(script.steps().len(), 3);
+/// assert_eq!(script.steps()[1], FlowStep::Resubstitute { cut_size: 6, depth: 1 });
+/// # Ok::<(), glsx_flow::ParseFlowScriptError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FlowScript {
+    steps: Vec<FlowStep>,
+}
+
+impl FlowScript {
+    /// Creates a script from explicit steps.
+    pub fn from_steps(steps: Vec<FlowStep>) -> Self {
+        Self { steps }
+    }
+
+    /// Returns the steps of the script.
+    pub fn steps(&self) -> &[FlowStep] {
+        &self.steps
+    }
+
+    /// Parses a script in the paper's notation: commands separated by `;`,
+    /// where `b`/`bz` is balancing, `rw`/`rwz` rewriting, `rf`/`rfz`
+    /// refactoring, and `rs -c <n> [-d <k>]` resubstitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown commands or malformed options.
+    pub fn parse(text: &str) -> Result<Self, ParseFlowScriptError> {
+        let mut steps = Vec::new();
+        for command in text.split(';') {
+            let command = command.trim();
+            if command.is_empty() {
+                continue;
+            }
+            let mut tokens = command.split_whitespace();
+            let head = tokens.next().expect("non-empty command");
+            let step = match head {
+                "b" | "bz" => FlowStep::Balance,
+                "rw" => FlowStep::Rewrite { zero_gain: false },
+                "rwz" => FlowStep::Rewrite { zero_gain: true },
+                "rf" => FlowStep::Refactor { zero_gain: false },
+                "rfz" => FlowStep::Refactor { zero_gain: true },
+                "rs" => {
+                    let mut cut_size = 8usize;
+                    let mut depth = 1usize;
+                    let rest: Vec<&str> = tokens.by_ref().collect();
+                    let mut i = 0;
+                    while i < rest.len() {
+                        match rest[i] {
+                            "-c" | "-d" => {
+                                let value = rest.get(i + 1).ok_or_else(|| ParseFlowScriptError {
+                                    message: format!("missing value after {} in `{command}`", rest[i]),
+                                })?;
+                                let parsed: usize =
+                                    value.parse().map_err(|_| ParseFlowScriptError {
+                                        message: format!("invalid number `{value}` in `{command}`"),
+                                    })?;
+                                if rest[i] == "-c" {
+                                    cut_size = parsed;
+                                } else {
+                                    depth = parsed;
+                                }
+                                i += 2;
+                            }
+                            other => {
+                                return Err(ParseFlowScriptError {
+                                    message: format!("unknown option `{other}` in `{command}`"),
+                                })
+                            }
+                        }
+                    }
+                    FlowStep::Resubstitute { cut_size, depth }
+                }
+                other => {
+                    return Err(ParseFlowScriptError {
+                        message: format!("unknown command `{other}`"),
+                    })
+                }
+            };
+            if head != "rs" && tokens.next().is_some() {
+                return Err(ParseFlowScriptError {
+                    message: format!("unexpected arguments in `{command}`"),
+                });
+            }
+            steps.push(step);
+        }
+        Ok(Self { steps })
+    }
+}
+
+impl fmt::Display for FlowScript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<String> = self
+            .steps
+            .iter()
+            .map(|step| match step {
+                FlowStep::Balance => "bz".to_string(),
+                FlowStep::Rewrite { zero_gain: false } => "rw".to_string(),
+                FlowStep::Rewrite { zero_gain: true } => "rwz".to_string(),
+                FlowStep::Refactor { zero_gain: false } => "rf".to_string(),
+                FlowStep::Refactor { zero_gain: true } => "rfz".to_string(),
+                FlowStep::Resubstitute { cut_size, depth } => {
+                    if *depth == 1 {
+                        format!("rs -c {cut_size}")
+                    } else {
+                        format!("rs -c {cut_size} -d {depth}")
+                    }
+                }
+            })
+            .collect();
+        write!(f, "{}", rendered.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_script() {
+        let script = FlowScript::parse(
+            "bz; rs -c 6; rw; rs -c 6 -d 2; rf; rs -c 8; bz; rs -c 8 -d 2; rw; \
+             rs -c 10; rwz; rs -c 10 -d 2; bz; rs -c 12; rfz; rs -c 12 -d 2; rwz; bz",
+        )
+        .unwrap();
+        assert_eq!(script.steps().len(), 18);
+        assert_eq!(script.steps()[0], FlowStep::Balance);
+        assert_eq!(script.steps()[1], FlowStep::Resubstitute { cut_size: 6, depth: 1 });
+        assert_eq!(script.steps()[3], FlowStep::Resubstitute { cut_size: 6, depth: 2 });
+        assert_eq!(script.steps()[10], FlowStep::Rewrite { zero_gain: true });
+        assert_eq!(script.steps()[14], FlowStep::Refactor { zero_gain: true });
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        let text = "bz; rs -c 6; rw; rs -c 6 -d 2; rfz";
+        let script = FlowScript::parse(text).unwrap();
+        assert_eq!(script.to_string(), text);
+        assert_eq!(FlowScript::parse(&script.to_string()).unwrap(), script);
+    }
+
+    #[test]
+    fn rejects_malformed_scripts() {
+        assert!(FlowScript::parse("frobnicate").is_err());
+        assert!(FlowScript::parse("rs -c").is_err());
+        assert!(FlowScript::parse("rs -c x").is_err());
+        assert!(FlowScript::parse("rs --cut 6").is_err());
+        assert!(FlowScript::parse("rw extra").is_err());
+    }
+
+    #[test]
+    fn empty_script_is_valid() {
+        assert!(FlowScript::parse("").unwrap().steps().is_empty());
+        assert!(FlowScript::parse(" ; ; ").unwrap().steps().is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! # glsx-io
+//!
+//! Interchange formats for the logic networks of this workspace:
+//!
+//! * ASCII AIGER ([`write_aiger`], [`read_aiger`]) for And-inverter graphs
+//!   (the format in which the EPFL benchmark suite is distributed),
+//! * BLIF ([`write_blif`]) for any network (gates are emitted as
+//!   truth-table covers), the usual hand-off format towards technology
+//!   mapping and academic place-and-route tools,
+//! * structural Verilog ([`write_verilog`]) for quick inspection and
+//!   downstream synthesis tools.
+//!
+//! # Example
+//!
+//! ```
+//! use glsx_io::{read_aiger, write_aiger};
+//! use glsx_network::{Aig, GateBuilder, Network};
+//! use glsx_network::simulation::equivalent_by_simulation;
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.create_pi();
+//! let b = aig.create_pi();
+//! let f = aig.create_and(a, !b);
+//! aig.create_po(!f);
+//! let text = write_aiger(&aig);
+//! let back = read_aiger(&text)?;
+//! assert!(equivalent_by_simulation(&aig, &back));
+//! # Ok::<(), glsx_io::ParseAigerError>(())
+//! ```
+
+use glsx_network::{Aig, GateBuilder, GateKind, Network, NodeId, Signal};
+use glsx_truth::isop;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing an AIGER file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAigerError {
+    message: String,
+}
+
+impl ParseAigerError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AIGER input: {}", self.message)
+    }
+}
+
+impl Error for ParseAigerError {}
+
+/// Serialises an AIG in the ASCII AIGER format (`aag` header).
+///
+/// Node indices are re-numbered densely: inputs first, then gates in
+/// topological order, matching the format's requirements.
+pub fn write_aiger(aig: &Aig) -> String {
+    // dense literal assignment
+    let mut literal: HashMap<NodeId, u32> = HashMap::new();
+    literal.insert(0, 0);
+    let mut next_index = 1u32;
+    for pi in aig.pi_nodes() {
+        literal.insert(pi, 2 * next_index);
+        next_index += 1;
+    }
+    let gates = aig.gate_nodes();
+    for &gate in &gates {
+        literal.insert(gate, 2 * next_index);
+        next_index += 1;
+    }
+    let lit_of = |literal: &HashMap<NodeId, u32>, s: Signal| -> u32 {
+        literal[&s.node()] + s.is_complemented() as u32
+    };
+    let max_index = next_index - 1;
+    let mut out = format!(
+        "aag {} {} 0 {} {}\n",
+        max_index,
+        aig.num_pis(),
+        aig.num_pos(),
+        gates.len()
+    );
+    for pi in aig.pi_nodes() {
+        out.push_str(&format!("{}\n", literal[&pi]));
+    }
+    for po in aig.po_signals() {
+        out.push_str(&format!("{}\n", lit_of(&literal, po)));
+    }
+    for &gate in &gates {
+        let fanins = aig.fanins(gate);
+        out.push_str(&format!(
+            "{} {} {}\n",
+            literal[&gate],
+            lit_of(&literal, fanins[0]),
+            lit_of(&literal, fanins[1])
+        ));
+    }
+    out
+}
+
+/// Parses an ASCII AIGER (`aag`) file into an [`Aig`].
+///
+/// Latches are not supported (the library handles combinational logic
+/// only); symbol and comment sections are ignored.
+///
+/// # Errors
+///
+/// Returns an error on malformed headers, out-of-range literals or latch
+/// declarations.
+pub fn read_aiger(text: &str) -> Result<Aig, ParseAigerError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| ParseAigerError::new("empty input"))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 6 || fields[0] != "aag" {
+        return Err(ParseAigerError::new("expected an `aag` header"));
+    }
+    let parse = |s: &str| -> Result<usize, ParseAigerError> {
+        s.parse().map_err(|_| ParseAigerError::new(format!("invalid number `{s}`")))
+    };
+    let max_index = parse(fields[1])?;
+    let num_inputs = parse(fields[2])?;
+    let num_latches = parse(fields[3])?;
+    let num_outputs = parse(fields[4])?;
+    let num_ands = parse(fields[5])?;
+    if num_latches != 0 {
+        return Err(ParseAigerError::new("latches are not supported"));
+    }
+
+    let mut aig = Aig::new();
+    let mut signals: Vec<Option<Signal>> = vec![None; max_index + 1];
+    signals[0] = Some(aig.get_constant(false));
+    let mut input_literals = Vec::with_capacity(num_inputs);
+    for _ in 0..num_inputs {
+        let line = lines.next().ok_or_else(|| ParseAigerError::new("missing input line"))?;
+        let lit = parse(line.trim())?;
+        if lit % 2 != 0 || lit / 2 > max_index {
+            return Err(ParseAigerError::new(format!("invalid input literal {lit}")));
+        }
+        signals[lit / 2] = Some(aig.create_pi());
+        input_literals.push(lit);
+    }
+    let mut output_literals = Vec::with_capacity(num_outputs);
+    for _ in 0..num_outputs {
+        let line = lines.next().ok_or_else(|| ParseAigerError::new("missing output line"))?;
+        output_literals.push(parse(line.trim())?);
+    }
+    let mut and_definitions = Vec::with_capacity(num_ands);
+    for _ in 0..num_ands {
+        let line = lines.next().ok_or_else(|| ParseAigerError::new("missing AND line"))?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(ParseAigerError::new(format!("malformed AND line `{line}`")));
+        }
+        and_definitions.push((parse(parts[0])?, parse(parts[1])?, parse(parts[2])?));
+    }
+    // ANDs may be listed in any topological order in which fanins precede
+    // definitions; resolve iteratively
+    let mut remaining = and_definitions;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|&(lhs, rhs0, rhs1)| {
+            let resolve = |lit: usize, signals: &[Option<Signal>]| -> Option<Signal> {
+                signals
+                    .get(lit / 2)
+                    .copied()
+                    .flatten()
+                    .map(|s| s.complement_if(lit % 2 == 1))
+            };
+            match (resolve(rhs0, &signals), resolve(rhs1, &signals)) {
+                (Some(a), Some(b)) => {
+                    let gate = aig.create_and(a, b);
+                    signals[lhs / 2] = Some(gate.complement_if(lhs % 2 == 1));
+                    false
+                }
+                _ => true,
+            }
+        });
+        if remaining.len() == before {
+            return Err(ParseAigerError::new("cyclic or undefined AND definitions"));
+        }
+    }
+    for lit in output_literals {
+        let signal = signals
+            .get(lit / 2)
+            .copied()
+            .flatten()
+            .ok_or_else(|| ParseAigerError::new(format!("undefined output literal {lit}")))?;
+        aig.create_po(signal.complement_if(lit % 2 == 1));
+    }
+    Ok(aig)
+}
+
+/// Serialises any network in BLIF: every gate becomes a `.names` block
+/// whose cover is derived from the gate's local function.
+pub fn write_blif<N: Network>(ntk: &N, model_name: &str) -> String {
+    let mut out = format!(".model {model_name}\n");
+    let name = |n: NodeId| format!("n{n}");
+    out.push_str(".inputs");
+    for pi in ntk.pi_nodes() {
+        out.push_str(&format!(" {}", name(pi)));
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for i in 0..ntk.num_pos() {
+        out.push_str(&format!(" po{i}"));
+    }
+    out.push('\n');
+    // constant zero driver (only if referenced)
+    out.push_str(&format!(".names {}\n", name(0)));
+    for node in ntk.gate_nodes() {
+        let fanins = ntk.fanins(node);
+        out.push_str(".names");
+        for f in &fanins {
+            out.push_str(&format!(" {}", name(f.node())));
+        }
+        out.push_str(&format!(" {}\n", name(node)));
+        // local function with edge complementations folded in
+        let mut function = ntk.node_function(node);
+        for (i, f) in fanins.iter().enumerate() {
+            if f.is_complemented() {
+                function = function.flip(i);
+            }
+        }
+        for cube in isop(&function).cubes() {
+            let mut row = String::new();
+            for i in 0..fanins.len() {
+                row.push(if !cube.has_literal(i) {
+                    '-'
+                } else if cube.polarity(i) {
+                    '1'
+                } else {
+                    '0'
+                });
+            }
+            out.push_str(&format!("{row} 1\n"));
+        }
+    }
+    for (i, po) in ntk.po_signals().iter().enumerate() {
+        out.push_str(&format!(".names {} po{i}\n", name(po.node())));
+        out.push_str(if po.is_complemented() { "0 1\n" } else { "1 1\n" });
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Serialises any network as structural Verilog using `assign` statements.
+pub fn write_verilog<N: Network>(ntk: &N, module_name: &str) -> String {
+    let name = |n: NodeId| format!("n{n}");
+    let expr = |s: Signal| {
+        if s.is_complemented() {
+            format!("~{}", name(s.node()))
+        } else {
+            name(s.node())
+        }
+    };
+    let mut out = format!("module {module_name}(");
+    let ports: Vec<String> = ntk
+        .pi_nodes()
+        .iter()
+        .map(|&pi| name(pi))
+        .chain((0..ntk.num_pos()).map(|i| format!("po{i}")))
+        .collect();
+    out.push_str(&ports.join(", "));
+    out.push_str(");\n");
+    for pi in ntk.pi_nodes() {
+        out.push_str(&format!("  input {};\n", name(pi)));
+    }
+    for i in 0..ntk.num_pos() {
+        out.push_str(&format!("  output po{i};\n"));
+    }
+    out.push_str(&format!("  wire {} = 1'b0;\n", name(0)));
+    for node in ntk.gate_nodes() {
+        let fanins = ntk.fanins(node);
+        let rhs = match ntk.gate_kind(node) {
+            GateKind::And => format!("{} & {}", expr(fanins[0]), expr(fanins[1])),
+            GateKind::Xor => format!("{} ^ {}", expr(fanins[0]), expr(fanins[1])),
+            GateKind::Xor3 => format!(
+                "{} ^ {} ^ {}",
+                expr(fanins[0]),
+                expr(fanins[1]),
+                expr(fanins[2])
+            ),
+            GateKind::Maj => {
+                let (a, b, c) = (expr(fanins[0]), expr(fanins[1]), expr(fanins[2]));
+                format!("({a} & {b}) | ({a} & {c}) | ({b} & {c})")
+            }
+            GateKind::Lut | GateKind::Constant | GateKind::Input => {
+                // LUTs are expressed as a sum of products of their cover
+                let mut function = ntk.node_function(node);
+                for (i, f) in fanins.iter().enumerate() {
+                    if f.is_complemented() {
+                        function = function.flip(i);
+                    }
+                }
+                let cubes = isop(&function);
+                if cubes.is_empty() {
+                    "1'b0".to_string()
+                } else {
+                    cubes
+                        .cubes()
+                        .iter()
+                        .map(|cube| {
+                            let literals: Vec<String> = (0..fanins.len())
+                                .filter(|&i| cube.has_literal(i))
+                                .map(|i| {
+                                    if cube.polarity(i) {
+                                        name(fanins[i].node())
+                                    } else {
+                                        format!("~{}", name(fanins[i].node()))
+                                    }
+                                })
+                                .collect();
+                            if literals.is_empty() {
+                                "1'b1".to_string()
+                            } else {
+                                format!("({})", literals.join(" & "))
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" | ")
+                }
+            }
+        };
+        out.push_str(&format!("  wire {} = {};\n", name(node), rhs));
+    }
+    for (i, po) in ntk.po_signals().iter().enumerate() {
+        out.push_str(&format!("  assign po{i} = {};\n", expr(*po)));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_benchmarks::arithmetic::adder;
+    use glsx_core::lut_mapping::{lut_map, LutMapParams};
+    use glsx_network::simulation::equivalent_by_simulation;
+
+    #[test]
+    fn aiger_roundtrip_preserves_function() {
+        let aig: Aig = adder(4);
+        let text = write_aiger(&aig);
+        assert!(text.starts_with("aag "));
+        let back = read_aiger(&text).unwrap();
+        assert_eq!(back.num_pis(), aig.num_pis());
+        assert_eq!(back.num_pos(), aig.num_pos());
+        assert!(equivalent_by_simulation(&aig, &back));
+    }
+
+    #[test]
+    fn aiger_parser_rejects_malformed_input() {
+        assert!(read_aiger("").is_err());
+        assert!(read_aiger("aig 1 1 0 1 0").is_err());
+        assert!(read_aiger("aag 1 0 1 0 0").is_err()); // latches unsupported
+        assert!(read_aiger("aag x 0 0 0 0").is_err());
+    }
+
+    #[test]
+    fn blif_and_verilog_writers_emit_all_gates() {
+        let aig: Aig = adder(2);
+        let blif = write_blif(&aig, "adder2");
+        assert!(blif.contains(".model adder2"));
+        assert_eq!(blif.matches(".names").count() - 1, aig.num_gates() + aig.num_pos());
+        let verilog = write_verilog(&aig, "adder2");
+        assert!(verilog.contains("module adder2"));
+        assert_eq!(verilog.matches("wire n").count(), aig.num_gates() + 1);
+
+        // LUT networks are emitted as covers
+        let klut = lut_map(&aig, &LutMapParams::with_lut_size(4));
+        let blif_lut = write_blif(&klut, "adder2_lut");
+        assert!(blif_lut.contains(".names"));
+        let verilog_lut = write_verilog(&klut, "adder2_lut");
+        assert!(verilog_lut.contains("endmodule"));
+    }
+}

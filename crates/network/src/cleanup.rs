@@ -1,0 +1,213 @@
+//! Cleanup: rebuilding a network keeping only the logic reachable from the
+//! primary outputs.
+//!
+//! Optimisation passes leave dead nodes behind (marked but still stored).
+//! [`cleanup_dangling`] produces a fresh, compact network with the same
+//! function, re-applying structural hashing in the process.
+
+use crate::{GateBuilder, GateKind, Klut, Network, NodeId, Signal};
+use std::collections::HashMap;
+
+/// Rebuilds `ntk` keeping only the gates reachable from its primary
+/// outputs.  The result has the same primary inputs and outputs (in the
+/// same order) and the same function, but no dead or unreachable gates.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{cleanup_dangling, Aig, GateBuilder, Network};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.create_pi();
+/// let b = aig.create_pi();
+/// let keep = aig.create_and(a, b);
+/// let _dangling = aig.create_and(a, !b);
+/// aig.create_po(keep);
+/// assert_eq!(aig.num_gates(), 2);
+/// let clean = cleanup_dangling(&aig);
+/// assert_eq!(clean.num_gates(), 1);
+/// ```
+pub fn cleanup_dangling<N: Network + GateBuilder>(ntk: &N) -> N {
+    let mut result = N::new();
+    let mut map: HashMap<NodeId, Signal> = HashMap::with_capacity(ntk.size());
+    map.insert(0, result.get_constant(false));
+    for pi in ntk.pi_nodes() {
+        let new_pi = result.create_pi();
+        map.insert(pi, new_pi);
+    }
+    // mark reachable gates
+    let reachable = crate::views::reachable_from_outputs(ntk);
+    let reachable_set: std::collections::HashSet<NodeId> = reachable.into_iter().collect();
+    for node in ntk.gate_nodes() {
+        if !reachable_set.contains(&node) {
+            continue;
+        }
+        let fanins: Vec<Signal> = ntk
+            .fanins(node)
+            .iter()
+            .map(|f| map[&f.node()].complement_if(f.is_complemented()))
+            .collect();
+        let new_signal = result.create_gate(ntk.gate_kind(node), &fanins);
+        map.insert(node, new_signal);
+    }
+    for po in ntk.po_signals() {
+        let signal = map[&po.node()].complement_if(po.is_complemented());
+        result.create_po(signal);
+    }
+    result
+}
+
+/// Structurally converts a network from one representation into another:
+/// every gate is re-created through the target's [`GateBuilder`] interface
+/// (e.g. an AND becomes `maj(a, b, 0)` in an MIG), preserving the primary
+/// input/output interface and the function.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{convert_network, Aig, GateBuilder, Mig, Network};
+/// use glsx_network::simulation::equivalent_by_simulation;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.create_pi();
+/// let b = aig.create_pi();
+/// let f = aig.create_and(a, !b);
+/// aig.create_po(f);
+/// let mig: Mig = convert_network(&aig);
+/// assert!(equivalent_by_simulation(&aig, &mig));
+/// ```
+pub fn convert_network<A: Network, B: Network + GateBuilder>(src: &A) -> B {
+    let mut result = B::new();
+    let mut map: HashMap<NodeId, Signal> = HashMap::with_capacity(src.size());
+    map.insert(0, result.get_constant(false));
+    for pi in src.pi_nodes() {
+        let new_pi = result.create_pi();
+        map.insert(pi, new_pi);
+    }
+    let reachable: std::collections::HashSet<NodeId> =
+        crate::views::reachable_from_outputs(src).into_iter().collect();
+    for node in src.gate_nodes() {
+        if !reachable.contains(&node) {
+            continue;
+        }
+        let fanins: Vec<Signal> = src
+            .fanins(node)
+            .iter()
+            .map(|f| map[&f.node()].complement_if(f.is_complemented()))
+            .collect();
+        let new_signal = result.create_gate(src.gate_kind(node), &fanins);
+        map.insert(node, new_signal);
+    }
+    for po in src.po_signals() {
+        let signal = map[&po.node()].complement_if(po.is_complemented());
+        result.create_po(signal);
+    }
+    result
+}
+
+/// Cleanup specialised for k-LUT networks (LUT functions are copied
+/// verbatim rather than re-expressed through fixed-function gates).
+pub fn cleanup_dangling_klut(ntk: &Klut) -> Klut {
+    let mut result = Klut::new();
+    let mut map: HashMap<NodeId, Signal> = HashMap::with_capacity(ntk.size());
+    map.insert(0, result.get_constant(false));
+    for pi in ntk.pi_nodes() {
+        let new_pi = result.create_pi();
+        map.insert(pi, new_pi);
+    }
+    let reachable: std::collections::HashSet<NodeId> =
+        crate::views::reachable_from_outputs(ntk).into_iter().collect();
+    for node in ntk.gate_nodes() {
+        if !reachable.contains(&node) {
+            continue;
+        }
+        if ntk.gate_kind(node) != GateKind::Lut {
+            continue;
+        }
+        let mut function = ntk.node_function(node);
+        let mut fanins = Vec::new();
+        for (i, f) in ntk.fanins(node).iter().enumerate() {
+            let mapped = map[&f.node()].complement_if(f.is_complemented());
+            if mapped.is_complemented() {
+                function = function.flip(i);
+            }
+            fanins.push(mapped.regular());
+        }
+        let new_signal = result.create_lut(&fanins, function);
+        map.insert(node, new_signal);
+    }
+    for po in ntk.po_signals() {
+        let signal = map[&po.node()].complement_if(po.is_complemented());
+        result.create_po(signal);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::equivalent_by_simulation;
+    use crate::{Aig, Mig, Network};
+    use glsx_truth::TruthTable;
+
+    #[test]
+    fn cleanup_removes_unreachable_logic() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let keep = aig.create_and(a, b);
+        let keep2 = aig.create_and(keep, c);
+        let _dead1 = aig.create_and(a, !c);
+        aig.create_po(keep2);
+        assert_eq!(aig.num_gates(), 3);
+        let clean = cleanup_dangling(&aig);
+        assert_eq!(clean.num_gates(), 2);
+        assert_eq!(clean.num_pis(), 3);
+        assert_eq!(clean.num_pos(), 1);
+        assert!(equivalent_by_simulation(&aig, &clean));
+    }
+
+    #[test]
+    fn cleanup_preserves_function_for_migs() {
+        let mut mig = Mig::new();
+        let a = mig.create_pi();
+        let b = mig.create_pi();
+        let c = mig.create_pi();
+        let m = mig.create_maj(a, !b, c);
+        let n = mig.create_and(m, b);
+        mig.create_po(!n);
+        let clean = cleanup_dangling(&mig);
+        assert!(equivalent_by_simulation(&mig, &clean));
+        assert!(clean.num_gates() <= mig.num_gates());
+    }
+
+    #[test]
+    fn cleanup_klut_preserves_functions() {
+        let mut klut = Klut::new();
+        let a = klut.create_pi();
+        let b = klut.create_pi();
+        let c = klut.create_pi();
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let g = klut.create_lut(&[a, b, c], maj);
+        let unused = klut.create_lut(&[a, b], TruthTable::nth_var(2, 0) & TruthTable::nth_var(2, 1));
+        let _ = unused;
+        klut.create_po(g);
+        let clean = cleanup_dangling_klut(&klut);
+        assert_eq!(clean.num_gates(), 1);
+        assert!(equivalent_by_simulation(&klut, &clean));
+    }
+
+    #[test]
+    fn cleanup_preserves_output_complements() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let g = aig.create_and(a, b);
+        aig.create_po(!g);
+        aig.create_po(g);
+        let clean = cleanup_dangling(&aig);
+        assert!(equivalent_by_simulation(&aig, &clean));
+        assert_eq!(clean.num_pos(), 2);
+    }
+}

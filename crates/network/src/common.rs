@@ -1,0 +1,132 @@
+//! Macro generating the storage-backed part of the [`Network`] trait
+//! implementation shared by all concrete network types.
+
+/// Implements the read/modify part of [`crate::Network`] for a type that
+/// wraps a [`crate::storage::Storage`] in a field named `storage`.
+macro_rules! impl_network_common {
+    ($ty:ty, $name:literal) => {
+        impl crate::Network for $ty {
+            const NAME: &'static str = $name;
+
+            fn new() -> Self {
+                Self {
+                    storage: crate::storage::Storage::new(),
+                }
+            }
+
+            fn create_pi(&mut self) -> crate::Signal {
+                self.storage.create_pi()
+            }
+
+            fn create_po(&mut self, signal: crate::Signal) -> usize {
+                self.storage.create_po(signal)
+            }
+
+            fn size(&self) -> usize {
+                self.storage.nodes.len()
+            }
+
+            fn num_pis(&self) -> usize {
+                self.storage.pis.len()
+            }
+
+            fn num_pos(&self) -> usize {
+                self.storage.pos.len()
+            }
+
+            fn num_gates(&self) -> usize {
+                self.storage.num_gates()
+            }
+
+            fn is_constant(&self, node: crate::NodeId) -> bool {
+                self.storage.node(node).kind == crate::GateKind::Constant
+            }
+
+            fn is_pi(&self, node: crate::NodeId) -> bool {
+                self.storage.node(node).kind == crate::GateKind::Input
+            }
+
+            fn is_dead(&self, node: crate::NodeId) -> bool {
+                self.storage.node(node).dead
+            }
+
+            fn is_gate(&self, node: crate::NodeId) -> bool {
+                self.storage.is_gate(node)
+            }
+
+            fn gate_kind(&self, node: crate::NodeId) -> crate::GateKind {
+                self.storage.node(node).kind
+            }
+
+            fn fanins(&self, node: crate::NodeId) -> Vec<crate::Signal> {
+                self.storage.node(node).fanins.clone()
+            }
+
+            fn fanin_size(&self, node: crate::NodeId) -> usize {
+                self.storage.node(node).fanins.len()
+            }
+
+            fn fanout_size(&self, node: crate::NodeId) -> usize {
+                self.storage.fanout_size(node)
+            }
+
+            fn fanouts(&self, node: crate::NodeId) -> Vec<crate::NodeId> {
+                self.storage.node(node).fanouts.clone()
+            }
+
+            fn node_function(&self, node: crate::NodeId) -> glsx_truth::TruthTable {
+                let data = self.storage.node(node);
+                match data.kind {
+                    crate::GateKind::Lut => data
+                        .function
+                        .clone()
+                        .expect("LUT node stores its function"),
+                    crate::GateKind::Input => {
+                        panic!("primary inputs have no local function")
+                    }
+                    kind => kind.function().expect("fixed-function gate"),
+                }
+            }
+
+            fn pi_nodes(&self) -> Vec<crate::NodeId> {
+                self.storage.pis.clone()
+            }
+
+            fn po_signals(&self) -> Vec<crate::Signal> {
+                self.storage.pos.clone()
+            }
+
+            fn po_at(&self, index: usize) -> crate::Signal {
+                self.storage.pos[index]
+            }
+
+            fn gate_nodes(&self) -> Vec<crate::NodeId> {
+                self.storage.gate_nodes()
+            }
+
+            fn node_ids(&self) -> Vec<crate::NodeId> {
+                self.storage.node_ids()
+            }
+
+            fn substitute_node(&mut self, old: crate::NodeId, new: crate::Signal) {
+                self.storage.substitute(old, new);
+            }
+
+            fn replace_in_outputs(&mut self, old: crate::NodeId, new: crate::Signal) {
+                self.storage.replace_in_outputs(old, new);
+            }
+
+            fn take_out_node(&mut self, node: crate::NodeId) {
+                self.storage.take_out(node);
+            }
+        }
+
+        impl Default for $ty {
+            fn default() -> Self {
+                <Self as crate::Network>::new()
+            }
+        }
+    };
+}
+
+pub(crate) use impl_network_common;

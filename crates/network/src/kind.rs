@@ -1,0 +1,124 @@
+//! Gate kinds shared by all network implementations.
+
+use glsx_truth::TruthTable;
+use std::fmt;
+
+/// The primitive gate kinds that can appear in the network implementations
+/// provided by this crate.
+///
+/// Each network type restricts which kinds it may contain (e.g. an AIG only
+/// contains [`GateKind::And`] gates), but the generic algorithms can query
+/// the kind of any node uniformly through
+/// [`Network::gate_kind`](crate::Network::gate_kind).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum GateKind {
+    /// The constant-zero node.
+    Constant,
+    /// A primary input.
+    Input,
+    /// Two-input AND.
+    And,
+    /// Two-input XOR.
+    Xor,
+    /// Three-input majority.
+    Maj,
+    /// Three-input XOR.
+    Xor3,
+    /// A k-input look-up table with an explicit truth table.
+    Lut,
+}
+
+impl GateKind {
+    /// Returns the fanin arity of the gate kind, or `None` for kinds with
+    /// variable arity ([`GateKind::Lut`]) or no fanins.
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            GateKind::Constant | GateKind::Input => Some(0),
+            GateKind::And | GateKind::Xor => Some(2),
+            GateKind::Maj | GateKind::Xor3 => Some(3),
+            GateKind::Lut => None,
+        }
+    }
+
+    /// Returns `true` if the gate function is associative and commutative,
+    /// which is the requirement for generic tree balancing.
+    pub fn is_associative(self) -> bool {
+        matches!(self, GateKind::And | GateKind::Xor | GateKind::Xor3)
+    }
+
+    /// Returns `true` if the kind denotes an internal gate (not a constant
+    /// or primary input).
+    pub fn is_gate(self) -> bool {
+        !matches!(self, GateKind::Constant | GateKind::Input)
+    }
+
+    /// Returns the local truth table of the gate kind over its fanins, or
+    /// `None` for kinds whose function is not fixed (LUTs, inputs).
+    pub fn function(self) -> Option<TruthTable> {
+        match self {
+            GateKind::Constant => Some(TruthTable::zero(0)),
+            GateKind::And => Some(TruthTable::nth_var(2, 0) & TruthTable::nth_var(2, 1)),
+            GateKind::Xor => Some(TruthTable::nth_var(2, 0) ^ TruthTable::nth_var(2, 1)),
+            GateKind::Maj => {
+                let a = TruthTable::nth_var(3, 0);
+                let b = TruthTable::nth_var(3, 1);
+                let c = TruthTable::nth_var(3, 2);
+                Some(TruthTable::maj(&a, &b, &c))
+            }
+            GateKind::Xor3 => {
+                let a = TruthTable::nth_var(3, 0);
+                let b = TruthTable::nth_var(3, 1);
+                let c = TruthTable::nth_var(3, 2);
+                Some(&(&a ^ &b) ^ &c)
+            }
+            GateKind::Input | GateKind::Lut => None,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            GateKind::Constant => "const",
+            GateKind::Input => "pi",
+            GateKind::And => "and",
+            GateKind::Xor => "xor",
+            GateKind::Maj => "maj",
+            GateKind::Xor3 => "xor3",
+            GateKind::Lut => "lut",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_predicates() {
+        assert_eq!(GateKind::And.arity(), Some(2));
+        assert_eq!(GateKind::Maj.arity(), Some(3));
+        assert_eq!(GateKind::Lut.arity(), None);
+        assert!(GateKind::And.is_associative());
+        assert!(GateKind::Xor.is_associative());
+        assert!(!GateKind::Maj.is_associative());
+        assert!(GateKind::And.is_gate());
+        assert!(!GateKind::Input.is_gate());
+    }
+
+    #[test]
+    fn kind_functions() {
+        assert_eq!(GateKind::And.function().unwrap().to_hex(), "8");
+        assert_eq!(GateKind::Xor.function().unwrap().to_hex(), "6");
+        assert_eq!(GateKind::Maj.function().unwrap().to_hex(), "e8");
+        assert_eq!(GateKind::Xor3.function().unwrap().to_hex(), "96");
+        assert!(GateKind::Lut.function().is_none());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GateKind::Maj.to_string(), "maj");
+        assert_eq!(GateKind::Input.to_string(), "pi");
+    }
+}

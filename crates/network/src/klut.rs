@@ -1,0 +1,196 @@
+//! k-LUT networks (networks of arbitrary-fanin look-up tables).
+
+use crate::common::impl_network_common;
+use crate::storage::Storage;
+use crate::{GateBuilder, GateKind, Network, NodeId, Signal};
+use glsx_truth::TruthTable;
+
+/// A k-LUT network: every gate is a look-up table with an explicit truth
+/// table over its fanins.
+///
+/// k-LUT networks are the result of technology mapping for FPGAs and the
+/// common currency in which the paper compares the different logic
+/// representations (number of 6-LUTs after mapping).  Unlike the
+/// graph-based representations, LUT fanins are never complemented — any
+/// inversion is folded into the LUT function.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{Klut, Network};
+/// use glsx_truth::TruthTable;
+///
+/// let mut klut = Klut::new();
+/// let a = klut.create_pi();
+/// let b = klut.create_pi();
+/// let c = klut.create_pi();
+/// let maj = TruthTable::from_hex(3, "e8")?;
+/// let g = klut.create_lut(&[a, b, c], maj);
+/// klut.create_po(g);
+/// assert_eq!(klut.num_gates(), 1);
+/// # Ok::<(), glsx_truth::ParseTruthTableError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Klut {
+    pub(crate) storage: Storage,
+}
+
+impl_network_common!(Klut, "k-LUT");
+
+impl Klut {
+    /// Creates a LUT node computing `function` over `fanins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of fanins does not match the function's
+    /// variable count, or if any fanin signal is complemented (complement
+    /// the LUT function instead).
+    pub fn create_lut(&mut self, fanins: &[Signal], function: TruthTable) -> Signal {
+        assert_eq!(
+            fanins.len(),
+            function.num_vars(),
+            "LUT function arity must match the number of fanins"
+        );
+        assert!(
+            fanins.iter().all(|f| !f.is_complemented()),
+            "LUT fanins must not be complemented; fold inversions into the function"
+        );
+        if function.is_zero() {
+            return self.get_constant(false);
+        }
+        if function.is_one() {
+            return self.get_constant(true);
+        }
+        let node = self
+            .storage
+            .create_gate(GateKind::Lut, fanins.to_vec(), Some(function));
+        Signal::new(node, false)
+    }
+
+    /// Returns the stored LUT function of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a LUT gate.
+    pub fn lut_function(&self, node: NodeId) -> &TruthTable {
+        self.storage
+            .node(node)
+            .function
+            .as_ref()
+            .expect("node is a LUT gate")
+    }
+
+    /// Returns the maximum fanin count over all LUTs (the `k` of the
+    /// network).
+    pub fn max_fanin_size(&self) -> usize {
+        self.gate_nodes()
+            .iter()
+            .map(|&n| self.fanin_size(n))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl GateBuilder for Klut {
+    fn create_and(&mut self, a: Signal, b: Signal) -> Signal {
+        let mut tt = TruthTable::nth_var(2, 0) & TruthTable::nth_var(2, 1);
+        if a.is_complemented() {
+            tt = tt.flip(0);
+        }
+        if b.is_complemented() {
+            tt = tt.flip(1);
+        }
+        self.create_lut(&[a.regular(), b.regular()], tt)
+    }
+
+    fn create_xor(&mut self, a: Signal, b: Signal) -> Signal {
+        let mut tt = TruthTable::nth_var(2, 0) ^ TruthTable::nth_var(2, 1);
+        if a.is_complemented() {
+            tt = tt.flip(0);
+        }
+        if b.is_complemented() {
+            tt = tt.flip(1);
+        }
+        self.create_lut(&[a.regular(), b.regular()], tt)
+    }
+
+    fn create_maj(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        let x = TruthTable::nth_var(3, 0);
+        let y = TruthTable::nth_var(3, 1);
+        let z = TruthTable::nth_var(3, 2);
+        let mut tt = TruthTable::maj(&x, &y, &z);
+        for (i, s) in [a, b, c].iter().enumerate() {
+            if s.is_complemented() {
+                tt = tt.flip(i);
+            }
+        }
+        self.create_lut(&[a.regular(), b.regular(), c.regular()], tt)
+    }
+
+    fn create_gate(&mut self, kind: GateKind, fanins: &[Signal]) -> Signal {
+        match kind {
+            GateKind::And => self.create_and(fanins[0], fanins[1]),
+            GateKind::Xor => self.create_xor(fanins[0], fanins[1]),
+            GateKind::Maj => self.create_maj(fanins[0], fanins[1], fanins[2]),
+            GateKind::Xor3 => {
+                let t = self.create_xor(fanins[0], fanins[1]);
+                self.create_xor(t, fanins[2])
+            }
+            other => panic!("use create_lut to add gates of kind {other} to a k-LUT network"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_lut_and_query_function() {
+        let mut klut = Klut::new();
+        let a = klut.create_pi();
+        let b = klut.create_pi();
+        let c = klut.create_pi();
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let g = klut.create_lut(&[a, b, c], maj.clone());
+        klut.create_po(g);
+        assert_eq!(klut.num_gates(), 1);
+        assert_eq!(klut.lut_function(g.node()), &maj);
+        assert_eq!(klut.node_function(g.node()), maj);
+        assert_eq!(klut.gate_kind(g.node()), GateKind::Lut);
+        assert_eq!(klut.max_fanin_size(), 3);
+    }
+
+    #[test]
+    fn constant_functions_collapse_to_constants() {
+        let mut klut = Klut::new();
+        let a = klut.create_pi();
+        let b = klut.create_pi();
+        let zero = klut.create_lut(&[a, b], TruthTable::zero(2));
+        let one = klut.create_lut(&[a, b], TruthTable::one(2));
+        assert_eq!(zero, klut.get_constant(false));
+        assert_eq!(one, klut.get_constant(true));
+        assert_eq!(klut.num_gates(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn complemented_fanins_are_rejected() {
+        let mut klut = Klut::new();
+        let a = klut.create_pi();
+        let b = klut.create_pi();
+        let _ = klut.create_lut(&[!a, b], TruthTable::nth_var(2, 0));
+    }
+
+    #[test]
+    fn gate_builder_helpers_fold_complements() {
+        let mut klut = Klut::new();
+        let a = klut.create_pi();
+        let b = klut.create_pi();
+        let g = klut.create_and(!a, b);
+        assert!(!g.is_complemented());
+        assert_eq!(klut.lut_function(g.node()).to_hex(), "4"); // !x0 & x1
+        let x = klut.create_xor(a, !b);
+        assert_eq!(klut.lut_function(x.node()).to_hex(), "9"); // x0 xnor... flipped
+    }
+}

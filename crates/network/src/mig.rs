@@ -1,0 +1,185 @@
+//! Majority-inverter graphs (MIGs).
+
+use crate::common::impl_network_common;
+use crate::storage::Storage;
+use crate::{GateBuilder, GateKind, Network, Signal};
+
+/// A Majority-inverter graph: a homogeneous network of three-input majority
+/// gates with complemented edges.
+///
+/// AND and OR are expressed as majority gates with a constant input
+/// (`and(a, b) = maj(a, b, 0)`, `or(a, b) = maj(a, b, 1)`), so MIGs strictly
+/// generalise AIGs.  Their use is motivated by nano-emerging technologies
+/// whose primitive is a majority voter, and by depth-oriented optimisation
+/// of arithmetic circuits.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{GateBuilder, Mig, Network};
+///
+/// let mut mig = Mig::new();
+/// let a = mig.create_pi();
+/// let b = mig.create_pi();
+/// let c = mig.create_pi();
+/// let m = mig.create_maj(a, b, c);
+/// mig.create_po(m);
+/// assert_eq!(mig.num_gates(), 1);
+/// // AND is a majority gate with a constant-0 input
+/// let and = mig.create_and(a, b);
+/// assert_eq!(mig.num_gates(), 2);
+/// # let _ = and;
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mig {
+    pub(crate) storage: Storage,
+}
+
+impl_network_common!(Mig, "MIG");
+
+impl Mig {
+    /// Creates (or finds) a majority gate after MIG normalisation: the
+    /// fanins are sorted and, by self-duality, at most one fanin carries a
+    /// complement that could be moved to the output.
+    fn create_maj_normalized(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        // simplification rules
+        if a == b || a == c {
+            return a;
+        }
+        if b == c {
+            return b;
+        }
+        if a == !b {
+            return c;
+        }
+        if a == !c {
+            return b;
+        }
+        if b == !c {
+            return a;
+        }
+        let mut fanins = [a, b, c];
+        fanins.sort_unstable();
+        // self-duality: if two or more fanins are complemented, complement
+        // everything and remember to complement the output
+        let complemented = fanins.iter().filter(|s| s.is_complemented()).count();
+        let output_complement = complemented >= 2;
+        if output_complement {
+            for f in &mut fanins {
+                *f = !*f;
+            }
+            fanins.sort_unstable();
+        }
+        let node = self
+            .storage
+            .find_or_create_gate(GateKind::Maj, fanins.to_vec());
+        Signal::new(node, output_complement)
+    }
+}
+
+impl GateBuilder for Mig {
+    fn create_and(&mut self, a: Signal, b: Signal) -> Signal {
+        let zero = self.get_constant(false);
+        self.create_maj(a, b, zero)
+    }
+
+    fn create_or(&mut self, a: Signal, b: Signal) -> Signal {
+        let one = self.get_constant(true);
+        self.create_maj(a, b, one)
+    }
+
+    fn create_xor(&mut self, a: Signal, b: Signal) -> Signal {
+        // xor(a, b) = and(or(a, b), !and(a, b)) = maj(maj(a,b,1), !maj(a,b,0), 0)
+        let and = self.create_and(a, b);
+        let or = self.create_or(a, b);
+        self.create_and(or, !and)
+    }
+
+    fn create_maj(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        self.create_maj_normalized(a, b, c)
+    }
+
+    fn create_gate(&mut self, kind: GateKind, fanins: &[Signal]) -> Signal {
+        match kind {
+            GateKind::Maj => {
+                assert_eq!(fanins.len(), 3, "MAJ gates have three fanins");
+                self.create_maj(fanins[0], fanins[1], fanins[2])
+            }
+            GateKind::And => {
+                assert_eq!(fanins.len(), 2, "AND gates have two fanins");
+                self.create_and(fanins[0], fanins[1])
+            }
+            GateKind::Xor => {
+                assert_eq!(fanins.len(), 2, "XOR gates have two fanins");
+                self.create_xor(fanins[0], fanins[1])
+            }
+            GateKind::Xor3 => {
+                assert_eq!(fanins.len(), 3, "XOR3 gates have three fanins");
+                let t = self.create_xor(fanins[0], fanins[1]);
+                self.create_xor(t, fanins[2])
+            }
+            other => panic!("MIG cannot create gates of kind {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maj_simplification_rules() {
+        let mut mig = Mig::new();
+        let a = mig.create_pi();
+        let b = mig.create_pi();
+        let zero = mig.get_constant(false);
+        let one = mig.get_constant(true);
+        assert_eq!(mig.create_maj(a, a, b), a);
+        assert_eq!(mig.create_maj(a, b, b), b);
+        assert_eq!(mig.create_maj(a, !a, b), b);
+        assert_eq!(mig.create_maj(zero, one, b), b);
+        assert_eq!(mig.create_maj(zero, zero, b), zero);
+        assert_eq!(mig.num_gates(), 0);
+    }
+
+    #[test]
+    fn self_duality_normalisation() {
+        let mut mig = Mig::new();
+        let a = mig.create_pi();
+        let b = mig.create_pi();
+        let c = mig.create_pi();
+        let m = mig.create_maj(a, b, c);
+        let dual = mig.create_maj(!a, !b, !c);
+        assert_eq!(dual, !m);
+        assert_eq!(mig.num_gates(), 1);
+        // permuting arguments also shares the gate
+        assert_eq!(mig.create_maj(c, a, b), m);
+        assert_eq!(mig.num_gates(), 1);
+    }
+
+    #[test]
+    fn and_or_share_constant_input_gates() {
+        let mut mig = Mig::new();
+        let a = mig.create_pi();
+        let b = mig.create_pi();
+        let and = mig.create_and(a, b);
+        let or = mig.create_or(a, b);
+        assert_ne!(and, or);
+        assert_eq!(mig.num_gates(), 2);
+        assert_eq!(mig.gate_kind(and.node()), GateKind::Maj);
+        // De Morgan through self-duality: or(a,b) = !and(!a,!b)
+        let nand = mig.create_and(!a, !b);
+        assert_eq!(!nand, or);
+        assert_eq!(mig.num_gates(), 2);
+    }
+
+    #[test]
+    fn xor_uses_three_majority_gates() {
+        let mut mig = Mig::new();
+        let a = mig.create_pi();
+        let b = mig.create_pi();
+        let x = mig.create_xor(a, b);
+        mig.create_po(x);
+        assert_eq!(mig.num_gates(), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Node identifiers and (possibly complemented) signals.
+
+use std::fmt;
+
+/// Dense index identifying a node of a logic network.
+///
+/// Node `0` is always the constant-zero node; primary inputs and gates
+/// follow in creation order.
+pub type NodeId = u32;
+
+/// A signal: a reference to a node together with an optional complement
+/// (inverter) on the edge.
+///
+/// Signals are the values algorithms pass around: primary inputs, gate
+/// outputs and primary outputs are all signals.  The encoding packs the
+/// node index and the complement bit into a single `u32`-sized word
+/// (`node << 1 | complement`), matching the classic AIG literal encoding.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::Signal;
+///
+/// let s = Signal::new(3, false);
+/// assert_eq!(s.node(), 3);
+/// assert!(!s.is_complemented());
+/// assert_eq!((!s).node(), 3);
+/// assert!((!s).is_complemented());
+/// assert_eq!(!!s, s);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signal {
+    data: u32,
+}
+
+impl Signal {
+    /// Creates a signal referring to `node`, complemented if `complement`
+    /// is `true`.
+    #[inline]
+    pub fn new(node: NodeId, complement: bool) -> Self {
+        Self {
+            data: (node << 1) | complement as u32,
+        }
+    }
+
+    /// The constant-zero signal (node 0, non-complemented).
+    #[inline]
+    pub fn constant(value: bool) -> Self {
+        Self::new(0, value)
+    }
+
+    /// Returns the node the signal refers to.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        self.data >> 1
+    }
+
+    /// Returns `true` if the signal is complemented.
+    #[inline]
+    pub fn is_complemented(self) -> bool {
+        self.data & 1 == 1
+    }
+
+    /// Returns the same signal with the complement bit cleared.
+    #[inline]
+    pub fn regular(self) -> Self {
+        Self { data: self.data & !1 }
+    }
+
+    /// Returns the signal complemented iff `complement` is `true`.
+    #[inline]
+    pub fn complement_if(self, complement: bool) -> Self {
+        Self {
+            data: self.data ^ complement as u32,
+        }
+    }
+
+    /// Returns the raw literal encoding (`node * 2 + complement`), as used
+    /// by the AIGER format.
+    #[inline]
+    pub fn literal(self) -> u32 {
+        self.data
+    }
+
+    /// Creates a signal from its raw literal encoding.
+    #[inline]
+    pub fn from_literal(literal: u32) -> Self {
+        Self { data: literal }
+    }
+}
+
+impl std::ops::Not for Signal {
+    type Output = Signal;
+    #[inline]
+    fn not(self) -> Signal {
+        Signal { data: self.data ^ 1 }
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrip() {
+        for node in [0u32, 1, 2, 100, 1 << 20] {
+            for c in [false, true] {
+                let s = Signal::new(node, c);
+                assert_eq!(s.node(), node);
+                assert_eq!(s.is_complemented(), c);
+                assert_eq!(Signal::from_literal(s.literal()), s);
+            }
+        }
+    }
+
+    #[test]
+    fn complement_operations() {
+        let s = Signal::new(7, false);
+        assert_eq!(!s, Signal::new(7, true));
+        assert_eq!(!!s, s);
+        assert_eq!(s.regular(), s);
+        assert_eq!((!s).regular(), s);
+        assert_eq!(s.complement_if(true), !s);
+        assert_eq!(s.complement_if(false), s);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Signal::constant(false).node(), 0);
+        assert!(!Signal::constant(false).is_complemented());
+        assert!(Signal::constant(true).is_complemented());
+        assert_eq!(!Signal::constant(false), Signal::constant(true));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Signal::new(4, false).to_string(), "n4");
+        assert_eq!(Signal::new(4, true).to_string(), "!n4");
+    }
+}

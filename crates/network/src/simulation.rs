@@ -1,0 +1,317 @@
+//! Bit-parallel simulation and simulation-based equivalence checking.
+//!
+//! Peephole optimisation relies on fast truth-table computation of small
+//! windows; whole-network simulation is used to validate optimisations
+//! (exhaustively for small input counts, with random patterns otherwise).
+
+use crate::{GateKind, Network, NodeId, Signal};
+use glsx_truth::TruthTable;
+
+/// Maximum number of primary inputs for which exhaustive simulation is
+/// attempted (2^16 = 65536 bits per node).
+pub const MAX_EXHAUSTIVE_PIS: usize = 16;
+
+/// Computes the truth table of every node of `ntk` over its primary
+/// inputs.
+///
+/// Returns a vector indexed by node id; entries of dead nodes are constant
+/// zero.
+///
+/// # Panics
+///
+/// Panics if the network has more than [`MAX_EXHAUSTIVE_PIS`] primary
+/// inputs.
+pub fn simulate_nodes<N: Network>(ntk: &N) -> Vec<TruthTable> {
+    let num_pis = ntk.num_pis();
+    assert!(
+        num_pis <= MAX_EXHAUSTIVE_PIS,
+        "exhaustive simulation supports at most {MAX_EXHAUSTIVE_PIS} inputs"
+    );
+    let mut tts = vec![TruthTable::zero(num_pis); ntk.size()];
+    for (i, pi) in ntk.pi_nodes().iter().enumerate() {
+        tts[*pi as usize] = TruthTable::nth_var(num_pis, i);
+    }
+    for node in ntk.gate_nodes() {
+        tts[node as usize] = evaluate_node(ntk, node, &tts);
+    }
+    tts
+}
+
+/// Computes the truth table of each primary output of `ntk`.
+///
+/// # Panics
+///
+/// Panics if the network has more than [`MAX_EXHAUSTIVE_PIS`] primary
+/// inputs.
+pub fn simulate<N: Network>(ntk: &N) -> Vec<TruthTable> {
+    let tts = simulate_nodes(ntk);
+    ntk.po_signals()
+        .iter()
+        .map(|s| resolve_signal(s, &tts))
+        .collect()
+}
+
+fn resolve_signal(signal: &Signal, tts: &[TruthTable]) -> TruthTable {
+    let tt = &tts[signal.node() as usize];
+    if signal.is_complemented() {
+        !tt
+    } else {
+        tt.clone()
+    }
+}
+
+/// Evaluates the local function of `node` given truth tables for all of its
+/// fanins (indexed by node id).
+pub fn evaluate_node<N: Network>(ntk: &N, node: NodeId, tts: &[TruthTable]) -> TruthTable {
+    let fanins = ntk.fanins(node);
+    let fanin_tts: Vec<TruthTable> = fanins.iter().map(|f| resolve_signal(f, tts)).collect();
+    evaluate_function(&ntk.node_function(node), ntk.gate_kind(node), &fanin_tts)
+}
+
+/// Evaluates a gate function over already-computed fanin truth tables.
+///
+/// Fast paths exist for the fixed-function gate kinds; LUT functions are
+/// expanded minterm by minterm.
+pub fn evaluate_function(
+    function: &TruthTable,
+    kind: GateKind,
+    fanin_tts: &[TruthTable],
+) -> TruthTable {
+    match kind {
+        GateKind::And => &fanin_tts[0] & &fanin_tts[1],
+        GateKind::Xor => &fanin_tts[0] ^ &fanin_tts[1],
+        GateKind::Maj => TruthTable::maj(&fanin_tts[0], &fanin_tts[1], &fanin_tts[2]),
+        GateKind::Xor3 => &(&fanin_tts[0] ^ &fanin_tts[1]) ^ &fanin_tts[2],
+        _ => {
+            // generic composition: OR over the on-set minterms of `function`
+            let num_vars = fanin_tts
+                .first()
+                .map(TruthTable::num_vars)
+                .unwrap_or(0);
+            let mut result = TruthTable::zero(num_vars);
+            for m in 0..function.num_bits() {
+                if !function.bit(m) {
+                    continue;
+                }
+                let mut term = TruthTable::one(num_vars);
+                for (i, fanin_tt) in fanin_tts.iter().enumerate() {
+                    term = if (m >> i) & 1 == 1 {
+                        &term & fanin_tt
+                    } else {
+                        &term & &!fanin_tt
+                    };
+                }
+                result = &result | &term;
+            }
+            result
+        }
+    }
+}
+
+/// Simulates the network under explicit 64-bit input patterns: `patterns`
+/// holds one word per primary input, and the result holds one word per
+/// primary output (bit `i` of each word corresponds to pattern `i`).
+pub fn simulate_patterns<N: Network>(ntk: &N, patterns: &[u64]) -> Vec<u64> {
+    assert_eq!(patterns.len(), ntk.num_pis(), "one pattern word per primary input");
+    let mut values = vec![0u64; ntk.size()];
+    for (i, pi) in ntk.pi_nodes().iter().enumerate() {
+        values[*pi as usize] = patterns[i];
+    }
+    for node in ntk.gate_nodes() {
+        let fanins = ntk.fanins(node);
+        let inputs: Vec<u64> = fanins
+            .iter()
+            .map(|f| {
+                let v = values[f.node() as usize];
+                if f.is_complemented() {
+                    !v
+                } else {
+                    v
+                }
+            })
+            .collect();
+        values[node as usize] = match ntk.gate_kind(node) {
+            GateKind::And => inputs[0] & inputs[1],
+            GateKind::Xor => inputs[0] ^ inputs[1],
+            GateKind::Maj => {
+                (inputs[0] & inputs[1]) | (inputs[1] & inputs[2]) | (inputs[0] & inputs[2])
+            }
+            GateKind::Xor3 => inputs[0] ^ inputs[1] ^ inputs[2],
+            GateKind::Lut => {
+                let function = ntk.node_function(node);
+                let mut out = 0u64;
+                for bit in 0..64 {
+                    let mut index = 0usize;
+                    for (i, input) in inputs.iter().enumerate() {
+                        if (input >> bit) & 1 == 1 {
+                            index |= 1 << i;
+                        }
+                    }
+                    if function.bit(index) {
+                        out |= 1 << bit;
+                    }
+                }
+                out
+            }
+            GateKind::Constant | GateKind::Input => 0,
+        };
+    }
+    ntk.po_signals()
+        .iter()
+        .map(|s| {
+            let v = values[s.node() as usize];
+            if s.is_complemented() {
+                !v
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// Checks combinational equivalence of two networks by exhaustive
+/// simulation.
+///
+/// Both networks must have the same number of primary inputs and outputs;
+/// outputs are compared position by position.
+///
+/// # Panics
+///
+/// Panics if the networks have more than [`MAX_EXHAUSTIVE_PIS`] inputs or
+/// mismatching interface sizes.
+pub fn equivalent_by_simulation<A: Network, B: Network>(a: &A, b: &B) -> bool {
+    assert_eq!(a.num_pis(), b.num_pis(), "networks must have the same inputs");
+    assert_eq!(a.num_pos(), b.num_pos(), "networks must have the same outputs");
+    simulate(a) == simulate(b)
+}
+
+/// Checks a necessary condition for equivalence using `rounds` rounds of
+/// 64 random input patterns each (a cheap smoke test for large networks;
+/// it can prove inequivalence but not equivalence).
+pub fn equivalent_by_random_simulation<A: Network, B: Network>(
+    a: &A,
+    b: &B,
+    rounds: usize,
+    seed: u64,
+) -> bool {
+    assert_eq!(a.num_pis(), b.num_pis());
+    assert_eq!(a.num_pos(), b.num_pos());
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..rounds {
+        let patterns: Vec<u64> = (0..a.num_pis()).map(|_| next()).collect();
+        if simulate_patterns(a, &patterns) != simulate_patterns(b, &patterns) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aig, GateBuilder, Klut, Mig, Network, Xag, Xmg};
+
+    fn full_adder_tts() -> (TruthTable, TruthTable) {
+        let a = TruthTable::nth_var(3, 0);
+        let b = TruthTable::nth_var(3, 1);
+        let c = TruthTable::nth_var(3, 2);
+        let sum = &(&a ^ &b) ^ &c;
+        let carry = TruthTable::maj(&a, &b, &c);
+        (sum, carry)
+    }
+
+    fn build_full_adder<N: Network + GateBuilder>() -> N {
+        let mut ntk = N::new();
+        let a = ntk.create_pi();
+        let b = ntk.create_pi();
+        let c = ntk.create_pi();
+        let ab = ntk.create_xor(a, b);
+        let sum = ntk.create_xor(ab, c);
+        let carry = ntk.create_maj(a, b, c);
+        ntk.create_po(sum);
+        ntk.create_po(carry);
+        ntk
+    }
+
+    #[test]
+    fn full_adder_simulates_identically_in_all_representations() {
+        let (sum, carry) = full_adder_tts();
+        let aig: Aig = build_full_adder();
+        let xag: Xag = build_full_adder();
+        let mig: Mig = build_full_adder();
+        let xmg: Xmg = build_full_adder();
+        for tts in [simulate(&aig), simulate(&xag), simulate(&mig), simulate(&xmg)] {
+            assert_eq!(tts[0], sum);
+            assert_eq!(tts[1], carry);
+        }
+        assert!(equivalent_by_simulation(&aig, &mig));
+        assert!(equivalent_by_simulation(&xag, &xmg));
+        assert!(equivalent_by_random_simulation(&aig, &xmg, 4, 42));
+    }
+
+    #[test]
+    fn klut_simulation_matches_function() {
+        let mut klut = Klut::new();
+        let a = klut.create_pi();
+        let b = klut.create_pi();
+        let c = klut.create_pi();
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let g = klut.create_lut(&[a, b, c], maj.clone());
+        klut.create_po(g);
+        let tts = simulate(&klut);
+        assert_eq!(tts[0], maj);
+    }
+
+    #[test]
+    fn complemented_outputs_are_respected() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let g = aig.create_and(a, b);
+        aig.create_po(!g);
+        let tts = simulate(&aig);
+        assert_eq!(tts[0], !(TruthTable::nth_var(2, 0) & TruthTable::nth_var(2, 1)));
+    }
+
+    #[test]
+    fn pattern_simulation_agrees_with_exhaustive() {
+        let aig: Aig = build_full_adder();
+        // enumerate all 8 input combinations in one 64-bit pattern word
+        let mut patterns = vec![0u64; 3];
+        for m in 0..8u64 {
+            for (i, pattern) in patterns.iter_mut().enumerate() {
+                if (m >> i) & 1 == 1 {
+                    *pattern |= 1 << m;
+                }
+            }
+        }
+        let outputs = simulate_patterns(&aig, &patterns);
+        let tts = simulate(&aig);
+        for m in 0..8 {
+            assert_eq!((outputs[0] >> m) & 1 == 1, tts[0].bit(m));
+            assert_eq!((outputs[1] >> m) & 1 == 1, tts[1].bit(m));
+        }
+    }
+
+    #[test]
+    fn random_simulation_detects_inequivalence() {
+        let mut a = Aig::new();
+        let x = a.create_pi();
+        let y = a.create_pi();
+        let g = a.create_and(x, y);
+        a.create_po(g);
+        let mut b = Aig::new();
+        let x = b.create_pi();
+        let y = b.create_pi();
+        let g = b.create_or(x, y);
+        b.create_po(g);
+        assert!(!equivalent_by_random_simulation(&a, &b, 2, 7));
+        assert!(!equivalent_by_simulation(&a, &b));
+    }
+}

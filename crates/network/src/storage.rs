@@ -1,0 +1,418 @@
+//! Shared node storage used by all network implementations (layer 3).
+//!
+//! The storage owns the node table, the fanout lists, the primary
+//! input/output lists and the structural hashing table.  The concrete
+//! network types ([`Aig`](crate::Aig), [`Xag`](crate::Xag),
+//! [`Mig`](crate::Mig), [`Xmg`](crate::Xmg), [`Klut`](crate::Klut)) wrap a
+//! storage and add their representation-specific creation rules
+//! (simplification and normalisation) on top.
+
+use crate::{GateKind, NodeId, Signal};
+use glsx_truth::TruthTable;
+use std::collections::HashMap;
+
+/// Data stored per node.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeData {
+    pub kind: GateKind,
+    pub fanins: Vec<Signal>,
+    /// Gate fanouts, one entry per fanin occurrence.
+    pub fanouts: Vec<NodeId>,
+    /// Number of primary outputs referring to this node.
+    pub po_refs: u32,
+    pub dead: bool,
+    /// Explicit function for LUT nodes.
+    pub function: Option<TruthTable>,
+}
+
+/// Shared storage: node table, PI/PO lists, structural hashing.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Storage {
+    pub nodes: Vec<NodeData>,
+    pub pis: Vec<NodeId>,
+    pub pos: Vec<Signal>,
+    strash: HashMap<(GateKind, Vec<Signal>), NodeId>,
+    pub num_dead_gates: usize,
+}
+
+impl Storage {
+    /// Creates a storage containing only the constant-zero node.
+    pub fn new() -> Self {
+        let mut storage = Self::default();
+        storage.nodes.push(NodeData {
+            kind: GateKind::Constant,
+            fanins: Vec::new(),
+            fanouts: Vec::new(),
+            po_refs: 0,
+            dead: false,
+            function: None,
+        });
+        storage
+    }
+
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id as usize]
+    }
+
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id as usize]
+    }
+
+    pub fn create_pi(&mut self) -> Signal {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(NodeData {
+            kind: GateKind::Input,
+            fanins: Vec::new(),
+            fanouts: Vec::new(),
+            po_refs: 0,
+            dead: false,
+            function: None,
+        });
+        self.pis.push(id);
+        Signal::new(id, false)
+    }
+
+    pub fn create_po(&mut self, signal: Signal) -> usize {
+        self.node_mut(signal.node()).po_refs += 1;
+        self.pos.push(signal);
+        self.pos.len() - 1
+    }
+
+    /// Structural-hash key of a (kind, fanins) pair: fanins are sorted so
+    /// the key is independent of argument order for commutative gates.
+    fn strash_key(kind: GateKind, fanins: &[Signal]) -> (GateKind, Vec<Signal>) {
+        let mut sorted = fanins.to_vec();
+        sorted.sort_unstable();
+        (kind, sorted)
+    }
+
+    /// Looks up an existing live gate with the given kind and fanins.
+    pub fn find_gate(&self, kind: GateKind, fanins: &[Signal]) -> Option<NodeId> {
+        let key = Self::strash_key(kind, fanins);
+        self.strash
+            .get(&key)
+            .copied()
+            .filter(|&n| !self.node(n).dead)
+    }
+
+    /// Creates a new gate node (without any simplification) and registers
+    /// it in the structural hash table (LUT nodes are not hashed).
+    pub fn create_gate(
+        &mut self,
+        kind: GateKind,
+        fanins: Vec<Signal>,
+        function: Option<TruthTable>,
+    ) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        for f in &fanins {
+            self.nodes[f.node() as usize].fanouts.push(id);
+        }
+        if kind != GateKind::Lut {
+            let key = Self::strash_key(kind, &fanins);
+            self.strash.insert(key, id);
+        }
+        self.nodes.push(NodeData {
+            kind,
+            fanins,
+            fanouts: Vec::new(),
+            po_refs: 0,
+            dead: false,
+            function,
+        });
+        id
+    }
+
+    /// Finds an existing gate with the given kind/fanins or creates one.
+    pub fn find_or_create_gate(&mut self, kind: GateKind, fanins: Vec<Signal>) -> NodeId {
+        if let Some(existing) = self.find_gate(kind, &fanins) {
+            existing
+        } else {
+            self.create_gate(kind, fanins, None)
+        }
+    }
+
+    #[inline]
+    pub fn fanout_size(&self, id: NodeId) -> usize {
+        let n = self.node(id);
+        n.fanouts.len() + n.po_refs as usize
+    }
+
+    pub fn is_gate(&self, id: NodeId) -> bool {
+        let n = self.node(id);
+        !n.dead && n.kind.is_gate()
+    }
+
+    pub fn num_gates(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !n.dead && n.kind.is_gate())
+            .count()
+    }
+
+    /// Returns all live gates in a topological order (fanins before
+    /// fanouts).  Creation order is not sufficient because substitution can
+    /// point an older gate at a newer one, so a DFS post-order is computed.
+    pub fn gate_nodes(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut visited = vec![false; self.nodes.len()];
+        // constants and PIs are trivially "visited"
+        for (id, data) in self.nodes.iter().enumerate() {
+            if !data.kind.is_gate() {
+                visited[id] = true;
+            }
+        }
+        for seed in 0..self.nodes.len() as NodeId {
+            if visited[seed as usize] || !self.is_gate(seed) {
+                continue;
+            }
+            // iterative DFS post-order
+            let mut stack: Vec<(NodeId, usize)> = vec![(seed, 0)];
+            while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+                if visited[node as usize] {
+                    stack.pop();
+                    continue;
+                }
+                let fanins = &self.node(node).fanins;
+                if *child < fanins.len() {
+                    let next = fanins[*child].node();
+                    *child += 1;
+                    if !visited[next as usize] && self.is_gate(next) {
+                        stack.push((next, 0));
+                    }
+                } else {
+                    visited[node as usize] = true;
+                    order.push(node);
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = (0..self.nodes.len() as NodeId)
+            .filter(|&id| !self.node(id).dead && !self.node(id).kind.is_gate())
+            .collect();
+        ids.extend(self.gate_nodes());
+        ids
+    }
+
+    /// Replaces all uses of `old` by `new` in fanins and outputs, removing
+    /// `old` and any nodes that become dangling.  Structural hashing is
+    /// kept consistent; parents that become structural duplicates of
+    /// existing nodes are merged recursively.
+    pub fn substitute(&mut self, old: NodeId, new: Signal) {
+        let mut worklist = vec![(old, new)];
+        // Nodes whose removal is deferred until all pending merges are done:
+        // taking a node out eagerly could kill the target of a later merge.
+        let mut to_remove: Vec<NodeId> = Vec::new();
+        while let Some((old, new)) = worklist.pop() {
+            if old == new.node() || self.node(old).dead || self.node(new.node()).dead {
+                continue;
+            }
+            // Unique parents (a parent appears once per fanin occurrence).
+            let mut parents = self.node(old).fanouts.clone();
+            parents.sort_unstable();
+            parents.dedup();
+            for p in parents {
+                if self.node(p).dead {
+                    continue;
+                }
+                let kind = self.node(p).kind;
+                // Remove the stale strash entry for p (if it points to p).
+                if kind != GateKind::Lut {
+                    let key = Self::strash_key(kind, &self.node(p).fanins);
+                    if self.strash.get(&key) == Some(&p) {
+                        self.strash.remove(&key);
+                    }
+                }
+                // Update fanins of p and move fanout references.
+                let mut occurrences = 0usize;
+                let fanins = &mut self.nodes[p as usize].fanins;
+                for f in fanins.iter_mut() {
+                    if f.node() == old {
+                        *f = new.complement_if(f.is_complemented());
+                        occurrences += 1;
+                    }
+                }
+                // Remove `occurrences` entries of p from old's fanouts and
+                // add them to new's fanouts.
+                let old_fanouts = &mut self.nodes[old as usize].fanouts;
+                let mut removed = 0usize;
+                old_fanouts.retain(|&q| {
+                    if q == p && removed < occurrences {
+                        removed += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for _ in 0..occurrences {
+                    self.nodes[new.node() as usize].fanouts.push(p);
+                }
+                // Re-insert p into the strash table; if an equivalent gate
+                // already exists, merge p into it.
+                if kind != GateKind::Lut {
+                    let key = Self::strash_key(kind, &self.node(p).fanins);
+                    match self.strash.get(&key) {
+                        Some(&q) if q != p && !self.node(q).dead => {
+                            worklist.push((p, Signal::new(q, false)));
+                        }
+                        Some(_) => {}
+                        None => {
+                            self.strash.insert(key, p);
+                        }
+                    }
+                }
+            }
+            self.replace_in_outputs(old, new);
+            to_remove.push(old);
+        }
+        for node in to_remove {
+            self.take_out(node);
+        }
+    }
+
+    /// Replaces uses of `old` in the primary outputs by `new`.
+    pub fn replace_in_outputs(&mut self, old: NodeId, new: Signal) {
+        if old == new.node() {
+            return;
+        }
+        let mut moved = 0u32;
+        for po in &mut self.pos {
+            if po.node() == old {
+                *po = new.complement_if(po.is_complemented());
+                moved += 1;
+            }
+        }
+        if moved > 0 {
+            self.nodes[old as usize].po_refs -= moved;
+            self.nodes[new.node() as usize].po_refs += moved;
+        }
+    }
+
+    /// Removes `id` if it is a gate with no fanouts, recursively removing
+    /// fanins that become dangling.
+    pub fn take_out(&mut self, id: NodeId) {
+        let mut stack = vec![id];
+        while let Some(id) = stack.pop() {
+            {
+                let n = self.node(id);
+                if n.dead || !n.kind.is_gate() || !n.fanouts.is_empty() || n.po_refs > 0 {
+                    continue;
+                }
+            }
+            // mark dead and unregister from strash
+            let kind = self.node(id).kind;
+            if kind != GateKind::Lut {
+                let key = Self::strash_key(kind, &self.node(id).fanins);
+                if self.strash.get(&key) == Some(&id) {
+                    self.strash.remove(&key);
+                }
+            }
+            self.nodes[id as usize].dead = true;
+            self.num_dead_gates += 1;
+            let fanins = self.nodes[id as usize].fanins.clone();
+            for f in &fanins {
+                let fo = &mut self.nodes[f.node() as usize].fanouts;
+                if let Some(pos) = fo.iter().position(|&q| q == id) {
+                    fo.swap_remove(pos);
+                }
+            }
+            for f in fanins {
+                if self.node(f.node()).kind.is_gate()
+                    && !self.node(f.node()).dead
+                    && self.fanout_size(f.node()) == 0
+                {
+                    stack.push(f.node());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(n: NodeId) -> Signal {
+        Signal::new(n, false)
+    }
+
+    #[test]
+    fn storage_basics() {
+        let mut s = Storage::new();
+        assert_eq!(s.nodes.len(), 1);
+        let a = s.create_pi();
+        let b = s.create_pi();
+        assert_eq!(s.pis.len(), 2);
+        let g = s.find_or_create_gate(GateKind::And, vec![a, b]);
+        assert_eq!(s.num_gates(), 1);
+        assert_eq!(s.fanout_size(a.node()), 1);
+        // structural hashing: same fanins (any order) return the same node
+        let g2 = s.find_or_create_gate(GateKind::And, vec![b, a]);
+        assert_eq!(g, g2);
+        assert_eq!(s.num_gates(), 1);
+        s.create_po(sig(g));
+        assert_eq!(s.fanout_size(g), 1);
+    }
+
+    #[test]
+    fn take_out_recursive() {
+        let mut s = Storage::new();
+        let a = s.create_pi();
+        let b = s.create_pi();
+        let g1 = s.find_or_create_gate(GateKind::And, vec![a, b]);
+        let g2 = s.find_or_create_gate(GateKind::And, vec![sig(g1), a]);
+        assert_eq!(s.num_gates(), 2);
+        // no outputs: g2 has no fanout, removing it also removes g1
+        s.take_out(g2);
+        assert_eq!(s.num_gates(), 0);
+        assert!(s.node(g1).dead);
+        assert!(s.node(g2).dead);
+        // PIs are never removed
+        assert!(!s.node(a.node()).dead);
+    }
+
+    #[test]
+    fn substitute_rewires_parents_and_outputs() {
+        let mut s = Storage::new();
+        let a = s.create_pi();
+        let b = s.create_pi();
+        let c = s.create_pi();
+        let g1 = s.find_or_create_gate(GateKind::And, vec![a, b]);
+        let g2 = s.find_or_create_gate(GateKind::And, vec![sig(g1), c]);
+        s.create_po(sig(g2));
+        s.create_po(!sig(g1));
+        // replace g1 by c
+        s.substitute(g1, c);
+        assert!(s.node(g1).dead);
+        // g2 now has fanins {c, c}
+        assert_eq!(s.node(g2).fanins, vec![c, c]);
+        assert_eq!(s.pos[1], !c);
+        assert_eq!(s.node(c.node()).po_refs, 1);
+    }
+
+    #[test]
+    fn substitute_merges_structural_duplicates() {
+        let mut s = Storage::new();
+        let a = s.create_pi();
+        let b = s.create_pi();
+        let c = s.create_pi();
+        let g1 = s.find_or_create_gate(GateKind::And, vec![a, c]);
+        let g2 = s.find_or_create_gate(GateKind::And, vec![b, c]);
+        let top1 = s.find_or_create_gate(GateKind::And, vec![sig(g1), c]);
+        let top2 = s.find_or_create_gate(GateKind::And, vec![sig(g2), c]);
+        s.create_po(sig(top1));
+        s.create_po(sig(top2));
+        // substituting b by a makes g2 a duplicate of g1, and transitively
+        // top2 a duplicate of top1
+        s.substitute(b.node(), a);
+        assert!(s.node(g2).dead);
+        assert!(s.node(top2).dead);
+        assert_eq!(s.pos[0], s.pos[1]);
+        assert_eq!(s.num_gates(), 2);
+    }
+}

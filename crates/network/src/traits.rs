@@ -1,0 +1,300 @@
+//! The network interface API (layer 1 of the stacked architecture).
+//!
+//! The traits in this module are the Rust rendering of the paper's
+//! "abstract concept definition of a logic representation": algorithms are
+//! written only against [`Network`] (structural access and modification)
+//! and [`GateBuilder`] (gate creation), and therefore work unchanged for
+//! every network implementation that provides these interfaces.  Where the
+//! C++ implementation uses template meta-programming and static assertions,
+//! we use trait bounds checked at compile time.
+
+use crate::{GateKind, NodeId, Signal};
+use glsx_truth::TruthTable;
+
+/// Structural access to a logic network.
+///
+/// A network consists of the constant-zero node (node `0`), primary
+/// inputs, internal gates and primary outputs.  Gates are returned in a
+/// topological order (fanins precede fanouts), which every implementation
+/// in this crate guarantees by construction.
+///
+/// The *mandatory* interface of the paper corresponds to the required
+/// methods; convenience iteration helpers (`foreach_*`) are provided as
+/// default methods on top of them.
+pub trait Network: Sized {
+    /// Short human-readable name of the representation (e.g. `"AIG"`).
+    const NAME: &'static str;
+
+    /// Creates an empty network containing only the constant-zero node.
+    fn new() -> Self;
+
+    /// Returns the constant signal with the given value.
+    fn get_constant(&self, value: bool) -> Signal {
+        Signal::constant(value)
+    }
+
+    /// Creates a new primary input and returns its signal.
+    fn create_pi(&mut self) -> Signal;
+
+    /// Creates a new primary output driven by `signal`; returns its index.
+    fn create_po(&mut self, signal: Signal) -> usize;
+
+    /// Total number of nodes (constant + primary inputs + gates, including
+    /// dead gates that have not been cleaned up).
+    fn size(&self) -> usize;
+
+    /// Number of primary inputs.
+    fn num_pis(&self) -> usize;
+
+    /// Number of primary outputs.
+    fn num_pos(&self) -> usize;
+
+    /// Number of live internal gates.
+    fn num_gates(&self) -> usize;
+
+    /// Returns `true` if `node` is the constant node.
+    fn is_constant(&self, node: NodeId) -> bool;
+
+    /// Returns `true` if `node` is a primary input.
+    fn is_pi(&self, node: NodeId) -> bool;
+
+    /// Returns `true` if `node` has been removed from the network.
+    fn is_dead(&self, node: NodeId) -> bool;
+
+    /// Returns `true` if `node` is a live internal gate.
+    fn is_gate(&self, node: NodeId) -> bool;
+
+    /// Returns the kind of gate implemented by `node`.
+    fn gate_kind(&self, node: NodeId) -> GateKind;
+
+    /// Returns the fanin signals of `node` (empty for constants and
+    /// primary inputs).
+    fn fanins(&self, node: NodeId) -> Vec<Signal>;
+
+    /// Returns the number of fanins of `node`.
+    fn fanin_size(&self, node: NodeId) -> usize {
+        self.fanins(node).len()
+    }
+
+    /// Returns the number of fanouts of `node`, counting primary outputs.
+    fn fanout_size(&self, node: NodeId) -> usize;
+
+    /// Returns the nodes that use `node` as a fanin (without primary
+    /// outputs; a node appears once per fanin occurrence).
+    fn fanouts(&self, node: NodeId) -> Vec<NodeId>;
+
+    /// Returns the local function of the gate over its fanins (edge
+    /// complementations are *not* included; callers compose them from
+    /// [`Network::fanins`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is a primary input (its function is not defined).
+    fn node_function(&self, node: NodeId) -> TruthTable;
+
+    /// Returns all primary input nodes in creation order.
+    fn pi_nodes(&self) -> Vec<NodeId>;
+
+    /// Returns all primary output signals in creation order.
+    fn po_signals(&self) -> Vec<Signal>;
+
+    /// Returns the primary output signal at `index`.
+    fn po_at(&self, index: usize) -> Signal {
+        self.po_signals()[index]
+    }
+
+    /// Returns all live gate nodes in topological order.
+    fn gate_nodes(&self) -> Vec<NodeId>;
+
+    /// Returns all live nodes (constant, inputs and gates) in topological
+    /// order.
+    fn node_ids(&self) -> Vec<NodeId>;
+
+    /// Replaces every use of `old` (in gate fanins and primary outputs) by
+    /// the signal `new`, removing `old` and any gates that become dangling.
+    ///
+    /// The signal `new` must not depend on `old` (no cycles may be
+    /// created).
+    fn substitute_node(&mut self, old: NodeId, new: Signal);
+
+    /// Replaces uses of `old` only in the primary outputs.
+    fn replace_in_outputs(&mut self, old: NodeId, new: Signal);
+
+    /// Removes `node` if it has no fanouts, recursively removing fanins
+    /// that become dangling.  Constants and primary inputs are never
+    /// removed.
+    fn take_out_node(&mut self, node: NodeId);
+
+    // -- convenience iteration helpers (the paper's foreach-methods) -------
+
+    /// Calls `f` for every primary input node.
+    fn foreach_pi<F: FnMut(NodeId)>(&self, mut f: F) {
+        for n in self.pi_nodes() {
+            f(n);
+        }
+    }
+
+    /// Calls `f` for every primary output signal.
+    fn foreach_po<F: FnMut(Signal)>(&self, mut f: F) {
+        for s in self.po_signals() {
+            f(s);
+        }
+    }
+
+    /// Calls `f` for every live gate in topological order.
+    fn foreach_gate<F: FnMut(NodeId)>(&self, mut f: F) {
+        for n in self.gate_nodes() {
+            f(n);
+        }
+    }
+
+    /// Calls `f` for every live node in topological order.
+    fn foreach_node<F: FnMut(NodeId)>(&self, mut f: F) {
+        for n in self.node_ids() {
+            f(n);
+        }
+    }
+
+    /// Calls `f` for every fanin signal of `node`.
+    fn foreach_fanin<F: FnMut(Signal)>(&self, node: NodeId, mut f: F) {
+        for s in self.fanins(node) {
+            f(s);
+        }
+    }
+}
+
+/// Gate-creation interface (the constructive part of the network API).
+///
+/// Every network provides `create_and`, `create_xor` and `create_maj`;
+/// representations without a native gate for an operation implement it by
+/// local decomposition into their own primitives (e.g. an AIG builds an
+/// XOR from three AND gates, an MIG builds an AND as `maj(a, b, 0)`).
+/// Derived operations (`create_or`, `create_ite`, n-ary helpers) have
+/// default implementations.
+pub trait GateBuilder: Network {
+    /// Creates (or finds) a two-input AND gate.
+    fn create_and(&mut self, a: Signal, b: Signal) -> Signal;
+
+    /// Creates (or finds) a two-input XOR gate.
+    fn create_xor(&mut self, a: Signal, b: Signal) -> Signal;
+
+    /// Creates (or finds) a three-input majority gate.
+    fn create_maj(&mut self, a: Signal, b: Signal, c: Signal) -> Signal;
+
+    /// Creates a gate of the given kind over the given fanins.  Used by
+    /// generic network copying (cleanup) and balancing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the representation cannot express `kind` natively and the
+    /// fanin count does not match the kind's arity.
+    fn create_gate(&mut self, kind: GateKind, fanins: &[Signal]) -> Signal;
+
+    /// Returns the complement of a signal (free in all representations of
+    /// this crate).
+    fn create_not(&mut self, a: Signal) -> Signal {
+        !a
+    }
+
+    /// Creates a two-input OR gate.
+    fn create_or(&mut self, a: Signal, b: Signal) -> Signal {
+        let and = self.create_and(!a, !b);
+        !and
+    }
+
+    /// Creates a two-input NAND gate.
+    fn create_nand(&mut self, a: Signal, b: Signal) -> Signal {
+        let and = self.create_and(a, b);
+        !and
+    }
+
+    /// Creates a two-input NOR gate.
+    fn create_nor(&mut self, a: Signal, b: Signal) -> Signal {
+        let or = self.create_or(a, b);
+        !or
+    }
+
+    /// Creates a two-input XNOR gate.
+    fn create_xnor(&mut self, a: Signal, b: Signal) -> Signal {
+        let xor = self.create_xor(a, b);
+        !xor
+    }
+
+    /// Creates an if-then-else (multiplexer): `cond ? then_s : else_s`.
+    fn create_ite(&mut self, cond: Signal, then_s: Signal, else_s: Signal) -> Signal {
+        let t = self.create_and(cond, then_s);
+        let e = self.create_and(!cond, else_s);
+        self.create_or(t, e)
+    }
+
+    /// Creates a balanced n-ary AND.
+    fn create_nary_and(&mut self, signals: &[Signal]) -> Signal {
+        self.nary_balanced(signals, Signal::constant(true), Self::create_and)
+    }
+
+    /// Creates a balanced n-ary OR.
+    fn create_nary_or(&mut self, signals: &[Signal]) -> Signal {
+        self.nary_balanced(signals, Signal::constant(false), Self::create_or)
+    }
+
+    /// Creates a balanced n-ary XOR.
+    fn create_nary_xor(&mut self, signals: &[Signal]) -> Signal {
+        self.nary_balanced(signals, Signal::constant(false), Self::create_xor)
+    }
+
+    /// Helper building a balanced tree of a binary operation.
+    #[doc(hidden)]
+    fn nary_balanced(
+        &mut self,
+        signals: &[Signal],
+        empty: Signal,
+        mut op: impl FnMut(&mut Self, Signal, Signal) -> Signal,
+    ) -> Signal {
+        match signals.len() {
+            0 => empty,
+            1 => signals[0],
+            _ => {
+                let mut layer: Vec<Signal> = signals.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    let mut iter = layer.chunks(2);
+                    for chunk in &mut iter {
+                        if chunk.len() == 2 {
+                            next.push(op(self, chunk[0], chunk[1]));
+                        } else {
+                            next.push(chunk[0]);
+                        }
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+}
+
+/// Optional interface: networks that can report a precomputed level
+/// (depth) per node.  The generic algorithms fall back to the
+/// [`DepthView`](crate::views::DepthView) when a network does not provide
+/// levels natively.
+pub trait HasLevels: Network {
+    /// Returns the level (distance from the primary inputs) of `node`.
+    fn level(&self, node: NodeId) -> u32;
+
+    /// Returns the depth of the network (maximum level over the primary
+    /// outputs).
+    fn depth(&self) -> u32;
+}
+
+/// Compile-time capability check mirroring the paper's static assertions:
+/// instantiating this function for a type only compiles if the type
+/// implements the full constructive network interface.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{assert_network_interface, Aig};
+///
+/// assert_network_interface::<Aig>();
+/// ```
+pub fn assert_network_interface<N: Network + GateBuilder>() {}

@@ -1,0 +1,284 @@
+//! Views: derived information layered on top of a network without
+//! modifying it (topological order, levels/depth, reachability).
+
+use crate::{Network, NodeId, Signal};
+use std::collections::HashMap;
+
+/// Returns the set of nodes reachable from the primary outputs (the
+/// "useful" logic), including primary inputs and the constant node.
+pub fn reachable_from_outputs<N: Network>(ntk: &N) -> Vec<NodeId> {
+    let mut visited = vec![false; ntk.size()];
+    let mut stack: Vec<NodeId> = ntk.po_signals().iter().map(|s| s.node()).collect();
+    let mut result = Vec::new();
+    while let Some(node) = stack.pop() {
+        if visited[node as usize] {
+            continue;
+        }
+        visited[node as usize] = true;
+        result.push(node);
+        for f in ntk.fanins(node) {
+            if !visited[f.node() as usize] {
+                stack.push(f.node());
+            }
+        }
+    }
+    result
+}
+
+/// A depth (level) view of a network.
+///
+/// Levels follow the paper's Algorithm 1: primary inputs and constants are
+/// at level 0 and every gate is one level above its deepest fanin.  The
+/// view is a snapshot — recompute it after modifying the network.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{Aig, GateBuilder, Network};
+/// use glsx_network::views::DepthView;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.create_pi();
+/// let b = aig.create_pi();
+/// let c = aig.create_pi();
+/// let g1 = aig.create_and(a, b);
+/// let g2 = aig.create_and(g1, c);
+/// aig.create_po(g2);
+/// let depth = DepthView::new(&aig);
+/// assert_eq!(depth.depth(), 2);
+/// assert_eq!(depth.level(g1.node()), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DepthView {
+    levels: HashMap<NodeId, u32>,
+    depth: u32,
+}
+
+impl DepthView {
+    /// Computes levels for all live nodes of `ntk`.
+    pub fn new<N: Network>(ntk: &N) -> Self {
+        let mut levels: HashMap<NodeId, u32> = HashMap::with_capacity(ntk.size());
+        ntk.foreach_pi(|n| {
+            levels.insert(n, 0);
+        });
+        levels.insert(0, 0);
+        for node in ntk.gate_nodes() {
+            let level = ntk
+                .fanins(node)
+                .iter()
+                .map(|f| levels.get(&f.node()).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0)
+                + 1;
+            levels.insert(node, level);
+        }
+        let depth = ntk
+            .po_signals()
+            .iter()
+            .map(|s| levels.get(&s.node()).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        Self { levels, depth }
+    }
+
+    /// Returns the level of `node` (0 for nodes not known to the view).
+    pub fn level(&self, node: NodeId) -> u32 {
+        self.levels.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Returns the depth of the network (maximum primary-output level).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+/// Computes the depth of a network (convenience wrapper around
+/// [`DepthView`], mirroring the paper's Algorithm 1).
+pub fn network_depth<N: Network>(ntk: &N) -> u32 {
+    DepthView::new(ntk).depth()
+}
+
+/// Summary statistics of a network, used by the flow and the benchmark
+/// harness for reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Number of primary inputs.
+    pub num_pis: usize,
+    /// Number of primary outputs.
+    pub num_pos: usize,
+    /// Number of live gates.
+    pub num_gates: usize,
+    /// Logic depth (levels).
+    pub depth: u32,
+}
+
+impl NetworkStats {
+    /// Collects statistics from a network.
+    pub fn of<N: Network>(ntk: &N) -> Self {
+        Self {
+            num_pis: ntk.num_pis(),
+            num_pos: ntk.num_pos(),
+            num_gates: ntk.num_gates(),
+            depth: network_depth(ntk),
+        }
+    }
+}
+
+impl std::fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "i/o = {}/{}  gates = {}  depth = {}",
+            self.num_pis, self.num_pos, self.num_gates, self.depth
+        )
+    }
+}
+
+/// Returns the transitive fanin cone of `roots` (gate nodes only), i.e. all
+/// gates on some path from a primary input to one of the roots.
+pub fn transitive_fanin<N: Network>(ntk: &N, roots: &[NodeId]) -> Vec<NodeId> {
+    let mut visited = vec![false; ntk.size()];
+    let mut stack: Vec<NodeId> = roots.to_vec();
+    let mut cone = Vec::new();
+    while let Some(node) = stack.pop() {
+        if visited[node as usize] || !ntk.is_gate(node) {
+            continue;
+        }
+        visited[node as usize] = true;
+        cone.push(node);
+        for f in ntk.fanins(node) {
+            stack.push(f.node());
+        }
+    }
+    cone
+}
+
+/// Returns the signals driving the primary outputs that are reachable from
+/// `node` (transitive fanout check used in tests and window selection).
+pub fn is_in_transitive_fanin<N: Network>(ntk: &N, root: NodeId, query: NodeId) -> bool {
+    if root == query {
+        return true;
+    }
+    let mut visited = vec![false; ntk.size()];
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        if visited[node as usize] {
+            continue;
+        }
+        visited[node as usize] = true;
+        for f in ntk.fanins(node) {
+            if f.node() == query {
+                return true;
+            }
+            stack.push(f.node());
+        }
+    }
+    false
+}
+
+/// Checks structural sanity of a network: fanins of live nodes are live,
+/// fanout counts are consistent and primary outputs point at live nodes.
+/// Used by tests and debug assertions in the algorithms.
+pub fn check_network_integrity<N: Network>(ntk: &N) -> Result<(), String> {
+    for node in ntk.gate_nodes() {
+        for f in ntk.fanins(node) {
+            if ntk.is_dead(f.node()) {
+                return Err(format!("live node {node} has dead fanin {}", f.node()));
+            }
+            if !ntk.fanouts(f.node()).contains(&node) {
+                return Err(format!(
+                    "fanout list of {} does not contain its reader {node}",
+                    f.node()
+                ));
+            }
+        }
+    }
+    for (i, po) in ntk.po_signals().iter().enumerate() {
+        if ntk.is_dead(po.node()) {
+            return Err(format!("primary output {i} points at dead node {}", po.node()));
+        }
+    }
+    // topological order sanity: every fanin must appear before its fanout
+    let order = ntk.gate_nodes();
+    let mut position: HashMap<NodeId, usize> = HashMap::new();
+    for (i, &n) in order.iter().enumerate() {
+        position.insert(n, i);
+    }
+    for (i, &n) in order.iter().enumerate() {
+        for f in ntk.fanins(n) {
+            if let Some(&j) = position.get(&f.node()) {
+                if j >= i {
+                    return Err(format!("gate order is not topological at node {n}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns the primary-output signals as a vector (convenience used by
+/// equivalence checking).
+pub fn output_signals<N: Network>(ntk: &N) -> Vec<Signal> {
+    ntk.po_signals()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aig, GateBuilder, Network};
+
+    fn sample_aig() -> (Aig, Signal, Signal) {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let g1 = aig.create_and(a, b);
+        let g2 = aig.create_and(g1, c);
+        let g3 = aig.create_and(!g1, !c);
+        aig.create_po(g2);
+        aig.create_po(g3);
+        (aig, g1, g2)
+    }
+
+    #[test]
+    fn depth_view_levels() {
+        let (aig, g1, g2) = sample_aig();
+        let depth = DepthView::new(&aig);
+        assert_eq!(depth.level(g1.node()), 1);
+        assert_eq!(depth.level(g2.node()), 2);
+        assert_eq!(depth.depth(), 2);
+        assert_eq!(network_depth(&aig), 2);
+    }
+
+    #[test]
+    fn stats_snapshot() {
+        let (aig, _, _) = sample_aig();
+        let stats = NetworkStats::of(&aig);
+        assert_eq!(stats.num_pis, 3);
+        assert_eq!(stats.num_pos, 2);
+        assert_eq!(stats.num_gates, 3);
+        assert_eq!(stats.depth, 2);
+        assert!(stats.to_string().contains("gates = 3"));
+    }
+
+    #[test]
+    fn reachability_and_cones() {
+        let (mut aig, g1, g2) = sample_aig();
+        let pi0 = Signal::new(aig.pi_nodes()[0], false);
+        let pi2 = Signal::new(aig.pi_nodes()[2], false);
+        let _dangling = aig.create_and(pi0, !pi2);
+        let reach = reachable_from_outputs(&aig);
+        assert!(reach.contains(&g1.node()));
+        assert!(reach.contains(&g2.node()));
+        let cone = transitive_fanin(&aig, &[g2.node()]);
+        assert!(cone.contains(&g1.node()));
+        assert!(is_in_transitive_fanin(&aig, g2.node(), g1.node()));
+        assert!(!is_in_transitive_fanin(&aig, g1.node(), g2.node()));
+    }
+
+    #[test]
+    fn integrity_check_passes_for_well_formed_networks() {
+        let (aig, _, _) = sample_aig();
+        assert!(check_network_integrity(&aig).is_ok());
+    }
+}

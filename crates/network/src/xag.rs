@@ -1,0 +1,179 @@
+//! Xor-and graphs (XAGs).
+
+use crate::common::impl_network_common;
+use crate::storage::Storage;
+use crate::{GateBuilder, GateKind, Network, Signal};
+
+/// A Xor-and graph: two-input AND and two-input XOR gates with complemented
+/// edges.
+///
+/// XAGs extend AIGs with a native XOR gate, which makes XOR-rich logic
+/// (arithmetic, cryptographic functions) considerably more compact and
+/// benefits rewriting in particular.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{GateBuilder, Network, Xag};
+///
+/// let mut xag = Xag::new();
+/// let a = xag.create_pi();
+/// let b = xag.create_pi();
+/// let s = xag.create_xor(a, b);
+/// let c = xag.create_and(a, b);
+/// xag.create_po(s);
+/// xag.create_po(c);
+/// assert_eq!(xag.num_gates(), 2); // a half adder needs just two gates
+/// ```
+#[derive(Clone, Debug)]
+pub struct Xag {
+    pub(crate) storage: Storage,
+}
+
+impl_network_common!(Xag, "XAG");
+
+impl GateBuilder for Xag {
+    fn create_and(&mut self, a: Signal, b: Signal) -> Signal {
+        let const0 = self.get_constant(false);
+        let const1 = self.get_constant(true);
+        if a == const0 || b == const0 || a == !b {
+            return const0;
+        }
+        if a == const1 {
+            return b;
+        }
+        if b == const1 {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let node = self.storage.find_or_create_gate(GateKind::And, vec![a, b]);
+        Signal::new(node, false)
+    }
+
+    fn create_xor(&mut self, a: Signal, b: Signal) -> Signal {
+        let const0 = self.get_constant(false);
+        let const1 = self.get_constant(true);
+        if a == b {
+            return const0;
+        }
+        if a == !b {
+            return const1;
+        }
+        if a == const0 {
+            return b;
+        }
+        if a == const1 {
+            return !b;
+        }
+        if b == const0 {
+            return a;
+        }
+        if b == const1 {
+            return !a;
+        }
+        // normalise: complements propagate to the output
+        let complement = a.is_complemented() ^ b.is_complemented();
+        let (a, b) = (a.regular(), b.regular());
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let node = self.storage.find_or_create_gate(GateKind::Xor, vec![a, b]);
+        Signal::new(node, complement)
+    }
+
+    fn create_maj(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        // maj(a, b, c) = (a & b) ^ (c & (a ^ b))
+        let ab = self.create_and(a, b);
+        let axb = self.create_xor(a, b);
+        let t = self.create_and(c, axb);
+        self.create_xor(ab, t)
+    }
+
+    fn create_gate(&mut self, kind: GateKind, fanins: &[Signal]) -> Signal {
+        match kind {
+            GateKind::And => {
+                assert_eq!(fanins.len(), 2, "AND gates have two fanins");
+                self.create_and(fanins[0], fanins[1])
+            }
+            GateKind::Xor => {
+                assert_eq!(fanins.len(), 2, "XOR gates have two fanins");
+                self.create_xor(fanins[0], fanins[1])
+            }
+            GateKind::Maj => {
+                assert_eq!(fanins.len(), 3, "MAJ gates have three fanins");
+                self.create_maj(fanins[0], fanins[1], fanins[2])
+            }
+            GateKind::Xor3 => {
+                assert_eq!(fanins.len(), 3, "XOR3 gates have three fanins");
+                let t = self.create_xor(fanins[0], fanins[1]);
+                self.create_xor(t, fanins[2])
+            }
+            other => panic!("XAG cannot create gates of kind {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_simplification_rules() {
+        let mut xag = Xag::new();
+        let a = xag.create_pi();
+        let b = xag.create_pi();
+        let zero = xag.get_constant(false);
+        let one = xag.get_constant(true);
+        assert_eq!(xag.create_xor(a, a), zero);
+        assert_eq!(xag.create_xor(a, !a), one);
+        assert_eq!(xag.create_xor(a, zero), a);
+        assert_eq!(xag.create_xor(a, one), !a);
+        assert_eq!(xag.create_xor(zero, b), b);
+        assert_eq!(xag.num_gates(), 0);
+    }
+
+    #[test]
+    fn xor_complement_normalisation() {
+        let mut xag = Xag::new();
+        let a = xag.create_pi();
+        let b = xag.create_pi();
+        let x1 = xag.create_xor(a, b);
+        let x2 = xag.create_xor(!a, b);
+        let x3 = xag.create_xor(a, !b);
+        let x4 = xag.create_xor(!a, !b);
+        assert_eq!(x2, !x1);
+        assert_eq!(x3, !x1);
+        assert_eq!(x4, x1);
+        // all share a single gate node
+        assert_eq!(xag.num_gates(), 1);
+    }
+
+    #[test]
+    fn half_adder_is_two_gates() {
+        let mut xag = Xag::new();
+        let a = xag.create_pi();
+        let b = xag.create_pi();
+        let sum = xag.create_xor(a, b);
+        let carry = xag.create_and(a, b);
+        xag.create_po(sum);
+        xag.create_po(carry);
+        assert_eq!(xag.num_gates(), 2);
+        assert_eq!(xag.gate_kind(sum.node()), GateKind::Xor);
+        assert_eq!(xag.gate_kind(carry.node()), GateKind::And);
+    }
+
+    #[test]
+    fn maj_decomposition_uses_and_and_xor() {
+        let mut xag = Xag::new();
+        let a = xag.create_pi();
+        let b = xag.create_pi();
+        let c = xag.create_pi();
+        let m = xag.create_maj(a, b, c);
+        xag.create_po(m);
+        assert!(xag.num_gates() <= 4);
+        let kinds: Vec<GateKind> = xag.gate_nodes().iter().map(|&n| xag.gate_kind(n)).collect();
+        assert!(kinds.contains(&GateKind::And));
+        assert!(kinds.contains(&GateKind::Xor));
+    }
+}

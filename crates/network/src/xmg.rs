@@ -1,0 +1,196 @@
+//! Xor-majority graphs (XMGs).
+
+use crate::common::impl_network_common;
+use crate::storage::Storage;
+use crate::{GateBuilder, GateKind, Network, Signal};
+
+/// A Xor-majority graph: three-input majority and three-input XOR gates
+/// with complemented edges.
+///
+/// XMGs combine the arithmetic-friendly majority primitive of MIGs with a
+/// native (three-input) XOR, giving a very compact representation for
+/// mixed control/arithmetic logic.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{GateBuilder, Network, Xmg};
+///
+/// let mut xmg = Xmg::new();
+/// let a = xmg.create_pi();
+/// let b = xmg.create_pi();
+/// let c = xmg.create_pi();
+/// // a full adder is two gates in an XMG
+/// let sum = xmg.create_xor3(a, b, c);
+/// let carry = xmg.create_maj(a, b, c);
+/// xmg.create_po(sum);
+/// xmg.create_po(carry);
+/// assert_eq!(xmg.num_gates(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Xmg {
+    pub(crate) storage: Storage,
+}
+
+impl_network_common!(Xmg, "XMG");
+
+impl Xmg {
+    /// Creates (or finds) a three-input XOR gate.
+    pub fn create_xor3(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        // move complements to the output
+        let complement =
+            a.is_complemented() ^ b.is_complemented() ^ c.is_complemented();
+        let (a, b, c) = (a.regular(), b.regular(), c.regular());
+        // cancellation rules
+        if a == b {
+            return c.complement_if(complement);
+        }
+        if a == c {
+            return b.complement_if(complement);
+        }
+        if b == c {
+            return a.complement_if(complement);
+        }
+        let mut fanins = [a, b, c];
+        fanins.sort_unstable();
+        let node = self
+            .storage
+            .find_or_create_gate(GateKind::Xor3, fanins.to_vec());
+        Signal::new(node, complement)
+    }
+
+    fn create_maj_normalized(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        if a == b || a == c {
+            return a;
+        }
+        if b == c {
+            return b;
+        }
+        if a == !b {
+            return c;
+        }
+        if a == !c {
+            return b;
+        }
+        if b == !c {
+            return a;
+        }
+        let mut fanins = [a, b, c];
+        fanins.sort_unstable();
+        let complemented = fanins.iter().filter(|s| s.is_complemented()).count();
+        let output_complement = complemented >= 2;
+        if output_complement {
+            for f in &mut fanins {
+                *f = !*f;
+            }
+            fanins.sort_unstable();
+        }
+        let node = self
+            .storage
+            .find_or_create_gate(GateKind::Maj, fanins.to_vec());
+        Signal::new(node, output_complement)
+    }
+}
+
+impl GateBuilder for Xmg {
+    fn create_and(&mut self, a: Signal, b: Signal) -> Signal {
+        let zero = self.get_constant(false);
+        self.create_maj(a, b, zero)
+    }
+
+    fn create_or(&mut self, a: Signal, b: Signal) -> Signal {
+        let one = self.get_constant(true);
+        self.create_maj(a, b, one)
+    }
+
+    fn create_xor(&mut self, a: Signal, b: Signal) -> Signal {
+        let zero = self.get_constant(false);
+        self.create_xor3(a, b, zero)
+    }
+
+    fn create_maj(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        self.create_maj_normalized(a, b, c)
+    }
+
+    fn create_gate(&mut self, kind: GateKind, fanins: &[Signal]) -> Signal {
+        match kind {
+            GateKind::Maj => {
+                assert_eq!(fanins.len(), 3, "MAJ gates have three fanins");
+                self.create_maj(fanins[0], fanins[1], fanins[2])
+            }
+            GateKind::Xor3 => {
+                assert_eq!(fanins.len(), 3, "XOR3 gates have three fanins");
+                self.create_xor3(fanins[0], fanins[1], fanins[2])
+            }
+            GateKind::And => {
+                assert_eq!(fanins.len(), 2, "AND gates have two fanins");
+                self.create_and(fanins[0], fanins[1])
+            }
+            GateKind::Xor => {
+                assert_eq!(fanins.len(), 2, "XOR gates have two fanins");
+                self.create_xor(fanins[0], fanins[1])
+            }
+            other => panic!("XMG cannot create gates of kind {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor3_simplification_rules() {
+        let mut xmg = Xmg::new();
+        let a = xmg.create_pi();
+        let b = xmg.create_pi();
+        let zero = xmg.get_constant(false);
+        let one = xmg.get_constant(true);
+        assert_eq!(xmg.create_xor3(a, a, b), b);
+        assert_eq!(xmg.create_xor3(a, b, b), a);
+        assert_eq!(xmg.create_xor3(a, !a, b), !b);
+        assert_eq!(xmg.create_xor3(zero, zero, b), b);
+        assert_eq!(xmg.create_xor3(zero, one, b), !b);
+        assert_eq!(xmg.num_gates(), 0);
+    }
+
+    #[test]
+    fn xor3_complement_normalisation() {
+        let mut xmg = Xmg::new();
+        let a = xmg.create_pi();
+        let b = xmg.create_pi();
+        let c = xmg.create_pi();
+        let x = xmg.create_xor3(a, b, c);
+        assert_eq!(xmg.create_xor3(!a, b, c), !x);
+        assert_eq!(xmg.create_xor3(!a, !b, c), x);
+        assert_eq!(xmg.create_xor3(!a, !b, !c), !x);
+        assert_eq!(xmg.num_gates(), 1);
+    }
+
+    #[test]
+    fn full_adder_two_gates() {
+        let mut xmg = Xmg::new();
+        let a = xmg.create_pi();
+        let b = xmg.create_pi();
+        let cin = xmg.create_pi();
+        let sum = xmg.create_xor3(a, b, cin);
+        let carry = xmg.create_maj(a, b, cin);
+        xmg.create_po(sum);
+        xmg.create_po(carry);
+        assert_eq!(xmg.num_gates(), 2);
+        assert_eq!(xmg.gate_kind(sum.node()), GateKind::Xor3);
+        assert_eq!(xmg.gate_kind(carry.node()), GateKind::Maj);
+    }
+
+    #[test]
+    fn two_input_xor_uses_constant_fanin() {
+        let mut xmg = Xmg::new();
+        let a = xmg.create_pi();
+        let b = xmg.create_pi();
+        let x = xmg.create_xor(a, b);
+        xmg.create_po(x);
+        assert_eq!(xmg.num_gates(), 1);
+        assert_eq!(xmg.gate_kind(x.node()), GateKind::Xor3);
+        assert_eq!(xmg.fanin_size(x.node()), 3);
+    }
+}

@@ -1,0 +1,230 @@
+//! # glsx-sat
+//!
+//! A small conflict-driven clause-learning (CDCL) SAT solver used as the
+//! Boolean-reasoning substrate of the generic logic synthesis library:
+//! SAT-based exact synthesis and combinational equivalence checking both
+//! reduce to satisfiability queries over CNF formulas built from logic
+//! networks.
+//!
+//! The solver implements the standard ingredients of a modern CDCL solver
+//! in a compact form:
+//!
+//! * two-watched-literal propagation,
+//! * first-UIP conflict analysis with clause learning,
+//! * VSIDS-style activity-based branching,
+//! * geometric restarts and learned-clause reduction,
+//! * incremental solving under assumptions.
+//!
+//! # Example
+//!
+//! ```
+//! use glsx_sat::{Lit, SatResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+//! solver.add_clause(&[Lit::negative(a)]);
+//! assert_eq!(solver.solve(), SatResult::Sat);
+//! assert_eq!(solver.value(b), Some(true));
+//! ```
+
+mod solver;
+
+pub use solver::{Lit, SatResult, Solver, SolverStats, Var};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: Var, pos: bool) -> Lit {
+        if pos {
+            Lit::positive(v)
+        } else {
+            Lit::negative(v)
+        }
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::positive(a)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::positive(a)]);
+        s.add_clause(&[Lit::negative(a)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        s.add_clause(&[]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn no_clauses_is_sat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_is_satisfiable() {
+        // encode x0 ^ x1 ^ ... ^ x9 = 1 with helper variables
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..10).map(|_| s.new_var()).collect();
+        let mut acc = vars[0];
+        for &v in &vars[1..] {
+            let t = s.new_var();
+            // t = acc ^ v
+            s.add_clause(&[lit(t, false), lit(acc, true), lit(v, true)]);
+            s.add_clause(&[lit(t, false), lit(acc, false), lit(v, false)]);
+            s.add_clause(&[lit(t, true), lit(acc, true), lit(v, false)]);
+            s.add_clause(&[lit(t, true), lit(acc, false), lit(v, true)]);
+            acc = t;
+        }
+        s.add_clause(&[lit(acc, true)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        let parity = vars.iter().filter(|&&v| s.value(v) == Some(true)).count() % 2;
+        assert_eq!(parity, 1);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // 3 pigeons, 2 holes: classic small UNSAT instance exercising learning
+        let mut s = Solver::new();
+        let mut p = [[Var::from_index(0); 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[lit(row[0], true), lit(row[1], true)]);
+        }
+        for hole in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[lit(p[i][hole], false), lit(p[j][hole], false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(b, true)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(a, false), lit(b, false)]),
+            SatResult::Unsat
+        );
+        // without assumptions the formula is still satisfiable
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.solve_with_assumptions(&[lit(a, false)]), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(b, true)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.add_clause(&[lit(a, false)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        s.add_clause(&[lit(b, false)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_limit_returns_unknown() {
+        // a hard pigeonhole instance with a conflict budget of 1 must give up
+        let mut s = Solver::new();
+        let n = 7; // pigeons
+        let holes = 6;
+        let mut p = vec![vec![Var::from_index(0); holes]; n];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|&v| lit(v, true)).collect();
+            s.add_clause(&clause);
+        }
+        for hole in 0..holes {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[lit(p[i][hole], false), lit(p[j][hole], false)]);
+                }
+            }
+        }
+        s.set_conflict_limit(Some(1));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        s.set_conflict_limit(None);
+    }
+
+    #[test]
+    fn random_3sat_instances_agree_with_brute_force() {
+        // deterministic LCG so the test is reproducible
+        let mut state = 0xdead_beef_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..30 {
+            let num_vars = 8;
+            let num_clauses = 30;
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..num_clauses {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() as usize) % num_vars;
+                    let pol = next() % 2 == 0;
+                    clause.push((v, pol));
+                }
+                clauses.push(clause);
+            }
+            // brute force reference
+            let mut brute_sat = false;
+            'outer: for m in 0u32..(1 << num_vars) {
+                for clause in &clauses {
+                    if !clause.iter().any(|&(v, pol)| ((m >> v) & 1 == 1) == pol) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+            for clause in &clauses {
+                let lits: Vec<Lit> = clause.iter().map(|&(v, pol)| lit(vars[v], pol)).collect();
+                s.add_clause(&lits);
+            }
+            let result = s.solve();
+            assert_eq!(result == SatResult::Sat, brute_sat);
+            if result == SatResult::Sat {
+                for clause in &clauses {
+                    assert!(clause.iter().any(|&(v, pol)| s.value(vars[v]) == Some(pol)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Boolean chains: representation-independent synthesis recipes.
+//!
+//! A [`Chain`] describes a small multi-level structure (the output of exact
+//! synthesis or of a recorded heuristic synthesis) independently of any
+//! network type.  It can be simulated for verification and replayed into
+//! any network implementing [`GateBuilder`], which is how the NPN rewriting
+//! database instantiates cached structures in AIGs, XAGs, MIGs, …
+
+use glsx_network::{GateBuilder, GateKind, Signal};
+use glsx_truth::TruthTable;
+
+/// A reference to an operand of a chain step: either one of the chain
+/// inputs or the result of an earlier step, optionally complemented.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ChainOperand {
+    /// Index into the combined operand space: `0..num_inputs` are the chain
+    /// inputs, `num_inputs..` are previous steps.
+    pub index: usize,
+    /// Whether the operand is complemented.
+    pub complemented: bool,
+}
+
+impl ChainOperand {
+    /// Creates an operand reference.
+    pub fn new(index: usize, complemented: bool) -> Self {
+        Self { index, complemented }
+    }
+}
+
+/// A single step (gate) of a chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainStep {
+    /// Gate kind of the step.
+    pub kind: GateKind,
+    /// Operands of the step (arity must match the kind).
+    pub operands: Vec<ChainOperand>,
+}
+
+/// A Boolean chain over `num_inputs` inputs.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{Aig, GateBuilder, GateKind, Network};
+/// use glsx_synth::{Chain, ChainOperand, ChainStep};
+///
+/// // chain computing (x0 & x1) over two inputs
+/// let mut chain = Chain::new(2);
+/// chain.push_step(ChainStep {
+///     kind: GateKind::And,
+///     operands: vec![ChainOperand::new(0, false), ChainOperand::new(1, false)],
+/// });
+/// chain.set_output(ChainOperand::new(2, false));
+/// assert_eq!(chain.simulate().to_hex(), "8");
+///
+/// let mut aig = Aig::new();
+/// let a = aig.create_pi();
+/// let b = aig.create_pi();
+/// let f = chain.replay(&mut aig, &[a, b]);
+/// aig.create_po(f);
+/// assert_eq!(aig.num_gates(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chain {
+    num_inputs: usize,
+    steps: Vec<ChainStep>,
+    output: ChainOperand,
+}
+
+impl Chain {
+    /// Creates an empty chain whose output is constant zero.
+    pub fn new(num_inputs: usize) -> Self {
+        Self {
+            num_inputs,
+            steps: Vec::new(),
+            // by convention, an empty chain outputs constant zero via a
+            // special operand index equal to usize::MAX
+            output: ChainOperand::new(usize::MAX, false),
+        }
+    }
+
+    /// Number of chain inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of steps (gates).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The steps of the chain.
+    pub fn steps(&self) -> &[ChainStep] {
+        &self.steps
+    }
+
+    /// The output operand.
+    pub fn output(&self) -> ChainOperand {
+        self.output
+    }
+
+    /// Appends a step and returns its operand index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand refers to a not-yet-defined step or the operand
+    /// count does not match the gate kind's arity.
+    pub fn push_step(&mut self, step: ChainStep) -> usize {
+        if let Some(arity) = step.kind.arity() {
+            assert_eq!(step.operands.len(), arity, "operand count must match gate arity");
+        }
+        let new_index = self.num_inputs + self.steps.len();
+        for op in &step.operands {
+            assert!(op.index < new_index, "operands must refer to inputs or earlier steps");
+        }
+        self.steps.push(step);
+        new_index
+    }
+
+    /// Sets the output operand.
+    pub fn set_output(&mut self, output: ChainOperand) {
+        self.output = output;
+    }
+
+    /// Simulates the chain, returning its function over `num_inputs`
+    /// variables.
+    pub fn simulate(&self) -> TruthTable {
+        let n = self.num_inputs;
+        let mut values: Vec<TruthTable> = (0..n).map(|i| TruthTable::nth_var(n, i)).collect();
+        for step in &self.steps {
+            let inputs: Vec<TruthTable> = step
+                .operands
+                .iter()
+                .map(|op| {
+                    let v = &values[op.index];
+                    if op.complemented {
+                        !v
+                    } else {
+                        v.clone()
+                    }
+                })
+                .collect();
+            let result = match step.kind {
+                GateKind::And => &inputs[0] & &inputs[1],
+                GateKind::Xor => &inputs[0] ^ &inputs[1],
+                GateKind::Maj => TruthTable::maj(&inputs[0], &inputs[1], &inputs[2]),
+                GateKind::Xor3 => &(&inputs[0] ^ &inputs[1]) ^ &inputs[2],
+                other => panic!("chains cannot contain gates of kind {other}"),
+            };
+            values.push(result);
+        }
+        if self.output.index == usize::MAX {
+            let zero = TruthTable::zero(n);
+            return if self.output.complemented { !zero } else { zero };
+        }
+        let out = &values[self.output.index];
+        if self.output.complemented {
+            !out
+        } else {
+            out.clone()
+        }
+    }
+
+    /// Replays the chain into a network, using `leaves` as the chain
+    /// inputs, and returns the signal of the chain output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves.len() != num_inputs()`.
+    pub fn replay<N: GateBuilder>(&self, ntk: &mut N, leaves: &[Signal]) -> Signal {
+        assert_eq!(leaves.len(), self.num_inputs, "one leaf signal per chain input");
+        let mut signals: Vec<Signal> = leaves.to_vec();
+        for step in &self.steps {
+            let operands: Vec<Signal> = step
+                .operands
+                .iter()
+                .map(|op| signals[op.index].complement_if(op.complemented))
+                .collect();
+            let result = ntk.create_gate(step.kind, &operands);
+            signals.push(result);
+        }
+        if self.output.index == usize::MAX {
+            return ntk.get_constant(self.output.complemented);
+        }
+        signals[self.output.index].complement_if(self.output.complemented)
+    }
+
+    /// Creates a chain that outputs a constant.
+    pub fn constant(num_inputs: usize, value: bool) -> Self {
+        let mut chain = Self::new(num_inputs);
+        chain.output = ChainOperand::new(usize::MAX, value);
+        chain
+    }
+
+    /// Creates a chain that outputs (a possibly complemented) input
+    /// projection.
+    pub fn projection(num_inputs: usize, input: usize, complemented: bool) -> Self {
+        let mut chain = Self::new(num_inputs);
+        chain.output = ChainOperand::new(input, complemented);
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::{Mig, Network, Xag};
+    use glsx_network::simulation::simulate;
+
+    fn maj_chain() -> Chain {
+        let mut chain = Chain::new(3);
+        let ab = chain.push_step(ChainStep {
+            kind: GateKind::And,
+            operands: vec![ChainOperand::new(0, false), ChainOperand::new(1, false)],
+        });
+        let aob = chain.push_step(ChainStep {
+            kind: GateKind::And,
+            operands: vec![ChainOperand::new(0, true), ChainOperand::new(1, true)],
+        });
+        let c_or = chain.push_step(ChainStep {
+            kind: GateKind::And,
+            operands: vec![ChainOperand::new(2, false), ChainOperand::new(aob, true)],
+        });
+        let out = chain.push_step(ChainStep {
+            kind: GateKind::And,
+            operands: vec![ChainOperand::new(ab, true), ChainOperand::new(c_or, true)],
+        });
+        chain.set_output(ChainOperand::new(out, true));
+        chain
+    }
+
+    #[test]
+    fn simulate_majority_chain() {
+        let chain = maj_chain();
+        assert_eq!(chain.simulate().to_hex(), "e8");
+        assert_eq!(chain.num_steps(), 4);
+        assert_eq!(chain.num_inputs(), 3);
+    }
+
+    #[test]
+    fn replay_into_different_networks() {
+        let chain = maj_chain();
+        let expected = chain.simulate();
+
+        let mut xag = Xag::new();
+        let leaves: Vec<Signal> = (0..3).map(|_| xag.create_pi()).collect();
+        let out = chain.replay(&mut xag, &leaves);
+        xag.create_po(out);
+        assert_eq!(simulate(&xag)[0], expected);
+
+        let mut mig = Mig::new();
+        let leaves: Vec<Signal> = (0..3).map(|_| mig.create_pi()).collect();
+        let out = chain.replay(&mut mig, &leaves);
+        mig.create_po(out);
+        assert_eq!(simulate(&mig)[0], expected);
+    }
+
+    #[test]
+    fn constants_and_projections() {
+        assert!(Chain::constant(3, false).simulate().is_zero());
+        assert!(Chain::constant(3, true).simulate().is_one());
+        assert_eq!(
+            Chain::projection(3, 1, false).simulate(),
+            TruthTable::nth_var(3, 1)
+        );
+        assert_eq!(
+            Chain::projection(3, 2, true).simulate(),
+            !TruthTable::nth_var(3, 2)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn forward_references_are_rejected() {
+        let mut chain = Chain::new(2);
+        chain.push_step(ChainStep {
+            kind: GateKind::And,
+            operands: vec![ChainOperand::new(0, false), ChainOperand::new(5, false)],
+        });
+    }
+
+    #[test]
+    fn maj_steps_in_chain() {
+        let mut chain = Chain::new(3);
+        let m = chain.push_step(ChainStep {
+            kind: GateKind::Maj,
+            operands: vec![
+                ChainOperand::new(0, false),
+                ChainOperand::new(1, false),
+                ChainOperand::new(2, false),
+            ],
+        });
+        chain.set_output(ChainOperand::new(m, false));
+        assert_eq!(chain.simulate().to_hex(), "e8");
+    }
+}

@@ -1,0 +1,383 @@
+//! SAT-based exact synthesis of Boolean chains.
+//!
+//! Following the practical exact synthesis approach used by the EPFL
+//! libraries, a chain of `r` two-input steps is encoded into CNF: value
+//! variables describe the output of every step under every input minterm,
+//! selection variables choose the operands of every step, and operator
+//! variables choose the step function.  The encoding is solved for
+//! increasing `r` until a realisation is found, yielding a size-optimal
+//! chain for the requested gate set.
+
+use crate::chain::{Chain, ChainOperand, ChainStep};
+use glsx_network::GateKind;
+use glsx_sat::{Lit, SatResult, Solver, Var};
+use glsx_truth::TruthTable;
+
+/// The set of two-input step functions exact synthesis may use.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ChainGateSet {
+    /// AND gates with arbitrary input/output complementation (AIG chains).
+    AndInverter,
+    /// AND and XOR gates with arbitrary complementation (XAG chains).
+    AndXorInverter,
+}
+
+/// Options controlling exact synthesis.
+#[derive(Copy, Clone, Debug)]
+pub struct ExactSynthesisParams {
+    /// Gate set of the synthesised chain.
+    pub gate_set: ChainGateSet,
+    /// Maximum number of steps to try.
+    pub max_steps: usize,
+    /// Conflict limit per SAT call; when exceeded the synthesis gives up
+    /// (returns `None`) rather than blocking.
+    pub conflict_limit: u64,
+}
+
+impl Default for ExactSynthesisParams {
+    fn default() -> Self {
+        Self {
+            gate_set: ChainGateSet::AndXorInverter,
+            max_steps: 7,
+            conflict_limit: 50_000,
+        }
+    }
+}
+
+/// Synthesises a size-optimal chain realising `target`, trying chain sizes
+/// `1..=params.max_steps`.
+///
+/// Returns `None` if the function cannot be realised within the step and
+/// conflict limits.  Constants and projections are handled without calling
+/// the SAT solver.
+///
+/// # Example
+///
+/// ```
+/// use glsx_synth::{exact_chain_synthesis, ExactSynthesisParams};
+/// use glsx_truth::TruthTable;
+///
+/// let maj = TruthTable::from_hex(3, "e8")?;
+/// let chain = exact_chain_synthesis(&maj, &ExactSynthesisParams::default())
+///     .expect("majority is realisable");
+/// assert_eq!(chain.simulate(), maj);
+/// assert!(chain.num_steps() <= 4);
+/// # Ok::<(), glsx_truth::ParseTruthTableError>(())
+/// ```
+pub fn exact_chain_synthesis(
+    target: &TruthTable,
+    params: &ExactSynthesisParams,
+) -> Option<Chain> {
+    let n = target.num_vars();
+    // trivial cases
+    if target.is_zero() {
+        return Some(Chain::constant(n, false));
+    }
+    if target.is_one() {
+        return Some(Chain::constant(n, true));
+    }
+    for v in 0..n {
+        if *target == TruthTable::nth_var(n, v) {
+            return Some(Chain::projection(n, v, false));
+        }
+        if *target == !TruthTable::nth_var(n, v) {
+            return Some(Chain::projection(n, v, true));
+        }
+    }
+    for r in 1..=params.max_steps {
+        match synthesize_with_steps(target, r, params) {
+            StepResult::Found(chain) => {
+                debug_assert_eq!(chain.simulate(), *target);
+                return Some(chain);
+            }
+            StepResult::Unsat => continue,
+            StepResult::GaveUp => return None,
+        }
+    }
+    None
+}
+
+enum StepResult {
+    Found(Chain),
+    Unsat,
+    GaveUp,
+}
+
+fn synthesize_with_steps(
+    target: &TruthTable,
+    num_steps: usize,
+    params: &ExactSynthesisParams,
+) -> StepResult {
+    let n = target.num_vars();
+    let minterms = 1usize << n;
+    let mut solver = Solver::new();
+    solver.set_conflict_limit(Some(params.conflict_limit));
+
+    // value variables: x[i][t] = value of step i on minterm t
+    let x: Vec<Vec<Var>> = (0..num_steps)
+        .map(|_| (0..minterms).map(|_| solver.new_var()).collect())
+        .collect();
+    // operator variables: o[i][ab] = value of step i's function for operand
+    // values (a, b) where ab = a + 2*b
+    let o: Vec<Vec<Var>> = (0..num_steps)
+        .map(|_| (0..4).map(|_| solver.new_var()).collect())
+        .collect();
+    // selection variables: s[i][(j, k)] for j < k over operands 0..n+i
+    let mut s: Vec<Vec<(usize, usize, Var)>> = Vec::with_capacity(num_steps);
+    for i in 0..num_steps {
+        let mut row = Vec::new();
+        for j in 0..(n + i) {
+            for k in (j + 1)..(n + i) {
+                row.push((j, k, solver.new_var()));
+            }
+        }
+        s.push(row);
+    }
+    // output polarity
+    let out_pol = solver.new_var();
+
+    // operand value under minterm t: Some(bool) for chain inputs, None for steps
+    let operand_value = |op: usize, t: usize| -> Option<bool> {
+        if op < n {
+            Some((t >> op) & 1 == 1)
+        } else {
+            None
+        }
+    };
+    let operand_lit = |op: usize, t: usize, value: bool| -> Lit {
+        debug_assert!(op >= n);
+        Lit::new(x[op - n][t], value)
+    };
+
+    // selection: exactly one pair per step
+    for row in &s {
+        let at_least_one: Vec<Lit> = row.iter().map(|&(_, _, v)| Lit::positive(v)).collect();
+        solver.add_clause(&at_least_one);
+        for a in 0..row.len() {
+            for b in (a + 1)..row.len() {
+                solver.add_clause(&[Lit::negative(row[a].2), Lit::negative(row[b].2)]);
+            }
+        }
+    }
+
+    // operator restrictions
+    for ops in &o {
+        let lits = |pattern: [bool; 4]| -> Vec<Lit> {
+            // clause forbidding o == pattern
+            (0..4).map(|idx| Lit::new(ops[idx], !pattern[idx])).collect()
+        };
+        // forbid constants and projections
+        for forbidden in [
+            [false, false, false, false],
+            [true, true, true, true],
+            [false, true, false, true],
+            [true, false, true, false],
+            [false, false, true, true],
+            [true, true, false, false],
+        ] {
+            solver.add_clause(&lits(forbidden));
+        }
+        if params.gate_set == ChainGateSet::AndInverter {
+            // additionally forbid XOR and XNOR
+            solver.add_clause(&lits([false, true, true, false]));
+            solver.add_clause(&lits([true, false, false, true]));
+        }
+    }
+
+    // main clauses: s[i][(j,k)] && x_j(t)=a && x_k(t)=b  =>  x_i(t) = o_i[a + 2b]
+    for i in 0..num_steps {
+        for &(j, k, sel) in &s[i] {
+            for t in 0..minterms {
+                for a in [false, true] {
+                    for b in [false, true] {
+                        let mut clause = vec![Lit::negative(sel)];
+                        match operand_value(j, t) {
+                            Some(v) if v != a => continue,
+                            Some(_) => {}
+                            None => clause.push(operand_lit(j, t, !a)),
+                        }
+                        match operand_value(k, t) {
+                            Some(v) if v != b => continue,
+                            Some(_) => {}
+                            None => clause.push(operand_lit(k, t, !b)),
+                        }
+                        let op_lit = Lit::positive(o[i][a as usize + 2 * b as usize]);
+                        // x_i(t) <-> o_i[ab]  (two clauses)
+                        let mut c1 = clause.clone();
+                        c1.push(Lit::negative(x[i][t]));
+                        c1.push(op_lit);
+                        solver.add_clause(&c1);
+                        let mut c2 = clause;
+                        c2.push(Lit::positive(x[i][t]));
+                        c2.push(!op_lit);
+                        solver.add_clause(&c2);
+                    }
+                }
+            }
+        }
+    }
+
+    // output constraint: x_{r-1}(t) xor out_pol == target(t)
+    let last = num_steps - 1;
+    for t in 0..minterms {
+        let bit = target.bit(t);
+        // (x ^ p) == bit: if p is false x must equal bit, if p is true x
+        // must equal !bit
+        solver.add_clause(&[Lit::new(x[last][t], bit), Lit::positive(out_pol)]);
+        solver.add_clause(&[Lit::new(x[last][t], !bit), Lit::negative(out_pol)]);
+    }
+
+    match solver.solve() {
+        SatResult::Unsat => StepResult::Unsat,
+        SatResult::Unknown => StepResult::GaveUp,
+        SatResult::Sat => {
+            let chain = decode_chain(&solver, target.num_vars(), num_steps, &x, &o, &s, out_pol);
+            StepResult::Found(chain)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_chain(
+    solver: &Solver,
+    num_inputs: usize,
+    num_steps: usize,
+    _x: &[Vec<Var>],
+    o: &[Vec<Var>],
+    s: &[Vec<(usize, usize, Var)>],
+    out_pol: Var,
+) -> Chain {
+    let mut chain = Chain::new(num_inputs);
+    // negated[i]: the chain step value is the complement of the SAT value
+    let mut negated = vec![false; num_inputs + num_steps];
+    for i in 0..num_steps {
+        let (j, k, _) = *s[i]
+            .iter()
+            .find(|&&(_, _, v)| solver.value(v) == Some(true))
+            .expect("exactly one selection per step");
+        let f: Vec<bool> = (0..4).map(|idx| solver.value(o[i][idx]) == Some(true)).collect();
+        let ones = f.iter().filter(|&&b| b).count();
+        // operand complement needed to refer to the SAT value of a step
+        let base_j = negated[j];
+        let base_k = negated[k];
+        let (kind, comp_j, comp_k, step_negated) = if f == [false, true, true, false] {
+            (GateKind::Xor, false, false, false)
+        } else if f == [true, false, false, true] {
+            (GateKind::Xor, false, false, true)
+        } else if ones == 1 {
+            let pos = f.iter().position(|&b| b).expect("one set bit");
+            // f is AND(a ^ !bit0, b ^ !bit1) where pos = bit0 + 2*bit1
+            (GateKind::And, pos & 1 == 0, pos & 2 == 0, false)
+        } else {
+            debug_assert_eq!(ones, 3);
+            let pos = f.iter().position(|&b| !b).expect("one clear bit");
+            // f is the complement of the AND-like function whose single
+            // one-bit sits at `pos`
+            (GateKind::And, pos & 1 == 0, pos & 2 == 0, true)
+        };
+        let index = chain.push_step(ChainStep {
+            kind,
+            operands: vec![
+                ChainOperand::new(j, comp_j ^ base_j),
+                ChainOperand::new(k, comp_k ^ base_k),
+            ],
+        });
+        negated[index] = step_negated;
+    }
+    let last = num_inputs + num_steps - 1;
+    let out_negated = (solver.value(out_pol) == Some(true)) ^ negated[last];
+    chain.set_output(ChainOperand::new(last, out_negated));
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(gate_set: ChainGateSet) -> ExactSynthesisParams {
+        ExactSynthesisParams {
+            gate_set,
+            max_steps: 6,
+            conflict_limit: 100_000,
+        }
+    }
+
+    #[test]
+    fn trivial_functions_need_no_gates() {
+        let p = ExactSynthesisParams::default();
+        assert_eq!(
+            exact_chain_synthesis(&TruthTable::zero(3), &p).unwrap().num_steps(),
+            0
+        );
+        assert_eq!(
+            exact_chain_synthesis(&TruthTable::nth_var(4, 2), &p).unwrap().num_steps(),
+            0
+        );
+        let not_x = !TruthTable::nth_var(2, 1);
+        let chain = exact_chain_synthesis(&not_x, &p).unwrap();
+        assert_eq!(chain.num_steps(), 0);
+        assert_eq!(chain.simulate(), not_x);
+    }
+
+    #[test]
+    fn and_and_or_take_one_gate() {
+        let p = params(ChainGateSet::AndInverter);
+        let a = TruthTable::nth_var(2, 0);
+        let b = TruthTable::nth_var(2, 1);
+        for f in [&a & &b, &a | &b, &!&a & &b, !(&a & &b)] {
+            let chain = exact_chain_synthesis(&f, &p).unwrap();
+            assert_eq!(chain.num_steps(), 1, "function {f}");
+            assert_eq!(chain.simulate(), f);
+        }
+    }
+
+    #[test]
+    fn xor_costs_one_gate_in_xags_and_three_in_aigs() {
+        let a = TruthTable::nth_var(2, 0);
+        let b = TruthTable::nth_var(2, 1);
+        let xor = &a ^ &b;
+        let xag_chain =
+            exact_chain_synthesis(&xor, &params(ChainGateSet::AndXorInverter)).unwrap();
+        assert_eq!(xag_chain.num_steps(), 1);
+        assert_eq!(xag_chain.simulate(), xor);
+        let aig_chain = exact_chain_synthesis(&xor, &params(ChainGateSet::AndInverter)).unwrap();
+        assert_eq!(aig_chain.num_steps(), 3);
+        assert_eq!(aig_chain.simulate(), xor);
+    }
+
+    #[test]
+    fn majority_is_four_ands_or_three_xag_gates() {
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let aig_chain = exact_chain_synthesis(&maj, &params(ChainGateSet::AndInverter)).unwrap();
+        assert_eq!(aig_chain.simulate(), maj);
+        assert_eq!(aig_chain.num_steps(), 4);
+        let xag_chain =
+            exact_chain_synthesis(&maj, &params(ChainGateSet::AndXorInverter)).unwrap();
+        assert_eq!(xag_chain.simulate(), maj);
+        assert!(xag_chain.num_steps() <= 4);
+    }
+
+    #[test]
+    fn random_three_input_functions_are_realised_correctly() {
+        let p = params(ChainGateSet::AndXorInverter);
+        let mut state = 0x9e37_79b9_u64;
+        for _ in 0..10 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let tt = TruthTable::from_bits(3, state);
+            let chain = exact_chain_synthesis(&tt, &p).expect("3-input functions are realisable");
+            assert_eq!(chain.simulate(), tt, "function {tt}");
+        }
+    }
+
+    #[test]
+    fn gives_up_gracefully_with_tiny_conflict_limit() {
+        let hard = TruthTable::from_hex(4, "6996").unwrap(); // 4-input parity
+        let p = ExactSynthesisParams {
+            gate_set: ChainGateSet::AndInverter,
+            max_steps: 2,
+            conflict_limit: 100_000,
+        };
+        // parity of 4 inputs needs 9 AND gates; with max_steps = 2 the result is None
+        assert!(exact_chain_synthesis(&hard, &p).is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! Shannon-decomposition resynthesis.
+//!
+//! A simple but fully generic resynthesis engine: the function is
+//! decomposed recursively as `f = x ? f_x : f_!x` with memoisation of
+//! cofactors, producing a multiplexer tree in whatever gates the target
+//! representation offers.  Used as a baseline resynthesis engine and in
+//! ablation studies against SOP factoring and exact synthesis.
+
+use glsx_network::{GateBuilder, Signal};
+use glsx_truth::TruthTable;
+use std::collections::HashMap;
+
+/// Synthesises `function` over `leaves` by recursive Shannon decomposition
+/// and returns the root signal.
+///
+/// Identical cofactors are shared through a memoisation table, so the
+/// result is a (reduced) multiplexer tree rather than a full binary tree.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() != function.num_vars()`.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{GateBuilder, Network, Xag};
+/// use glsx_network::simulation::simulate;
+/// use glsx_synth::shannon_resynthesize;
+/// use glsx_truth::TruthTable;
+///
+/// let mut xag = Xag::new();
+/// let leaves: Vec<_> = (0..4).map(|_| xag.create_pi()).collect();
+/// let f = TruthTable::from_hex(4, "cafe")?;
+/// let root = shannon_resynthesize(&mut xag, &f, &leaves);
+/// xag.create_po(root);
+/// assert_eq!(simulate(&xag)[0], f);
+/// # Ok::<(), glsx_truth::ParseTruthTableError>(())
+/// ```
+pub fn shannon_resynthesize<N: GateBuilder>(
+    ntk: &mut N,
+    function: &TruthTable,
+    leaves: &[Signal],
+) -> Signal {
+    assert_eq!(
+        leaves.len(),
+        function.num_vars(),
+        "one leaf signal per function input"
+    );
+    let mut memo: HashMap<TruthTable, Signal> = HashMap::new();
+    shannon_rec(ntk, function, leaves, &mut memo)
+}
+
+fn shannon_rec<N: GateBuilder>(
+    ntk: &mut N,
+    function: &TruthTable,
+    leaves: &[Signal],
+    memo: &mut HashMap<TruthTable, Signal>,
+) -> Signal {
+    if function.is_zero() {
+        return ntk.get_constant(false);
+    }
+    if function.is_one() {
+        return ntk.get_constant(true);
+    }
+    if let Some(&signal) = memo.get(function) {
+        return signal;
+    }
+    // projection (possibly complemented)?
+    for v in 0..function.num_vars() {
+        if *function == TruthTable::nth_var(function.num_vars(), v) {
+            return leaves[v];
+        }
+        if *function == !TruthTable::nth_var(function.num_vars(), v) {
+            return !leaves[v];
+        }
+    }
+    // decompose on the highest variable in the support
+    let var = (0..function.num_vars())
+        .rev()
+        .find(|&v| function.has_var(v))
+        .expect("non-constant function has a support variable");
+    let cof0 = function.cofactor0(var);
+    let cof1 = function.cofactor1(var);
+    let then_s = shannon_rec(ntk, &cof1, leaves, memo);
+    let else_s = shannon_rec(ntk, &cof0, leaves, memo);
+    let result = ntk.create_ite(leaves[var], then_s, else_s);
+    memo.insert(function.clone(), result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::simulation::simulate;
+    use glsx_network::{Aig, Mig, Xmg};
+
+    fn check<N: GateBuilder>(tt: &TruthTable) -> usize {
+        let mut ntk = N::new();
+        let leaves: Vec<Signal> = (0..tt.num_vars()).map(|_| ntk.create_pi()).collect();
+        let root = shannon_resynthesize(&mut ntk, tt, &leaves);
+        ntk.create_po(root);
+        assert_eq!(&simulate(&ntk)[0], tt);
+        ntk.num_gates()
+    }
+
+    #[test]
+    fn simple_functions() {
+        check::<Aig>(&TruthTable::zero(2));
+        check::<Aig>(&TruthTable::one(2));
+        check::<Aig>(&TruthTable::nth_var(3, 1));
+        check::<Aig>(&!TruthTable::nth_var(3, 1));
+        check::<Mig>(&TruthTable::from_hex(3, "e8").unwrap());
+        check::<Xmg>(&TruthTable::from_hex(3, "96").unwrap());
+    }
+
+    #[test]
+    fn random_functions_in_all_representations() {
+        let mut state = 0x1111_2222_u64;
+        for _ in 0..10 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let tt = TruthTable::from_bits(4, state);
+            check::<Aig>(&tt);
+            check::<Mig>(&tt);
+            check::<Xmg>(&tt);
+        }
+    }
+
+    #[test]
+    fn memoisation_shares_equal_cofactors() {
+        // f = (a ? g : g) where the two branches are equal collapses
+        let a = TruthTable::nth_var(3, 0);
+        let b = TruthTable::nth_var(3, 1);
+        let c = TruthTable::nth_var(3, 2);
+        // symmetric function: both cofactors w.r.t. c contain b&a patterns
+        let f = (&a & &b) ^ &c;
+        let gates = check::<Aig>(&f);
+        assert!(gates <= 6);
+    }
+}

@@ -1,0 +1,200 @@
+//! SOP-based resynthesis: irredundant cover computation followed by
+//! algebraic factoring.
+//!
+//! This is the workhorse used by refactoring (Algorithm 4 of the paper) and
+//! as the fallback structure generator of the rewriting database: it works
+//! for *any* network providing the [`GateBuilder`] interface because the
+//! factored form only needs AND/OR/NOT, which every representation can
+//! express.
+
+use glsx_network::{GateBuilder, Signal};
+use glsx_truth::{isop, Cube, TruthTable};
+
+/// Synthesises `function` over the given `leaves` into `ntk` using an
+/// irredundant sum-of-products cover and algebraic factoring, and returns
+/// the root signal.
+///
+/// Both the function and its complement are covered; the cheaper cover (by
+/// literal count) is factored and, if the complement was chosen, the result
+/// is inverted — inverters are free in all graph representations of this
+/// workspace.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() != function.num_vars()`.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{Aig, GateBuilder, Network};
+/// use glsx_network::simulation::simulate;
+/// use glsx_synth::sop_resynthesize;
+/// use glsx_truth::TruthTable;
+///
+/// let mut aig = Aig::new();
+/// let leaves: Vec<_> = (0..3).map(|_| aig.create_pi()).collect();
+/// let maj = TruthTable::from_hex(3, "e8")?;
+/// let root = sop_resynthesize(&mut aig, &maj, &leaves);
+/// aig.create_po(root);
+/// assert_eq!(simulate(&aig)[0], maj);
+/// # Ok::<(), glsx_truth::ParseTruthTableError>(())
+/// ```
+pub fn sop_resynthesize<N: GateBuilder>(
+    ntk: &mut N,
+    function: &TruthTable,
+    leaves: &[Signal],
+) -> Signal {
+    assert_eq!(
+        leaves.len(),
+        function.num_vars(),
+        "one leaf signal per function input"
+    );
+    if function.is_zero() {
+        return ntk.get_constant(false);
+    }
+    if function.is_one() {
+        return ntk.get_constant(true);
+    }
+    let positive = isop(function);
+    let negative = isop(&!function);
+    let pos_cost = positive.num_literals() + positive.num_cubes();
+    let neg_cost = negative.num_literals() + negative.num_cubes();
+    if pos_cost <= neg_cost {
+        factor_cubes(ntk, positive.cubes(), leaves)
+    } else {
+        !factor_cubes(ntk, negative.cubes(), leaves)
+    }
+}
+
+/// Builds a factored form of a cube cover (algebraic "quick factoring"):
+/// the most frequent literal is divided out recursively; covers without a
+/// repeated literal become a disjunction of cube conjunctions.
+fn factor_cubes<N: GateBuilder>(ntk: &mut N, cubes: &[Cube], leaves: &[Signal]) -> Signal {
+    if cubes.is_empty() {
+        return ntk.get_constant(false);
+    }
+    // a tautological cube makes the whole cover constant one
+    if cubes.iter().any(|c| c.num_literals() == 0) {
+        return ntk.get_constant(true);
+    }
+    if cubes.len() == 1 {
+        return build_cube(ntk, &cubes[0], leaves);
+    }
+    // find the literal occurring in the largest number of cubes
+    let mut best: Option<(usize, bool, usize)> = None; // (var, polarity, count)
+    for var in 0..leaves.len() {
+        for polarity in [false, true] {
+            let count = cubes
+                .iter()
+                .filter(|c| c.has_literal(var) && c.polarity(var) == polarity)
+                .count();
+            if count > 1 && best.map_or(true, |(_, _, c)| count > c) {
+                best = Some((var, polarity, count));
+            }
+        }
+    }
+    match best {
+        None => {
+            // no sharing opportunity: OR together the individual cubes
+            let terms: Vec<Signal> = cubes.iter().map(|c| build_cube(ntk, c, leaves)).collect();
+            ntk.create_nary_or(&terms)
+        }
+        Some((var, polarity, _)) => {
+            let literal = leaves[var].complement_if(!polarity);
+            let quotient: Vec<Cube> = cubes
+                .iter()
+                .filter(|c| c.has_literal(var) && c.polarity(var) == polarity)
+                .map(|c| c.without_literal(var))
+                .collect();
+            let remainder: Vec<Cube> = cubes
+                .iter()
+                .filter(|c| !(c.has_literal(var) && c.polarity(var) == polarity))
+                .copied()
+                .collect();
+            let q = factor_cubes(ntk, &quotient, leaves);
+            let divided = ntk.create_and(literal, q);
+            if remainder.is_empty() {
+                divided
+            } else {
+                let r = factor_cubes(ntk, &remainder, leaves);
+                ntk.create_or(divided, r)
+            }
+        }
+    }
+}
+
+/// Builds the conjunction of the literals of a single cube.
+fn build_cube<N: GateBuilder>(ntk: &mut N, cube: &Cube, leaves: &[Signal]) -> Signal {
+    let literals: Vec<Signal> = (0..leaves.len())
+        .filter(|&v| cube.has_literal(v))
+        .map(|v| leaves[v].complement_if(!cube.polarity(v)))
+        .collect();
+    ntk.create_nary_and(&literals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::simulation::simulate;
+    use glsx_network::{Aig, Mig, Network, Xag};
+
+    fn check_all_representations(tt: &TruthTable) {
+        macro_rules! check {
+            ($ty:ty) => {{
+                let mut ntk = <$ty>::new();
+                let leaves: Vec<Signal> =
+                    (0..tt.num_vars()).map(|_| ntk.create_pi()).collect();
+                let root = sop_resynthesize(&mut ntk, tt, &leaves);
+                ntk.create_po(root);
+                assert_eq!(&simulate(&ntk)[0], tt, "{} failed for {tt}", <$ty>::NAME);
+            }};
+        }
+        check!(Aig);
+        check!(Xag);
+        check!(Mig);
+    }
+
+    #[test]
+    fn constants_and_single_cubes() {
+        check_all_representations(&TruthTable::zero(3));
+        check_all_representations(&TruthTable::one(3));
+        let a = TruthTable::nth_var(3, 0);
+        let c = TruthTable::nth_var(3, 2);
+        check_all_representations(&(&a & &!&c));
+    }
+
+    #[test]
+    fn majority_and_parity() {
+        check_all_representations(&TruthTable::from_hex(3, "e8").unwrap());
+        let a = TruthTable::nth_var(3, 0);
+        let b = TruthTable::nth_var(3, 1);
+        let c = TruthTable::nth_var(3, 2);
+        check_all_representations(&(&(&a ^ &b) ^ &c));
+    }
+
+    #[test]
+    fn random_four_input_functions() {
+        let mut state = 0xc0ff_ee11_u64;
+        for _ in 0..15 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let tt = TruthTable::from_bits(4, state);
+            check_all_representations(&tt);
+        }
+    }
+
+    #[test]
+    fn factoring_shares_common_literals() {
+        // f = a&b | a&c | a&d should factor as a & (b | c | d): 4 gates in an AIG
+        let a = TruthTable::nth_var(4, 0);
+        let b = TruthTable::nth_var(4, 1);
+        let c = TruthTable::nth_var(4, 2);
+        let d = TruthTable::nth_var(4, 3);
+        let f = (&a & &b) | (&a & &c) | (&a & &d);
+        let mut aig = Aig::new();
+        let leaves: Vec<Signal> = (0..4).map(|_| aig.create_pi()).collect();
+        let root = sop_resynthesize(&mut aig, &f, &leaves);
+        aig.create_po(root);
+        assert_eq!(simulate(&aig)[0], f);
+        assert!(aig.num_gates() <= 4, "factored form should share the literal a");
+    }
+}

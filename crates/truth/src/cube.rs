@@ -1,0 +1,352 @@
+//! Two-level cube and sum-of-products representations.
+
+use crate::TruthTable;
+use std::fmt;
+
+/// A product term (cube) over at most 32 variables.
+///
+/// A variable `i` appears in the cube iff bit `i` of `mask` is set; its
+/// polarity is given by bit `i` of `bits` (1 = positive literal, 0 =
+/// negative literal).
+///
+/// # Example
+///
+/// ```
+/// use glsx_truth::Cube;
+///
+/// // x0 & !x2
+/// let cube = Cube::new(0b001, 0b101);
+/// assert_eq!(cube.num_literals(), 2);
+/// assert!(cube.has_literal(0));
+/// assert!(cube.has_literal(2));
+/// assert!(cube.polarity(0));
+/// assert!(!cube.polarity(2));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Cube {
+    bits: u32,
+    mask: u32,
+}
+
+impl Cube {
+    /// Creates a cube from polarity bits and a literal mask.  Polarity bits
+    /// outside the mask are cleared.
+    pub fn new(bits: u32, mask: u32) -> Self {
+        Self { bits: bits & mask, mask }
+    }
+
+    /// The empty cube (tautology: the product of zero literals).
+    pub fn tautology() -> Self {
+        Self { bits: 0, mask: 0 }
+    }
+
+    /// Creates a single-literal cube.
+    pub fn literal(var: usize, positive: bool) -> Self {
+        let mask = 1u32 << var;
+        Self {
+            bits: if positive { mask } else { 0 },
+            mask,
+        }
+    }
+
+    /// Returns the polarity bits.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Returns the literal mask.
+    #[inline]
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Returns the number of literals in the cube.
+    #[inline]
+    pub fn num_literals(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Returns `true` if variable `var` appears in the cube.
+    #[inline]
+    pub fn has_literal(&self, var: usize) -> bool {
+        (self.mask >> var) & 1 == 1
+    }
+
+    /// Returns the polarity of variable `var` (only meaningful if the
+    /// literal is present).
+    #[inline]
+    pub fn polarity(&self, var: usize) -> bool {
+        (self.bits >> var) & 1 == 1
+    }
+
+    /// Adds (or overwrites) a literal.
+    pub fn with_literal(mut self, var: usize, positive: bool) -> Self {
+        self.mask |= 1 << var;
+        if positive {
+            self.bits |= 1 << var;
+        } else {
+            self.bits &= !(1 << var);
+        }
+        self
+    }
+
+    /// Removes a literal if present.
+    pub fn without_literal(mut self, var: usize) -> Self {
+        self.mask &= !(1 << var);
+        self.bits &= !(1 << var);
+        self
+    }
+
+    /// Evaluates the cube under the input assignment `assignment`, where
+    /// bit `i` of `assignment` is the value of variable `i`.
+    pub fn evaluate(&self, assignment: u32) -> bool {
+        (assignment ^ self.bits) & self.mask == 0
+    }
+
+    /// Converts the cube to a truth table over `num_vars` variables.
+    pub fn to_truth_table(&self, num_vars: usize) -> TruthTable {
+        let mut tt = TruthTable::one(num_vars);
+        for v in 0..num_vars.min(32) {
+            if self.has_literal(v) {
+                let var = TruthTable::nth_var(num_vars, v);
+                tt = if self.polarity(v) { &tt & &var } else { &tt & &!&var };
+            }
+        }
+        tt
+    }
+
+    /// Returns `true` if this cube contains (covers at least the minterms
+    /// of) `other`.
+    pub fn contains(&self, other: &Cube) -> bool {
+        // every literal of self must appear in other with the same polarity
+        self.mask & other.mask == self.mask && (self.bits ^ other.bits) & self.mask == 0
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mask == 0 {
+            return write!(f, "Cube(1)");
+        }
+        write!(f, "Cube(")?;
+        for v in 0..32 {
+            if self.has_literal(v) {
+                if self.polarity(v) {
+                    write!(f, "x{v}")?;
+                } else {
+                    write!(f, "!x{v}")?;
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mask == 0 {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for v in 0..32 {
+            if self.has_literal(v) {
+                if !first {
+                    write!(f, "*")?;
+                }
+                first = false;
+                if !self.polarity(v) {
+                    write!(f, "!")?;
+                }
+                write!(f, "x{v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sum-of-products: a disjunction of [`Cube`]s.
+///
+/// # Example
+///
+/// ```
+/// use glsx_truth::{Cube, Sop, TruthTable};
+///
+/// let sop = Sop::from_cubes(3, vec![Cube::literal(0, true), Cube::literal(1, true)]);
+/// let tt = sop.to_truth_table();
+/// assert_eq!(tt, TruthTable::nth_var(3, 0) | TruthTable::nth_var(3, 1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Sop {
+    num_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// Creates an empty (constant-zero) SOP over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Self { num_vars, cubes: Vec::new() }
+    }
+
+    /// Creates an SOP from a list of cubes.
+    pub fn from_cubes(num_vars: usize, cubes: Vec<Cube>) -> Self {
+        Self { num_vars, cubes }
+    }
+
+    /// Returns the number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Returns the cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Returns the number of cubes.
+    pub fn num_cubes(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Returns the total number of literals over all cubes.
+    pub fn num_literals(&self) -> usize {
+        self.cubes.iter().map(Cube::num_literals).sum()
+    }
+
+    /// Returns `true` if the cover is empty (constant zero).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Adds a cube to the cover.
+    pub fn push(&mut self, cube: Cube) {
+        self.cubes.push(cube);
+    }
+
+    /// Converts the cover into its truth table.
+    pub fn to_truth_table(&self) -> TruthTable {
+        let mut tt = TruthTable::zero(self.num_vars);
+        for cube in &self.cubes {
+            tt = &tt | &cube.to_truth_table(self.num_vars);
+        }
+        tt
+    }
+
+    /// Iterates over the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
+        self.cubes.iter()
+    }
+}
+
+impl IntoIterator for Sop {
+    type Item = Cube;
+    type IntoIter = std::vec::IntoIter<Cube>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Sop {
+    type Item = &'a Cube;
+    type IntoIter = std::slice::Iter<'a, Cube>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.iter()
+    }
+}
+
+impl FromIterator<Cube> for Sop {
+    fn from_iter<T: IntoIterator<Item = Cube>>(iter: T) -> Self {
+        let cubes: Vec<Cube> = iter.into_iter().collect();
+        let num_vars = cubes
+            .iter()
+            .map(|c| 32 - c.mask().leading_zeros() as usize)
+            .max()
+            .unwrap_or(0);
+        Self { num_vars, cubes }
+    }
+}
+
+impl Extend<Cube> for Sop {
+    fn extend<T: IntoIterator<Item = Cube>>(&mut self, iter: T) {
+        self.cubes.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_literals() {
+        let c = Cube::tautology().with_literal(0, true).with_literal(3, false);
+        assert_eq!(c.num_literals(), 2);
+        assert!(c.has_literal(0) && c.has_literal(3));
+        assert!(!c.has_literal(1));
+        assert!(c.polarity(0));
+        assert!(!c.polarity(3));
+        let c = c.without_literal(0);
+        assert_eq!(c.num_literals(), 1);
+    }
+
+    #[test]
+    fn cube_evaluation() {
+        // x0 & !x1
+        let c = Cube::new(0b01, 0b11);
+        assert!(c.evaluate(0b01));
+        assert!(!c.evaluate(0b11));
+        assert!(!c.evaluate(0b00));
+        assert!(Cube::tautology().evaluate(0b1010));
+    }
+
+    #[test]
+    fn cube_truth_table() {
+        let c = Cube::new(0b01, 0b11);
+        let tt = c.to_truth_table(2);
+        assert_eq!(tt.count_ones(), 1);
+        assert!(tt.bit(1));
+        assert_eq!(Cube::tautology().to_truth_table(3), TruthTable::one(3));
+    }
+
+    #[test]
+    fn cube_containment() {
+        let x0 = Cube::literal(0, true);
+        let x0x1 = Cube::literal(0, true).with_literal(1, true);
+        assert!(x0.contains(&x0x1));
+        assert!(!x0x1.contains(&x0));
+        assert!(Cube::tautology().contains(&x0));
+    }
+
+    #[test]
+    fn cube_display() {
+        let c = Cube::new(0b01, 0b101);
+        assert_eq!(c.to_string(), "x0*!x2");
+        assert_eq!(Cube::tautology().to_string(), "1");
+    }
+
+    #[test]
+    fn sop_roundtrip() {
+        let sop = Sop::from_cubes(
+            3,
+            vec![
+                Cube::literal(0, true).with_literal(1, true),
+                Cube::literal(2, true),
+            ],
+        );
+        let tt = sop.to_truth_table();
+        let expected = (TruthTable::nth_var(3, 0) & TruthTable::nth_var(3, 1))
+            | TruthTable::nth_var(3, 2);
+        assert_eq!(tt, expected);
+        assert_eq!(sop.num_cubes(), 2);
+        assert_eq!(sop.num_literals(), 3);
+        assert!(!sop.is_empty());
+        assert!(Sop::new(4).is_empty());
+        assert!(Sop::new(4).to_truth_table().is_zero());
+    }
+
+    #[test]
+    fn sop_from_iterator() {
+        let sop: Sop = vec![Cube::literal(4, true)].into_iter().collect();
+        assert_eq!(sop.num_vars(), 5);
+        assert_eq!(sop.num_cubes(), 1);
+    }
+}

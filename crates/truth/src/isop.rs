@@ -1,0 +1,205 @@
+//! Irredundant sum-of-products computation (Minato–Morreale algorithm).
+//!
+//! Given a completely-specified function (or an interval `[on, on ∪ dc]`
+//! of an incompletely-specified function), [`isop`] computes an
+//! irredundant prime cover used by refactoring and by the SOP-balancing
+//! and factoring engines.
+
+use crate::{Cube, Sop, TruthTable};
+
+/// Computes an irredundant sum-of-products cover of `tt`.
+///
+/// The returned [`Sop`] covers exactly the on-set of `tt`.
+///
+/// # Panics
+///
+/// Panics if `tt` has more than 32 variables (cubes are limited to 32
+/// literals).
+///
+/// # Example
+///
+/// ```
+/// use glsx_truth::{isop, TruthTable};
+///
+/// let maj = TruthTable::from_hex(3, "e8")?;
+/// let cover = isop(&maj);
+/// assert_eq!(cover.num_cubes(), 3);
+/// assert_eq!(cover.to_truth_table(), maj);
+/// # Ok::<(), glsx_truth::ParseTruthTableError>(())
+/// ```
+pub fn isop(tt: &TruthTable) -> Sop {
+    assert!(tt.num_vars() <= 32, "isop supports at most 32 variables");
+    let mut cubes = Vec::new();
+    let (_cover, _) = isop_rec(tt, tt, tt.num_vars(), &mut cubes);
+    Sop::from_cubes(tt.num_vars(), cubes)
+}
+
+/// Computes an irredundant cover of any function `f` with
+/// `on ⊆ f ⊆ on ∪ dc` (incompletely-specified ISOP).
+///
+/// # Panics
+///
+/// Panics if `on` is not contained in `upper` or the tables have different
+/// variable counts.
+pub fn isop_with_dont_cares(on: &TruthTable, upper: &TruthTable) -> Sop {
+    assert_eq!(on.num_vars(), upper.num_vars());
+    assert!(on.implies(upper), "on-set must be contained in the upper bound");
+    let mut cubes = Vec::new();
+    let (_cover, _) = isop_rec(on, upper, on.num_vars(), &mut cubes);
+    Sop::from_cubes(on.num_vars(), cubes)
+}
+
+/// Returns the number of cubes an irredundant cover of `tt` would have
+/// without materialising the cover.
+pub fn isop_cover_size(tt: &TruthTable) -> usize {
+    isop(tt).num_cubes()
+}
+
+/// Recursive Minato–Morreale ISOP.
+///
+/// `lower` is the set of minterms that still must be covered, `upper` the
+/// set of minterms that may be covered.  `var_limit` restricts splitting to
+/// variables `< var_limit`.  New cubes are appended to `cubes`; the return
+/// value is the function realised by those cubes together with the index
+/// range of cubes added (so callers can add literals to them).
+fn isop_rec(
+    lower: &TruthTable,
+    upper: &TruthTable,
+    var_limit: usize,
+    cubes: &mut Vec<Cube>,
+) -> (TruthTable, std::ops::Range<usize>) {
+    let start = cubes.len();
+    if lower.is_zero() {
+        return (TruthTable::zero(lower.num_vars()), start..start);
+    }
+    if upper.is_one() {
+        cubes.push(Cube::tautology());
+        return (TruthTable::one(lower.num_vars()), start..cubes.len());
+    }
+
+    // choose the highest variable below var_limit on which lower or upper depends
+    let mut var = None;
+    for v in (0..var_limit).rev() {
+        if lower.has_var(v) || upper.has_var(v) {
+            var = Some(v);
+            break;
+        }
+    }
+    let var = match var {
+        Some(v) => v,
+        None => {
+            // lower is non-zero and constant w.r.t. remaining vars => cover it with a tautology
+            cubes.push(Cube::tautology());
+            return (TruthTable::one(lower.num_vars()), start..cubes.len());
+        }
+    };
+
+    let l0 = lower.cofactor0(var);
+    let l1 = lower.cofactor1(var);
+    let u0 = upper.cofactor0(var);
+    let u1 = upper.cofactor1(var);
+
+    // cubes that must contain literal !x_var
+    let (g0, range0) = isop_rec(&(&l0 & &!&u1), &u0, var, cubes);
+    for cube in &mut cubes[range0.clone()] {
+        *cube = cube.with_literal(var, false);
+    }
+    // cubes that must contain literal x_var
+    let (g1, range1) = isop_rec(&(&l1 & &!&u0), &u1, var, cubes);
+    for cube in &mut cubes[range1.clone()] {
+        *cube = cube.with_literal(var, true);
+    }
+
+    // remaining minterms, coverable without a literal on var
+    let new_lower = (&l0 & &!&g0) | (&l1 & &!&g1);
+    let (g_star, _range2) = isop_rec(&new_lower, &(&u0 & &u1), var, cubes);
+
+    let var_tt = TruthTable::nth_var(lower.num_vars(), var);
+    let cover = (&!&var_tt & &g0) | (&var_tt & &g1) | g_star;
+    debug_assert!(lower.implies(&cover));
+    debug_assert!(cover.implies(upper));
+    (cover, start..cubes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isop_constants() {
+        assert_eq!(isop(&TruthTable::zero(4)).num_cubes(), 0);
+        let one_cover = isop(&TruthTable::one(4));
+        assert_eq!(one_cover.num_cubes(), 1);
+        assert_eq!(one_cover.cubes()[0], Cube::tautology());
+    }
+
+    #[test]
+    fn isop_majority() {
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let cover = isop(&maj);
+        assert_eq!(cover.num_cubes(), 3);
+        assert_eq!(cover.to_truth_table(), maj);
+    }
+
+    #[test]
+    fn isop_xor_needs_all_minterm_cubes() {
+        let a = TruthTable::nth_var(3, 0);
+        let b = TruthTable::nth_var(3, 1);
+        let c = TruthTable::nth_var(3, 2);
+        let xor3 = &(&a ^ &b) ^ &c;
+        let cover = isop(&xor3);
+        assert_eq!(cover.num_cubes(), 4);
+        assert_eq!(cover.to_truth_table(), xor3);
+    }
+
+    #[test]
+    fn isop_covers_random_functions() {
+        // deterministic pseudo-random functions
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for n in 1..=6 {
+            for _ in 0..20 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let tt = TruthTable::from_words(n, vec![state]);
+                let cover = isop(&tt);
+                assert_eq!(cover.to_truth_table(), tt, "n={n} tt={tt}");
+            }
+        }
+    }
+
+    #[test]
+    fn isop_large_variable_count() {
+        let mut tt = TruthTable::nth_var(8, 7) & TruthTable::nth_var(8, 0);
+        tt = tt | (TruthTable::nth_var(8, 3) & !TruthTable::nth_var(8, 5));
+        let cover = isop(&tt);
+        assert_eq!(cover.to_truth_table(), tt);
+        assert!(cover.num_cubes() <= 4);
+    }
+
+    #[test]
+    fn isop_with_dont_cares_interval() {
+        // on = a&b, dc adds a&!b; a is a valid single-literal cover
+        let a = TruthTable::nth_var(2, 0);
+        let b = TruthTable::nth_var(2, 1);
+        let on = &a & &b;
+        let upper = a.clone();
+        let cover = isop_with_dont_cares(&on, &upper);
+        let f = cover.to_truth_table();
+        assert!(on.implies(&f));
+        assert!(f.implies(&upper));
+        assert_eq!(cover.num_cubes(), 1);
+    }
+
+    #[test]
+    fn cover_size_helper() {
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        assert_eq!(isop_cover_size(&maj), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn isop_with_dont_cares_rejects_non_interval() {
+        let a = TruthTable::nth_var(2, 0);
+        let b = TruthTable::nth_var(2, 1);
+        let _ = isop_with_dont_cares(&a, &b);
+    }
+}

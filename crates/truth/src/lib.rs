@@ -1,0 +1,49 @@
+//! # glsx-truth
+//!
+//! Bit-parallel truth-table engine used by the generic logic synthesis
+//! library.  A [`TruthTable`] stores the complete function table of a
+//! Boolean function over a small number of variables (typically up to 16,
+//! the peephole window sizes used by logic optimisation) packed into
+//! 64-bit words, mirroring the role of the *kitty* library in the EPFL
+//! logic synthesis libraries.
+//!
+//! The crate provides:
+//!
+//! * construction helpers ([`TruthTable::nth_var`], [`TruthTable::from_hex`],
+//!   [`TruthTable::from_binary`], …),
+//! * bitwise Boolean operations and predicates,
+//! * cofactors, variable swaps/flips and support computation,
+//! * NPN canonisation ([`npn_canonize`]),
+//! * irredundant sum-of-products computation ([`isop`]) following
+//!   Minato–Morreale,
+//! * simple two-level [`Cube`]/SOP data structures used by refactoring.
+//!
+//! # Example
+//!
+//! ```
+//! use glsx_truth::TruthTable;
+//!
+//! let a = TruthTable::nth_var(3, 0);
+//! let b = TruthTable::nth_var(3, 1);
+//! let c = TruthTable::nth_var(3, 2);
+//! let maj = (&a & &b) | (&b & &c) | (&a & &c);
+//! assert_eq!(maj.to_hex(), "e8");
+//! ```
+
+mod cube;
+mod isop;
+mod npn;
+mod operations;
+mod table;
+
+pub use cube::{Cube, Sop};
+pub use isop::{isop, isop_cover_size, isop_with_dont_cares};
+pub use npn::{npn_canonize, npn_canonize_exact, npn_canonize_sift, NpnTransform};
+pub use table::{ParseTruthTableError, TruthTable};
+
+/// Number of one-bits of a 64-bit word (convenience re-export used across
+/// the workspace).
+#[inline]
+pub fn popcount64(word: u64) -> u32 {
+    word.count_ones()
+}

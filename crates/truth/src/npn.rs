@@ -1,0 +1,296 @@
+//! NPN canonisation (negation–permutation–negation equivalence classes).
+//!
+//! Rewriting matches cut functions against a database of precomputed
+//! optimal structures keyed by the NPN representative of the function.
+//! [`npn_canonize`] returns the representative together with the
+//! [`NpnTransform`] that maps the original function to it, so that a
+//! database structure synthesised for the representative can be
+//! instantiated on the original cut leaves.
+
+use crate::TruthTable;
+
+/// The transformation relating a function to its NPN representative.
+///
+/// The representative `c` satisfies
+///
+/// ```text
+/// c(y_0, …, y_{n-1}) = out ^ f(in_0 ^ y_{perm[0]}, …, in_{n-1} ^ y_{perm[n-1]})
+/// ```
+///
+/// where `in_i` is the input-negation flag of variable `i`, `out` the
+/// output-negation flag and `perm` the permutation applied to the inputs
+/// (input `i` of `f` is re-labelled to input `perm[i]` of `c`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NpnTransform {
+    /// Input negation flags (bit `i` set means input `i` of the original
+    /// function is complemented).
+    pub input_negations: u32,
+    /// Output negation flag.
+    pub output_negation: bool,
+    /// Input permutation: input `i` of the original function becomes input
+    /// `perm[i]` of the representative.
+    pub perm: Vec<usize>,
+}
+
+impl NpnTransform {
+    /// The identity transform over `num_vars` variables.
+    pub fn identity(num_vars: usize) -> Self {
+        Self {
+            input_negations: 0,
+            output_negation: false,
+            perm: (0..num_vars).collect(),
+        }
+    }
+
+    /// Returns `true` if input `i` is negated by the transform.
+    #[inline]
+    pub fn input_negated(&self, i: usize) -> bool {
+        (self.input_negations >> i) & 1 == 1
+    }
+
+    /// Applies the transform to `f`, producing the representative.
+    pub fn apply(&self, f: &TruthTable) -> TruthTable {
+        let mut t = f.clone();
+        for i in 0..f.num_vars() {
+            if self.input_negated(i) {
+                t = t.flip(i);
+            }
+        }
+        t = t.permute(&self.perm);
+        if self.output_negation {
+            t = !t;
+        }
+        t
+    }
+
+    /// Applies the inverse transform, recovering the original function from
+    /// the representative.
+    pub fn apply_inverse(&self, c: &TruthTable) -> TruthTable {
+        let mut t = c.clone();
+        if self.output_negation {
+            t = !t;
+        }
+        // invert the permutation
+        let mut inv = vec![0usize; self.perm.len()];
+        for (i, &p) in self.perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        t = t.permute(&inv);
+        for i in 0..t.num_vars() {
+            if self.input_negated(i) {
+                t = t.flip(i);
+            }
+        }
+        t
+    }
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut result = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    heap_permute(&mut items, n, &mut result);
+    result
+}
+
+fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k % 2 == 0 {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// Exact NPN canonisation by exhaustive enumeration of all input
+/// permutations, input negations and output negation.
+///
+/// The representative is the lexicographically smallest truth table in the
+/// NPN class.  Exhaustive enumeration is practical up to five or six
+/// variables, which covers the cut sizes used by rewriting.
+///
+/// # Panics
+///
+/// Panics if `tt` has more than 6 variables.
+pub fn npn_canonize_exact(tt: &TruthTable) -> (TruthTable, NpnTransform) {
+    let n = tt.num_vars();
+    assert!(n <= 6, "exact NPN canonisation supports at most 6 variables");
+    let mut best = tt.clone();
+    let mut best_transform = NpnTransform::identity(n);
+    for perm in permutations(n) {
+        for neg in 0u32..(1 << n) {
+            for out in [false, true] {
+                let transform = NpnTransform {
+                    input_negations: neg,
+                    output_negation: out,
+                    perm: perm.clone(),
+                };
+                let candidate = transform.apply(tt);
+                if candidate < best {
+                    best = candidate;
+                    best_transform = transform;
+                }
+            }
+        }
+    }
+    (best, best_transform)
+}
+
+/// Heuristic NPN canonisation by greedy sifting: repeatedly applies single
+/// input/output negations and adjacent swaps as long as they reduce the
+/// table lexicographically.  The result is a class member, not necessarily
+/// the class minimum, but is deterministic and consistent for hashing.
+pub fn npn_canonize_sift(tt: &TruthTable) -> (TruthTable, NpnTransform) {
+    let n = tt.num_vars();
+    let mut current = tt.clone();
+    let mut transform = NpnTransform::identity(n);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        // output negation
+        let candidate = !&current;
+        if candidate < current {
+            current = candidate;
+            transform.output_negation = !transform.output_negation;
+            improved = true;
+        }
+        // input negations
+        for i in 0..n {
+            let candidate = current.flip(i);
+            if candidate < current {
+                current = candidate;
+                // flipping representative input i corresponds to toggling the
+                // negation of the original input mapped to i
+                for (orig, &p) in transform.perm.iter().enumerate() {
+                    if p == i {
+                        transform.input_negations ^= 1 << orig;
+                    }
+                }
+                improved = true;
+            }
+        }
+        // adjacent swaps
+        for i in 0..n.saturating_sub(1) {
+            let candidate = current.swap_adjacent(i);
+            if candidate < current {
+                current = candidate;
+                for p in &mut transform.perm {
+                    if *p == i {
+                        *p = i + 1;
+                    } else if *p == i + 1 {
+                        *p = i;
+                    }
+                }
+                improved = true;
+            }
+        }
+    }
+    (current, transform)
+}
+
+/// NPN canonisation: exact for functions of up to six variables, greedy
+/// sifting otherwise.
+///
+/// Returns the representative and the transform such that
+/// `transform.apply(tt)` equals the representative.
+///
+/// # Example
+///
+/// ```
+/// use glsx_truth::{npn_canonize, TruthTable};
+///
+/// let f = TruthTable::from_hex(3, "d4")?; // some 3-input function
+/// let (canon, transform) = npn_canonize(&f);
+/// assert_eq!(transform.apply(&f), canon);
+/// assert_eq!(transform.apply_inverse(&canon), f);
+/// # Ok::<(), glsx_truth::ParseTruthTableError>(())
+/// ```
+pub fn npn_canonize(tt: &TruthTable) -> (TruthTable, NpnTransform) {
+    if tt.num_vars() <= 6 {
+        npn_canonize_exact(tt)
+    } else {
+        npn_canonize_sift(tt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_functions(num_vars: usize) -> impl Iterator<Item = TruthTable> {
+        let bits = 1usize << num_vars;
+        (0u64..(1u64 << bits)).map(move |v| TruthTable::from_bits(num_vars, v))
+    }
+
+    #[test]
+    fn transform_roundtrip() {
+        let f = TruthTable::from_hex(4, "cafe").unwrap();
+        let (canon, t) = npn_canonize(&f);
+        assert_eq!(t.apply(&f), canon);
+        assert_eq!(t.apply_inverse(&canon), f);
+    }
+
+    #[test]
+    fn canon_is_invariant_over_class_members_3vars() {
+        // All members of an NPN class must canonise to the same representative.
+        let f = TruthTable::from_hex(3, "e8").unwrap();
+        let (canon, _) = npn_canonize(&f);
+        for neg in 0u32..8 {
+            for out in [false, true] {
+                let t = NpnTransform {
+                    input_negations: neg,
+                    output_negation: out,
+                    perm: vec![1, 2, 0],
+                };
+                let member = t.apply(&f);
+                let (canon2, t2) = npn_canonize(&member);
+                assert_eq!(canon, canon2);
+                assert_eq!(t2.apply_inverse(&canon2), member);
+            }
+        }
+    }
+
+    #[test]
+    fn two_var_class_count() {
+        // There are exactly 4 NPN classes of 2-variable functions.
+        let mut classes = std::collections::HashSet::new();
+        for f in all_functions(2) {
+            let (canon, t) = npn_canonize(&f);
+            assert_eq!(t.apply(&f), canon);
+            classes.insert(canon);
+        }
+        assert_eq!(classes.len(), 4);
+    }
+
+    #[test]
+    fn three_var_class_count() {
+        // There are 14 NPN classes of 3-variable functions.
+        let mut classes = std::collections::HashSet::new();
+        for f in all_functions(3) {
+            let (canon, _) = npn_canonize(&f);
+            classes.insert(canon);
+        }
+        assert_eq!(classes.len(), 14);
+    }
+
+    #[test]
+    fn sift_produces_class_member() {
+        let f = TruthTable::from_hex(4, "1ee1").unwrap().extend_to(7);
+        let (canon, t) = npn_canonize_sift(&f);
+        assert_eq!(t.apply(&f), canon);
+        assert_eq!(t.apply_inverse(&canon), f);
+    }
+
+    #[test]
+    fn identity_transform_is_noop() {
+        let f = TruthTable::from_hex(4, "8241").unwrap();
+        let id = NpnTransform::identity(4);
+        assert_eq!(id.apply(&f), f);
+        assert_eq!(id.apply_inverse(&f), f);
+    }
+}

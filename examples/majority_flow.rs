@@ -1,0 +1,47 @@
+//! Nano-emerging technology scenario from the paper's conclusion: users
+//! working with majority-based technologies (QCA, spin-wave devices) can
+//! run the complete design flow on majority-inverter graphs and inspect
+//! the resulting majority-logic netlist.
+//!
+//! Run with: `cargo run --release --example majority_flow`
+
+use glsx::benchmarks::control::voter;
+use glsx::benchmarks::arithmetic::adder;
+use glsx::flow::{compress2rs, portfolio_best_luts, FlowOptions};
+use glsx::network::simulation::equivalent_by_random_simulation;
+use glsx::network::{convert_network, Aig, GateKind, Mig, Network};
+
+fn main() {
+    // the voter benchmark is the classic majority-logic workload
+    let designs: Vec<(&str, Aig)> = vec![("voter33", voter(33)), ("adder8", adder(8))];
+    for (name, aig) in &designs {
+        let mut mig: Mig = convert_network(aig);
+        let before = mig.num_gates();
+        let stats = compress2rs(&mut mig, &FlowOptions::default());
+        assert!(equivalent_by_random_simulation(aig, &mig, 8, 1));
+        let maj_gates = mig
+            .gate_nodes()
+            .iter()
+            .filter(|&&n| mig.gate_kind(n) == GateKind::Maj)
+            .count();
+        println!(
+            "{name:<10} MIG flow: {before} -> {} majority gates ({} substitutions, {:.2}s)",
+            maj_gates, stats.substitutions, stats.runtime_seconds
+        );
+    }
+
+    // the portfolio approach: let the tool pick the best representation
+    println!();
+    println!("portfolio (best representation per design after 6-LUT mapping):");
+    for (name, aig) in &designs {
+        let result = portfolio_best_luts(aig, &FlowOptions::default(), 6);
+        println!(
+            "{name:<10} winner {} with {} LUTs (AIG {}, MIG {}, XAG {})",
+            result.winner,
+            result.best_luts,
+            result.luts_per_representation[0],
+            result.luts_per_representation[1],
+            result.luts_per_representation[2]
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a small circuit, optimise it with the generic
+//! `compress2rs`-style flow in three different representations, and map it
+//! into 6-input LUTs.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use glsx::algorithms::lut_mapping::{lut_map_stats, LutMapParams};
+use glsx::flow::{compress2rs, FlowOptions};
+use glsx::network::{convert_network, Aig, GateBuilder, Mig, Network, Xag};
+use glsx::network::simulation::equivalent_by_simulation;
+
+fn main() {
+    // Build an 8-bit ripple-carry adder followed by a comparison, on purpose
+    // in a slightly redundant way so the optimiser has something to do.
+    let mut aig = Aig::new();
+    let a: Vec<_> = (0..8).map(|_| aig.create_pi()).collect();
+    let b: Vec<_> = (0..8).map(|_| aig.create_pi()).collect();
+    let mut carry = aig.get_constant(false);
+    let mut sum_bits = Vec::new();
+    for i in 0..8 {
+        let axb = aig.create_xor(a[i], b[i]);
+        let sum = aig.create_xor(axb, carry);
+        let maj = aig.create_maj(a[i], b[i], carry);
+        sum_bits.push(sum);
+        carry = maj;
+    }
+    // output: the sum bits and an "all ones" detector
+    for &s in &sum_bits {
+        aig.create_po(s);
+    }
+    let all_ones = aig.create_nary_and(&sum_bits);
+    aig.create_po(all_ones);
+    aig.create_po(carry);
+
+    println!("initial AIG: {} gates", aig.num_gates());
+
+    // Optimise with the same generic flow in three representations.
+    let options = FlowOptions::default();
+    let map = LutMapParams::with_lut_size(6);
+
+    let mut as_aig = aig.clone();
+    let aig_stats = compress2rs(&mut as_aig, &options);
+    let mut as_mig: Mig = convert_network(&aig);
+    let mig_stats = compress2rs(&mut as_mig, &options);
+    let mut as_xag: Xag = convert_network(&aig);
+    let xag_stats = compress2rs(&mut as_xag, &options);
+
+    assert!(equivalent_by_simulation(&aig, &as_aig));
+    assert!(equivalent_by_simulation(&aig, &as_mig));
+    assert!(equivalent_by_simulation(&aig, &as_xag));
+
+    println!(
+        "AIG : {:>4} -> {:>4} gates, {:>3} LUTs",
+        aig_stats.initial_size,
+        aig_stats.final_size,
+        lut_map_stats(&as_aig, &map).num_luts
+    );
+    println!(
+        "MIG : {:>4} -> {:>4} gates, {:>3} LUTs",
+        mig_stats.initial_size,
+        mig_stats.final_size,
+        lut_map_stats(&as_mig, &map).num_luts
+    );
+    println!(
+        "XAG : {:>4} -> {:>4} gates, {:>3} LUTs",
+        xag_stats.initial_size,
+        xag_stats.final_size,
+        lut_map_stats(&as_xag, &map).num_luts
+    );
+    println!("all three optimised networks are equivalent to the original");
+}

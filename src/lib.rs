@@ -1,0 +1,63 @@
+//! # glsx — scalable generic logic synthesis
+//!
+//! Umbrella crate re-exporting the whole workspace: a Rust reproduction of
+//! the generic, representation-independent multi-level logic synthesis
+//! methodology of Riener et al., *Scalable Generic Logic Synthesis: One
+//! Approach to Rule Them All* (DAC 2019).
+//!
+//! The individual layers of the stacked architecture live in dedicated
+//! crates:
+//!
+//! * [`truth`] — truth tables, NPN canonisation, ISOP ([`glsx_truth`]).
+//! * [`network`] — the network interface API and the AIG/XAG/MIG/XMG/k-LUT
+//!   implementations ([`glsx_network`]).
+//! * [`sat`] — CDCL SAT solver substrate ([`glsx_sat`]).
+//! * [`synth`] — resynthesis engines: exact synthesis, NPN databases, SOP
+//!   factoring ([`glsx_synth`]).
+//! * [`algorithms`] — the generic algorithms: cuts, rewriting, refactoring,
+//!   resubstitution, balancing, LUT mapping ([`glsx_core`]).
+//! * [`io`] — AIGER/BLIF/Verilog/BENCH readers and writers ([`glsx_io`]).
+//! * [`benchmarks`] — synthetic EPFL-style benchmark generators
+//!   ([`glsx_benchmarks`]).
+//! * [`flow`] — the `compress2rs`-style generic resynthesis flow and
+//!   portfolio runner ([`glsx_flow`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use glsx::network::{Aig, Network, GateBuilder};
+//! use glsx::flow::{compress2rs, FlowOptions};
+//! use glsx::algorithms::lut_mapping::{lut_map, LutMapParams};
+//!
+//! // build a tiny network: f = (a & b) ^ c
+//! let mut aig = Aig::new();
+//! let a = aig.create_pi();
+//! let b = aig.create_pi();
+//! let c = aig.create_pi();
+//! let ab = aig.create_and(a, b);
+//! let f = aig.create_xor(ab, c);
+//! aig.create_po(f);
+//!
+//! // optimise it with the generic flow and map into 6-input LUTs
+//! let stats = compress2rs(&mut aig, &FlowOptions::default());
+//! let mapped = lut_map(&aig, &LutMapParams::with_lut_size(6));
+//! assert!(stats.final_size <= stats.initial_size);
+//! assert!(mapped.num_gates() >= 1);
+//! ```
+
+pub use glsx_benchmarks as benchmarks;
+pub use glsx_core as algorithms;
+pub use glsx_flow as flow;
+pub use glsx_io as io;
+pub use glsx_network as network;
+pub use glsx_sat as sat;
+pub use glsx_synth as synth;
+pub use glsx_truth as truth;
+
+/// Convenience prelude importing the most commonly used items.
+pub mod prelude {
+    pub use crate::algorithms::lut_mapping::{lut_map, LutMapParams};
+    pub use crate::flow::{compress2rs, FlowOptions};
+    pub use crate::network::{Aig, GateBuilder, Mig, Network, Xag};
+    pub use crate::truth::TruthTable;
+}

@@ -1,0 +1,92 @@
+//! Cross-crate integration tests: the full optimisation flow, LUT mapping
+//! and I/O on generated benchmark circuits, checked for functional
+//! correctness by simulation.
+
+use glsx::algorithms::lut_mapping::{lut_map, LutMapParams};
+use glsx::benchmarks::{epfl_like_suite, SuiteScale};
+use glsx::flow::{compress2rs, FlowOptions, FlowScript, run_script};
+use glsx::io::{read_aiger, write_aiger, write_blif};
+use glsx::network::simulation::{equivalent_by_random_simulation, equivalent_by_simulation};
+use glsx::network::{convert_network, Aig, Mig, Xag};
+
+/// The full generic flow preserves functionality on every benchmark of the
+/// tiny suite, in every representation, and never increases the size.
+#[test]
+fn flow_is_sound_on_the_tiny_suite() {
+    for benchmark in epfl_like_suite(SuiteScale::Tiny) {
+        let aig = &benchmark.network;
+
+        let mut opt_aig = aig.clone();
+        let stats = compress2rs(&mut opt_aig, &FlowOptions::default());
+        assert!(
+            stats.final_size <= stats.initial_size,
+            "{}: AIG flow grew the network",
+            benchmark.name
+        );
+        assert!(
+            equivalent_by_random_simulation(aig, &opt_aig, 8, 0xA1),
+            "{}: AIG flow broke the function",
+            benchmark.name
+        );
+
+        let mut opt_mig: Mig = convert_network(aig);
+        compress2rs(&mut opt_mig, &FlowOptions::default());
+        assert!(
+            equivalent_by_random_simulation(aig, &opt_mig, 8, 0xA2),
+            "{}: MIG flow broke the function",
+            benchmark.name
+        );
+
+        let mut opt_xag: Xag = convert_network(aig);
+        compress2rs(&mut opt_xag, &FlowOptions::default());
+        assert!(
+            equivalent_by_random_simulation(aig, &opt_xag, 8, 0xA3),
+            "{}: XAG flow broke the function",
+            benchmark.name
+        );
+    }
+}
+
+/// LUT mapping after optimisation preserves the function and respects the
+/// LUT size for every benchmark of the tiny suite.
+#[test]
+fn mapping_is_sound_on_the_tiny_suite() {
+    for benchmark in epfl_like_suite(SuiteScale::Tiny) {
+        let mut aig = benchmark.network.clone();
+        compress2rs(&mut aig, &FlowOptions::default());
+        let klut = lut_map(&aig, &LutMapParams::with_lut_size(6));
+        assert!(klut.max_fanin_size() <= 6, "{}", benchmark.name);
+        assert!(
+            equivalent_by_random_simulation(&benchmark.network, &klut, 8, 0xB1),
+            "{}: LUT mapping broke the function",
+            benchmark.name
+        );
+    }
+}
+
+/// Custom flow scripts compose with I/O: optimise, export to AIGER, re-read
+/// and check equivalence; export the mapped network to BLIF.
+#[test]
+fn scripts_and_io_compose() {
+    let benchmark = glsx::benchmarks::benchmark_by_name("multiplier", SuiteScale::Tiny).unwrap();
+    let mut aig: Aig = benchmark.network.clone();
+    let script = FlowScript::parse("bz; rw; rs -c 8; rf; rwz").unwrap();
+    run_script(&mut aig, &script, &FlowOptions::default());
+    let text = write_aiger(&aig);
+    let reread = read_aiger(&text).unwrap();
+    assert!(equivalent_by_simulation(&aig, &reread));
+    let klut = lut_map(&aig, &LutMapParams::with_lut_size(4));
+    let blif = write_blif(&klut, "multiplier");
+    assert!(blif.contains(".model multiplier"));
+    assert!(blif.contains(".end"));
+}
+
+/// The portfolio never does worse than the individual representations.
+#[test]
+fn portfolio_dominates_single_representations() {
+    let benchmark = glsx::benchmarks::benchmark_by_name("adder", SuiteScale::Tiny).unwrap();
+    let result = glsx::flow::portfolio_best_luts(&benchmark.network, &FlowOptions::default(), 6);
+    for luts in result.luts_per_representation {
+        assert!(result.best_luts <= luts);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests on the core data structures and the key
+//! invariants of the optimisation algorithms: every transformation must
+//! preserve the Boolean function of the network and maintain structural
+//! integrity, for arbitrary randomly generated networks.
+
+use glsx::algorithms::balancing::{balance, BalanceParams};
+use glsx::algorithms::lut_mapping::{lut_map, LutMapParams};
+use glsx::algorithms::refactoring::{refactor, RefactorParams};
+use glsx::algorithms::resubstitution::{resubstitute, ResubParams};
+use glsx::algorithms::rewriting::{rewrite, RewriteParams};
+use glsx::network::simulation::{equivalent_by_simulation, simulate};
+use glsx::network::views::check_network_integrity;
+use glsx::network::{Aig, GateBuilder, Mig, Network, Signal, Xag};
+use glsx::truth::{isop, npn_canonize, TruthTable};
+use proptest::prelude::*;
+
+/// Strategy generating a random AIG over `num_pis` inputs.
+fn arbitrary_network(num_pis: usize, num_steps: usize) -> impl Strategy<Value = Aig> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>(), any::<bool>()), num_steps)
+        .prop_map(move |steps| {
+            let mut aig = Aig::new();
+            let mut signals: Vec<Signal> = (0..num_pis).map(|_| aig.create_pi()).collect();
+            for (a, b, ca, cb) in steps {
+                let x = signals[a as usize % signals.len()].complement_if(ca);
+                let y = signals[b as usize % signals.len()].complement_if(cb);
+                signals.push(aig.create_and(x, y));
+            }
+            for s in signals.iter().rev().take(3) {
+                aig.create_po(*s);
+            }
+            aig
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truth-table invariant: an ISOP cover always reproduces its function.
+    #[test]
+    fn isop_covers_are_exact(bits in any::<u64>()) {
+        let tt = TruthTable::from_words(6, vec![bits]);
+        prop_assert_eq!(isop(&tt).to_truth_table(), tt);
+    }
+
+    /// NPN canonisation is a class invariant: transforming the function and
+    /// canonising again yields the same representative.
+    #[test]
+    fn npn_canonisation_is_invariant(bits in any::<u16>(), neg in 0u32..16, out in any::<bool>()) {
+        let tt = TruthTable::from_bits(4, bits as u64);
+        let (canon, transform) = npn_canonize(&tt);
+        prop_assert_eq!(transform.apply(&tt), canon.clone());
+        // apply an arbitrary extra NPN transformation and re-canonise
+        let mut member = tt;
+        for v in 0..4 {
+            if (neg >> v) & 1 == 1 {
+                member = member.flip(v);
+            }
+        }
+        if out {
+            member = !member;
+        }
+        let (canon2, _) = npn_canonize(&member);
+        prop_assert_eq!(canon, canon2);
+    }
+
+    /// All four optimisations preserve the function of random AIGs and keep
+    /// the network structurally sound.
+    #[test]
+    fn optimisations_preserve_functions(aig in arbitrary_network(5, 30)) {
+        let reference = aig.clone();
+
+        let mut rewritten = aig.clone();
+        rewrite(&mut rewritten, &RewriteParams::default());
+        prop_assert!(check_network_integrity(&rewritten).is_ok());
+        prop_assert!(equivalent_by_simulation(&reference, &rewritten));
+        prop_assert!(rewritten.num_gates() <= reference.num_gates());
+
+        let mut refactored = aig.clone();
+        refactor(&mut refactored, &RefactorParams::default());
+        prop_assert!(check_network_integrity(&refactored).is_ok());
+        prop_assert!(equivalent_by_simulation(&reference, &refactored));
+        prop_assert!(refactored.num_gates() <= reference.num_gates());
+
+        let mut resubstituted = aig.clone();
+        resubstitute(&mut resubstituted, &ResubParams::default());
+        prop_assert!(check_network_integrity(&resubstituted).is_ok());
+        prop_assert!(equivalent_by_simulation(&reference, &resubstituted));
+        prop_assert!(resubstituted.num_gates() <= reference.num_gates());
+
+        let mut balanced = aig.clone();
+        balance(&mut balanced, &BalanceParams::default());
+        prop_assert!(check_network_integrity(&balanced).is_ok());
+        prop_assert!(equivalent_by_simulation(&reference, &balanced));
+        prop_assert!(balanced.num_gates() <= reference.num_gates());
+    }
+
+    /// LUT mapping preserves functions and respects the LUT size.
+    #[test]
+    fn lut_mapping_preserves_functions(aig in arbitrary_network(6, 40), k in 3usize..7) {
+        let klut = lut_map(&aig, &LutMapParams::with_lut_size(k));
+        prop_assert!(klut.max_fanin_size() <= k);
+        prop_assert!(equivalent_by_simulation(&aig, &klut));
+    }
+
+    /// Structural conversion between representations preserves functions.
+    #[test]
+    fn conversion_preserves_functions(aig in arbitrary_network(5, 25)) {
+        let mig: Mig = glsx::network::convert_network(&aig);
+        let xag: Xag = glsx::network::convert_network(&aig);
+        prop_assert_eq!(simulate(&aig), simulate(&mig));
+        prop_assert_eq!(simulate(&aig), simulate(&xag));
+    }
+}
