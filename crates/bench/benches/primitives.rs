@@ -1,34 +1,116 @@
 //! Criterion micro-benchmarks of the algorithmic primitives of Section 2:
 //! cut enumeration, rewriting, refactoring, resubstitution, balancing and
 //! LUT mapping on a mid-size arithmetic circuit.
+//!
+//! The cut-enumeration benchmark additionally writes `BENCH_cuts.json` to
+//! the repository root: cut-enumeration throughput (cuts per second) on
+//! the arithmetic benchmark suite, the perf baseline that future PRs
+//! compare against.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use glsx_benchmarks::arithmetic::{adder, barrel_shifter, multiplier, square};
 use glsx_core::balancing::{balance, BalanceParams};
 use glsx_core::cuts::{CutManager, CutParams};
 use glsx_core::lut_mapping::{lut_map, LutMapParams};
 use glsx_core::refactoring::{refactor, RefactorParams};
 use glsx_core::resubstitution::{resubstitute, ResubParams};
 use glsx_core::rewriting::{rewrite, RewriteParams};
-use glsx_benchmarks::arithmetic::multiplier;
 use glsx_network::{Aig, Network};
+use std::time::Instant;
 
 fn subject() -> Aig {
     multiplier(8)
 }
 
+/// The arithmetic circuits the cut-enumeration baseline is recorded on.
+fn cut_suite() -> Vec<(&'static str, Aig)> {
+    vec![
+        ("adder_32", adder(32)),
+        ("barrel_shifter_32", barrel_shifter(32)),
+        ("multiplier_8", multiplier(8)),
+        ("square_8", square(8)),
+    ]
+}
+
+/// Enumerates all cuts of `aig` once; returns the number of cuts.
+fn enumerate_cuts(aig: &Aig, params: CutParams) -> usize {
+    let mut manager = CutManager::new(params);
+    let mut total = 0usize;
+    for node in aig.gate_nodes() {
+        total += manager.cuts_of(aig, node).len();
+    }
+    total
+}
+
+/// Measures cut-enumeration throughput per circuit and records the
+/// baseline in `BENCH_cuts.json` at the repository root.
+fn record_cut_throughput() {
+    let params = CutParams {
+        cut_size: 4,
+        cut_limit: 8,
+    };
+    let mut rows = Vec::new();
+    for (name, aig) in cut_suite() {
+        // warm-up, also yields the deterministic cut count
+        let cuts = enumerate_cuts(&aig, params);
+        let started = Instant::now();
+        let mut runs = 0u32;
+        while runs < 50 && started.elapsed().as_millis() < 500 {
+            assert_eq!(
+                enumerate_cuts(&aig, params),
+                cuts,
+                "{name}: nondeterministic"
+            );
+            runs += 1;
+        }
+        let seconds = started.elapsed().as_secs_f64() / runs as f64;
+        let cuts_per_sec = cuts as f64 / seconds;
+        println!(
+            "cut_enumeration {name:<20} {:>6} gates {cuts:>7} cuts  {:>12.0} cuts/s",
+            aig.num_gates(),
+            cuts_per_sec
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"circuit\": \"{}\", \"gates\": {}, \"cuts\": {}, ",
+                "\"seconds_per_pass\": {:.6}, \"cuts_per_sec\": {:.0}}}"
+            ),
+            name,
+            aig.num_gates(),
+            cuts,
+            seconds,
+            cuts_per_sec
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"cut_enumeration\",\n  \"cut_size\": {},\n  \"cut_limit\": {},\n  \"circuits\": [\n{}\n  ]\n}}\n",
+        params.cut_size,
+        params.cut_limit,
+        rows.join(",\n")
+    );
+    // BENCH_cuts.json is a tracked baseline; only refresh it when asked,
+    // so a casual bench run on a loaded machine cannot churn it
+    if std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cuts.json");
+        std::fs::write(path, json).expect("write BENCH_cuts.json");
+        println!("wrote {path}");
+    } else {
+        println!("(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_cuts.json)");
+    }
+}
+
 fn bench_cut_enumeration(c: &mut Criterion) {
+    record_cut_throughput();
     let aig = subject();
     c.bench_function("primitives/cut_enumeration_4", |b| {
         b.iter(|| {
-            let mut manager = CutManager::new(CutParams {
-                cut_size: 4,
-                cut_limit: 8,
-            });
-            let mut total = 0usize;
-            for node in aig.gate_nodes() {
-                total += manager.cuts_of(&aig, node).len();
-            }
-            total
+            enumerate_cuts(
+                &aig,
+                CutParams {
+                    cut_size: 4,
+                    cut_limit: 8,
+                },
+            )
         })
     });
 }

@@ -3,9 +3,9 @@
 //! and the effect of zero-gain rewriting — run on a representative subset
 //! of the benchmark suite.
 
+use glsx_benchmarks::{benchmark_by_name, SuiteScale};
 use glsx_core::resubstitution::{resubstitute, ResubParams};
 use glsx_core::rewriting::{rewrite, RewriteParams};
-use glsx_benchmarks::{benchmark_by_name, SuiteScale};
 use glsx_network::Network;
 
 fn main() {
@@ -26,7 +26,11 @@ fn main() {
                     ..ResubParams::default()
                 },
             );
-            print!("  c={cut_size}: {:>5} gates ({:>4} subs)", ntk.num_gates(), stats.substitutions);
+            print!(
+                "  c={cut_size}: {:>5} gates ({:>4} subs)",
+                ntk.num_gates(),
+                stats.substitutions
+            );
         }
         println!();
     }

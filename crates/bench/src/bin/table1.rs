@@ -18,7 +18,12 @@ fn main() {
         "{}",
         format_row(
             "benchmark",
-            &["spec Nd".into(), "spec LUT".into(), "gen Nd".into(), "gen LUT".into()]
+            &[
+                "spec Nd".into(),
+                "spec LUT".into(),
+                "gen Nd".into(),
+                "gen LUT".into()
+            ]
         )
     );
     let (mut spec_nodes, mut spec_levels, mut spec_luts) = (0usize, 0u64, 0usize);

@@ -17,7 +17,12 @@ pub fn input_word<N: GateBuilder>(ntk: &mut N, bits: usize) -> Word {
 }
 
 /// Builds a full adder, returning `(sum, carry)`.
-pub fn full_adder<N: GateBuilder>(ntk: &mut N, a: Signal, b: Signal, cin: Signal) -> (Signal, Signal) {
+pub fn full_adder<N: GateBuilder>(
+    ntk: &mut N,
+    a: Signal,
+    b: Signal,
+    cin: Signal,
+) -> (Signal, Signal) {
     let axb = ntk.create_xor(a, b);
     let sum = ntk.create_xor(axb, cin);
     let carry = ntk.create_maj(a, b, cin);
@@ -195,7 +200,7 @@ pub fn divider<N: GateBuilder>(bits: usize) -> N {
 /// The `sqrt` benchmark stand-in: a restoring square-root circuit over an
 /// n-bit radicand (n even), producing an n/2-bit root.
 pub fn isqrt<N: GateBuilder>(bits: usize) -> N {
-    assert!(bits % 2 == 0, "radicand width must be even");
+    assert!(bits.is_multiple_of(2), "radicand width must be even");
     let half = bits / 2;
     let mut ntk = N::new();
     let radicand = input_word(&mut ntk, bits);
@@ -388,9 +393,9 @@ mod tests {
         let cases = [0u64, 1, 4, 10, 81, 100, 255];
         let mut patterns = vec![0u64; 8];
         for (bit, value) in cases.iter().enumerate() {
-            for i in 0..8 {
+            for (i, pattern) in patterns.iter_mut().enumerate() {
                 if (value >> i) & 1 == 1 {
-                    patterns[i] |= 1 << bit;
+                    *pattern |= 1 << bit;
                 }
             }
         }

@@ -4,9 +4,8 @@
 //! router, mem_ctrl).
 
 use crate::arithmetic::{full_adder, input_word, ripple_carry_adder, Word};
+use crate::rng::SplitMix64;
 use glsx_network::{GateBuilder, Signal};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The `priority` benchmark: an n-input priority encoder producing a
 /// one-hot grant vector plus a "no request" flag.
@@ -57,7 +56,7 @@ pub fn voter<N: GateBuilder>(n: usize) -> N {
     }
     let count = &words[0];
     // majority iff count > n/2, i.e. count >= (n+1)/2
-    let threshold = (n + 1) / 2;
+    let threshold = n.div_ceil(2);
     let result = unsigned_geq_constant(&mut ntk, count, threshold as u64);
     ntk.create_po(result);
     ntk
@@ -112,7 +111,11 @@ pub fn round_robin_arbiter<N: GateBuilder>(n: usize) -> N {
     ntk
 }
 
-fn position_geq_pointer<N: GateBuilder>(ntk: &mut N, position: usize, pointer: &[Signal]) -> Signal {
+fn position_geq_pointer<N: GateBuilder>(
+    ntk: &mut N,
+    position: usize,
+    pointer: &[Signal],
+) -> Signal {
     // position >= pointer  <=>  !(pointer > position), compared LSB to MSB
     let mut greater = ntk.get_constant(false);
     for (i, &p) in pointer.iter().enumerate() {
@@ -139,13 +142,13 @@ pub fn random_control<N: GateBuilder>(
     num_pos: usize,
     seed: u64,
 ) -> N {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut ntk = N::new();
     let mut signals: Vec<Signal> = (0..num_pis).map(|_| ntk.create_pi()).collect();
     while ntk.num_gates() < num_gates {
-        let pick = |rng: &mut StdRng, signals: &[Signal]| {
-            let s = signals[rng.gen_range(0..signals.len())];
-            if rng.gen_bool(0.5) {
+        let pick = |rng: &mut SplitMix64, signals: &[Signal]| {
+            let s = signals[rng.gen_range(signals.len())];
+            if rng.gen_bool() {
                 !s
             } else {
                 s
@@ -153,7 +156,7 @@ pub fn random_control<N: GateBuilder>(
         };
         let a = pick(&mut rng, &signals);
         let b = pick(&mut rng, &signals);
-        let gate = match rng.gen_range(0..10) {
+        let gate = match rng.gen_range(10) {
             0..=5 => ntk.create_and(a, b),
             6..=7 => {
                 let c = pick(&mut rng, &signals);
@@ -232,8 +235,8 @@ mod tests {
                 assert_eq!(grants, 1, "pattern {m:b} must grant exactly one requester");
             }
             // a grant implies the corresponding request
-            for i in 0..4 {
-                if tts[i].bit(m) {
+            for (i, tt) in tts.iter().take(4).enumerate() {
+                if tt.bit(m) {
                     assert!((requests >> i) & 1 == 1);
                 }
             }
@@ -247,11 +250,19 @@ mod tests {
         assert_eq!(a.num_gates(), b.num_gates());
         assert_eq!(a.num_pos(), 8);
         assert!(a.num_gates() >= 150);
-        let patterns: Vec<u64> = (0..10).map(|i| 0x1234_5678_9abc_def0u64.rotate_left(i)).collect();
-        assert_eq!(simulate_patterns(&a, &patterns), simulate_patterns(&b, &patterns));
+        let patterns: Vec<u64> = (0..10)
+            .map(|i| 0x1234_5678_9abc_def0u64.rotate_left(i))
+            .collect();
+        assert_eq!(
+            simulate_patterns(&a, &patterns),
+            simulate_patterns(&b, &patterns)
+        );
         // different seeds give different circuits
         let c: Aig = random_control(10, 150, 8, 8);
-        assert_ne!(simulate_patterns(&a, &patterns), simulate_patterns(&c, &patterns));
+        assert_ne!(
+            simulate_patterns(&a, &patterns),
+            simulate_patterns(&c, &patterns)
+        );
     }
 
     #[test]

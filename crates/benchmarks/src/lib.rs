@@ -30,6 +30,8 @@
 
 pub mod arithmetic;
 pub mod control;
+pub mod rng;
 pub mod suite;
 
+pub use rng::SplitMix64;
 pub use suite::{benchmark_by_name, epfl_like_suite, Benchmark, SuiteScale};

@@ -91,7 +91,7 @@ fn grow_group<N: Network>(ntk: &N, root: NodeId, kind: GateKind) -> Vec<Signal> 
     let mut leaves = Vec::new();
     let mut stack = vec![root];
     while let Some(node) = stack.pop() {
-        for fanin in ntk.fanins(node) {
+        ntk.foreach_fanin(node, |fanin| {
             let child = fanin.node();
             let child_in_group = !fanin.is_complemented()
                 && ntk.is_gate(child)
@@ -102,7 +102,7 @@ fn grow_group<N: Network>(ntk: &N, root: NodeId, kind: GateKind) -> Vec<Signal> 
             } else {
                 leaves.push(fanin);
             }
-        }
+        });
     }
     leaves
 }
@@ -115,12 +115,10 @@ fn rebuild_balanced<N: Network + GateBuilder>(
     leaves: &[Signal],
     depth: &DepthView,
 ) -> Signal {
-    let mut queue: Vec<(u32, Signal)> = leaves
-        .iter()
-        .map(|&s| (depth.level(s.node()), s))
-        .collect();
+    let mut queue: Vec<(u32, Signal)> =
+        leaves.iter().map(|&s| (depth.level(s.node()), s)).collect();
     // sort descending so that pop() removes the smallest level
-    queue.sort_by(|a, b| b.0.cmp(&a.0));
+    queue.sort_by_key(|&(level, _)| std::cmp::Reverse(level));
     while queue.len() > 1 {
         let (la, a) = queue.pop().expect("at least two entries");
         let (lb, b) = queue.pop().expect("at least two entries");

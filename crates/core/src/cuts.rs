@@ -11,92 +11,214 @@
 //!
 //! Cut functions are computed by exhaustive simulation of the cut cone
 //! ([`simulate_cut`]), the paper's `computeTruthTable`.
+//!
+//! The substrate is allocation-free on the hot path: a [`Cut`] stores its
+//! leaves in a fixed inline array (`Copy`, no heap), and the manager keeps
+//! all cut sets in one flat arena indexed by node id — no hash maps, so
+//! enumeration order (and therefore every downstream optimisation) is
+//! fully deterministic.
 
 use glsx_network::{Network, NodeId};
 use glsx_truth::TruthTable;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+/// Maximum number of leaves a [`Cut`] can hold (the `k` of k-feasible
+/// cuts; covers the paper's 4-input rewriting cuts and 6-input LUT
+/// mapping with headroom).
+pub const MAX_CUT_LEAVES: usize = 8;
 
 /// A cut: a set of leaf nodes such that every path from a primary input to
 /// the cut's root passes through a leaf.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Leaves are stored sorted ascending in a fixed inline array, so cuts are
+/// `Copy` and never allocate.
+#[derive(Clone, Copy, Debug)]
 pub struct Cut {
-    /// Leaf nodes, sorted ascending.
-    pub leaves: Vec<NodeId>,
-    /// Bloom-filter style signature used for fast domination checks.
+    len: u8,
+    /// Bloom-filter style signature used for fast domination checks
+    /// (bit `l % 64` is set for every leaf `l`; lossy, so matches must be
+    /// confirmed on the sorted leaves).
     signature: u64,
+    leaves: [NodeId; MAX_CUT_LEAVES],
 }
 
 impl Cut {
-    /// Creates a cut from (unsorted) leaves.
-    pub fn new(mut leaves: Vec<NodeId>) -> Self {
-        leaves.sort_unstable();
-        leaves.dedup();
-        let signature = leaves.iter().fold(0u64, |acc, &l| acc | (1u64 << (l % 64)));
-        Self { leaves, signature }
+    /// Creates a cut from (possibly unsorted, possibly duplicated) leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_CUT_LEAVES`] distinct leaves are given.
+    pub fn from_leaves(leaves: &[NodeId]) -> Self {
+        let mut cut = Self::empty();
+        for &leaf in leaves {
+            cut.insert(leaf);
+        }
+        cut
+    }
+
+    /// The empty cut (used as the merge identity).
+    #[inline]
+    pub fn empty() -> Self {
+        Self {
+            len: 0,
+            signature: 0,
+            leaves: [0; MAX_CUT_LEAVES],
+        }
+    }
+
+    /// The trivial cut `{node}`.
+    #[inline]
+    pub fn trivial(node: NodeId) -> Self {
+        let mut leaves = [0; MAX_CUT_LEAVES];
+        leaves[0] = node;
+        Self {
+            len: 1,
+            signature: signature_bit(node),
+            leaves,
+        }
+    }
+
+    /// Inserts a leaf, keeping the array sorted and duplicate-free.
+    fn insert(&mut self, leaf: NodeId) {
+        let len = self.len as usize;
+        let slice = &self.leaves[..len];
+        let position = match slice.binary_search(&leaf) {
+            Ok(_) => return, // duplicate
+            Err(p) => p,
+        };
+        assert!(
+            len < MAX_CUT_LEAVES,
+            "cut overflow: more than {MAX_CUT_LEAVES} leaves"
+        );
+        self.leaves.copy_within(position..len, position + 1);
+        self.leaves[position] = leaf;
+        self.len += 1;
+        self.signature |= signature_bit(leaf);
+    }
+
+    /// The sorted leaves of the cut.
+    #[inline]
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves[..self.len as usize]
     }
 
     /// Number of leaves.
+    #[inline]
     pub fn size(&self) -> usize {
-        self.leaves.len()
+        self.len as usize
+    }
+
+    /// The (lossy) leaf signature.
+    #[inline]
+    pub fn signature(&self) -> u64 {
+        self.signature
     }
 
     /// Returns `true` if `self`'s leaves are a subset of `other`'s leaves
     /// (then `self` dominates `other`).
     pub fn dominates(&self, other: &Cut) -> bool {
-        if self.leaves.len() > other.leaves.len() {
+        if self.len > other.len {
             return false;
         }
+        // signature early-exit: a subset's signature has no extra bits.
+        // (This subsumes a popcount comparison — popcount(self) >
+        // popcount(other) implies an extra bit exists — at lower cost.)
+        // Necessary but not sufficient, as signatures are lossy modulo 64,
+        // so a surviving candidate is confirmed on the sorted leaf arrays.
         if self.signature & !other.signature != 0 {
             return false;
         }
-        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+        // sorted-merge subset test
+        let (a, b) = (self.leaves(), other.leaves());
+        let mut j = 0usize;
+        'outer: for &l in a {
+            while j < b.len() {
+                match b[j].cmp(&l) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
     }
 
     /// Merges two cuts; returns `None` if the union exceeds `max_size`
-    /// leaves.
+    /// leaves.  `max_size` is capped at [`MAX_CUT_LEAVES`] (the inline
+    /// capacity of a cut), so passing a larger bound still rejects unions
+    /// of more than [`MAX_CUT_LEAVES`] leaves.
     pub fn merge(&self, other: &Cut, max_size: usize) -> Option<Cut> {
-        let mut leaves = Vec::with_capacity(self.leaves.len() + other.leaves.len());
-        let (mut i, mut j) = (0, 0);
-        while i < self.leaves.len() || j < other.leaves.len() {
-            if leaves.len() > max_size {
-                return None;
-            }
-            match (self.leaves.get(i), other.leaves.get(j)) {
-                (Some(&a), Some(&b)) if a == b => {
-                    leaves.push(a);
-                    i += 1;
-                    j += 1;
-                }
-                (Some(&a), Some(&b)) if a < b => {
-                    leaves.push(a);
-                    i += 1;
-                }
-                (Some(_), Some(&b)) => {
-                    leaves.push(b);
-                    j += 1;
-                }
-                (Some(&a), None) => {
-                    leaves.push(a);
-                    i += 1;
-                }
-                (None, Some(&b)) => {
-                    leaves.push(b);
-                    j += 1;
-                }
-                (None, None) => unreachable!(),
-            }
-        }
-        if leaves.len() > max_size {
+        let max_size = max_size.min(MAX_CUT_LEAVES);
+        // signature early-exit: the union signature counts at most as many
+        // bits as the union has leaves, so too many bits ⇒ too many leaves.
+        let signature = self.signature | other.signature;
+        if signature.count_ones() as usize > max_size {
             return None;
         }
-        Some(Cut::new(leaves))
+        let (a, b) = (self.leaves(), other.leaves());
+        let mut leaves = [0 as NodeId; MAX_CUT_LEAVES];
+        let mut len = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                    x
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    i += 1;
+                    x
+                }
+                (Some(_), Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => unreachable!(),
+            };
+            if len >= max_size {
+                return None;
+            }
+            leaves[len] = next;
+            len += 1;
+        }
+        Some(Cut {
+            len: len as u8,
+            signature,
+            leaves,
+        })
     }
+}
+
+impl PartialEq for Cut {
+    fn eq(&self, other: &Self) -> bool {
+        self.leaves() == other.leaves()
+    }
+}
+
+impl Eq for Cut {}
+
+#[inline]
+fn signature_bit(leaf: NodeId) -> u64 {
+    1u64 << (leaf % 64)
 }
 
 /// Parameters of bottom-up cut enumeration.
 #[derive(Clone, Copy, Debug)]
 pub struct CutParams {
-    /// Maximum number of leaves per cut.
+    /// Maximum number of leaves per cut (at most [`MAX_CUT_LEAVES`]).
     pub cut_size: usize,
     /// Maximum number of cuts kept per node (priority cuts).
     pub cut_limit: usize,
@@ -111,24 +233,75 @@ impl Default for CutParams {
     }
 }
 
+/// State of one node's entry in the cut arena.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum SpanState {
+    /// Never computed (or invalidated after a substitution).
+    #[default]
+    Empty,
+    /// `arena[start..start + len]` holds the node's cut set.
+    Computed,
+}
+
+/// Per-node slice descriptor into the flat cut arena.
+#[derive(Clone, Copy, Debug, Default)]
+struct Span {
+    start: u32,
+    len: u16,
+    state: SpanState,
+}
+
 /// Bottom-up priority-cut enumeration with lazy, per-node memoisation.
 ///
-/// Cut sets are computed on demand from the fanins' cut sets (Cartesian
-/// product, pruned by size and dominance), so the manager remains usable
-/// while the network is being rewritten: nodes created after construction
-/// simply get their cuts computed when first requested.
+/// All cut sets live in a single flat arena (`Vec<Cut>`) addressed through
+/// a dense per-node span table — no per-node allocations and no hash maps,
+/// so repeated runs enumerate identical cut sets in identical order.  The
+/// manager remains usable while the network is being rewritten: nodes
+/// created after construction simply get their cuts computed when first
+/// requested, and [`CutManager::invalidate`] drops a stale set (its arena
+/// slots are abandoned; the arena is bump-only and reclaimed when the
+/// manager is dropped at the end of a pass).
 #[derive(Debug)]
 pub struct CutManager {
     params: CutParams,
-    cuts: HashMap<NodeId, Vec<Cut>>,
+    /// Flat pool backing every node's cut set.
+    arena: Vec<Cut>,
+    /// `spans[node]` locates the node's cut set inside the arena.
+    spans: Vec<Span>,
+    /// Reused per-node merge buffers (kept on the manager so steady-state
+    /// enumeration performs no allocations).
+    partial: Vec<Cut>,
+    next_partial: Vec<Cut>,
+    result: Vec<Cut>,
 }
 
 impl CutManager {
     /// Creates a cut manager with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.cut_size` exceeds [`MAX_CUT_LEAVES`], or if
+    /// `params.cut_limit` does not fit the arena's per-node span length
+    /// (`u16`).
     pub fn new(params: CutParams) -> Self {
+        assert!(
+            params.cut_size <= MAX_CUT_LEAVES,
+            "cut_size {} exceeds MAX_CUT_LEAVES {MAX_CUT_LEAVES}",
+            params.cut_size
+        );
+        // +1 for the trivial cut; spans store their length as u16
+        assert!(
+            params.cut_limit < u16::MAX as usize,
+            "cut_limit {} exceeds the arena span capacity",
+            params.cut_limit
+        );
         Self {
             params,
-            cuts: HashMap::new(),
+            arena: Vec::new(),
+            spans: Vec::new(),
+            partial: Vec::new(),
+            next_partial: Vec::new(),
+            result: Vec::new(),
         }
     }
 
@@ -137,89 +310,131 @@ impl CutManager {
     /// `{node}`.
     pub fn cuts_of<N: Network>(&mut self, ntk: &N, node: NodeId) -> &[Cut] {
         self.ensure_cuts(ntk, node);
-        &self.cuts[&node]
+        let span = self.spans[node as usize];
+        &self.arena[span.start as usize..span.start as usize + span.len as usize]
     }
 
     /// Drops the memoised cut set of `node` (used after the node has been
     /// substituted).
     pub fn invalidate(&mut self, node: NodeId) {
-        self.cuts.remove(&node);
+        if let Some(span) = self.spans.get_mut(node as usize) {
+            span.state = SpanState::Empty;
+        }
+    }
+
+    #[inline]
+    fn is_computed(&self, node: NodeId) -> bool {
+        self.spans
+            .get(node as usize)
+            .map(|s| s.state == SpanState::Computed)
+            .unwrap_or(false)
+    }
+
+    fn grow_spans(&mut self, node: NodeId) {
+        if self.spans.len() <= node as usize {
+            self.spans.resize(node as usize + 1, Span::default());
+        }
+    }
+
+    fn commit(&mut self, node: NodeId) {
+        let start = self.arena.len() as u32;
+        let len = self.result.len() as u16;
+        self.arena.append(&mut self.result);
+        self.grow_spans(node);
+        self.spans[node as usize] = Span {
+            start,
+            len,
+            state: SpanState::Computed,
+        };
     }
 
     fn ensure_cuts<N: Network>(&mut self, ntk: &N, node: NodeId) {
-        if self.cuts.contains_key(&node) {
+        if self.is_computed(node) {
             return;
         }
         // iterative dependency resolution to avoid deep recursion
         let mut stack = vec![node];
         while let Some(&current) = stack.last() {
-            if self.cuts.contains_key(&current) {
+            if self.is_computed(current) {
                 stack.pop();
                 continue;
             }
             if !ntk.is_gate(current) {
-                self.cuts.insert(current, vec![Cut::new(vec![current])]);
+                self.result.push(Cut::trivial(current));
+                self.commit(current);
                 stack.pop();
                 continue;
             }
-            let fanins = ntk.fanins(current);
-            let missing: Vec<NodeId> = fanins
-                .iter()
-                .map(|f| f.node())
-                .filter(|n| !self.cuts.contains_key(n))
-                .collect();
-            if !missing.is_empty() {
-                stack.extend(missing);
+            let mut missing = false;
+            ntk.foreach_fanin(current, |f| {
+                if !self.is_computed(f.node()) {
+                    stack.push(f.node());
+                    missing = true;
+                }
+            });
+            if missing {
                 continue;
             }
-            let computed = self.compute_cuts(ntk, current, &fanins.iter().map(|f| f.node()).collect::<Vec<_>>());
-            self.cuts.insert(current, computed);
+            self.compute_cuts(ntk, current);
+            self.commit(current);
             stack.pop();
         }
     }
 
-    fn compute_cuts<N: Network>(&self, _ntk: &N, node: NodeId, fanins: &[NodeId]) -> Vec<Cut> {
-        let mut result: Vec<Cut> = Vec::new();
-        // Cartesian product of the fanins' cut sets
-        let fanin_cuts: Vec<&Vec<Cut>> = fanins.iter().map(|n| &self.cuts[n]).collect();
-        let mut partial: Vec<Cut> = vec![Cut::new(vec![])];
-        for cuts in fanin_cuts {
-            let mut next = Vec::new();
-            for base in &partial {
-                for cut in cuts {
+    /// Computes the cut set of `node` into `self.result` by merging the
+    /// fanins' cut sets (Cartesian product, pruned by size and dominance).
+    fn compute_cuts<N: Network>(&mut self, ntk: &N, node: NodeId) {
+        debug_assert!(self.result.is_empty());
+        self.partial.clear();
+        self.partial.push(Cut::empty());
+        for index in 0..ntk.fanin_size(node) {
+            let fanin = ntk.fanin(node, index).node();
+            let span = self.spans[fanin as usize];
+            debug_assert_eq!(span.state, SpanState::Computed);
+            let fanin_cuts = span.start as usize..span.start as usize + span.len as usize;
+            self.next_partial.clear();
+            for base in &self.partial {
+                for cut in &self.arena[fanin_cuts.clone()] {
                     if let Some(merged) = base.merge(cut, self.params.cut_size) {
-                        next.push(merged);
+                        self.next_partial.push(merged);
                     }
                 }
             }
-            partial = next;
-            if partial.is_empty() {
+            std::mem::swap(&mut self.partial, &mut self.next_partial);
+            if self.partial.is_empty() {
                 break;
             }
         }
-        for cut in partial {
+        // the trivial cut comes first so callers can skip it easily
+        self.result.push(Cut::trivial(node));
+        for i in 0..self.partial.len() {
+            let cut = self.partial[i];
             if cut.size() <= self.params.cut_size {
-                add_cut_pruned(&mut result, cut, self.params.cut_limit);
+                add_cut_pruned(&mut self.result, cut, self.params.cut_limit);
             }
         }
-        // the trivial cut comes first so callers can skip it easily
-        let mut cuts = vec![Cut::new(vec![node])];
-        cuts.extend(result);
-        cuts
     }
 }
 
-/// Inserts `cut` into `set` unless it is dominated; removes cuts it
-/// dominates; enforces the size limit (keeping smaller cuts first).
+/// Inserts `cut` into the non-trivial tail of `set` (entries `1..`) unless
+/// it is dominated; removes cuts it dominates; enforces the size limit
+/// (keeping smaller cuts first).
 fn add_cut_pruned(set: &mut Vec<Cut>, cut: Cut, limit: usize) {
-    if set.iter().any(|c| c.dominates(&cut)) {
+    if set[1..].iter().any(|c| c.dominates(&cut)) {
         return;
     }
-    set.retain(|c| !cut.dominates(c));
+    let mut write = 1;
+    for read in 1..set.len() {
+        if !cut.dominates(&set[read]) {
+            set[write] = set[read];
+            write += 1;
+        }
+    }
+    set.truncate(write);
     set.push(cut);
-    if set.len() > limit {
-        set.sort_by_key(Cut::size);
-        set.truncate(limit);
+    if set.len() - 1 > limit {
+        set[1..].sort_by_key(Cut::size);
+        set.truncate(limit + 1);
     }
 }
 
@@ -231,27 +446,24 @@ fn add_cut_pruned(set: &mut Vec<Cut>, cut: Cut, limit: usize) {
 /// Panics if the cone of `root` reaches a primary input or constant that is
 /// not among the leaves, or if there are more than 16 leaves.
 pub fn simulate_cut<N: Network>(ntk: &N, root: NodeId, leaves: &[NodeId]) -> TruthTable {
-    let num_leaves = leaves.len();
-    assert!(num_leaves <= 16, "cut simulation supports at most 16 leaves");
-    let mut values: HashMap<NodeId, TruthTable> = HashMap::new();
-    values.insert(0, TruthTable::zero(num_leaves));
-    for (i, &leaf) in leaves.iter().enumerate() {
-        values.insert(leaf, TruthTable::nth_var(num_leaves, i));
-    }
-    simulate_cone(ntk, root, &mut values);
+    let values = simulate_cut_cone(ntk, root, leaves);
     values[&root].clone()
 }
 
 /// Computes truth tables for every node in the cone between `leaves` and
-/// `root` (inclusive), returned as a map.
+/// `root` (inclusive), returned as an ordered map (deterministic iteration
+/// by node id).
 pub fn simulate_cut_cone<N: Network>(
     ntk: &N,
     root: NodeId,
     leaves: &[NodeId],
-) -> HashMap<NodeId, TruthTable> {
+) -> BTreeMap<NodeId, TruthTable> {
     let num_leaves = leaves.len();
-    assert!(num_leaves <= 16, "cut simulation supports at most 16 leaves");
-    let mut values: HashMap<NodeId, TruthTable> = HashMap::new();
+    assert!(
+        num_leaves <= 16,
+        "cut simulation supports at most 16 leaves"
+    );
+    let mut values: BTreeMap<NodeId, TruthTable> = BTreeMap::new();
     values.insert(0, TruthTable::zero(num_leaves));
     for (i, &leaf) in leaves.iter().enumerate() {
         values.insert(leaf, TruthTable::nth_var(num_leaves, i));
@@ -260,11 +472,7 @@ pub fn simulate_cut_cone<N: Network>(
     values
 }
 
-fn simulate_cone<N: Network>(
-    ntk: &N,
-    root: NodeId,
-    values: &mut HashMap<NodeId, TruthTable>,
-) {
+fn simulate_cone<N: Network>(ntk: &N, root: NodeId, values: &mut BTreeMap<NodeId, TruthTable>) {
     if values.contains_key(&root) {
         return;
     }
@@ -278,17 +486,18 @@ fn simulate_cone<N: Network>(
             ntk.is_gate(node),
             "cut cone reached node {node} outside the cut (not a gate, not a leaf)"
         );
-        let fanins = ntk.fanins(node);
-        let missing: Vec<NodeId> = fanins
-            .iter()
-            .map(|f| f.node())
-            .filter(|n| !values.contains_key(n))
-            .collect();
-        if !missing.is_empty() {
-            stack.extend(missing);
+        let mut missing = false;
+        ntk.foreach_fanin(node, |f| {
+            if !values.contains_key(&f.node()) {
+                stack.push(f.node());
+                missing = true;
+            }
+        });
+        if missing {
             continue;
         }
-        let fanin_tts: Vec<TruthTable> = fanins
+        let fanin_tts: Vec<TruthTable> = ntk
+            .fanins_inline(node)
             .iter()
             .map(|f| {
                 let tt = &values[&f.node()];
@@ -322,11 +531,11 @@ pub fn reconvergence_driven_cut<N: Network>(
     let mut leaves: Vec<NodeId> = Vec::new();
     let mut visited: Vec<NodeId> = vec![root];
     // start from the fanins of the root
-    for f in ntk.fanins(root) {
+    ntk.foreach_fanin(root, |f| {
         if !leaves.contains(&f.node()) {
             leaves.push(f.node());
         }
-    }
+    });
     loop {
         // pick the best leaf to expand: a gate whose fanins add the fewest
         // new leaves (and at least keeps us within the limit)
@@ -335,16 +544,17 @@ pub fn reconvergence_driven_cut<N: Network>(
             if !ntk.is_gate(leaf) {
                 continue;
             }
-            let fanins = ntk.fanins(leaf);
-            let new_leaves = fanins
-                .iter()
-                .filter(|f| !leaves.contains(&f.node()) && !visited.contains(&f.node()))
-                .count();
+            let mut new_leaves = 0usize;
+            ntk.foreach_fanin(leaf, |f| {
+                if !leaves.contains(&f.node()) && !visited.contains(&f.node()) {
+                    new_leaves += 1;
+                }
+            });
             let cost = new_leaves;
             if leaves.len() - 1 + new_leaves > max_leaves {
                 continue;
             }
-            if best.map_or(true, |(c, _)| cost < c) {
+            if best.is_none_or(|(c, _)| cost < c) {
                 best = Some((cost, i));
             }
         }
@@ -353,11 +563,11 @@ pub fn reconvergence_driven_cut<N: Network>(
             Some((_, index)) => {
                 let leaf = leaves.swap_remove(index);
                 visited.push(leaf);
-                for f in ntk.fanins(leaf) {
+                ntk.foreach_fanin(leaf, |f| {
                     if !leaves.contains(&f.node()) && !visited.contains(&f.node()) {
                         leaves.push(f.node());
                     }
-                }
+                });
             }
         }
         if leaves.len() >= max_leaves {
@@ -386,31 +596,86 @@ mod tests {
 
     #[test]
     fn cut_merge_and_domination() {
-        let a = Cut::new(vec![1, 2]);
-        let b = Cut::new(vec![2, 3]);
+        let a = Cut::from_leaves(&[1, 2]);
+        let b = Cut::from_leaves(&[2, 3]);
         let merged = a.merge(&b, 4).unwrap();
-        assert_eq!(merged.leaves, vec![1, 2, 3]);
+        assert_eq!(merged.leaves(), &[1, 2, 3]);
         assert!(a.merge(&b, 2).is_none());
-        let small = Cut::new(vec![2]);
+        let small = Cut::from_leaves(&[2]);
         assert!(small.dominates(&a));
         assert!(!a.dominates(&small));
         assert!(a.dominates(&a));
     }
 
     #[test]
+    fn construction_sorts_and_dedups() {
+        let cut = Cut::from_leaves(&[9, 3, 9, 1, 3]);
+        assert_eq!(cut.leaves(), &[1, 3, 9]);
+        assert_eq!(cut.size(), 3);
+        assert_eq!(cut, Cut::from_leaves(&[1, 3, 9]));
+    }
+
+    /// Leaves `1` and `65` collide in the 64-bit signature (both set bit
+    /// 1), so the signature pre-checks alone would wrongly report the cuts
+    /// as subset-related; the exact leaf comparison must reject them.
+    #[test]
+    fn signature_false_positives_are_rejected() {
+        let a = Cut::from_leaves(&[1]);
+        let b = Cut::from_leaves(&[65]);
+        assert_eq!(a.signature(), b.signature(), "chosen leaves must collide");
+        assert!(!a.dominates(&b), "signature collision is not domination");
+        assert!(!b.dominates(&a));
+        // merging collision partners keeps both distinct leaves
+        let merged = a.merge(&b, 4).unwrap();
+        assert_eq!(merged.leaves(), &[1, 65]);
+        // a colliding superset is still correctly dominated
+        let sup = Cut::from_leaves(&[1, 65, 70]);
+        assert!(a.dominates(&sup));
+        assert!(b.dominates(&sup));
+        assert!(!sup.dominates(&a));
+        // and signature-equal but disjoint sets never merge into less
+        // than their true union, even at the size limit
+        assert!(a.merge(&b, 1).is_none());
+    }
+
+    #[test]
     fn cut_enumeration_finds_structural_cuts() {
         let (aig, gs) = chain_aig();
-        let mut mgr = CutManager::new(CutParams { cut_size: 4, cut_limit: 8 });
+        let mut mgr = CutManager::new(CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+        });
         let cuts = mgr.cuts_of(&aig, gs[2].node()).to_vec();
         // trivial cut first
-        assert_eq!(cuts[0].leaves, vec![gs[2].node()]);
+        assert_eq!(cuts[0].leaves(), &[gs[2].node()]);
         // the 4-input cut over the PIs must be found
         let pis: Vec<NodeId> = aig.pi_nodes();
-        assert!(cuts.iter().any(|c| c.leaves == pis));
+        assert!(cuts.iter().any(|c| c.leaves() == pis.as_slice()));
         // the cut {g1, g2} must be found
         assert!(cuts
             .iter()
-            .any(|c| c.leaves == vec![gs[0].node(), gs[1].node()]));
+            .any(|c| c.leaves() == [gs[0].node(), gs[1].node()]));
+    }
+
+    #[test]
+    fn cut_enumeration_is_deterministic() {
+        let (aig, gs) = chain_aig();
+        let enumerate = || {
+            let mut mgr = CutManager::new(CutParams::default());
+            let mut all: Vec<Vec<NodeId>> = Vec::new();
+            for node in aig.gate_nodes() {
+                for cut in mgr.cuts_of(&aig, node) {
+                    all.push(cut.leaves().to_vec());
+                }
+            }
+            all
+        };
+        assert_eq!(enumerate(), enumerate());
+        let mut mgr = CutManager::new(CutParams::default());
+        let first = mgr.cuts_of(&aig, gs[2].node()).to_vec();
+        mgr.invalidate(gs[2].node());
+        let second = mgr.cuts_of(&aig, gs[2].node()).to_vec();
+        assert_eq!(first, second);
     }
 
     #[test]
@@ -459,6 +724,6 @@ mod tests {
             glsx_network::Signal::new(pis[2], false),
         );
         let cuts = mgr.cuts_of(&aig, extra.node()).to_vec();
-        assert!(cuts.iter().any(|c| c.leaves == vec![pis[0], pis[2]]));
+        assert!(cuts.iter().any(|c| c.leaves() == [pis[0], pis[2]]));
     }
 }

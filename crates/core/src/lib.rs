@@ -46,7 +46,10 @@ pub mod resubstitution;
 pub mod rewriting;
 
 pub use balancing::{balance, BalanceParams, BalanceStats};
-pub use cuts::{reconvergence_driven_cut, simulate_cut, Cut, CutManager, CutParams};
+pub use cuts::{
+    reconvergence_driven_cut, simulate_cut, simulate_cut_cone, Cut, CutManager, CutParams,
+    MAX_CUT_LEAVES,
+};
 pub use lut_mapping::{lut_map, lut_map_stats, LutMapParams, LutMapStats};
 pub use refactoring::{refactor, refactor_with, RefactorParams, RefactorStats};
 pub use refs::{mffc, mffc_size, RefCountView};

@@ -9,12 +9,13 @@
 
 use crate::cuts::{simulate_cut, Cut, CutManager, CutParams};
 use glsx_network::{Klut, Network, NodeId, Signal};
-use std::collections::HashMap;
 
 /// Parameters of LUT mapping.
 #[derive(Clone, Copy, Debug)]
 pub struct LutMapParams {
-    /// Number of LUT inputs (`k`).
+    /// Number of LUT inputs (`k`); at most
+    /// [`MAX_CUT_LEAVES`](crate::cuts::MAX_CUT_LEAVES), the inline leaf
+    /// capacity of the cut substrate.
     pub lut_size: usize,
     /// Maximum number of priority cuts per node.
     pub cut_limit: usize,
@@ -52,7 +53,7 @@ pub struct LutMapStats {
     pub depth: u32,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct MapChoice {
     cut: Cut,
     level: u32,
@@ -74,7 +75,19 @@ struct MapChoice {
 /// let klut = lut_map(&aig, &LutMapParams::with_lut_size(6));
 /// assert!(klut.num_gates() <= 3);
 /// ```
+///
+/// # Panics
+///
+/// Panics if `params.lut_size` exceeds
+/// [`MAX_CUT_LEAVES`](crate::cuts::MAX_CUT_LEAVES).
 pub fn lut_map<N: Network>(ntk: &N, params: &LutMapParams) -> Klut {
+    assert!(
+        params.lut_size <= crate::cuts::MAX_CUT_LEAVES,
+        "lut_size {} is not supported: the cut substrate stores at most {} leaves inline \
+         (MAX_CUT_LEAVES)",
+        params.lut_size,
+        crate::cuts::MAX_CUT_LEAVES
+    );
     let (cover, choices) = select_cover(ntk, params);
     build_klut(ntk, &cover, &choices)
 }
@@ -93,42 +106,44 @@ pub fn lut_map_stats<N: Network>(ntk: &N, params: &LutMapParams) -> LutMapStats 
 fn select_cover<N: Network>(
     ntk: &N,
     params: &LutMapParams,
-) -> (Vec<NodeId>, HashMap<NodeId, MapChoice>) {
+) -> (Vec<NodeId>, Vec<Option<MapChoice>>) {
     let mut cut_manager = CutManager::new(CutParams {
         cut_size: params.lut_size,
         cut_limit: params.cut_limit,
     });
     let order = ntk.gate_nodes();
-    let mut choices: HashMap<NodeId, MapChoice> = HashMap::new();
+    // dense, deterministic per-node tables instead of hash maps
+    let mut choices: Vec<Option<MapChoice>> = vec![None; ntk.size()];
 
     // delay-oriented pass followed by area-flow refinement passes
     for round in 0..(1 + params.area_flow_rounds) {
         let area_oriented = round > 0;
         for &node in &order {
-            let cuts = cut_manager.cuts_of(ntk, node).to_vec();
+            // the manager is not invalidated inside this loop, so its
+            // arena slice can be borrowed directly — no copying
             let mut best: Option<MapChoice> = None;
-            for cut in cuts.iter().skip(1) {
-                if cut.size() == 0 || cut.leaves.contains(&node) {
+            for cut in cut_manager.cuts_of(ntk, node).iter().skip(1) {
+                if cut.size() == 0 || cut.leaves().contains(&node) {
                     continue;
                 }
+                let choice_of = |l: NodeId| choices[l as usize];
                 let level = 1 + cut
-                    .leaves
+                    .leaves()
                     .iter()
-                    .map(|l| choices.get(l).map(|c| c.level).unwrap_or(0))
+                    .map(|&l| choice_of(l).map(|c| c.level).unwrap_or(0))
                     .max()
                     .unwrap_or(0);
                 let area_flow = 1.0
                     + cut
-                        .leaves
+                        .leaves()
                         .iter()
-                        .map(|l| {
-                            let leaf_flow =
-                                choices.get(l).map(|c| c.area_flow).unwrap_or(0.0);
-                            leaf_flow / (ntk.fanout_size(*l).max(1) as f64)
+                        .map(|&l| {
+                            let leaf_flow = choice_of(l).map(|c| c.area_flow).unwrap_or(0.0);
+                            leaf_flow / (ntk.fanout_size(l).max(1) as f64)
                         })
                         .sum::<f64>();
                 let candidate = MapChoice {
-                    cut: cut.clone(),
+                    cut: *cut,
                     level,
                     area_flow,
                 };
@@ -148,15 +163,15 @@ fn select_cover<N: Network>(
                     best = Some(candidate);
                 }
             }
-            if let Some(best) = best {
-                choices.insert(node, best);
+            if best.is_some() {
+                choices[node as usize] = best;
             }
         }
     }
 
     // derive the cover by walking from the primary outputs
     let mut cover = Vec::new();
-    let mut in_cover: HashMap<NodeId, bool> = HashMap::new();
+    let mut in_cover = vec![false; ntk.size()];
     let mut stack: Vec<NodeId> = ntk
         .po_signals()
         .iter()
@@ -164,16 +179,16 @@ fn select_cover<N: Network>(
         .filter(|&n| ntk.is_gate(n))
         .collect();
     while let Some(node) = stack.pop() {
-        if in_cover.contains_key(&node) {
+        if in_cover[node as usize] {
             continue;
         }
-        in_cover.insert(node, true);
+        in_cover[node as usize] = true;
         cover.push(node);
-        let choice = choices
-            .get(&node)
+        let choice = choices[node as usize]
+            .as_ref()
             .expect("every reachable gate has a mapping choice");
-        for &leaf in &choice.cut.leaves {
-            if ntk.is_gate(leaf) && !in_cover.contains_key(&leaf) {
+        for &leaf in choice.cut.leaves() {
+            if ntk.is_gate(leaf) && !in_cover[leaf as usize] {
                 stack.push(leaf);
             }
         }
@@ -183,34 +198,32 @@ fn select_cover<N: Network>(
     (cover, choices)
 }
 
-fn build_klut<N: Network>(
-    ntk: &N,
-    cover: &[NodeId],
-    choices: &HashMap<NodeId, MapChoice>,
-) -> Klut {
+fn build_klut<N: Network>(ntk: &N, cover: &[NodeId], choices: &[Option<MapChoice>]) -> Klut {
     let mut klut = Klut::new();
-    let mut map: HashMap<NodeId, Signal> = HashMap::new();
-    map.insert(0, klut.get_constant(false));
+    let mut map: Vec<Option<Signal>> = vec![None; ntk.size()];
+    map[0] = Some(klut.get_constant(false));
     for pi in ntk.pi_nodes() {
         let s = klut.create_pi();
-        map.insert(pi, s);
+        map[pi as usize] = Some(s);
     }
     for &node in cover {
-        let choice = &choices[&node];
-        let mut function = simulate_cut(ntk, node, &choice.cut.leaves);
-        let mut fanins = Vec::with_capacity(choice.cut.leaves.len());
-        for (i, &leaf) in choice.cut.leaves.iter().enumerate() {
-            let mapped = map[&leaf];
+        let choice = choices[node as usize].expect("cover nodes have choices");
+        let mut function = simulate_cut(ntk, node, choice.cut.leaves());
+        let mut fanins = Vec::with_capacity(choice.cut.size());
+        for (i, &leaf) in choice.cut.leaves().iter().enumerate() {
+            let mapped = map[leaf as usize].expect("leaves precede their root");
             if mapped.is_complemented() {
                 function = function.flip(i);
             }
             fanins.push(mapped.regular());
         }
         let signal = klut.create_lut(&fanins, function);
-        map.insert(node, signal);
+        map[node as usize] = Some(signal);
     }
     for po in ntk.po_signals() {
-        let mapped = map[&po.node()].complement_if(po.is_complemented());
+        let mapped = map[po.node() as usize]
+            .expect("outputs drive mapped nodes")
+            .complement_if(po.is_complemented());
         klut.create_po(mapped);
     }
     klut

@@ -24,7 +24,9 @@ impl RefCountView {
     /// Creates an empty (lazy) view; counts are initialised from the
     /// network's fanout sizes on first access.
     pub fn new<N: Network>(_ntk: &N) -> Self {
-        Self { counts: HashMap::new() }
+        Self {
+            counts: HashMap::new(),
+        }
     }
 
     /// Returns the current reference count of `node`, initialising it from
@@ -60,8 +62,8 @@ impl RefCountView {
             return 0;
         }
         let mut freed = 1;
-        for fanin in ntk.fanins(node) {
-            let f = fanin.node();
+        for index in 0..ntk.fanin_size(node) {
+            let f = ntk.fanin(node, index).node();
             if self.add(ntk, f, -1) == 0 && ntk.is_gate(f) {
                 freed += self.deref_recursive(ntk, f);
             }
@@ -77,8 +79,8 @@ impl RefCountView {
             return 0;
         }
         let mut added = 1;
-        for fanin in ntk.fanins(node) {
-            let f = fanin.node();
+        for index in 0..ntk.fanin_size(node) {
+            let f = ntk.fanin(node, index).node();
             if self.count(ntk, f) == 0 && ntk.is_gate(f) {
                 added += self.ref_recursive(ntk, f);
             }
@@ -120,8 +122,8 @@ fn collect_mffc<N: Network>(
         return;
     }
     cone.push(node);
-    for fanin in ntk.fanins(node) {
-        let f = fanin.node();
+    for index in 0..ntk.fanin_size(node) {
+        let f = ntk.fanin(node, index).node();
         if counts.add(ntk, f, -1) == 0 {
             collect_mffc(ntk, f, counts, cone, false);
         }
@@ -198,8 +200,14 @@ mod tests {
         let cone = mffc(&aig, y.node());
         assert!(cone.contains(&y.node()));
         assert!(cone.contains(&x.node()));
-        assert!(!cone.contains(&shared.node()), "shared node must not be in the MFFC");
-        assert_eq!(mffc_with_leaves(&aig, y.node(), &[x.node()]), vec![y.node()]);
+        assert!(
+            !cone.contains(&shared.node()),
+            "shared node must not be in the MFFC"
+        );
+        assert_eq!(
+            mffc_with_leaves(&aig, y.node(), &[x.node()]),
+            vec![y.node()]
+        );
     }
 
     #[test]

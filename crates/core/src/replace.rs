@@ -40,10 +40,7 @@ where
     if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
         return ReplaceOutcome::Rejected;
     }
-    if leaves.is_empty()
-        || leaves.contains(&node)
-        || leaves.iter().any(|&l| ntk.is_dead(l))
-    {
+    if leaves.is_empty() || leaves.contains(&node) || leaves.iter().any(|&l| ntk.is_dead(l)) {
         return ReplaceOutcome::Rejected;
     }
     let function = simulate_cut(ntk, node, leaves);
@@ -64,9 +61,7 @@ where
     };
 
     // the candidate must neither be the node itself nor contain it
-    if candidate.node() == node
-        || candidate_contains(ntk, candidate.node(), node, leaves)
-    {
+    if candidate.node() == node || candidate_contains(ntk, candidate.node(), node, leaves) {
         refs.ref_recursive(ntk, node);
         discard_candidate(ntk, candidate, size_before);
         sweep_new_dangling(ntk, size_before);
@@ -76,11 +71,12 @@ where
     // treat freshly created nodes as unreferenced for gain measurement
     for id in size_before..ntk.size() {
         let id = id as NodeId;
-        let external = ntk
-            .fanouts(id)
-            .iter()
-            .filter(|&&p| (p as usize) < size_before)
-            .count() as i64;
+        let mut external = 0i64;
+        ntk.foreach_fanout(id, |p| {
+            if (p as usize) < size_before {
+                external += 1;
+            }
+        });
         refs.set_count(id, external);
     }
     let added = if (candidate.node() as usize) < size_before {
@@ -135,9 +131,7 @@ fn candidate_contains<N: Network>(
         if leaves.contains(&n) || !seen.insert(n) || !ntk.is_gate(n) {
             continue;
         }
-        for f in ntk.fanins(n) {
-            stack.push(f.node());
-        }
+        ntk.foreach_fanin(n, |f| stack.push(f.node()));
     }
     false
 }

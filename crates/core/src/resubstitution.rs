@@ -15,7 +15,7 @@ use crate::cuts::{reconvergence_driven_cut, simulate_cut_cone};
 use crate::refs::mffc;
 use glsx_network::{Aig, GateBuilder, Mig, Network, NodeId, Signal, Xag, Xmg};
 use glsx_truth::TruthTable;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The divisor-selection and resubstitution-rule style of a representation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -120,7 +120,9 @@ pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams
         // `node`).
         expand_window(ntk, node, &mut window, params.max_divisors * 2);
 
-        // collect divisors: window nodes (including leaves) outside the MFFC
+        // collect divisors: window nodes (including leaves) outside the
+        // MFFC; the window map is ordered by node id, so the divisor list
+        // (and hence every later tie-break) is deterministic
         let mut divisors: Vec<Divisor> = window
             .iter()
             .filter(|(&n, _)| n != node && n != 0 && !mffc_nodes.contains(&n) && !ntk.is_dead(n))
@@ -129,7 +131,6 @@ pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams
                 function: tt.clone(),
             })
             .collect();
-        divisors.sort_by_key(|d| d.signal.node());
         divisors.truncate(params.max_divisors);
 
         let min_gain = if params.allow_zero_gain { 0 } else { 1 };
@@ -152,28 +153,32 @@ pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams
 /// Grows the simulation window with side divisors: fanouts of window nodes
 /// whose fanins all lie in the window already.  Such nodes are expressible
 /// over the cut and can never contain `root` in their fanin cone.
+///
+/// The window is an ordered map, so the expansion frontier — and thereby
+/// which divisors make it in before `limit` is reached — is deterministic
+/// across runs.
 fn expand_window<N: Network>(
     ntk: &N,
     root: NodeId,
-    window: &mut HashMap<NodeId, TruthTable>,
+    window: &mut BTreeMap<NodeId, TruthTable>,
     limit: usize,
 ) {
     let mut changed = true;
+    let mut candidates: Vec<NodeId> = Vec::new();
     while changed && window.len() < limit {
         changed = false;
         let members: Vec<NodeId> = window.keys().copied().collect();
         for member in members {
-            for candidate in ntk.fanouts(member) {
+            candidates.clear();
+            ntk.foreach_fanout(member, |candidate| candidates.push(candidate));
+            for &candidate in &candidates {
                 if window.len() >= limit {
                     return;
                 }
-                if candidate == root
-                    || window.contains_key(&candidate)
-                    || !ntk.is_gate(candidate)
-                {
+                if candidate == root || window.contains_key(&candidate) || !ntk.is_gate(candidate) {
                     continue;
                 }
-                let fanins = ntk.fanins(candidate);
+                let fanins = ntk.fanins_inline(candidate);
                 if !fanins
                     .iter()
                     .all(|f| f.node() != root && window.contains_key(&f.node()))
@@ -236,12 +241,7 @@ fn find_resubstitution<N: ResubNetwork>(
     // divisor lists with both polarities
     let polarised: Vec<(Signal, TruthTable)> = divisors
         .iter()
-        .flat_map(|d| {
-            [
-                (d.signal, d.function.clone()),
-                (!d.signal, !&d.function),
-            ]
-        })
+        .flat_map(|d| [(d.signal, d.function.clone()), (!d.signal, !&d.function)])
         .collect();
     // filtering rules: candidates that can appear in an AND (they cover the
     // target) and candidates that can appear in an OR (covered by it)
@@ -257,7 +257,7 @@ fn find_resubstitution<N: ResubNetwork>(
         .collect();
 
     // 1-resubstitution (one inserted gate)
-    if mffc_size - 1 >= min_gain {
+    if mffc_size > min_gain {
         // AND of two covering divisors
         for (i, (sa, ta)) in up.iter().enumerate() {
             for (sb, tb) in up.iter().skip(i + 1) {
@@ -278,10 +278,8 @@ fn find_resubstitution<N: ResubNetwork>(
         }
         // XOR via hash lookup (XAG-style kernels)
         if N::STYLE == ResubStyle::AndXor || N::STYLE == ResubStyle::Majority {
-            let by_function: HashMap<&TruthTable, Signal> = divisors
-                .iter()
-                .map(|d| (&d.function, d.signal))
-                .collect();
+            let by_function: HashMap<&TruthTable, Signal> =
+                divisors.iter().map(|d| (&d.function, d.signal)).collect();
             for d in divisors {
                 let needed = target ^ &d.function;
                 if let Some(&other) = by_function.get(&needed) {

@@ -6,7 +6,7 @@
 //! newly added gates, accounting for structural hashing — is positive (or
 //! non-negative for zero-gain rewriting).
 
-use crate::cuts::{CutManager, CutParams};
+use crate::cuts::{Cut, CutManager, CutParams};
 use crate::replace::{try_replace_on_cut, ReplaceOutcome};
 use glsx_network::{GateBuilder, Network, NodeId};
 use glsx_synth::{NpnDatabase, Resynthesis};
@@ -57,23 +57,22 @@ where
         cut_limit: params.cut_limit,
     });
     let nodes: Vec<NodeId> = ntk.gate_nodes();
+    // cuts are copied out of the manager's arena once per node so the
+    // manager can be invalidated mid-iteration; the buffer is reused, so
+    // the steady state allocates nothing
+    let mut cuts: Vec<Cut> = Vec::new();
     for node in nodes {
         if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
             continue;
         }
         stats.visited += 1;
-        let cuts = cut_manager.cuts_of(ntk, node).to_vec();
+        cuts.clear();
+        cuts.extend_from_slice(cut_manager.cuts_of(ntk, node));
         for cut in cuts.iter().skip(1) {
             if cut.size() < 2 {
                 continue;
             }
-            match try_replace_on_cut(
-                ntk,
-                node,
-                &cut.leaves,
-                resynthesis,
-                params.allow_zero_gain,
-            ) {
+            match try_replace_on_cut(ntk, node, cut.leaves(), resynthesis, params.allow_zero_gain) {
                 ReplaceOutcome::Substituted(gain) => {
                     stats.substitutions += 1;
                     stats.estimated_gain += gain;

@@ -19,11 +19,7 @@ pub struct PortfolioResult {
 
 /// Optimises `aig` with the generic flow instantiated for AIGs, MIGs and
 /// XAGs, maps every result into `lut_size`-input LUTs and returns the best.
-pub fn portfolio_best_luts(
-    aig: &Aig,
-    options: &FlowOptions,
-    lut_size: usize,
-) -> PortfolioResult {
+pub fn portfolio_best_luts(aig: &Aig, options: &FlowOptions, lut_size: usize) -> PortfolioResult {
     let map_params = LutMapParams::with_lut_size(lut_size);
 
     let mut as_aig = aig.clone();

@@ -99,9 +99,13 @@ impl FlowScript {
                     while i < rest.len() {
                         match rest[i] {
                             "-c" | "-d" => {
-                                let value = rest.get(i + 1).ok_or_else(|| ParseFlowScriptError {
-                                    message: format!("missing value after {} in `{command}`", rest[i]),
-                                })?;
+                                let value =
+                                    rest.get(i + 1).ok_or_else(|| ParseFlowScriptError {
+                                        message: format!(
+                                            "missing value after {} in `{command}`",
+                                            rest[i]
+                                        ),
+                                    })?;
                                 let parsed: usize =
                                     value.parse().map_err(|_| ParseFlowScriptError {
                                         message: format!("invalid number `{value}` in `{command}`"),
@@ -176,8 +180,20 @@ mod tests {
         .unwrap();
         assert_eq!(script.steps().len(), 18);
         assert_eq!(script.steps()[0], FlowStep::Balance);
-        assert_eq!(script.steps()[1], FlowStep::Resubstitute { cut_size: 6, depth: 1 });
-        assert_eq!(script.steps()[3], FlowStep::Resubstitute { cut_size: 6, depth: 2 });
+        assert_eq!(
+            script.steps()[1],
+            FlowStep::Resubstitute {
+                cut_size: 6,
+                depth: 1
+            }
+        );
+        assert_eq!(
+            script.steps()[3],
+            FlowStep::Resubstitute {
+                cut_size: 6,
+                depth: 2
+            }
+        );
         assert_eq!(script.steps()[10], FlowStep::Rewrite { zero_gain: true });
         assert_eq!(script.steps()[14], FlowStep::Refactor { zero_gain: true });
     }

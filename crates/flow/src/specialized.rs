@@ -19,19 +19,11 @@ use std::time::Instant;
 use crate::FlowStats;
 
 /// Options of the specialised AIG flow.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SpecializedOptions {
     /// Use SAT-based exact synthesis (AND-inverter chains) for the
     /// rewriting database instead of heuristic structures.
     pub exact_rewriting: bool,
-}
-
-impl Default for SpecializedOptions {
-    fn default() -> Self {
-        Self {
-            exact_rewriting: false,
-        }
-    }
 }
 
 /// Runs the AIG-specialised `compress2rs` flow.

@@ -114,13 +114,16 @@ pub fn write_aiger(aig: &Aig) -> String {
 /// declarations.
 pub fn read_aiger(text: &str) -> Result<Aig, ParseAigerError> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or_else(|| ParseAigerError::new("empty input"))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| ParseAigerError::new("empty input"))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() < 6 || fields[0] != "aag" {
         return Err(ParseAigerError::new("expected an `aag` header"));
     }
     let parse = |s: &str| -> Result<usize, ParseAigerError> {
-        s.parse().map_err(|_| ParseAigerError::new(format!("invalid number `{s}`")))
+        s.parse()
+            .map_err(|_| ParseAigerError::new(format!("invalid number `{s}`")))
     };
     let max_index = parse(fields[1])?;
     let num_inputs = parse(fields[2])?;
@@ -136,7 +139,9 @@ pub fn read_aiger(text: &str) -> Result<Aig, ParseAigerError> {
     signals[0] = Some(aig.get_constant(false));
     let mut input_literals = Vec::with_capacity(num_inputs);
     for _ in 0..num_inputs {
-        let line = lines.next().ok_or_else(|| ParseAigerError::new("missing input line"))?;
+        let line = lines
+            .next()
+            .ok_or_else(|| ParseAigerError::new("missing input line"))?;
         let lit = parse(line.trim())?;
         if lit % 2 != 0 || lit / 2 > max_index {
             return Err(ParseAigerError::new(format!("invalid input literal {lit}")));
@@ -146,12 +151,16 @@ pub fn read_aiger(text: &str) -> Result<Aig, ParseAigerError> {
     }
     let mut output_literals = Vec::with_capacity(num_outputs);
     for _ in 0..num_outputs {
-        let line = lines.next().ok_or_else(|| ParseAigerError::new("missing output line"))?;
+        let line = lines
+            .next()
+            .ok_or_else(|| ParseAigerError::new("missing output line"))?;
         output_literals.push(parse(line.trim())?);
     }
     let mut and_definitions = Vec::with_capacity(num_ands);
     for _ in 0..num_ands {
-        let line = lines.next().ok_or_else(|| ParseAigerError::new("missing AND line"))?;
+        let line = lines
+            .next()
+            .ok_or_else(|| ParseAigerError::new("missing AND line"))?;
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() != 3 {
             return Err(ParseAigerError::new(format!("malformed AND line `{line}`")));
@@ -242,7 +251,11 @@ pub fn write_blif<N: Network>(ntk: &N, model_name: &str) -> String {
     }
     for (i, po) in ntk.po_signals().iter().enumerate() {
         out.push_str(&format!(".names {} po{i}\n", name(po.node())));
-        out.push_str(if po.is_complemented() { "0 1\n" } else { "1 1\n" });
+        out.push_str(if po.is_complemented() {
+            "0 1\n"
+        } else {
+            "1 1\n"
+        });
     }
     out.push_str(".end\n");
     out
@@ -366,7 +379,10 @@ mod tests {
         let aig: Aig = adder(2);
         let blif = write_blif(&aig, "adder2");
         assert!(blif.contains(".model adder2"));
-        assert_eq!(blif.matches(".names").count() - 1, aig.num_gates() + aig.num_pos());
+        assert_eq!(
+            blif.matches(".names").count() - 1,
+            aig.num_gates() + aig.num_pos()
+        );
         let verilog = write_verilog(&aig, "adder2");
         assert!(verilog.contains("module adder2"));
         assert_eq!(verilog.matches("wire n").count(), aig.num_gates() + 1);

@@ -59,7 +59,7 @@ impl GateBuilder for Aig {
             return a;
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        let node = self.storage.find_or_create_gate(GateKind::And, vec![a, b]);
+        let node = self.storage.find_or_create_gate(GateKind::And, &[a, b]);
         Signal::new(node, false)
     }
 

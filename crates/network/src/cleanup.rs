@@ -6,7 +6,38 @@
 //! function, re-applying structural hashing in the process.
 
 use crate::{GateBuilder, GateKind, Klut, Network, NodeId, Signal};
-use std::collections::HashMap;
+
+/// Dense old-node → new-signal map used while rebuilding a network.
+struct RebuildMap {
+    signals: Vec<Option<Signal>>,
+}
+
+impl RebuildMap {
+    fn new(size: usize) -> Self {
+        Self {
+            signals: vec![None; size],
+        }
+    }
+
+    #[inline]
+    fn get(&self, node: NodeId) -> Signal {
+        self.signals[node as usize].expect("fanin mapped before its fanout (topological order)")
+    }
+
+    #[inline]
+    fn set(&mut self, node: NodeId, signal: Signal) {
+        self.signals[node as usize] = Some(signal);
+    }
+}
+
+/// Dense reachability flags for the nodes of `ntk`.
+fn reachable_flags<N: Network>(ntk: &N) -> Vec<bool> {
+    let mut flags = vec![false; ntk.size()];
+    for node in crate::views::reachable_from_outputs(ntk) {
+        flags[node as usize] = true;
+    }
+    flags
+}
 
 /// Rebuilds `ntk` keeping only the gates reachable from its primary
 /// outputs.  The result has the same primary inputs and outputs (in the
@@ -28,33 +59,8 @@ use std::collections::HashMap;
 /// assert_eq!(clean.num_gates(), 1);
 /// ```
 pub fn cleanup_dangling<N: Network + GateBuilder>(ntk: &N) -> N {
-    let mut result = N::new();
-    let mut map: HashMap<NodeId, Signal> = HashMap::with_capacity(ntk.size());
-    map.insert(0, result.get_constant(false));
-    for pi in ntk.pi_nodes() {
-        let new_pi = result.create_pi();
-        map.insert(pi, new_pi);
-    }
-    // mark reachable gates
-    let reachable = crate::views::reachable_from_outputs(ntk);
-    let reachable_set: std::collections::HashSet<NodeId> = reachable.into_iter().collect();
-    for node in ntk.gate_nodes() {
-        if !reachable_set.contains(&node) {
-            continue;
-        }
-        let fanins: Vec<Signal> = ntk
-            .fanins(node)
-            .iter()
-            .map(|f| map[&f.node()].complement_if(f.is_complemented()))
-            .collect();
-        let new_signal = result.create_gate(ntk.gate_kind(node), &fanins);
-        map.insert(node, new_signal);
-    }
-    for po in ntk.po_signals() {
-        let signal = map[&po.node()].complement_if(po.is_complemented());
-        result.create_po(signal);
-    }
-    result
+    // cleanup is conversion into the same representation
+    convert_network::<N, N>(ntk)
 }
 
 /// Structurally converts a network from one representation into another:
@@ -78,28 +84,27 @@ pub fn cleanup_dangling<N: Network + GateBuilder>(ntk: &N) -> N {
 /// ```
 pub fn convert_network<A: Network, B: Network + GateBuilder>(src: &A) -> B {
     let mut result = B::new();
-    let mut map: HashMap<NodeId, Signal> = HashMap::with_capacity(src.size());
-    map.insert(0, result.get_constant(false));
+    let mut map = RebuildMap::new(src.size());
+    map.set(0, result.get_constant(false));
     for pi in src.pi_nodes() {
         let new_pi = result.create_pi();
-        map.insert(pi, new_pi);
+        map.set(pi, new_pi);
     }
-    let reachable: std::collections::HashSet<NodeId> =
-        crate::views::reachable_from_outputs(src).into_iter().collect();
+    let reachable = reachable_flags(src);
+    let mut fanins: Vec<Signal> = Vec::new();
     for node in src.gate_nodes() {
-        if !reachable.contains(&node) {
+        if !reachable[node as usize] {
             continue;
         }
-        let fanins: Vec<Signal> = src
-            .fanins(node)
-            .iter()
-            .map(|f| map[&f.node()].complement_if(f.is_complemented()))
-            .collect();
+        fanins.clear();
+        src.foreach_fanin(node, |f| {
+            fanins.push(map.get(f.node()).complement_if(f.is_complemented()));
+        });
         let new_signal = result.create_gate(src.gate_kind(node), &fanins);
-        map.insert(node, new_signal);
+        map.set(node, new_signal);
     }
     for po in src.po_signals() {
-        let signal = map[&po.node()].complement_if(po.is_complemented());
+        let signal = map.get(po.node()).complement_if(po.is_complemented());
         result.create_po(signal);
     }
     result
@@ -109,16 +114,15 @@ pub fn convert_network<A: Network, B: Network + GateBuilder>(src: &A) -> B {
 /// verbatim rather than re-expressed through fixed-function gates).
 pub fn cleanup_dangling_klut(ntk: &Klut) -> Klut {
     let mut result = Klut::new();
-    let mut map: HashMap<NodeId, Signal> = HashMap::with_capacity(ntk.size());
-    map.insert(0, result.get_constant(false));
+    let mut map = RebuildMap::new(ntk.size());
+    map.set(0, result.get_constant(false));
     for pi in ntk.pi_nodes() {
         let new_pi = result.create_pi();
-        map.insert(pi, new_pi);
+        map.set(pi, new_pi);
     }
-    let reachable: std::collections::HashSet<NodeId> =
-        crate::views::reachable_from_outputs(ntk).into_iter().collect();
+    let reachable = reachable_flags(ntk);
     for node in ntk.gate_nodes() {
-        if !reachable.contains(&node) {
+        if !reachable[node as usize] {
             continue;
         }
         if ntk.gate_kind(node) != GateKind::Lut {
@@ -126,18 +130,18 @@ pub fn cleanup_dangling_klut(ntk: &Klut) -> Klut {
         }
         let mut function = ntk.node_function(node);
         let mut fanins = Vec::new();
-        for (i, f) in ntk.fanins(node).iter().enumerate() {
-            let mapped = map[&f.node()].complement_if(f.is_complemented());
+        for (i, f) in ntk.fanins_inline(node).iter().enumerate() {
+            let mapped = map.get(f.node()).complement_if(f.is_complemented());
             if mapped.is_complemented() {
                 function = function.flip(i);
             }
             fanins.push(mapped.regular());
         }
         let new_signal = result.create_lut(&fanins, function);
-        map.insert(node, new_signal);
+        map.set(node, new_signal);
     }
     for po in ntk.po_signals() {
-        let signal = map[&po.node()].complement_if(po.is_complemented());
+        let signal = map.get(po.node()).complement_if(po.is_complemented());
         result.create_po(signal);
     }
     result
@@ -190,7 +194,10 @@ mod tests {
         let c = klut.create_pi();
         let maj = TruthTable::from_hex(3, "e8").unwrap();
         let g = klut.create_lut(&[a, b, c], maj);
-        let unused = klut.create_lut(&[a, b], TruthTable::nth_var(2, 0) & TruthTable::nth_var(2, 1));
+        let unused = klut.create_lut(
+            &[a, b],
+            TruthTable::nth_var(2, 0) & TruthTable::nth_var(2, 1),
+        );
         let _ = unused;
         klut.create_po(g);
         let clean = cleanup_dangling_klut(&klut);

@@ -58,14 +58,32 @@ macro_rules! impl_network_common {
                 self.storage.node(node).kind
             }
 
-            fn fanins(&self, node: crate::NodeId) -> Vec<crate::Signal> {
-                self.storage.node(node).fanins.clone()
+            #[inline]
+            fn fanin(&self, node: crate::NodeId, index: usize) -> crate::Signal {
+                self.storage.node(node).fanins.as_slice()[index]
             }
 
+            #[inline]
             fn fanin_size(&self, node: crate::NodeId) -> usize {
                 self.storage.node(node).fanins.len()
             }
 
+            #[inline]
+            fn fanins_inline(&self, node: crate::NodeId) -> crate::FaninArray {
+                self.storage.node(node).fanins.clone()
+            }
+
+            fn fanins(&self, node: crate::NodeId) -> Vec<crate::Signal> {
+                self.storage.node(node).fanins.to_vec()
+            }
+
+            fn foreach_fanin<F: FnMut(crate::Signal)>(&self, node: crate::NodeId, mut f: F) {
+                for &s in self.storage.node(node).fanins.iter() {
+                    f(s);
+                }
+            }
+
+            #[inline]
             fn fanout_size(&self, node: crate::NodeId) -> usize {
                 self.storage.fanout_size(node)
             }
@@ -74,13 +92,32 @@ macro_rules! impl_network_common {
                 self.storage.node(node).fanouts.clone()
             }
 
+            fn foreach_fanout<F: FnMut(crate::NodeId)>(&self, node: crate::NodeId, mut f: F) {
+                for &n in &self.storage.node(node).fanouts {
+                    f(n);
+                }
+            }
+
+            #[inline]
+            fn scratch(&self, node: crate::NodeId) -> u64 {
+                self.storage.scratch(node)
+            }
+
+            #[inline]
+            fn set_scratch(&self, node: crate::NodeId, value: u64) {
+                self.storage.set_scratch(node, value)
+            }
+
+            fn clear_scratch(&self) {
+                self.storage.clear_scratch()
+            }
+
             fn node_function(&self, node: crate::NodeId) -> glsx_truth::TruthTable {
                 let data = self.storage.node(node);
                 match data.kind {
-                    crate::GateKind::Lut => data
-                        .function
-                        .clone()
-                        .expect("LUT node stores its function"),
+                    crate::GateKind::Lut => {
+                        data.function.clone().expect("LUT node stores its function")
+                    }
                     crate::GateKind::Input => {
                         panic!("primary inputs have no local function")
                     }

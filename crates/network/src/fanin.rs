@@ -1,0 +1,248 @@
+//! Inline fanin containers: the allocation-free currency of the network
+//! interface API.
+//!
+//! Almost every node of every representation in this crate has at most
+//! three fanins (AND/XOR are binary, MAJ/XOR3 are ternary); only k-LUT
+//! nodes go wider.  [`FaninArray`] therefore stores up to
+//! [`MAX_INLINE_FANINS`] signals inline and spills to the heap only for
+//! wide LUTs, so traversals through
+//! [`Network::fanins_inline`](crate::Network::fanins_inline) and
+//! [`Network::foreach_fanin`](crate::Network::foreach_fanin) never touch
+//! the allocator on the hot path.
+
+use crate::Signal;
+
+/// Number of fanin signals stored inline before spilling to the heap.
+///
+/// Covers every fixed-function gate kind (arity ≤ 3) with one slot to
+/// spare; only LUT nodes with more than four inputs spill.
+pub const MAX_INLINE_FANINS: usize = 4;
+
+/// A small-vector of fanin signals: inline up to [`MAX_INLINE_FANINS`]
+/// entries, heap-backed beyond that.
+///
+/// # Example
+///
+/// ```
+/// use glsx_network::{FaninArray, Signal};
+///
+/// let mut fanins = FaninArray::new();
+/// fanins.push(Signal::new(3, false));
+/// fanins.push(Signal::new(5, true));
+/// assert_eq!(fanins.len(), 2);
+/// assert_eq!(fanins[1], Signal::new(5, true));
+/// assert_eq!(fanins.iter().filter(|f| f.is_complemented()).count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaninArray(Repr);
+
+#[derive(Clone, Debug)]
+enum Repr {
+    Inline {
+        len: u8,
+        items: [Signal; MAX_INLINE_FANINS],
+    },
+    Spill(Vec<Signal>),
+}
+
+impl FaninArray {
+    /// Creates an empty fanin array (inline, no allocation).
+    #[inline]
+    pub const fn new() -> Self {
+        Self(Repr::Inline {
+            len: 0,
+            items: [Signal::constant(false); MAX_INLINE_FANINS],
+        })
+    }
+
+    /// Creates a fanin array holding a copy of `signals`.
+    #[inline]
+    pub fn from_slice(signals: &[Signal]) -> Self {
+        if signals.len() <= MAX_INLINE_FANINS {
+            let mut items = [Signal::constant(false); MAX_INLINE_FANINS];
+            items[..signals.len()].copy_from_slice(signals);
+            Self(Repr::Inline {
+                len: signals.len() as u8,
+                items,
+            })
+        } else {
+            Self(Repr::Spill(signals.to_vec()))
+        }
+    }
+
+    /// Number of fanins.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Spill(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if there are no fanins.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a signal, spilling to the heap if the inline capacity is
+    /// exhausted.
+    pub fn push(&mut self, signal: Signal) {
+        match &mut self.0 {
+            Repr::Inline { len, items } => {
+                if (*len as usize) < MAX_INLINE_FANINS {
+                    items[*len as usize] = signal;
+                    *len += 1;
+                } else {
+                    let mut spilled = items.to_vec();
+                    spilled.push(signal);
+                    self.0 = Repr::Spill(spilled);
+                }
+            }
+            Repr::Spill(v) => v.push(signal),
+        }
+    }
+
+    /// The fanins as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Signal] {
+        match &self.0 {
+            Repr::Inline { len, items } => &items[..*len as usize],
+            Repr::Spill(v) => v,
+        }
+    }
+
+    /// The fanins as a mutable slice (existing entries can be rewritten in
+    /// place; the length is fixed).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Signal] {
+        match &mut self.0 {
+            Repr::Inline { len, items } => &mut items[..*len as usize],
+            Repr::Spill(v) => v,
+        }
+    }
+
+    /// Iterates over the fanin signals.
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, Signal> {
+        self.as_slice().iter()
+    }
+
+    /// Copies the fanins into a fresh `Vec` (cold-path convenience).
+    #[inline]
+    pub fn to_vec(&self) -> Vec<Signal> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for FaninArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for FaninArray {
+    type Target = [Signal];
+
+    #[inline]
+    fn deref(&self) -> &[Signal] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for FaninArray {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for FaninArray {}
+
+impl PartialEq<[Signal]> for FaninArray {
+    fn eq(&self, other: &[Signal]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<Signal>> for FaninArray {
+    fn eq(&self, other: &Vec<Signal>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a FaninArray {
+    type Item = &'a Signal;
+    type IntoIter = std::slice::Iter<'a, Signal>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<Signal> for FaninArray {
+    fn from_iter<I: IntoIterator<Item = Signal>>(iter: I) -> Self {
+        let mut array = Self::new();
+        for signal in iter {
+            array.push(signal);
+        }
+        array
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(n: u32) -> Signal {
+        Signal::new(n, false)
+    }
+
+    #[test]
+    fn inline_up_to_capacity() {
+        let mut arr = FaninArray::new();
+        assert!(arr.is_empty());
+        for i in 0..MAX_INLINE_FANINS as u32 {
+            arr.push(sig(i));
+        }
+        assert_eq!(arr.len(), MAX_INLINE_FANINS);
+        assert!(matches!(arr.0, Repr::Inline { .. }));
+        assert_eq!(arr[2], sig(2));
+    }
+
+    #[test]
+    fn spills_beyond_capacity() {
+        let signals: Vec<Signal> = (0..7).map(sig).collect();
+        let mut arr = FaninArray::new();
+        for &s in &signals {
+            arr.push(s);
+        }
+        assert!(matches!(arr.0, Repr::Spill(_)));
+        assert_eq!(arr.as_slice(), signals.as_slice());
+        assert_eq!(FaninArray::from_slice(&signals), arr);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        for n in 0..9u32 {
+            let signals: Vec<Signal> = (0..n).map(sig).collect();
+            let arr = FaninArray::from_slice(&signals);
+            assert_eq!(arr.len(), n as usize);
+            assert_eq!(arr.to_vec(), signals);
+        }
+    }
+
+    #[test]
+    fn mutation_in_place() {
+        let mut arr = FaninArray::from_slice(&[sig(1), sig(2)]);
+        arr.as_mut_slice()[0] = !sig(9);
+        assert_eq!(arr[0], !sig(9));
+        assert_eq!(arr.len(), 2);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let arr: FaninArray = (0..3).map(sig).collect();
+        assert_eq!(arr.as_slice(), &[sig(0), sig(1), sig(2)]);
+    }
+}

@@ -63,7 +63,7 @@ impl Klut {
         }
         let node = self
             .storage
-            .create_gate(GateKind::Lut, fanins.to_vec(), Some(function));
+            .create_gate(GateKind::Lut, fanins, Some(function));
         Signal::new(node, false)
     }
 

@@ -46,6 +46,7 @@
 
 mod aig;
 mod common;
+mod fanin;
 mod kind;
 mod klut;
 mod mig;
@@ -61,6 +62,7 @@ pub mod views;
 
 pub use aig::Aig;
 pub use cleanup::{cleanup_dangling, cleanup_dangling_klut, convert_network};
+pub use fanin::{FaninArray, MAX_INLINE_FANINS};
 pub use kind::GateKind;
 pub use klut::Klut;
 pub use mig::Mig;

@@ -70,9 +70,7 @@ impl Mig {
             }
             fanins.sort_unstable();
         }
-        let node = self
-            .storage
-            .find_or_create_gate(GateKind::Maj, fanins.to_vec());
+        let node = self.storage.find_or_create_gate(GateKind::Maj, &fanins);
         Signal::new(node, output_complement)
     }
 }

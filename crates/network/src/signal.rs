@@ -37,7 +37,7 @@ impl Signal {
     /// Creates a signal referring to `node`, complemented if `complement`
     /// is `true`.
     #[inline]
-    pub fn new(node: NodeId, complement: bool) -> Self {
+    pub const fn new(node: NodeId, complement: bool) -> Self {
         Self {
             data: (node << 1) | complement as u32,
         }
@@ -45,7 +45,7 @@ impl Signal {
 
     /// The constant-zero signal (node 0, non-complemented).
     #[inline]
-    pub fn constant(value: bool) -> Self {
+    pub const fn constant(value: bool) -> Self {
         Self::new(0, value)
     }
 
@@ -64,7 +64,9 @@ impl Signal {
     /// Returns the same signal with the complement bit cleared.
     #[inline]
     pub fn regular(self) -> Self {
-        Self { data: self.data & !1 }
+        Self {
+            data: self.data & !1,
+        }
     }
 
     /// Returns the signal complemented iff `complement` is `true`.
@@ -93,7 +95,9 @@ impl std::ops::Not for Signal {
     type Output = Signal;
     #[inline]
     fn not(self) -> Signal {
-        Signal { data: self.data ^ 1 }
+        Signal {
+            data: self.data ^ 1,
+        }
     }
 }
 

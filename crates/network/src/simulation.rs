@@ -63,8 +63,11 @@ fn resolve_signal(signal: &Signal, tts: &[TruthTable]) -> TruthTable {
 /// Evaluates the local function of `node` given truth tables for all of its
 /// fanins (indexed by node id).
 pub fn evaluate_node<N: Network>(ntk: &N, node: NodeId, tts: &[TruthTable]) -> TruthTable {
-    let fanins = ntk.fanins(node);
-    let fanin_tts: Vec<TruthTable> = fanins.iter().map(|f| resolve_signal(f, tts)).collect();
+    let fanin_tts: Vec<TruthTable> = ntk
+        .fanins_inline(node)
+        .iter()
+        .map(|f| resolve_signal(f, tts))
+        .collect();
     evaluate_function(&ntk.node_function(node), ntk.gate_kind(node), &fanin_tts)
 }
 
@@ -84,10 +87,7 @@ pub fn evaluate_function(
         GateKind::Xor3 => &(&fanin_tts[0] ^ &fanin_tts[1]) ^ &fanin_tts[2],
         _ => {
             // generic composition: OR over the on-set minterms of `function`
-            let num_vars = fanin_tts
-                .first()
-                .map(TruthTable::num_vars)
-                .unwrap_or(0);
+            let num_vars = fanin_tts.first().map(TruthTable::num_vars).unwrap_or(0);
             let mut result = TruthTable::zero(num_vars);
             for m in 0..function.num_bits() {
                 if !function.bit(m) {
@@ -112,24 +112,23 @@ pub fn evaluate_function(
 /// holds one word per primary input, and the result holds one word per
 /// primary output (bit `i` of each word corresponds to pattern `i`).
 pub fn simulate_patterns<N: Network>(ntk: &N, patterns: &[u64]) -> Vec<u64> {
-    assert_eq!(patterns.len(), ntk.num_pis(), "one pattern word per primary input");
+    assert_eq!(
+        patterns.len(),
+        ntk.num_pis(),
+        "one pattern word per primary input"
+    );
     let mut values = vec![0u64; ntk.size()];
     for (i, pi) in ntk.pi_nodes().iter().enumerate() {
         values[*pi as usize] = patterns[i];
     }
+    // reused across gates so the inner loop stays allocation-free
+    let mut inputs: Vec<u64> = Vec::new();
     for node in ntk.gate_nodes() {
-        let fanins = ntk.fanins(node);
-        let inputs: Vec<u64> = fanins
-            .iter()
-            .map(|f| {
-                let v = values[f.node() as usize];
-                if f.is_complemented() {
-                    !v
-                } else {
-                    v
-                }
-            })
-            .collect();
+        inputs.clear();
+        ntk.foreach_fanin(node, |f| {
+            let v = values[f.node() as usize];
+            inputs.push(if f.is_complemented() { !v } else { v });
+        });
         values[node as usize] = match ntk.gate_kind(node) {
             GateKind::And => inputs[0] & inputs[1],
             GateKind::Xor => inputs[0] ^ inputs[1],
@@ -180,8 +179,16 @@ pub fn simulate_patterns<N: Network>(ntk: &N, patterns: &[u64]) -> Vec<u64> {
 /// Panics if the networks have more than [`MAX_EXHAUSTIVE_PIS`] inputs or
 /// mismatching interface sizes.
 pub fn equivalent_by_simulation<A: Network, B: Network>(a: &A, b: &B) -> bool {
-    assert_eq!(a.num_pis(), b.num_pis(), "networks must have the same inputs");
-    assert_eq!(a.num_pos(), b.num_pos(), "networks must have the same outputs");
+    assert_eq!(
+        a.num_pis(),
+        b.num_pis(),
+        "networks must have the same inputs"
+    );
+    assert_eq!(
+        a.num_pos(),
+        b.num_pos(),
+        "networks must have the same outputs"
+    );
     simulate(a) == simulate(b)
 }
 
@@ -246,7 +253,12 @@ mod tests {
         let xag: Xag = build_full_adder();
         let mig: Mig = build_full_adder();
         let xmg: Xmg = build_full_adder();
-        for tts in [simulate(&aig), simulate(&xag), simulate(&mig), simulate(&xmg)] {
+        for tts in [
+            simulate(&aig),
+            simulate(&xag),
+            simulate(&mig),
+            simulate(&xmg),
+        ] {
             assert_eq!(tts[0], sum);
             assert_eq!(tts[1], carry);
         }
@@ -276,7 +288,10 @@ mod tests {
         let g = aig.create_and(a, b);
         aig.create_po(!g);
         let tts = simulate(&aig);
-        assert_eq!(tts[0], !(TruthTable::nth_var(2, 0) & TruthTable::nth_var(2, 1)));
+        assert_eq!(
+            tts[0],
+            !(TruthTable::nth_var(2, 0) & TruthTable::nth_var(2, 1))
+        );
     }
 
     #[test]

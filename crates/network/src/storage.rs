@@ -6,47 +6,132 @@
 //! [`Mig`](crate::Mig), [`Xmg`](crate::Xmg), [`Klut`](crate::Klut)) wrap a
 //! storage and add their representation-specific creation rules
 //! (simplification and normalisation) on top.
+//!
+//! The storage is engineered for allocation-free hot-path access:
+//!
+//! * fanins are stored inline per node ([`FaninArray`], up to four signals
+//!   without touching the heap — every fixed-function gate fits),
+//! * structural-hash keys are fixed-size arrays instead of `Vec`s, so
+//!   lookup and insertion never allocate,
+//! * fanout counts are cached per node and maintained incrementally, so
+//!   [`Storage::fanout_size`] is a single field read,
+//! * every node carries a generic scratch slot (`u64`) that algorithms can
+//!   use for traversal marks or per-node metadata without auxiliary maps.
 
-use crate::{GateKind, NodeId, Signal};
+use crate::{FaninArray, GateKind, NodeId, Signal};
 use glsx_truth::TruthTable;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One generic scratch word: interior-mutable (read-only traversals can
+/// stamp visit marks through `&Storage`) yet `Sync`, so networks can still
+/// be shared across threads for parallel read-only analysis.  Relaxed
+/// ordering suffices — slots are plain per-node data, not synchronisation.
+#[derive(Debug, Default)]
+struct ScratchSlot(AtomicU64);
+
+impl ScratchSlot {
+    #[inline]
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+}
+
+impl Clone for ScratchSlot {
+    fn clone(&self) -> Self {
+        Self(AtomicU64::new(self.get()))
+    }
+}
+
+/// Maximum fanin count of structurally hashed gates (every fixed-function
+/// kind has arity ≤ 3; LUT nodes are not hashed).
+const MAX_STRASH_FANINS: usize = 3;
+
+/// Filler literal for unused strash-key lanes; no real signal encodes to
+/// `u32::MAX` (that would require 2^31 nodes).
+const STRASH_PAD: u32 = u32::MAX;
+
+/// Fixed-size structural-hash key: gate kind plus the sorted fanin
+/// literals, padded with [`STRASH_PAD`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+struct StrashKey {
+    kind: GateKind,
+    fanins: [u32; MAX_STRASH_FANINS],
+}
+
+impl StrashKey {
+    fn new(kind: GateKind, fanins: &[Signal]) -> Self {
+        debug_assert!(fanins.len() <= MAX_STRASH_FANINS);
+        let mut key = [STRASH_PAD; MAX_STRASH_FANINS];
+        for (lane, f) in key.iter_mut().zip(fanins) {
+            *lane = f.literal();
+        }
+        // sorting makes the key independent of argument order for
+        // commutative gates; the pad sorts last
+        key.sort_unstable();
+        Self { kind, fanins: key }
+    }
+}
 
 /// Data stored per node.
 #[derive(Clone, Debug)]
 pub(crate) struct NodeData {
     pub kind: GateKind,
-    pub fanins: Vec<Signal>,
+    /// Fanin signals, stored inline (heap-free for arity ≤ 4).
+    pub fanins: FaninArray,
     /// Gate fanouts, one entry per fanin occurrence.
     pub fanouts: Vec<NodeId>,
     /// Number of primary outputs referring to this node.
     pub po_refs: u32,
+    /// Cached fanout count: `fanouts.len() + po_refs`, maintained
+    /// incrementally so `fanout_size` never walks the list.
+    pub fanout_count: u32,
     pub dead: bool,
     /// Explicit function for LUT nodes.
     pub function: Option<TruthTable>,
 }
 
-/// Shared storage: node table, PI/PO lists, structural hashing.
+impl NodeData {
+    fn new(kind: GateKind, fanins: FaninArray, function: Option<TruthTable>) -> Self {
+        Self {
+            kind,
+            fanins,
+            fanouts: Vec::new(),
+            po_refs: 0,
+            fanout_count: 0,
+            dead: false,
+            function,
+        }
+    }
+}
+
+/// Shared storage: node table, PI/PO lists, structural hashing, scratch
+/// slots.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct Storage {
     pub nodes: Vec<NodeData>,
     pub pis: Vec<NodeId>,
     pub pos: Vec<Signal>,
-    strash: HashMap<(GateKind, Vec<Signal>), NodeId>,
+    strash: HashMap<StrashKey, NodeId>,
     pub num_dead_gates: usize,
+    /// One generic scratch word per node (interior-mutable so read-only
+    /// traversals can stamp visit marks without `&mut` access).
+    scratch: Vec<ScratchSlot>,
 }
 
 impl Storage {
     /// Creates a storage containing only the constant-zero node.
     pub fn new() -> Self {
         let mut storage = Self::default();
-        storage.nodes.push(NodeData {
-            kind: GateKind::Constant,
-            fanins: Vec::new(),
-            fanouts: Vec::new(),
-            po_refs: 0,
-            dead: false,
-            function: None,
-        });
+        storage
+            .nodes
+            .push(NodeData::new(GateKind::Constant, FaninArray::new(), None));
+        storage.scratch.push(ScratchSlot::default());
         storage
     }
 
@@ -60,37 +145,46 @@ impl Storage {
         &mut self.nodes[id as usize]
     }
 
+    /// Reads the generic scratch slot of `id`.
+    #[inline]
+    pub fn scratch(&self, id: NodeId) -> u64 {
+        self.scratch[id as usize].get()
+    }
+
+    /// Writes the generic scratch slot of `id` (interior mutability: works
+    /// through a shared reference).
+    #[inline]
+    pub fn set_scratch(&self, id: NodeId, value: u64) {
+        self.scratch[id as usize].set(value);
+    }
+
+    /// Resets every scratch slot to zero.
+    pub fn clear_scratch(&self) {
+        for slot in &self.scratch {
+            slot.set(0);
+        }
+    }
+
     pub fn create_pi(&mut self) -> Signal {
         let id = self.nodes.len() as NodeId;
-        self.nodes.push(NodeData {
-            kind: GateKind::Input,
-            fanins: Vec::new(),
-            fanouts: Vec::new(),
-            po_refs: 0,
-            dead: false,
-            function: None,
-        });
+        self.nodes
+            .push(NodeData::new(GateKind::Input, FaninArray::new(), None));
+        self.scratch.push(ScratchSlot::default());
         self.pis.push(id);
         Signal::new(id, false)
     }
 
     pub fn create_po(&mut self, signal: Signal) -> usize {
-        self.node_mut(signal.node()).po_refs += 1;
+        let driver = self.node_mut(signal.node());
+        driver.po_refs += 1;
+        driver.fanout_count += 1;
         self.pos.push(signal);
         self.pos.len() - 1
     }
 
-    /// Structural-hash key of a (kind, fanins) pair: fanins are sorted so
-    /// the key is independent of argument order for commutative gates.
-    fn strash_key(kind: GateKind, fanins: &[Signal]) -> (GateKind, Vec<Signal>) {
-        let mut sorted = fanins.to_vec();
-        sorted.sort_unstable();
-        (kind, sorted)
-    }
-
     /// Looks up an existing live gate with the given kind and fanins.
     pub fn find_gate(&self, kind: GateKind, fanins: &[Signal]) -> Option<NodeId> {
-        let key = Self::strash_key(kind, fanins);
+        let key = StrashKey::new(kind, fanins);
         self.strash
             .get(&key)
             .copied()
@@ -102,31 +196,30 @@ impl Storage {
     pub fn create_gate(
         &mut self,
         kind: GateKind,
-        fanins: Vec<Signal>,
+        fanins: &[Signal],
         function: Option<TruthTable>,
     ) -> NodeId {
         let id = self.nodes.len() as NodeId;
-        for f in &fanins {
-            self.nodes[f.node() as usize].fanouts.push(id);
+        for f in fanins {
+            let fanin = &mut self.nodes[f.node() as usize];
+            fanin.fanouts.push(id);
+            fanin.fanout_count += 1;
         }
         if kind != GateKind::Lut {
-            let key = Self::strash_key(kind, &fanins);
-            self.strash.insert(key, id);
+            self.strash.insert(StrashKey::new(kind, fanins), id);
         }
-        self.nodes.push(NodeData {
+        self.nodes.push(NodeData::new(
             kind,
-            fanins,
-            fanouts: Vec::new(),
-            po_refs: 0,
-            dead: false,
+            FaninArray::from_slice(fanins),
             function,
-        });
+        ));
+        self.scratch.push(ScratchSlot::default());
         id
     }
 
     /// Finds an existing gate with the given kind/fanins or creates one.
-    pub fn find_or_create_gate(&mut self, kind: GateKind, fanins: Vec<Signal>) -> NodeId {
-        if let Some(existing) = self.find_gate(kind, &fanins) {
+    pub fn find_or_create_gate(&mut self, kind: GateKind, fanins: &[Signal]) -> NodeId {
+        if let Some(existing) = self.find_gate(kind, fanins) {
             existing
         } else {
             self.create_gate(kind, fanins, None)
@@ -136,7 +229,12 @@ impl Storage {
     #[inline]
     pub fn fanout_size(&self, id: NodeId) -> usize {
         let n = self.node(id);
-        n.fanouts.len() + n.po_refs as usize
+        debug_assert_eq!(
+            n.fanout_count as usize,
+            n.fanouts.len() + n.po_refs as usize,
+            "cached fanout count diverged for node {id}"
+        );
+        n.fanout_count as usize
     }
 
     pub fn is_gate(&self, id: NodeId) -> bool {
@@ -174,7 +272,7 @@ impl Storage {
                     stack.pop();
                     continue;
                 }
-                let fanins = &self.node(node).fanins;
+                let fanins = self.node(node).fanins.as_slice();
                 if *child < fanins.len() {
                     let next = fanins[*child].node();
                     *child += 1;
@@ -223,15 +321,14 @@ impl Storage {
                 let kind = self.node(p).kind;
                 // Remove the stale strash entry for p (if it points to p).
                 if kind != GateKind::Lut {
-                    let key = Self::strash_key(kind, &self.node(p).fanins);
+                    let key = StrashKey::new(kind, self.node(p).fanins.as_slice());
                     if self.strash.get(&key) == Some(&p) {
                         self.strash.remove(&key);
                     }
                 }
                 // Update fanins of p and move fanout references.
                 let mut occurrences = 0usize;
-                let fanins = &mut self.nodes[p as usize].fanins;
-                for f in fanins.iter_mut() {
+                for f in self.nodes[p as usize].fanins.as_mut_slice() {
                     if f.node() == old {
                         *f = new.complement_if(f.is_complemented());
                         occurrences += 1;
@@ -239,9 +336,9 @@ impl Storage {
                 }
                 // Remove `occurrences` entries of p from old's fanouts and
                 // add them to new's fanouts.
-                let old_fanouts = &mut self.nodes[old as usize].fanouts;
+                let old_data = &mut self.nodes[old as usize];
                 let mut removed = 0usize;
-                old_fanouts.retain(|&q| {
+                old_data.fanouts.retain(|&q| {
                     if q == p && removed < occurrences {
                         removed += 1;
                         false
@@ -249,13 +346,16 @@ impl Storage {
                         true
                     }
                 });
+                old_data.fanout_count -= removed as u32;
+                let new_data = &mut self.nodes[new.node() as usize];
                 for _ in 0..occurrences {
-                    self.nodes[new.node() as usize].fanouts.push(p);
+                    new_data.fanouts.push(p);
                 }
+                new_data.fanout_count += occurrences as u32;
                 // Re-insert p into the strash table; if an equivalent gate
                 // already exists, merge p into it.
                 if kind != GateKind::Lut {
-                    let key = Self::strash_key(kind, &self.node(p).fanins);
+                    let key = StrashKey::new(kind, self.node(p).fanins.as_slice());
                     match self.strash.get(&key) {
                         Some(&q) if q != p && !self.node(q).dead => {
                             worklist.push((p, Signal::new(q, false)));
@@ -288,8 +388,12 @@ impl Storage {
             }
         }
         if moved > 0 {
-            self.nodes[old as usize].po_refs -= moved;
-            self.nodes[new.node() as usize].po_refs += moved;
+            let old_data = &mut self.nodes[old as usize];
+            old_data.po_refs -= moved;
+            old_data.fanout_count -= moved;
+            let new_data = &mut self.nodes[new.node() as usize];
+            new_data.po_refs += moved;
+            new_data.fanout_count += moved;
         }
     }
 
@@ -300,14 +404,14 @@ impl Storage {
         while let Some(id) = stack.pop() {
             {
                 let n = self.node(id);
-                if n.dead || !n.kind.is_gate() || !n.fanouts.is_empty() || n.po_refs > 0 {
+                if n.dead || !n.kind.is_gate() || n.fanout_count > 0 {
                     continue;
                 }
             }
             // mark dead and unregister from strash
             let kind = self.node(id).kind;
             if kind != GateKind::Lut {
-                let key = Self::strash_key(kind, &self.node(id).fanins);
+                let key = StrashKey::new(kind, self.node(id).fanins.as_slice());
                 if self.strash.get(&key) == Some(&id) {
                     self.strash.remove(&key);
                 }
@@ -316,12 +420,13 @@ impl Storage {
             self.num_dead_gates += 1;
             let fanins = self.nodes[id as usize].fanins.clone();
             for f in &fanins {
-                let fo = &mut self.nodes[f.node() as usize].fanouts;
-                if let Some(pos) = fo.iter().position(|&q| q == id) {
-                    fo.swap_remove(pos);
+                let fanin = &mut self.nodes[f.node() as usize];
+                if let Some(pos) = fanin.fanouts.iter().position(|&q| q == id) {
+                    fanin.fanouts.swap_remove(pos);
+                    fanin.fanout_count -= 1;
                 }
             }
-            for f in fanins {
+            for f in &fanins {
                 if self.node(f.node()).kind.is_gate()
                     && !self.node(f.node()).dead
                     && self.fanout_size(f.node()) == 0
@@ -348,11 +453,11 @@ mod tests {
         let a = s.create_pi();
         let b = s.create_pi();
         assert_eq!(s.pis.len(), 2);
-        let g = s.find_or_create_gate(GateKind::And, vec![a, b]);
+        let g = s.find_or_create_gate(GateKind::And, &[a, b]);
         assert_eq!(s.num_gates(), 1);
         assert_eq!(s.fanout_size(a.node()), 1);
         // structural hashing: same fanins (any order) return the same node
-        let g2 = s.find_or_create_gate(GateKind::And, vec![b, a]);
+        let g2 = s.find_or_create_gate(GateKind::And, &[b, a]);
         assert_eq!(g, g2);
         assert_eq!(s.num_gates(), 1);
         s.create_po(sig(g));
@@ -364,8 +469,8 @@ mod tests {
         let mut s = Storage::new();
         let a = s.create_pi();
         let b = s.create_pi();
-        let g1 = s.find_or_create_gate(GateKind::And, vec![a, b]);
-        let g2 = s.find_or_create_gate(GateKind::And, vec![sig(g1), a]);
+        let g1 = s.find_or_create_gate(GateKind::And, &[a, b]);
+        let g2 = s.find_or_create_gate(GateKind::And, &[sig(g1), a]);
         assert_eq!(s.num_gates(), 2);
         // no outputs: g2 has no fanout, removing it also removes g1
         s.take_out(g2);
@@ -382,8 +487,8 @@ mod tests {
         let a = s.create_pi();
         let b = s.create_pi();
         let c = s.create_pi();
-        let g1 = s.find_or_create_gate(GateKind::And, vec![a, b]);
-        let g2 = s.find_or_create_gate(GateKind::And, vec![sig(g1), c]);
+        let g1 = s.find_or_create_gate(GateKind::And, &[a, b]);
+        let g2 = s.find_or_create_gate(GateKind::And, &[sig(g1), c]);
         s.create_po(sig(g2));
         s.create_po(!sig(g1));
         // replace g1 by c
@@ -401,10 +506,10 @@ mod tests {
         let a = s.create_pi();
         let b = s.create_pi();
         let c = s.create_pi();
-        let g1 = s.find_or_create_gate(GateKind::And, vec![a, c]);
-        let g2 = s.find_or_create_gate(GateKind::And, vec![b, c]);
-        let top1 = s.find_or_create_gate(GateKind::And, vec![sig(g1), c]);
-        let top2 = s.find_or_create_gate(GateKind::And, vec![sig(g2), c]);
+        let g1 = s.find_or_create_gate(GateKind::And, &[a, c]);
+        let g2 = s.find_or_create_gate(GateKind::And, &[b, c]);
+        let top1 = s.find_or_create_gate(GateKind::And, &[sig(g1), c]);
+        let top2 = s.find_or_create_gate(GateKind::And, &[sig(g2), c]);
         s.create_po(sig(top1));
         s.create_po(sig(top2));
         // substituting b by a makes g2 a duplicate of g1, and transitively
@@ -414,5 +519,51 @@ mod tests {
         assert!(s.node(top2).dead);
         assert_eq!(s.pos[0], s.pos[1]);
         assert_eq!(s.num_gates(), 2);
+    }
+
+    #[test]
+    fn cached_fanout_counts_track_every_mutation() {
+        let mut s = Storage::new();
+        let a = s.create_pi();
+        let b = s.create_pi();
+        let c = s.create_pi();
+        let g1 = s.find_or_create_gate(GateKind::And, &[a, b]);
+        let g2 = s.find_or_create_gate(GateKind::And, &[sig(g1), c]);
+        s.create_po(sig(g2));
+        s.create_po(sig(g1));
+        let check = |s: &Storage| {
+            for (id, n) in s.nodes.iter().enumerate() {
+                assert_eq!(
+                    n.fanout_count as usize,
+                    n.fanouts.len() + n.po_refs as usize,
+                    "node {id}"
+                );
+            }
+        };
+        check(&s);
+        s.substitute(g1, a);
+        check(&s);
+        s.take_out(g2);
+        check(&s);
+    }
+
+    #[test]
+    fn storage_stays_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Storage>();
+    }
+
+    #[test]
+    fn scratch_slots_follow_nodes() {
+        let mut s = Storage::new();
+        let a = s.create_pi();
+        let g = s.find_or_create_gate(GateKind::And, &[a, a]);
+        assert_eq!(s.scratch(g), 0);
+        s.set_scratch(g, 42);
+        s.set_scratch(a.node(), 7);
+        assert_eq!(s.scratch(g), 42);
+        assert_eq!(s.scratch(a.node()), 7);
+        s.clear_scratch();
+        assert_eq!(s.scratch(g), 0);
     }
 }

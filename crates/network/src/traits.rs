@@ -8,7 +8,7 @@
 //! C++ implementation uses template meta-programming and static assertions,
 //! we use trait bounds checked at compile time.
 
-use crate::{GateKind, NodeId, Signal};
+use crate::{FaninArray, GateKind, NodeId, Signal};
 use glsx_truth::TruthTable;
 
 /// Structural access to a logic network.
@@ -67,13 +67,41 @@ pub trait Network: Sized {
     /// Returns the kind of gate implemented by `node`.
     fn gate_kind(&self, node: NodeId) -> GateKind;
 
-    /// Returns the fanin signals of `node` (empty for constants and
-    /// primary inputs).
-    fn fanins(&self, node: NodeId) -> Vec<Signal>;
+    /// Returns the fanin signal of `node` at position `index`.
+    ///
+    /// Together with [`Network::fanin_size`] this is the *allocation-free*
+    /// primitive for fanin access; the `fanins*`/`foreach_fanin` helpers
+    /// are built on top of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.fanin_size(node)`.
+    fn fanin(&self, node: NodeId, index: usize) -> Signal;
 
-    /// Returns the number of fanins of `node`.
-    fn fanin_size(&self, node: NodeId) -> usize {
-        self.fanins(node).len()
+    /// Returns the number of fanins of `node` (zero for constants and
+    /// primary inputs).
+    fn fanin_size(&self, node: NodeId) -> usize;
+
+    /// Returns the fanin signals of `node` as an inline array (heap-free
+    /// for every fixed-function gate; only wide LUTs spill).
+    ///
+    /// This is the hot-path way to *hold* a node's fanins; prefer
+    /// [`Network::foreach_fanin`] for pure iteration.
+    fn fanins_inline(&self, node: NodeId) -> FaninArray {
+        let mut fanins = FaninArray::new();
+        for index in 0..self.fanin_size(node) {
+            fanins.push(self.fanin(node, index));
+        }
+        fanins
+    }
+
+    /// Returns the fanin signals of `node` in a fresh `Vec`.
+    ///
+    /// Cold-path convenience (allocates on every call): use
+    /// [`Network::fanin`]/[`Network::fanins_inline`]/
+    /// [`Network::foreach_fanin`] in algorithm inner loops.
+    fn fanins(&self, node: NodeId) -> Vec<Signal> {
+        self.fanins_inline(node).to_vec()
     }
 
     /// Returns the number of fanouts of `node`, counting primary outputs.
@@ -81,7 +109,28 @@ pub trait Network: Sized {
 
     /// Returns the nodes that use `node` as a fanin (without primary
     /// outputs; a node appears once per fanin occurrence).
+    ///
+    /// Cold-path convenience (allocates on every call): use
+    /// [`Network::foreach_fanout`] in algorithm inner loops.
     fn fanouts(&self, node: NodeId) -> Vec<NodeId>;
+
+    /// Reads the generic per-node scratch slot of `node`.
+    ///
+    /// Every node carries one `u64` of scratch data that algorithms may
+    /// use for traversal marks, colouring or small per-node metadata
+    /// without allocating side maps.  Slots start at zero; the scratch
+    /// space is a shared resource, so algorithms should
+    /// [`clear_scratch`](Network::clear_scratch) before relying on it.
+    fn scratch(&self, node: NodeId) -> u64;
+
+    /// Writes the generic per-node scratch slot of `node`.
+    ///
+    /// Works through a shared reference (interior mutability) so read-only
+    /// traversals can stamp visit marks.
+    fn set_scratch(&self, node: NodeId, value: u64);
+
+    /// Resets every scratch slot to zero.
+    fn clear_scratch(&self);
 
     /// Returns the local function of the gate over its fanins (edge
     /// complementations are *not* included; callers compose them from
@@ -155,10 +204,18 @@ pub trait Network: Sized {
         }
     }
 
-    /// Calls `f` for every fanin signal of `node`.
+    /// Calls `f` for every fanin signal of `node` (allocation-free).
     fn foreach_fanin<F: FnMut(Signal)>(&self, node: NodeId, mut f: F) {
-        for s in self.fanins(node) {
-            f(s);
+        for index in 0..self.fanin_size(node) {
+            f(self.fanin(node, index));
+        }
+    }
+
+    /// Calls `f` for every gate that uses `node` as a fanin (one call per
+    /// fanin occurrence, primary outputs excluded).
+    fn foreach_fanout<F: FnMut(NodeId)>(&self, node: NodeId, mut f: F) {
+        for n in self.fanouts(node) {
+            f(n);
         }
     }
 }

@@ -2,7 +2,6 @@
 //! modifying it (topological order, levels/depth, reachability).
 
 use crate::{Network, NodeId, Signal};
-use std::collections::HashMap;
 
 /// Returns the set of nodes reachable from the primary outputs (the
 /// "useful" logic), including primary inputs and the constant node.
@@ -16,11 +15,11 @@ pub fn reachable_from_outputs<N: Network>(ntk: &N) -> Vec<NodeId> {
         }
         visited[node as usize] = true;
         result.push(node);
-        for f in ntk.fanins(node) {
+        ntk.foreach_fanin(node, |f| {
             if !visited[f.node() as usize] {
                 stack.push(f.node());
             }
-        }
+        });
     }
     result
 }
@@ -50,32 +49,24 @@ pub fn reachable_from_outputs<N: Network>(ntk: &N) -> Vec<NodeId> {
 /// ```
 #[derive(Clone, Debug)]
 pub struct DepthView {
-    levels: HashMap<NodeId, u32>,
+    /// Level per node id (dense; dead nodes keep level 0).
+    levels: Vec<u32>,
     depth: u32,
 }
 
 impl DepthView {
     /// Computes levels for all live nodes of `ntk`.
     pub fn new<N: Network>(ntk: &N) -> Self {
-        let mut levels: HashMap<NodeId, u32> = HashMap::with_capacity(ntk.size());
-        ntk.foreach_pi(|n| {
-            levels.insert(n, 0);
-        });
-        levels.insert(0, 0);
+        let mut levels: Vec<u32> = vec![0; ntk.size()];
         for node in ntk.gate_nodes() {
-            let level = ntk
-                .fanins(node)
-                .iter()
-                .map(|f| levels.get(&f.node()).copied().unwrap_or(0))
-                .max()
-                .unwrap_or(0)
-                + 1;
-            levels.insert(node, level);
+            let mut level = 0;
+            ntk.foreach_fanin(node, |f| level = level.max(levels[f.node() as usize]));
+            levels[node as usize] = level + 1;
         }
         let depth = ntk
             .po_signals()
             .iter()
-            .map(|s| levels.get(&s.node()).copied().unwrap_or(0))
+            .map(|s| levels[s.node() as usize])
             .max()
             .unwrap_or(0);
         Self { levels, depth }
@@ -83,7 +74,7 @@ impl DepthView {
 
     /// Returns the level of `node` (0 for nodes not known to the view).
     pub fn level(&self, node: NodeId) -> u32 {
-        self.levels.get(&node).copied().unwrap_or(0)
+        self.levels.get(node as usize).copied().unwrap_or(0)
     }
 
     /// Returns the depth of the network (maximum primary-output level).
@@ -146,9 +137,7 @@ pub fn transitive_fanin<N: Network>(ntk: &N, roots: &[NodeId]) -> Vec<NodeId> {
         }
         visited[node as usize] = true;
         cone.push(node);
-        for f in ntk.fanins(node) {
-            stack.push(f.node());
-        }
+        ntk.foreach_fanin(node, |f| stack.push(f.node()));
     }
     cone
 }
@@ -161,16 +150,21 @@ pub fn is_in_transitive_fanin<N: Network>(ntk: &N, root: NodeId, query: NodeId) 
     }
     let mut visited = vec![false; ntk.size()];
     let mut stack = vec![root];
+    let mut found = false;
     while let Some(node) = stack.pop() {
         if visited[node as usize] {
             continue;
         }
         visited[node as usize] = true;
-        for f in ntk.fanins(node) {
+        ntk.foreach_fanin(node, |f| {
             if f.node() == query {
-                return true;
+                found = true;
+            } else {
+                stack.push(f.node());
             }
-            stack.push(f.node());
+        });
+        if found {
+            return true;
         }
     }
     false
@@ -180,8 +174,13 @@ pub fn is_in_transitive_fanin<N: Network>(ntk: &N, root: NodeId, query: NodeId) 
 /// fanout counts are consistent and primary outputs point at live nodes.
 /// Used by tests and debug assertions in the algorithms.
 pub fn check_network_integrity<N: Network>(ntk: &N) -> Result<(), String> {
+    // dense per-node PO reference counts, computed once
+    let mut po_ref_counts = vec![0usize; ntk.size()];
+    for po in ntk.po_signals() {
+        po_ref_counts[po.node() as usize] += 1;
+    }
     for node in ntk.gate_nodes() {
-        for f in ntk.fanins(node) {
+        for f in ntk.fanins_inline(node).iter() {
             if ntk.is_dead(f.node()) {
                 return Err(format!("live node {node} has dead fanin {}", f.node()));
             }
@@ -192,21 +191,35 @@ pub fn check_network_integrity<N: Network>(ntk: &N) -> Result<(), String> {
                 ));
             }
         }
+        let mut counted = 0usize;
+        ntk.foreach_fanout(node, |_| counted += 1);
+        let po_refs = po_ref_counts[node as usize];
+        if counted + po_refs != ntk.fanout_size(node) {
+            return Err(format!(
+                "cached fanout count of {node} is {} but {} fanouts and {} output refs exist",
+                ntk.fanout_size(node),
+                counted,
+                po_refs
+            ));
+        }
     }
     for (i, po) in ntk.po_signals().iter().enumerate() {
         if ntk.is_dead(po.node()) {
-            return Err(format!("primary output {i} points at dead node {}", po.node()));
+            return Err(format!(
+                "primary output {i} points at dead node {}",
+                po.node()
+            ));
         }
     }
     // topological order sanity: every fanin must appear before its fanout
     let order = ntk.gate_nodes();
-    let mut position: HashMap<NodeId, usize> = HashMap::new();
+    let mut position: Vec<Option<usize>> = vec![None; ntk.size()];
     for (i, &n) in order.iter().enumerate() {
-        position.insert(n, i);
+        position[n as usize] = Some(i);
     }
     for (i, &n) in order.iter().enumerate() {
-        for f in ntk.fanins(n) {
-            if let Some(&j) = position.get(&f.node()) {
+        for f in ntk.fanins_inline(n).iter() {
+            if let Some(j) = position[f.node() as usize] {
                 if j >= i {
                     return Err(format!("gate order is not topological at node {n}"));
                 }

@@ -49,7 +49,7 @@ impl GateBuilder for Xag {
             return a;
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        let node = self.storage.find_or_create_gate(GateKind::And, vec![a, b]);
+        let node = self.storage.find_or_create_gate(GateKind::And, &[a, b]);
         Signal::new(node, false)
     }
 
@@ -78,7 +78,7 @@ impl GateBuilder for Xag {
         let complement = a.is_complemented() ^ b.is_complemented();
         let (a, b) = (a.regular(), b.regular());
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        let node = self.storage.find_or_create_gate(GateKind::Xor, vec![a, b]);
+        let node = self.storage.find_or_create_gate(GateKind::Xor, &[a, b]);
         Signal::new(node, complement)
     }
 

@@ -38,8 +38,7 @@ impl Xmg {
     /// Creates (or finds) a three-input XOR gate.
     pub fn create_xor3(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
         // move complements to the output
-        let complement =
-            a.is_complemented() ^ b.is_complemented() ^ c.is_complemented();
+        let complement = a.is_complemented() ^ b.is_complemented() ^ c.is_complemented();
         let (a, b, c) = (a.regular(), b.regular(), c.regular());
         // cancellation rules
         if a == b {
@@ -53,9 +52,7 @@ impl Xmg {
         }
         let mut fanins = [a, b, c];
         fanins.sort_unstable();
-        let node = self
-            .storage
-            .find_or_create_gate(GateKind::Xor3, fanins.to_vec());
+        let node = self.storage.find_or_create_gate(GateKind::Xor3, &fanins);
         Signal::new(node, complement)
     }
 
@@ -85,9 +82,7 @@ impl Xmg {
             }
             fanins.sort_unstable();
         }
-        let node = self
-            .storage
-            .find_or_create_gate(GateKind::Maj, fanins.to_vec());
+        let node = self.storage.find_or_create_gate(GateKind::Maj, &fanins);
         Signal::new(node, output_complement)
     }
 }

@@ -97,6 +97,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_3_into_2_is_unsat() {
         // 3 pigeons, 2 holes: classic small UNSAT instance exercising learning
         let mut s = Solver::new();
@@ -151,6 +152,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn conflict_limit_returns_unknown() {
         // a hard pigeonhole instance with a conflict budget of 1 must give up
         let mut s = Solver::new();

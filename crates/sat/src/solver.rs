@@ -264,9 +264,7 @@ impl Solver {
                 self.ok = false;
             }
             1 => {
-                if !self.enqueue(filtered[0], INVALID_REASON) {
-                    self.ok = false;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(filtered[0], INVALID_REASON) || self.propagate().is_some() {
                     self.ok = false;
                 }
             }
@@ -427,7 +425,11 @@ impl Solver {
             LBool::True => true,
             LBool::Undef => {
                 let v = lit.var().index();
-                self.assigns[v] = if lit.is_positive() { LBool::True } else { LBool::False };
+                self.assigns[v] = if lit.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                };
                 self.level[v] = self.decision_level();
                 self.reason[v] = reason;
                 self.phase[v] = lit.is_positive();
@@ -653,8 +655,12 @@ impl Solver {
                 .partial_cmp(&self.clauses[b].activity)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let locked: std::collections::HashSet<usize> =
-            self.reason.iter().copied().filter(|&r| r != INVALID_REASON).collect();
+        let locked: std::collections::HashSet<usize> = self
+            .reason
+            .iter()
+            .copied()
+            .filter(|&r| r != INVALID_REASON)
+            .collect();
         let to_remove: std::collections::HashSet<usize> = learnt_refs
             .iter()
             .take(learnt_refs.len() / 2)

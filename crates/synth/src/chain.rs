@@ -23,7 +23,10 @@ pub struct ChainOperand {
 impl ChainOperand {
     /// Creates an operand reference.
     pub fn new(index: usize, complemented: bool) -> Self {
-        Self { index, complemented }
+        Self {
+            index,
+            complemented,
+        }
     }
 }
 
@@ -107,11 +110,18 @@ impl Chain {
     /// count does not match the gate kind's arity.
     pub fn push_step(&mut self, step: ChainStep) -> usize {
         if let Some(arity) = step.kind.arity() {
-            assert_eq!(step.operands.len(), arity, "operand count must match gate arity");
+            assert_eq!(
+                step.operands.len(),
+                arity,
+                "operand count must match gate arity"
+            );
         }
         let new_index = self.num_inputs + self.steps.len();
         for op in &step.operands {
-            assert!(op.index < new_index, "operands must refer to inputs or earlier steps");
+            assert!(
+                op.index < new_index,
+                "operands must refer to inputs or earlier steps"
+            );
         }
         self.steps.push(step);
         new_index
@@ -151,7 +161,11 @@ impl Chain {
         }
         if self.output.index == usize::MAX {
             let zero = TruthTable::zero(n);
-            return if self.output.complemented { !zero } else { zero };
+            return if self.output.complemented {
+                !zero
+            } else {
+                zero
+            };
         }
         let out = &values[self.output.index];
         if self.output.complemented {
@@ -168,7 +182,11 @@ impl Chain {
     ///
     /// Panics if `leaves.len() != num_inputs()`.
     pub fn replay<N: GateBuilder>(&self, ntk: &mut N, leaves: &[Signal]) -> Signal {
-        assert_eq!(leaves.len(), self.num_inputs, "one leaf signal per chain input");
+        assert_eq!(
+            leaves.len(),
+            self.num_inputs,
+            "one leaf signal per chain input"
+        );
         let mut signals: Vec<Signal> = leaves.to_vec();
         for step in &self.steps {
             let operands: Vec<Signal> = step
@@ -204,8 +222,8 @@ impl Chain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glsx_network::{Mig, Network, Xag};
     use glsx_network::simulation::simulate;
+    use glsx_network::{Mig, Network, Xag};
 
     fn maj_chain() -> Chain {
         let mut chain = Chain::new(3);

@@ -64,10 +64,7 @@ impl Default for ExactSynthesisParams {
 /// assert!(chain.num_steps() <= 4);
 /// # Ok::<(), glsx_truth::ParseTruthTableError>(())
 /// ```
-pub fn exact_chain_synthesis(
-    target: &TruthTable,
-    params: &ExactSynthesisParams,
-) -> Option<Chain> {
+pub fn exact_chain_synthesis(target: &TruthTable, params: &ExactSynthesisParams) -> Option<Chain> {
     let n = target.num_vars();
     // trivial cases
     if target.is_zero() {
@@ -103,6 +100,8 @@ enum StepResult {
     GaveUp,
 }
 
+// index-driven SAT encodings read clearest with explicit indices
+#[allow(clippy::needless_range_loop)]
 fn synthesize_with_steps(
     target: &TruthTable,
     num_steps: usize,
@@ -164,7 +163,9 @@ fn synthesize_with_steps(
     for ops in &o {
         let lits = |pattern: [bool; 4]| -> Vec<Lit> {
             // clause forbidding o == pattern
-            (0..4).map(|idx| Lit::new(ops[idx], !pattern[idx])).collect()
+            (0..4)
+                .map(|idx| Lit::new(ops[idx], !pattern[idx]))
+                .collect()
         };
         // forbid constants and projections
         for forbidden in [
@@ -255,7 +256,9 @@ fn decode_chain(
             .iter()
             .find(|&&(_, _, v)| solver.value(v) == Some(true))
             .expect("exactly one selection per step");
-        let f: Vec<bool> = (0..4).map(|idx| solver.value(o[i][idx]) == Some(true)).collect();
+        let f: Vec<bool> = (0..4)
+            .map(|idx| solver.value(o[i][idx]) == Some(true))
+            .collect();
         let ones = f.iter().filter(|&&b| b).count();
         // operand complement needed to refer to the SAT value of a step
         let base_j = negated[j];
@@ -306,11 +309,15 @@ mod tests {
     fn trivial_functions_need_no_gates() {
         let p = ExactSynthesisParams::default();
         assert_eq!(
-            exact_chain_synthesis(&TruthTable::zero(3), &p).unwrap().num_steps(),
+            exact_chain_synthesis(&TruthTable::zero(3), &p)
+                .unwrap()
+                .num_steps(),
             0
         );
         assert_eq!(
-            exact_chain_synthesis(&TruthTable::nth_var(4, 2), &p).unwrap().num_steps(),
+            exact_chain_synthesis(&TruthTable::nth_var(4, 2), &p)
+                .unwrap()
+                .num_steps(),
             0
         );
         let not_x = !TruthTable::nth_var(2, 1);
@@ -336,8 +343,7 @@ mod tests {
         let a = TruthTable::nth_var(2, 0);
         let b = TruthTable::nth_var(2, 1);
         let xor = &a ^ &b;
-        let xag_chain =
-            exact_chain_synthesis(&xor, &params(ChainGateSet::AndXorInverter)).unwrap();
+        let xag_chain = exact_chain_synthesis(&xor, &params(ChainGateSet::AndXorInverter)).unwrap();
         assert_eq!(xag_chain.num_steps(), 1);
         assert_eq!(xag_chain.simulate(), xor);
         let aig_chain = exact_chain_synthesis(&xor, &params(ChainGateSet::AndInverter)).unwrap();
@@ -351,8 +357,7 @@ mod tests {
         let aig_chain = exact_chain_synthesis(&maj, &params(ChainGateSet::AndInverter)).unwrap();
         assert_eq!(aig_chain.simulate(), maj);
         assert_eq!(aig_chain.num_steps(), 4);
-        let xag_chain =
-            exact_chain_synthesis(&maj, &params(ChainGateSet::AndXorInverter)).unwrap();
+        let xag_chain = exact_chain_synthesis(&maj, &params(ChainGateSet::AndXorInverter)).unwrap();
         assert_eq!(xag_chain.simulate(), maj);
         assert!(xag_chain.num_steps() <= 4);
     }

@@ -100,22 +100,13 @@ pub fn record_chain<N: Network>(ntk: &N, root: Signal) -> Chain {
 }
 
 /// Configuration of the [`NpnDatabase`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct NpnDatabaseParams {
     /// Use SAT-based exact synthesis when populating a class (otherwise
     /// only the heuristic structure generator is used).
     pub use_exact_synthesis: bool,
     /// Parameters of the exact synthesis calls.
     pub exact: ExactSynthesisParams,
-}
-
-impl Default for NpnDatabaseParams {
-    fn default() -> Self {
-        Self {
-            use_exact_synthesis: false,
-            exact: ExactSynthesisParams::default(),
-        }
-    }
 }
 
 /// A lazily computed database of replacement structures indexed by NPN
@@ -324,9 +315,8 @@ mod tests {
             Resynthesis::<Aig>::resynthesize(&mut db, &mut aig, &TruthTable::zero(3), &leaves)
                 .unwrap();
         assert_eq!(zero, aig.get_constant(false));
-        let one =
-            Resynthesis::<Aig>::resynthesize(&mut db, &mut aig, &TruthTable::one(3), &leaves)
-                .unwrap();
+        let one = Resynthesis::<Aig>::resynthesize(&mut db, &mut aig, &TruthTable::one(3), &leaves)
+            .unwrap();
         assert_eq!(one, aig.get_constant(true));
         assert_eq!(aig.num_gates(), 0);
     }

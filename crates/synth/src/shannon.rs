@@ -50,6 +50,8 @@ pub fn shannon_resynthesize<N: GateBuilder>(
     shannon_rec(ntk, function, leaves, &mut memo)
 }
 
+// the projection scan pairs variable indices with leaf positions
+#[allow(clippy::needless_range_loop)]
 fn shannon_rec<N: GateBuilder>(
     ntk: &mut N,
     function: &TruthTable,

@@ -88,7 +88,7 @@ fn factor_cubes<N: GateBuilder>(ntk: &mut N, cubes: &[Cube], leaves: &[Signal]) 
                 .iter()
                 .filter(|c| c.has_literal(var) && c.polarity(var) == polarity)
                 .count();
-            if count > 1 && best.map_or(true, |(_, _, c)| count > c) {
+            if count > 1 && best.is_none_or(|(_, _, c)| count > c) {
                 best = Some((var, polarity, count));
             }
         }
@@ -142,8 +142,7 @@ mod tests {
         macro_rules! check {
             ($ty:ty) => {{
                 let mut ntk = <$ty>::new();
-                let leaves: Vec<Signal> =
-                    (0..tt.num_vars()).map(|_| ntk.create_pi()).collect();
+                let leaves: Vec<Signal> = (0..tt.num_vars()).map(|_| ntk.create_pi()).collect();
                 let root = sop_resynthesize(&mut ntk, tt, &leaves);
                 ntk.create_po(root);
                 assert_eq!(&simulate(&ntk)[0], tt, "{} failed for {tt}", <$ty>::NAME);
@@ -195,6 +194,9 @@ mod tests {
         let root = sop_resynthesize(&mut aig, &f, &leaves);
         aig.create_po(root);
         assert_eq!(simulate(&aig)[0], f);
-        assert!(aig.num_gates() <= 4, "factored form should share the literal a");
+        assert!(
+            aig.num_gates() <= 4,
+            "factored form should share the literal a"
+        );
     }
 }

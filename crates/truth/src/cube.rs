@@ -32,7 +32,10 @@ impl Cube {
     /// Creates a cube from polarity bits and a literal mask.  Polarity bits
     /// outside the mask are cleared.
     pub fn new(bits: u32, mask: u32) -> Self {
-        Self { bits: bits & mask, mask }
+        Self {
+            bits: bits & mask,
+            mask,
+        }
     }
 
     /// The empty cube (tautology: the product of zero literals).
@@ -110,7 +113,11 @@ impl Cube {
         for v in 0..num_vars.min(32) {
             if self.has_literal(v) {
                 let var = TruthTable::nth_var(num_vars, v);
-                tt = if self.polarity(v) { &tt & &var } else { &tt & &!&var };
+                tt = if self.polarity(v) {
+                    &tt & &var
+                } else {
+                    &tt & &!&var
+                };
             }
         }
         tt
@@ -185,7 +192,10 @@ pub struct Sop {
 impl Sop {
     /// Creates an empty (constant-zero) SOP over `num_vars` variables.
     pub fn new(num_vars: usize) -> Self {
-        Self { num_vars, cubes: Vec::new() }
+        Self {
+            num_vars,
+            cubes: Vec::new(),
+        }
     }
 
     /// Creates an SOP from a list of cubes.
@@ -278,7 +288,9 @@ mod tests {
 
     #[test]
     fn cube_literals() {
-        let c = Cube::tautology().with_literal(0, true).with_literal(3, false);
+        let c = Cube::tautology()
+            .with_literal(0, true)
+            .with_literal(3, false);
         assert_eq!(c.num_literals(), 2);
         assert!(c.has_literal(0) && c.has_literal(3));
         assert!(!c.has_literal(1));
@@ -333,8 +345,8 @@ mod tests {
             ],
         );
         let tt = sop.to_truth_table();
-        let expected = (TruthTable::nth_var(3, 0) & TruthTable::nth_var(3, 1))
-            | TruthTable::nth_var(3, 2);
+        let expected =
+            (TruthTable::nth_var(3, 0) & TruthTable::nth_var(3, 1)) | TruthTable::nth_var(3, 2);
         assert_eq!(tt, expected);
         assert_eq!(sop.num_cubes(), 2);
         assert_eq!(sop.num_literals(), 3);

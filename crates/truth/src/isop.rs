@@ -43,7 +43,10 @@ pub fn isop(tt: &TruthTable) -> Sop {
 /// variable counts.
 pub fn isop_with_dont_cares(on: &TruthTable, upper: &TruthTable) -> Sop {
     assert_eq!(on.num_vars(), upper.num_vars());
-    assert!(on.implies(upper), "on-set must be contained in the upper bound");
+    assert!(
+        on.implies(upper),
+        "on-set must be contained in the upper bound"
+    );
     let mut cubes = Vec::new();
     let (_cover, _) = isop_rec(on, upper, on.num_vars(), &mut cubes);
     Sop::from_cubes(on.num_vars(), cubes)

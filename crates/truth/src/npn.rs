@@ -99,7 +99,7 @@ fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_permute(items, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             items.swap(i, k - 1);
         } else {
             items.swap(0, k - 1);
@@ -119,7 +119,10 @@ fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
 /// Panics if `tt` has more than 6 variables.
 pub fn npn_canonize_exact(tt: &TruthTable) -> (TruthTable, NpnTransform) {
     let n = tt.num_vars();
-    assert!(n <= 6, "exact NPN canonisation supports at most 6 variables");
+    assert!(
+        n <= 6,
+        "exact NPN canonisation supports at most 6 variables"
+    );
     let mut best = tt.clone();
     let mut best_transform = NpnTransform::identity(n);
     for perm in permutations(n) {

@@ -106,7 +106,10 @@ impl TruthTable {
     ///
     /// Panics if `var >= num_vars`.
     pub fn nth_var(num_vars: usize, var: usize) -> Self {
-        assert!(var < num_vars, "variable index {var} out of range for {num_vars} variables");
+        assert!(
+            var < num_vars,
+            "variable index {var} out of range for {num_vars} variables"
+        );
         let mut tt = Self::zero(num_vars);
         if var < 6 {
             for w in &mut tt.words {
@@ -152,7 +155,11 @@ impl TruthTable {
     /// Returns an error if the string contains non-hexadecimal characters
     /// or its length is not `max(1, 2^(n-2))` for some `n`.
     pub fn from_hex(num_vars: usize, hex: &str) -> Result<Self, ParseTruthTableError> {
-        let expected = if num_vars < 2 { 1 } else { 1usize << (num_vars - 2) };
+        let expected = if num_vars < 2 {
+            1
+        } else {
+            1usize << (num_vars - 2)
+        };
         if hex.len() != expected {
             return Err(ParseTruthTableError {
                 kind: ParseErrorKind::InvalidLength(hex.len()),
@@ -285,7 +292,11 @@ impl TruthTable {
     /// Formats the table as a lower-case hexadecimal string,
     /// most-significant nibble first.
     pub fn to_hex(&self) -> String {
-        let nibbles = if self.num_vars < 2 { 1 } else { 1usize << (self.num_vars - 2) };
+        let nibbles = if self.num_vars < 2 {
+            1
+        } else {
+            1usize << (self.num_vars - 2)
+        };
         let mut s = String::with_capacity(nibbles);
         for i in (0..nibbles).rev() {
             let word = (i * 4) / 64;
@@ -316,7 +327,11 @@ impl TruthTable {
     pub(crate) fn mask_off_excess(&mut self) {
         if self.num_vars < 6 {
             let bits = 1usize << self.num_vars;
-            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             self.words[0] &= mask;
         }
     }
@@ -346,7 +361,11 @@ impl FromStr for TruthTable {
                 kind: ParseErrorKind::InvalidLength(len),
             });
         }
-        let num_vars = if len == 1 { 2 } else { len.trailing_zeros() as usize + 2 };
+        let num_vars = if len == 1 {
+            2
+        } else {
+            len.trailing_zeros() as usize + 2
+        };
         Self::from_hex(num_vars, s)
     }
 }

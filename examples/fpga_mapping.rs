@@ -19,7 +19,10 @@ fn main() {
     ];
     let map_params = LutMapParams::with_lut_size(6);
 
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "design", "gates", "opt", "6-LUTs", "levels");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "design", "gates", "opt", "6-LUTs", "levels"
+    );
     for (name, mut network) in designs {
         let before = network.num_gates();
         compress2rs(&mut network, &FlowOptions::default());

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example majority_flow`
 
-use glsx::benchmarks::control::voter;
 use glsx::benchmarks::arithmetic::adder;
+use glsx::benchmarks::control::voter;
 use glsx::flow::{compress2rs, portfolio_best_luts, FlowOptions};
 use glsx::network::simulation::equivalent_by_random_simulation;
 use glsx::network::{convert_network, Aig, GateKind, Mig, Network};

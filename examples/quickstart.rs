@@ -6,8 +6,8 @@
 
 use glsx::algorithms::lut_mapping::{lut_map_stats, LutMapParams};
 use glsx::flow::{compress2rs, FlowOptions};
-use glsx::network::{convert_network, Aig, GateBuilder, Mig, Network, Xag};
 use glsx::network::simulation::equivalent_by_simulation;
+use glsx::network::{convert_network, Aig, GateBuilder, Mig, Network, Xag};
 
 fn main() {
     // Build an 8-bit ripple-carry adder followed by a comparison, on purpose

@@ -4,7 +4,7 @@
 
 use glsx::algorithms::lut_mapping::{lut_map, LutMapParams};
 use glsx::benchmarks::{epfl_like_suite, SuiteScale};
-use glsx::flow::{compress2rs, FlowOptions, FlowScript, run_script};
+use glsx::flow::{compress2rs, run_script, FlowOptions, FlowScript};
 use glsx::io::{read_aiger, write_aiger, write_blif};
 use glsx::network::simulation::{equivalent_by_random_simulation, equivalent_by_simulation};
 use glsx::network::{convert_network, Aig, Mig, Xag};

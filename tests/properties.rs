@@ -2,112 +2,243 @@
 //! invariants of the optimisation algorithms: every transformation must
 //! preserve the Boolean function of the network and maintain structural
 //! integrity, for arbitrary randomly generated networks.
+//!
+//! The harness is a small seeded-PRNG property loop instead of `proptest`
+//! (the build environment is fully offline), which keeps every run
+//! deterministic and reproducible from the seed printed on failure.
 
 use glsx::algorithms::balancing::{balance, BalanceParams};
+use glsx::algorithms::cuts::Cut;
 use glsx::algorithms::lut_mapping::{lut_map, LutMapParams};
 use glsx::algorithms::refactoring::{refactor, RefactorParams};
 use glsx::algorithms::resubstitution::{resubstitute, ResubParams};
 use glsx::algorithms::rewriting::{rewrite, RewriteParams};
+use glsx::benchmarks::SplitMix64 as Rng;
 use glsx::network::simulation::{equivalent_by_simulation, simulate};
 use glsx::network::views::check_network_integrity;
-use glsx::network::{Aig, GateBuilder, Mig, Network, Signal, Xag};
+use glsx::network::{Aig, GateBuilder, Mig, Network, NodeId, Signal, Xag};
 use glsx::truth::{isop, npn_canonize, TruthTable};
-use proptest::prelude::*;
 
-/// Strategy generating a random AIG over `num_pis` inputs.
-fn arbitrary_network(num_pis: usize, num_steps: usize) -> impl Strategy<Value = Aig> {
-    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>(), any::<bool>()), num_steps)
-        .prop_map(move |steps| {
-            let mut aig = Aig::new();
-            let mut signals: Vec<Signal> = (0..num_pis).map(|_| aig.create_pi()).collect();
-            for (a, b, ca, cb) in steps {
-                let x = signals[a as usize % signals.len()].complement_if(ca);
-                let y = signals[b as usize % signals.len()].complement_if(cb);
-                signals.push(aig.create_and(x, y));
-            }
-            for s in signals.iter().rev().take(3) {
-                aig.create_po(*s);
-            }
-            aig
-        })
+/// Generates a random AIG over `num_pis` inputs with `num_steps` AND steps.
+fn arbitrary_network(rng: &mut Rng, num_pis: usize, num_steps: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut signals: Vec<Signal> = (0..num_pis).map(|_| aig.create_pi()).collect();
+    for _ in 0..num_steps {
+        let x = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+        let y = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+        signals.push(aig.create_and(x, y));
+    }
+    for s in signals.iter().rev().take(3) {
+        aig.create_po(*s);
+    }
+    aig
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Random sorted+deduped leaf set of at most `max_len` node ids below
+/// `universe`.
+fn arbitrary_leaves(rng: &mut Rng, universe: u32, max_len: usize) -> Vec<NodeId> {
+    let len = 1 + rng.gen_range(max_len);
+    let mut leaves: Vec<NodeId> = (0..len)
+        .map(|_| 1 + rng.gen_range(universe as usize) as NodeId)
+        .collect();
+    leaves.sort_unstable();
+    leaves.dedup();
+    leaves
+}
 
-    /// Truth-table invariant: an ISOP cover always reproduces its function.
-    #[test]
-    fn isop_covers_are_exact(bits in any::<u64>()) {
-        let tt = TruthTable::from_words(6, vec![bits]);
-        prop_assert_eq!(isop(&tt).to_truth_table(), tt);
+/// Truth-table invariant: an ISOP cover always reproduces its function.
+#[test]
+fn isop_covers_are_exact() {
+    let mut rng = Rng::seed_from_u64(0x1501);
+    for _ in 0..64 {
+        let tt = TruthTable::from_words(6, vec![rng.next_u64()]);
+        assert_eq!(isop(&tt).to_truth_table(), tt);
     }
+}
 
-    /// NPN canonisation is a class invariant: transforming the function and
-    /// canonising again yields the same representative.
-    #[test]
-    fn npn_canonisation_is_invariant(bits in any::<u16>(), neg in 0u32..16, out in any::<bool>()) {
-        let tt = TruthTable::from_bits(4, bits as u64);
+/// NPN canonisation is a class invariant: transforming the function and
+/// canonising again yields the same representative.
+#[test]
+fn npn_canonisation_is_invariant() {
+    let mut rng = Rng::seed_from_u64(0x1502);
+    for _ in 0..64 {
+        let tt = TruthTable::from_bits(4, rng.next_u64() & 0xffff);
         let (canon, transform) = npn_canonize(&tt);
-        prop_assert_eq!(transform.apply(&tt), canon.clone());
+        assert_eq!(transform.apply(&tt), canon.clone());
         // apply an arbitrary extra NPN transformation and re-canonise
+        let neg = rng.gen_range(16) as u32;
         let mut member = tt;
         for v in 0..4 {
             if (neg >> v) & 1 == 1 {
                 member = member.flip(v);
             }
         }
-        if out {
+        if rng.gen_bool() {
             member = !member;
         }
         let (canon2, _) = npn_canonize(&member);
-        prop_assert_eq!(canon, canon2);
+        assert_eq!(canon, canon2);
     }
+}
 
-    /// All four optimisations preserve the function of random AIGs and keep
-    /// the network structurally sound.
-    #[test]
-    fn optimisations_preserve_functions(aig in arbitrary_network(5, 30)) {
+/// All four optimisations preserve the function of random AIGs and keep
+/// the network structurally sound.
+#[test]
+fn optimisations_preserve_functions() {
+    let mut rng = Rng::seed_from_u64(0x1503);
+    for case in 0..24 {
+        let aig = arbitrary_network(&mut rng, 5, 30);
         let reference = aig.clone();
 
         let mut rewritten = aig.clone();
         rewrite(&mut rewritten, &RewriteParams::default());
-        prop_assert!(check_network_integrity(&rewritten).is_ok());
-        prop_assert!(equivalent_by_simulation(&reference, &rewritten));
-        prop_assert!(rewritten.num_gates() <= reference.num_gates());
+        assert!(check_network_integrity(&rewritten).is_ok(), "case {case}");
+        assert!(
+            equivalent_by_simulation(&reference, &rewritten),
+            "case {case}"
+        );
+        assert!(
+            rewritten.num_gates() <= reference.num_gates(),
+            "case {case}"
+        );
 
         let mut refactored = aig.clone();
         refactor(&mut refactored, &RefactorParams::default());
-        prop_assert!(check_network_integrity(&refactored).is_ok());
-        prop_assert!(equivalent_by_simulation(&reference, &refactored));
-        prop_assert!(refactored.num_gates() <= reference.num_gates());
+        assert!(check_network_integrity(&refactored).is_ok(), "case {case}");
+        assert!(
+            equivalent_by_simulation(&reference, &refactored),
+            "case {case}"
+        );
+        assert!(
+            refactored.num_gates() <= reference.num_gates(),
+            "case {case}"
+        );
 
         let mut resubstituted = aig.clone();
         resubstitute(&mut resubstituted, &ResubParams::default());
-        prop_assert!(check_network_integrity(&resubstituted).is_ok());
-        prop_assert!(equivalent_by_simulation(&reference, &resubstituted));
-        prop_assert!(resubstituted.num_gates() <= reference.num_gates());
+        assert!(
+            check_network_integrity(&resubstituted).is_ok(),
+            "case {case}"
+        );
+        assert!(
+            equivalent_by_simulation(&reference, &resubstituted),
+            "case {case}"
+        );
+        assert!(
+            resubstituted.num_gates() <= reference.num_gates(),
+            "case {case}"
+        );
 
         let mut balanced = aig.clone();
         balance(&mut balanced, &BalanceParams::default());
-        prop_assert!(check_network_integrity(&balanced).is_ok());
-        prop_assert!(equivalent_by_simulation(&reference, &balanced));
-        prop_assert!(balanced.num_gates() <= reference.num_gates());
+        assert!(check_network_integrity(&balanced).is_ok(), "case {case}");
+        assert!(
+            equivalent_by_simulation(&reference, &balanced),
+            "case {case}"
+        );
+        assert!(balanced.num_gates() <= reference.num_gates(), "case {case}");
     }
+}
 
-    /// LUT mapping preserves functions and respects the LUT size.
-    #[test]
-    fn lut_mapping_preserves_functions(aig in arbitrary_network(6, 40), k in 3usize..7) {
+/// Rewriting preserves the simulated function on random AIGs — the direct
+/// end-to-end invariant of the allocation-free cut substrate.
+#[test]
+fn rewriting_preserves_simulated_function_on_random_aigs() {
+    let mut rng = Rng::seed_from_u64(0x1507);
+    for case in 0..16 {
+        let mut aig = arbitrary_network(&mut rng, 6, 45);
+        let reference = simulate(&aig);
+        rewrite(&mut aig, &RewriteParams::default());
+        assert_eq!(simulate(&aig), reference, "case {case}");
+        rewrite(
+            &mut aig,
+            &RewriteParams {
+                allow_zero_gain: true,
+                ..RewriteParams::default()
+            },
+        );
+        assert_eq!(simulate(&aig), reference, "case {case} (zero gain)");
+    }
+}
+
+/// LUT mapping preserves functions and respects the LUT size.
+#[test]
+fn lut_mapping_preserves_functions() {
+    let mut rng = Rng::seed_from_u64(0x1504);
+    for case in 0..16 {
+        let aig = arbitrary_network(&mut rng, 6, 40);
+        let k = 3 + rng.gen_range(4);
         let klut = lut_map(&aig, &LutMapParams::with_lut_size(k));
-        prop_assert!(klut.max_fanin_size() <= k);
-        prop_assert!(equivalent_by_simulation(&aig, &klut));
+        assert!(klut.max_fanin_size() <= k, "case {case}");
+        assert!(equivalent_by_simulation(&aig, &klut), "case {case}");
     }
+}
 
-    /// Structural conversion between representations preserves functions.
-    #[test]
-    fn conversion_preserves_functions(aig in arbitrary_network(5, 25)) {
+/// Structural conversion between representations preserves functions.
+#[test]
+fn conversion_preserves_functions() {
+    let mut rng = Rng::seed_from_u64(0x1505);
+    for case in 0..16 {
+        let aig = arbitrary_network(&mut rng, 5, 25);
         let mig: Mig = glsx::network::convert_network(&aig);
         let xag: Xag = glsx::network::convert_network(&aig);
-        prop_assert_eq!(simulate(&aig), simulate(&mig));
-        prop_assert_eq!(simulate(&aig), simulate(&xag));
+        assert_eq!(simulate(&aig), simulate(&mig), "case {case}");
+        assert_eq!(simulate(&aig), simulate(&xag), "case {case}");
+    }
+}
+
+/// Cut-merge invariants of the arena-backed cut substrate: results are
+/// sorted and duplicate-free, the merge contains both operands (and hence
+/// their intersection), and domination is a partial order.
+#[test]
+fn cut_merge_invariants() {
+    let mut rng = Rng::seed_from_u64(0x1506);
+    for _ in 0..256 {
+        let la = arbitrary_leaves(&mut rng, 96, 6);
+        let lb = arbitrary_leaves(&mut rng, 96, 6);
+        let a = Cut::from_leaves(&la);
+        let b = Cut::from_leaves(&lb);
+
+        // construction canonicalises: sorted ascending, no duplicates
+        assert!(a.leaves().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(a.leaves(), la.as_slice());
+
+        if let Some(merged) = a.merge(&b, 8) {
+            // sorted + deduped
+            assert!(merged.leaves().windows(2).all(|w| w[0] < w[1]));
+            // merge(a, b) ⊇ a and ⊇ b, hence ⊇ a ∩ b
+            for l in a.leaves().iter().chain(b.leaves()) {
+                assert!(merged.leaves().contains(l));
+            }
+            // and nothing else: merge(a, b) ⊆ a ∪ b
+            for l in merged.leaves() {
+                assert!(a.leaves().contains(l) || b.leaves().contains(l));
+            }
+            // the merged cut is dominated by both operands
+            assert!(a.dominates(&merged));
+            assert!(b.dominates(&merged));
+        } else {
+            // merge only fails when the union exceeds the size bound
+            let mut union = [a.leaves(), b.leaves()].concat();
+            union.sort_unstable();
+            union.dedup();
+            assert!(union.len() > 8);
+        }
+
+        // domination is reflexive and antisymmetric
+        assert!(a.dominates(&a));
+        if a.dominates(&b) && b.dominates(&a) {
+            assert_eq!(a.leaves(), b.leaves());
+        }
+        // and transitive
+        let lc = arbitrary_leaves(&mut rng, 96, 6);
+        let c = Cut::from_leaves(&lc);
+        if a.dominates(&b) && b.dominates(&c) {
+            assert!(a.dominates(&c));
+        }
+
+        // semantics: dominates == subset-of-leaves
+        let is_subset = a.leaves().iter().all(|l| b.leaves().contains(l));
+        assert_eq!(a.dominates(&b), is_subset);
     }
 }
