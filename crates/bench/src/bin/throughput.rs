@@ -1,0 +1,132 @@
+//! Full rewrite-pass throughput on the arithmetic suite.
+//!
+//! Measures end-to-end `rewrite` pass time (cut enumeration, truth tables,
+//! gain estimation and substitution) in gates per second, the metric the
+//! fused-truth-table optimisation loop is tracked by.  Setting
+//! `GLSX_WRITE_BENCH_BASELINE=1` records the results in
+//! `BENCH_rewrite.json` at the repository root.
+//!
+//! `--smoke` runs a single small circuit with a functional-equivalence
+//! check — the CI guard that keeps the harness from rotting.
+
+use glsx_benchmarks::arithmetic::{adder, barrel_shifter, multiplier, square};
+use glsx_core::rewriting::{rewrite, RewriteParams};
+use glsx_network::simulation::equivalent_by_random_simulation;
+use glsx_network::{Aig, Network};
+use std::time::Instant;
+
+struct Row {
+    circuit: &'static str,
+    gates_before: usize,
+    gates_after: usize,
+    substitutions: usize,
+    seconds_per_pass: f64,
+    gates_per_sec: f64,
+}
+
+/// Times one full rewrite pass over `aig`; repeated until the timing
+/// budget is exhausted, reporting the best pass (the minimum is the
+/// machine's ceiling and far less sensitive to scheduler noise than the
+/// mean).  Every repetition asserts the deterministic outcome (same final
+/// size and substitution count).
+fn measure(name: &'static str, aig: &Aig, budget_ms: u128) -> Row {
+    // warm-up run pins the deterministic outcome
+    let mut first = aig.clone();
+    let reference_stats = rewrite(&mut first, &RewriteParams::default());
+    let gates_after = first.num_gates();
+
+    let started = Instant::now();
+    let mut runs = 0u32;
+    let mut seconds = f64::INFINITY;
+    while runs < 20 && started.elapsed().as_millis() < budget_ms {
+        let mut ntk = aig.clone();
+        let t = Instant::now();
+        let stats = rewrite(&mut ntk, &RewriteParams::default());
+        seconds = seconds.min(t.elapsed().as_secs_f64());
+        assert_eq!(stats, reference_stats, "{name}: nondeterministic rewrite");
+        assert_eq!(
+            ntk.num_gates(),
+            gates_after,
+            "{name}: nondeterministic size"
+        );
+        runs += 1;
+    }
+    Row {
+        circuit: name,
+        gates_before: aig.num_gates(),
+        gates_after,
+        substitutions: reference_stats.substitutions,
+        seconds_per_pass: seconds,
+        gates_per_sec: aig.num_gates() as f64 / seconds,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let suite: Vec<(&'static str, Aig)> = if smoke {
+        vec![("adder_8", adder(8))]
+    } else {
+        vec![
+            ("adder_32", adder(32)),
+            ("barrel_shifter_32", barrel_shifter(32)),
+            ("multiplier_8", multiplier(8)),
+            ("square_8", square(8)),
+        ]
+    };
+
+    let mut rows = Vec::new();
+    for (name, aig) in &suite {
+        if smoke {
+            // the smoke run doubles as a correctness probe of the full
+            // rewrite stack (fused truth tables included)
+            let mut ntk = aig.clone();
+            let stats = rewrite(&mut ntk, &RewriteParams::default());
+            assert!(
+                equivalent_by_random_simulation(aig, &ntk, 8, 0xb5),
+                "{name}: rewrite changed the function"
+            );
+            println!(
+                "smoke {name}: {} -> {} gates ({} substitutions) OK",
+                aig.num_gates(),
+                ntk.num_gates(),
+                stats.substitutions
+            );
+        }
+        let row = measure(name, aig, if smoke { 200 } else { 2000 });
+        println!(
+            "rewrite {:<20} {:>5} -> {:>5} gates {:>4} subs  {:>10.0} gates/s",
+            row.circuit, row.gates_before, row.gates_after, row.substitutions, row.gates_per_sec
+        );
+        rows.push(row);
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"circuit\": \"{}\", \"gates_before\": {}, \"gates_after\": {}, ",
+                    "\"substitutions\": {}, \"seconds_per_pass\": {:.6}, \"gates_per_sec\": {:.0}}}"
+                ),
+                r.circuit,
+                r.gates_before,
+                r.gates_after,
+                r.substitutions,
+                r.seconds_per_pass,
+                r.gates_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"rewrite_pass\",\n  \"circuits\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    // tracked baseline: only refresh on request, like BENCH_cuts.json
+    if !smoke && std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rewrite.json");
+        std::fs::write(path, json).expect("write BENCH_rewrite.json");
+        println!("wrote {path}");
+    } else if !smoke {
+        println!("(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_rewrite.json)");
+    }
+}

@@ -1,4 +1,5 @@
-//! Cut enumeration (Section 2.2.1 of the paper).
+//! Cut enumeration (Section 2.2.1 of the paper) with fused truth-table
+//! computation.
 //!
 //! Two flavours are provided, both expressed purely through the network
 //! interface API:
@@ -9,16 +10,30 @@
 //!   ([`reconvergence_driven_cut`]) growing a cut from a root node (used by
 //!   resubstitution and refactoring).
 //!
-//! Cut functions are computed by exhaustive simulation of the cut cone
-//! ([`simulate_cut`]), the paper's `computeTruthTable`.
+//! The paper's `computeTruthTable` exists in two forms.  The preferred,
+//! *fused* form computes every cut's truth table during enumeration, right
+//! after the cut set of a node is pruned: an allocation-free cone walk in
+//! fixed 256-bit [`CutFunction`] arithmetic whose visited window lives in
+//! the scratch-slot traversal engine.  The tables are stored in an arena
+//! parallel to the cuts, so downstream consumers (rewriting, LUT mapping)
+//! read a cut's function in O(1) via [`CutManager::cut_function`] instead
+//! of re-simulating the cone per candidate with heap-backed tables.  The
+//! fallback form is explicit cone simulation ([`ConeSimulator`],
+//! [`simulate_cut`]), used for reconvergence-driven cuts which are not
+//! produced by merging; both forms produce bit-identical tables (see
+//! [`CutManager::cut_function`] for why composing tables at merge time —
+//! the seemingly cheaper alternative — cannot meet that contract).
 //!
 //! The substrate is allocation-free on the hot path: a [`Cut`] stores its
-//! leaves in a fixed inline array (`Copy`, no heap), and the manager keeps
+//! leaves in a fixed inline array (`Copy`, no heap), cut functions are
+//! fixed 256-bit blocks ([`CutFunction`], `Copy`), and the manager keeps
 //! all cut sets in one flat arena indexed by node id — no hash maps, so
 //! enumeration order (and therefore every downstream optimisation) is
-//! fully deterministic.
+//! fully deterministic.  Invalidation-heavy passes (rewriting) abandon
+//! arena spans; once more than half of the arena is dead the manager
+//! compacts it in place instead of bump-leaking until drop.
 
-use glsx_network::{Network, NodeId};
+use glsx_network::{GateKind, Network, NodeId, Traversal};
 use glsx_truth::TruthTable;
 use std::collections::BTreeMap;
 
@@ -26,6 +41,20 @@ use std::collections::BTreeMap;
 /// cuts; covers the paper's 4-input rewriting cuts and 6-input LUT
 /// mapping with headroom).
 pub const MAX_CUT_LEAVES: usize = 8;
+
+/// Number of 64-bit words of a [`CutFunction`] (2^[`MAX_CUT_LEAVES`] bits).
+const FUNCTION_WORDS: usize = (1 << MAX_CUT_LEAVES) / 64;
+
+/// Bit patterns of the first six projection variables within one 64-bit
+/// word (variable `i` toggles with period `2^i`).
+const VAR_MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
 
 /// A cut: a set of leaf nodes such that every path from a primary input to
 /// the cut's root passes through a leaf.
@@ -215,6 +244,156 @@ fn signature_bit(leaf: NodeId) -> u64 {
     1u64 << (leaf % 64)
 }
 
+/// The truth table of a cut over its (at most [`MAX_CUT_LEAVES`]) leaves,
+/// stored inline as a fixed 256-bit block so cut functions are `Copy` and
+/// live in a flat arena next to the cuts themselves.
+///
+/// Variable `i` is the `i`-th leaf in the cut's sorted leaf order — the
+/// exact convention of [`simulate_cut`], so
+/// [`CutFunction::to_truth_table`] is bit-identical to cone simulation
+/// over the same leaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CutFunction {
+    num_vars: u8,
+    words: [u64; FUNCTION_WORDS],
+}
+
+impl CutFunction {
+    /// Words used by a table over `num_vars` variables.
+    #[inline]
+    fn word_count(num_vars: usize) -> usize {
+        if num_vars <= 6 {
+            1
+        } else {
+            1 << (num_vars - 6)
+        }
+    }
+
+    /// The constant-zero function.
+    #[inline]
+    pub fn zero(num_vars: usize) -> Self {
+        debug_assert!(num_vars <= MAX_CUT_LEAVES);
+        Self {
+            num_vars: num_vars as u8,
+            words: [0; FUNCTION_WORDS],
+        }
+    }
+
+    /// The projection function of variable `var`.
+    pub fn nth_var(num_vars: usize, var: usize) -> Self {
+        debug_assert!(var < num_vars.max(1) && num_vars <= MAX_CUT_LEAVES);
+        let mut f = Self::zero(num_vars);
+        if var < 6 {
+            for w in f.words.iter_mut().take(Self::word_count(num_vars)) {
+                *w = VAR_MASKS[var];
+            }
+        } else {
+            let period = 1usize << (var - 6);
+            for (i, w) in f
+                .words
+                .iter_mut()
+                .enumerate()
+                .take(Self::word_count(num_vars))
+            {
+                if (i / period) & 1 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        f.mask_off_excess();
+        f
+    }
+
+    /// Number of variables of the function.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    fn mask_off_excess(&mut self) {
+        if self.num_vars < 6 {
+            self.words[0] &= (1u64 << (1 << self.num_vars)) - 1;
+        }
+        for w in &mut self.words[Self::word_count(self.num_vars as usize)..] {
+            *w = 0;
+        }
+    }
+
+    /// Complements the function (excess bits stay zero).
+    #[inline]
+    fn complement(mut self) -> Self {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_off_excess();
+        self
+    }
+
+    #[inline]
+    fn binary(mut self, other: &Self, op: impl Fn(u64, u64) -> u64) -> Self {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a = op(*a, *b);
+        }
+        self
+    }
+
+    /// Converts to a heap-backed [`TruthTable`] (bit-identical to
+    /// [`simulate_cut`] over the same sorted leaves).
+    pub fn to_truth_table(&self) -> TruthTable {
+        let wc = Self::word_count(self.num_vars as usize);
+        TruthTable::from_words(self.num_vars as usize, self.words[..wc].to_vec())
+    }
+}
+
+/// Evaluates a gate over already-expanded (and complement-resolved) fanin
+/// cut functions.  `function` is consulted only for LUT gates.
+///
+/// Keep the kind dispatch in sync with
+/// `glsx_network::simulation::evaluate_function`: a kind fast-pathed there
+/// but missing here still computes correctly via the generic minterm
+/// fallback, but at an unannounced per-cone cost in the fused hot path.
+fn evaluate_cut_gate(
+    kind: GateKind,
+    function: impl FnOnce() -> TruthTable,
+    fanins: &[CutFunction],
+) -> CutFunction {
+    match kind {
+        GateKind::And => fanins[0].binary(&fanins[1], |a, b| a & b),
+        GateKind::Xor => fanins[0].binary(&fanins[1], |a, b| a ^ b),
+        GateKind::Maj => {
+            let ab = fanins[0].binary(&fanins[1], |a, b| a & b);
+            let bc = fanins[1].binary(&fanins[2], |a, b| a & b);
+            let ac = fanins[0].binary(&fanins[2], |a, b| a & b);
+            ab.binary(&bc, |a, b| a | b).binary(&ac, |a, b| a | b)
+        }
+        GateKind::Xor3 => fanins[0]
+            .binary(&fanins[1], |a, b| a ^ b)
+            .binary(&fanins[2], |a, b| a ^ b),
+        _ => {
+            // generic composition: OR over the on-set minterms of `function`
+            let num_vars = fanins.first().map(CutFunction::num_vars).unwrap_or(0);
+            let function = function();
+            let mut result = CutFunction::zero(num_vars);
+            for m in 0..function.num_bits() {
+                if !function.bit(m) {
+                    continue;
+                }
+                let mut term = CutFunction::zero(num_vars).complement();
+                for (i, fanin) in fanins.iter().enumerate() {
+                    let literal = if (m >> i) & 1 == 1 {
+                        *fanin
+                    } else {
+                        fanin.complement()
+                    };
+                    term = term.binary(&literal, |a, b| a & b);
+                }
+                result = result.binary(&term, |a, b| a | b);
+            }
+            result
+        }
+    }
+}
+
 /// Parameters of bottom-up cut enumeration.
 #[derive(Clone, Copy, Debug)]
 pub struct CutParams {
@@ -222,6 +401,10 @@ pub struct CutParams {
     pub cut_size: usize,
     /// Maximum number of cuts kept per node (priority cuts).
     pub cut_limit: usize,
+    /// Fuse truth-table computation into enumeration: every cut's function
+    /// is computed when the cut set is pruned and read back in O(1) via
+    /// [`CutManager::cut_function`].
+    pub compute_truth: bool,
 }
 
 impl Default for CutParams {
@@ -229,6 +412,7 @@ impl Default for CutParams {
         Self {
             cut_size: 4,
             cut_limit: 12,
+            compute_truth: false,
         }
     }
 }
@@ -251,28 +435,49 @@ struct Span {
     state: SpanState,
 }
 
-/// Bottom-up priority-cut enumeration with lazy, per-node memoisation.
+/// Arena grows beyond this before compaction is considered.
+const COMPACT_MIN_ARENA: usize = 4096;
+
+/// Bottom-up priority-cut enumeration with lazy, per-node memoisation and
+/// optional fused truth tables.
 ///
-/// All cut sets live in a single flat arena (`Vec<Cut>`) addressed through
-/// a dense per-node span table — no per-node allocations and no hash maps,
+/// All cut sets live in a single flat arena (`Vec<Cut>`, with a parallel
+/// `Vec<CutFunction>` when truth tables are fused) addressed through a
+/// dense per-node span table — no per-node allocations and no hash maps,
 /// so repeated runs enumerate identical cut sets in identical order.  The
 /// manager remains usable while the network is being rewritten: nodes
 /// created after construction simply get their cuts computed when first
-/// requested, and [`CutManager::invalidate`] drops a stale set (its arena
-/// slots are abandoned; the arena is bump-only and reclaimed when the
-/// manager is dropped at the end of a pass).
+/// requested, and [`CutManager::invalidate`] drops a stale set.  Abandoned
+/// arena spans are reclaimed by in-place compaction once more than half of
+/// the arena is dead (invalidation-heavy passes no longer bump-leak until
+/// the manager drops).
 #[derive(Debug)]
 pub struct CutManager {
     params: CutParams,
     /// Flat pool backing every node's cut set.
     arena: Vec<Cut>,
+    /// Parallel pool of cut functions (`arena[i]`'s function is
+    /// `functions[i]`); empty unless `params.compute_truth`.
+    functions: Vec<CutFunction>,
     /// `spans[node]` locates the node's cut set inside the arena.
     spans: Vec<Span>,
+    /// Number of live (non-abandoned) arena entries.  May overcount until
+    /// the next compaction check recounts it (see
+    /// [`CutManager::maybe_compact`]).
+    live: usize,
+    /// Arena length at which the next compaction check runs (doubles each
+    /// time, so the recount is amortised O(1) per commit).
+    next_compact_check: usize,
     /// Reused per-node merge buffers (kept on the manager so steady-state
     /// enumeration performs no allocations).
     partial: Vec<Cut>,
     next_partial: Vec<Cut>,
     result: Vec<Cut>,
+    result_functions: Vec<CutFunction>,
+    /// Reused cone-walk buffers for truth computation (values are indexed
+    /// by scratch-slot stamps, see [`CutManager::cut_cone_function`]).
+    sim_values: Vec<CutFunction>,
+    sim_stack: Vec<NodeId>,
 }
 
 impl CutManager {
@@ -289,7 +494,8 @@ impl CutManager {
             "cut_size {} exceeds MAX_CUT_LEAVES {MAX_CUT_LEAVES}",
             params.cut_size
         );
-        // +1 for the trivial cut; spans store their length as u16
+        // +1 for the trivial cut; spans store their length as u16 and the
+        // merge pipeline indexes cuts within a span as u16
         assert!(
             params.cut_limit < u16::MAX as usize,
             "cut_limit {} exceeds the arena span capacity",
@@ -298,10 +504,16 @@ impl CutManager {
         Self {
             params,
             arena: Vec::new(),
+            functions: Vec::new(),
             spans: Vec::new(),
+            live: 0,
+            next_compact_check: COMPACT_MIN_ARENA,
             partial: Vec::new(),
             next_partial: Vec::new(),
             result: Vec::new(),
+            result_functions: Vec::new(),
+            sim_values: Vec::new(),
+            sim_stack: Vec::new(),
         }
     }
 
@@ -314,12 +526,44 @@ impl CutManager {
         &self.arena[span.start as usize..span.start as usize + span.len as usize]
     }
 
+    /// Returns the fused truth table of cut `index` of `node` (the cut at
+    /// `cuts_of(ntk, node)[index]`), expressed over the cut's sorted
+    /// leaves — bit-identical to [`simulate_cut`] over the same leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager was created without
+    /// [`CutParams::compute_truth`] or the node's cuts have not been
+    /// computed (or were invalidated).
+    pub fn cut_function(&self, node: NodeId, index: usize) -> TruthTable {
+        assert!(
+            self.params.compute_truth,
+            "cut_function requires CutParams::compute_truth"
+        );
+        let span = self.spans[node as usize];
+        assert!(
+            span.state == SpanState::Computed && index < span.len as usize,
+            "cut_function: cuts of node {node} not computed"
+        );
+        self.functions[span.start as usize + index].to_truth_table()
+    }
+
     /// Drops the memoised cut set of `node` (used after the node has been
-    /// substituted).
+    /// substituted).  The abandoned arena span is reclaimed by the next
+    /// compaction.
     pub fn invalidate(&mut self, node: NodeId) {
         if let Some(span) = self.spans.get_mut(node as usize) {
+            if span.state == SpanState::Computed {
+                self.live -= span.len as usize;
+            }
             span.state = SpanState::Empty;
         }
+    }
+
+    /// Number of arena slots currently allocated (live + abandoned);
+    /// exposed for compaction tests.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
     }
 
     #[inline]
@@ -336,10 +580,78 @@ impl CutManager {
         }
     }
 
-    fn commit(&mut self, node: NodeId) {
+    /// Reclaims abandoned arena spans in place once more than half of the
+    /// arena is dead.
+    ///
+    /// `self.live` can *overcount*: substitution kills a whole MFFC but
+    /// callers only invalidate the root, so spans of the other dead nodes
+    /// stay `Computed`.  Gating the trigger on the overcounted value would
+    /// make compaction unreachable in exactly the invalidation-heavy passes
+    /// it exists for.  Therefore the check is scheduled by *arena growth*
+    /// (every time the arena doubles past [`COMPACT_MIN_ARENA`], amortised
+    /// O(1) per commit): first recount true liveness — dropping spans of
+    /// nodes that have died since memoisation — then compact if more than
+    /// half of the arena turns out dead.  Live spans keep their relative
+    /// order, so compaction never changes enumeration results — only where
+    /// they are stored.
+    fn maybe_compact<N: Network>(&mut self, ntk: &N) {
+        if self.arena.len() < self.next_compact_check {
+            return;
+        }
+        // recount: drop spans of dead nodes and correct the live total
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut live = 0usize;
+        for node in 0..self.spans.len() as NodeId {
+            let span = self.spans[node as usize];
+            if span.state != SpanState::Computed {
+                continue;
+            }
+            if (node as usize) < ntk.size() && ntk.is_dead(node) {
+                self.spans[node as usize].state = SpanState::Empty;
+                continue;
+            }
+            live += span.len as usize;
+            order.push(node);
+        }
+        self.live = live;
+        if self.live * 2 >= self.arena.len() {
+            // mostly live: check again once the arena has doubled
+            self.next_compact_check = (self.arena.len() * 2).max(COMPACT_MIN_ARENA);
+            return;
+        }
+        order.sort_unstable_by_key(|&n| self.spans[n as usize].start);
+        let mut write = 0usize;
+        for node in order {
+            let span = self.spans[node as usize];
+            let start = span.start as usize;
+            let len = span.len as usize;
+            self.arena.copy_within(start..start + len, write);
+            if self.params.compute_truth {
+                self.functions.copy_within(start..start + len, write);
+            }
+            self.spans[node as usize].start = write as u32;
+            write += len;
+        }
+        debug_assert_eq!(write, self.live);
+        self.arena.truncate(write);
+        if self.params.compute_truth {
+            self.functions.truncate(write);
+        }
+        self.next_compact_check = (self.arena.len() * 2).max(COMPACT_MIN_ARENA);
+    }
+
+    fn commit<N: Network>(&mut self, ntk: &N, node: NodeId) {
+        self.maybe_compact(ntk);
         let start = self.arena.len() as u32;
         let len = self.result.len() as u16;
         self.arena.append(&mut self.result);
+        if self.params.compute_truth {
+            debug_assert_eq!(self.result_functions.len(), len as usize);
+            self.functions.append(&mut self.result_functions);
+        } else {
+            self.result_functions.clear();
+        }
+        self.live += len as usize;
         self.grow_spans(node);
         self.spans[node as usize] = Span {
             start,
@@ -361,7 +673,10 @@ impl CutManager {
             }
             if !ntk.is_gate(current) {
                 self.result.push(Cut::trivial(current));
-                self.commit(current);
+                if self.params.compute_truth {
+                    self.result_functions.push(CutFunction::nth_var(1, 0));
+                }
+                self.commit(ntk, current);
                 stack.pop();
                 continue;
             }
@@ -376,18 +691,21 @@ impl CutManager {
                 continue;
             }
             self.compute_cuts(ntk, current);
-            self.commit(current);
+            self.commit(ntk, current);
             stack.pop();
         }
     }
 
     /// Computes the cut set of `node` into `self.result` by merging the
-    /// fanins' cut sets (Cartesian product, pruned by size and dominance).
+    /// fanins' cut sets (Cartesian product, pruned by size and dominance),
+    /// then composes the surviving cuts' truth tables from the fanin cuts'
+    /// tables when truth fusion is enabled.
     fn compute_cuts<N: Network>(&mut self, ntk: &N, node: NodeId) {
         debug_assert!(self.result.is_empty());
         self.partial.clear();
         self.partial.push(Cut::empty());
-        for index in 0..ntk.fanin_size(node) {
+        let fanin_size = ntk.fanin_size(node);
+        for index in 0..fanin_size {
             let fanin = ntk.fanin(node, index).node();
             let span = self.spans[fanin as usize];
             debug_assert_eq!(span.state, SpanState::Computed);
@@ -413,6 +731,105 @@ impl CutManager {
                 add_cut_pruned(&mut self.result, cut, self.params.cut_limit);
             }
         }
+        if self.params.compute_truth {
+            self.compute_result_functions(ntk, node);
+        }
+    }
+
+    /// Computes the truth table of every cut in `self.result` (the pruned
+    /// cut set of `node`) by an allocation-free cone walk over fixed-size
+    /// [`CutFunction`] blocks, with the visited window held in the
+    /// scratch-slot traversal engine.
+    ///
+    /// Why a walk and not composition from the fanin cuts' stored tables?
+    /// Composition (expand each fanin cut's function to the leaf union,
+    /// evaluate the gate) is *not* bit-identical to cone simulation in
+    /// reconvergent networks: dominance pruning can leave only a fanin
+    /// sub-cut whose cone bypasses one of the merged cut's own leaves, and
+    /// the expanded table then fixes that leaf to its cone function instead
+    /// of treating it as a free variable.  Both tables agree under
+    /// consistent leaf valuations, but the contract here is exact equality
+    /// with [`simulate_cut`] — so every table is computed with the same
+    /// stop-at-every-leaf semantics, just without its per-call heap
+    /// allocations.
+    fn compute_result_functions<N: Network>(&mut self, ntk: &N, node: NodeId) {
+        debug_assert!(self.result_functions.is_empty());
+        // the trivial cut {node} is the projection of its single leaf
+        self.result_functions.push(CutFunction::nth_var(1, 0));
+        for index in 1..self.result.len() {
+            let cut = self.result[index];
+            let tt = self.cut_cone_function(ntk, node, cut.leaves());
+            self.result_functions.push(tt);
+        }
+    }
+
+    /// Simulates the cone of `root` down to `leaves` in [`CutFunction`]
+    /// arithmetic (bit-identical to [`simulate_cut`], allocation-free in
+    /// the steady state).
+    fn cut_cone_function<N: Network>(
+        &mut self,
+        ntk: &N,
+        root: NodeId,
+        leaves: &[NodeId],
+    ) -> CutFunction {
+        let num_vars = leaves.len();
+        let trav = Traversal::new(ntk);
+        self.sim_values.clear();
+        // mirror `simulate_cut`: the constant node reads as zero unless it
+        // is itself a leaf (the later stamp overwrites)
+        trav.set_value(ntk, 0, 0);
+        self.sim_values.push(CutFunction::zero(num_vars));
+        for (i, &leaf) in leaves.iter().enumerate() {
+            trav.set_value(ntk, leaf, self.sim_values.len() as u32);
+            self.sim_values.push(CutFunction::nth_var(num_vars, i));
+        }
+        debug_assert!(self.sim_stack.is_empty());
+        self.sim_stack.push(root);
+        while let Some(&current) = self.sim_stack.last() {
+            if trav.value(ntk, current).is_some() {
+                self.sim_stack.pop();
+                continue;
+            }
+            debug_assert!(
+                ntk.is_gate(current),
+                "cut cone reached node {current} outside the cut"
+            );
+            let mut missing = false;
+            ntk.foreach_fanin(current, |f| {
+                if trav.value(ntk, f.node()).is_none() {
+                    self.sim_stack.push(f.node());
+                    missing = true;
+                }
+            });
+            if missing {
+                continue;
+            }
+            let fanin_size = ntk.fanin_size(current);
+            assert!(
+                fanin_size <= MAX_CUT_LEAVES,
+                "fused truth tables support gates with at most {MAX_CUT_LEAVES} fanins"
+            );
+            let mut fanin_tts = [CutFunction::zero(0); MAX_CUT_LEAVES];
+            for (j, slot) in fanin_tts.iter_mut().enumerate().take(fanin_size) {
+                let f = ntk.fanin(current, j);
+                let value =
+                    self.sim_values[trav.value(ntk, f.node()).expect("fanin simulated") as usize];
+                *slot = if f.is_complemented() {
+                    value.complement()
+                } else {
+                    value
+                };
+            }
+            let tt = evaluate_cut_gate(
+                ntk.gate_kind(current),
+                || ntk.node_function(current),
+                &fanin_tts[..fanin_size],
+            );
+            trav.set_value(ntk, current, self.sim_values.len() as u32);
+            self.sim_values.push(tt);
+            self.sim_stack.pop();
+        }
+        self.sim_values[trav.value(ntk, root).expect("root simulated") as usize]
     }
 }
 
@@ -438,84 +855,228 @@ fn add_cut_pruned(set: &mut Vec<Cut>, cut: Cut, limit: usize) {
     }
 }
 
+/// Simulates cut cones through the network interface, keeping the window
+/// (node list and truth tables) in reusable flat buffers addressed through
+/// the scratch-slot [`Traversal`] engine — the allocation-free replacement
+/// for the former `BTreeMap` window.
+///
+/// The traversal stamps are only used while the window is being *built*
+/// (membership tests); reading the finished window via [`Self::nodes`] /
+/// [`Self::value_at`] stays valid even after other traversals have
+/// recycled the scratch slots.
+#[derive(Debug, Default)]
+pub struct ConeSimulator {
+    trav: Option<Traversal>,
+    nodes: Vec<NodeId>,
+    values: Vec<TruthTable>,
+    stack: Vec<NodeId>,
+    /// Reused per-gate fanin-table buffer (no `Vec` allocation per
+    /// evaluated node).
+    fanin_buf: Vec<TruthTable>,
+    num_leaves: usize,
+}
+
+impl ConeSimulator {
+    /// Creates a simulator with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a fresh window over `leaves` and simulates the cone of
+    /// `root`, returning `root`'s truth table over the leaves (variable
+    /// `i` is `leaves[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cone of `root` reaches a primary input or constant
+    /// that is not among the leaves, or if there are more than 16 leaves.
+    pub fn simulate<N: Network>(
+        &mut self,
+        ntk: &N,
+        root: NodeId,
+        leaves: &[NodeId],
+    ) -> &TruthTable {
+        self.begin(ntk, leaves);
+        self.extend_to(ntk, root);
+        let index = self.index_of(ntk, root).expect("root was just simulated");
+        &self.values[index]
+    }
+
+    /// Resets the window: the constant node maps to the all-zero table and
+    /// each leaf to its projection variable.
+    fn begin<N: Network>(&mut self, ntk: &N, leaves: &[NodeId]) {
+        let num_leaves = leaves.len();
+        assert!(
+            num_leaves <= 16,
+            "cut simulation supports at most 16 leaves"
+        );
+        self.trav = Some(Traversal::new(ntk));
+        self.nodes.clear();
+        self.values.clear();
+        self.num_leaves = num_leaves;
+        self.insert(ntk, 0, TruthTable::zero(num_leaves));
+        for (i, &leaf) in leaves.iter().enumerate() {
+            self.insert(ntk, leaf, TruthTable::nth_var(num_leaves, i));
+        }
+    }
+
+    /// Inserts (or overwrites) a window entry for `node`.
+    fn insert<N: Network>(&mut self, ntk: &N, node: NodeId, tt: TruthTable) {
+        let trav = self.trav.as_ref().expect("window started");
+        match trav.value(ntk, node) {
+            Some(index) => self.values[index as usize] = tt,
+            None => {
+                trav.set_value(ntk, node, self.nodes.len() as u32);
+                self.nodes.push(node);
+                self.values.push(tt);
+            }
+        }
+    }
+
+    /// Returns the window index of `node`, if present.
+    ///
+    /// Only valid while the window is being built (before any other
+    /// traversal over the network begins).
+    #[inline]
+    pub fn index_of<N: Network>(&self, ntk: &N, node: NodeId) -> Option<usize> {
+        self.trav
+            .as_ref()
+            .and_then(|t| t.value(ntk, node))
+            .map(|v| v as usize)
+    }
+
+    /// Returns `true` if `node` is in the window (same validity caveat as
+    /// [`Self::index_of`]).
+    #[inline]
+    pub fn contains<N: Network>(&self, ntk: &N, node: NodeId) -> bool {
+        self.index_of(ntk, node).is_some()
+    }
+
+    /// The window nodes in insertion order (constant node first, then the
+    /// leaves, then simulated cone/divisor nodes).
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The truth table at window index `index` (parallel to
+    /// [`Self::nodes`]).
+    #[inline]
+    pub fn value_at(&self, index: usize) -> &TruthTable {
+        &self.values[index]
+    }
+
+    /// Number of window entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no window has been started.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Evaluates `node` from window values of its fanins and inserts the
+    /// result.  All fanins must already be in the window.
+    fn evaluate_into_window<N: Network>(&mut self, ntk: &N, node: NodeId) {
+        let num_leaves = self.num_leaves;
+        let mut fanin_tts = std::mem::take(&mut self.fanin_buf);
+        fanin_tts.clear();
+        for index in 0..ntk.fanin_size(node) {
+            let f = ntk.fanin(node, index);
+            let i = self
+                .index_of(ntk, f.node())
+                .expect("fanin is in the window");
+            let tt = &self.values[i];
+            debug_assert_eq!(tt.num_vars(), num_leaves);
+            fanin_tts.push(if f.is_complemented() { !tt } else { tt.clone() });
+        }
+        let tt = glsx_network::simulation::evaluate_function(
+            &ntk.node_function(node),
+            ntk.gate_kind(node),
+            &fanin_tts,
+        );
+        self.fanin_buf = fanin_tts;
+        self.insert(ntk, node, tt);
+    }
+
+    /// Simulates every not-yet-simulated gate in the cone between the
+    /// window and `root` (inclusive).
+    fn extend_to<N: Network>(&mut self, ntk: &N, root: NodeId) {
+        if self.contains(ntk, root) {
+            return;
+        }
+        debug_assert!(self.stack.is_empty());
+        self.stack.push(root);
+        while let Some(&node) = self.stack.last() {
+            if self.contains(ntk, node) {
+                self.stack.pop();
+                continue;
+            }
+            assert!(
+                ntk.is_gate(node),
+                "cut cone reached node {node} outside the cut (not a gate, not a leaf)"
+            );
+            let mut missing = false;
+            ntk.foreach_fanin(node, |f| {
+                if !self.contains(ntk, f.node()) {
+                    self.stack.push(f.node());
+                    missing = true;
+                }
+            });
+            if missing {
+                continue;
+            }
+            self.evaluate_into_window(ntk, node);
+            self.stack.pop();
+        }
+    }
+
+    /// Grows the window by one *side divisor*: evaluates `node` (all of
+    /// whose fanins must already be in the window) and inserts it.  Used
+    /// by resubstitution's window expansion.
+    pub fn add_divisor<N: Network>(&mut self, ntk: &N, node: NodeId) {
+        debug_assert!(!self.contains(ntk, node));
+        self.evaluate_into_window(ntk, node);
+    }
+}
+
 /// Computes the truth table of `root` expressed over the cut `leaves` by
 /// exhaustive simulation of the cut cone (the paper's `computeTruthTable`).
+///
+/// Cold-path convenience that allocates a fresh [`ConeSimulator`] per
+/// call: passes reuse a simulator (or read fused tables off the
+/// [`CutManager`]) instead.
 ///
 /// # Panics
 ///
 /// Panics if the cone of `root` reaches a primary input or constant that is
 /// not among the leaves, or if there are more than 16 leaves.
 pub fn simulate_cut<N: Network>(ntk: &N, root: NodeId, leaves: &[NodeId]) -> TruthTable {
-    let values = simulate_cut_cone(ntk, root, leaves);
-    values[&root].clone()
+    let mut sim = ConeSimulator::new();
+    sim.simulate(ntk, root, leaves).clone()
 }
 
 /// Computes truth tables for every node in the cone between `leaves` and
 /// `root` (inclusive), returned as an ordered map (deterministic iteration
 /// by node id).
+///
+/// Cold-path convenience kept for inspection and tests; the optimisation
+/// passes use [`ConeSimulator`] windows directly.
 pub fn simulate_cut_cone<N: Network>(
     ntk: &N,
     root: NodeId,
     leaves: &[NodeId],
 ) -> BTreeMap<NodeId, TruthTable> {
-    let num_leaves = leaves.len();
-    assert!(
-        num_leaves <= 16,
-        "cut simulation supports at most 16 leaves"
-    );
-    let mut values: BTreeMap<NodeId, TruthTable> = BTreeMap::new();
-    values.insert(0, TruthTable::zero(num_leaves));
-    for (i, &leaf) in leaves.iter().enumerate() {
-        values.insert(leaf, TruthTable::nth_var(num_leaves, i));
-    }
-    simulate_cone(ntk, root, &mut values);
-    values
-}
-
-fn simulate_cone<N: Network>(ntk: &N, root: NodeId, values: &mut BTreeMap<NodeId, TruthTable>) {
-    if values.contains_key(&root) {
-        return;
-    }
-    let mut stack = vec![root];
-    while let Some(&node) = stack.last() {
-        if values.contains_key(&node) {
-            stack.pop();
-            continue;
-        }
-        assert!(
-            ntk.is_gate(node),
-            "cut cone reached node {node} outside the cut (not a gate, not a leaf)"
-        );
-        let mut missing = false;
-        ntk.foreach_fanin(node, |f| {
-            if !values.contains_key(&f.node()) {
-                stack.push(f.node());
-                missing = true;
-            }
-        });
-        if missing {
-            continue;
-        }
-        let fanin_tts: Vec<TruthTable> = ntk
-            .fanins_inline(node)
-            .iter()
-            .map(|f| {
-                let tt = &values[&f.node()];
-                if f.is_complemented() {
-                    !tt
-                } else {
-                    tt.clone()
-                }
-            })
-            .collect();
-        let tt = glsx_network::simulation::evaluate_function(
-            &ntk.node_function(node),
-            ntk.gate_kind(node),
-            &fanin_tts,
-        );
-        values.insert(node, tt);
-        stack.pop();
-    }
+    let mut sim = ConeSimulator::new();
+    sim.simulate(ntk, root, leaves);
+    sim.nodes
+        .iter()
+        .copied()
+        .zip(sim.values.iter().cloned())
+        .collect()
 }
 
 /// Computes a reconvergence-driven cut of at most `max_leaves` leaves
@@ -582,7 +1143,7 @@ pub fn reconvergence_driven_cut<N: Network>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glsx_network::{Aig, GateBuilder, Network};
+    use glsx_network::{Aig, GateBuilder, Mig, Network};
 
     fn chain_aig() -> (Aig, Vec<glsx_network::Signal>) {
         let mut aig = Aig::new();
@@ -644,6 +1205,7 @@ mod tests {
         let mut mgr = CutManager::new(CutParams {
             cut_size: 4,
             cut_limit: 8,
+            compute_truth: false,
         });
         let cuts = mgr.cuts_of(&aig, gs[2].node()).to_vec();
         // trivial cut first
@@ -702,6 +1264,77 @@ mod tests {
     }
 
     #[test]
+    fn simulate_cut_cone_window_is_ordered() {
+        let (aig, gs) = chain_aig();
+        let pis = aig.pi_nodes();
+        let window = simulate_cut_cone(&aig, gs[2].node(), &pis);
+        let keys: Vec<NodeId> = window.keys().copied().collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert!(window.contains_key(&gs[2].node()));
+    }
+
+    /// The heart of the fusion: for every enumerated cut the merged-in
+    /// truth table is bit-identical to cone simulation over the same
+    /// leaves.
+    #[test]
+    fn fused_cut_functions_match_cone_simulation() {
+        let (aig, _) = chain_aig();
+        let mut mgr = CutManager::new(CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+            compute_truth: true,
+        });
+        for node in aig.gate_nodes() {
+            let cuts = mgr.cuts_of(&aig, node).to_vec();
+            for (i, cut) in cuts.iter().enumerate() {
+                let fused = mgr.cut_function(node, i);
+                let simulated = simulate_cut(&aig, node, cut.leaves());
+                assert_eq!(fused, simulated, "node {node}, cut {i}");
+            }
+        }
+    }
+
+    /// MIG gates carry the constant node as a fanin (`and(a,b)` is
+    /// `maj(a,b,0)`), so cuts with constant leaves must fuse correctly.
+    #[test]
+    fn fused_functions_handle_constant_leaves() {
+        let mut mig = Mig::new();
+        let a = mig.create_pi();
+        let b = mig.create_pi();
+        let c = mig.create_pi();
+        let ab = mig.create_and(a, b);
+        let f = mig.create_or(ab, c);
+        mig.create_po(f);
+        let mut mgr = CutManager::new(CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+            compute_truth: true,
+        });
+        for node in mig.gate_nodes() {
+            let cuts = mgr.cuts_of(&mig, node).to_vec();
+            for (i, cut) in cuts.iter().enumerate() {
+                let fused = mgr.cut_function(node, i);
+                let simulated = simulate_cut(&mig, node, cut.leaves());
+                assert_eq!(fused, simulated, "node {node}, cut {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_function_arithmetic_matches_truth_tables() {
+        let and2 = CutFunction::nth_var(2, 0).binary(&CutFunction::nth_var(2, 1), |a, b| a & b);
+        assert_eq!(
+            and2.to_truth_table(),
+            TruthTable::nth_var(2, 0) & TruthTable::nth_var(2, 1)
+        );
+        let not_x7 = CutFunction::nth_var(8, 7).complement();
+        assert_eq!(not_x7.to_truth_table(), !TruthTable::nth_var(8, 7));
+        assert_eq!(CutFunction::zero(3).to_truth_table(), TruthTable::zero(3));
+    }
+
+    #[test]
     fn reconvergent_cut_stays_within_limit() {
         let (aig, gs) = chain_aig();
         let cut = reconvergence_driven_cut(&aig, gs[2].node(), 4);
@@ -725,5 +1358,113 @@ mod tests {
         );
         let cuts = mgr.cuts_of(&aig, extra.node()).to_vec();
         assert!(cuts.iter().any(|c| c.leaves() == [pis[0], pis[2]]));
+    }
+
+    /// Substitution kills a whole MFFC but callers only invalidate the
+    /// root: compaction must also reclaim the spans of nodes that have
+    /// died since their cuts were memoised, or they leak forever.
+    #[test]
+    fn compaction_reclaims_spans_of_dead_nodes() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        // a disposable two-gate cone next to one durable gate
+        let keep = aig.create_and(a, b);
+        aig.create_po(keep);
+        let g1 = aig.create_and(a, !b);
+        let g2 = aig.create_and(g1, b);
+        let po = aig.create_po(g2);
+        let mut mgr = CutManager::new(CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+            compute_truth: true,
+        });
+        let _ = mgr.cuts_of(&aig, g2.node());
+        // kill the cone (the PO moves to constant): g1 and g2 die, but only
+        // g2 — the substitution root — is invalidated, mirroring rewriting
+        let _ = po;
+        aig.substitute_node(g2.node(), aig.get_constant(false));
+        assert!(aig.is_dead(g1.node()) && aig.is_dead(g2.node()));
+        mgr.invalidate(g2.node());
+        // churn the durable gate until compaction fires; afterwards the
+        // arena must hold only the live span (g1's dead span reclaimed)
+        for _ in 0..COMPACT_MIN_ARENA {
+            mgr.invalidate(keep.node());
+            let _ = mgr.cuts_of(&aig, keep.node());
+        }
+        let live: usize = aig
+            .node_ids()
+            .iter()
+            .map(|&n| mgr.cuts_of(&aig, n).len())
+            .sum();
+        assert!(
+            mgr.arena_len() <= COMPACT_MIN_ARENA + live,
+            "dead-node spans leaked ({} slots, {live} live)",
+            mgr.arena_len()
+        );
+        // and the dead node's span is gone for good after a recompute ask
+        let trivial = mgr.cuts_of(&aig, g1.node()).to_vec();
+        assert_eq!(trivial.len(), 1, "dead node re-enumerates as trivial");
+    }
+
+    /// Invalidation-heavy usage triggers in-place compaction; cut sets,
+    /// functions and enumeration order must be unchanged.
+    #[test]
+    fn arena_compaction_preserves_cuts_and_functions() {
+        let mut aig = Aig::new();
+        let pis: Vec<_> = (0..8).map(|_| aig.create_pi()).collect();
+        let mut layer: Vec<_> = pis.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(aig.create_and(pair[0], pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        aig.create_po(layer[0]);
+
+        let mut mgr = CutManager::new(CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+            compute_truth: true,
+        });
+        let gates = aig.gate_nodes();
+        let snapshot: Vec<(NodeId, Vec<Cut>, Vec<TruthTable>)> = gates
+            .iter()
+            .map(|&n| {
+                let cuts = mgr.cuts_of(&aig, n).to_vec();
+                let tts = (0..cuts.len()).map(|i| mgr.cut_function(n, i)).collect();
+                (n, cuts, tts)
+            })
+            .collect();
+        // churn: invalidate and recompute everything many times so the
+        // arena accumulates far more dead than live spans
+        for _ in 0..2000 {
+            for &n in &gates {
+                mgr.invalidate(n);
+            }
+            for &n in &gates {
+                let _ = mgr.cuts_of(&aig, n);
+            }
+        }
+        // without compaction the arena would hold one span per
+        // (iteration × node) — tens of thousands of slots; with compaction
+        // it stays bounded by the trigger threshold
+        let live: usize = snapshot.iter().map(|(_, c, _)| c.len()).sum();
+        assert!(
+            mgr.arena_len() <= COMPACT_MIN_ARENA + live,
+            "arena must be compacted instead of bump-leaking ({} slots, {live} live)",
+            mgr.arena_len()
+        );
+        for (n, cuts, tts) in &snapshot {
+            assert_eq!(mgr.cuts_of(&aig, *n), cuts.as_slice(), "node {n}");
+            for (i, tt) in tts.iter().enumerate() {
+                assert_eq!(mgr.cut_function(*n, i), *tt, "node {n}, cut {i}");
+            }
+        }
     }
 }

@@ -47,12 +47,12 @@ pub mod rewriting;
 
 pub use balancing::{balance, BalanceParams, BalanceStats};
 pub use cuts::{
-    reconvergence_driven_cut, simulate_cut, simulate_cut_cone, Cut, CutManager, CutParams,
-    MAX_CUT_LEAVES,
+    reconvergence_driven_cut, simulate_cut, simulate_cut_cone, ConeSimulator, Cut, CutFunction,
+    CutManager, CutParams, MAX_CUT_LEAVES,
 };
 pub use lut_mapping::{lut_map, lut_map_stats, LutMapParams, LutMapStats};
 pub use refactoring::{refactor, refactor_with, RefactorParams, RefactorStats};
-pub use refs::{mffc, mffc_size, RefCountView};
-pub use replace::{try_replace_on_cut, ReplaceOutcome};
+pub use refs::{mffc, mffc_into, mffc_size, mffc_with_leaves, RefCountView};
+pub use replace::{try_replace_on_cut, ReplaceOutcome, Replacer};
 pub use resubstitution::{resubstitute, ResubNetwork, ResubParams, ResubStats, ResubStyle};
 pub use rewriting::{rewrite, rewrite_with, RewriteParams, RewriteStats};

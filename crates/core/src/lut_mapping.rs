@@ -7,7 +7,7 @@
 //! cut per node (delay-oriented first, then an area-flow refinement pass)
 //! and derives the cover from the primary outputs.
 
-use crate::cuts::{simulate_cut, Cut, CutManager, CutParams};
+use crate::cuts::{ConeSimulator, Cut, CutManager, CutParams};
 use glsx_network::{Klut, Network, NodeId, Signal};
 
 /// Parameters of LUT mapping.
@@ -107,9 +107,15 @@ fn select_cover<N: Network>(
     ntk: &N,
     params: &LutMapParams,
 ) -> (Vec<NodeId>, Vec<Option<MapChoice>>) {
+    // truth fusion stays OFF here: the mapper reads only one function per
+    // *cover* node (roughly a third of the gates), so paying for a table
+    // per *enumerated* cut (cut_limit per gate) would be an order of
+    // magnitude more truth work than is consumed — the selected cuts are
+    // simulated once in `build_klut` instead
     let mut cut_manager = CutManager::new(CutParams {
         cut_size: params.lut_size,
         cut_limit: params.cut_limit,
+        compute_truth: false,
     });
     let order = ntk.gate_nodes();
     // dense, deterministic per-node tables instead of hash maps
@@ -199,6 +205,9 @@ fn select_cover<N: Network>(
 }
 
 fn build_klut<N: Network>(ntk: &N, cover: &[NodeId], choices: &[Option<MapChoice>]) -> Klut {
+    // one reused simulator: each selected cut's function is computed once,
+    // with the window membership held in the scratch-slot traversal engine
+    let mut sim = ConeSimulator::new();
     let mut klut = Klut::new();
     let mut map: Vec<Option<Signal>> = vec![None; ntk.size()];
     map[0] = Some(klut.get_constant(false));
@@ -208,7 +217,7 @@ fn build_klut<N: Network>(ntk: &N, cover: &[NodeId], choices: &[Option<MapChoice
     }
     for &node in cover {
         let choice = choices[node as usize].expect("cover nodes have choices");
-        let mut function = simulate_cut(ntk, node, choice.cut.leaves());
+        let mut function = sim.simulate(ntk, node, choice.cut.leaves()).clone();
         let mut fanins = Vec::with_capacity(choice.cut.size());
         for (i, &leaf) in choice.cut.leaves().iter().enumerate() {
             let mapped = map[leaf as usize].expect("leaves precede their root");

@@ -8,7 +8,7 @@
 //! cone it replaces (or equal, for zero-gain refactoring).
 
 use crate::cuts::reconvergence_driven_cut;
-use crate::replace::{try_replace_on_cut, ReplaceOutcome};
+use crate::replace::{ReplaceOutcome, Replacer};
 use glsx_network::{GateBuilder, Network, NodeId};
 use glsx_synth::{Resynthesis, SopResynthesis};
 
@@ -56,6 +56,7 @@ where
     R: Resynthesis<N>,
 {
     let mut stats = RefactorStats::default();
+    let mut replacer = Replacer::new();
     let nodes: Vec<NodeId> = ntk.gate_nodes();
     for node in nodes {
         if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
@@ -69,7 +70,14 @@ where
         if leaves.len() < 2 || leaves.len() > 16 {
             continue;
         }
-        match try_replace_on_cut(ntk, node, &leaves, resynthesis, params.allow_zero_gain) {
+        match replacer.try_replace_on_cut(
+            ntk,
+            node,
+            &leaves,
+            None,
+            resynthesis,
+            params.allow_zero_gain,
+        ) {
             ReplaceOutcome::Substituted(gain) => {
                 stats.substitutions += 1;
                 stats.estimated_gain += gain;

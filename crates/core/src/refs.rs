@@ -8,49 +8,66 @@
 //! requires, taking logic sharing (structural hashing) into account.
 //!
 //! The view is lazy: a node's count is materialised from its fanout size on
-//! first access, so creating a view is O(1) and only the nodes actually
-//! touched by a local transformation are tracked.
+//! first access.  Counts live in the per-node scratch slots through the
+//! epoch-stamped [`Traversal`] engine, so creating a view is O(1), only the
+//! nodes actually touched by a local transformation are tracked, and no
+//! hash map is allocated per candidate (this is called once per replacement
+//! attempt — the hottest query of the optimisation loop).
+//!
+//! Scratch-slot contract: a [`RefCountView`] owns the network's traversal
+//! scratch between its creation and its last use; do not interleave it
+//! with another traversal over overlapping nodes (see
+//! [`glsx_network::traversal`]).
 
-use glsx_network::{Network, NodeId};
-use std::collections::HashMap;
+use glsx_network::{Network, NodeId, Traversal};
 
-/// Lazily initialised per-node reference counts.
-#[derive(Clone, Debug, Default)]
+/// Lazily initialised per-node reference counts, backed by the scratch-slot
+/// traversal engine (no allocation per view).
+#[derive(Debug)]
 pub struct RefCountView {
-    counts: HashMap<NodeId, i64>,
+    trav: Traversal,
 }
 
 impl RefCountView {
     /// Creates an empty (lazy) view; counts are initialised from the
     /// network's fanout sizes on first access.
-    pub fn new<N: Network>(_ntk: &N) -> Self {
+    pub fn new<N: Network>(ntk: &N) -> Self {
         Self {
-            counts: HashMap::new(),
+            trav: Traversal::new(ntk),
         }
     }
 
     /// Returns the current reference count of `node`, initialising it from
     /// the fanout size if it has not been touched yet.
     pub fn count<N: Network>(&mut self, ntk: &N, node: NodeId) -> i64 {
-        *self
-            .counts
-            .entry(node)
-            .or_insert_with(|| ntk.fanout_size(node) as i64)
+        i64::from(
+            self.trav
+                .value_or_insert_with(ntk, node, || ntk.fanout_size(node) as u32),
+        )
     }
 
     fn add<N: Network>(&mut self, ntk: &N, node: NodeId, delta: i64) -> i64 {
-        let entry = self
-            .counts
-            .entry(node)
-            .or_insert_with(|| ntk.fanout_size(node) as i64);
-        *entry += delta;
-        *entry
+        let current = i64::from(
+            self.trav
+                .value_or_insert_with(ntk, node, || ntk.fanout_size(node) as u32),
+        );
+        let updated = current + delta;
+        // a real assert (not debug-only): the u32 scratch representation
+        // would wrap a negative count to ~4e9 and silently corrupt every
+        // later gain estimate, unlike the old i64 side table
+        assert!(
+            (0..=i64::from(u32::MAX)).contains(&updated),
+            "reference count out of range for node {node}"
+        );
+        self.trav.set_value(ntk, node, updated as u32);
+        updated
     }
 
     /// Overrides the count of `node` (used to treat freshly created
     /// candidate nodes as unreferenced).
-    pub fn set_count(&mut self, node: NodeId, value: i64) {
-        self.counts.insert(node, value);
+    pub fn set_count<N: Network>(&mut self, ntk: &N, node: NodeId, value: i64) {
+        debug_assert!((0..=i64::from(u32::MAX)).contains(&value));
+        self.trav.set_value(ntk, node, value as u32);
     }
 
     /// Virtually removes the cone rooted at `node`: decrements the
@@ -90,16 +107,25 @@ impl RefCountView {
     }
 }
 
-/// Computes the maximum fanout-free cone (MFFC) of `node`: the set of gates
-/// that are only used (transitively) by `node` and would therefore
-/// disappear if `node` were removed.  The root itself is included.
-pub fn mffc<N: Network>(ntk: &N, node: NodeId) -> Vec<NodeId> {
+/// Computes the maximum fanout-free cone (MFFC) of `node` into `cone`: the
+/// set of gates that are only used (transitively) by `node` and would
+/// therefore disappear if `node` were removed.  The root itself is
+/// included.  `cone` is cleared first; passing a reused buffer keeps the
+/// per-candidate hot path allocation-free.
+pub fn mffc_into<N: Network>(ntk: &N, node: NodeId, cone: &mut Vec<NodeId>) {
+    cone.clear();
     if !ntk.is_gate(node) {
-        return Vec::new();
+        return;
     }
     let mut counts = RefCountView::new(ntk);
+    collect_mffc(ntk, node, &mut counts, cone, true);
+}
+
+/// Computes the MFFC of `node` into a fresh vector (convenience wrapper
+/// over [`mffc_into`]).
+pub fn mffc<N: Network>(ntk: &N, node: NodeId) -> Vec<NodeId> {
     let mut cone = Vec::new();
-    collect_mffc(ntk, node, &mut counts, &mut cone, true);
+    mffc_into(ntk, node, &mut cone);
     cone
 }
 
@@ -133,11 +159,20 @@ fn collect_mffc<N: Network>(
 /// Computes the MFFC of `node` restricted to the given `leaves`: gates in
 /// the cone excluding the leaves themselves.  Used by refactoring and
 /// resubstitution to bound the collapsed cone.
+///
+/// The leaves are filtered by marking them in a traversal and testing each
+/// cone node in O(1) — linear in `cone + leaves` instead of the quadratic
+/// `leaves.contains` scan per cone node.
 pub fn mffc_with_leaves<N: Network>(ntk: &N, node: NodeId, leaves: &[NodeId]) -> Vec<NodeId> {
-    mffc(ntk, node)
-        .into_iter()
-        .filter(|n| !leaves.contains(n))
-        .collect()
+    let mut cone = mffc(ntk, node);
+    // the ref-count traversal above is finished; marking the leaves starts
+    // a new epoch and cannot corrupt it
+    let marks = Traversal::new(ntk);
+    for &leaf in leaves {
+        marks.mark(ntk, leaf);
+    }
+    cone.retain(|&n| !marks.is_marked(ntk, n));
+    cone
 }
 
 #[cfg(test)]
@@ -208,6 +243,27 @@ mod tests {
             mffc_with_leaves(&aig, y.node(), &[x.node()]),
             vec![y.node()]
         );
+    }
+
+    #[test]
+    fn mffc_with_leaves_filters_every_leaf() {
+        // a chain g1 -> g2 -> g3 where restricting to different leaf sets
+        // must cut the cone exactly at the marked nodes
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let g1 = aig.create_and(a, b);
+        let g2 = aig.create_and(g1, c);
+        let g3 = aig.create_and(g2, a);
+        aig.create_po(g3);
+        let full = mffc(&aig, g3.node());
+        assert_eq!(full.len(), 3);
+        let restricted = mffc_with_leaves(&aig, g3.node(), &[g1.node(), g2.node()]);
+        assert_eq!(restricted, vec![g3.node()]);
+        // leaves not in the cone are ignored
+        let unrelated = mffc_with_leaves(&aig, g3.node(), &[a.node(), b.node()]);
+        assert_eq!(unrelated.len(), 3);
     }
 
     #[test]

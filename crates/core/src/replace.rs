@@ -1,11 +1,19 @@
 //! Shared DAG-aware replacement machinery used by rewriting and
 //! refactoring: evaluate the gain of re-expressing a node over a cut and
 //! commit the substitution if it pays off.
+//!
+//! The machinery is packaged as a reusable [`Replacer`] so a whole pass
+//! shares one set of buffers: the cone simulator (when the cut function is
+//! not already known), the containment-check worklist and seen list.  The
+//! per-candidate reference counts live in the network's scratch slots (see
+//! [`RefCountView`]), so a replacement attempt allocates no hash maps or
+//! side tables at all.
 
-use crate::cuts::simulate_cut;
+use crate::cuts::ConeSimulator;
 use crate::refs::RefCountView;
 use glsx_network::{GateBuilder, Network, NodeId, Signal};
 use glsx_synth::Resynthesis;
+use glsx_truth::TruthTable;
 
 /// Result of a replacement attempt.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -18,14 +26,156 @@ pub enum ReplaceOutcome {
     Rejected,
 }
 
+/// Reusable replacement engine (buffers shared across candidates).
+#[derive(Debug, Default)]
+pub struct Replacer {
+    sim: ConeSimulator,
+    leaf_signals: Vec<Signal>,
+    seen: Vec<NodeId>,
+    stack: Vec<NodeId>,
+}
+
+impl Replacer {
+    /// Creates a replacer with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to replace `node` by a resynthesised structure over the cut
+    /// `leaves`.
+    ///
+    /// `function` is the truth table of `node` over `leaves` if the caller
+    /// already knows it (e.g. fused cut functions from the
+    /// [`CutManager`](crate::cuts::CutManager)); when `None` it is computed
+    /// by cone simulation.
+    ///
+    /// The gain is measured DAG-aware via reference counting: `freed`
+    /// counts the gates that disappear with `node`'s maximum fanout-free
+    /// cone, `added` counts the new gates the candidate needs after
+    /// structural hashing.  The candidate is committed when
+    /// `added < freed`, or `added <= freed` if `allow_zero_gain` is set.
+    pub fn try_replace_on_cut<N, R>(
+        &mut self,
+        ntk: &mut N,
+        node: NodeId,
+        leaves: &[NodeId],
+        function: Option<TruthTable>,
+        resynthesis: &mut R,
+        allow_zero_gain: bool,
+    ) -> ReplaceOutcome
+    where
+        N: Network + GateBuilder,
+        R: Resynthesis<N>,
+    {
+        if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
+            return ReplaceOutcome::Rejected;
+        }
+        if leaves.is_empty() || leaves.contains(&node) || leaves.iter().any(|&l| ntk.is_dead(l)) {
+            return ReplaceOutcome::Rejected;
+        }
+        // the simulator's traversal finishes before the ref-count traversal
+        // below begins — they never interleave on the scratch slots
+        let function = match function {
+            Some(tt) => tt,
+            None => self.sim.simulate(ntk, node, leaves).clone(),
+        };
+
+        // virtually remove the node's cone
+        let mut refs = RefCountView::new(ntk);
+        let freed = refs.deref_recursive(ntk, node) as i64;
+
+        // build the candidate structure
+        let size_before = ntk.size();
+        self.leaf_signals.clear();
+        self.leaf_signals
+            .extend(leaves.iter().map(|&l| Signal::new(l, false)));
+        let candidate = match resynthesis.resynthesize(ntk, &function, &self.leaf_signals) {
+            Some(c) => c,
+            None => {
+                refs.ref_recursive(ntk, node);
+                return ReplaceOutcome::Rejected;
+            }
+        };
+
+        // the candidate must neither be the node itself nor contain it
+        if candidate.node() == node || self.candidate_contains(ntk, candidate.node(), node, leaves)
+        {
+            refs.ref_recursive(ntk, node);
+            discard_candidate(ntk, candidate);
+            sweep_new_dangling(ntk, size_before);
+            return ReplaceOutcome::Rejected;
+        }
+
+        // treat freshly created nodes as unreferenced for gain measurement
+        for id in size_before..ntk.size() {
+            let id = id as NodeId;
+            let mut external = 0i64;
+            ntk.foreach_fanout(id, |p| {
+                if (p as usize) < size_before {
+                    external += 1;
+                }
+            });
+            refs.set_count(ntk, id, external);
+        }
+        let added = if (candidate.node() as usize) < size_before {
+            // pure reuse of existing logic
+            0
+        } else {
+            refs.ref_recursive(ntk, candidate.node()) as i64
+        };
+
+        let accept = if allow_zero_gain {
+            added <= freed
+        } else {
+            added < freed
+        };
+        let outcome = if accept {
+            ntk.substitute_node(node, candidate);
+            ReplaceOutcome::Substituted(freed - added)
+        } else {
+            discard_candidate(ntk, candidate);
+            ReplaceOutcome::Rejected
+        };
+        sweep_new_dangling(ntk, size_before);
+        outcome
+    }
+
+    /// Checks whether `forbidden` occurs in the candidate structure rooted
+    /// at `root`, searching only down to the cut leaves.
+    ///
+    /// Candidate structures are small (bounded by the resynthesised cover
+    /// of a ≤16-leaf function), so the seen list is a plain vector with a
+    /// linear membership scan — deterministic and allocation-free in the
+    /// steady state, unlike the former per-call `HashSet`.  It must not use
+    /// the scratch-slot traversal: the caller's [`RefCountView`] owns the
+    /// scratch between the deref and re-ref phases.
+    fn candidate_contains<N: Network>(
+        &mut self,
+        ntk: &N,
+        root: NodeId,
+        forbidden: NodeId,
+        leaves: &[NodeId],
+    ) -> bool {
+        self.stack.clear();
+        self.seen.clear();
+        self.stack.push(root);
+        while let Some(n) = self.stack.pop() {
+            if n == forbidden {
+                return true;
+            }
+            if leaves.contains(&n) || self.seen.contains(&n) || !ntk.is_gate(n) {
+                continue;
+            }
+            self.seen.push(n);
+            ntk.foreach_fanin(n, |f| self.stack.push(f.node()));
+        }
+        false
+    }
+}
+
 /// Attempts to replace `node` by a resynthesised structure over the cut
-/// `leaves`.
-///
-/// The gain is measured DAG-aware via reference counting: `freed` counts
-/// the gates that disappear with `node`'s maximum fanout-free cone, `added`
-/// counts the new gates the candidate needs after structural hashing.  The
-/// candidate is committed when `added < freed`, or `added <= freed` if
-/// `allow_zero_gain` is set.
+/// `leaves` (convenience wrapper creating a fresh [`Replacer`]; passes
+/// reuse one replacer across candidates instead).
 pub fn try_replace_on_cut<N, R>(
     ntk: &mut N,
     node: NodeId,
@@ -37,69 +187,7 @@ where
     N: Network + GateBuilder,
     R: Resynthesis<N>,
 {
-    if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
-        return ReplaceOutcome::Rejected;
-    }
-    if leaves.is_empty() || leaves.contains(&node) || leaves.iter().any(|&l| ntk.is_dead(l)) {
-        return ReplaceOutcome::Rejected;
-    }
-    let function = simulate_cut(ntk, node, leaves);
-
-    // virtually remove the node's cone
-    let mut refs = RefCountView::new(ntk);
-    let freed = refs.deref_recursive(ntk, node) as i64;
-
-    // build the candidate structure
-    let size_before = ntk.size();
-    let leaf_signals: Vec<Signal> = leaves.iter().map(|&l| Signal::new(l, false)).collect();
-    let candidate = match resynthesis.resynthesize(ntk, &function, &leaf_signals) {
-        Some(c) => c,
-        None => {
-            refs.ref_recursive(ntk, node);
-            return ReplaceOutcome::Rejected;
-        }
-    };
-
-    // the candidate must neither be the node itself nor contain it
-    if candidate.node() == node || candidate_contains(ntk, candidate.node(), node, leaves) {
-        refs.ref_recursive(ntk, node);
-        discard_candidate(ntk, candidate, size_before);
-        sweep_new_dangling(ntk, size_before);
-        return ReplaceOutcome::Rejected;
-    }
-
-    // treat freshly created nodes as unreferenced for gain measurement
-    for id in size_before..ntk.size() {
-        let id = id as NodeId;
-        let mut external = 0i64;
-        ntk.foreach_fanout(id, |p| {
-            if (p as usize) < size_before {
-                external += 1;
-            }
-        });
-        refs.set_count(id, external);
-    }
-    let added = if (candidate.node() as usize) < size_before {
-        // pure reuse of existing logic
-        0
-    } else {
-        refs.ref_recursive(ntk, candidate.node()) as i64
-    };
-
-    let accept = if allow_zero_gain {
-        added <= freed
-    } else {
-        added < freed
-    };
-    let outcome = if accept {
-        ntk.substitute_node(node, candidate);
-        ReplaceOutcome::Substituted(freed - added)
-    } else {
-        discard_candidate(ntk, candidate, size_before);
-        ReplaceOutcome::Rejected
-    };
-    sweep_new_dangling(ntk, size_before);
-    outcome
+    Replacer::new().try_replace_on_cut(ntk, node, leaves, None, resynthesis, allow_zero_gain)
 }
 
 /// Removes nodes created during a replacement attempt that ended up without
@@ -114,31 +202,9 @@ pub(crate) fn sweep_new_dangling<N: Network>(ntk: &mut N, size_before: usize) {
     }
 }
 
-/// Checks whether `forbidden` occurs in the candidate structure rooted at
-/// `root`, searching only down to the cut leaves.
-fn candidate_contains<N: Network>(
-    ntk: &N,
-    root: NodeId,
-    forbidden: NodeId,
-    leaves: &[NodeId],
-) -> bool {
-    let mut stack = vec![root];
-    let mut seen = std::collections::HashSet::new();
-    while let Some(n) = stack.pop() {
-        if n == forbidden {
-            return true;
-        }
-        if leaves.contains(&n) || !seen.insert(n) || !ntk.is_gate(n) {
-            continue;
-        }
-        ntk.foreach_fanin(n, |f| stack.push(f.node()));
-    }
-    false
-}
-
 /// Removes a rejected candidate structure (only nodes without fanout are
 /// taken out, so shared logic is untouched).
-fn discard_candidate<N: Network>(ntk: &mut N, candidate: Signal, _size_before: usize) {
+fn discard_candidate<N: Network>(ntk: &mut N, candidate: Signal) {
     if ntk.is_gate(candidate.node()) && ntk.fanout_size(candidate.node()) == 0 {
         ntk.take_out_node(candidate.node());
     }
@@ -147,6 +213,7 @@ fn discard_candidate<N: Network>(ntk: &mut N, candidate: Signal, _size_before: u
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cuts::simulate_cut;
     use glsx_network::simulation::equivalent_by_simulation;
     use glsx_network::{Aig, GateBuilder};
     use glsx_synth::SopResynthesis;
@@ -175,6 +242,36 @@ mod tests {
         assert_eq!(outcome, ReplaceOutcome::Substituted(1));
         assert_eq!(aig.num_gates(), 2);
         assert!(equivalent_by_simulation(&reference, &aig));
+    }
+
+    #[test]
+    fn precomputed_function_gives_identical_outcome() {
+        let build = || {
+            let mut aig = Aig::new();
+            let a = aig.create_pi();
+            let b = aig.create_pi();
+            let c = aig.create_pi();
+            let ab = aig.create_and(a, b);
+            let ac = aig.create_and(a, c);
+            let f = aig.create_and(ab, ac);
+            aig.create_po(f);
+            (aig, [a.node(), b.node(), c.node()], f.node())
+        };
+        let (mut implicit, leaves, f) = build();
+        let o1 = try_replace_on_cut(&mut implicit, f, &leaves, &mut SopResynthesis, false);
+        let (mut explicit, leaves, f) = build();
+        let tt = simulate_cut(&explicit, f, &leaves);
+        let o2 = Replacer::new().try_replace_on_cut(
+            &mut explicit,
+            f,
+            &leaves,
+            Some(tt),
+            &mut SopResynthesis,
+            false,
+        );
+        assert_eq!(o1, o2);
+        assert!(equivalent_by_simulation(&implicit, &explicit));
+        assert_eq!(implicit.num_gates(), explicit.num_gates());
     }
 
     #[test]

@@ -11,11 +11,10 @@
 //! (MIG/XMG) networks.  The kernel is selected through the
 //! [`ResubNetwork`] trait.
 
-use crate::cuts::{reconvergence_driven_cut, simulate_cut_cone};
-use crate::refs::mffc;
-use glsx_network::{Aig, GateBuilder, Mig, Network, NodeId, Signal, Xag, Xmg};
+use crate::cuts::{reconvergence_driven_cut, ConeSimulator};
+use crate::refs::mffc_into;
+use glsx_network::{Aig, GateBuilder, Mig, Network, NodeId, Signal, Traversal, Xag, Xmg};
 use glsx_truth::TruthTable;
-use std::collections::{BTreeMap, HashMap};
 
 /// The divisor-selection and resubstitution-rule style of a representation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -99,6 +98,14 @@ struct Divisor {
 /// Runs Boolean resubstitution on `ntk`.
 pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams) -> ResubStats {
     let mut stats = ResubStats::default();
+    // buffers shared across all visited nodes: the steady state allocates
+    // no side tables (windows and membership tests live in the scratch-slot
+    // traversal engine; see `glsx_network::traversal`)
+    let mut sim = ConeSimulator::new();
+    let mut mffc_nodes: Vec<NodeId> = Vec::new();
+    let mut window_order: Vec<u32> = Vec::new();
+    let mut divisors: Vec<Divisor> = Vec::new();
+    let mut by_function: Vec<u32> = Vec::new();
     let nodes: Vec<NodeId> = ntk.gate_nodes();
     for node in nodes {
         if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
@@ -109,35 +116,57 @@ pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams
         if leaves.is_empty() || leaves.len() > 14 {
             continue;
         }
-        let mut window = simulate_cut_cone(ntk, node, &leaves);
-        let target = window[&node].clone();
-        let mffc_nodes = mffc(ntk, node);
+        // window traversal: simulate the cone, then expand with side
+        // divisors — nodes outside the cone of `node` whose fanins already
+        // lie in the window (their functions are therefore expressible over
+        // the cut and they cannot depend on `node`)
+        sim.simulate(ntk, node, &leaves);
+        expand_window(ntk, node, &mut sim, params.max_divisors * 2);
+        let target = sim
+            .value_at(sim.index_of(ntk, node).expect("root is in its window"))
+            .clone();
+
+        // MFFC traversal (starts after the window traversal has finished;
+        // the window is read through its own buffers from here on)
+        mffc_into(ntk, node, &mut mffc_nodes);
         let mffc_size = mffc_nodes.len() as i64;
 
-        // Expand the window with side divisors: nodes outside the cone of
-        // `node` whose fanins already lie in the window (their functions are
-        // therefore expressible over the cut and they cannot depend on
-        // `node`).
-        expand_window(ntk, node, &mut window, params.max_divisors * 2);
-
-        // collect divisors: window nodes (including leaves) outside the
-        // MFFC; the window map is ordered by node id, so the divisor list
-        // (and hence every later tie-break) is deterministic
-        let mut divisors: Vec<Divisor> = window
-            .iter()
-            .filter(|(&n, _)| n != node && n != 0 && !mffc_nodes.contains(&n) && !ntk.is_dead(n))
-            .map(|(&n, tt)| Divisor {
-                signal: Signal::new(n, false),
-                function: tt.clone(),
-            })
-            .collect();
-        divisors.truncate(params.max_divisors);
+        // divisor-filter traversal: mark the MFFC once, then test each
+        // window node in O(1).  Divisors are collected in ascending node-id
+        // order (matching the former ordered-map iteration), so every later
+        // tie-break is deterministic.
+        let mffc_marks = Traversal::new(ntk);
+        for &m in &mffc_nodes {
+            mffc_marks.mark(ntk, m);
+        }
+        window_order.clear();
+        window_order.extend(0..sim.len() as u32);
+        window_order.sort_unstable_by_key(|&i| sim.nodes()[i as usize]);
+        divisors.clear();
+        for &i in &window_order {
+            if divisors.len() >= params.max_divisors {
+                break;
+            }
+            let n = sim.nodes()[i as usize];
+            if n != node && n != 0 && !mffc_marks.is_marked(ntk, n) && !ntk.is_dead(n) {
+                divisors.push(Divisor {
+                    signal: Signal::new(n, false),
+                    function: sim.value_at(i as usize).clone(),
+                });
+            }
+        }
 
         let min_gain = if params.allow_zero_gain { 0 } else { 1 };
         let size_before = ntk.size();
-        if let Some((replacement, inserted)) =
-            find_resubstitution::<N>(ntk, &target, &divisors, params, mffc_size, min_gain)
-        {
+        if let Some((replacement, inserted)) = find_resubstitution::<N>(
+            ntk,
+            &target,
+            &divisors,
+            &mut by_function,
+            params,
+            mffc_size,
+            min_gain,
+        ) {
             let gain = mffc_size - inserted;
             if replacement.node() != node {
                 ntk.substitute_node(node, replacement);
@@ -154,57 +183,33 @@ pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams
 /// whose fanins all lie in the window already.  Such nodes are expressible
 /// over the cut and can never contain `root` in their fanin cone.
 ///
-/// The window is an ordered map, so the expansion frontier — and thereby
-/// which divisors make it in before `limit` is reached — is deterministic
-/// across runs.
-fn expand_window<N: Network>(
-    ntk: &N,
-    root: NodeId,
-    window: &mut BTreeMap<NodeId, TruthTable>,
-    limit: usize,
-) {
-    let mut changed = true;
-    let mut candidates: Vec<NodeId> = Vec::new();
-    while changed && window.len() < limit {
-        changed = false;
-        let members: Vec<NodeId> = window.keys().copied().collect();
-        for member in members {
-            candidates.clear();
-            ntk.foreach_fanout(member, |candidate| candidates.push(candidate));
-            for &candidate in &candidates {
-                if window.len() >= limit {
-                    return;
-                }
-                if candidate == root || window.contains_key(&candidate) || !ntk.is_gate(candidate) {
-                    continue;
-                }
-                let fanins = ntk.fanins_inline(candidate);
-                if !fanins
-                    .iter()
-                    .all(|f| f.node() != root && window.contains_key(&f.node()))
-                {
-                    continue;
-                }
-                let fanin_tts: Vec<TruthTable> = fanins
-                    .iter()
-                    .map(|f| {
-                        let tt = &window[&f.node()];
-                        if f.is_complemented() {
-                            !tt
-                        } else {
-                            tt.clone()
-                        }
-                    })
-                    .collect();
-                let tt = glsx_network::simulation::evaluate_function(
-                    &ntk.node_function(candidate),
-                    ntk.gate_kind(candidate),
-                    &fanin_tts,
-                );
-                window.insert(candidate, tt);
-                changed = true;
+/// The window is scanned as a worklist in insertion order (newly added
+/// divisors are scanned too, reaching the same fixpoint as repeated
+/// rounds), so the expansion frontier — and thereby which divisors make it
+/// in before `limit` is reached — is deterministic across runs.
+fn expand_window<N: Network>(ntk: &N, root: NodeId, sim: &mut ConeSimulator, limit: usize) {
+    let mut i = 0usize;
+    while i < sim.len() && sim.len() < limit {
+        let member = sim.nodes()[i];
+        i += 1;
+        ntk.foreach_fanout(member, |candidate| {
+            if sim.len() >= limit
+                || candidate == root
+                || sim.contains(ntk, candidate)
+                || !ntk.is_gate(candidate)
+            {
+                return;
             }
-        }
+            let mut all_in_window = true;
+            ntk.foreach_fanin(candidate, |f| {
+                if f.node() == root || !sim.contains(ntk, f.node()) {
+                    all_in_window = false;
+                }
+            });
+            if all_in_window {
+                sim.add_divisor(ntk, candidate);
+            }
+        });
     }
 }
 
@@ -214,6 +219,7 @@ fn find_resubstitution<N: ResubNetwork>(
     ntk: &mut N,
     target: &TruthTable,
     divisors: &[Divisor],
+    by_function: &mut Vec<u32>,
     params: &ResubParams,
     mffc_size: i64,
     min_gain: i64,
@@ -276,15 +282,26 @@ fn find_resubstitution<N: ResubNetwork>(
                 }
             }
         }
-        // XOR via hash lookup (XAG-style kernels)
-        if N::STYLE == ResubStyle::AndXor || N::STYLE == ResubStyle::Majority {
-            let by_function: HashMap<&TruthTable, Signal> =
-                divisors.iter().map(|d| (&d.function, d.signal)).collect();
+        // XOR via sorted-divisor lookup (XAG-style kernels only — majority
+        // kernels have no XOR primitive to insert); a sorted index (reused
+        // buffer, no per-node allocation) with binary search replaces the
+        // former hash map, keeping the matched partner deterministic
+        // (smallest function, then signal)
+        if N::STYLE == ResubStyle::AndXor {
+            by_function.clear();
+            by_function.extend(0..divisors.len() as u32);
+            by_function.sort_unstable_by(|&a, &b| {
+                let (a, b) = (&divisors[a as usize], &divisors[b as usize]);
+                a.function.cmp(&b.function).then(a.signal.cmp(&b.signal))
+            });
             for d in divisors {
                 let needed = target ^ &d.function;
-                if let Some(&other) = by_function.get(&needed) {
-                    if other.node() != d.signal.node() && N::STYLE == ResubStyle::AndXor {
-                        let g = ntk.create_xor(d.signal, other);
+                let first = by_function
+                    .partition_point(|&probe| divisors[probe as usize].function < needed);
+                if let Some(&probe) = by_function.get(first) {
+                    let other = &divisors[probe as usize];
+                    if other.function == needed && other.signal.node() != d.signal.node() {
+                        let g = ntk.create_xor(d.signal, other.signal);
                         return Some((g, 1));
                     }
                 }

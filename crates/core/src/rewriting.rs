@@ -7,7 +7,7 @@
 //! non-negative for zero-gain rewriting).
 
 use crate::cuts::{Cut, CutManager, CutParams};
-use crate::replace::{try_replace_on_cut, ReplaceOutcome};
+use crate::replace::{ReplaceOutcome, Replacer};
 use glsx_network::{GateBuilder, Network, NodeId};
 use glsx_synth::{NpnDatabase, Resynthesis};
 
@@ -52,10 +52,14 @@ where
     R: Resynthesis<N>,
 {
     let mut stats = RewriteStats::default();
+    // truth tables are fused into enumeration: each candidate's function is
+    // read off the cut arena in O(1) instead of re-simulating its cone
     let mut cut_manager = CutManager::new(CutParams {
         cut_size: params.cut_size,
         cut_limit: params.cut_limit,
+        compute_truth: true,
     });
+    let mut replacer = Replacer::new();
     let nodes: Vec<NodeId> = ntk.gate_nodes();
     // cuts are copied out of the manager's arena once per node so the
     // manager can be invalidated mid-iteration; the buffer is reused, so
@@ -68,11 +72,19 @@ where
         stats.visited += 1;
         cuts.clear();
         cuts.extend_from_slice(cut_manager.cuts_of(ntk, node));
-        for cut in cuts.iter().skip(1) {
+        for (index, cut) in cuts.iter().enumerate().skip(1) {
             if cut.size() < 2 {
                 continue;
             }
-            match try_replace_on_cut(ntk, node, cut.leaves(), resynthesis, params.allow_zero_gain) {
+            let function = cut_manager.cut_function(node, index);
+            match replacer.try_replace_on_cut(
+                ntk,
+                node,
+                cut.leaves(),
+                Some(function),
+                resynthesis,
+                params.allow_zero_gain,
+            ) {
                 ReplaceOutcome::Substituted(gain) => {
                     stats.substitutions += 1;
                     stats.estimated_gain += gain;

@@ -58,6 +58,7 @@ mod xmg;
 
 pub mod cleanup;
 pub mod simulation;
+pub mod traversal;
 pub mod views;
 
 pub use aig::Aig;
@@ -68,5 +69,6 @@ pub use klut::Klut;
 pub use mig::Mig;
 pub use signal::{NodeId, Signal};
 pub use traits::{assert_network_interface, GateBuilder, HasLevels, Network};
+pub use traversal::Traversal;
 pub use xag::Xag;
 pub use xmg::Xmg;

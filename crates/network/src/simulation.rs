@@ -74,7 +74,9 @@ pub fn evaluate_node<N: Network>(ntk: &N, node: NodeId, tts: &[TruthTable]) -> T
 /// Evaluates a gate function over already-computed fanin truth tables.
 ///
 /// Fast paths exist for the fixed-function gate kinds; LUT functions are
-/// expanded minterm by minterm.
+/// expanded minterm by minterm.  Keep the kind dispatch in sync with
+/// `evaluate_cut_gate` in `glsx-core`'s fused cut enumeration, which
+/// mirrors it over fixed-size tables.
 pub fn evaluate_function(
     function: &TruthTable,
     kind: GateKind,

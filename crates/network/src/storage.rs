@@ -48,6 +48,22 @@ impl Clone for ScratchSlot {
     }
 }
 
+/// Monotonic traversal-epoch counter (see
+/// [`Traversal`](crate::traversal::Traversal)).  Interior-mutable for the
+/// same reason as [`ScratchSlot`]: read-only traversals draw epochs through
+/// a shared reference.
+#[derive(Debug, Default)]
+struct EpochCounter(AtomicU64);
+
+impl Clone for EpochCounter {
+    fn clone(&self) -> Self {
+        // a clone keeps the counter value: the cloned scratch slots carry
+        // stamps up to the current epoch, which must stay unreachable for
+        // traversals over the clone
+        Self(AtomicU64::new(self.0.load(Ordering::Relaxed)))
+    }
+}
+
 /// Maximum fanin count of structurally hashed gates (every fixed-function
 /// kind has arity ≤ 3; LUT nodes are not hashed).
 const MAX_STRASH_FANINS: usize = 3;
@@ -122,6 +138,8 @@ pub(crate) struct Storage {
     /// One generic scratch word per node (interior-mutable so read-only
     /// traversals can stamp visit marks without `&mut` access).
     scratch: Vec<ScratchSlot>,
+    /// Monotonic epoch counter backing the scratch-slot traversal engine.
+    epoch: EpochCounter,
 }
 
 impl Storage {
@@ -162,6 +180,20 @@ impl Storage {
     pub fn clear_scratch(&self) {
         for slot in &self.scratch {
             slot.set(0);
+        }
+    }
+
+    /// Draws the next traversal epoch (a value in `1..=u32::MAX`).  On the
+    /// rare 32-bit wrap-around every scratch slot is cleared once so stale
+    /// stamps from the previous epoch cycle cannot alias fresh epochs.
+    pub fn next_traversal_epoch(&self) -> u64 {
+        loop {
+            let epoch = self.epoch.0.fetch_add(1, Ordering::Relaxed) + 1;
+            let epoch = epoch & u64::from(u32::MAX);
+            if epoch != 0 {
+                return epoch;
+            }
+            self.clear_scratch();
         }
     }
 

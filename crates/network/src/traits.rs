@@ -132,6 +132,15 @@ pub trait Network: Sized {
     /// Resets every scratch slot to zero.
     fn clear_scratch(&self);
 
+    /// Draws a fresh traversal epoch (strictly monotonic per network until
+    /// the 32-bit space wraps, at which point the scratch slots are cleared
+    /// once and the counter restarts).
+    ///
+    /// This is the primitive behind the
+    /// [`Traversal`](crate::traversal::Traversal) engine; algorithms should
+    /// use that engine rather than calling this directly.
+    fn next_traversal_epoch(&self) -> u64;
+
     /// Returns the local function of the gate over its fanins (edge
     /// complementations are *not* included; callers compose them from
     /// [`Network::fanins`]).

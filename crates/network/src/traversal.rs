@@ -1,0 +1,186 @@
+//! Epoch-stamped traversal engine over the per-node scratch slots.
+//!
+//! Traversal-heavy algorithms (MFFC computation, DAG-aware reference
+//! counting, window simulation, containment checks) need a per-node
+//! "visited" mark and often a small per-node value.  Allocating a
+//! `HashSet`/`HashMap` side table per call dominates their runtime; this
+//! module provides the allocation-free alternative built on the per-node
+//! `u64` scratch slot every network already carries.
+//!
+//! Each [`Traversal`] draws a fresh *epoch* from the network's monotonic
+//! epoch counter and packs `(epoch << 32) | value` into the scratch slot of
+//! every node it touches.  A slot belongs to a traversal iff its upper 32
+//! bits equal the traversal's epoch, so starting a new traversal is O(1) —
+//! no `clear_scratch` sweep — and stale stamps from earlier traversals are
+//! simply ignored.  When the 32-bit epoch space is exhausted the network
+//! clears all slots once and restarts the counter (see
+//! [`Network::next_traversal_epoch`]).
+//!
+//! # The single-traversal-at-a-time contract
+//!
+//! The scratch slots are one shared resource: two traversals over the same
+//! network are only safe if their *writes* do not interleave.  A traversal
+//! that writes to a node after a second traversal stamped it would be fine
+//! — but the second traversal stamping a node the first one still needs to
+//! *read* silently evicts the first traversal's mark (the epoch no longer
+//! matches and the node looks unvisited).  Therefore:
+//!
+//! * run traversals strictly one after another whenever they can touch the
+//!   same nodes, or
+//! * keep long-lived per-node state in an explicit side structure (e.g. a
+//!   `Vec` indexed by a stamped value) and use the scratch slot only for
+//!   the membership test during construction.
+//!
+//! Algorithms that write raw scratch values directly must call
+//! [`Network::clear_scratch`] afterwards, otherwise a leftover value could
+//! alias a live epoch tag.
+
+use crate::{Network, NodeId};
+
+/// One traversal: an epoch plus typed accessors for the per-node scratch
+/// slots.  Creating a traversal is O(1); dropping it needs no cleanup.
+#[derive(Debug)]
+pub struct Traversal {
+    epoch: u64,
+}
+
+impl Traversal {
+    /// Starts a new traversal over `ntk` (bumps the network's epoch
+    /// counter; never clears scratch slots except on 32-bit epoch
+    /// exhaustion).
+    #[inline]
+    pub fn new<N: Network>(ntk: &N) -> Self {
+        Self {
+            epoch: ntk.next_traversal_epoch(),
+        }
+    }
+
+    #[inline]
+    fn tag(&self) -> u64 {
+        self.epoch << 32
+    }
+
+    /// Returns `true` if this traversal has visited `node`.
+    #[inline]
+    pub fn is_marked<N: Network>(&self, ntk: &N, node: NodeId) -> bool {
+        ntk.scratch(node) >> 32 == self.epoch
+    }
+
+    /// Marks `node` as visited; returns `true` if it was not marked before
+    /// (the idiom replacing `HashSet::insert`).  A previously stored value
+    /// is preserved when the node was already marked and reset to `0` when
+    /// it was not.
+    #[inline]
+    pub fn mark<N: Network>(&self, ntk: &N, node: NodeId) -> bool {
+        if self.is_marked(ntk, node) {
+            return false;
+        }
+        ntk.set_scratch(node, self.tag());
+        true
+    }
+
+    /// Stores a 32-bit value for `node` (marking it visited).
+    #[inline]
+    pub fn set_value<N: Network>(&self, ntk: &N, node: NodeId, value: u32) {
+        ntk.set_scratch(node, self.tag() | u64::from(value));
+    }
+
+    /// Returns the value stored for `node` by this traversal, or `None` if
+    /// the node has not been visited.
+    #[inline]
+    pub fn value<N: Network>(&self, ntk: &N, node: NodeId) -> Option<u32> {
+        let slot = ntk.scratch(node);
+        if slot >> 32 == self.epoch {
+            Some(slot as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the value stored for `node`, initialising it with
+    /// `init(node)` on first access (the idiom replacing
+    /// `HashMap::entry(..).or_insert_with(..)`).
+    #[inline]
+    pub fn value_or_insert_with<N: Network>(
+        &self,
+        ntk: &N,
+        node: NodeId,
+        init: impl FnOnce() -> u32,
+    ) -> u32 {
+        match self.value(ntk, node) {
+            Some(v) => v,
+            None => {
+                let v = init();
+                self.set_value(ntk, node, v);
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aig, GateBuilder};
+
+    fn three_node_aig() -> (Aig, NodeId, NodeId) {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let g = aig.create_and(a, b);
+        aig.create_po(g);
+        (aig, a.node(), g.node())
+    }
+
+    #[test]
+    fn marks_are_scoped_to_one_traversal() {
+        let (aig, a, g) = three_node_aig();
+        let t1 = Traversal::new(&aig);
+        assert!(!t1.is_marked(&aig, a));
+        assert!(t1.mark(&aig, a));
+        assert!(!t1.mark(&aig, a), "second mark reports already-visited");
+        assert!(t1.is_marked(&aig, a));
+        assert!(!t1.is_marked(&aig, g));
+        // a later traversal starts from a blank slate without clearing
+        let t2 = Traversal::new(&aig);
+        assert!(!t2.is_marked(&aig, a));
+        assert!(t2.mark(&aig, a));
+    }
+
+    #[test]
+    fn values_round_trip_and_lazy_init() {
+        let (aig, a, g) = three_node_aig();
+        let t = Traversal::new(&aig);
+        assert_eq!(t.value(&aig, a), None);
+        t.set_value(&aig, a, 7);
+        assert_eq!(t.value(&aig, a), Some(7));
+        assert!(t.is_marked(&aig, a));
+        assert_eq!(t.value_or_insert_with(&aig, g, || 41), 41);
+        assert_eq!(t.value_or_insert_with(&aig, g, || 99), 41);
+        // the full 32-bit value range is usable
+        t.set_value(&aig, g, u32::MAX);
+        assert_eq!(t.value(&aig, g), Some(u32::MAX));
+    }
+
+    #[test]
+    fn mark_resets_stale_values() {
+        let (aig, a, _) = three_node_aig();
+        let t1 = Traversal::new(&aig);
+        t1.set_value(&aig, a, 123);
+        let t2 = Traversal::new(&aig);
+        assert!(t2.mark(&aig, a));
+        assert_eq!(t2.value(&aig, a), Some(0), "mark resets the stale value");
+    }
+
+    #[test]
+    fn epochs_survive_network_clones() {
+        let (aig, a, _) = three_node_aig();
+        let t1 = Traversal::new(&aig);
+        t1.mark(&aig, a);
+        let clone = aig.clone();
+        // the clone inherits the epoch counter, so a new traversal over it
+        // must not alias t1's stamps that were copied with the slots
+        let t2 = Traversal::new(&clone);
+        assert!(!t2.is_marked(&clone, a));
+    }
+}

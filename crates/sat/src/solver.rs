@@ -161,6 +161,10 @@ pub struct Solver {
     var_inc: f64,
     cla_inc: f64,
     seen: Vec<bool>,
+    /// Reusable per-clause mark buffer for learnt-clause reduction
+    /// (bit 0: locked as a reason, bit 1: selected for removal) —
+    /// deterministic and allocation-free, unlike a per-call hash set.
+    reduce_marks: Vec<u8>,
     ok: bool,
     stats: SolverStats,
     conflict_limit: Option<u64>,
@@ -190,6 +194,7 @@ impl Solver {
             var_inc: 1.0,
             cla_inc: 1.0,
             seen: Vec::new(),
+            reduce_marks: Vec::new(),
             ok: true,
             stats: SolverStats::default(),
             conflict_limit: None,
@@ -655,26 +660,30 @@ impl Solver {
                 .partial_cmp(&self.clauses[b].activity)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let locked: std::collections::HashSet<usize> = self
-            .reason
-            .iter()
-            .copied()
-            .filter(|&r| r != INVALID_REASON)
-            .collect();
-        let to_remove: std::collections::HashSet<usize> = learnt_refs
-            .iter()
-            .take(learnt_refs.len() / 2)
-            .copied()
-            .filter(|r| !locked.contains(r))
-            .collect();
-        if to_remove.is_empty() {
+        const LOCKED: u8 = 1;
+        const REMOVE: u8 = 2;
+        self.reduce_marks.clear();
+        self.reduce_marks.resize(self.clauses.len(), 0);
+        for &r in &self.reason {
+            if r != INVALID_REASON {
+                self.reduce_marks[r] |= LOCKED;
+            }
+        }
+        let mut removed = 0usize;
+        for &i in learnt_refs.iter().take(learnt_refs.len() / 2) {
+            if self.reduce_marks[i] & LOCKED == 0 {
+                self.reduce_marks[i] |= REMOVE;
+                removed += 1;
+            }
+        }
+        if removed == 0 {
             return;
         }
         // rebuild clause database and remap references
         let mut remap = vec![INVALID_REASON; self.clauses.len()];
-        let mut new_clauses = Vec::with_capacity(self.clauses.len() - to_remove.len());
+        let mut new_clauses = Vec::with_capacity(self.clauses.len() - removed);
         for (i, clause) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
-            if to_remove.contains(&i) {
+            if self.reduce_marks[i] & REMOVE != 0 {
                 continue;
             }
             remap[i] = new_clauses.len();

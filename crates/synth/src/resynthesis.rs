@@ -13,7 +13,7 @@ use crate::exact::{exact_chain_synthesis, ExactSynthesisParams};
 use crate::shannon::shannon_resynthesize;
 use crate::sop::sop_resynthesize;
 use glsx_network::{GateBuilder, Network, NodeId, Signal, Xag};
-use glsx_truth::{npn_canonize, TruthTable};
+use glsx_truth::{npn_canonize, NpnTransform, TruthTable};
 use std::collections::HashMap;
 
 /// A resynthesis engine: creates nodes in `ntk` computing `function` over
@@ -122,6 +122,13 @@ pub struct NpnDatabaseParams {
 pub struct NpnDatabase {
     params: NpnDatabaseParams,
     cache: HashMap<TruthTable, Chain>,
+    /// Memoised canonisation results keyed by the *original* function.
+    /// Cut functions repeat massively across candidates of one pass, and
+    /// exhaustive NPN canonisation (all `2^{n+1} n!` transforms) is far
+    /// more expensive than a hash lookup, so this cache dominates the
+    /// rewrite loop's speed.  Bounded by the number of distinct cut
+    /// functions (≤ 2^16 for 4-input cuts).
+    canon_cache: HashMap<TruthTable, (TruthTable, NpnTransform)>,
 }
 
 impl NpnDatabase {
@@ -136,6 +143,7 @@ impl NpnDatabase {
         Self {
             params,
             cache: HashMap::new(),
+            canon_cache: HashMap::new(),
         }
     }
 
@@ -156,31 +164,42 @@ impl NpnDatabase {
     /// Returns the chain stored for the NPN representative of `function`,
     /// computing and caching it if necessary.
     pub fn chain_for(&mut self, canonical: &TruthTable) -> &Chain {
-        if !self.cache.contains_key(canonical) {
-            let chain = self.compute_chain(canonical);
-            debug_assert_eq!(chain.simulate(), *canonical);
-            self.cache.insert(canonical.clone(), chain);
-        }
-        &self.cache[canonical]
+        chain_for_in(&mut self.cache, &self.params, canonical)
     }
+}
 
-    fn compute_chain(&self, canonical: &TruthTable) -> Chain {
-        if self.params.use_exact_synthesis {
-            if let Some(chain) = exact_chain_synthesis(canonical, &self.params.exact) {
-                return chain;
-            }
-        }
-        self.heuristic_chain(canonical)
+/// [`NpnDatabase::chain_for`] as a free function over the chain cache, so
+/// callers holding a borrow of another database field (the canonisation
+/// cache) can still resolve chains.
+fn chain_for_in<'c>(
+    cache: &'c mut HashMap<TruthTable, Chain>,
+    params: &NpnDatabaseParams,
+    canonical: &TruthTable,
+) -> &'c Chain {
+    if !cache.contains_key(canonical) {
+        let chain = compute_chain(params, canonical);
+        debug_assert_eq!(chain.simulate(), *canonical);
+        cache.insert(canonical.clone(), chain);
     }
+    &cache[canonical]
+}
 
-    fn heuristic_chain(&self, canonical: &TruthTable) -> Chain {
-        let mut scratch = Xag::new();
-        let leaves: Vec<Signal> = (0..canonical.num_vars())
-            .map(|_| scratch.create_pi())
-            .collect();
-        let root = sop_resynthesize(&mut scratch, canonical, &leaves);
-        record_chain(&scratch, root)
+fn compute_chain(params: &NpnDatabaseParams, canonical: &TruthTable) -> Chain {
+    if params.use_exact_synthesis {
+        if let Some(chain) = exact_chain_synthesis(canonical, &params.exact) {
+            return chain;
+        }
     }
+    heuristic_chain(canonical)
+}
+
+fn heuristic_chain(canonical: &TruthTable) -> Chain {
+    let mut scratch = Xag::new();
+    let leaves: Vec<Signal> = (0..canonical.num_vars())
+        .map(|_| scratch.create_pi())
+        .collect();
+    let root = sop_resynthesize(&mut scratch, canonical, &leaves);
+    record_chain(&scratch, root)
 }
 
 impl<N: GateBuilder, R: Resynthesis<N>> Resynthesis<N> for &mut R {
@@ -204,14 +223,21 @@ impl<N: GateBuilder> Resynthesis<N> for NpnDatabase {
         if function.is_const() {
             return Some(ntk.get_constant(function.is_one()));
         }
-        let (canonical, transform) = npn_canonize(function);
-        let chain = self.chain_for(&canonical).clone();
+        if !self.canon_cache.contains_key(function) {
+            let computed = npn_canonize(function);
+            self.canon_cache.insert(function.clone(), computed);
+        }
+        // hit path: probe by reference — no key clone, no table clone (the
+        // chain cache is resolved through a free function so the borrow of
+        // the canonisation cache can be held across it)
+        let (canonical, transform) = &self.canon_cache[function];
         // chain input j is canonical variable y_j; original input i maps to
         // y_{perm[i]} with the recorded input negation
-        let mut mapped = vec![ntk.get_constant(false); function.num_vars()];
+        let mut mapped = vec![Signal::constant(false); function.num_vars()];
         for (i, &leaf) in leaves.iter().enumerate() {
             mapped[transform.perm[i]] = leaf.complement_if(transform.input_negated(i));
         }
+        let chain = chain_for_in(&mut self.cache, &self.params, canonical);
         let out = chain.replay(ntk, &mapped);
         Some(out.complement_if(transform.output_negation))
     }

@@ -8,7 +8,7 @@
 //! deterministic and reproducible from the seed printed on failure.
 
 use glsx::algorithms::balancing::{balance, BalanceParams};
-use glsx::algorithms::cuts::Cut;
+use glsx::algorithms::cuts::{simulate_cut, Cut, CutManager, CutParams};
 use glsx::algorithms::lut_mapping::{lut_map, LutMapParams};
 use glsx::algorithms::refactoring::{refactor, RefactorParams};
 use glsx::algorithms::resubstitution::{resubstitute, ResubParams};
@@ -185,6 +185,131 @@ fn conversion_preserves_functions() {
         assert_eq!(simulate(&aig), simulate(&mig), "case {case}");
         assert_eq!(simulate(&aig), simulate(&xag), "case {case}");
     }
+}
+
+/// The fused-truth-table contract: for every enumerated cut of every gate,
+/// in every representation, the truth table composed during enumeration is
+/// bit-identical to exhaustive simulation of the cut cone
+/// (`computeTruthTable`) over the same leaves.  Random networks are built
+/// with heavy reuse of earlier signals, so cut sets are deeply reconvergent
+/// (leaves of one cut routinely lie inside the cone of another leaf).
+#[test]
+fn fused_cut_functions_equal_cone_simulation() {
+    fn check<N: Network + GateBuilder>(build: impl Fn(&mut Rng) -> N, rng: &mut Rng, cases: u32) {
+        for case in 0..cases {
+            let ntk = build(rng);
+            for &(cut_size, cut_limit) in &[(4usize, 8usize), (6, 6)] {
+                let mut mgr = CutManager::new(CutParams {
+                    cut_size,
+                    cut_limit,
+                    compute_truth: true,
+                });
+                for node in ntk.gate_nodes() {
+                    let cuts = mgr.cuts_of(&ntk, node).to_vec();
+                    for (i, cut) in cuts.iter().enumerate() {
+                        let fused = mgr.cut_function(node, i);
+                        let simulated = simulate_cut(&ntk, node, cut.leaves());
+                        assert_eq!(
+                            fused,
+                            simulated,
+                            "{} case {case}: node {node}, cut {i} ({:?}), k={cut_size}",
+                            N::NAME,
+                            cut.leaves()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let mut rng = Rng::seed_from_u64(0x1508);
+    check(|rng| arbitrary_network(rng, 6, 40), &mut rng, 8);
+    check(
+        |rng| {
+            let mut xag = Xag::new();
+            let mut signals: Vec<Signal> = (0..5).map(|_| xag.create_pi()).collect();
+            for step in 0..35 {
+                let a = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let b = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                signals.push(if step % 3 == 0 {
+                    xag.create_xor(a, b)
+                } else {
+                    xag.create_and(a, b)
+                });
+            }
+            for s in signals.iter().rev().take(3) {
+                xag.create_po(*s);
+            }
+            xag
+        },
+        &mut rng,
+        8,
+    );
+    check(
+        |rng| {
+            let mut mig = Mig::new();
+            let mut signals: Vec<Signal> = (0..5).map(|_| mig.create_pi()).collect();
+            for _ in 0..30 {
+                let a = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let b = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let c = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                signals.push(mig.create_maj(a, b, c));
+            }
+            for s in signals.iter().rev().take(2) {
+                mig.create_po(*s);
+            }
+            mig
+        },
+        &mut rng,
+        8,
+    );
+}
+
+/// Arena compaction is invisible: after invalidation-heavy churn, cut
+/// sets, fused functions and enumeration order are identical to a fresh
+/// manager's, and the arena stays bounded instead of bump-leaking.
+#[test]
+fn arena_compaction_preserves_cut_sets_and_determinism() {
+    let mut rng = Rng::seed_from_u64(0x1509);
+    let aig = arbitrary_network(&mut rng, 6, 60);
+    let params = CutParams {
+        cut_size: 4,
+        cut_limit: 8,
+        compute_truth: true,
+    };
+    let gates = aig.gate_nodes();
+    let snapshot = |mgr: &mut CutManager| -> Vec<(Vec<Vec<NodeId>>, Vec<String>)> {
+        gates
+            .iter()
+            .map(|&n| {
+                let cuts: Vec<Vec<NodeId>> = mgr
+                    .cuts_of(&aig, n)
+                    .iter()
+                    .map(|c| c.leaves().to_vec())
+                    .collect();
+                let tts = (0..cuts.len())
+                    .map(|i| mgr.cut_function(n, i).to_hex())
+                    .collect();
+                (cuts, tts)
+            })
+            .collect()
+    };
+    let mut fresh = CutManager::new(params);
+    let expected = snapshot(&mut fresh);
+    let mut churned = CutManager::new(params);
+    let _ = snapshot(&mut churned);
+    for round in 0..1000 {
+        for &n in &gates {
+            churned.invalidate(n);
+        }
+        assert_eq!(snapshot(&mut churned), expected, "round {round}");
+    }
+    // ~60 gates × ≥1 cut × 1000 rounds would bump-leak tens of thousands
+    // of slots without compaction
+    assert!(
+        churned.arena_len() < 16_384,
+        "arena bump-leaked to {} slots",
+        churned.arena_len()
+    );
 }
 
 /// Cut-merge invariants of the arena-backed cut substrate: results are
