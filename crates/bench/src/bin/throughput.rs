@@ -1,17 +1,28 @@
-//! Full rewrite-pass throughput on the arithmetic suite.
+//! Full-pass throughput on the arithmetic suite: the rewrite loop
+//! (`BENCH_rewrite.json`) and the SAT-sweeping engine
+//! (`BENCH_sweep.json`).
 //!
-//! Measures end-to-end `rewrite` pass time (cut enumeration, truth tables,
-//! gain estimation and substitution) in gates per second, the metric the
-//! fused-truth-table optimisation loop is tracked by.  Setting
-//! `GLSX_WRITE_BENCH_BASELINE=1` records the results in
-//! `BENCH_rewrite.json` at the repository root.
+//! The rewrite section measures end-to-end `rewrite` pass time (cut
+//! enumeration, truth tables, gain estimation and substitution) in gates
+//! per second.  The sweep section injects seeded structural redundancy
+//! into each circuit (`glsx_benchmarks::inject_redundancy`) and measures
+//! a full `sweep` pass — simulation, class partitioning, SAT proving and
+//! merging — in nodes per second, asserting that every run merges proven
+//! duplicates and that the swept network is miter-equivalent to its
+//! redundant input.  Setting `GLSX_WRITE_BENCH_BASELINE=1` records the
+//! results at the repository root.
 //!
-//! `--smoke` runs a single small circuit with a functional-equivalence
-//! check — the CI guard that keeps the harness from rotting.
+//! `--smoke` runs a single small circuit through every optimisation pass
+//! of a representative flow, following **each** pass with a miter-based
+//! `check_equivalence` against that pass's input — the CI guard proving
+//! pass soundness end to end (SAT-complete, unlike the former
+//! random-simulation assertion).
 
 use glsx_benchmarks::arithmetic::{adder, barrel_shifter, multiplier, square};
+use glsx_benchmarks::inject_redundancy;
 use glsx_core::rewriting::{rewrite, RewriteParams};
-use glsx_network::simulation::equivalent_by_random_simulation;
+use glsx_core::sweeping::{check_equivalence, sweep, SweepParams};
+use glsx_flow::{run_step, FlowOptions, FlowScript};
 use glsx_network::{Aig, Network};
 use std::time::Instant;
 
@@ -61,43 +72,138 @@ fn measure(name: &'static str, aig: &Aig, budget_ms: u128) -> Row {
     }
 }
 
+struct SweepRow {
+    circuit: &'static str,
+    gates_before: usize,
+    gates_after: usize,
+    proven: usize,
+    skipped: usize,
+    sat_conflicts: u64,
+    seconds_per_sweep: f64,
+    nodes_per_sec: f64,
+}
+
+/// Times a full SAT sweep of `aig` (which carries injected redundancy);
+/// best-of-N timing like [`measure`], with every repetition asserting the
+/// deterministic outcome.  The first run is verified with a miter:
+/// sweeping must preserve combinational equivalence, and every merge must
+/// be SAT-proven (`proven` counts exactly the merges; there is no other
+/// merge path).
+fn measure_sweep(name: &'static str, aig: &Aig, budget_ms: u128) -> SweepRow {
+    let params = SweepParams::default();
+    let mut first = aig.clone();
+    let reference_stats = sweep(&mut first, &params);
+    assert!(
+        reference_stats.proven >= 1,
+        "{name}: sweep found no redundancy to merge ({reference_stats:?})"
+    );
+    assert!(
+        check_equivalence(aig, &first).is_equivalent(),
+        "{name}: sweep broke combinational equivalence"
+    );
+
+    let started = Instant::now();
+    let mut runs = 0u32;
+    let mut seconds = f64::INFINITY;
+    while runs < 20 && started.elapsed().as_millis() < budget_ms {
+        let mut ntk = aig.clone();
+        let t = Instant::now();
+        let stats = sweep(&mut ntk, &params);
+        seconds = seconds.min(t.elapsed().as_secs_f64());
+        assert_eq!(stats, reference_stats, "{name}: nondeterministic sweep");
+        runs += 1;
+    }
+    SweepRow {
+        circuit: name,
+        gates_before: aig.num_gates(),
+        gates_after: reference_stats.gates_after,
+        proven: reference_stats.proven,
+        skipped: reference_stats.skipped,
+        sat_conflicts: reference_stats.conflicts,
+        seconds_per_sweep: seconds,
+        nodes_per_sec: aig.num_gates() as f64 / seconds,
+    }
+}
+
+/// `--smoke`: run every pass of a representative flow on one small
+/// circuit, each followed by a miter-based equivalence check against the
+/// pass's input.
+fn smoke() {
+    // fraig runs first so it is the pass that faces the injected
+    // duplicates (the rewriting family would otherwise absorb them)
+    let script = FlowScript::parse("fraig; bz; rw; rf; rs -c 8; rwz").unwrap();
+    let options = FlowOptions::default();
+    let mut ntk: Aig = adder(8);
+    glsx_benchmarks::inject_redundancy(&mut ntk, 4, 0x51u64);
+    let mut merged_by_fraig = 0usize;
+    for step in script.steps() {
+        let input = ntk.clone();
+        let substitutions = run_step(&mut ntk, step, &options);
+        assert!(
+            check_equivalence(&input, &ntk).is_equivalent(),
+            "smoke: `{step:?}` broke combinational equivalence"
+        );
+        if matches!(step, glsx_flow::FlowStep::Fraig) {
+            merged_by_fraig += substitutions;
+        }
+        println!(
+            "smoke {:<10} {:>4} -> {:>4} gates ({} substitutions) miter OK",
+            format!("{step:?}").split_whitespace().next().unwrap(),
+            input.num_gates(),
+            ntk.num_gates(),
+            substitutions
+        );
+    }
+    assert!(
+        merged_by_fraig >= 1,
+        "smoke: fraig merged none of the injected duplicates"
+    );
+    println!("smoke: every pass proven equivalence-preserving by miter");
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let suite: Vec<(&'static str, Aig)> = if smoke {
-        vec![("adder_8", adder(8))]
-    } else {
-        vec![
-            ("adder_32", adder(32)),
-            ("barrel_shifter_32", barrel_shifter(32)),
-            ("multiplier_8", multiplier(8)),
-            ("square_8", square(8)),
-        ]
-    };
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        // a fast sweep probe keeps the sweep harness itself from rotting
+        let mut aig: Aig = adder(8);
+        inject_redundancy(&mut aig, 4, 0xbea7);
+        let _ = measure_sweep("adder_8", &aig, 200);
+        return;
+    }
+
+    let suite: Vec<(&'static str, Aig)> = vec![
+        ("adder_32", adder(32)),
+        ("barrel_shifter_32", barrel_shifter(32)),
+        ("multiplier_8", multiplier(8)),
+        ("square_8", square(8)),
+    ];
 
     let mut rows = Vec::new();
+    let mut sweep_rows = Vec::new();
     for (name, aig) in &suite {
-        if smoke {
-            // the smoke run doubles as a correctness probe of the full
-            // rewrite stack (fused truth tables included)
-            let mut ntk = aig.clone();
-            let stats = rewrite(&mut ntk, &RewriteParams::default());
-            assert!(
-                equivalent_by_random_simulation(aig, &ntk, 8, 0xb5),
-                "{name}: rewrite changed the function"
-            );
-            println!(
-                "smoke {name}: {} -> {} gates ({} substitutions) OK",
-                aig.num_gates(),
-                ntk.num_gates(),
-                stats.substitutions
-            );
-        }
-        let row = measure(name, aig, if smoke { 200 } else { 2000 });
+        let row = measure(name, aig, 2000);
         println!(
             "rewrite {:<20} {:>5} -> {:>5} gates {:>4} subs  {:>10.0} gates/s",
             row.circuit, row.gates_before, row.gates_after, row.substitutions, row.gates_per_sec
         );
         rows.push(row);
+
+        // sweep workload: the same circuit with seeded redundant cones
+        // (one duplicate per ~25 gates, at least 4)
+        let mut redundant = aig.clone();
+        let count = (aig.num_gates() / 25).max(4);
+        inject_redundancy(&mut redundant, count, 0xbea7_0000 + count as u64);
+        let srow = measure_sweep(name, &redundant, 2000);
+        println!(
+            "sweep   {:<20} {:>5} -> {:>5} gates {:>4} proven {:>3} skipped  {:>10.0} nodes/s",
+            srow.circuit,
+            srow.gates_before,
+            srow.gates_after,
+            srow.proven,
+            srow.skipped,
+            srow.nodes_per_sec
+        );
+        sweep_rows.push(srow);
     }
 
     let json_rows: Vec<String> = rows
@@ -121,12 +227,41 @@ fn main() {
         "{{\n  \"bench\": \"rewrite_pass\",\n  \"circuits\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
-    // tracked baseline: only refresh on request, like BENCH_cuts.json
-    if !smoke && std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
+    let sweep_json_rows: Vec<String> = sweep_rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"circuit\": \"{}\", \"gates_before\": {}, \"gates_after\": {}, ",
+                    "\"proven_merges\": {}, \"skipped_pairs\": {}, \"sat_conflicts\": {}, ",
+                    "\"seconds_per_sweep\": {:.6}, \"nodes_per_sec\": {:.0}}}"
+                ),
+                r.circuit,
+                r.gates_before,
+                r.gates_after,
+                r.proven,
+                r.skipped,
+                r.sat_conflicts,
+                r.seconds_per_sweep,
+                r.nodes_per_sec
+            )
+        })
+        .collect();
+    let sweep_json = format!(
+        "{{\n  \"bench\": \"sat_sweep_pass\",\n  \"circuits\": [\n{}\n  ]\n}}\n",
+        sweep_json_rows.join(",\n")
+    );
+    // tracked baselines: only refresh on request, like BENCH_cuts.json
+    if std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rewrite.json");
         std::fs::write(path, json).expect("write BENCH_rewrite.json");
         println!("wrote {path}");
-    } else if !smoke {
-        println!("(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_rewrite.json)");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+        std::fs::write(path, sweep_json).expect("write BENCH_sweep.json");
+        println!("wrote {path}");
+    } else {
+        println!(
+            "(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_rewrite.json / BENCH_sweep.json)"
+        );
     }
 }

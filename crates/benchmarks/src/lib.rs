@@ -30,8 +30,10 @@
 
 pub mod arithmetic;
 pub mod control;
+pub mod redundancy;
 pub mod rng;
 pub mod suite;
 
+pub use redundancy::inject_redundancy;
 pub use rng::SplitMix64;
 pub use suite::{benchmark_by_name, epfl_like_suite, Benchmark, SuiteScale};

@@ -1,0 +1,104 @@
+//! Seeded redundancy injection: the workload generator for SAT sweeping.
+//!
+//! Structural hashing makes it impossible to create a *syntactic*
+//! duplicate of an existing gate, so redundancy is injected the way it
+//! arises in real netlists — as functionally equivalent logic with a
+//! different structure.  For a chosen gate `g` and an unrelated select
+//! signal `s`, the Shannon-style re-expression
+//!
+//! ```text
+//! dup = (g ∧ s) ∨ (g ∧ ¬s)        // ≡ g, three fresh gates
+//! ```
+//!
+//! builds a three-gate cone that computes exactly `g` but shares no
+//! structure with it.  Each duplicate is exposed through a fresh primary
+//! output (randomly complemented, so sweeping must handle antivalent
+//! classes too), which keeps the original outputs untouched: a sweep that
+//! merges the duplicates back into their originals must leave the network
+//! combinationally equivalent to the redundant version — the property the
+//! bench harness and CI check with a miter.
+
+use crate::rng::SplitMix64;
+use glsx_network::{GateBuilder, Network, NodeId, Signal};
+
+/// Injects `count` redundant re-expressions of existing gates into `ntk`,
+/// each driving a fresh (randomly complemented) primary output.  Targets
+/// and select inputs are drawn deterministically from `seed`.  Returns the
+/// number of duplicates actually injected (less than `count` only when the
+/// network has no gates or inputs).
+pub fn inject_redundancy<N: Network + GateBuilder>(ntk: &mut N, count: usize, seed: u64) -> usize {
+    let gates: Vec<NodeId> = ntk.gate_nodes();
+    let pis: Vec<NodeId> = ntk.pi_nodes();
+    if gates.is_empty() || pis.is_empty() {
+        return 0;
+    }
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut injected = 0;
+    for _ in 0..count {
+        let target = Signal::new(gates[rng.gen_range(gates.len())], rng.gen_bool());
+        let select = Signal::new(pis[rng.gen_range(pis.len())], rng.gen_bool());
+        let t1 = ntk.create_and(target, select);
+        let t2 = ntk.create_and(target, !select);
+        let dup = ntk.create_or(t1, t2);
+        ntk.create_po(dup.complement_if(rng.gen_bool()));
+        injected += 1;
+    }
+    injected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::simulation::simulate_patterns;
+    use glsx_network::Aig;
+
+    #[test]
+    fn duplicates_compute_their_targets() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let g = aig.create_and(a, b);
+        aig.create_po(g);
+        let before_pos = aig.num_pos();
+        let injected = inject_redundancy(&mut aig, 3, 0xdead);
+        assert_eq!(injected, 3);
+        assert_eq!(aig.num_pos(), before_pos + 3);
+        assert!(aig.num_gates() > 1, "duplicates add fresh structure");
+        // every injected output equals (a complement of) the one original
+        // function, so the whole network has at most two distinct output
+        // words under any patterns
+        let outputs = simulate_patterns(&aig, &[0b1100, 0b1010]);
+        for &word in &outputs[1..] {
+            assert!(
+                word == outputs[0] || word == !outputs[0],
+                "duplicate diverged from its target"
+            );
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let build = || {
+            let mut aig = Aig::new();
+            let a = aig.create_pi();
+            let b = aig.create_pi();
+            let g = aig.create_xor(a, b);
+            aig.create_po(g);
+            inject_redundancy(&mut aig, 5, 42);
+            aig
+        };
+        let x = build();
+        let y = build();
+        assert_eq!(x.num_gates(), y.num_gates());
+        assert_eq!(x.po_signals(), y.po_signals());
+    }
+
+    #[test]
+    fn empty_networks_are_left_alone() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        aig.create_po(a);
+        assert_eq!(inject_redundancy(&mut aig, 4, 1), 0);
+        assert_eq!(aig.num_gates(), 0);
+    }
+}

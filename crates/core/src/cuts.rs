@@ -33,7 +33,7 @@
 //! arena spans; once more than half of the arena is dead the manager
 //! compacts it in place instead of bump-leaking until drop.
 
-use glsx_network::{GateKind, Network, NodeId, Traversal};
+use glsx_network::{GateKind, Network, NodeId, SimBlock, Traversal};
 use glsx_truth::TruthTable;
 use std::collections::BTreeMap;
 
@@ -345,53 +345,60 @@ impl CutFunction {
     }
 }
 
+/// [`CutFunction`] is a [`SimBlock`], so the fused enumeration evaluates
+/// gates through the same shared kind dispatch
+/// ([`glsx_network::bitops::evaluate_gate`]) as whole-network simulation —
+/// one `match` to keep correct when new gate kinds land, instead of three.
+impl SimBlock for CutFunction {
+    #[inline]
+    fn zero(num_vars: usize) -> Self {
+        CutFunction::zero(num_vars)
+    }
+
+    #[inline]
+    fn ones(num_vars: usize) -> Self {
+        CutFunction::zero(num_vars).complement()
+    }
+
+    #[inline]
+    fn num_vars(&self) -> usize {
+        CutFunction::num_vars(self)
+    }
+
+    #[inline]
+    fn and(&self, other: &Self) -> Self {
+        self.binary(other, |a, b| a & b)
+    }
+
+    #[inline]
+    fn or(&self, other: &Self) -> Self {
+        self.binary(other, |a, b| a | b)
+    }
+
+    #[inline]
+    fn xor(&self, other: &Self) -> Self {
+        self.binary(other, |a, b| a ^ b)
+    }
+
+    #[inline]
+    fn complement(&self) -> Self {
+        CutFunction::complement(*self)
+    }
+}
+
 /// Evaluates a gate over already-expanded (and complement-resolved) fanin
 /// cut functions.  `function` is consulted only for LUT gates.
 ///
-/// Keep the kind dispatch in sync with
-/// `glsx_network::simulation::evaluate_function`: a kind fast-pathed there
-/// but missing here still computes correctly via the generic minterm
-/// fallback, but at an unannounced per-cone cost in the fused hot path.
+/// Delegates to the shared gate-kind dispatch
+/// ([`glsx_network::bitops::evaluate_gate`]), the single `match` also
+/// backing whole-network and word-parallel simulation — no per-engine copy
+/// to keep in sync when new gate kinds land.
 fn evaluate_cut_gate(
     kind: GateKind,
     function: impl FnOnce() -> TruthTable,
     fanins: &[CutFunction],
 ) -> CutFunction {
-    match kind {
-        GateKind::And => fanins[0].binary(&fanins[1], |a, b| a & b),
-        GateKind::Xor => fanins[0].binary(&fanins[1], |a, b| a ^ b),
-        GateKind::Maj => {
-            let ab = fanins[0].binary(&fanins[1], |a, b| a & b);
-            let bc = fanins[1].binary(&fanins[2], |a, b| a & b);
-            let ac = fanins[0].binary(&fanins[2], |a, b| a & b);
-            ab.binary(&bc, |a, b| a | b).binary(&ac, |a, b| a | b)
-        }
-        GateKind::Xor3 => fanins[0]
-            .binary(&fanins[1], |a, b| a ^ b)
-            .binary(&fanins[2], |a, b| a ^ b),
-        _ => {
-            // generic composition: OR over the on-set minterms of `function`
-            let num_vars = fanins.first().map(CutFunction::num_vars).unwrap_or(0);
-            let function = function();
-            let mut result = CutFunction::zero(num_vars);
-            for m in 0..function.num_bits() {
-                if !function.bit(m) {
-                    continue;
-                }
-                let mut term = CutFunction::zero(num_vars).complement();
-                for (i, fanin) in fanins.iter().enumerate() {
-                    let literal = if (m >> i) & 1 == 1 {
-                        *fanin
-                    } else {
-                        fanin.complement()
-                    };
-                    term = term.binary(&literal, |a, b| a & b);
-                }
-                result = result.binary(&term, |a, b| a | b);
-            }
-            result
-        }
-    }
+    glsx_network::bitops::evaluate_gate(kind, function, fanins)
 }
 
 /// Parameters of bottom-up cut enumeration.
@@ -1084,16 +1091,27 @@ pub fn simulate_cut_cone<N: Network>(
 /// adds the fewest new leaves).
 ///
 /// Returns the leaves of the cut (primary inputs may appear as leaves).
+///
+/// Membership of the growing cut (`leaves ∪ expanded interior`) lives in
+/// the scratch-slot [`Traversal`] engine, so every cost probe and
+/// expansion test is O(1) instead of a linear scan over the leaf and
+/// visited vectors.  The traversal finishes before the function returns
+/// and must not be interleaved with another live-writing traversal (see
+/// [`glsx_network::traversal`]).
 pub fn reconvergence_driven_cut<N: Network>(
     ntk: &N,
     root: NodeId,
     max_leaves: usize,
 ) -> Vec<NodeId> {
     let mut leaves: Vec<NodeId> = Vec::new();
-    let mut visited: Vec<NodeId> = vec![root];
+    // one mark covers both the current leaves and the expanded interior:
+    // a leaf keeps its mark when it moves to the interior, and the tests
+    // below only ever ask for the union
+    let in_cut = Traversal::new(ntk);
+    in_cut.mark(ntk, root);
     // start from the fanins of the root
     ntk.foreach_fanin(root, |f| {
-        if !leaves.contains(&f.node()) {
+        if in_cut.mark(ntk, f.node()) {
             leaves.push(f.node());
         }
     });
@@ -1107,7 +1125,7 @@ pub fn reconvergence_driven_cut<N: Network>(
             }
             let mut new_leaves = 0usize;
             ntk.foreach_fanin(leaf, |f| {
-                if !leaves.contains(&f.node()) && !visited.contains(&f.node()) {
+                if !in_cut.is_marked(ntk, f.node()) {
                     new_leaves += 1;
                 }
             });
@@ -1123,9 +1141,8 @@ pub fn reconvergence_driven_cut<N: Network>(
             None => break,
             Some((_, index)) => {
                 let leaf = leaves.swap_remove(index);
-                visited.push(leaf);
                 ntk.foreach_fanin(leaf, |f| {
-                    if !leaves.contains(&f.node()) && !visited.contains(&f.node()) {
+                    if in_cut.mark(ntk, f.node()) {
                         leaves.push(f.node());
                     }
                 });

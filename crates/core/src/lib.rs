@@ -15,7 +15,9 @@
 //! * [`resubstitution`] — Boolean resubstitution with per-representation
 //!   kernels (Algorithm 5),
 //! * [`balancing`] — associativity-based tree balancing (Algorithm 2),
-//! * [`lut_mapping`] — cut-based k-LUT technology mapping.
+//! * [`lut_mapping`] — cut-based k-LUT technology mapping,
+//! * [`sweeping`] — SAT sweeping (fraiging) and the miter-based
+//!   combinational equivalence checker.
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@ pub mod refs;
 mod replace;
 pub mod resubstitution;
 pub mod rewriting;
+pub mod sweeping;
 
 pub use balancing::{balance, BalanceParams, BalanceStats};
 pub use cuts::{
@@ -56,3 +59,6 @@ pub use refs::{mffc, mffc_into, mffc_size, mffc_with_leaves, RefCountView};
 pub use replace::{try_replace_on_cut, ReplaceOutcome, Replacer};
 pub use resubstitution::{resubstitute, ResubNetwork, ResubParams, ResubStats, ResubStyle};
 pub use rewriting::{rewrite, rewrite_with, RewriteParams, RewriteStats};
+pub use sweeping::{
+    check_equivalence, check_equivalence_with, sweep, EquivalenceResult, SweepParams, SweepStats,
+};

@@ -140,6 +140,54 @@ impl Replacer {
         outcome
     }
 
+    /// Commits a *proven-equivalent* merge: substitutes every use of
+    /// `node` by `replacement` and removes the logic that becomes
+    /// dangling.  Returns `false` (leaving the network untouched) if the
+    /// merge is structurally impossible: `node` is not a live gate,
+    /// `replacement` is dead, or `replacement`'s cone contains `node` (the
+    /// substitution would create a cycle).
+    ///
+    /// Unlike [`Replacer::try_replace_on_cut`] there is no gain
+    /// evaluation and no resynthesis — the caller asserts functional
+    /// equality (SAT sweeping proves it with a miter), and removing a
+    /// duplicated cone can only shrink the network.
+    ///
+    /// The acyclicity walk uses a scratch-slot traversal; callers must not
+    /// hold another live-writing traversal across this call.
+    pub fn merge_equivalent<N: Network>(
+        &mut self,
+        ntk: &mut N,
+        node: NodeId,
+        replacement: Signal,
+    ) -> bool {
+        if !ntk.is_gate(node) || ntk.is_dead(replacement.node()) || replacement.node() == node {
+            return false;
+        }
+        // walk the replacement cone down to the primary inputs; `node`
+        // anywhere inside means the substitution would create a cycle
+        let visited = glsx_network::Traversal::new(ntk);
+        self.stack.clear();
+        self.stack.push(replacement.node());
+        visited.mark(ntk, replacement.node());
+        while let Some(n) = self.stack.pop() {
+            if n == node {
+                return false;
+            }
+            if !ntk.is_gate(n) {
+                continue;
+            }
+            ntk.foreach_fanin(n, |f| {
+                if visited.mark(ntk, f.node()) {
+                    self.stack.push(f.node());
+                }
+            });
+        }
+        let size_before = ntk.size();
+        ntk.substitute_node(node, replacement);
+        sweep_new_dangling(ntk, size_before);
+        true
+    }
+
     /// Checks whether `forbidden` occurs in the candidate structure rooted
     /// at `root`, searching only down to the cut leaves.
     ///

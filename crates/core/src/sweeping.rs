@@ -1,0 +1,845 @@
+//! SAT sweeping (fraiging): proving and merging functionally equivalent
+//! nodes, plus the miter-based combinational equivalence checker.
+//!
+//! The subsystem follows the classic fraig recipe, expressed entirely
+//! through the network interface API so one implementation serves AIGs,
+//! XAGs, MIGs, XMGs and k-LUT networks:
+//!
+//! 1. **Simulate** the whole network on a set of random 64-bit pattern
+//!    words ([`glsx_network::wordsim::WordSimulator`]) and partition the
+//!    nodes into candidate equivalence classes by their simulation
+//!    signatures.  Signatures are polarity-normalised, so a node and the
+//!    complement of another share a class and antivalent pairs are merged
+//!    with a complemented edge.  The constant node participates, so nodes
+//!    that simulate to a constant are proven against it.
+//! 2. **Prove** each candidate pair with the CDCL solver: a miter over a
+//!    lazily built Tseitin encoding of the two cones is solved under a
+//!    per-pair conflict budget.  `UNSAT` is a proof of equivalence and the
+//!    candidate is merged into the class representative through the
+//!    [`Replacer`](crate::Replacer) machinery; `SAT` yields a
+//!    counterexample; a budget timeout skips the pair, so sweeping
+//!    degrades gracefully on hard instances instead of stalling.
+//! 3. **Refine**: counterexamples are packed into fresh simulation pattern
+//!    words and the network is re-simulated, splitting every class the new
+//!    patterns distinguish.  The loop repeats until no counterexamples
+//!    remain (or [`SweepParams::max_rounds`] is reached).
+//!
+//! Merges happen only on `UNSAT` answers — there are no simulation-only
+//! merges, so a sweep is an equivalence-preserving transformation by
+//! construction.  The same CNF machinery powers [`check_equivalence`], the
+//! public miter entry point used by the test suite and the bench smoke
+//! mode to verify whole optimisation passes end to end.
+//!
+//! The CNF is built incrementally: one solver per sweep, one variable per
+//! encoded node, cones encoded on demand with the cone walk's visited set
+//! in the scratch-slot [`Traversal`] engine — no per-candidate maps.  The
+//! encoding stays consistent across merges because node functions never
+//! change: a merged node's clauses keep defining its variable as the
+//! function of its (former) cone, which the proof showed equals the
+//! representative's.
+
+use crate::replace::Replacer;
+use glsx_network::wordsim::WordSimulator;
+use glsx_network::{GateKind, Network, NodeId, Signal, Traversal};
+use glsx_sat::{Lit, SatResult, Solver, Var};
+
+/// Parameters of SAT sweeping.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepParams {
+    /// Number of initial random 64-bit simulation pattern words (64
+    /// patterns each) used to form candidate classes.
+    pub num_words: usize,
+    /// Seed of the random simulation patterns.
+    pub seed: u64,
+    /// Conflict budget per candidate pair; a pair whose miter exceeds it
+    /// is skipped (left unmerged) instead of stalling the sweep.
+    pub conflict_limit: u64,
+    /// Maximum number of counterexample-refinement rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for SweepParams {
+    fn default() -> Self {
+        Self {
+            num_words: 4,
+            seed: 0x5eed_ba5e_u64,
+            conflict_limit: 1_000,
+            max_rounds: 8,
+        }
+    }
+}
+
+/// Statistics of a sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Live gates before the sweep.
+    pub gates_before: usize,
+    /// Live gates after the sweep.
+    pub gates_after: usize,
+    /// Refinement rounds executed.
+    pub rounds: usize,
+    /// Candidate pairs handed to the SAT solver.
+    pub candidate_pairs: usize,
+    /// Pairs proven equivalent (every one is merged; merges happen only
+    /// with a SAT proof in hand).
+    pub proven: usize,
+    /// Pairs refuted by a counterexample (classes split next round).
+    pub refuted: usize,
+    /// Distinct pairs given up on: the conflict budget ran out, or a
+    /// proven pair could not be merged structurally.  Each such pair is
+    /// counted once and not retried in later rounds; its nodes stay
+    /// unmerged.
+    pub skipped: usize,
+    /// Total SAT conflicts spent.
+    pub conflicts: u64,
+}
+
+/// Result of a combinational equivalence check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EquivalenceResult {
+    /// The networks are proven equivalent (the miter is unsatisfiable).
+    Equivalent,
+    /// The networks differ; the payload is a distinguishing primary-input
+    /// assignment (indexed like `pi_nodes()`).
+    Inequivalent(Vec<bool>),
+    /// The conflict budget ran out before a verdict.
+    Unknown,
+}
+
+impl EquivalenceResult {
+    /// Returns `true` for [`EquivalenceResult::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivalenceResult::Equivalent)
+    }
+}
+
+/// Sentinel for "no SAT variable assigned yet".
+const NO_VAR: u32 = u32::MAX;
+
+/// Lazy Tseitin encoder of one network into a shared [`Solver`].
+///
+/// One variable per encoded node; cones are encoded on demand by a DFS
+/// whose visited set lives in the scratch-slot [`Traversal`] engine (O(1)
+/// start per call, no per-candidate maps).  Encoded clauses stay valid for
+/// the lifetime of the solver even when nodes die: node ids are never
+/// reused and a dead node's clauses still define its variable as its
+/// former cone's function over the primary-input variables.
+#[derive(Debug)]
+struct CnfEncoder {
+    /// `vars[node]` = SAT variable index of the node, or [`NO_VAR`].
+    vars: Vec<u32>,
+    stack: Vec<NodeId>,
+    clause: Vec<Lit>,
+    fanin_lits: Vec<Lit>,
+}
+
+impl CnfEncoder {
+    fn new(num_nodes: usize) -> Self {
+        Self {
+            vars: vec![NO_VAR; num_nodes],
+            stack: Vec::new(),
+            clause: Vec::new(),
+            fanin_lits: Vec::new(),
+        }
+    }
+
+    /// The literal representing `signal` (edge complement applied).  The
+    /// signal's cone must already be encoded.
+    #[inline]
+    fn lit_of(&self, signal: Signal) -> Lit {
+        let var = self.vars[signal.node() as usize];
+        debug_assert_ne!(var, NO_VAR, "signal cone not encoded");
+        Lit::new(Var::from_index(var as usize), !signal.is_complemented())
+    }
+
+    /// Returns the SAT variable of `node`, encoding its cone down to the
+    /// primary inputs on first demand.
+    fn var_of<N: Network>(&mut self, ntk: &N, solver: &mut Solver, node: NodeId) -> Var {
+        if self.vars[node as usize] == NO_VAR {
+            self.encode_cone(ntk, solver, node);
+        }
+        Var::from_index(self.vars[node as usize] as usize)
+    }
+
+    /// Iterative post-order DFS over the unencoded part of `root`'s cone.
+    ///
+    /// The per-node DFS state ("fanins already scheduled") lives in the
+    /// scratch-slot [`Traversal`] engine: a gate surfacing unmarked pushes
+    /// its unencoded fanins and marks itself; surfacing marked, its fanins
+    /// are guaranteed encoded (a marked gate re-surfacing with unresolved
+    /// fanins would require the pusher to sit inside the gate's own cone —
+    /// a cycle), so it emits its clauses.  Each fanin list is scanned at
+    /// most twice and no per-candidate map is allocated.
+    fn encode_cone<N: Network>(&mut self, ntk: &N, solver: &mut Solver, root: NodeId) {
+        let expanded = Traversal::new(ntk);
+        debug_assert!(self.stack.is_empty());
+        self.stack.push(root);
+        while let Some(&node) = self.stack.last() {
+            if self.vars[node as usize] != NO_VAR {
+                self.stack.pop();
+                continue;
+            }
+            if !ntk.is_gate(node) {
+                // leaves: primary inputs are free variables, the constant
+                // node is pinned to zero
+                let var = solver.new_var();
+                self.vars[node as usize] = var.index() as u32;
+                if ntk.is_constant(node) {
+                    solver.add_clause(&[Lit::negative(var)]);
+                }
+                self.stack.pop();
+                continue;
+            }
+            if expanded.mark(ntk, node) {
+                let before = self.stack.len();
+                ntk.foreach_fanin(node, |f| {
+                    if self.vars[f.node() as usize] == NO_VAR {
+                        self.stack.push(f.node());
+                    }
+                });
+                if self.stack.len() > before {
+                    continue;
+                }
+            }
+            self.encode_gate(ntk, solver, node);
+            self.stack.pop();
+        }
+    }
+
+    /// Emits the Tseitin clauses of one gate whose fanins are all encoded.
+    fn encode_gate<N: Network>(&mut self, ntk: &N, solver: &mut Solver, node: NodeId) {
+        self.fanin_lits.clear();
+        for index in 0..ntk.fanin_size(node) {
+            self.fanin_lits.push(self.lit_of(ntk.fanin(node, index)));
+        }
+        let g = solver.new_var();
+        self.vars[node as usize] = g.index() as u32;
+        let g_pos = Lit::positive(g);
+        let g_neg = Lit::negative(g);
+        match ntk.gate_kind(node) {
+            GateKind::And => {
+                let (a, b) = (self.fanin_lits[0], self.fanin_lits[1]);
+                solver.add_clause(&[g_neg, a]);
+                solver.add_clause(&[g_neg, b]);
+                solver.add_clause(&[g_pos, !a, !b]);
+            }
+            GateKind::Xor => {
+                let (a, b) = (self.fanin_lits[0], self.fanin_lits[1]);
+                solver.add_clause(&[g_neg, a, b]);
+                solver.add_clause(&[g_neg, !a, !b]);
+                solver.add_clause(&[g_pos, !a, b]);
+                solver.add_clause(&[g_pos, a, !b]);
+            }
+            GateKind::Maj => {
+                let (a, b, c) = (self.fanin_lits[0], self.fanin_lits[1], self.fanin_lits[2]);
+                solver.add_clause(&[g_neg, a, b]);
+                solver.add_clause(&[g_neg, a, c]);
+                solver.add_clause(&[g_neg, b, c]);
+                solver.add_clause(&[g_pos, !a, !b]);
+                solver.add_clause(&[g_pos, !a, !c]);
+                solver.add_clause(&[g_pos, !b, !c]);
+            }
+            _ => {
+                // generic kinds (XOR3, LUT): one clause per input minterm
+                // forbidding the output that disagrees with the function
+                let function = ntk.node_function(node);
+                debug_assert_eq!(function.num_bits(), 1 << self.fanin_lits.len());
+                for m in 0..function.num_bits() {
+                    self.clause.clear();
+                    for (i, &lit) in self.fanin_lits.iter().enumerate() {
+                        // literal falsified exactly under minterm m
+                        self.clause.push(if (m >> i) & 1 == 1 { !lit } else { lit });
+                    }
+                    self.clause
+                        .push(if function.bit(m) { g_pos } else { g_neg });
+                    solver.add_clause(&self.clause);
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one candidate-pair proof attempt.
+enum PairOutcome {
+    /// The miter is unsatisfiable: the pair is equivalent (modulo the
+    /// claimed polarity).
+    Proven,
+    /// A distinguishing input assignment was found.
+    Refuted(Vec<bool>),
+    /// The conflict budget ran out.
+    Undecided,
+}
+
+/// Incremental miter engine of one sweep: a solver plus the lazy encoder,
+/// reused across every candidate pair.
+#[derive(Debug)]
+struct MiterEngine {
+    solver: Solver,
+    enc: CnfEncoder,
+    cex: Vec<bool>,
+}
+
+impl MiterEngine {
+    fn new(num_nodes: usize) -> Self {
+        Self {
+            solver: Solver::new(),
+            enc: CnfEncoder::new(num_nodes),
+            cex: Vec::new(),
+        }
+    }
+
+    /// Attempts to prove `cand == repr` (or `cand == !repr` when
+    /// `antivalent`) under a conflict budget.
+    fn prove_pair<N: Network>(
+        &mut self,
+        ntk: &N,
+        repr: NodeId,
+        cand: NodeId,
+        antivalent: bool,
+        conflict_limit: u64,
+    ) -> PairOutcome {
+        let va = self.enc.var_of(ntk, &mut self.solver, repr);
+        let vb = self.enc.var_of(ntk, &mut self.solver, cand);
+        // t <-> va xor vb; asking for a model of t == !antivalent is asking
+        // for an input where the claimed relation is violated
+        let t = self.solver.new_var();
+        let (tp, tn) = (Lit::positive(t), Lit::negative(t));
+        let (a, b) = (Lit::positive(va), Lit::positive(vb));
+        self.solver.add_clause(&[tn, a, b]);
+        self.solver.add_clause(&[tn, !a, !b]);
+        self.solver.add_clause(&[tp, !a, b]);
+        self.solver.add_clause(&[tp, a, !b]);
+        self.solver.set_conflict_limit(Some(conflict_limit.max(1)));
+        let result = self
+            .solver
+            .solve_with_assumptions(&[Lit::new(t, !antivalent)]);
+        self.solver.set_conflict_limit(None);
+        match result {
+            SatResult::Unsat => PairOutcome::Proven,
+            SatResult::Unknown => PairOutcome::Undecided,
+            SatResult::Sat => {
+                self.cex.clear();
+                for pi in ntk.pi_nodes() {
+                    let var = self.enc.vars[pi as usize];
+                    // inputs outside both cones are unconstrained: any
+                    // value exhibits the difference, pick false
+                    self.cex.push(if var == NO_VAR {
+                        false
+                    } else {
+                        self.solver
+                            .value(Var::from_index(var as usize))
+                            .unwrap_or(false)
+                    });
+                }
+                PairOutcome::Refuted(self.cex.clone())
+            }
+        }
+    }
+}
+
+/// Runs SAT sweeping on `ntk`: functionally equivalent (or antivalent)
+/// nodes are detected by word-parallel simulation, proven by incremental
+/// SAT and merged, removing the redundant cones.
+///
+/// Every merge is backed by an `UNSAT` proof; pairs the solver cannot
+/// decide within [`SweepParams::conflict_limit`] conflicts are left
+/// untouched.  The pass is deterministic: simulation patterns come from
+/// [`SweepParams::seed`], classes are ordered by signature and topological
+/// rank, and the solver is deterministic.
+pub fn sweep<N: Network>(ntk: &mut N, params: &SweepParams) -> SweepStats {
+    let mut stats = SweepStats {
+        gates_before: ntk.num_gates(),
+        ..SweepStats::default()
+    };
+    if stats.gates_before == 0 {
+        stats.gates_after = 0;
+        return stats;
+    }
+
+    let mut sim = WordSimulator::random(ntk, params.num_words.max(1), params.seed);
+
+    // topological ranks: constant, then PIs, then gates in topological
+    // order.  Candidates merge into the lowest-ranked class member, which
+    // almost always points edges at topologically earlier logic.  The
+    // ranking is a merge-direction heuristic, not a safety argument:
+    // cascading structural-hash merges inside `substitute_node` can
+    // locally invert it, so acyclicity is enforced per merge by
+    // `merge_equivalent`'s cone walk (a refused merge is counted as
+    // skipped and not retried).
+    let mut rank = vec![u32::MAX; ntk.size()];
+    let mut next_rank = 0u32;
+    rank[0] = next_rank;
+    for pi in ntk.pi_nodes() {
+        next_rank += 1;
+        rank[pi as usize] = next_rank;
+    }
+    for gate in ntk.gate_nodes() {
+        next_rank += 1;
+        rank[gate as usize] = next_rank;
+    }
+
+    let mut engine = MiterEngine::new(ntk.size());
+    let mut replacer = Replacer::new();
+    let mut members: Vec<NodeId> = Vec::new();
+    let mut cex_patterns: Vec<Vec<bool>> = Vec::new();
+    // pairs that will not be retried in later rounds: conflict-budget
+    // timeouts and structurally refused merges.  Counted in `skipped`
+    // exactly once, and their miter is not re-encoded or re-solved when
+    // an undistinguished class survives into the next round.
+    let mut no_retry: std::collections::HashSet<(NodeId, NodeId)> =
+        std::collections::HashSet::new();
+    let conflicts_before = |e: &MiterEngine| e.solver.stats().conflicts;
+
+    for round in 0..params.max_rounds.max(1) {
+        stats.rounds = round + 1;
+
+        // deterministic partition: sort all live nodes by their
+        // polarity-normalised signature, then by topological rank; classes
+        // are the runs of equal signatures
+        members.clear();
+        members.push(0);
+        members.extend(ntk.pi_nodes());
+        members.extend(ntk.gate_nodes());
+        let words = sim.num_words();
+        let signature_cmp = |a: NodeId, b: NodeId| {
+            for w in 0..words {
+                let cmp = sim.canonical_word(w, a).cmp(&sim.canonical_word(w, b));
+                if cmp != std::cmp::Ordering::Equal {
+                    return cmp;
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        members.sort_unstable_by(|&a, &b| {
+            signature_cmp(a, b).then_with(|| rank[a as usize].cmp(&rank[b as usize]))
+        });
+
+        cex_patterns.clear();
+        let mut start = 0usize;
+        while start < members.len() {
+            let mut end = start + 1;
+            while end < members.len()
+                && signature_cmp(members[start], members[end]) == std::cmp::Ordering::Equal
+            {
+                end += 1;
+            }
+            let class = &members[start..end];
+            start = end;
+            if class.len() < 2 {
+                continue;
+            }
+            // the representative is the lowest-ranked live member; it can
+            // die when another class's (or an earlier pair's) merge
+            // cascades over it, in which case the next live member takes
+            // over before the pair is attempted
+            let mut repr: Option<NodeId> = None;
+            for &node in class {
+                if ntk.is_dead(node) {
+                    continue;
+                }
+                let repr_node = match repr {
+                    None => {
+                        repr = Some(node);
+                        continue;
+                    }
+                    Some(r) if ntk.is_dead(r) => {
+                        repr = Some(node);
+                        continue;
+                    }
+                    Some(r) => r,
+                };
+                if no_retry.contains(&(repr_node, node)) {
+                    continue;
+                }
+                // only gates can be merged away; a non-gate sharing a class
+                // (a PI colliding with the constant or another PI) is still
+                // proven below — SAT refutes it and the counterexample
+                // splits the class next round
+                let antivalent = sim.phase(repr_node) != sim.phase(node);
+                stats.candidate_pairs += 1;
+                let spent = conflicts_before(&engine);
+                let outcome =
+                    engine.prove_pair(ntk, repr_node, node, antivalent, params.conflict_limit);
+                stats.conflicts += conflicts_before(&engine) - spent;
+                match outcome {
+                    PairOutcome::Proven => {
+                        if ntk.is_gate(node)
+                            && replacer.merge_equivalent(
+                                ntk,
+                                node,
+                                Signal::new(repr_node, antivalent),
+                            )
+                        {
+                            stats.proven += 1;
+                        } else {
+                            // structurally unmergeable despite the proof
+                            // (non-gate candidate, or a rank inversion the
+                            // acyclicity walk refused): give up on the
+                            // pair instead of re-proving it every round
+                            stats.skipped += 1;
+                            no_retry.insert((repr_node, node));
+                        }
+                    }
+                    PairOutcome::Refuted(pattern) => {
+                        stats.refuted += 1;
+                        cex_patterns.push(pattern);
+                    }
+                    PairOutcome::Undecided => {
+                        stats.skipped += 1;
+                        no_retry.insert((repr_node, node));
+                    }
+                }
+            }
+        }
+
+        if cex_patterns.is_empty() {
+            break;
+        }
+        // pack up to 64 counterexamples per fresh pattern word and
+        // re-simulate, splitting every class the patterns distinguish
+        for chunk in cex_patterns.chunks(64) {
+            let mut words: Vec<u64> = vec![0; ntk.num_pis()];
+            for (bit, pattern) in chunk.iter().enumerate() {
+                for (pi_index, &value) in pattern.iter().enumerate() {
+                    if value {
+                        words[pi_index] |= 1u64 << bit;
+                    }
+                }
+            }
+            sim.add_pattern_word(ntk, &words);
+        }
+    }
+
+    stats.gates_after = ntk.num_gates();
+    stats
+}
+
+/// Default conflict budget of [`check_equivalence`] (generous: the check
+/// is complete for every workload in this repository; use
+/// [`check_equivalence_with`] to bound or unbound it explicitly).
+pub const DEFAULT_CEC_CONFLICT_LIMIT: u64 = 10_000_000;
+
+/// Checks combinational equivalence of two networks with a SAT miter:
+/// shared primary-input variables, both networks Tseitin-encoded, and one
+/// clause asserting that some output pair differs.  `UNSAT` is a *proof*
+/// of equivalence — unlike
+/// [`equivalent_by_random_simulation`](glsx_network::simulation::equivalent_by_random_simulation),
+/// which can only refute.
+///
+/// Outputs are compared position by position.
+///
+/// # Panics
+///
+/// Panics if the networks have different numbers of primary inputs or
+/// outputs.
+pub fn check_equivalence<A: Network, B: Network>(a: &A, b: &B) -> EquivalenceResult {
+    check_equivalence_with(a, b, Some(DEFAULT_CEC_CONFLICT_LIMIT))
+}
+
+/// [`check_equivalence`] with an explicit conflict budget (`None` solves
+/// to completion).  Returns [`EquivalenceResult::Unknown`] when the budget
+/// runs out.
+pub fn check_equivalence_with<A: Network, B: Network>(
+    a: &A,
+    b: &B,
+    conflict_limit: Option<u64>,
+) -> EquivalenceResult {
+    assert_eq!(
+        a.num_pis(),
+        b.num_pis(),
+        "networks must have the same number of inputs"
+    );
+    assert_eq!(
+        a.num_pos(),
+        b.num_pos(),
+        "networks must have the same number of outputs"
+    );
+    let mut solver = Solver::new();
+    let mut enc_a = CnfEncoder::new(a.size());
+    let mut enc_b = CnfEncoder::new(b.size());
+    // shared input space: the i-th primary input of both networks is the
+    // same SAT variable
+    let pi_vars: Vec<Var> = (0..a.num_pis()).map(|_| solver.new_var()).collect();
+    for (i, pi) in a.pi_nodes().iter().enumerate() {
+        enc_a.vars[*pi as usize] = pi_vars[i].index() as u32;
+    }
+    for (i, pi) in b.pi_nodes().iter().enumerate() {
+        enc_b.vars[*pi as usize] = pi_vars[i].index() as u32;
+    }
+
+    // one XOR tap per output pair; at least one must differ
+    let mut taps: Vec<Lit> = Vec::with_capacity(a.num_pos());
+    for (sa, sb) in a.po_signals().into_iter().zip(b.po_signals()) {
+        enc_a.var_of(a, &mut solver, sa.node());
+        enc_b.var_of(b, &mut solver, sb.node());
+        let la = enc_a.lit_of(sa);
+        let lb = enc_b.lit_of(sb);
+        let t = solver.new_var();
+        let (tp, tn) = (Lit::positive(t), Lit::negative(t));
+        solver.add_clause(&[tn, la, lb]);
+        solver.add_clause(&[tn, !la, !lb]);
+        solver.add_clause(&[tp, !la, lb]);
+        solver.add_clause(&[tp, la, !lb]);
+        taps.push(tp);
+    }
+    solver.add_clause(&taps);
+
+    solver.set_conflict_limit(conflict_limit);
+    match solver.solve() {
+        SatResult::Unsat => EquivalenceResult::Equivalent,
+        SatResult::Unknown => EquivalenceResult::Unknown,
+        SatResult::Sat => {
+            let assignment = pi_vars
+                .iter()
+                .map(|&v| solver.value(v).unwrap_or(false))
+                .collect();
+            EquivalenceResult::Inequivalent(assignment)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_network::simulation::{equivalent_by_simulation, simulate_patterns};
+    use glsx_network::{Aig, GateBuilder, Klut, Mig, Xag};
+    use glsx_truth::TruthTable;
+
+    /// Builds `f ≡ g` pairs with different structure: `or(and(x, s),
+    /// and(x, !s))` re-expresses `x` with three fresh gates.
+    fn redundant_copy<N: Network + GateBuilder>(ntk: &mut N, x: Signal, s: Signal) -> Signal {
+        let t1 = ntk.create_and(x, s);
+        let t2 = ntk.create_and(x, !s);
+        ntk.create_or(t1, t2)
+    }
+
+    #[test]
+    fn sweep_merges_injected_redundancy() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let s = aig.create_pi();
+        let x = aig.create_and(a, b);
+        let dup = redundant_copy(&mut aig, x, s);
+        aig.create_po(x);
+        aig.create_po(dup);
+        let reference = aig.clone();
+        let before = aig.num_gates();
+        let stats = sweep(&mut aig, &SweepParams::default());
+        assert!(stats.proven >= 1, "{stats:?}");
+        assert_eq!(stats.skipped, 0, "{stats:?}");
+        assert!(aig.num_gates() < before, "{stats:?}");
+        assert!(equivalent_by_simulation(&reference, &aig));
+        assert!(check_equivalence(&reference, &aig).is_equivalent());
+        // both outputs now point at the same node
+        let pos = aig.po_signals();
+        assert_eq!(pos[0], pos[1]);
+    }
+
+    #[test]
+    fn sweep_merges_antivalent_nodes_into_complemented_edges() {
+        // r = and(!q1, !q2) with q1 = a & s, q2 = a & !s computes !a:
+        // antivalent to the primary input a
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let s = aig.create_pi();
+        let q1 = aig.create_and(a, s);
+        let q2 = aig.create_and(a, !s);
+        let r = aig.create_and(!q1, !q2);
+        aig.create_po(!r);
+        let reference = aig.clone();
+        let stats = sweep(&mut aig, &SweepParams::default());
+        assert!(stats.proven >= 1, "{stats:?}");
+        assert_eq!(aig.num_gates(), 0, "the whole cone collapses: {stats:?}");
+        assert_eq!(aig.po_signals()[0], a);
+        assert!(equivalent_by_simulation(&reference, &aig));
+    }
+
+    #[test]
+    fn sweep_proves_constant_nodes_against_the_constant_class() {
+        // z = (a & s) & (a & !s) is constant zero but structurally alive
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let s = aig.create_pi();
+        let z1 = aig.create_and(a, s);
+        let z2 = aig.create_and(a, !s);
+        let z = aig.create_and(z1, z2);
+        aig.create_po(z);
+        let reference = aig.clone();
+        let stats = sweep(&mut aig, &SweepParams::default());
+        assert!(stats.proven >= 1, "{stats:?}");
+        assert_eq!(aig.num_gates(), 0, "{stats:?}");
+        assert_eq!(aig.po_signals()[0], aig.get_constant(false));
+        assert!(equivalent_by_simulation(&reference, &aig));
+    }
+
+    /// Two structurally different parity trees over the same inputs: the
+    /// roots are equivalent, but proving it needs real conflicts, so a
+    /// one-conflict budget must skip the pair and leave it unmerged.
+    fn parity_pair() -> (Aig, usize) {
+        let mut aig = Aig::new();
+        let pis: Vec<Signal> = (0..6).map(|_| aig.create_pi()).collect();
+        // left-to-right chain
+        let mut chain = pis[0];
+        for &pi in &pis[1..] {
+            chain = aig.create_xor(chain, pi);
+        }
+        // balanced tree
+        let mut layer = pis.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    aig.create_xor(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        aig.create_po(chain);
+        aig.create_po(layer[0]);
+        let gates = aig.num_gates();
+        (aig, gates)
+    }
+
+    #[test]
+    fn conflict_budget_skips_hard_pairs_without_merging() {
+        let (mut aig, before) = parity_pair();
+        let reference = aig.clone();
+        let stats = sweep(
+            &mut aig,
+            &SweepParams {
+                conflict_limit: 1,
+                max_rounds: 2,
+                ..SweepParams::default()
+            },
+        );
+        assert!(stats.skipped >= 1, "{stats:?}");
+        assert_eq!(stats.proven, 0, "{stats:?}");
+        assert_eq!(aig.num_gates(), before, "skipped classes stay unmerged");
+        assert!(equivalent_by_simulation(&reference, &aig));
+        // with a real budget the same pair is proven and merged
+        let (mut aig, before) = parity_pair();
+        let stats = sweep(&mut aig, &SweepParams::default());
+        assert!(stats.proven >= 1, "{stats:?}");
+        assert!(aig.num_gates() < before, "{stats:?}");
+        assert!(equivalent_by_simulation(&reference, &aig));
+        let pos = aig.po_signals();
+        assert_eq!(pos[0], pos[1]);
+    }
+
+    #[test]
+    fn sweep_works_across_representations() {
+        fn build_and_sweep<N: Network + GateBuilder + Clone>() {
+            let mut ntk = N::new();
+            let a = ntk.create_pi();
+            let b = ntk.create_pi();
+            let s = ntk.create_pi();
+            let x = ntk.create_maj(a, b, ntk.get_constant(false));
+            let dup = redundant_copy(&mut ntk, x, s);
+            ntk.create_po(x);
+            ntk.create_po(!dup);
+            let reference = ntk.clone();
+            let stats = sweep(&mut ntk, &SweepParams::default());
+            assert!(stats.proven >= 1, "{}: {stats:?}", N::NAME);
+            assert!(
+                equivalent_by_simulation(&reference, &ntk),
+                "{}: sweep broke the function",
+                N::NAME
+            );
+            assert!(
+                check_equivalence(&reference, &ntk).is_equivalent(),
+                "{}: miter disagrees",
+                N::NAME
+            );
+        }
+        build_and_sweep::<Aig>();
+        build_and_sweep::<Xag>();
+        build_and_sweep::<Mig>();
+    }
+
+    #[test]
+    fn check_equivalence_agrees_with_simulation() {
+        let build = |or_gate: bool| {
+            let mut aig = Aig::new();
+            let a = aig.create_pi();
+            let b = aig.create_pi();
+            let g = if or_gate {
+                aig.create_or(a, b)
+            } else {
+                aig.create_and(a, b)
+            };
+            aig.create_po(g);
+            aig
+        };
+        let and1 = build(false);
+        let and2 = build(false);
+        let or1 = build(true);
+        assert!(check_equivalence(&and1, &and2).is_equivalent());
+        match check_equivalence(&and1, &or1) {
+            EquivalenceResult::Inequivalent(cex) => {
+                // the counterexample must actually distinguish the outputs
+                let patterns: Vec<u64> = cex.iter().map(|&v| u64::from(v)).collect();
+                let oa = simulate_patterns(&and1, &patterns);
+                let ob = simulate_patterns(&or1, &patterns);
+                assert_ne!(oa[0] & 1, ob[0] & 1, "cex does not distinguish");
+            }
+            other => panic!("expected Inequivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_equivalence_spans_representations_and_luts() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let g = aig.create_maj(a, b, c);
+        aig.create_po(g);
+
+        let mig: Mig = glsx_network::convert_network(&aig);
+        assert!(check_equivalence(&aig, &mig).is_equivalent());
+
+        let mut klut = Klut::new();
+        let ka = klut.create_pi();
+        let kb = klut.create_pi();
+        let kc = klut.create_pi();
+        let maj = TruthTable::from_hex(3, "e8").unwrap();
+        let kg = klut.create_lut(&[ka, kb, kc], maj);
+        klut.create_po(kg);
+        assert!(check_equivalence(&aig, &klut).is_equivalent());
+    }
+
+    #[test]
+    fn check_equivalence_respects_output_polarity() {
+        let mut a = Aig::new();
+        let x = a.create_pi();
+        let y = a.create_pi();
+        let g = a.create_and(x, y);
+        a.create_po(!g);
+        let mut b = Aig::new();
+        let x = b.create_pi();
+        let y = b.create_pi();
+        let g = b.create_and(x, y);
+        b.create_po(g);
+        assert!(!check_equivalence(&a, &b).is_equivalent());
+        let b_clone = a.clone();
+        assert!(check_equivalence(&a, &b_clone).is_equivalent());
+    }
+
+    #[test]
+    fn sweeping_an_irredundant_network_is_a_no_op() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let ab = aig.create_and(a, b);
+        let f = aig.create_xor(ab, c);
+        aig.create_po(f);
+        let before = aig.num_gates();
+        let stats = sweep(&mut aig, &SweepParams::default());
+        assert_eq!(stats.proven, 0, "{stats:?}");
+        assert_eq!(aig.num_gates(), before);
+    }
+}

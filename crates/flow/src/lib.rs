@@ -36,6 +36,7 @@ use glsx_core::balancing::{balance, BalanceParams};
 use glsx_core::refactoring::{refactor_with, RefactorParams};
 use glsx_core::resubstitution::{resubstitute, ResubNetwork, ResubParams};
 use glsx_core::rewriting::{rewrite_with, RewriteParams};
+use glsx_core::sweeping::{sweep, SweepParams};
 use glsx_network::{cleanup_dangling, GateBuilder, Network};
 use glsx_synth::{NpnDatabase, SopResynthesis};
 use std::time::Instant;
@@ -49,6 +50,8 @@ pub struct FlowOptions {
     pub refactor_leaves: usize,
     /// Upper bound on resubstitution divisors.
     pub max_divisors: usize,
+    /// SAT-sweeping parameters used by `fraig` steps.
+    pub sweep: SweepParams,
 }
 
 impl Default for FlowOptions {
@@ -57,6 +60,7 @@ impl Default for FlowOptions {
             rewrite_cut_size: 4,
             refactor_leaves: 10,
             max_divisors: 50,
+            sweep: SweepParams::default(),
         }
     }
 }
@@ -125,6 +129,10 @@ where
                 },
             );
             stats.substitutions
+        }
+        FlowStep::Fraig => {
+            let stats = sweep(ntk, &options.sweep);
+            stats.proven
         }
     }
 }
@@ -210,6 +218,22 @@ mod tests {
         let stats = compress2rs(&mut optimised, &FlowOptions::default());
         assert!(stats.final_size <= stats.initial_size);
         assert!(equivalent_by_random_simulation(&aig, &optimised, 16, 3));
+    }
+
+    #[test]
+    fn fraig_steps_remove_injected_redundancy() {
+        let mut aig: Aig = adder(4);
+        glsx_benchmarks::inject_redundancy(&mut aig, 6, 0x5117);
+        let reference = aig.clone();
+        let script = FlowScript::parse("fraig").unwrap();
+        let stats = run_script(&mut aig, &script, &FlowOptions::default());
+        assert!(
+            stats.substitutions >= 1,
+            "sweeping must merge injected duplicates: {stats:?}"
+        );
+        assert!(stats.final_size < stats.initial_size, "{stats:?}");
+        assert!(equivalent_by_random_simulation(&reference, &aig, 8, 0xF1));
+        assert!(glsx_core::sweeping::check_equivalence(&reference, &aig).is_equivalent());
     }
 
     #[test]

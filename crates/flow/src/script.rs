@@ -1,4 +1,4 @@
-//! The flow-script mini language (`bz; rs -c 6; rw; rfz; …`).
+//! The flow-script mini language (`bz; rs -c 6; rw; fraig; rfz; …`).
 
 use std::error::Error;
 use std::fmt;
@@ -25,6 +25,8 @@ pub enum FlowStep {
         /// Maximum number of inserted gates (`-d`, default 1).
         depth: usize,
     },
+    /// SAT sweeping / fraiging (`fraig`): merge proven-equivalent nodes.
+    Fraig,
 }
 
 /// Error returned when a flow script cannot be parsed.
@@ -91,6 +93,7 @@ impl FlowScript {
                 "rwz" => FlowStep::Rewrite { zero_gain: true },
                 "rf" => FlowStep::Refactor { zero_gain: false },
                 "rfz" => FlowStep::Refactor { zero_gain: true },
+                "fraig" => FlowStep::Fraig,
                 "rs" => {
                     let mut cut_size = 8usize;
                     let mut depth = 1usize;
@@ -161,6 +164,7 @@ impl fmt::Display for FlowScript {
                         format!("rs -c {cut_size} -d {depth}")
                     }
                 }
+                FlowStep::Fraig => "fraig".to_string(),
             })
             .collect();
         write!(f, "{}", rendered.join("; "))
@@ -200,10 +204,18 @@ mod tests {
 
     #[test]
     fn roundtrips_through_display() {
-        let text = "bz; rs -c 6; rw; rs -c 6 -d 2; rfz";
+        let text = "bz; rs -c 6; rw; fraig; rs -c 6 -d 2; rfz";
         let script = FlowScript::parse(text).unwrap();
         assert_eq!(script.to_string(), text);
         assert_eq!(FlowScript::parse(&script.to_string()).unwrap(), script);
+    }
+
+    #[test]
+    fn parses_fraig_steps() {
+        let script = FlowScript::parse("fraig; rw; fraig").unwrap();
+        assert_eq!(script.steps()[0], FlowStep::Fraig);
+        assert_eq!(script.steps()[2], FlowStep::Fraig);
+        assert!(FlowScript::parse("fraig extra").is_err());
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! The shared gate-kind bit-ops dispatch.
+//!
+//! Three engines evaluate gate functions over bit-parallel value blocks:
+//! whole-network simulation over heap-backed truth tables
+//! ([`simulation::evaluate_function`](crate::simulation::evaluate_function)),
+//! fused cut enumeration over fixed 256-bit blocks (`glsx-core`'s
+//! `CutFunction`) and word-parallel pattern simulation over single `u64`
+//! words ([`wordsim`](crate::wordsim)).  They used to carry three copies of
+//! the same `match` over [`GateKind`], which had to be kept in sync by
+//! hand whenever a gate kind landed.  This module factors the dispatch into
+//! one generic function, [`evaluate_gate`], over the [`SimBlock`]
+//! abstraction: anything that supports the Boolean word operations can be
+//! driven through every gate kind, including the generic minterm fallback
+//! for LUT functions.
+
+use crate::GateKind;
+use glsx_truth::TruthTable;
+
+/// A block of simulation bits: the value of one signal under a set of
+/// input assignments, with bitwise Boolean operations.
+///
+/// Implementations provided here: [`TruthTable`] (one bit per minterm of
+/// the primary inputs) and `u64` (one bit per explicit input pattern).
+/// `glsx-core` adds its fixed-size `CutFunction` block.  The `num_vars`
+/// of a block only matters for implementations whose width depends on it
+/// (`TruthTable::zero(num_vars)`); fixed-width blocks ignore it.
+pub trait SimBlock: Clone {
+    /// The constant-zero block over `num_vars` variables.
+    fn zero(num_vars: usize) -> Self;
+
+    /// The constant-one block over `num_vars` variables.
+    fn ones(num_vars: usize) -> Self;
+
+    /// Number of variables of the block's domain (ignored by fixed-width
+    /// blocks).
+    fn num_vars(&self) -> usize;
+
+    /// Bitwise AND.
+    fn and(&self, other: &Self) -> Self;
+
+    /// Bitwise OR.
+    fn or(&self, other: &Self) -> Self;
+
+    /// Bitwise XOR.
+    fn xor(&self, other: &Self) -> Self;
+
+    /// Bitwise complement (within the block's domain).
+    fn complement(&self) -> Self;
+}
+
+/// Evaluates a gate of the given kind over already-computed (and
+/// complement-resolved) fanin blocks.
+///
+/// `function` is consulted lazily and only for kinds without a fast path
+/// (LUTs); fixed-function kinds dispatch directly to the block operations.
+/// The fallback composes the result as an OR over the on-set minterms of
+/// `function` — exactly the composition the three engines previously
+/// hand-rolled, so replacing a per-engine `match` with a call to this
+/// function is bit-identical.
+pub fn evaluate_gate<B: SimBlock>(
+    kind: GateKind,
+    function: impl FnOnce() -> TruthTable,
+    fanins: &[B],
+) -> B {
+    match kind {
+        GateKind::And => fanins[0].and(&fanins[1]),
+        GateKind::Xor => fanins[0].xor(&fanins[1]),
+        GateKind::Maj => {
+            let ab = fanins[0].and(&fanins[1]);
+            let bc = fanins[1].and(&fanins[2]);
+            let ac = fanins[0].and(&fanins[2]);
+            ab.or(&bc).or(&ac)
+        }
+        GateKind::Xor3 => fanins[0].xor(&fanins[1]).xor(&fanins[2]),
+        _ => {
+            // generic composition: OR over the on-set minterms of `function`
+            let num_vars = fanins.first().map(SimBlock::num_vars).unwrap_or(0);
+            let function = function();
+            let mut result = B::zero(num_vars);
+            for m in 0..function.num_bits() {
+                if !function.bit(m) {
+                    continue;
+                }
+                let mut term = B::ones(num_vars);
+                for (i, fanin) in fanins.iter().enumerate() {
+                    let literal = if (m >> i) & 1 == 1 {
+                        fanin.clone()
+                    } else {
+                        fanin.complement()
+                    };
+                    term = term.and(&literal);
+                }
+                result = result.or(&term);
+            }
+            result
+        }
+    }
+}
+
+impl SimBlock for TruthTable {
+    #[inline]
+    fn zero(num_vars: usize) -> Self {
+        TruthTable::zero(num_vars)
+    }
+
+    #[inline]
+    fn ones(num_vars: usize) -> Self {
+        TruthTable::one(num_vars)
+    }
+
+    #[inline]
+    fn num_vars(&self) -> usize {
+        TruthTable::num_vars(self)
+    }
+
+    #[inline]
+    fn and(&self, other: &Self) -> Self {
+        self & other
+    }
+
+    #[inline]
+    fn or(&self, other: &Self) -> Self {
+        self | other
+    }
+
+    #[inline]
+    fn xor(&self, other: &Self) -> Self {
+        self ^ other
+    }
+
+    #[inline]
+    fn complement(&self) -> Self {
+        !self
+    }
+}
+
+/// One 64-bit word of explicit input patterns (the block of the
+/// word-parallel [`wordsim`](crate::wordsim) engine).
+impl SimBlock for u64 {
+    #[inline]
+    fn zero(_num_vars: usize) -> Self {
+        0
+    }
+
+    #[inline]
+    fn ones(_num_vars: usize) -> Self {
+        u64::MAX
+    }
+
+    #[inline]
+    fn num_vars(&self) -> usize {
+        0
+    }
+
+    #[inline]
+    fn and(&self, other: &Self) -> Self {
+        self & other
+    }
+
+    #[inline]
+    fn or(&self, other: &Self) -> Self {
+        self | other
+    }
+
+    #[inline]
+    fn xor(&self, other: &Self) -> Self {
+        self ^ other
+    }
+
+    #[inline]
+    fn complement(&self) -> Self {
+        !self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_function_kinds_match_their_truth_tables() {
+        for kind in [GateKind::And, GateKind::Xor, GateKind::Maj, GateKind::Xor3] {
+            let arity = kind.arity().unwrap();
+            let fanins: Vec<TruthTable> =
+                (0..arity).map(|i| TruthTable::nth_var(arity, i)).collect();
+            let direct = evaluate_gate(kind, || unreachable!(), &fanins);
+            assert_eq!(direct, kind.function().unwrap(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn minterm_fallback_matches_fast_paths() {
+        // drive the fixed kinds through the LUT fallback and compare
+        for kind in [GateKind::And, GateKind::Xor, GateKind::Maj, GateKind::Xor3] {
+            let arity = kind.arity().unwrap();
+            let fanins: Vec<TruthTable> =
+                (0..arity).map(|i| TruthTable::nth_var(arity, i)).collect();
+            let fast = evaluate_gate(kind, || unreachable!(), &fanins);
+            let generic = evaluate_gate(GateKind::Lut, || kind.function().unwrap(), &fanins);
+            assert_eq!(fast, generic, "{kind}");
+        }
+    }
+
+    #[test]
+    fn word_blocks_agree_with_truth_tables() {
+        // all 8 assignments of 3 variables packed into one word
+        let vars: Vec<u64> = (0..3)
+            .map(|i| {
+                let mut w = 0u64;
+                for m in 0..8u64 {
+                    if (m >> i) & 1 == 1 {
+                        w |= 1 << m;
+                    }
+                }
+                w
+            })
+            .collect();
+        for kind in [GateKind::Maj, GateKind::Xor3] {
+            let word = evaluate_gate(kind, || unreachable!(), &vars);
+            let tt = kind.function().unwrap();
+            for m in 0..8 {
+                assert_eq!((word >> m) & 1 == 1, tt.bit(m), "{kind} minterm {m}");
+            }
+        }
+        // LUT fallback on words
+        let maj = GateKind::Maj.function().unwrap();
+        let word = evaluate_gate(GateKind::Lut, || maj.clone(), &vars);
+        for m in 0..8 {
+            assert_eq!((word >> m) & 1 == 1, maj.bit(m), "lut minterm {m}");
+        }
+    }
+}

@@ -117,6 +117,11 @@ macro_rules! impl_network_common {
                 self.storage.next_traversal_epoch()
             }
 
+            #[inline]
+            fn current_traversal_epoch(&self) -> u64 {
+                self.storage.current_traversal_epoch()
+            }
+
             fn node_function(&self, node: crate::NodeId) -> glsx_truth::TruthTable {
                 let data = self.storage.node(node);
                 match data.kind {

@@ -25,7 +25,10 @@
 //!
 //! Supporting modules provide [`views`] (depth, reachability, integrity
 //! checks), [`simulation`] (exhaustive and random bit-parallel simulation
-//! plus simulation-based equivalence checking) and [`cleanup_dangling`].
+//! plus simulation-based equivalence checking), [`wordsim`] (word-parallel
+//! pattern simulation backing SAT sweeping), [`bitops`] (the shared
+//! gate-kind dispatch all simulators evaluate gates through) and
+//! [`cleanup_dangling`].
 //!
 //! # Example
 //!
@@ -56,12 +59,15 @@ mod traits;
 mod xag;
 mod xmg;
 
+pub mod bitops;
 pub mod cleanup;
 pub mod simulation;
 pub mod traversal;
 pub mod views;
+pub mod wordsim;
 
 pub use aig::Aig;
+pub use bitops::SimBlock;
 pub use cleanup::{cleanup_dangling, cleanup_dangling_klut, convert_network};
 pub use fanin::{FaninArray, MAX_INLINE_FANINS};
 pub use kind::GateKind;

@@ -73,41 +73,16 @@ pub fn evaluate_node<N: Network>(ntk: &N, node: NodeId, tts: &[TruthTable]) -> T
 
 /// Evaluates a gate function over already-computed fanin truth tables.
 ///
-/// Fast paths exist for the fixed-function gate kinds; LUT functions are
-/// expanded minterm by minterm.  Keep the kind dispatch in sync with
-/// `evaluate_cut_gate` in `glsx-core`'s fused cut enumeration, which
-/// mirrors it over fixed-size tables.
+/// Thin wrapper over the shared gate-kind dispatch
+/// ([`crate::bitops::evaluate_gate`]); fast paths exist for the
+/// fixed-function gate kinds and LUT functions are expanded minterm by
+/// minterm.
 pub fn evaluate_function(
     function: &TruthTable,
     kind: GateKind,
     fanin_tts: &[TruthTable],
 ) -> TruthTable {
-    match kind {
-        GateKind::And => &fanin_tts[0] & &fanin_tts[1],
-        GateKind::Xor => &fanin_tts[0] ^ &fanin_tts[1],
-        GateKind::Maj => TruthTable::maj(&fanin_tts[0], &fanin_tts[1], &fanin_tts[2]),
-        GateKind::Xor3 => &(&fanin_tts[0] ^ &fanin_tts[1]) ^ &fanin_tts[2],
-        _ => {
-            // generic composition: OR over the on-set minterms of `function`
-            let num_vars = fanin_tts.first().map(TruthTable::num_vars).unwrap_or(0);
-            let mut result = TruthTable::zero(num_vars);
-            for m in 0..function.num_bits() {
-                if !function.bit(m) {
-                    continue;
-                }
-                let mut term = TruthTable::one(num_vars);
-                for (i, fanin_tt) in fanin_tts.iter().enumerate() {
-                    term = if (m >> i) & 1 == 1 {
-                        &term & fanin_tt
-                    } else {
-                        &term & &!fanin_tt
-                    };
-                }
-                result = &result | &term;
-            }
-            result
-        }
-    }
+    crate::bitops::evaluate_gate(kind, || function.clone(), fanin_tts)
 }
 
 /// Simulates the network under explicit 64-bit input patterns: `patterns`
@@ -132,29 +107,8 @@ pub fn simulate_patterns<N: Network>(ntk: &N, patterns: &[u64]) -> Vec<u64> {
             inputs.push(if f.is_complemented() { !v } else { v });
         });
         values[node as usize] = match ntk.gate_kind(node) {
-            GateKind::And => inputs[0] & inputs[1],
-            GateKind::Xor => inputs[0] ^ inputs[1],
-            GateKind::Maj => {
-                (inputs[0] & inputs[1]) | (inputs[1] & inputs[2]) | (inputs[0] & inputs[2])
-            }
-            GateKind::Xor3 => inputs[0] ^ inputs[1] ^ inputs[2],
-            GateKind::Lut => {
-                let function = ntk.node_function(node);
-                let mut out = 0u64;
-                for bit in 0..64 {
-                    let mut index = 0usize;
-                    for (i, input) in inputs.iter().enumerate() {
-                        if (input >> bit) & 1 == 1 {
-                            index |= 1 << i;
-                        }
-                    }
-                    if function.bit(index) {
-                        out |= 1 << bit;
-                    }
-                }
-                out
-            }
             GateKind::Constant | GateKind::Input => 0,
+            kind => crate::bitops::evaluate_gate(kind, || ntk.node_function(node), &inputs),
         };
     }
     ntk.po_signals()

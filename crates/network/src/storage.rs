@@ -197,6 +197,14 @@ impl Storage {
         }
     }
 
+    /// Returns the most recently drawn traversal epoch (0 before the first
+    /// draw).  Debug aid backing the [`Traversal`](crate::Traversal) owner
+    /// check; transiently off by the wrap-skip during the rare 32-bit
+    /// wrap-around, which is acceptable for a debug-only diagnostic.
+    pub fn current_traversal_epoch(&self) -> u64 {
+        self.epoch.0.load(Ordering::Relaxed) & u64::from(u32::MAX)
+    }
+
     pub fn create_pi(&mut self) -> Signal {
         let id = self.nodes.len() as NodeId;
         self.nodes

@@ -141,6 +141,15 @@ pub trait Network: Sized {
     /// use that engine rather than calling this directly.
     fn next_traversal_epoch(&self) -> u64;
 
+    /// Returns the most recently drawn traversal epoch (0 before the first
+    /// draw).
+    ///
+    /// Backs the debug-build owner check of the
+    /// [`Traversal`](crate::traversal::Traversal) engine: a traversal that
+    /// *writes* while a younger traversal exists violates the documented
+    /// single-traversal-at-a-time contract and panics in debug builds.
+    fn current_traversal_epoch(&self) -> u64;
+
     /// Returns the local function of the gate over its fanins (edge
     /// complementations are *not* included; callers compose them from
     /// [`Network::fanins`]).

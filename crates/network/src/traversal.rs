@@ -34,6 +34,15 @@
 //! Algorithms that write raw scratch values directly must call
 //! [`Network::clear_scratch`] afterwards, otherwise a leftover value could
 //! alias a live epoch tag.
+//!
+//! In debug builds the contract is *checked*, not just documented: every
+//! write ([`Traversal::mark`], [`Traversal::set_value`]) asserts that this
+//! traversal is still the network's most recently started one (its epoch
+//! equals [`Network::current_traversal_epoch`]).  Writing through an older
+//! traversal — the interleaving that silently evicts marks — panics with a
+//! diagnostic instead of corrupting the younger traversal's view.  Reads
+//! remain allowed at any time: reading a finished window through stale
+//! stamps is well-defined (stale epochs simply report "unvisited").
 
 use crate::{Network, NodeId};
 
@@ -60,6 +69,28 @@ impl Traversal {
         self.epoch << 32
     }
 
+    /// Debug-build owner check: writing through a traversal that is no
+    /// longer the network's youngest silently evicts the younger
+    /// traversal's marks — the exact interleaving the documented contract
+    /// forbids.  Checked on every write so the bug panics at its source.
+    #[inline]
+    fn assert_owner<N: Network>(&self, ntk: &N) {
+        #[cfg(debug_assertions)]
+        {
+            let current = ntk.current_traversal_epoch();
+            assert!(
+                current == self.epoch,
+                "interleaved traversal write: this traversal owns epoch {} but a \
+                 younger traversal (epoch {current}) has started on the network; \
+                 run traversals strictly one after another or keep long-lived \
+                 state in a side structure (see glsx_network::traversal)",
+                self.epoch
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = ntk;
+    }
+
     /// Returns `true` if this traversal has visited `node`.
     #[inline]
     pub fn is_marked<N: Network>(&self, ntk: &N, node: NodeId) -> bool {
@@ -75,6 +106,7 @@ impl Traversal {
         if self.is_marked(ntk, node) {
             return false;
         }
+        self.assert_owner(ntk);
         ntk.set_scratch(node, self.tag());
         true
     }
@@ -82,6 +114,7 @@ impl Traversal {
     /// Stores a 32-bit value for `node` (marking it visited).
     #[inline]
     pub fn set_value<N: Network>(&self, ntk: &N, node: NodeId, value: u32) {
+        self.assert_owner(ntk);
         ntk.set_scratch(node, self.tag() | u64::from(value));
     }
 
@@ -170,6 +203,37 @@ mod tests {
         let t2 = Traversal::new(&aig);
         assert!(t2.mark(&aig, a));
         assert_eq!(t2.value(&aig, a), Some(0), "mark resets the stale value");
+    }
+
+    /// The single-traversal-at-a-time contract is checked in debug builds:
+    /// writing through a traversal after a younger one has started panics
+    /// instead of silently evicting the younger traversal's marks.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "interleaved traversal write")]
+    fn interleaved_writes_panic_in_debug_builds() {
+        let (aig, a, g) = three_node_aig();
+        let t1 = Traversal::new(&aig);
+        t1.mark(&aig, a);
+        let t2 = Traversal::new(&aig);
+        t2.mark(&aig, g);
+        // t1 is no longer the youngest traversal; writing through it would
+        // corrupt t2's view
+        t1.mark(&aig, g);
+    }
+
+    /// Reads through an older traversal stay legal (finished windows are
+    /// read through stale stamps by design).
+    #[test]
+    fn stale_reads_are_still_allowed() {
+        let (aig, a, g) = three_node_aig();
+        let t1 = Traversal::new(&aig);
+        t1.set_value(&aig, a, 11);
+        let t2 = Traversal::new(&aig);
+        t2.mark(&aig, g);
+        assert_eq!(t1.value(&aig, a), Some(11));
+        assert!(t1.is_marked(&aig, a));
+        assert!(!t1.is_marked(&aig, g));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! correctness by simulation.
 
 use glsx::algorithms::lut_mapping::{lut_map, LutMapParams};
-use glsx::benchmarks::{epfl_like_suite, SuiteScale};
-use glsx::flow::{compress2rs, run_script, FlowOptions, FlowScript};
+use glsx::algorithms::sweeping::check_equivalence;
+use glsx::benchmarks::{epfl_like_suite, inject_redundancy, SuiteScale};
+use glsx::flow::{compress2rs, run_script, run_step, FlowOptions, FlowScript};
 use glsx::io::{read_aiger, write_aiger, write_blif};
 use glsx::network::simulation::{equivalent_by_random_simulation, equivalent_by_simulation};
 use glsx::network::{convert_network, Aig, Mig, Xag};
@@ -79,6 +80,52 @@ fn scripts_and_io_compose() {
     let blif = write_blif(&klut, "multiplier");
     assert!(blif.contains(".model multiplier"));
     assert!(blif.contains(".end"));
+}
+
+/// Every optimisation pass of the representative flow is followed by a
+/// miter-based equivalence check against its own input: the SAT-complete
+/// end-to-end soundness guarantee (the former random-simulation assertion
+/// could only refute, never prove).
+#[test]
+fn every_flow_step_is_miter_verified() {
+    let benchmark = glsx::benchmarks::benchmark_by_name("multiplier", SuiteScale::Tiny).unwrap();
+    let mut aig: Aig = benchmark.network.clone();
+    inject_redundancy(&mut aig, 3, 0xE2E);
+    let script = FlowScript::parse("fraig; bz; rw; rf; rs -c 8; rwz").unwrap();
+    let options = FlowOptions::default();
+    let mut fraig_merges = 0usize;
+    for step in script.steps() {
+        let input = aig.clone();
+        let substitutions = run_step(&mut aig, step, &options);
+        assert!(
+            check_equivalence(&input, &aig).is_equivalent(),
+            "step `{step:?}` broke combinational equivalence"
+        );
+        if matches!(step, glsx::flow::FlowStep::Fraig) {
+            fraig_merges += substitutions;
+        }
+    }
+    assert!(fraig_merges >= 1, "fraig merged no injected duplicates");
+}
+
+/// The full generic flow output is miter-proven equivalent to its input in
+/// every representation (complementing the per-step check above).
+#[test]
+fn optimised_networks_are_miter_equivalent_to_their_sources() {
+    let benchmark = glsx::benchmarks::benchmark_by_name("adder", SuiteScale::Tiny).unwrap();
+    let aig = &benchmark.network;
+
+    let mut opt_aig = aig.clone();
+    compress2rs(&mut opt_aig, &FlowOptions::default());
+    assert!(check_equivalence(aig, &opt_aig).is_equivalent());
+
+    let mut opt_mig: Mig = convert_network(aig);
+    compress2rs(&mut opt_mig, &FlowOptions::default());
+    assert!(check_equivalence(aig, &opt_mig).is_equivalent());
+
+    let mut opt_xag: Xag = convert_network(aig);
+    compress2rs(&mut opt_xag, &FlowOptions::default());
+    assert!(check_equivalence(aig, &opt_xag).is_equivalent());
 }
 
 /// The portfolio never does worse than the individual representations.
