@@ -13,13 +13,16 @@
 //! results at the repository root.
 //!
 //! `--smoke` runs a single small circuit through every optimisation pass
-//! of a representative flow, following **each** pass with a miter-based
-//! `check_equivalence` against that pass's input — the CI guard proving
-//! pass soundness end to end (SAT-complete, unlike the former
-//! random-simulation assertion).
+//! of a representative flow **twice — incrementally and from scratch** —
+//! following each pass with a miter-based `check_equivalence` against
+//! that pass's input and asserting that both maintenance modes produce
+//! identical gate counts: the CI guard proving both pass soundness and
+//! the incremental-vs-full contract end to end (SAT-complete, unlike the
+//! former random-simulation assertion).
 
 use glsx_benchmarks::arithmetic::{adder, barrel_shifter, multiplier, square};
 use glsx_benchmarks::inject_redundancy;
+use glsx_core::cuts::CutCounters;
 use glsx_core::rewriting::{rewrite, RewriteParams};
 use glsx_core::sweeping::{check_equivalence, sweep, SweepParams};
 use glsx_flow::{run_step, FlowOptions, FlowScript};
@@ -31,6 +34,12 @@ struct Row {
     gates_before: usize,
     gates_after: usize,
     substitutions: usize,
+    /// Cut-manager work of the incremental pass: nodes invalidated by
+    /// substitutions and nodes/cuts actually re-enumerated.
+    cuts: CutCounters,
+    /// Nodes a full-TFO rebuild would re-enumerate for the same pass (the
+    /// from-scratch mode's re-enumeration count, measured once).
+    full_rebuild_nodes: u64,
     seconds_per_pass: f64,
     gates_per_sec: f64,
 }
@@ -45,6 +54,35 @@ fn measure(name: &'static str, aig: &Aig, budget_ms: u128) -> Row {
     let mut first = aig.clone();
     let reference_stats = rewrite(&mut first, &RewriteParams::default());
     let gates_after = first.num_gates();
+
+    // one from-scratch run measures what a full rebuild after every
+    // substitution would re-enumerate, and doubles as the CI-grade
+    // assertion that both maintenance modes are bit-identical
+    let mut full = aig.clone();
+    let full_stats = rewrite(
+        &mut full,
+        &RewriteParams {
+            cut_maintenance: glsx_core::rewriting::CutMaintenance::FullRecompute,
+            ..RewriteParams::default()
+        },
+    );
+    assert_eq!(
+        (
+            full_stats.substitutions,
+            full_stats.estimated_gain,
+            full.num_gates()
+        ),
+        (
+            reference_stats.substitutions,
+            reference_stats.estimated_gain,
+            gates_after
+        ),
+        "{name}: incremental and full-recompute rewriting diverged"
+    );
+    assert!(
+        reference_stats.cuts.reenumerated_nodes <= full_stats.cuts.reenumerated_nodes,
+        "{name}: incremental refresh re-enumerated more than a full rebuild"
+    );
 
     let started = Instant::now();
     let mut runs = 0u32;
@@ -67,6 +105,8 @@ fn measure(name: &'static str, aig: &Aig, budget_ms: u128) -> Row {
         gates_before: aig.num_gates(),
         gates_after,
         substitutions: reference_stats.substitutions,
+        cuts: reference_stats.cuts,
+        full_rebuild_nodes: full_stats.cuts.reenumerated_nodes,
         seconds_per_pass: seconds,
         gates_per_sec: aig.num_gates() as f64 / seconds,
     }
@@ -126,28 +166,49 @@ fn measure_sweep(name: &'static str, aig: &Aig, budget_ms: u128) -> SweepRow {
 }
 
 /// `--smoke`: run every pass of a representative flow on one small
-/// circuit, each followed by a miter-based equivalence check against the
+/// circuit **twice** — once with incremental maintenance (the default)
+/// and once in from-scratch mode — asserting identical gate counts, and
+/// following each pass with a miter-based equivalence check against the
 /// pass's input.
 fn smoke() {
     // fraig runs first so it is the pass that faces the injected
-    // duplicates (the rewriting family would otherwise absorb them)
-    let script = FlowScript::parse("fraig; bz; rw; rf; rs -c 8; rwz").unwrap();
-    let options = FlowOptions::default();
+    // duplicates (the rewriting family would otherwise absorb them); the
+    // fraig -c step exercises the script-level conflict budget
+    let script = FlowScript::parse("fraig; bz; rw; rf; rs -c 8; rwz; fraig -c 5000").unwrap();
+    let incremental = FlowOptions::default();
+    let from_scratch = FlowOptions {
+        full_recompute: true,
+        ..FlowOptions::default()
+    };
     let mut ntk: Aig = adder(8);
     glsx_benchmarks::inject_redundancy(&mut ntk, 4, 0x51u64);
+    let mut scratch_ntk = ntk.clone();
     let mut merged_by_fraig = 0usize;
+    let mut proof_conflicts = 0u64;
     for step in script.steps() {
         let input = ntk.clone();
-        let substitutions = run_step(&mut ntk, step, &options);
+        let substitutions = run_step(&mut ntk, step, &incremental);
+        let scratch_subs = run_step(&mut scratch_ntk, step, &from_scratch);
+        assert_eq!(
+            (substitutions, ntk.num_gates()),
+            (scratch_subs, scratch_ntk.num_gates()),
+            "smoke: `{step:?}` diverged between incremental and from-scratch maintenance"
+        );
+        let outcome = check_equivalence(&input, &ntk);
         assert!(
-            check_equivalence(&input, &ntk).is_equivalent(),
+            outcome.is_equivalent(),
             "smoke: `{step:?}` broke combinational equivalence"
         );
-        if matches!(step, glsx_flow::FlowStep::Fraig) {
+        proof_conflicts += outcome.solver.conflicts;
+        assert!(
+            check_equivalence(&ntk, &scratch_ntk).is_equivalent(),
+            "smoke: `{step:?}` incremental and from-scratch networks differ functionally"
+        );
+        if matches!(step, glsx_flow::FlowStep::Fraig { .. }) {
             merged_by_fraig += substitutions;
         }
         println!(
-            "smoke {:<10} {:>4} -> {:>4} gates ({} substitutions) miter OK",
+            "smoke {:<10} {:>4} -> {:>4} gates ({} substitutions) miter OK, modes agree",
             format!("{step:?}").split_whitespace().next().unwrap(),
             input.num_gates(),
             ntk.num_gates(),
@@ -158,7 +219,11 @@ fn smoke() {
         merged_by_fraig >= 1,
         "smoke: fraig merged none of the injected duplicates"
     );
-    println!("smoke: every pass proven equivalence-preserving by miter");
+    println!(
+        "smoke: every pass proven equivalence-preserving by miter \
+         ({proof_conflicts} total proof conflicts) and bit-identical across \
+         incremental/from-scratch maintenance"
+    );
 }
 
 fn main() {
@@ -183,8 +248,23 @@ fn main() {
     for (name, aig) in &suite {
         let row = measure(name, aig, 2000);
         println!(
-            "rewrite {:<20} {:>5} -> {:>5} gates {:>4} subs  {:>10.0} gates/s",
-            row.circuit, row.gates_before, row.gates_after, row.substitutions, row.gates_per_sec
+            "rewrite {:<20} {:>5} -> {:>5} gates {:>4} subs  {:>6} invalidated {:>6} re-enumerated \
+             (full rebuild: {:>7})  {:>10.0} gates/s",
+            row.circuit,
+            row.gates_before,
+            row.gates_after,
+            row.substitutions,
+            row.cuts.invalidated_nodes,
+            row.cuts.reenumerated_nodes,
+            row.full_rebuild_nodes,
+            row.gates_per_sec
+        );
+        // the acceptance bar of the incremental engine: substitutions must
+        // re-enumerate strictly less than a full-TFO rebuild would
+        assert!(
+            row.substitutions == 0 || row.cuts.reenumerated_nodes < row.full_rebuild_nodes,
+            "{}: incremental refresh saved nothing over a full rebuild",
+            row.circuit
         );
         rows.push(row);
 
@@ -212,12 +292,19 @@ fn main() {
             format!(
                 concat!(
                     "    {{\"circuit\": \"{}\", \"gates_before\": {}, \"gates_after\": {}, ",
-                    "\"substitutions\": {}, \"seconds_per_pass\": {:.6}, \"gates_per_sec\": {:.0}}}"
+                    "\"substitutions\": {}, \"invalidated_nodes\": {}, ",
+                    "\"reenumerated_nodes\": {}, \"reenumerated_cuts\": {}, ",
+                    "\"full_rebuild_nodes\": {}, ",
+                    "\"seconds_per_pass\": {:.6}, \"gates_per_sec\": {:.0}}}"
                 ),
                 r.circuit,
                 r.gates_before,
                 r.gates_after,
                 r.substitutions,
+                r.cuts.invalidated_nodes,
+                r.cuts.reenumerated_nodes,
+                r.cuts.reenumerated_cuts,
+                r.full_rebuild_nodes,
                 r.seconds_per_pass,
                 r.gates_per_sec
             )

@@ -33,7 +33,7 @@
 //! arena spans; once more than half of the arena is dead the manager
 //! compacts it in place instead of bump-leaking until drop.
 
-use glsx_network::{GateKind, Network, NodeId, SimBlock, Traversal};
+use glsx_network::{ChangeEvent, ChangeLog, GateKind, Network, NodeId, SimBlock, Traversal};
 use glsx_truth::TruthTable;
 use std::collections::BTreeMap;
 
@@ -343,6 +343,34 @@ impl CutFunction {
         let wc = Self::word_count(self.num_vars as usize);
         TruthTable::from_words(self.num_vars as usize, self.words[..wc].to_vec())
     }
+
+    /// Builds a `Copy` cut function from a heap-backed table (at most
+    /// [`MAX_CUT_LEAVES`] variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has more than [`MAX_CUT_LEAVES`] variables.
+    pub fn from_truth_table(tt: &TruthTable) -> Self {
+        assert!(
+            tt.num_vars() <= MAX_CUT_LEAVES,
+            "cut functions hold at most {MAX_CUT_LEAVES} variables"
+        );
+        let mut f = Self::zero(tt.num_vars());
+        for (slot, word) in f.words.iter_mut().zip(tt.words()) {
+            *slot = *word;
+        }
+        f.mask_off_excess();
+        f
+    }
+
+    /// Overwrites `tt` with this function, reusing `tt`'s word buffer —
+    /// the allocation-free form of [`CutFunction::to_truth_table`] used by
+    /// the replacement engine to cross the resynthesis boundary without a
+    /// per-candidate heap table.
+    pub fn write_truth_table(&self, tt: &mut TruthTable) {
+        let wc = Self::word_count(self.num_vars as usize);
+        tt.assign_words(self.num_vars as usize, &self.words[..wc]);
+    }
 }
 
 /// [`CutFunction`] is a [`SimBlock`], so the fused enumeration evaluates
@@ -427,11 +455,15 @@ impl Default for CutParams {
 /// State of one node's entry in the cut arena.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 enum SpanState {
-    /// Never computed (or invalidated after a substitution).
+    /// Never computed.
     #[default]
     Empty,
     /// `arena[start..start + len]` holds the node's cut set.
     Computed,
+    /// Computed at least once, then dropped (substitution or refresh);
+    /// behaves like [`SpanState::Empty`] except that the next commit
+    /// counts as a *re*-enumeration in [`CutCounters`].
+    Invalidated,
 }
 
 /// Per-node slice descriptor into the flat cut arena.
@@ -444,6 +476,28 @@ struct Span {
 
 /// Arena grows beyond this before compaction is considered.
 const COMPACT_MIN_ARENA: usize = 4096;
+
+/// Cumulative enumeration/invalidation counters of a [`CutManager`] — the
+/// observability half of the incremental-maintenance contract.  A pass
+/// that refreshes incrementally can report how much enumeration work each
+/// substitution actually caused (`reenumerated_*`) against the full
+/// rebuild it avoided (every live node).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CutCounters {
+    /// Nodes whose cut set was enumerated (first time or again).
+    pub enumerated_nodes: u64,
+    /// Cuts committed to the arena over all enumerations.
+    pub enumerated_cuts: u64,
+    /// Nodes enumerated *again* after an invalidation dropped their set.
+    pub reenumerated_nodes: u64,
+    /// Cuts committed by re-enumerations.
+    pub reenumerated_cuts: u64,
+    /// Computed cut sets dropped by [`CutManager::invalidate`],
+    /// [`CutManager::refresh_from`] or [`CutManager::invalidate_all`].
+    pub invalidated_nodes: u64,
+    /// Calls to [`CutManager::refresh_from`].
+    pub refreshes: u64,
+}
 
 /// Bottom-up priority-cut enumeration with lazy, per-node memoisation and
 /// optional fused truth tables.
@@ -485,6 +539,10 @@ pub struct CutManager {
     /// by scratch-slot stamps, see [`CutManager::cut_cone_function`]).
     sim_values: Vec<CutFunction>,
     sim_stack: Vec<NodeId>,
+    /// Reused transitive-fanout worklist of [`CutManager::refresh_from`].
+    refresh_stack: Vec<NodeId>,
+    /// Cumulative enumeration/invalidation counters.
+    counters: CutCounters,
 }
 
 impl CutManager {
@@ -521,7 +579,14 @@ impl CutManager {
             result_functions: Vec::new(),
             sim_values: Vec::new(),
             sim_stack: Vec::new(),
+            refresh_stack: Vec::new(),
+            counters: CutCounters::default(),
         }
+    }
+
+    /// The cumulative enumeration/invalidation counters.
+    pub fn counters(&self) -> CutCounters {
+        self.counters
     }
 
     /// Returns the cut set of `node`, computing it (and its ancestors'
@@ -533,16 +598,21 @@ impl CutManager {
         &self.arena[span.start as usize..span.start as usize + span.len as usize]
     }
 
-    /// Returns the fused truth table of cut `index` of `node` (the cut at
+    /// Returns the fused function of cut `index` of `node` (the cut at
     /// `cuts_of(ntk, node)[index]`), expressed over the cut's sorted
     /// leaves — bit-identical to [`simulate_cut`] over the same leaves.
+    ///
+    /// The returned reference points straight into the function arena: the
+    /// hot path never materialises a heap table (copy the `Copy` value or
+    /// use [`CutFunction::write_truth_table`] to cross into heap-table
+    /// APIs).
     ///
     /// # Panics
     ///
     /// Panics if the manager was created without
     /// [`CutParams::compute_truth`] or the node's cuts have not been
     /// computed (or were invalidated).
-    pub fn cut_function(&self, node: NodeId, index: usize) -> TruthTable {
+    pub fn cut_function(&self, node: NodeId, index: usize) -> &CutFunction {
         assert!(
             self.params.compute_truth,
             "cut_function requires CutParams::compute_truth"
@@ -552,7 +622,7 @@ impl CutManager {
             span.state == SpanState::Computed && index < span.len as usize,
             "cut_function: cuts of node {node} not computed"
         );
-        self.functions[span.start as usize + index].to_truth_table()
+        &self.functions[span.start as usize + index]
     }
 
     /// Drops the memoised cut set of `node` (used after the node has been
@@ -562,8 +632,59 @@ impl CutManager {
         if let Some(span) = self.spans.get_mut(node as usize) {
             if span.state == SpanState::Computed {
                 self.live -= span.len as usize;
+                span.state = SpanState::Invalidated;
+                self.counters.invalidated_nodes += 1;
             }
-            span.state = SpanState::Empty;
+        }
+    }
+
+    /// Drops every memoised cut set — the *from-scratch* maintenance mode:
+    /// after this call the manager behaves exactly like a freshly
+    /// constructed one (modulo counters and reusable buffers).  The
+    /// incremental counterpart is [`CutManager::refresh_from`]; passes run
+    /// both modes in CI to prove them bit-identical.
+    pub fn invalidate_all(&mut self) {
+        for node in 0..self.spans.len() as NodeId {
+            self.invalidate(node);
+        }
+    }
+
+    /// Incrementally refreshes the manager after the structural changes
+    /// recorded in `log`: cut sets of substituted and deleted nodes are
+    /// dropped, and the *transitive fanout* of every rewired node — the
+    /// exact set of nodes whose cones (and therefore cut sets and cut
+    /// functions) the changes can have altered — is invalidated for lazy
+    /// re-enumeration.  Nothing else is touched, so after a refresh the
+    /// manager answers every query bit-identically to a from-scratch
+    /// manager over the changed network, at the cost of re-enumerating
+    /// only the invalidated region instead of everything (the contract
+    /// verified by the property suite and the `--smoke` CI run).
+    ///
+    /// The fanout walk is bounded by the scratch-slot [`Traversal`]
+    /// engine; callers must not hold another live-writing traversal across
+    /// this call.
+    pub fn refresh_from<N: Network>(&mut self, ntk: &N, log: &ChangeLog) {
+        self.counters.refreshes += 1;
+        let tfo = Traversal::new(ntk);
+        debug_assert!(self.refresh_stack.is_empty());
+        for event in log.events() {
+            match *event {
+                ChangeEvent::Substituted { old, .. } => self.invalidate(old),
+                ChangeEvent::Deleted { node } => self.invalidate(node),
+                ChangeEvent::RewiredFanin { node } => {
+                    if tfo.mark(ntk, node) {
+                        self.refresh_stack.push(node);
+                    }
+                }
+            }
+        }
+        while let Some(node) = self.refresh_stack.pop() {
+            self.invalidate(node);
+            ntk.foreach_fanout(node, |parent| {
+                if tfo.mark(ntk, parent) {
+                    self.refresh_stack.push(parent);
+                }
+            });
         }
     }
 
@@ -614,7 +735,7 @@ impl CutManager {
                 continue;
             }
             if (node as usize) < ntk.size() && ntk.is_dead(node) {
-                self.spans[node as usize].state = SpanState::Empty;
+                self.spans[node as usize].state = SpanState::Invalidated;
                 continue;
             }
             live += span.len as usize;
@@ -660,6 +781,12 @@ impl CutManager {
         }
         self.live += len as usize;
         self.grow_spans(node);
+        self.counters.enumerated_nodes += 1;
+        self.counters.enumerated_cuts += u64::from(len);
+        if self.spans[node as usize].state == SpanState::Invalidated {
+            self.counters.reenumerated_nodes += 1;
+            self.counters.reenumerated_cuts += u64::from(len);
+        }
         self.spans[node as usize] = Span {
             start,
             len,
@@ -1086,75 +1213,104 @@ pub fn simulate_cut_cone<N: Network>(
         .collect()
 }
 
-/// Computes a reconvergence-driven cut of at most `max_leaves` leaves
-/// rooted at `root` (top-down expansion choosing the leaf whose expansion
-/// adds the fewest new leaves).
-///
-/// Returns the leaves of the cut (primary inputs may appear as leaves).
+/// Reusable reconvergence-driven cut computer: one leaf buffer shared
+/// across calls, so a pass computing a cut per visited node allocates
+/// nothing in the steady state (the scratch-slot pattern already used by
+/// [`Replacer`](crate::replace::Replacer)).
 ///
 /// Membership of the growing cut (`leaves ∪ expanded interior`) lives in
 /// the scratch-slot [`Traversal`] engine, so every cost probe and
-/// expansion test is O(1) instead of a linear scan over the leaf and
-/// visited vectors.  The traversal finishes before the function returns
-/// and must not be interleaved with another live-writing traversal (see
-/// [`glsx_network::traversal`]).
+/// expansion test is O(1).  The traversal finishes before
+/// [`ReconvergenceCut::compute`] returns and must not be interleaved with
+/// another live-writing traversal (see [`glsx_network::traversal`]).
+#[derive(Debug, Default)]
+pub struct ReconvergenceCut {
+    leaves: Vec<NodeId>,
+}
+
+impl ReconvergenceCut {
+    /// Creates a computer with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes a reconvergence-driven cut of at most `max_leaves` leaves
+    /// rooted at `root` (top-down expansion choosing the leaf whose
+    /// expansion adds the fewest new leaves).
+    ///
+    /// Returns the sorted, duplicate-free leaves of the cut (primary
+    /// inputs may appear as leaves); the slice stays valid until the next
+    /// `compute` call on this computer.
+    pub fn compute<N: Network>(&mut self, ntk: &N, root: NodeId, max_leaves: usize) -> &[NodeId] {
+        let leaves = &mut self.leaves;
+        leaves.clear();
+        // one mark covers both the current leaves and the expanded
+        // interior: a leaf keeps its mark when it moves to the interior,
+        // and the tests below only ever ask for the union
+        let in_cut = Traversal::new(ntk);
+        in_cut.mark(ntk, root);
+        // start from the fanins of the root
+        ntk.foreach_fanin(root, |f| {
+            if in_cut.mark(ntk, f.node()) {
+                leaves.push(f.node());
+            }
+        });
+        loop {
+            // pick the best leaf to expand: a gate whose fanins add the
+            // fewest new leaves (and at least keeps us within the limit)
+            let mut best: Option<(usize, usize)> = None; // (cost, index)
+            for (i, &leaf) in leaves.iter().enumerate() {
+                if !ntk.is_gate(leaf) {
+                    continue;
+                }
+                let mut new_leaves = 0usize;
+                ntk.foreach_fanin(leaf, |f| {
+                    if !in_cut.is_marked(ntk, f.node()) {
+                        new_leaves += 1;
+                    }
+                });
+                let cost = new_leaves;
+                if leaves.len() - 1 + new_leaves > max_leaves {
+                    continue;
+                }
+                if best.is_none_or(|(c, _)| cost < c) {
+                    best = Some((cost, i));
+                }
+            }
+            match best {
+                None => break,
+                Some((_, index)) => {
+                    let leaf = leaves.swap_remove(index);
+                    ntk.foreach_fanin(leaf, |f| {
+                        if in_cut.mark(ntk, f.node()) {
+                            leaves.push(f.node());
+                        }
+                    });
+                }
+            }
+            if leaves.len() >= max_leaves {
+                break;
+            }
+        }
+        leaves.sort_unstable();
+        leaves.dedup();
+        leaves
+    }
+}
+
+/// Computes a reconvergence-driven cut of at most `max_leaves` leaves
+/// rooted at `root`.
+///
+/// Cold-path convenience that allocates a fresh buffer per call; passes
+/// reuse a [`ReconvergenceCut`] computer instead.
 pub fn reconvergence_driven_cut<N: Network>(
     ntk: &N,
     root: NodeId,
     max_leaves: usize,
 ) -> Vec<NodeId> {
-    let mut leaves: Vec<NodeId> = Vec::new();
-    // one mark covers both the current leaves and the expanded interior:
-    // a leaf keeps its mark when it moves to the interior, and the tests
-    // below only ever ask for the union
-    let in_cut = Traversal::new(ntk);
-    in_cut.mark(ntk, root);
-    // start from the fanins of the root
-    ntk.foreach_fanin(root, |f| {
-        if in_cut.mark(ntk, f.node()) {
-            leaves.push(f.node());
-        }
-    });
-    loop {
-        // pick the best leaf to expand: a gate whose fanins add the fewest
-        // new leaves (and at least keeps us within the limit)
-        let mut best: Option<(usize, usize)> = None; // (cost, index)
-        for (i, &leaf) in leaves.iter().enumerate() {
-            if !ntk.is_gate(leaf) {
-                continue;
-            }
-            let mut new_leaves = 0usize;
-            ntk.foreach_fanin(leaf, |f| {
-                if !in_cut.is_marked(ntk, f.node()) {
-                    new_leaves += 1;
-                }
-            });
-            let cost = new_leaves;
-            if leaves.len() - 1 + new_leaves > max_leaves {
-                continue;
-            }
-            if best.is_none_or(|(c, _)| cost < c) {
-                best = Some((cost, i));
-            }
-        }
-        match best {
-            None => break,
-            Some((_, index)) => {
-                let leaf = leaves.swap_remove(index);
-                ntk.foreach_fanin(leaf, |f| {
-                    if in_cut.mark(ntk, f.node()) {
-                        leaves.push(f.node());
-                    }
-                });
-            }
-        }
-        if leaves.len() >= max_leaves {
-            break;
-        }
-    }
-    leaves.sort_unstable();
-    leaves.dedup();
-    leaves
+    let mut computer = ReconvergenceCut::new();
+    computer.compute(ntk, root, max_leaves);
+    computer.leaves
 }
 
 #[cfg(test)]
@@ -1306,7 +1462,7 @@ mod tests {
         for node in aig.gate_nodes() {
             let cuts = mgr.cuts_of(&aig, node).to_vec();
             for (i, cut) in cuts.iter().enumerate() {
-                let fused = mgr.cut_function(node, i);
+                let fused = mgr.cut_function(node, i).to_truth_table();
                 let simulated = simulate_cut(&aig, node, cut.leaves());
                 assert_eq!(fused, simulated, "node {node}, cut {i}");
             }
@@ -1332,7 +1488,7 @@ mod tests {
         for node in mig.gate_nodes() {
             let cuts = mgr.cuts_of(&mig, node).to_vec();
             for (i, cut) in cuts.iter().enumerate() {
-                let fused = mgr.cut_function(node, i);
+                let fused = mgr.cut_function(node, i).to_truth_table();
                 let simulated = simulate_cut(&mig, node, cut.leaves());
                 assert_eq!(fused, simulated, "node {node}, cut {i}");
             }
@@ -1450,11 +1606,11 @@ mod tests {
             compute_truth: true,
         });
         let gates = aig.gate_nodes();
-        let snapshot: Vec<(NodeId, Vec<Cut>, Vec<TruthTable>)> = gates
+        let snapshot: Vec<(NodeId, Vec<Cut>, Vec<CutFunction>)> = gates
             .iter()
             .map(|&n| {
                 let cuts = mgr.cuts_of(&aig, n).to_vec();
-                let tts = (0..cuts.len()).map(|i| mgr.cut_function(n, i)).collect();
+                let tts = (0..cuts.len()).map(|i| *mgr.cut_function(n, i)).collect();
                 (n, cuts, tts)
             })
             .collect();
@@ -1480,7 +1636,109 @@ mod tests {
         for (n, cuts, tts) in &snapshot {
             assert_eq!(mgr.cuts_of(&aig, *n), cuts.as_slice(), "node {n}");
             for (i, tt) in tts.iter().enumerate() {
-                assert_eq!(mgr.cut_function(*n, i), *tt, "node {n}, cut {i}");
+                assert_eq!(mgr.cut_function(*n, i), tt, "node {n}, cut {i}");
+            }
+        }
+    }
+
+    /// Snapshot of every live node's cut sets and functions, used to
+    /// compare an incrementally refreshed manager with a from-scratch one.
+    fn full_snapshot<N: Network>(
+        ntk: &N,
+        mgr: &mut CutManager,
+    ) -> Vec<(NodeId, Vec<Cut>, Vec<CutFunction>)> {
+        ntk.node_ids()
+            .iter()
+            .map(|&n| {
+                let cuts = mgr.cuts_of(ntk, n).to_vec();
+                let tts = (0..cuts.len()).map(|i| *mgr.cut_function(n, i)).collect();
+                (n, cuts, tts)
+            })
+            .collect()
+    }
+
+    /// The incremental-refresh contract: after a substitution, refreshing
+    /// from the recorded change log makes the manager bit-identical to a
+    /// from-scratch manager — same cut sets, same order, same functions —
+    /// while re-enumerating only the invalidated region.
+    #[test]
+    fn refresh_from_matches_from_scratch_after_substitution() {
+        use glsx_network::ChangeLog;
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let ab = aig.create_and(a, b);
+        let ac = aig.create_and(a, c);
+        let top = aig.create_and(ab, ac);
+        let side = aig.create_and(b, c); // untouched by the substitution
+        aig.create_po(top);
+        aig.create_po(side);
+        let params = CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+            compute_truth: true,
+        };
+        let mut mgr = CutManager::new(params);
+        let _ = full_snapshot(&aig, &mut mgr);
+        let enumerated_before = mgr.counters().enumerated_nodes;
+
+        aig.set_change_tracking(true);
+        aig.substitute_node(ab.node(), a);
+        let mut log = ChangeLog::new();
+        aig.drain_changes(&mut log);
+        mgr.refresh_from(&aig, &log);
+        aig.set_change_tracking(false);
+
+        let refreshed = full_snapshot(&aig, &mut mgr);
+        let mut fresh = CutManager::new(params);
+        let scratch_built = full_snapshot(&aig, &mut fresh);
+        assert_eq!(refreshed, scratch_built);
+        // only the invalidated region was re-enumerated, not everything
+        let reenumerated = mgr.counters().enumerated_nodes - enumerated_before;
+        assert!(
+            reenumerated < enumerated_before,
+            "incremental refresh re-enumerated {reenumerated} of {enumerated_before} nodes"
+        );
+        assert!(mgr.counters().refreshes == 1 && mgr.counters().invalidated_nodes > 0);
+        // every post-refresh enumeration was a re-enumeration of an
+        // invalidated span (the untouched side cone kept its memoised one)
+        assert_eq!(mgr.counters().reenumerated_nodes, reenumerated);
+    }
+
+    /// `invalidate_all` is the from-scratch mode: afterwards the manager
+    /// answers like a fresh one.
+    #[test]
+    fn invalidate_all_equals_fresh_manager() {
+        let (aig, _) = chain_aig();
+        let params = CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+            compute_truth: true,
+        };
+        let mut mgr = CutManager::new(params);
+        let first = full_snapshot(&aig, &mut mgr);
+        mgr.invalidate_all();
+        let second = full_snapshot(&aig, &mut mgr);
+        assert_eq!(first, second);
+        assert_eq!(
+            mgr.counters().reenumerated_nodes,
+            mgr.counters().invalidated_nodes
+        );
+    }
+
+    /// The reusable computer returns the same cuts as the cold-path
+    /// wrapper and reuses its buffer across calls.
+    #[test]
+    fn reconvergence_cut_computer_matches_wrapper() {
+        let (aig, gs) = chain_aig();
+        let mut computer = ReconvergenceCut::new();
+        for &g in &gs {
+            for limit in [2usize, 4, 6] {
+                assert_eq!(
+                    computer.compute(&aig, g.node(), limit),
+                    reconvergence_driven_cut(&aig, g.node(), limit).as_slice()
+                );
             }
         }
     }

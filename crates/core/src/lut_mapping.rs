@@ -6,9 +6,16 @@
 //! optimisation).  The mapper enumerates priority cuts, selects one best
 //! cut per node (delay-oriented first, then an area-flow refinement pass)
 //! and derives the cover from the primary outputs.
+//!
+//! Area-flow refinement is incremental: each node's best choice is cached
+//! and a scratch-slot [`Traversal`] per round marks the nodes whose choice
+//! actually changed (cone-propagated), so later rounds re-evaluate only
+//! nodes with a changed cone instead of re-reading every node's cut set
+//! off the arena each round.  [`LutMapParams::full_recompute`] selects the
+//! from-scratch reference the incremental path is verified against.
 
 use crate::cuts::{ConeSimulator, Cut, CutManager, CutParams};
-use glsx_network::{Klut, Network, NodeId, Signal};
+use glsx_network::{Klut, Network, NodeId, Signal, Traversal};
 
 /// Parameters of LUT mapping.
 #[derive(Clone, Copy, Debug)]
@@ -21,6 +28,11 @@ pub struct LutMapParams {
     pub cut_limit: usize,
     /// Number of area-flow refinement passes after the delay-oriented pass.
     pub area_flow_rounds: usize,
+    /// Re-evaluate every node in every area-flow round instead of skipping
+    /// nodes whose cone carries no changed choice.  Both modes select the
+    /// same cover (the contract the tests verify); this is the
+    /// verification mode.
+    pub full_recompute: bool,
 }
 
 impl Default for LutMapParams {
@@ -29,6 +41,7 @@ impl Default for LutMapParams {
             lut_size: 6,
             cut_limit: 8,
             area_flow_rounds: 1,
+            full_recompute: false,
         }
     }
 }
@@ -51,9 +64,15 @@ pub struct LutMapStats {
     pub num_luts: usize,
     /// Depth of the mapped network in LUT levels.
     pub depth: u32,
+    /// Number of per-node best-choice evaluations over all rounds.  Under
+    /// incremental refinement, rounds after the first area-flow pass skip
+    /// every node whose cone carries no changed choice, so this stays far
+    /// below `rounds × gates`; under
+    /// [`LutMapParams::full_recompute`] it is exactly `rounds × gates`.
+    pub choice_evaluations: usize,
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 struct MapChoice {
     cut: Cut,
     level: u32,
@@ -88,25 +107,27 @@ pub fn lut_map<N: Network>(ntk: &N, params: &LutMapParams) -> Klut {
         params.lut_size,
         crate::cuts::MAX_CUT_LEAVES
     );
-    let (cover, choices) = select_cover(ntk, params);
+    let (cover, choices, _) = select_cover(ntk, params);
     build_klut(ntk, &cover, &choices)
 }
 
-/// Maps `ntk` and returns only the statistics (LUT count and depth) without
-/// materialising the k-LUT network.
+/// Maps `ntk` and returns only the statistics (LUT count, depth and
+/// refinement work) without keeping the k-LUT network.
 pub fn lut_map_stats<N: Network>(ntk: &N, params: &LutMapParams) -> LutMapStats {
-    let klut = lut_map(ntk, params);
+    let (cover, choices, choice_evaluations) = select_cover(ntk, params);
+    let klut = build_klut(ntk, &cover, &choices);
     let depth = glsx_network::views::network_depth(&klut);
     LutMapStats {
         num_luts: klut.num_gates(),
         depth,
+        choice_evaluations,
     }
 }
 
 fn select_cover<N: Network>(
     ntk: &N,
     params: &LutMapParams,
-) -> (Vec<NodeId>, Vec<Option<MapChoice>>) {
+) -> (Vec<NodeId>, Vec<Option<MapChoice>>, usize) {
     // truth fusion stays OFF here: the mapper reads only one function per
     // *cover* node (roughly a third of the gates), so paying for a table
     // per *enumerated* cut (cut_limit per gate) would be an order of
@@ -120,11 +141,53 @@ fn select_cover<N: Network>(
     let order = ntk.gate_nodes();
     // dense, deterministic per-node tables instead of hash maps
     let mut choices: Vec<Option<MapChoice>> = vec![None; ntk.size()];
+    let mut evaluations = 0usize;
 
-    // delay-oriented pass followed by area-flow refinement passes
+    // delay-oriented pass followed by area-flow refinement passes.  The
+    // first area round re-evaluates everything (the cost function
+    // changed); each later round re-evaluates only nodes whose cone
+    // carries a choice that changed in the *previous* or the *current*
+    // round.  One traversal spans all rounds: a node's value is the
+    // 1-based tag of the last round in which its choice changed (or a
+    // change below it propagated up through it), so round `r`'s skip test
+    // is a constant-time read of the direct fanins' tags — tag `r` covers
+    // changes made earlier in this very sweep, tag `r-1` the previous
+    // round's; anything older is already *incorporated*: a node's cost is
+    // a pure function of its cut sets (fixed) and its leaves' current
+    // choices, leaves precede it in the topological sweep, and a change
+    // two rounds back forced a re-evaluation one round back.  Regions the
+    // refinement has converged on are never touched again (their
+    // `cuts_of` pass over the arena is skipped entirely); `full_recompute`
+    // re-evaluates everything every round and must produce bit-identical
+    // choices — the verified contract.  If the cost model ever gains
+    // cross-round mutable state (e.g. exact-area fanout refs of the
+    // previous cover, required times), the round where that state changes
+    // must re-evaluate every node, like `round == 1` does here.
+    let dirty = Traversal::new(ntk);
     for round in 0..(1 + params.area_flow_rounds) {
         let area_oriented = round > 0;
+        let tag = round as u32 + 1;
+        let can_skip = round >= 2 && !params.full_recompute;
         for &node in &order {
+            let mut recent_dirty = false; // changed in round-1 or earlier this round
+            let mut current_dirty = false; // changed earlier this round
+            if area_oriented {
+                ntk.foreach_fanin(node, |f| match dirty.value(ntk, f.node()) {
+                    Some(t) if t == tag => {
+                        current_dirty = true;
+                        recent_dirty = true;
+                    }
+                    Some(t) if t + 1 == tag => recent_dirty = true,
+                    _ => {}
+                });
+            }
+            if can_skip && !recent_dirty {
+                // no choice in this node's cone changed since its last
+                // evaluation, so re-evaluating would reproduce the cached
+                // choice bit for bit — skip the whole cut-set read
+                continue;
+            }
+            evaluations += 1;
             // the manager is not invalidated inside this loop, so its
             // arena slice can be borrowed directly — no copying
             let mut best: Option<MapChoice> = None;
@@ -169,8 +232,18 @@ fn select_cover<N: Network>(
                     best = Some(candidate);
                 }
             }
+            let mut changed = false;
             if best.is_some() {
+                changed = best != choices[node as usize];
                 choices[node as usize] = best;
+            }
+            // descendants must re-evaluate when any cone choice changed
+            // this round, even if this node's own choice survived —
+            // propagate the current-round tag (previous-round tags need no
+            // re-propagation: round r-1 already tagged the whole fanout
+            // cone of its changes)
+            if area_oriented && (changed || current_dirty) {
+                dirty.set_value(ntk, node, tag);
             }
         }
     }
@@ -201,7 +274,7 @@ fn select_cover<N: Network>(
     }
     // topological order of the cover (creation order of the original gates)
     cover.sort_unstable();
-    (cover, choices)
+    (cover, choices, evaluations)
 }
 
 fn build_klut<N: Network>(ntk: &N, cover: &[NodeId], choices: &[Option<MapChoice>]) -> Klut {
@@ -301,6 +374,50 @@ mod tests {
             assert!(equivalent_by_simulation(&mig, &klut));
             assert!(klut.num_gates() <= mig.num_gates());
         }
+    }
+
+    /// The incremental area-flow refinement skips nodes with unchanged
+    /// cones yet selects exactly the same cover as full recomputation.
+    #[test]
+    fn incremental_area_flow_matches_full_recompute() {
+        let mut state = 0xdead_1234_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let mut aig = Aig::new();
+        let mut signals: Vec<Signal> = (0..8).map(|_| aig.create_pi()).collect();
+        for _ in 0..120 {
+            let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+            let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+            signals.push(aig.create_and(a, b));
+        }
+        for s in signals.iter().rev().take(5) {
+            aig.create_po(*s);
+        }
+        let incremental = LutMapParams {
+            area_flow_rounds: 3,
+            ..LutMapParams::with_lut_size(4)
+        };
+        let full = LutMapParams {
+            full_recompute: true,
+            ..incremental
+        };
+        let inc_stats = lut_map_stats(&aig, &incremental);
+        let full_stats = lut_map_stats(&aig, &full);
+        assert_eq!(inc_stats.num_luts, full_stats.num_luts);
+        assert_eq!(inc_stats.depth, full_stats.depth);
+        assert!(
+            inc_stats.choice_evaluations < full_stats.choice_evaluations,
+            "incremental refinement must skip work: {inc_stats:?} vs {full_stats:?}"
+        );
+        // the mapped networks are structurally identical, not just equal
+        // in size
+        let a = lut_map(&aig, &incremental);
+        let b = lut_map(&aig, &full);
+        assert_eq!(a.num_gates(), b.num_gates());
+        assert_eq!(a.po_signals(), b.po_signals());
+        assert!(equivalent_by_simulation(&a, &b));
     }
 
     #[test]

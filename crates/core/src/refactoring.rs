@@ -7,7 +7,7 @@
 //! structure is accepted when it is cheaper than the maximum fanout-free
 //! cone it replaces (or equal, for zero-gain refactoring).
 
-use crate::cuts::reconvergence_driven_cut;
+use crate::cuts::ReconvergenceCut;
 use crate::replace::{ReplaceOutcome, Replacer};
 use glsx_network::{GateBuilder, Network, NodeId};
 use glsx_synth::{Resynthesis, SopResynthesis};
@@ -57,6 +57,10 @@ where
 {
     let mut stats = RefactorStats::default();
     let mut replacer = Replacer::new();
+    // the cut computer's leaf buffer is reused across all visited nodes
+    // (its traversal finishes inside `compute`, so the replacer's own
+    // traversals never interleave with it)
+    let mut cut = ReconvergenceCut::new();
     let nodes: Vec<NodeId> = ntk.gate_nodes();
     for node in nodes {
         if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
@@ -66,14 +70,14 @@ where
         if crate::refs::mffc_size(ntk, node) < params.min_mffc_size {
             continue;
         }
-        let leaves = reconvergence_driven_cut(ntk, node, params.max_leaves);
+        let leaves = cut.compute(ntk, node, params.max_leaves);
         if leaves.len() < 2 || leaves.len() > 16 {
             continue;
         }
         match replacer.try_replace_on_cut(
             ntk,
             node,
-            &leaves,
+            leaves,
             None,
             resynthesis,
             params.allow_zero_gain,

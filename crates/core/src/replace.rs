@@ -9,7 +9,7 @@
 //! [`RefCountView`]), so a replacement attempt allocates no hash maps or
 //! side tables at all.
 
-use crate::cuts::ConeSimulator;
+use crate::cuts::{ConeSimulator, CutFunction};
 use crate::refs::RefCountView;
 use glsx_network::{GateBuilder, Network, NodeId, Signal};
 use glsx_synth::Resynthesis;
@@ -27,12 +27,28 @@ pub enum ReplaceOutcome {
 }
 
 /// Reusable replacement engine (buffers shared across candidates).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Replacer {
     sim: ConeSimulator,
+    /// Reused heap table crossing the resynthesis boundary: the `Copy`
+    /// [`CutFunction`] handed in by rewriting is written into this buffer
+    /// in place, so a candidate evaluation allocates no table at all.
+    function_buf: TruthTable,
     leaf_signals: Vec<Signal>,
     seen: Vec<NodeId>,
     stack: Vec<NodeId>,
+}
+
+impl Default for Replacer {
+    fn default() -> Self {
+        Self {
+            sim: ConeSimulator::new(),
+            function_buf: TruthTable::zero(0),
+            leaf_signals: Vec::new(),
+            seen: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
 }
 
 impl Replacer {
@@ -44,10 +60,12 @@ impl Replacer {
     /// Attempts to replace `node` by a resynthesised structure over the cut
     /// `leaves`.
     ///
-    /// `function` is the truth table of `node` over `leaves` if the caller
-    /// already knows it (e.g. fused cut functions from the
-    /// [`CutManager`](crate::cuts::CutManager)); when `None` it is computed
-    /// by cone simulation.
+    /// `function` is the `Copy` function of `node` over `leaves` if the
+    /// caller already knows it (fused cut functions read straight off the
+    /// [`CutManager`](crate::cuts::CutManager) arena); when `None` it is
+    /// computed by cone simulation.  Either way the table crosses the
+    /// resynthesis boundary through a reused buffer — no per-candidate
+    /// heap `TruthTable` is materialised.
     ///
     /// The gain is measured DAG-aware via reference counting: `freed`
     /// counts the gates that disappear with `node`'s maximum fanout-free
@@ -59,7 +77,7 @@ impl Replacer {
         ntk: &mut N,
         node: NodeId,
         leaves: &[NodeId],
-        function: Option<TruthTable>,
+        function: Option<CutFunction>,
         resynthesis: &mut R,
         allow_zero_gain: bool,
     ) -> ReplaceOutcome
@@ -75,10 +93,13 @@ impl Replacer {
         }
         // the simulator's traversal finishes before the ref-count traversal
         // below begins — they never interleave on the scratch slots
-        let function = match function {
-            Some(tt) => tt,
-            None => self.sim.simulate(ntk, node, leaves).clone(),
-        };
+        match function {
+            Some(cf) => cf.write_truth_table(&mut self.function_buf),
+            None => {
+                let tt = self.sim.simulate(ntk, node, leaves);
+                self.function_buf.clone_from(tt);
+            }
+        }
 
         // virtually remove the node's cone
         let mut refs = RefCountView::new(ntk);
@@ -89,7 +110,8 @@ impl Replacer {
         self.leaf_signals.clear();
         self.leaf_signals
             .extend(leaves.iter().map(|&l| Signal::new(l, false)));
-        let candidate = match resynthesis.resynthesize(ntk, &function, &self.leaf_signals) {
+        let candidate = match resynthesis.resynthesize(ntk, &self.function_buf, &self.leaf_signals)
+        {
             Some(c) => c,
             None => {
                 refs.ref_recursive(ntk, node);
@@ -313,7 +335,7 @@ mod tests {
             &mut explicit,
             f,
             &leaves,
-            Some(tt),
+            Some(CutFunction::from_truth_table(&tt)),
             &mut SopResynthesis,
             false,
         );

@@ -11,7 +11,7 @@
 //! (MIG/XMG) networks.  The kernel is selected through the
 //! [`ResubNetwork`] trait.
 
-use crate::cuts::{reconvergence_driven_cut, ConeSimulator};
+use crate::cuts::{ConeSimulator, ReconvergenceCut};
 use crate::refs::mffc_into;
 use glsx_network::{Aig, GateBuilder, Mig, Network, NodeId, Signal, Traversal, Xag, Xmg};
 use glsx_truth::TruthTable;
@@ -102,6 +102,7 @@ pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams
     // no side tables (windows and membership tests live in the scratch-slot
     // traversal engine; see `glsx_network::traversal`)
     let mut sim = ConeSimulator::new();
+    let mut cut = ReconvergenceCut::new();
     let mut mffc_nodes: Vec<NodeId> = Vec::new();
     let mut window_order: Vec<u32> = Vec::new();
     let mut divisors: Vec<Divisor> = Vec::new();
@@ -112,7 +113,7 @@ pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams
             continue;
         }
         stats.visited += 1;
-        let leaves = reconvergence_driven_cut(ntk, node, params.max_leaves);
+        let leaves = cut.compute(ntk, node, params.max_leaves);
         if leaves.is_empty() || leaves.len() > 14 {
             continue;
         }
@@ -120,7 +121,7 @@ pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams
         // divisors — nodes outside the cone of `node` whose fanins already
         // lie in the window (their functions are therefore expressible over
         // the cut and they cannot depend on `node`)
-        sim.simulate(ntk, node, &leaves);
+        sim.simulate(ntk, node, leaves);
         expand_window(ntk, node, &mut sim, params.max_divisors * 2);
         let target = sim
             .value_at(sim.index_of(ntk, node).expect("root is in its window"))

@@ -5,11 +5,37 @@
 //! the replacement is committed when the DAG-aware gain — freed gates minus
 //! newly added gates, accounting for structural hashing — is positive (or
 //! non-negative for zero-gain rewriting).
+//!
+//! The pass is *incremental by default*: the network records every
+//! structural change of a committed substitution into a
+//! [`ChangeLog`](glsx_network::ChangeLog) and the cut manager refreshes
+//! from it ([`CutManager::refresh_from`]), re-enumerating only the
+//! transitive fanout of the rewired nodes.  Later visits therefore see cut
+//! sets that reflect the *current* structure — bit-identical to rebuilding
+//! the manager from scratch after each substitution
+//! ([`CutMaintenance::FullRecompute`], the verification mode run by CI) at
+//! a fraction of the enumeration work ([`RewriteStats::cuts`] records
+//! both sides of that ledger).
 
-use crate::cuts::{Cut, CutManager, CutParams};
+use crate::cuts::{Cut, CutCounters, CutManager, CutParams};
 use crate::replace::{ReplaceOutcome, Replacer};
-use glsx_network::{GateBuilder, Network, NodeId};
+use glsx_network::{ChangeLog, GateBuilder, Network, NodeId};
 use glsx_synth::{NpnDatabase, Resynthesis};
+
+/// How the pass keeps the cut manager consistent with the network after a
+/// committed substitution.  Both modes answer every cut query identically
+/// (the contract checked by the property suite and the `--smoke` CI run);
+/// they differ only in how much enumeration work they spend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CutMaintenance {
+    /// Refresh incrementally from the recorded change events: only the
+    /// transitive fanout of rewired nodes is re-enumerated.
+    #[default]
+    Incremental,
+    /// Drop every memoised cut set after each substitution — the
+    /// from-scratch reference the incremental path is verified against.
+    FullRecompute,
+}
 
 /// Parameters of cut rewriting.
 #[derive(Clone, Copy, Debug)]
@@ -21,6 +47,8 @@ pub struct RewriteParams {
     /// Accept replacements that do not change the size (restructuring that
     /// enables follow-up optimisations; the `rwz` step of the flow).
     pub allow_zero_gain: bool,
+    /// Cut-manager maintenance mode (incremental by default).
+    pub cut_maintenance: CutMaintenance,
 }
 
 impl Default for RewriteParams {
@@ -29,6 +57,7 @@ impl Default for RewriteParams {
             cut_size: 4,
             cut_limit: 8,
             allow_zero_gain: false,
+            cut_maintenance: CutMaintenance::Incremental,
         }
     }
 }
@@ -42,6 +71,11 @@ pub struct RewriteStats {
     pub substitutions: usize,
     /// Sum of the estimated gains of committed substitutions.
     pub estimated_gain: i64,
+    /// Cut-manager enumeration/invalidation counters of the pass: how many
+    /// nodes were invalidated by substitutions and how many were actually
+    /// re-enumerated (strictly fewer under incremental maintenance than a
+    /// full rebuild would cost).
+    pub cuts: CutCounters,
 }
 
 /// Rewrites `ntk` using the given resynthesis engine and returns pass
@@ -60,6 +94,17 @@ where
         compute_truth: true,
     });
     let mut replacer = Replacer::new();
+    // the network records the structural changes of every committed
+    // substitution; the manager refreshes from them so later visits read
+    // cut sets of the *current* structure instead of stale pre-pass ones.
+    // An enclosing consumer may already be tracking: its state is
+    // restored and every event the pass drained — pending pre-pass ones
+    // included — is requeued on exit, so the consumer's own refresh still
+    // sees the full mutation history.
+    let mut log = ChangeLog::new();
+    let mut consumed = ChangeLog::new();
+    let was_tracking = ntk.is_change_tracking();
+    ntk.set_change_tracking(true);
     let nodes: Vec<NodeId> = ntk.gate_nodes();
     // cuts are copied out of the manager's arena once per node so the
     // manager can be invalidated mid-iteration; the buffer is reused, so
@@ -76,7 +121,7 @@ where
             if cut.size() < 2 {
                 continue;
             }
-            let function = cut_manager.cut_function(node, index);
+            let function = *cut_manager.cut_function(node, index);
             match replacer.try_replace_on_cut(
                 ntk,
                 node,
@@ -88,13 +133,30 @@ where
                 ReplaceOutcome::Substituted(gain) => {
                     stats.substitutions += 1;
                     stats.estimated_gain += gain;
-                    cut_manager.invalidate(node);
+                    // the log also carries rejected-candidate cleanup
+                    // events from earlier attempts (and possibly an
+                    // enclosing consumer's pre-pass events); refreshing
+                    // from extras is harmless over-invalidation
+                    ntk.drain_changes(&mut log);
+                    match params.cut_maintenance {
+                        CutMaintenance::Incremental => cut_manager.refresh_from(ntk, &log),
+                        CutMaintenance::FullRecompute => cut_manager.invalidate_all(),
+                    }
+                    consumed.append(&mut log);
                     break;
                 }
                 ReplaceOutcome::Rejected => {}
             }
         }
     }
+    if was_tracking {
+        // hand every drained event back, in order, for the enclosing
+        // consumer's next drain
+        ntk.requeue_changes(&mut consumed);
+    } else {
+        ntk.set_change_tracking(false);
+    }
+    stats.cuts = cut_manager.counters();
     stats
 }
 
@@ -194,6 +256,88 @@ mod tests {
         rewrite(&mut xag, &RewriteParams::default());
         assert!(equivalent_by_simulation(&xag_ref, &xag));
         assert!(xag.num_gates() <= xag_ref.num_gates());
+    }
+
+    /// The incremental-vs-full contract: refreshing the cut manager from
+    /// the change log yields exactly the same pass as rebuilding it from
+    /// scratch after every substitution — same substitutions, same gains,
+    /// same resulting network — while re-enumerating strictly fewer nodes.
+    #[test]
+    fn incremental_maintenance_is_bit_identical_to_full_recompute() {
+        for zero_gain in [false, true] {
+            let mut incremental = wasteful_projection_aig();
+            let mut full = incremental.clone();
+            let params = RewriteParams {
+                allow_zero_gain: zero_gain,
+                ..RewriteParams::default()
+            };
+            let inc_stats = rewrite(&mut incremental, &params);
+            let full_stats = rewrite(
+                &mut full,
+                &RewriteParams {
+                    cut_maintenance: CutMaintenance::FullRecompute,
+                    ..params
+                },
+            );
+            assert_eq!(inc_stats.substitutions, full_stats.substitutions);
+            assert_eq!(inc_stats.estimated_gain, full_stats.estimated_gain);
+            assert_eq!(incremental.num_gates(), full.num_gates());
+            assert!(equivalent_by_simulation(&incremental, &full));
+            assert!(
+                inc_stats.cuts.reenumerated_nodes <= full_stats.cuts.reenumerated_nodes,
+                "incremental re-enumerated more than full rebuild: {:?} vs {:?}",
+                inc_stats.cuts,
+                full_stats.cuts
+            );
+        }
+    }
+
+    /// A pass restores the caller's change-tracking state and hands every
+    /// event it drained back: an enclosing incremental consumer sees its
+    /// own pre-pass mutations, the pass's substitutions, and post-pass
+    /// mutations in its next drain.
+    #[test]
+    fn rewriting_preserves_enclosing_change_tracking_and_events() {
+        use glsx_network::{ChangeEvent, ChangeLog};
+        let mut aig = wasteful_projection_aig();
+        aig.set_change_tracking(true);
+        // the enclosing consumer mutates but does NOT drain before the pass
+        let pre = aig.gate_nodes()[0];
+        let pre_fanin = aig.fanin(pre, 0);
+        aig.substitute_node(pre, pre_fanin);
+        let stats = rewrite(&mut aig, &RewriteParams::default());
+        assert!(stats.substitutions > 0, "the pass must commit something");
+        assert!(aig.is_change_tracking(), "caller's tracking was disabled");
+        // post-pass mutation
+        let post = aig.gate_nodes()[0];
+        let post_fanin = aig.fanin(post, 0);
+        aig.substitute_node(post, post_fanin);
+        let mut log = ChangeLog::new();
+        aig.drain_changes(&mut log);
+        let substituted: Vec<_> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ChangeEvent::Substituted { old, .. } => Some(*old),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            substituted.contains(&pre),
+            "pre-pass event swallowed by the pass: {substituted:?}"
+        );
+        assert!(
+            substituted.contains(&post),
+            "post-pass event lost: {substituted:?}"
+        );
+        assert!(
+            substituted.len() >= 2 + stats.substitutions,
+            "the pass's own events must be handed back too: {substituted:?}"
+        );
+        // and without prior tracking the pass leaves it off
+        let mut aig = wasteful_projection_aig();
+        rewrite(&mut aig, &RewriteParams::default());
+        assert!(!aig.is_change_tracking());
     }
 
     #[test]

@@ -22,7 +22,12 @@
 //! 3. **Refine**: counterexamples are packed into fresh simulation pattern
 //!    words and the network is re-simulated, splitting every class the new
 //!    patterns distinguish.  The loop repeats until no counterexamples
-//!    remain (or [`SweepParams::max_rounds`] is reached).
+//!    remain (or [`SweepParams::max_rounds`] is reached).  Class
+//!    maintenance is *incremental* by default: new words can only split
+//!    classes, so only the members of surviving multi-member classes are
+//!    re-hashed, and only on the words appended that round — visiting
+//!    candidate pairs in exactly the order a full re-sort would (the
+//!    verified [`SweepParams::incremental_classes`] contract).
 //!
 //! Merges happen only on `UNSAT` answers — there are no simulation-only
 //! merges, so a sweep is an equivalence-preserving transformation by
@@ -41,7 +46,7 @@
 use crate::replace::Replacer;
 use glsx_network::wordsim::WordSimulator;
 use glsx_network::{GateKind, Network, NodeId, Signal, Traversal};
-use glsx_sat::{Lit, SatResult, Solver, Var};
+use glsx_sat::{Lit, SatResult, Solver, SolverStats, Var};
 
 /// Parameters of SAT sweeping.
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +61,15 @@ pub struct SweepParams {
     pub conflict_limit: u64,
     /// Maximum number of counterexample-refinement rounds.
     pub max_rounds: usize,
+    /// Maintain equivalence classes incrementally across refinement rounds
+    /// (default): new pattern words can only *split* classes, so after a
+    /// counterexample round only the members of surviving multi-member
+    /// classes are re-hashed, and only on the words appended that round —
+    /// instead of re-sorting every live node on the full signature.  `false`
+    /// selects the full re-sort, the from-scratch reference the incremental
+    /// path is verified against (both visit candidate pairs in exactly the
+    /// same order).
+    pub incremental_classes: bool,
 }
 
 impl Default for SweepParams {
@@ -65,6 +79,7 @@ impl Default for SweepParams {
             seed: 0x5eed_ba5e_u64,
             conflict_limit: 1_000,
             max_rounds: 8,
+            incremental_classes: true,
         }
     }
 }
@@ -92,6 +107,13 @@ pub struct SweepStats {
     pub skipped: usize,
     /// Total SAT conflicts spent.
     pub conflicts: u64,
+    /// Nodes (re-)hashed into candidate classes over all rounds.  Under
+    /// incremental class maintenance only members of surviving
+    /// multi-member classes are re-hashed after round one; under the full
+    /// re-sort every live node is, every round.  The two modes are
+    /// otherwise bit-identical, so this counter is the work the
+    /// incremental path saves.
+    pub reclassed_nodes: usize,
 }
 
 /// Result of a combinational equivalence check.
@@ -110,6 +132,26 @@ impl EquivalenceResult {
     /// Returns `true` for [`EquivalenceResult::Equivalent`].
     pub fn is_equivalent(&self) -> bool {
         matches!(self, EquivalenceResult::Equivalent)
+    }
+}
+
+/// Verdict of [`check_equivalence`] together with the solver's
+/// proof-effort statistics, so equivalence-checking cost is
+/// regression-trackable alongside the verdict itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EquivalenceOutcome {
+    /// The verdict.
+    pub result: EquivalenceResult,
+    /// Aggregate statistics of the miter solve (conflicts, decisions,
+    /// propagations, restarts).
+    pub solver: SolverStats,
+}
+
+impl EquivalenceOutcome {
+    /// Returns `true` when the verdict is
+    /// [`EquivalenceResult::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        self.result.is_equivalent()
     }
 }
 
@@ -380,8 +422,19 @@ pub fn sweep<N: Network>(ntk: &mut N, params: &SweepParams) -> SweepStats {
 
     let mut engine = MiterEngine::new(ntk.size());
     let mut replacer = Replacer::new();
+    // the class partition: `members` holds class members contiguously and
+    // `bounds` the (start, end) range of every multi-member class, in
+    // signature order.  Under incremental maintenance the partition lives
+    // across rounds and is only *refined* (split) by new pattern words;
+    // under the full re-sort it is rebuilt from every live node each round.
     let mut members: Vec<NodeId> = Vec::new();
+    let mut bounds: Vec<(u32, u32)> = Vec::new();
+    let mut next_members: Vec<NodeId> = Vec::new();
+    let mut next_bounds: Vec<(u32, u32)> = Vec::new();
     let mut cex_patterns: Vec<Vec<bool>> = Vec::new();
+    // first word index appended by the previous round's counterexamples
+    // (the only words incremental refinement needs to look at)
+    let mut new_words_start = 0usize;
     // pairs that will not be retried in later rounds: conflict-budget
     // timeouts and structurally refused merges.  Counted in `skipped`
     // exactly once, and their miter is not re-encoded or re-solved when
@@ -393,41 +446,100 @@ pub fn sweep<N: Network>(ntk: &mut N, params: &SweepParams) -> SweepStats {
     for round in 0..params.max_rounds.max(1) {
         stats.rounds = round + 1;
 
-        // deterministic partition: sort all live nodes by their
-        // polarity-normalised signature, then by topological rank; classes
-        // are the runs of equal signatures
-        members.clear();
-        members.push(0);
-        members.extend(ntk.pi_nodes());
-        members.extend(ntk.gate_nodes());
-        let words = sim.num_words();
-        let signature_cmp = |a: NodeId, b: NodeId| {
-            for w in 0..words {
-                let cmp = sim.canonical_word(w, a).cmp(&sim.canonical_word(w, b));
-                if cmp != std::cmp::Ordering::Equal {
-                    return cmp;
+        if round == 0 || !params.incremental_classes {
+            // deterministic partition from scratch: sort all live nodes by
+            // their polarity-normalised signature, then by topological
+            // rank; classes are the runs of equal signatures
+            members.clear();
+            members.push(0);
+            members.extend(ntk.pi_nodes());
+            members.extend(ntk.gate_nodes());
+            stats.reclassed_nodes += members.len();
+            let words = sim.num_words();
+            let signature_cmp = |a: NodeId, b: NodeId| {
+                for w in 0..words {
+                    let cmp = sim.canonical_word(w, a).cmp(&sim.canonical_word(w, b));
+                    if cmp != std::cmp::Ordering::Equal {
+                        return cmp;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            };
+            members.sort_unstable_by(|&a, &b| {
+                signature_cmp(a, b).then_with(|| rank[a as usize].cmp(&rank[b as usize]))
+            });
+            bounds.clear();
+            let mut start = 0usize;
+            while start < members.len() {
+                let mut end = start + 1;
+                while end < members.len()
+                    && signature_cmp(members[start], members[end]) == std::cmp::Ordering::Equal
+                {
+                    end += 1;
+                }
+                if end - start >= 2 {
+                    bounds.push((start as u32, end as u32));
+                }
+                start = end;
+            }
+        } else {
+            // incremental refinement: signatures only *gain* words, so
+            // classes can only split — never merge, and a singleton can
+            // never regain company.  Every surviving multi-member class is
+            // re-partitioned on the words appended last round alone (its
+            // members agree on all older words by construction); members
+            // that died from earlier merges drop out.  Sub-classes are
+            // ordered by the new words and ties by rank, which is exactly
+            // the order the full re-sort would produce, so both modes
+            // visit candidate pairs identically.
+            let words = sim.num_words();
+            let new_word_cmp = |a: NodeId, b: NodeId| {
+                for w in new_words_start..words {
+                    let cmp = sim.canonical_word(w, a).cmp(&sim.canonical_word(w, b));
+                    if cmp != std::cmp::Ordering::Equal {
+                        return cmp;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            };
+            next_members.clear();
+            next_bounds.clear();
+            for &(s, e) in &bounds {
+                let seg_start = next_members.len();
+                for &n in &members[s as usize..e as usize] {
+                    if !ntk.is_dead(n) {
+                        next_members.push(n);
+                    }
+                }
+                if next_members.len() - seg_start < 2 {
+                    next_members.truncate(seg_start);
+                    continue;
+                }
+                let seg = &mut next_members[seg_start..];
+                stats.reclassed_nodes += seg.len();
+                seg.sort_unstable_by(|&a, &b| {
+                    new_word_cmp(a, b).then_with(|| rank[a as usize].cmp(&rank[b as usize]))
+                });
+                let mut i = 0usize;
+                while i < seg.len() {
+                    let mut j = i + 1;
+                    while j < seg.len() && new_word_cmp(seg[i], seg[j]) == std::cmp::Ordering::Equal
+                    {
+                        j += 1;
+                    }
+                    if j - i >= 2 {
+                        next_bounds.push(((seg_start + i) as u32, (seg_start + j) as u32));
+                    }
+                    i = j;
                 }
             }
-            std::cmp::Ordering::Equal
-        };
-        members.sort_unstable_by(|&a, &b| {
-            signature_cmp(a, b).then_with(|| rank[a as usize].cmp(&rank[b as usize]))
-        });
+            std::mem::swap(&mut members, &mut next_members);
+            std::mem::swap(&mut bounds, &mut next_bounds);
+        }
 
         cex_patterns.clear();
-        let mut start = 0usize;
-        while start < members.len() {
-            let mut end = start + 1;
-            while end < members.len()
-                && signature_cmp(members[start], members[end]) == std::cmp::Ordering::Equal
-            {
-                end += 1;
-            }
-            let class = &members[start..end];
-            start = end;
-            if class.len() < 2 {
-                continue;
-            }
+        for &(start, end) in &bounds {
+            let class = &members[start as usize..end as usize];
             // the representative is the lowest-ranked live member; it can
             // die when another class's (or an earlier pair's) merge
             // cascades over it, in which case the next live member takes
@@ -497,6 +609,7 @@ pub fn sweep<N: Network>(ntk: &mut N, params: &SweepParams) -> SweepStats {
         }
         // pack up to 64 counterexamples per fresh pattern word and
         // re-simulate, splitting every class the patterns distinguish
+        new_words_start = sim.num_words();
         for chunk in cex_patterns.chunks(64) {
             let mut words: Vec<u64> = vec![0; ntk.num_pis()];
             for (bit, pattern) in chunk.iter().enumerate() {
@@ -526,24 +639,27 @@ pub const DEFAULT_CEC_CONFLICT_LIMIT: u64 = 10_000_000;
 /// [`equivalent_by_random_simulation`](glsx_network::simulation::equivalent_by_random_simulation),
 /// which can only refute.
 ///
-/// Outputs are compared position by position.
+/// Outputs are compared position by position.  Returns the verdict
+/// together with the solver's proof-effort statistics
+/// ([`EquivalenceOutcome`]), so regression harnesses can track how hard a
+/// proof was, not just whether it succeeded.
 ///
 /// # Panics
 ///
 /// Panics if the networks have different numbers of primary inputs or
 /// outputs.
-pub fn check_equivalence<A: Network, B: Network>(a: &A, b: &B) -> EquivalenceResult {
+pub fn check_equivalence<A: Network, B: Network>(a: &A, b: &B) -> EquivalenceOutcome {
     check_equivalence_with(a, b, Some(DEFAULT_CEC_CONFLICT_LIMIT))
 }
 
 /// [`check_equivalence`] with an explicit conflict budget (`None` solves
-/// to completion).  Returns [`EquivalenceResult::Unknown`] when the budget
-/// runs out.
+/// to completion).  The verdict is [`EquivalenceResult::Unknown`] when the
+/// budget runs out.
 pub fn check_equivalence_with<A: Network, B: Network>(
     a: &A,
     b: &B,
     conflict_limit: Option<u64>,
-) -> EquivalenceResult {
+) -> EquivalenceOutcome {
     assert_eq!(
         a.num_pis(),
         b.num_pis(),
@@ -585,7 +701,7 @@ pub fn check_equivalence_with<A: Network, B: Network>(
     solver.add_clause(&taps);
 
     solver.set_conflict_limit(conflict_limit);
-    match solver.solve() {
+    let result = match solver.solve() {
         SatResult::Unsat => EquivalenceResult::Equivalent,
         SatResult::Unknown => EquivalenceResult::Unknown,
         SatResult::Sat => {
@@ -595,6 +711,10 @@ pub fn check_equivalence_with<A: Network, B: Network>(
                 .collect();
             EquivalenceResult::Inequivalent(assignment)
         }
+    };
+    EquivalenceOutcome {
+        result,
+        solver: solver.stats(),
     }
 }
 
@@ -776,8 +896,9 @@ mod tests {
         let and1 = build(false);
         let and2 = build(false);
         let or1 = build(true);
-        assert!(check_equivalence(&and1, &and2).is_equivalent());
-        match check_equivalence(&and1, &or1) {
+        let proven = check_equivalence(&and1, &and2);
+        assert!(proven.is_equivalent());
+        match check_equivalence(&and1, &or1).result {
             EquivalenceResult::Inequivalent(cex) => {
                 // the counterexample must actually distinguish the outputs
                 let patterns: Vec<u64> = cex.iter().map(|&v| u64::from(v)).collect();
@@ -826,6 +947,88 @@ mod tests {
         assert!(!check_equivalence(&a, &b).is_equivalent());
         let b_clone = a.clone();
         assert!(check_equivalence(&a, &b_clone).is_equivalent());
+    }
+
+    /// Incremental class maintenance is bit-identical to the full re-sort:
+    /// same rounds, same candidate pairs in the same order (hence the same
+    /// incremental solver state), same proofs, same merges — while
+    /// re-hashing far fewer nodes.
+    #[test]
+    fn incremental_classes_match_full_resort() {
+        let build = || {
+            // many inputs + a single initial pattern word makes signature
+            // collisions between inequivalent nodes likely, forcing real
+            // counterexample-refinement rounds
+            let mut aig = Aig::new();
+            let pis: Vec<Signal> = (0..16).map(|_| aig.create_pi()).collect();
+            let mut signals = pis.clone();
+            let mut state = 0x1234_5678_u64;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as usize
+            };
+            for _ in 0..80 {
+                let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                signals.push(aig.create_and(a, b));
+            }
+            for s in signals.iter().rev().take(6) {
+                aig.create_po(*s);
+            }
+            aig
+        };
+        let params = SweepParams {
+            num_words: 1,
+            ..SweepParams::default()
+        };
+        let mut incremental = build();
+        let mut full = incremental.clone();
+        let inc_stats = sweep(&mut incremental, &params);
+        let full_stats = sweep(
+            &mut full,
+            &SweepParams {
+                incremental_classes: false,
+                ..params
+            },
+        );
+        assert!(
+            inc_stats.rounds > 1 && inc_stats.refuted > 0,
+            "the refinement path must actually run: {inc_stats:?}"
+        );
+        // identical behaviour, field by field (except the work counter)
+        assert_eq!(inc_stats.rounds, full_stats.rounds);
+        assert_eq!(inc_stats.candidate_pairs, full_stats.candidate_pairs);
+        assert_eq!(inc_stats.proven, full_stats.proven);
+        assert_eq!(inc_stats.refuted, full_stats.refuted);
+        assert_eq!(inc_stats.skipped, full_stats.skipped);
+        assert_eq!(inc_stats.conflicts, full_stats.conflicts);
+        assert_eq!(inc_stats.gates_after, full_stats.gates_after);
+        assert_eq!(incremental.num_gates(), full.num_gates());
+        assert_eq!(incremental.po_signals(), full.po_signals());
+        // the incremental path re-hashes strictly less once refinement
+        // rounds happen; with a single round both count the initial sort
+        if inc_stats.rounds > 1 {
+            assert!(
+                inc_stats.reclassed_nodes < full_stats.reclassed_nodes,
+                "incremental {inc_stats:?} vs full {full_stats:?}"
+            );
+        }
+        assert!(check_equivalence(&incremental, &full).is_equivalent());
+    }
+
+    /// The equivalence outcome carries real proof-effort numbers.
+    #[test]
+    fn check_equivalence_reports_solver_stats() {
+        let (aig, _) = parity_pair();
+        // the two parity POs differ only in structure; comparing the
+        // network against itself forces real XOR reasoning
+        let outcome = check_equivalence(&aig, &aig.clone());
+        assert!(outcome.is_equivalent());
+        assert!(
+            outcome.solver.propagations > 0,
+            "a nontrivial miter must propagate: {:?}",
+            outcome.solver
+        );
     }
 
     #[test]

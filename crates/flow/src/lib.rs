@@ -35,7 +35,7 @@ pub use script::{FlowScript, FlowStep, ParseFlowScriptError};
 use glsx_core::balancing::{balance, BalanceParams};
 use glsx_core::refactoring::{refactor_with, RefactorParams};
 use glsx_core::resubstitution::{resubstitute, ResubNetwork, ResubParams};
-use glsx_core::rewriting::{rewrite_with, RewriteParams};
+use glsx_core::rewriting::{rewrite_with, CutMaintenance, RewriteParams};
 use glsx_core::sweeping::{sweep, SweepParams};
 use glsx_network::{cleanup_dangling, GateBuilder, Network};
 use glsx_synth::{NpnDatabase, SopResynthesis};
@@ -52,6 +52,12 @@ pub struct FlowOptions {
     pub max_divisors: usize,
     /// SAT-sweeping parameters used by `fraig` steps.
     pub sweep: SweepParams,
+    /// Run every pass in its *from-scratch* maintenance mode (full cut
+    /// rebuilds after each substitution, full signature re-sorts each
+    /// sweeping round) instead of the incremental default.  Both modes
+    /// produce bit-identical networks; the CI smoke run executes each pass
+    /// in both and asserts exactly that.
+    pub full_recompute: bool,
 }
 
 impl Default for FlowOptions {
@@ -61,6 +67,7 @@ impl Default for FlowOptions {
             refactor_leaves: 10,
             max_divisors: 50,
             sweep: SweepParams::default(),
+            full_recompute: false,
         }
     }
 }
@@ -101,6 +108,11 @@ where
                 &RewriteParams {
                     cut_size: options.rewrite_cut_size,
                     allow_zero_gain: *zero_gain,
+                    cut_maintenance: if options.full_recompute {
+                        CutMaintenance::FullRecompute
+                    } else {
+                        CutMaintenance::Incremental
+                    },
                     ..RewriteParams::default()
                 },
             );
@@ -130,8 +142,15 @@ where
             );
             stats.substitutions
         }
-        FlowStep::Fraig => {
-            let stats = sweep(ntk, &options.sweep);
+        FlowStep::Fraig { conflict_limit } => {
+            let mut params = options.sweep;
+            if let Some(limit) = conflict_limit {
+                params.conflict_limit = *limit;
+            }
+            if options.full_recompute {
+                params.incremental_classes = false;
+            }
+            let stats = sweep(ntk, &params);
             stats.proven
         }
     }
@@ -234,6 +253,70 @@ mod tests {
         assert!(stats.final_size < stats.initial_size, "{stats:?}");
         assert!(equivalent_by_random_simulation(&reference, &aig, 8, 0xF1));
         assert!(glsx_core::sweeping::check_equivalence(&reference, &aig).is_equivalent());
+    }
+
+    /// `fraig -c <n>` threads the conflict budget from the script into
+    /// the sweep: with a one-conflict budget the structurally distinct
+    /// parity pair cannot be proven, with the default budget it merges.
+    #[test]
+    fn fraig_conflict_budget_is_script_controllable() {
+        let build = || {
+            let mut aig = Aig::new();
+            let pis: Vec<glsx_network::Signal> = (0..6).map(|_| aig.create_pi()).collect();
+            let mut chain = pis[0];
+            for &pi in &pis[1..] {
+                chain = aig.create_xor(chain, pi);
+            }
+            let mut layer = pis.clone();
+            while layer.len() > 1 {
+                let mut next = Vec::new();
+                for pair in layer.chunks(2) {
+                    next.push(if pair.len() == 2 {
+                        aig.create_xor(pair[0], pair[1])
+                    } else {
+                        pair[0]
+                    });
+                }
+                layer = next;
+            }
+            aig.create_po(chain);
+            aig.create_po(layer[0]);
+            aig
+        };
+        let mut starved = build();
+        let before = starved.num_gates();
+        let script = FlowScript::parse("fraig -c 1").unwrap();
+        let merges = run_script(&mut starved, &script, &FlowOptions::default()).substitutions;
+        assert_eq!(merges, 0, "a one-conflict budget must skip the pair");
+        assert_eq!(starved.num_gates(), before);
+
+        let mut generous = build();
+        let script = FlowScript::parse("fraig").unwrap();
+        let merges = run_script(&mut generous, &script, &FlowOptions::default()).substitutions;
+        assert!(merges >= 1, "the default budget proves the parity pair");
+        assert!(generous.num_gates() < before);
+    }
+
+    /// The incremental and from-scratch flow modes produce bit-identical
+    /// networks for every step kind.
+    #[test]
+    fn full_recompute_flow_matches_incremental_flow() {
+        let mut incremental: Aig = adder(4);
+        glsx_benchmarks::inject_redundancy(&mut incremental, 4, 0xF00D);
+        let mut full = incremental.clone();
+        let script = FlowScript::parse("fraig; rw; rs -c 6; rwz").unwrap();
+        let inc_stats = run_script(&mut incremental, &script, &FlowOptions::default());
+        let full_stats = run_script(
+            &mut full,
+            &script,
+            &FlowOptions {
+                full_recompute: true,
+                ..FlowOptions::default()
+            },
+        );
+        assert_eq!(inc_stats.substitutions, full_stats.substitutions);
+        assert_eq!(incremental.num_gates(), full.num_gates());
+        assert!(glsx_core::sweeping::check_equivalence(&incremental, &full).is_equivalent());
     }
 
     #[test]

@@ -25,8 +25,14 @@ pub enum FlowStep {
         /// Maximum number of inserted gates (`-d`, default 1).
         depth: usize,
     },
-    /// SAT sweeping / fraiging (`fraig`): merge proven-equivalent nodes.
-    Fraig,
+    /// SAT sweeping / fraiging (`fraig [-c <conflicts>]`): merge
+    /// proven-equivalent nodes, optionally overriding the per-pair
+    /// conflict budget of the flow options.
+    Fraig {
+        /// Per-pair conflict budget (`-c`); `None` uses the flow options'
+        /// [`SweepParams::conflict_limit`](glsx_core::sweeping::SweepParams).
+        conflict_limit: Option<u64>,
+    },
 }
 
 /// Error returned when a flow script cannot be parsed.
@@ -73,7 +79,9 @@ impl FlowScript {
 
     /// Parses a script in the paper's notation: commands separated by `;`,
     /// where `b`/`bz` is balancing, `rw`/`rwz` rewriting, `rf`/`rfz`
-    /// refactoring, and `rs -c <n> [-d <k>]` resubstitution.
+    /// refactoring, `rs -c <n> [-d <k>]` resubstitution and
+    /// `fraig [-c <conflicts>]` SAT sweeping with an optional per-pair
+    /// conflict budget.
     ///
     /// # Errors
     ///
@@ -93,7 +101,33 @@ impl FlowScript {
                 "rwz" => FlowStep::Rewrite { zero_gain: true },
                 "rf" => FlowStep::Refactor { zero_gain: false },
                 "rfz" => FlowStep::Refactor { zero_gain: true },
-                "fraig" => FlowStep::Fraig,
+                "fraig" => {
+                    let mut conflict_limit = None;
+                    let rest: Vec<&str> = tokens.by_ref().collect();
+                    let mut i = 0;
+                    while i < rest.len() {
+                        match rest[i] {
+                            "-c" => {
+                                let value =
+                                    rest.get(i + 1).ok_or_else(|| ParseFlowScriptError {
+                                        message: format!("missing value after -c in `{command}`"),
+                                    })?;
+                                let parsed: u64 =
+                                    value.parse().map_err(|_| ParseFlowScriptError {
+                                        message: format!("invalid number `{value}` in `{command}`"),
+                                    })?;
+                                conflict_limit = Some(parsed);
+                                i += 2;
+                            }
+                            other => {
+                                return Err(ParseFlowScriptError {
+                                    message: format!("unknown option `{other}` in `{command}`"),
+                                })
+                            }
+                        }
+                    }
+                    FlowStep::Fraig { conflict_limit }
+                }
                 "rs" => {
                     let mut cut_size = 8usize;
                     let mut depth = 1usize;
@@ -164,7 +198,12 @@ impl fmt::Display for FlowScript {
                         format!("rs -c {cut_size} -d {depth}")
                     }
                 }
-                FlowStep::Fraig => "fraig".to_string(),
+                FlowStep::Fraig {
+                    conflict_limit: None,
+                } => "fraig".to_string(),
+                FlowStep::Fraig {
+                    conflict_limit: Some(limit),
+                } => format!("fraig -c {limit}"),
             })
             .collect();
         write!(f, "{}", rendered.join("; "))
@@ -212,10 +251,23 @@ mod tests {
 
     #[test]
     fn parses_fraig_steps() {
-        let script = FlowScript::parse("fraig; rw; fraig").unwrap();
-        assert_eq!(script.steps()[0], FlowStep::Fraig);
-        assert_eq!(script.steps()[2], FlowStep::Fraig);
+        let script = FlowScript::parse("fraig; rw; fraig -c 250").unwrap();
+        assert_eq!(
+            script.steps()[0],
+            FlowStep::Fraig {
+                conflict_limit: None
+            }
+        );
+        assert_eq!(
+            script.steps()[2],
+            FlowStep::Fraig {
+                conflict_limit: Some(250)
+            }
+        );
+        assert_eq!(script.to_string(), "fraig; rw; fraig -c 250");
         assert!(FlowScript::parse("fraig extra").is_err());
+        assert!(FlowScript::parse("fraig -c").is_err());
+        assert!(FlowScript::parse("fraig -c x").is_err());
     }
 
     #[test]

@@ -166,6 +166,22 @@ macro_rules! impl_network_common {
             fn take_out_node(&mut self, node: crate::NodeId) {
                 self.storage.take_out(node);
             }
+
+            fn set_change_tracking(&mut self, enabled: bool) {
+                self.storage.set_change_tracking(enabled);
+            }
+
+            fn is_change_tracking(&self) -> bool {
+                self.storage.is_change_tracking()
+            }
+
+            fn drain_changes(&mut self, into: &mut crate::ChangeLog) {
+                self.storage.drain_changes(into);
+            }
+
+            fn requeue_changes(&mut self, log: &mut crate::ChangeLog) {
+                self.storage.requeue_changes(log);
+            }
         }
 
         impl Default for $ty {

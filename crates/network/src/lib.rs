@@ -27,8 +27,9 @@
 //! checks), [`simulation`] (exhaustive and random bit-parallel simulation
 //! plus simulation-based equivalence checking), [`wordsim`] (word-parallel
 //! pattern simulation backing SAT sweeping), [`bitops`] (the shared
-//! gate-kind dispatch all simulators evaluate gates through) and
-//! [`cleanup_dangling`].
+//! gate-kind dispatch all simulators evaluate gates through), [`changes`]
+//! (the change-event layer recording structural mutations for incremental
+//! consumers) and [`cleanup_dangling`].
 //!
 //! # Example
 //!
@@ -48,6 +49,7 @@
 //! ```
 
 mod aig;
+pub mod changes;
 mod common;
 mod fanin;
 mod kind;
@@ -68,6 +70,7 @@ pub mod wordsim;
 
 pub use aig::Aig;
 pub use bitops::SimBlock;
+pub use changes::{ChangeEvent, ChangeLog};
 pub use cleanup::{cleanup_dangling, cleanup_dangling_klut, convert_network};
 pub use fanin::{FaninArray, MAX_INLINE_FANINS};
 pub use kind::GateKind;

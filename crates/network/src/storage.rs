@@ -18,6 +18,7 @@
 //! * every node carries a generic scratch slot (`u64`) that algorithms can
 //!   use for traversal marks or per-node metadata without auxiliary maps.
 
+use crate::changes::{ChangeEvent, ChangeLog};
 use crate::{FaninArray, GateKind, NodeId, Signal};
 use glsx_truth::TruthTable;
 use std::collections::HashMap;
@@ -140,6 +141,13 @@ pub(crate) struct Storage {
     scratch: Vec<ScratchSlot>,
     /// Monotonic epoch counter backing the scratch-slot traversal engine.
     epoch: EpochCounter,
+    /// Structural change events recorded since the last drain (empty and
+    /// untouched unless `track_changes` is on).
+    changes: ChangeLog,
+    /// Whether mutations append to `changes` (see
+    /// [`crate::changes`]); off by default, one branch per mutation when
+    /// off.
+    track_changes: bool,
 }
 
 impl Storage {
@@ -203,6 +211,42 @@ impl Storage {
     /// wrap-around, which is acceptable for a debug-only diagnostic.
     pub fn current_traversal_epoch(&self) -> u64 {
         self.epoch.0.load(Ordering::Relaxed) & u64::from(u32::MAX)
+    }
+
+    /// Enables or disables change-event recording (see
+    /// [`crate::changes`]).  Disabling discards any pending events.
+    pub fn set_change_tracking(&mut self, enabled: bool) {
+        self.track_changes = enabled;
+        if !enabled {
+            self.changes.clear();
+        }
+    }
+
+    /// Returns `true` if mutations are currently being recorded.
+    pub fn is_change_tracking(&self) -> bool {
+        self.track_changes
+    }
+
+    /// Moves all recorded events onto the end of `into`, leaving the
+    /// internal buffer empty (allocation-free in the steady state).
+    pub fn drain_changes(&mut self, into: &mut ChangeLog) {
+        into.append(&mut self.changes);
+    }
+
+    /// Puts already-drained events back in front of the internal buffer
+    /// (preserving overall order), leaving `log` empty.  Used by passes
+    /// that drain for their own refreshes but must hand an enclosing
+    /// consumer's events back on exit.
+    pub fn requeue_changes(&mut self, log: &mut ChangeLog) {
+        log.append(&mut self.changes);
+        self.changes.append(log);
+    }
+
+    #[inline]
+    fn record(&mut self, event: ChangeEvent) {
+        if self.track_changes {
+            self.changes.push(event);
+        }
     }
 
     pub fn create_pi(&mut self) -> Signal {
@@ -392,6 +436,9 @@ impl Storage {
                     new_data.fanouts.push(p);
                 }
                 new_data.fanout_count += occurrences as u32;
+                if occurrences > 0 {
+                    self.record(ChangeEvent::RewiredFanin { node: p });
+                }
                 // Re-insert p into the strash table; if an equivalent gate
                 // already exists, merge p into it.
                 if kind != GateKind::Lut {
@@ -408,6 +455,7 @@ impl Storage {
                 }
             }
             self.replace_in_outputs(old, new);
+            self.record(ChangeEvent::Substituted { old, new });
             to_remove.push(old);
         }
         for node in to_remove {
@@ -458,6 +506,7 @@ impl Storage {
             }
             self.nodes[id as usize].dead = true;
             self.num_dead_gates += 1;
+            self.record(ChangeEvent::Deleted { node: id });
             let fanins = self.nodes[id as usize].fanins.clone();
             for f in &fanins {
                 let fanin = &mut self.nodes[f.node() as usize];

@@ -8,7 +8,7 @@
 //! C++ implementation uses template meta-programming and static assertions,
 //! we use trait bounds checked at compile time.
 
-use crate::{FaninArray, GateKind, NodeId, Signal};
+use crate::{ChangeLog, FaninArray, GateKind, NodeId, Signal};
 use glsx_truth::TruthTable;
 
 /// Structural access to a logic network.
@@ -191,6 +191,34 @@ pub trait Network: Sized {
     /// that become dangling.  Constants and primary inputs are never
     /// removed.
     fn take_out_node(&mut self, node: NodeId);
+
+    // -- the change-event layer (see [`crate::changes`]) -------------------
+
+    /// Enables or disables structural change-event recording.  While
+    /// enabled, [`Network::substitute_node`] and
+    /// [`Network::take_out_node`] append
+    /// [`ChangeEvent`](crate::ChangeEvent)s describing every fanin rewire,
+    /// node merge and deletion they perform; consumers collect them with
+    /// [`Network::drain_changes`] and refresh derived state incrementally.
+    /// Disabling discards any pending events.  Off by default; one branch
+    /// per mutation when off.
+    fn set_change_tracking(&mut self, enabled: bool);
+
+    /// Returns `true` if structural changes are currently being recorded.
+    fn is_change_tracking(&self) -> bool;
+
+    /// Moves every recorded change event onto the end of `into`, leaving
+    /// the network's internal buffer empty (allocation-free in the steady
+    /// state: both buffers keep their capacity).
+    fn drain_changes(&mut self, into: &mut ChangeLog);
+
+    /// Puts already-drained events back in *front* of the internal buffer
+    /// (preserving overall event order), leaving `log` empty.  A pass
+    /// that drains events for its own incremental refreshes calls this on
+    /// exit when an enclosing consumer was already tracking, so the
+    /// consumer's next [`Network::drain_changes`] still sees everything —
+    /// the events the pass consumed *and* any recorded since.
+    fn requeue_changes(&mut self, log: &mut ChangeLog);
 
     // -- convenience iteration helpers (the paper's foreach-methods) -------
 

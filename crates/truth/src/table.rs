@@ -137,6 +137,22 @@ impl TruthTable {
         tt
     }
 
+    /// Overwrites this table in place with a function over `num_vars`
+    /// variables whose bits are given as raw words, reusing the existing
+    /// word buffer — the allocation-free counterpart of
+    /// [`TruthTable::from_words`] for hot paths that re-fill one table per
+    /// candidate.  Excess bits beyond `2^num_vars` are masked off; missing
+    /// words read as zero.
+    pub fn assign_words(&mut self, num_vars: usize, words: &[u64]) {
+        let count = Self::word_count(num_vars);
+        self.num_vars = num_vars;
+        self.words.clear();
+        self.words
+            .extend_from_slice(&words[..count.min(words.len())]);
+        self.words.resize(count, 0);
+        self.mask_off_excess();
+    }
+
     /// Creates a truth table over at most 6 variables from the low
     /// `2^num_vars` bits of `bits`.
     pub fn from_bits(num_vars: usize, bits: u64) -> Self {

@@ -40,9 +40,14 @@ fn main() {
         stats.conflicts
     );
 
-    // the sweep is equivalence-preserving by construction — and provably so
-    match check_equivalence(&redundant, &aig) {
-        EquivalenceResult::Equivalent => println!("miter: sweep output proven equivalent"),
+    // the sweep is equivalence-preserving by construction — and provably
+    // so; the outcome also reports how hard the proof was
+    let outcome = check_equivalence(&redundant, &aig);
+    match outcome.result {
+        EquivalenceResult::Equivalent => println!(
+            "miter: sweep output proven equivalent ({} conflicts, {} propagations)",
+            outcome.solver.conflicts, outcome.solver.propagations
+        ),
         other => panic!("sweep broke the circuit: {other:?}"),
     }
 

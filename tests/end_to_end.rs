@@ -101,7 +101,7 @@ fn every_flow_step_is_miter_verified() {
             check_equivalence(&input, &aig).is_equivalent(),
             "step `{step:?}` broke combinational equivalence"
         );
-        if matches!(step, glsx::flow::FlowStep::Fraig) {
+        if matches!(step, glsx::flow::FlowStep::Fraig { .. }) {
             fraig_merges += substitutions;
         }
     }

@@ -8,16 +8,17 @@
 //! deterministic and reproducible from the seed printed on failure.
 
 use glsx::algorithms::balancing::{balance, BalanceParams};
-use glsx::algorithms::cuts::{simulate_cut, Cut, CutManager, CutParams};
-use glsx::algorithms::lut_mapping::{lut_map, LutMapParams};
+use glsx::algorithms::cuts::{simulate_cut, Cut, CutFunction, CutManager, CutParams};
+use glsx::algorithms::lut_mapping::{lut_map, lut_map_stats, LutMapParams};
 use glsx::algorithms::refactoring::{refactor, RefactorParams};
 use glsx::algorithms::resubstitution::{resubstitute, ResubParams};
-use glsx::algorithms::rewriting::{rewrite, RewriteParams};
+use glsx::algorithms::rewriting::{rewrite, CutMaintenance, RewriteParams};
 use glsx::algorithms::sweeping::{check_equivalence, sweep, SweepParams};
+use glsx::algorithms::Replacer;
 use glsx::benchmarks::SplitMix64 as Rng;
 use glsx::network::simulation::{equivalent_by_simulation, simulate};
 use glsx::network::views::check_network_integrity;
-use glsx::network::{Aig, GateBuilder, Mig, Network, NodeId, Signal, Xag};
+use glsx::network::{Aig, ChangeLog, GateBuilder, Mig, Network, NodeId, Signal, Xag};
 use glsx::truth::{isop, npn_canonize, TruthTable};
 
 /// Generates a random AIG over `num_pis` inputs with `num_steps` AND steps.
@@ -208,7 +209,7 @@ fn fused_cut_functions_equal_cone_simulation() {
                 for node in ntk.gate_nodes() {
                     let cuts = mgr.cuts_of(&ntk, node).to_vec();
                     for (i, cut) in cuts.iter().enumerate() {
-                        let fused = mgr.cut_function(node, i);
+                        let fused = mgr.cut_function(node, i).to_truth_table();
                         let simulated = simulate_cut(&ntk, node, cut.leaves());
                         assert_eq!(
                             fused,
@@ -288,7 +289,7 @@ fn arena_compaction_preserves_cut_sets_and_determinism() {
                     .map(|c| c.leaves().to_vec())
                     .collect();
                 let tts = (0..cuts.len())
-                    .map(|i| mgr.cut_function(n, i).to_hex())
+                    .map(|i| mgr.cut_function(n, i).to_truth_table().to_hex())
                     .collect();
                 (cuts, tts)
             })
@@ -432,6 +433,259 @@ fn sweeping_removes_injected_redundancy_on_random_networks() {
             check_equivalence(&redundant, &aig).is_equivalent(),
             "case {case}"
         );
+    }
+}
+
+/// Snapshot of every live node's cut sets, their order and their fused
+/// functions — the full observable state of a cut manager.
+fn cut_snapshot<N: Network>(
+    ntk: &N,
+    mgr: &mut CutManager,
+) -> Vec<(NodeId, Vec<Vec<NodeId>>, Vec<CutFunction>)> {
+    ntk.node_ids()
+        .iter()
+        .map(|&n| {
+            let cuts: Vec<Vec<NodeId>> = mgr
+                .cuts_of(ntk, n)
+                .iter()
+                .map(|c| c.leaves().to_vec())
+                .collect();
+            let tts = (0..cuts.len()).map(|i| *mgr.cut_function(n, i)).collect();
+            (n, cuts, tts)
+        })
+        .collect()
+}
+
+/// The incremental-refresh contract of the change-event layer: after
+/// arbitrary randomized substitute/merge/delete sequences, a cut manager
+/// refreshed from the recorded [`ChangeLog`] is bit-identical — same cut
+/// sets, same order, same fused functions — to a manager built from
+/// scratch on the mutated network, in every representation.
+#[test]
+fn refresh_from_change_log_equals_from_scratch_enumeration() {
+    fn check<N: Network + GateBuilder>(build: impl Fn(&mut Rng) -> N, rng: &mut Rng, cases: u32) {
+        let params = CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+            compute_truth: true,
+        };
+        for case in 0..cases {
+            let mut ntk = build(rng);
+            let mut mgr = CutManager::new(params);
+            // memoise everything so stale state would be visible
+            let _ = cut_snapshot(&ntk, &mut mgr);
+            let mut log = ChangeLog::new();
+            let mut replacer = Replacer::new();
+            ntk.set_change_tracking(true);
+            for step in 0..12 {
+                // one randomized structural mutation per step
+                let gates = ntk.gate_nodes();
+                if gates.is_empty() {
+                    break;
+                }
+                let target = gates[rng.gen_range(gates.len())];
+                match rng.gen_range(4) {
+                    // replace a gate by one of its own fanins (acyclic by
+                    // construction)
+                    0 => {
+                        let f = ntk.fanin(target, rng.gen_range(ntk.fanin_size(target)));
+                        ntk.substitute_node(target, f.complement_if(rng.gen_bool()));
+                    }
+                    // collapse a gate to a constant
+                    1 => {
+                        let c = ntk.get_constant(rng.gen_bool());
+                        ntk.substitute_node(target, c);
+                    }
+                    // merge two gates (the replacer's cone walk refuses
+                    // cyclic merges, so any pair is safe to try)
+                    2 => {
+                        let other = gates[rng.gen_range(gates.len())];
+                        let _ = replacer.merge_equivalent(
+                            &mut ntk,
+                            target,
+                            Signal::new(other, rng.gen_bool()),
+                        );
+                    }
+                    // create a gate, then delete it again (exercises the
+                    // Deleted events of dangling-logic cleanup)
+                    _ => {
+                        let a = Signal::new(target, rng.gen_bool());
+                        let pis = ntk.pi_nodes();
+                        let b = Signal::new(pis[rng.gen_range(pis.len())], rng.gen_bool());
+                        let g = ntk.create_and(a, b);
+                        if ntk.is_gate(g.node()) && ntk.fanout_size(g.node()) == 0 {
+                            ntk.take_out_node(g.node());
+                        }
+                    }
+                }
+                // drain + refresh, then compare against a fresh manager
+                ntk.drain_changes(&mut log);
+                mgr.refresh_from(&ntk, &log);
+                log.clear();
+                let mut fresh = CutManager::new(params);
+                assert_eq!(
+                    cut_snapshot(&ntk, &mut mgr),
+                    cut_snapshot(&ntk, &mut fresh),
+                    "{} case {case}, step {step}: refreshed manager diverged",
+                    N::NAME
+                );
+                assert!(check_network_integrity(&ntk).is_ok());
+            }
+            ntk.set_change_tracking(false);
+        }
+    }
+    let mut rng = Rng::seed_from_u64(0x150c);
+    check(|rng| arbitrary_network(rng, 5, 30), &mut rng, 6);
+    check(
+        |rng| {
+            let mut xag = Xag::new();
+            let mut signals: Vec<Signal> = (0..5).map(|_| xag.create_pi()).collect();
+            for step in 0..25 {
+                let a = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let b = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                signals.push(if step % 3 == 0 {
+                    xag.create_xor(a, b)
+                } else {
+                    xag.create_and(a, b)
+                });
+            }
+            for s in signals.iter().rev().take(3) {
+                xag.create_po(*s);
+            }
+            xag
+        },
+        &mut rng,
+        5,
+    );
+    check(
+        |rng| {
+            let mut mig = Mig::new();
+            let mut signals: Vec<Signal> = (0..5).map(|_| mig.create_pi()).collect();
+            for _ in 0..25 {
+                let a = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let b = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let c = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                signals.push(mig.create_maj(a, b, c));
+            }
+            for s in signals.iter().rev().take(2) {
+                mig.create_po(*s);
+            }
+            mig
+        },
+        &mut rng,
+        5,
+    );
+}
+
+/// Incremental rewriting (change-log refresh) and full recomputation
+/// (manager rebuilt after every substitution) are bit-identical passes on
+/// random networks — and incremental re-enumerates no more nodes.
+#[test]
+fn incremental_rewriting_equals_full_recompute_on_random_networks() {
+    let mut rng = Rng::seed_from_u64(0x150d);
+    for case in 0..8 {
+        let aig = arbitrary_network(&mut rng, 6, 45);
+        for zero_gain in [false, true] {
+            let params = RewriteParams {
+                allow_zero_gain: zero_gain,
+                ..RewriteParams::default()
+            };
+            let mut incremental = aig.clone();
+            let inc = rewrite(&mut incremental, &params);
+            let mut full = aig.clone();
+            let fll = rewrite(
+                &mut full,
+                &RewriteParams {
+                    cut_maintenance: CutMaintenance::FullRecompute,
+                    ..params
+                },
+            );
+            assert_eq!(inc.substitutions, fll.substitutions, "case {case}");
+            assert_eq!(inc.estimated_gain, fll.estimated_gain, "case {case}");
+            assert_eq!(incremental.num_gates(), full.num_gates(), "case {case}");
+            assert_eq!(incremental.po_signals(), full.po_signals(), "case {case}");
+            assert!(
+                inc.cuts.reenumerated_nodes <= fll.cuts.reenumerated_nodes,
+                "case {case}: {:?} vs {:?}",
+                inc.cuts,
+                fll.cuts
+            );
+            assert!(equivalent_by_simulation(&aig, &incremental), "case {case}");
+        }
+    }
+}
+
+/// Incremental sweeping classes match the full re-sort every round on
+/// random signature-collision-heavy networks: identical pairs, proofs,
+/// merges and final networks.
+#[test]
+fn incremental_sweeping_classes_match_full_resort() {
+    let mut rng = Rng::seed_from_u64(0x150e);
+    for case in 0..6 {
+        // wide input space + a single pattern word force collisions and
+        // therefore real counterexample-refinement rounds
+        let aig = arbitrary_network(&mut rng, 14, 60);
+        let params = SweepParams {
+            num_words: 1,
+            seed: 0x5eed + case,
+            ..SweepParams::default()
+        };
+        let mut incremental = aig.clone();
+        let inc = sweep(&mut incremental, &params);
+        let mut full = aig.clone();
+        let fll = sweep(
+            &mut full,
+            &SweepParams {
+                incremental_classes: false,
+                ..params
+            },
+        );
+        assert_eq!(inc.rounds, fll.rounds, "case {case}");
+        assert_eq!(inc.candidate_pairs, fll.candidate_pairs, "case {case}");
+        assert_eq!(inc.proven, fll.proven, "case {case}");
+        assert_eq!(inc.refuted, fll.refuted, "case {case}");
+        assert_eq!(inc.skipped, fll.skipped, "case {case}");
+        assert_eq!(inc.conflicts, fll.conflicts, "case {case}");
+        assert_eq!(incremental.num_gates(), full.num_gates(), "case {case}");
+        assert_eq!(incremental.po_signals(), full.po_signals(), "case {case}");
+        assert!(
+            inc.reclassed_nodes <= fll.reclassed_nodes,
+            "case {case}: {inc:?} vs {fll:?}"
+        );
+        assert!(
+            check_equivalence(&aig, &incremental).is_equivalent(),
+            "case {case}"
+        );
+    }
+}
+
+/// Incremental area-flow refinement selects the same LUT cover as full
+/// recomputation while evaluating fewer choices.
+#[test]
+fn incremental_lut_mapping_matches_full_recompute() {
+    let mut rng = Rng::seed_from_u64(0x150f);
+    for case in 0..6 {
+        let aig = arbitrary_network(&mut rng, 6, 50);
+        let incremental = LutMapParams {
+            area_flow_rounds: 3,
+            ..LutMapParams::with_lut_size(4)
+        };
+        let full = LutMapParams {
+            full_recompute: true,
+            ..incremental
+        };
+        let inc = lut_map_stats(&aig, &incremental);
+        let fll = lut_map_stats(&aig, &full);
+        assert_eq!(inc.num_luts, fll.num_luts, "case {case}");
+        assert_eq!(inc.depth, fll.depth, "case {case}");
+        assert!(
+            inc.choice_evaluations < fll.choice_evaluations,
+            "case {case}: {inc:?} vs {fll:?}"
+        );
+        let a = lut_map(&aig, &incremental);
+        let b = lut_map(&aig, &full);
+        assert_eq!(a.po_signals(), b.po_signals(), "case {case}");
+        assert!(equivalent_by_simulation(&a, &b), "case {case}");
     }
 }
 
