@@ -12,20 +12,32 @@
 //! redundant input.  Setting `GLSX_WRITE_BENCH_BASELINE=1` records the
 //! results at the repository root.
 //!
+//! The mapping section (`BENCH_map.json`) injects *restructured
+//! alternatives* (`glsx_benchmarks::inject_restructured`) into each
+//! circuit and runs the choice-network pipeline both ways:
+//! `fraig; lut_map` (destructive sweep, structural bias) against
+//! `fraig -choices; lut_map -choices` (proven cones kept as mapping
+//! choices).  Every mapped result is miter-proven equivalent to the
+//! injected source, choices-on must never use more LUTs than choices-off,
+//! and on at least one circuit it must use strictly fewer with nonzero
+//! choice-derived cut wins — the acceptance bar of choice-aware mapping.
+//!
 //! `--smoke` runs a single small circuit through every optimisation pass
 //! of a representative flow **twice — incrementally and from scratch** —
 //! following each pass with a miter-based `check_equivalence` against
 //! that pass's input and asserting that both maintenance modes produce
 //! identical gate counts: the CI guard proving both pass soundness and
 //! the incremental-vs-full contract end to end (SAT-complete, unlike the
-//! former random-simulation assertion).
+//! former random-simulation assertion).  It then runs the choice
+//! pipeline (choices on AND off) with the same miter guards.
 
 use glsx_benchmarks::arithmetic::{adder, barrel_shifter, multiplier, square};
-use glsx_benchmarks::inject_redundancy;
+use glsx_benchmarks::{inject_redundancy, inject_restructured};
 use glsx_core::cuts::CutCounters;
+use glsx_core::lut_mapping::LutMapParams;
 use glsx_core::rewriting::{rewrite, RewriteParams};
 use glsx_core::sweeping::{check_equivalence, sweep, SweepParams};
-use glsx_flow::{run_step, FlowOptions, FlowScript};
+use glsx_flow::{run_script_and_map, run_step, FlowOptions, FlowScript};
 use glsx_network::{Aig, Network};
 use std::time::Instant;
 
@@ -165,6 +177,65 @@ fn measure_sweep(name: &'static str, aig: &Aig, budget_ms: u128) -> SweepRow {
     }
 }
 
+struct MapRow {
+    circuit: &'static str,
+    gates: usize,
+    luts_off: usize,
+    depth_off: u32,
+    luts_on: usize,
+    depth_on: u32,
+    choice_wins: usize,
+    choices_recorded: usize,
+    seconds_on: f64,
+}
+
+/// Runs the choice-network mapping pipeline on one redundancy-injected
+/// circuit, choices off and on, with a miter proof for both results.
+/// Returns the comparison row; `luts_on > luts_off` is a hard failure.
+fn measure_map(name: &'static str, source: &Aig, lut_size: usize) -> MapRow {
+    let defaults = LutMapParams::with_lut_size(lut_size);
+    let options = FlowOptions::default();
+    let off_script = FlowScript::parse(&format!("fraig; lut_map -k {lut_size}")).unwrap();
+    let on_script =
+        FlowScript::parse(&format!("fraig -choices; lut_map -k {lut_size} -choices")).unwrap();
+
+    let mut off_ntk = source.clone();
+    let (_, off_klut, off_stats) =
+        run_script_and_map(&mut off_ntk, &off_script, &options, &defaults);
+    assert!(
+        check_equivalence(source, &off_klut).is_equivalent(),
+        "{name}: choices-off mapping broke combinational equivalence"
+    );
+
+    let mut on_ntk = source.clone();
+    let started = Instant::now();
+    let (on_flow, on_klut, on_stats) =
+        run_script_and_map(&mut on_ntk, &on_script, &options, &defaults);
+    let seconds_on = started.elapsed().as_secs_f64();
+    assert!(
+        check_equivalence(source, &on_klut).is_equivalent(),
+        "{name}: choices-on mapping broke combinational equivalence"
+    );
+    assert!(
+        on_stats.num_luts <= off_stats.num_luts,
+        "{name}: choices-on used more LUTs ({} > {})",
+        on_stats.num_luts,
+        off_stats.num_luts
+    );
+    MapRow {
+        circuit: name,
+        gates: source.num_gates(),
+        luts_off: off_stats.num_luts,
+        depth_off: off_stats.depth,
+        luts_on: on_stats.num_luts,
+        depth_on: on_stats.depth,
+        choice_wins: on_stats.choice_wins,
+        // the choices-on fraig step reports proven-and-ringed cones
+        choices_recorded: on_flow.substitutions,
+        seconds_on,
+    }
+}
+
 /// `--smoke`: run every pass of a representative flow on one small
 /// circuit **twice** — once with incremental maintenance (the default)
 /// and once in from-scratch mode — asserting identical gate counts, and
@@ -224,6 +295,19 @@ fn smoke() {
          ({proof_conflicts} total proof conflicts) and bit-identical across \
          incremental/from-scratch maintenance"
     );
+
+    // the choice pipeline, on AND off: the mapped results must both be
+    // miter-proven against the injected source and choices-on must never
+    // cost LUTs (asserted inside measure_map)
+    let mut choice_source: Aig = adder(8);
+    inject_restructured(&mut choice_source, 6, 0x51c3);
+    inject_redundancy(&mut choice_source, 2, 0x51c4);
+    let row = measure_map("adder_8", &choice_source, 4);
+    println!(
+        "smoke map {:>4} gates: {} LUTs off / {} LUTs on ({} choice wins, \
+         {} choices recorded), both miter-proven",
+        row.gates, row.luts_off, row.luts_on, row.choice_wins, row.choices_recorded
+    );
 }
 
 fn main() {
@@ -245,6 +329,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut sweep_rows = Vec::new();
+    let mut map_rows = Vec::new();
     for (name, aig) in &suite {
         let row = measure(name, aig, 2000);
         println!(
@@ -284,7 +369,36 @@ fn main() {
             srow.nodes_per_sec
         );
         sweep_rows.push(srow);
+
+        // choice-mapping workload: seeded restructured alternatives (the
+        // useful kind of redundancy — resynthesised 10-leaf cones)
+        let mut alternatives = aig.clone();
+        let count = (aig.num_gates() / 15).clamp(8, 64);
+        inject_restructured(&mut alternatives, count, 0xc401 + count as u64);
+        let mrow = measure_map(name, &alternatives, 6);
+        println!(
+            "map     {:<20} {:>5} gates  {:>4} LUTs off  {:>4} LUTs on  \
+             {:>3} choice wins  {:>3} choices  depth {} -> {}",
+            mrow.circuit,
+            mrow.gates,
+            mrow.luts_off,
+            mrow.luts_on,
+            mrow.choice_wins,
+            mrow.choices_recorded,
+            mrow.depth_off,
+            mrow.depth_on
+        );
+        map_rows.push(mrow);
     }
+    // the acceptance bar of choice-aware mapping: at least one circuit
+    // must map strictly smaller with choices on, through nonzero
+    // choice-derived cut wins (miter proofs already ran per circuit)
+    assert!(
+        map_rows
+            .iter()
+            .any(|r| r.luts_on < r.luts_off && r.choice_wins > 0),
+        "choice-aware mapping reduced no circuit strictly"
+    );
 
     let json_rows: Vec<String> = rows
         .iter()
@@ -338,6 +452,33 @@ fn main() {
         "{{\n  \"bench\": \"sat_sweep_pass\",\n  \"circuits\": [\n{}\n  ]\n}}\n",
         sweep_json_rows.join(",\n")
     );
+    let map_json_rows: Vec<String> = map_rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"circuit\": \"{}\", \"gates\": {}, ",
+                    "\"luts_choices_off\": {}, \"depth_choices_off\": {}, ",
+                    "\"luts_choices_on\": {}, \"depth_choices_on\": {}, ",
+                    "\"choice_wins\": {}, \"choices_recorded\": {}, ",
+                    "\"seconds_choices_on\": {:.6}}}"
+                ),
+                r.circuit,
+                r.gates,
+                r.luts_off,
+                r.depth_off,
+                r.luts_on,
+                r.depth_on,
+                r.choice_wins,
+                r.choices_recorded,
+                r.seconds_on
+            )
+        })
+        .collect();
+    let map_json = format!(
+        "{{\n  \"bench\": \"choice_lut_mapping\",\n  \"circuits\": [\n{}\n  ]\n}}\n",
+        map_json_rows.join(",\n")
+    );
     // tracked baselines: only refresh on request, like BENCH_cuts.json
     if std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rewrite.json");
@@ -346,9 +487,13 @@ fn main() {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
         std::fs::write(path, sweep_json).expect("write BENCH_sweep.json");
         println!("wrote {path}");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_map.json");
+        std::fs::write(path, map_json).expect("write BENCH_map.json");
+        println!("wrote {path}");
     } else {
         println!(
-            "(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_rewrite.json / BENCH_sweep.json)"
+            "(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_rewrite.json / \
+             BENCH_sweep.json / BENCH_map.json)"
         );
     }
 }

@@ -31,9 +31,11 @@
 pub mod arithmetic;
 pub mod control;
 pub mod redundancy;
+pub mod restructure;
 pub mod rng;
 pub mod suite;
 
 pub use redundancy::inject_redundancy;
+pub use restructure::inject_restructured;
 pub use rng::SplitMix64;
 pub use suite::{benchmark_by_name, epfl_like_suite, Benchmark, SuiteScale};

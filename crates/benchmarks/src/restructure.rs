@@ -1,0 +1,126 @@
+//! Seeded *restructured-alternative* injection: the workload generator
+//! for choice-aware mapping.
+//!
+//! [`inject_redundancy`](crate::inject_redundancy) creates functionally
+//! equivalent cones that are strictly *worse* than their originals (a
+//! three-gate Shannon re-expression of one signal) — enough to exercise
+//! a fraig's proving machinery, but an alternative no mapper would ever
+//! prefer.  Choice networks need the opposite: equivalent cones that are
+//! *structurally different in a useful way*, so that a choice-aware
+//! mapper can realise the alternative where it packs better into LUTs.
+//!
+//! This generator produces them the way a real flow does: pick a gate,
+//! collapse a reconvergence-driven cut of its cone into a truth table,
+//! and resynthesise that function from scratch (irredundant SOP +
+//! algebraic factoring).  The resynthesised structure goes through
+//! structural hashing, so it reuses whatever shared logic already exists
+//! — giving the mapper exactly the kind of alternative (re-associated,
+//! re-factored, routed through shared blocks) that the destructive fraig
+//! would merge away and a choice ring preserves.  Each alternative is
+//! exposed through a fresh (randomly complemented) primary output so it
+//! survives until a sweep proves and rings it.
+
+use crate::rng::SplitMix64;
+use glsx_core::cuts::{simulate_cut, ReconvergenceCut};
+use glsx_network::{GateBuilder, Network, NodeId, Signal};
+use glsx_synth::{Resynthesis, SopResynthesis};
+
+/// Injects up to `count` resynthesised re-expressions of existing cones
+/// into `ntk`, each driving a fresh (randomly complemented) primary
+/// output.  Targets are drawn deterministically from `seed`; a target is
+/// skipped when its reconvergence cut is degenerate or resynthesis
+/// reproduces the original node verbatim (structural hashing found
+/// nothing new).  Returns the number of alternatives actually injected.
+pub fn inject_restructured<N: Network + GateBuilder>(
+    ntk: &mut N,
+    count: usize,
+    seed: u64,
+) -> usize {
+    let gates: Vec<NodeId> = ntk.gate_nodes();
+    if gates.is_empty() {
+        return 0;
+    }
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut cut = ReconvergenceCut::new();
+    let mut resynthesis = SopResynthesis;
+    let mut injected = 0;
+    // draw more candidates than requested: degenerate cuts and verbatim
+    // re-synthesis results are skipped, not retried forever
+    for _ in 0..count.saturating_mul(4) {
+        if injected >= count {
+            break;
+        }
+        let target = gates[rng.gen_range(gates.len())];
+        if ntk.is_dead(target) {
+            continue;
+        }
+        let leaves = cut.compute(ntk, target, 10).to_vec();
+        if leaves.len() < 2 || leaves.contains(&target) {
+            continue;
+        }
+        let function = simulate_cut(ntk, target, &leaves);
+        let leaf_signals: Vec<Signal> = leaves.iter().map(|&l| Signal::new(l, false)).collect();
+        let size_before = ntk.size();
+        let Some(alt) = resynthesis.resynthesize(ntk, &function, &leaf_signals) else {
+            continue;
+        };
+        if alt.node() == target {
+            // pure structural reuse: no alternative structure to offer —
+            // remove anything dangling the attempt left behind
+            sweep_dangling(ntk, size_before);
+            continue;
+        }
+        ntk.create_po(alt.complement_if(rng.gen_bool()));
+        sweep_dangling(ntk, size_before);
+        injected += 1;
+    }
+    injected
+}
+
+/// Removes attempt leftovers without fanout (the PO keeps the committed
+/// alternative alive).
+fn sweep_dangling<N: Network>(ntk: &mut N, size_before: usize) {
+    for id in size_before..ntk.size() {
+        let id = id as NodeId;
+        if ntk.is_gate(id) && ntk.fanout_size(id) == 0 {
+            ntk.take_out_node(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arithmetic::adder;
+    use glsx_core::sweeping::check_equivalence;
+    use glsx_network::Aig;
+
+    #[test]
+    fn alternatives_are_equivalent_to_their_targets() {
+        let mut aig: Aig = adder(4);
+        let pos_before = aig.num_pos();
+        let injected = inject_restructured(&mut aig, 4, 0xa17);
+        assert!(injected >= 1, "the adder offers plenty of cones");
+        assert_eq!(aig.num_pos(), pos_before + injected);
+        // a sweep must be able to prove every alternative against its
+        // original (they are the same function by construction)
+        let reference = aig.clone();
+        let stats =
+            glsx_core::sweeping::sweep(&mut aig, &glsx_core::sweeping::SweepParams::default());
+        assert!(stats.proven >= 1, "{stats:?}");
+        assert!(check_equivalence(&reference, &aig).is_equivalent());
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let build = || {
+            let mut aig: Aig = adder(3);
+            inject_restructured(&mut aig, 3, 99);
+            aig
+        };
+        let x = build();
+        let y = build();
+        assert_eq!(x.num_gates(), y.num_gates());
+        assert_eq!(x.po_signals(), y.po_signals());
+    }
+}

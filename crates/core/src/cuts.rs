@@ -497,6 +497,11 @@ pub struct CutCounters {
     pub invalidated_nodes: u64,
     /// Calls to [`CutManager::refresh_from`].
     pub refreshes: u64,
+    /// Choice-derived cuts committed to representative tails by
+    /// [`CutManager::choice_cuts_of`]: cuts harvested from ring members'
+    /// cut sets (polarity-corrected) that survived dominance pruning
+    /// against the representative's structural set.
+    pub choice_cuts: u64,
 }
 
 /// Bottom-up priority-cut enumeration with lazy, per-node memoisation and
@@ -541,6 +546,19 @@ pub struct CutManager {
     sim_stack: Vec<NodeId>,
     /// Reused transitive-fanout worklist of [`CutManager::refresh_from`].
     refresh_stack: Vec<NodeId>,
+    /// Choice-cut tails: per-representative extra cuts harvested from ring
+    /// members (see [`CutManager::choice_cuts_of`]).  A separate arena so
+    /// the structural substrate above stays bit-identical whether or not a
+    /// network carries choices.
+    choice_arena: Vec<Cut>,
+    /// Root of each tail cut: the ring member whose cone realises it,
+    /// plus the member's polarity relative to the representative.
+    choice_roots: Vec<(NodeId, bool)>,
+    /// Functions of the tail cuts (polarity-corrected to the
+    /// representative); filled only under [`CutParams::compute_truth`].
+    choice_functions: Vec<CutFunction>,
+    /// `choice_spans[node]` locates the node's tail inside `choice_arena`.
+    choice_spans: Vec<Span>,
     /// Cumulative enumeration/invalidation counters.
     counters: CutCounters,
 }
@@ -580,6 +598,10 @@ impl CutManager {
             sim_values: Vec::new(),
             sim_stack: Vec::new(),
             refresh_stack: Vec::new(),
+            choice_arena: Vec::new(),
+            choice_roots: Vec::new(),
+            choice_functions: Vec::new(),
+            choice_spans: Vec::new(),
             counters: CutCounters::default(),
         }
     }
@@ -636,6 +658,176 @@ impl CutManager {
                 self.counters.invalidated_nodes += 1;
             }
         }
+        self.drop_choice_tails();
+    }
+
+    /// Drops every memoised choice tail (cheap no-op while none exist).
+    /// Tails are derived from *member* cut sets, whose staleness the
+    /// per-node invalidation above cannot attribute to a representative
+    /// without a network at hand — and choice-aware consumers (mapping)
+    /// run on a static network, so a rebuild after structural churn is the
+    /// rare case, not the steady state.
+    fn drop_choice_tails(&mut self) {
+        if self.choice_arena.is_empty() {
+            return;
+        }
+        self.choice_arena.clear();
+        self.choice_roots.clear();
+        self.choice_functions.clear();
+        self.choice_spans.clear();
+    }
+
+    /// Returns the *choice tail* of `node`: extra cuts harvested from the
+    /// choice-ring members of `node` (empty unless the network carries
+    /// choices and `node` represents a non-trivial ring).  Together with
+    /// [`CutManager::cuts_of`] this is the enlarged, choice-aware cut set
+    /// of the paper's choice networks: every tail cut is a cut of some
+    /// ring member `m ≡ node ⊕ phase`, re-rooted at the representative —
+    /// [`CutManager::choice_cut_root`] reports which member cone realises
+    /// it, [`CutManager::choice_cut_function`] its polarity-corrected
+    /// function.
+    ///
+    /// Member cuts are pruned against the representative's structural set
+    /// and against each other (dominance), skip the member's trivial cut
+    /// and any cut whose leaves include the representative or a
+    /// non-representative ring member, and are capped at
+    /// [`CutParams::cut_limit`] (smallest first on overflow, mirroring the
+    /// structural pruning).  The structural set itself is never altered:
+    /// with choices absent the manager is bit-identical to one that never
+    /// heard of them.
+    pub fn choice_cuts_of<N: Network>(&mut self, ntk: &N, node: NodeId) -> &[Cut] {
+        if !ntk.has_choices() || ntk.choice_repr(node) != node || ntk.next_choice(node).is_none() {
+            return &[];
+        }
+        if !self
+            .choice_spans
+            .get(node as usize)
+            .map(|s| s.state == SpanState::Computed)
+            .unwrap_or(false)
+        {
+            self.build_choice_tail(ntk, node);
+        }
+        let span = self.choice_spans[node as usize];
+        &self.choice_arena[span.start as usize..span.start as usize + span.len as usize]
+    }
+
+    /// The member cone realising tail cut `index` of `node`: `(root,
+    /// phase)` with `node ≡ root ⊕ phase`.  A consumer reconstructing the
+    /// mapped structure walks `root`'s cone down to the cut leaves and
+    /// complements the result iff `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tail of `node` has not been computed or `index` is
+    /// out of range.
+    pub fn choice_cut_root(&self, node: NodeId, index: usize) -> (NodeId, bool) {
+        let span = self.choice_spans[node as usize];
+        assert!(
+            span.state == SpanState::Computed && index < span.len as usize,
+            "choice_cut_root: tail of node {node} not computed"
+        );
+        self.choice_roots[span.start as usize + index]
+    }
+
+    /// The fused function of tail cut `index` of `node`, expressed over
+    /// the cut's sorted leaves and polarity-corrected to the
+    /// *representative* (complemented relative to the member's own
+    /// function iff the member is antivalent).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`CutManager::cut_function`] (requires
+    /// [`CutParams::compute_truth`] and a computed tail).
+    pub fn choice_cut_function(&self, node: NodeId, index: usize) -> &CutFunction {
+        assert!(
+            self.params.compute_truth,
+            "choice_cut_function requires CutParams::compute_truth"
+        );
+        let span = self.choice_spans[node as usize];
+        assert!(
+            span.state == SpanState::Computed && index < span.len as usize,
+            "choice_cut_function: tail of node {node} not computed"
+        );
+        &self.choice_functions[span.start as usize + index]
+    }
+
+    /// Computes the choice tail of representative `node` from its ring
+    /// members' (structural) cut sets.
+    fn build_choice_tail<N: Network>(&mut self, ntk: &N, node: NodeId) {
+        // the representative's structural set is the dominance reference
+        self.ensure_cuts(ntk, node);
+        // collect the ring first: ensuring member cut sets below re-borrows
+        // the manager mutably
+        let mut ring: Vec<(NodeId, bool)> = Vec::new();
+        ntk.foreach_choice(node, |member, phase| ring.push((member, phase)));
+        // tail candidates accumulate here before the capped commit
+        let mut tail: Vec<(Cut, (NodeId, bool), CutFunction)> = Vec::new();
+        for &(member, phase) in &ring {
+            if ntk.is_dead(member) {
+                continue;
+            }
+            self.ensure_cuts(ntk, member);
+            let span = self.spans[member as usize];
+            let start = span.start as usize;
+            'cuts: for index in 1..span.len as usize {
+                let cut = self.arena[start + index];
+                if cut.size() > self.params.cut_size {
+                    continue;
+                }
+                for &leaf in cut.leaves() {
+                    // the representative as a leaf would make the LUT feed
+                    // itself; a non-representative member as a leaf would
+                    // duplicate class logic below the cut — skip both
+                    if leaf == node || ntk.choice_repr(leaf) != leaf {
+                        continue 'cuts;
+                    }
+                }
+                // dominance against the structural set (kept intact) …
+                let own = self.spans[node as usize];
+                let own_range = own.start as usize..own.start as usize + own.len as usize;
+                if self.arena[own_range].iter().any(|c| c.dominates(&cut)) {
+                    continue;
+                }
+                // … and against the tail built so far (both directions)
+                if tail.iter().any(|(c, _, _)| c.dominates(&cut)) {
+                    continue;
+                }
+                tail.retain(|(c, _, _)| !cut.dominates(c));
+                let function = if self.params.compute_truth {
+                    let f = *self.cut_function(member, index);
+                    if phase {
+                        SimBlock::complement(&f)
+                    } else {
+                        f
+                    }
+                } else {
+                    CutFunction::zero(0)
+                };
+                tail.push((cut, (member, phase), function));
+            }
+        }
+        if tail.len() > self.params.cut_limit {
+            tail.sort_by_key(|(c, _, _)| c.size());
+            tail.truncate(self.params.cut_limit);
+        }
+        let start = self.choice_arena.len() as u32;
+        let len = tail.len() as u16;
+        for (cut, root, function) in tail {
+            self.choice_arena.push(cut);
+            self.choice_roots.push(root);
+            if self.params.compute_truth {
+                self.choice_functions.push(function);
+            }
+        }
+        self.counters.choice_cuts += u64::from(len);
+        if self.choice_spans.len() <= node as usize {
+            self.choice_spans.resize(node as usize + 1, Span::default());
+        }
+        self.choice_spans[node as usize] = Span {
+            start,
+            len,
+            state: SpanState::Computed,
+        };
     }
 
     /// Drops every memoised cut set — the *from-scratch* maintenance mode:
@@ -1238,6 +1430,14 @@ impl ReconvergenceCut {
     /// rooted at `root` (top-down expansion choosing the leaf whose
     /// expansion adds the fewest new leaves).
     ///
+    /// The expansion cost of a leaf — how many of its fanins are outside
+    /// the cut — is cached in the leaf's traversal *value*, so the cost
+    /// probe reads each still-cached leaf in O(1) instead of re-walking
+    /// its fanins on every iteration.  A cache entry is dropped exactly
+    /// when it can go stale: membership only ever *grows*, so a leaf's
+    /// cost changes only when one of its fanins enters the cut, at which
+    /// point the fanin's marked fanouts have their caches cleared.
+    ///
     /// Returns the sorted, duplicate-free leaves of the cut (primary
     /// inputs may appear as leaves); the slice stays valid until the next
     /// `compute` call on this computer.
@@ -1246,7 +1446,9 @@ impl ReconvergenceCut {
         leaves.clear();
         // one mark covers both the current leaves and the expanded
         // interior: a leaf keeps its mark when it moves to the interior,
-        // and the tests below only ever ask for the union
+        // and the tests below only ever ask for the union.  The mark's
+        // 32-bit value holds the cached expansion cost plus one (0 = not
+        // cached; `mark` initialises the value to 0).
         let in_cut = Traversal::new(ntk);
         in_cut.mark(ntk, root);
         // start from the fanins of the root
@@ -1263,14 +1465,20 @@ impl ReconvergenceCut {
                 if !ntk.is_gate(leaf) {
                     continue;
                 }
-                let mut new_leaves = 0usize;
-                ntk.foreach_fanin(leaf, |f| {
-                    if !in_cut.is_marked(ntk, f.node()) {
-                        new_leaves += 1;
+                let cost = match in_cut.value(ntk, leaf) {
+                    Some(cached) if cached > 0 => cached as usize - 1,
+                    _ => {
+                        let mut new_leaves = 0usize;
+                        ntk.foreach_fanin(leaf, |f| {
+                            if !in_cut.is_marked(ntk, f.node()) {
+                                new_leaves += 1;
+                            }
+                        });
+                        in_cut.set_value(ntk, leaf, new_leaves as u32 + 1);
+                        new_leaves
                     }
-                });
-                let cost = new_leaves;
-                if leaves.len() - 1 + new_leaves > max_leaves {
+                };
+                if leaves.len() - 1 + cost > max_leaves {
                     continue;
                 }
                 if best.is_none_or(|(c, _)| cost < c) {
@@ -1284,6 +1492,14 @@ impl ReconvergenceCut {
                     ntk.foreach_fanin(leaf, |f| {
                         if in_cut.mark(ntk, f.node()) {
                             leaves.push(f.node());
+                            // this fanin just entered the cut: any marked
+                            // fanout caching a cost that counted it as
+                            // outside is stale now
+                            ntk.foreach_fanout(f.node(), |parent| {
+                                if in_cut.is_marked(ntk, parent) {
+                                    in_cut.set_value(ntk, parent, 0);
+                                }
+                            });
                         }
                     });
                 }
@@ -1725,6 +1941,161 @@ mod tests {
             mgr.counters().reenumerated_nodes,
             mgr.counters().invalidated_nodes
         );
+    }
+
+    /// Naive reference of the reconvergence-driven expansion (the pre-cache
+    /// implementation): recompute every leaf's cost by a fanin walk on
+    /// every probe.  The cached computer must match it bit for bit.
+    fn reconvergence_cut_naive<N: Network>(
+        ntk: &N,
+        root: NodeId,
+        max_leaves: usize,
+    ) -> Vec<NodeId> {
+        let mut leaves: Vec<NodeId> = Vec::new();
+        let in_cut = glsx_network::Traversal::new(ntk);
+        in_cut.mark(ntk, root);
+        ntk.foreach_fanin(root, |f| {
+            if in_cut.mark(ntk, f.node()) {
+                leaves.push(f.node());
+            }
+        });
+        loop {
+            let mut best: Option<(usize, usize)> = None;
+            for (i, &leaf) in leaves.iter().enumerate() {
+                if !ntk.is_gate(leaf) {
+                    continue;
+                }
+                let mut cost = 0usize;
+                ntk.foreach_fanin(leaf, |f| {
+                    if !in_cut.is_marked(ntk, f.node()) {
+                        cost += 1;
+                    }
+                });
+                if leaves.len() - 1 + cost > max_leaves {
+                    continue;
+                }
+                if best.is_none_or(|(c, _)| cost < c) {
+                    best = Some((cost, i));
+                }
+            }
+            match best {
+                None => break,
+                Some((_, index)) => {
+                    let leaf = leaves.swap_remove(index);
+                    ntk.foreach_fanin(leaf, |f| {
+                        if in_cut.mark(ntk, f.node()) {
+                            leaves.push(f.node());
+                        }
+                    });
+                }
+            }
+            if leaves.len() >= max_leaves {
+                break;
+            }
+        }
+        leaves.sort_unstable();
+        leaves.dedup();
+        leaves
+    }
+
+    /// The per-leaf cost cache is invisible: on heavily reconvergent
+    /// random networks the cached computer reproduces the naive
+    /// recompute-every-probe expansion exactly, for every root and limit.
+    #[test]
+    fn reconvergence_cost_cache_matches_naive_expansion() {
+        let mut state = 0x00c0_ffee_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..5 {
+            let mut aig = Aig::new();
+            let mut signals: Vec<glsx_network::Signal> = (0..6).map(|_| aig.create_pi()).collect();
+            for _ in 0..60 {
+                let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                signals.push(aig.create_and(a, b));
+            }
+            for s in signals.iter().rev().take(3) {
+                aig.create_po(*s);
+            }
+            let mut computer = ReconvergenceCut::new();
+            for root in aig.gate_nodes() {
+                for limit in [3usize, 5, 8, 12] {
+                    let naive = reconvergence_cut_naive(&aig, root, limit);
+                    assert_eq!(
+                        computer.compute(&aig, root, limit),
+                        naive.as_slice(),
+                        "root {root}, limit {limit}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Choice tails: a ring member's cuts surface on the representative,
+    /// polarity-corrected and re-rooted, without touching the structural
+    /// set.
+    #[test]
+    fn choice_tails_surface_member_cuts_on_the_representative() {
+        use glsx_network::GateBuilder;
+        // a genuinely redundant pair, ringed by the choices-recording sweep
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let s = aig.create_pi();
+        let x = aig.create_and(a, b);
+        let t1 = aig.create_and(x, s);
+        let t2 = aig.create_and(x, !s);
+        let dup = aig.create_or(t1, t2); // ≡ x, structurally distinct
+        aig.create_po(x);
+        aig.create_po(dup);
+        let stats = crate::sweeping::sweep(
+            &mut aig,
+            &crate::sweeping::SweepParams {
+                record_choices: true,
+                ..crate::sweeping::SweepParams::default()
+            },
+        );
+        assert!(stats.choices_recorded >= 1, "{stats:?}");
+        assert_eq!(aig.choice_repr(dup.node()), x.node());
+
+        let mut mgr = CutManager::new(CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+            compute_truth: true,
+        });
+        let structural = mgr.cuts_of(&aig, x.node()).to_vec();
+        let tail = mgr.choice_cuts_of(&aig, x.node()).to_vec();
+        assert!(!tail.is_empty(), "member cuts must surface");
+        assert!(mgr.counters().choice_cuts >= tail.len() as u64);
+        // the structural set is untouched by the tail build
+        assert_eq!(mgr.cuts_of(&aig, x.node()), structural.as_slice());
+        for (i, cut) in tail.iter().enumerate() {
+            // no tail cut may repeat a structural cut or use the
+            // representative / a ring member as a leaf
+            assert!(!structural.contains(cut), "duplicate {cut:?}");
+            for &leaf in cut.leaves() {
+                assert_ne!(leaf, x.node());
+                assert_eq!(aig.choice_repr(leaf), leaf);
+            }
+            // the root is a ring member realising the representative:
+            // simulating the member cone over the cut's leaves (and fixing
+            // the polarity) must equal the fused, polarity-corrected table
+            let (root, phase) = mgr.choice_cut_root(x.node(), i);
+            assert_eq!(aig.choice_repr(root), x.node());
+            let mut simulated = simulate_cut(&aig, root, cut.leaves());
+            if phase {
+                simulated = !simulated;
+            }
+            let fused = mgr.choice_cut_function(x.node(), i).to_truth_table();
+            assert_eq!(fused, simulated, "tail cut {i}");
+        }
+        // non-representatives and choice-free nodes have empty tails
+        assert!(mgr.choice_cuts_of(&aig, dup.node()).is_empty());
+        let plain = Aig::new();
+        let mut plain_mgr = CutManager::new(CutParams::default());
+        assert!(plain_mgr.choice_cuts_of(&plain, 0).is_empty());
     }
 
     /// The reusable computer returns the same cuts as the cold-path

@@ -53,13 +53,13 @@ pub use cuts::{
     reconvergence_driven_cut, simulate_cut, simulate_cut_cone, ConeSimulator, Cut, CutCounters,
     CutFunction, CutManager, CutParams, ReconvergenceCut, MAX_CUT_LEAVES,
 };
-pub use lut_mapping::{lut_map, lut_map_stats, LutMapParams, LutMapStats};
+pub use lut_mapping::{lut_map, lut_map_stats, lut_map_with_stats, LutMapParams, LutMapStats};
 pub use refactoring::{refactor, refactor_with, RefactorParams, RefactorStats};
 pub use refs::{mffc, mffc_into, mffc_size, mffc_with_leaves, RefCountView};
 pub use replace::{try_replace_on_cut, ReplaceOutcome, Replacer};
 pub use resubstitution::{resubstitute, ResubNetwork, ResubParams, ResubStats, ResubStyle};
 pub use rewriting::{rewrite, rewrite_with, CutMaintenance, RewriteParams, RewriteStats};
 pub use sweeping::{
-    check_equivalence, check_equivalence_with, sweep, EquivalenceOutcome, EquivalenceResult,
-    SweepParams, SweepStats,
+    check_equivalence, check_equivalence_with, sweep, sweep_with_engine, EquivalenceOutcome,
+    EquivalenceResult, SweepEngine, SweepParams, SweepStats,
 };

@@ -13,6 +13,24 @@
 //! nodes with a changed cone instead of re-reading every node's cut set
 //! off the arena each round.  [`LutMapParams::full_recompute`] selects the
 //! from-scratch reference the incremental path is verified against.
+//!
+//! # Choice-aware mapping
+//!
+//! With [`LutMapParams::use_choices`] the mapper selects over the
+//! *enlarged* cut sets of a choice network (see
+//! [`glsx_network::choices`]): for every class representative the
+//! structural cuts are joined by the tails harvested from its ring members
+//! ([`CutManager::choice_cuts_of`]), each remembering which member cone
+//! realises it.  A winning choice cut is reconstructed by simulating the
+//! *member's* cone over the cut leaves (polarity-corrected), so the mapped
+//! network can realise a structure the destructive fraig would have
+//! deleted.  Because choice-cut leaves live in member cones — not in the
+//! representative's own cone — the cover is ordered by an explicit
+//! dependency DFS (leaves before roots) instead of node ids, and the rare
+//! dependency cycle between two classes is broken deterministically by
+//! demoting one participant to its best structural cut.  The choices-off
+//! path is byte-identical to a mapper that never heard of choices — the
+//! verified reference, with a miter proof guarding the choices-on result.
 
 use crate::cuts::{ConeSimulator, Cut, CutManager, CutParams};
 use glsx_network::{Klut, Network, NodeId, Signal, Traversal};
@@ -33,6 +51,15 @@ pub struct LutMapParams {
     /// same cover (the contract the tests verify); this is the
     /// verification mode.
     pub full_recompute: bool,
+    /// Select over the enlarged cut sets of a choice network: ring
+    /// members' cuts compete with the representative's own, and winning
+    /// member structures are reconstructed into the mapped network (see
+    /// the module docs).  `false` — the default and the verified
+    /// reference — ignores choice rings entirely and is byte-identical to
+    /// the pre-choice mapper.  Implies full per-round re-evaluation:
+    /// choice-cut costs depend on member cones, which the fanin-based
+    /// dirty tracking cannot see.
+    pub use_choices: bool,
 }
 
 impl Default for LutMapParams {
@@ -42,6 +69,7 @@ impl Default for LutMapParams {
             cut_limit: 8,
             area_flow_rounds: 1,
             full_recompute: false,
+            use_choices: false,
         }
     }
 }
@@ -70,6 +98,14 @@ pub struct LutMapStats {
     /// below `rounds × gates`; under
     /// [`LutMapParams::full_recompute`] it is exactly `rounds × gates`.
     pub choice_evaluations: usize,
+    /// Cover nodes realised through a choice-ring member's cone instead of
+    /// the node's own structure (nonzero only under
+    /// [`LutMapParams::use_choices`] when a member cut actually won).
+    pub choice_wins: usize,
+    /// Dependency cycles between classes broken by demoting a node to its
+    /// best structural cut during cover ordering (see the module docs;
+    /// expected to stay at or near zero).
+    pub choice_cycle_fallbacks: usize,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -77,6 +113,12 @@ struct MapChoice {
     cut: Cut,
     level: u32,
     area_flow: f64,
+    /// The cone that realises this cut: the node itself for structural
+    /// cuts, a choice-ring member for choice cuts.
+    root: NodeId,
+    /// Polarity of `root` relative to the mapped node (`node ≡ root ⊕
+    /// root_phase`); always `false` for structural cuts.
+    root_phase: bool,
 }
 
 /// Maps `ntk` into a k-LUT network.
@@ -107,27 +149,70 @@ pub fn lut_map<N: Network>(ntk: &N, params: &LutMapParams) -> Klut {
         params.lut_size,
         crate::cuts::MAX_CUT_LEAVES
     );
-    let (cover, choices, _) = select_cover(ntk, params);
-    build_klut(ntk, &cover, &choices)
+    lut_map_with_stats(ntk, params).0
+}
+
+/// Maps `ntk` and returns both the k-LUT network and the statistics (one
+/// selection and construction pass; [`lut_map`] and [`lut_map_stats`] are
+/// thin wrappers).
+///
+/// Under [`LutMapParams::use_choices`] the *choices-off contract* is
+/// enforced by construction, not by heuristic: the mapper also runs the
+/// exact choices-off selection (the same code path a `use_choices: false`
+/// call takes) and keeps the choice-aware cover only when it is strictly
+/// smaller.  Area flow is a one-LUT-deep estimate, so a locally attractive
+/// member cut can occasionally cost global area — this recovery comparison
+/// turns "choices never map worse" from a tendency into a guarantee, and
+/// [`LutMapStats::choice_wins`] reports wins only when the choice cover
+/// actually shipped.
+pub fn lut_map_with_stats<N: Network>(ntk: &N, params: &LutMapParams) -> (Klut, LutMapStats) {
+    let selected = select_cover(ntk, params);
+    let klut = build_klut(ntk, &selected.cover, &selected.choices);
+    let mut stats = LutMapStats {
+        num_luts: klut.num_gates(),
+        depth: glsx_network::views::network_depth(&klut),
+        choice_evaluations: selected.evaluations,
+        choice_wins: selected.choice_wins,
+        choice_cycle_fallbacks: selected.cycle_fallbacks,
+    };
+    if !params.use_choices {
+        return (klut, stats);
+    }
+    let off_params = LutMapParams {
+        use_choices: false,
+        ..*params
+    };
+    let off_selected = select_cover(ntk, &off_params);
+    let off_klut = build_klut(ntk, &off_selected.cover, &off_selected.choices);
+    stats.choice_evaluations += off_selected.evaluations;
+    if klut.num_gates() < off_klut.num_gates() {
+        (klut, stats)
+    } else {
+        // the enlarged cut space did not pay off: ship the reference cover
+        stats.num_luts = off_klut.num_gates();
+        stats.depth = glsx_network::views::network_depth(&off_klut);
+        stats.choice_wins = 0;
+        (off_klut, stats)
+    }
 }
 
 /// Maps `ntk` and returns only the statistics (LUT count, depth and
 /// refinement work) without keeping the k-LUT network.
 pub fn lut_map_stats<N: Network>(ntk: &N, params: &LutMapParams) -> LutMapStats {
-    let (cover, choices, choice_evaluations) = select_cover(ntk, params);
-    let klut = build_klut(ntk, &cover, &choices);
-    let depth = glsx_network::views::network_depth(&klut);
-    LutMapStats {
-        num_luts: klut.num_gates(),
-        depth,
-        choice_evaluations,
-    }
+    lut_map_with_stats(ntk, params).1
 }
 
-fn select_cover<N: Network>(
-    ntk: &N,
-    params: &LutMapParams,
-) -> (Vec<NodeId>, Vec<Option<MapChoice>>, usize) {
+/// Result of the selection phase: the cover in build order (every cut leaf
+/// precedes its root) and the per-node winning choices.
+struct SelectedCover {
+    cover: Vec<NodeId>,
+    choices: Vec<Option<MapChoice>>,
+    evaluations: usize,
+    choice_wins: usize,
+    cycle_fallbacks: usize,
+}
+
+fn select_cover<N: Network>(ntk: &N, params: &LutMapParams) -> SelectedCover {
     // truth fusion stays OFF here: the mapper reads only one function per
     // *cover* node (roughly a third of the gates), so paying for a table
     // per *enumerated* cut (cut_limit per gate) would be an order of
@@ -139,8 +224,38 @@ fn select_cover<N: Network>(
         compute_truth: false,
     });
     let order = ntk.gate_nodes();
+    // Area flow divides a leaf's cost by its fanout count as a sharing
+    // estimate.  In a choice network the raw counts are inflated: cones
+    // kept alive as ring members still reference shared logic, although
+    // they will not be realised unless a choice cut selects them.  Under
+    // choice-aware mapping the estimate therefore counts only references
+    // from PO-reachable gates (plus output refs) — exactly the counts the
+    // destructively swept network would report, so the structural
+    // selection baseline matches the choices-off mapper and member cuts
+    // compete on genuine merit.
+    let effective_fanout: Vec<u32> = if params.use_choices {
+        let mut counts = vec![0u32; ntk.size()];
+        for po in ntk.po_signals() {
+            counts[po.node() as usize] += 1;
+        }
+        for node in glsx_network::views::reachable_from_outputs(ntk) {
+            if ntk.is_gate(node) {
+                ntk.foreach_fanin(node, |f| counts[f.node() as usize] += 1);
+            }
+        }
+        counts
+    } else {
+        Vec::new()
+    };
     // dense, deterministic per-node tables instead of hash maps
     let mut choices: Vec<Option<MapChoice>> = vec![None; ntk.size()];
+    // the best *structural* choice per node, kept alongside under
+    // choice-aware mapping as the demotion target of cycle fallbacks
+    let mut structural: Vec<Option<MapChoice>> = if params.use_choices {
+        vec![None; ntk.size()]
+    } else {
+        Vec::new()
+    };
     let mut evaluations = 0usize;
 
     // delay-oriented pass followed by area-flow refinement passes.  The
@@ -167,7 +282,10 @@ fn select_cover<N: Network>(
     for round in 0..(1 + params.area_flow_rounds) {
         let area_oriented = round > 0;
         let tag = round as u32 + 1;
-        let can_skip = round >= 2 && !params.full_recompute;
+        // choice-aware mapping re-evaluates every node each round: a
+        // choice cut's cost depends on its member cone's leaves, which the
+        // fanin-tag dirty scheme cannot observe
+        let can_skip = round >= 2 && !params.full_recompute && !params.use_choices;
         for &node in &order {
             let mut recent_dirty = false; // changed in round-1 or earlier this round
             let mut current_dirty = false; // changed earlier this round
@@ -188,6 +306,48 @@ fn select_cover<N: Network>(
                 continue;
             }
             evaluations += 1;
+            // evaluate one candidate cut realised by `root` (⊕ phase)
+            let evaluate =
+                |choices: &[Option<MapChoice>], cut: &Cut, root: NodeId, root_phase: bool| {
+                    let choice_of = |l: NodeId| choices[l as usize];
+                    let level = 1 + cut
+                        .leaves()
+                        .iter()
+                        .map(|&l| choice_of(l).map(|c| c.level).unwrap_or(0))
+                        .max()
+                        .unwrap_or(0);
+                    let area_flow = 1.0
+                        + cut
+                            .leaves()
+                            .iter()
+                            .map(|&l| {
+                                let leaf_flow = choice_of(l).map(|c| c.area_flow).unwrap_or(0.0);
+                                let fanout = if params.use_choices {
+                                    effective_fanout[l as usize] as usize
+                                } else {
+                                    ntk.fanout_size(l)
+                                };
+                                leaf_flow / (fanout.max(1) as f64)
+                            })
+                            .sum::<f64>();
+                    MapChoice {
+                        cut: *cut,
+                        level,
+                        area_flow,
+                        root,
+                        root_phase,
+                    }
+                };
+            let better = |candidate: &MapChoice, best: &Option<MapChoice>| match best {
+                None => true,
+                Some(current) => {
+                    if area_oriented {
+                        (candidate.area_flow, candidate.level) < (current.area_flow, current.level)
+                    } else {
+                        (candidate.level, candidate.area_flow) < (current.level, current.area_flow)
+                    }
+                }
+            };
             // the manager is not invalidated inside this loop, so its
             // arena slice can be borrowed directly — no copying
             let mut best: Option<MapChoice> = None;
@@ -195,41 +355,36 @@ fn select_cover<N: Network>(
                 if cut.size() == 0 || cut.leaves().contains(&node) {
                     continue;
                 }
-                let choice_of = |l: NodeId| choices[l as usize];
-                let level = 1 + cut
-                    .leaves()
-                    .iter()
-                    .map(|&l| choice_of(l).map(|c| c.level).unwrap_or(0))
-                    .max()
-                    .unwrap_or(0);
-                let area_flow = 1.0
-                    + cut
-                        .leaves()
-                        .iter()
-                        .map(|&l| {
-                            let leaf_flow = choice_of(l).map(|c| c.area_flow).unwrap_or(0.0);
-                            leaf_flow / (ntk.fanout_size(l).max(1) as f64)
-                        })
-                        .sum::<f64>();
-                let candidate = MapChoice {
-                    cut: *cut,
-                    level,
-                    area_flow,
-                };
-                let better = match &best {
-                    None => true,
-                    Some(current) => {
-                        if area_oriented {
-                            (candidate.area_flow, candidate.level)
-                                < (current.area_flow, current.level)
-                        } else {
-                            (candidate.level, candidate.area_flow)
-                                < (current.level, current.area_flow)
+                let candidate = evaluate(&choices, cut, node, false);
+                if better(&candidate, &best) {
+                    best = Some(candidate);
+                }
+            }
+            if params.use_choices {
+                // member cuts compete against the structural best; a tie
+                // keeps the structural winner (strict comparison), so a
+                // ring that offers nothing leaves the selection untouched
+                if best.is_some() {
+                    structural[node as usize] = best;
+                }
+                let tail = cut_manager.choice_cuts_of(ntk, node).len();
+                'tail: for index in 0..tail {
+                    let cut = cut_manager.choice_cuts_of(ntk, node)[index];
+                    // only repackagings over logic the cover already needs:
+                    // a gate leaf no reachable consumer references would
+                    // have to be materialised exclusively for this cut,
+                    // which the one-LUT-deep area flow cannot price — such
+                    // speculative wins routinely cost global area
+                    for &leaf in cut.leaves() {
+                        if ntk.is_gate(leaf) && effective_fanout[leaf as usize] == 0 {
+                            continue 'tail;
                         }
                     }
-                };
-                if better {
-                    best = Some(candidate);
+                    let (root, phase) = cut_manager.choice_cut_root(node, index);
+                    let candidate = evaluate(&choices, &cut, root, phase);
+                    if better(&candidate, &best) {
+                        best = Some(candidate);
+                    }
                 }
             }
             let mut changed = false;
@@ -248,33 +403,142 @@ fn select_cover<N: Network>(
         }
     }
 
-    // derive the cover by walking from the primary outputs
-    let mut cover = Vec::new();
-    let mut in_cover = vec![false; ntk.size()];
-    let mut stack: Vec<NodeId> = ntk
+    if !params.use_choices {
+        // derive the cover by walking from the primary outputs
+        let mut cover = Vec::new();
+        let mut in_cover = vec![false; ntk.size()];
+        let mut stack: Vec<NodeId> = ntk
+            .po_signals()
+            .iter()
+            .map(|s| s.node())
+            .filter(|&n| ntk.is_gate(n))
+            .collect();
+        while let Some(node) = stack.pop() {
+            if in_cover[node as usize] {
+                continue;
+            }
+            in_cover[node as usize] = true;
+            cover.push(node);
+            let choice = choices[node as usize]
+                .as_ref()
+                .expect("every reachable gate has a mapping choice");
+            for &leaf in choice.cut.leaves() {
+                if ntk.is_gate(leaf) && !in_cover[leaf as usize] {
+                    stack.push(leaf);
+                }
+            }
+        }
+        // topological order of the cover (creation order of the original
+        // gates; structural cut leaves always precede their root)
+        cover.sort_unstable();
+        return SelectedCover {
+            cover,
+            choices,
+            evaluations,
+            choice_wins: 0,
+            cycle_fallbacks: 0,
+        };
+    }
+
+    // Choice-aware cover: a winning member cut's leaves live in the member
+    // cone, not in the representative's own cone, so node-id order no
+    // longer guarantees leaves-before-roots.  An explicit dependency DFS
+    // from the outputs produces the cover in post-order (a valid build
+    // order); a back edge — two classes whose selections depend on each
+    // other through their member cones — is broken by demoting the
+    // topmost on-stack node that selected a choice cut back to its best
+    // structural cut (structural edges strictly descend the DAG, so every
+    // cycle contains at least one such node and each demotion is final:
+    // the DFS terminates).
+    let mut cover: Vec<NodeId> = Vec::new();
+    let mut cycle_fallbacks = 0usize;
+    // 0 = unvisited, 1 = on the DFS stack, 2 = done
+    let mut state = vec![0u8; ntk.size()];
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    let po_roots: Vec<NodeId> = ntk
         .po_signals()
         .iter()
         .map(|s| s.node())
         .filter(|&n| ntk.is_gate(n))
         .collect();
-    while let Some(node) = stack.pop() {
-        if in_cover[node as usize] {
-            continue;
-        }
-        in_cover[node as usize] = true;
-        cover.push(node);
-        let choice = choices[node as usize]
-            .as_ref()
-            .expect("every reachable gate has a mapping choice");
-        for &leaf in choice.cut.leaves() {
-            if ntk.is_gate(leaf) && !in_cover[leaf as usize] {
-                stack.push(leaf);
+    loop {
+        let fallbacks_before = cycle_fallbacks;
+        cover.clear();
+        state.iter_mut().for_each(|s| *s = 0);
+        stack.clear();
+        for &root in &po_roots {
+            if state[root as usize] != 0 {
+                continue;
+            }
+            state[root as usize] = 1;
+            stack.push((root, 0));
+            while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+                let choice = choices[node as usize]
+                    .as_ref()
+                    .expect("every reachable gate has a mapping choice");
+                let leaves = choice.cut.leaves();
+                if *child >= leaves.len() {
+                    state[node as usize] = 2;
+                    cover.push(node);
+                    stack.pop();
+                    continue;
+                }
+                let leaf = leaves[*child];
+                *child += 1;
+                if !ntk.is_gate(leaf) || state[leaf as usize] == 2 {
+                    continue;
+                }
+                if state[leaf as usize] == 0 {
+                    state[leaf as usize] = 1;
+                    stack.push((leaf, 0));
+                    continue;
+                }
+                // back edge: `leaf` is an ancestor of `node`.  Demote the
+                // topmost cycle participant that used a choice cut.
+                let leaf_pos = stack
+                    .iter()
+                    .rposition(|&(n, _)| n == leaf)
+                    .expect("on-stack leaf has a frame");
+                let culprit_pos = (leaf_pos..stack.len())
+                    .rev()
+                    .find(|&p| {
+                        let n = stack[p].0;
+                        choices[n as usize].map(|c| c.root != n).unwrap_or(false)
+                            && structural[n as usize].is_some()
+                    })
+                    .expect("a dependency cycle requires a demotable choice-cut edge");
+                cycle_fallbacks += 1;
+                let culprit = stack[culprit_pos].0;
+                choices[culprit as usize] = structural[culprit as usize];
+                debug_assert!(choices[culprit as usize].is_some());
+                // unwind everything expanded above the culprit and
+                // re-expand it from scratch with its structural leaves
+                for &(n, _) in &stack[culprit_pos + 1..] {
+                    state[n as usize] = 0;
+                }
+                stack.truncate(culprit_pos + 1);
+                stack[culprit_pos].1 = 0;
             }
         }
+        // a demotion may have abandoned subtrees that completed earlier in
+        // this pass, leaving cover entries nothing references; demotions
+        // are permanent (written into `choices`), so re-deriving from the
+        // outputs converges and ships an orphan-free cover
+        if cycle_fallbacks == fallbacks_before {
+            break;
+        }
     }
-    // topological order of the cover (creation order of the original gates)
-    cover.sort_unstable();
-    (cover, choices, evaluations)
+    let choice_wins = cover
+        .iter()
+        .filter(|&&n| choices[n as usize].map(|c| c.root != n).unwrap_or(false))
+        .count();
+    SelectedCover {
+        cover,
+        choices,
+        evaluations,
+        choice_wins,
+        cycle_fallbacks,
+    }
 }
 
 fn build_klut<N: Network>(ntk: &N, cover: &[NodeId], choices: &[Option<MapChoice>]) -> Klut {
@@ -290,7 +554,12 @@ fn build_klut<N: Network>(ntk: &N, cover: &[NodeId], choices: &[Option<MapChoice
     }
     for &node in cover {
         let choice = choices[node as usize].expect("cover nodes have choices");
-        let mut function = sim.simulate(ntk, node, choice.cut.leaves()).clone();
+        // a choice cut is realised by *its member's* cone, complemented
+        // when the member is antivalent to the mapped node
+        let mut function = sim.simulate(ntk, choice.root, choice.cut.leaves()).clone();
+        if choice.root_phase {
+            function = !&function;
+        }
         let mut fanins = Vec::with_capacity(choice.cut.size());
         for (i, &leaf) in choice.cut.leaves().iter().enumerate() {
             let mapped = map[leaf as usize].expect("leaves precede their root");
@@ -418,6 +687,128 @@ mod tests {
         assert_eq!(a.num_gates(), b.num_gates());
         assert_eq!(a.po_signals(), b.po_signals());
         assert!(equivalent_by_simulation(&a, &b));
+    }
+
+    /// Choice-aware mapping on a ringed network: the result stays
+    /// miter-equivalent, choices-off on the same network is byte-identical
+    /// to mapping with the rings stripped, and a strictly better member
+    /// structure actually wins cuts.
+    #[test]
+    fn choice_aware_mapping_exploits_a_better_member_structure() {
+        use crate::sweeping::{check_equivalence, sweep, SweepParams};
+        // shared building blocks, each a mapped 4-LUT of its own output:
+        // p = a∧b∧c∧d and q = e∧f∧g∧h (balanced trees)
+        let mut aig = Aig::new();
+        let pis: Vec<Signal> = (0..8).map(|_| aig.create_pi()).collect();
+        let balanced_and = |aig: &mut Aig, xs: &[Signal]| {
+            let l = aig.create_and(xs[0], xs[1]);
+            let r = aig.create_and(xs[2], xs[3]);
+            aig.create_and(l, r)
+        };
+        let p = balanced_and(&mut aig, &pis[..4]);
+        let q = balanced_and(&mut aig, &pis[4..]);
+        let sel = aig.create_pi();
+        let u = aig.create_and(p, sel);
+        aig.create_po(u);
+        let v = aig.create_and(q, !sel);
+        aig.create_po(v);
+        // the target output: the same conjunction a∧…∧h, but built as an
+        // *interleaved chain* that shares nothing with p and q
+        let mut chain = pis[0];
+        for &pi in [4usize, 1, 5, 2, 6, 3, 7].map(|i| &pis[i]) {
+            chain = aig.create_and(chain, pi);
+        }
+        aig.create_po(chain);
+        // the alternative structure: p ∧ q — one fresh gate over the two
+        // shared blocks.  fraig keeps the (topologically earlier) chain as
+        // the representative; a destructive sweep would delete this cone.
+        let alt = aig.create_and(p, q);
+        aig.create_po(alt);
+        let source = aig.clone();
+        let stats = sweep(
+            &mut aig,
+            &SweepParams {
+                record_choices: true,
+                ..SweepParams::default()
+            },
+        );
+        assert!(stats.choices_recorded >= 1, "{stats:?}");
+        assert!(aig.num_choice_nodes() >= 1);
+
+        let off = LutMapParams::with_lut_size(4);
+        let on = LutMapParams {
+            use_choices: true,
+            ..off
+        };
+        // choices-off on the ringed network == mapping with rings stripped
+        // (the pre-choice mapper): the rings must be invisible to it
+        let mut stripped = aig.clone();
+        stripped.clear_choices();
+        let klut_off = lut_map(&aig, &off);
+        let klut_stripped = lut_map(&stripped, &off);
+        assert_eq!(klut_off.num_gates(), klut_stripped.num_gates());
+        assert_eq!(klut_off.po_signals(), klut_stripped.po_signals());
+        let off_stats = lut_map_stats(&aig, &off);
+        assert_eq!(off_stats.choice_wins, 0);
+
+        // choices-on: equivalent to the source and at least as small
+        let klut_on = lut_map(&aig, &on);
+        assert!(
+            check_equivalence(&source, &klut_on).is_equivalent(),
+            "choice-aware mapping broke the function"
+        );
+        assert!(
+            check_equivalence(&source, &klut_off).is_equivalent(),
+            "choices-off mapping broke the function"
+        );
+        let on_stats = lut_map_stats(&aig, &on);
+        assert!(
+            on_stats.num_luts < off_stats.num_luts,
+            "the shared-block member must strictly reduce the LUT count: \
+             {on_stats:?} vs {off_stats:?}"
+        );
+        assert!(
+            on_stats.choice_wins >= 1,
+            "the p∧q member must win at least one cover cut: {on_stats:?}"
+        );
+    }
+
+    /// Choice-aware mapping on a ring-free network selects exactly the
+    /// choices-off cover (the strict comparison keeps structural winners).
+    #[test]
+    fn choices_on_without_rings_is_identical_to_choices_off() {
+        let mut state = 0x0dd_ba11_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let mut aig = Aig::new();
+        let mut signals: Vec<Signal> = (0..7).map(|_| aig.create_pi()).collect();
+        for _ in 0..70 {
+            let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+            let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+            signals.push(aig.create_and(a, b));
+        }
+        for s in signals.iter().rev().take(4) {
+            aig.create_po(*s);
+        }
+        let off = LutMapParams::with_lut_size(4);
+        let on = LutMapParams {
+            use_choices: true,
+            ..off
+        };
+        let a = lut_map(&aig, &off);
+        let b = lut_map(&aig, &on);
+        assert_eq!(a.num_gates(), b.num_gates());
+        // same cover content; the choices-on build order is a DFS
+        // post-order, so compare functionally and by size, plus stats
+        assert!(equivalent_by_simulation(&a, &b));
+        let sa = lut_map_stats(&aig, &off);
+        let sb = lut_map_stats(&aig, &on);
+        assert_eq!(sa.num_luts, sb.num_luts);
+        assert_eq!(sa.depth, sb.depth);
+        assert_eq!(sb.choice_wins, 0);
+        assert_eq!(sb.choice_cycle_fallbacks, 0);
     }
 
     #[test]

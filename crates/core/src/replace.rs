@@ -187,13 +187,61 @@ impl Replacer {
         }
         // walk the replacement cone down to the primary inputs; `node`
         // anywhere inside means the substitution would create a cycle
+        if self.cone_contains(ntk, replacement.node(), node) {
+            return false;
+        }
+        let size_before = ntk.size();
+        ntk.substitute_node(node, replacement);
+        sweep_new_dangling(ntk, size_before);
+        true
+    }
+
+    /// Commits a *proven-equivalent* pair as a structural **choice**
+    /// instead of a destructive merge: every use of `node` is rewired onto
+    /// `replacement` (exactly like [`Replacer::merge_equivalent`]) but the
+    /// cone of `node` is kept alive and linked into the representative's
+    /// choice ring, so a choice-aware mapper can still realise it
+    /// ([`glsx_network::choices`] documents the ring representation).
+    /// Returns `false` (network untouched) when the registration is
+    /// structurally impossible: `node` is not a live gate, `replacement`
+    /// is dead, or `node` appears in `replacement`'s cone (rewiring the
+    /// fanouts would create a structural cycle).  The representative
+    /// appearing *inside* the member's cone is fine — the typical
+    /// redundant re-expression is built on top of the original node — and
+    /// choice-aware cut enumeration handles it (the representative can be
+    /// an interior node of a member cut's cone; only cuts with the
+    /// representative as a *leaf* are skipped).
+    ///
+    /// The cone walk uses a scratch-slot traversal; callers must not hold
+    /// another live-writing traversal across this call.
+    pub fn keep_as_choice<N: Network>(
+        &mut self,
+        ntk: &mut N,
+        node: NodeId,
+        replacement: Signal,
+    ) -> bool {
+        if !ntk.is_gate(node) || ntk.is_dead(replacement.node()) || replacement.node() == node {
+            return false;
+        }
+        // registration resolves a member-level replacement to its ring
+        // head and rewires onto *that* node, so the acyclicity walk must
+        // cover the head's cone, not just the replacement's
+        let target = ntk.choice_repr(replacement.node());
+        if ntk.is_dead(target) || target == node || self.cone_contains(ntk, target, node) {
+            return false;
+        }
+        ntk.register_choice(node, replacement)
+    }
+
+    /// Returns `true` if `query` appears in the cone of `root` (inclusive).
+    fn cone_contains<N: Network>(&mut self, ntk: &N, root: NodeId, query: NodeId) -> bool {
         let visited = glsx_network::Traversal::new(ntk);
         self.stack.clear();
-        self.stack.push(replacement.node());
-        visited.mark(ntk, replacement.node());
+        self.stack.push(root);
+        visited.mark(ntk, root);
         while let Some(n) = self.stack.pop() {
-            if n == node {
-                return false;
+            if n == query {
+                return true;
             }
             if !ntk.is_gate(n) {
                 continue;
@@ -204,10 +252,7 @@ impl Replacer {
                 }
             });
         }
-        let size_before = ntk.size();
-        ntk.substitute_node(node, replacement);
-        sweep_new_dangling(ntk, size_before);
-        true
+        false
     }
 
     /// Checks whether `forbidden` occurs in the candidate structure rooted

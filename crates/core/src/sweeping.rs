@@ -70,6 +70,13 @@ pub struct SweepParams {
     /// path is verified against (both visit candidate pairs in exactly the
     /// same order).
     pub incremental_classes: bool,
+    /// Keep every proven-equivalent cone as a structural *choice* of its
+    /// class representative instead of deleting it: fanouts are still
+    /// rewired onto the representative, but the losing cone stays alive in
+    /// the representative's choice ring (see [`glsx_network::choices`]),
+    /// available to choice-aware cut enumeration and LUT mapping.  The
+    /// default `false` is the classic destructive fraig.
+    pub record_choices: bool,
 }
 
 impl Default for SweepParams {
@@ -80,6 +87,7 @@ impl Default for SweepParams {
             conflict_limit: 1_000,
             max_rounds: 8,
             incremental_classes: true,
+            record_choices: false,
         }
     }
 }
@@ -114,6 +122,16 @@ pub struct SweepStats {
     /// otherwise bit-identical, so this counter is the work the
     /// incremental path saves.
     pub reclassed_nodes: usize,
+    /// Proven cones registered as structural choices instead of deleted
+    /// (nonzero only under [`SweepParams::record_choices`]; every one is
+    /// also counted in `proven`).
+    pub choices_recorded: usize,
+    /// Simulation pattern words inherited from a recycled [`SweepEngine`]
+    /// at the start of the sweep (0 for a fresh sweep): the refinement
+    /// knowledge — random patterns plus every counterexample earlier
+    /// sweeps of the same flow paid SAT conflicts for — that this sweep
+    /// did not have to rediscover.
+    pub recycled_words: usize,
 }
 
 /// Result of a combinational equivalence check.
@@ -182,6 +200,17 @@ impl CnfEncoder {
             stack: Vec::new(),
             clause: Vec::new(),
             fanin_lits: Vec::new(),
+        }
+    }
+
+    /// Grows the variable table to cover `num_nodes` node ids (recycling
+    /// hook: a solver carried across the sweeps of one flow keeps every
+    /// encoded clause — node ids are never reused and every pass preserves
+    /// each node's function over the primary inputs, so old clauses stay
+    /// sound — while nodes created since simply encode on first demand).
+    fn ensure_len(&mut self, num_nodes: usize) {
+        if self.vars.len() < num_nodes {
+            self.vars.resize(num_nodes, NO_VAR);
         }
     }
 
@@ -379,9 +408,63 @@ impl MiterEngine {
     }
 }
 
+/// Reusable state shared by the `fraig` steps of one flow: the simulation
+/// pattern words (initial random patterns plus every counterexample
+/// discovered so far) and the incremental miter solver with its lazily
+/// built CNF.
+///
+/// Node functions never change inside a flow — every pass substitutes
+/// nodes by *proven or constructed equivalents* and node ids are never
+/// reused — so both halves stay valid across sweeps: recycled pattern
+/// words still distinguish exactly the nodes they distinguished before
+/// (later sweeps start from already-refined classes instead of re-earning
+/// each counterexample with SAT conflicts), and every encoded clause still
+/// defines its variable as its node's function over the primary inputs.
+/// The engine must not be shared between *different* networks (it is keyed
+/// to one node-id space); [`SweepEngine::reset`] clears it.
+#[derive(Debug, Default)]
+pub struct SweepEngine {
+    /// Primary-input pattern words accumulated so far
+    /// (`patterns[w][i]` = word `w` of input `i`); empty until the first
+    /// sweep seeds them.
+    patterns: Vec<Vec<u64>>,
+    /// Number of primary inputs the patterns were recorded for.
+    num_pis: usize,
+    /// Interface/size fingerprint of the network the engine last swept
+    /// (`num_pos`, `size()`), backing the best-effort misuse check below.
+    num_pos: usize,
+    last_size: usize,
+    /// The miter solver and lazy encoder, created on first use.
+    miter: Option<MiterEngine>,
+}
+
+impl SweepEngine {
+    /// Creates an empty engine (the first sweep through it behaves exactly
+    /// like a stand-alone [`sweep`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all recycled state (pattern words and solver).
+    pub fn reset(&mut self) {
+        self.patterns.clear();
+        self.num_pis = 0;
+        self.num_pos = 0;
+        self.last_size = 0;
+        self.miter = None;
+    }
+
+    /// Number of pattern words currently carried.
+    pub fn num_pattern_words(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
 /// Runs SAT sweeping on `ntk`: functionally equivalent (or antivalent)
 /// nodes are detected by word-parallel simulation, proven by incremental
-/// SAT and merged, removing the redundant cones.
+/// SAT and merged, removing the redundant cones (or — under
+/// [`SweepParams::record_choices`] — keeping them alive as structural
+/// choices of their representative).
 ///
 /// Every merge is backed by an `UNSAT` proof; pairs the solver cannot
 /// decide within [`SweepParams::conflict_limit`] conflicts are left
@@ -389,6 +472,17 @@ impl MiterEngine {
 /// [`SweepParams::seed`], classes are ordered by signature and topological
 /// rank, and the solver is deterministic.
 pub fn sweep<N: Network>(ntk: &mut N, params: &SweepParams) -> SweepStats {
+    sweep_with_engine(ntk, params, &mut SweepEngine::new())
+}
+
+/// [`sweep`] with a caller-provided [`SweepEngine`], recycling pattern
+/// words and the miter solver across the `fraig` steps of one flow.  A
+/// fresh engine reproduces [`sweep`] bit for bit.
+pub fn sweep_with_engine<N: Network>(
+    ntk: &mut N,
+    params: &SweepParams,
+    engine_state: &mut SweepEngine,
+) -> SweepStats {
     let mut stats = SweepStats {
         gates_before: ntk.num_gates(),
         ..SweepStats::default()
@@ -397,8 +491,29 @@ pub fn sweep<N: Network>(ntk: &mut N, params: &SweepParams) -> SweepStats {
         stats.gates_after = 0;
         return stats;
     }
+    if params.record_choices {
+        ntk.enable_choices();
+    }
 
-    let mut sim = WordSimulator::random(ntk, params.num_words.max(1), params.seed);
+    // Recycled state is only valid for the node-id space it was recorded
+    // on.  A changed interface or a *shrunk* node table cannot be the
+    // same flow's network (ids are append-only within a flow), so the
+    // engine resets.  The check is best-effort: an unrelated network
+    // with the same interface and a larger node table is
+    // indistinguishable here — sharing an engine across different
+    // networks is the caller's contract to uphold (see [`SweepEngine`]).
+    if engine_state.num_pis != ntk.num_pis()
+        || engine_state.num_pos != ntk.num_pos()
+        || engine_state.last_size > ntk.size()
+    {
+        engine_state.reset();
+    }
+    let mut sim = if engine_state.patterns.is_empty() {
+        WordSimulator::random(ntk, params.num_words.max(1), params.seed)
+    } else {
+        stats.recycled_words = engine_state.patterns.len();
+        WordSimulator::from_pi_patterns(ntk, &engine_state.patterns)
+    };
 
     // topological ranks: constant, then PIs, then gates in topological
     // order.  Candidates merge into the lowest-ranked class member, which
@@ -420,7 +535,10 @@ pub fn sweep<N: Network>(ntk: &mut N, params: &SweepParams) -> SweepStats {
         rank[gate as usize] = next_rank;
     }
 
-    let mut engine = MiterEngine::new(ntk.size());
+    let engine = engine_state
+        .miter
+        .get_or_insert_with(|| MiterEngine::new(ntk.size()));
+    engine.enc.ensure_len(ntk.size());
     let mut replacer = Replacer::new();
     // the class partition: `members` holds class members contiguously and
     // `bounds` the (start, end) range of every multi-member class, in
@@ -569,20 +687,29 @@ pub fn sweep<N: Network>(ntk: &mut N, params: &SweepParams) -> SweepStats {
                 // splits the class next round
                 let antivalent = sim.phase(repr_node) != sim.phase(node);
                 stats.candidate_pairs += 1;
-                let spent = conflicts_before(&engine);
+                let spent = conflicts_before(engine);
                 let outcome =
                     engine.prove_pair(ntk, repr_node, node, antivalent, params.conflict_limit);
-                stats.conflicts += conflicts_before(&engine) - spent;
+                stats.conflicts += conflicts_before(engine) - spent;
                 match outcome {
                     PairOutcome::Proven => {
-                        if ntk.is_gate(node)
-                            && replacer.merge_equivalent(
-                                ntk,
-                                node,
-                                Signal::new(repr_node, antivalent),
-                            )
-                        {
+                        let replacement = Signal::new(repr_node, antivalent);
+                        let committed = ntk.is_gate(node)
+                            && if params.record_choices {
+                                // keep the losing cone alive as a mapping
+                                // choice of the winner; the node survives,
+                                // so the pair must not be re-proven when
+                                // its class reaches the next round
+                                replacer.keep_as_choice(ntk, node, replacement)
+                            } else {
+                                replacer.merge_equivalent(ntk, node, replacement)
+                            };
+                        if committed {
                             stats.proven += 1;
+                            if params.record_choices {
+                                stats.choices_recorded += 1;
+                                no_retry.insert((repr_node, node));
+                            }
                         } else {
                             // structurally unmergeable despite the proof
                             // (non-gate candidate, or a rank inversion the
@@ -622,6 +749,13 @@ pub fn sweep<N: Network>(ntk: &mut N, params: &SweepParams) -> SweepStats {
             sim.add_pattern_word(ntk, &words);
         }
     }
+
+    // hand the accumulated pattern words (initial + every counterexample)
+    // back to the engine for the next sweep of the flow
+    engine_state.patterns = sim.pi_patterns(ntk);
+    engine_state.num_pis = ntk.num_pis();
+    engine_state.num_pos = ntk.num_pos();
+    engine_state.last_size = ntk.size();
 
     stats.gates_after = ntk.num_gates();
     stats
@@ -1029,6 +1163,149 @@ mod tests {
             "a nontrivial miter must propagate: {:?}",
             outcome.solver
         );
+    }
+
+    /// `record_choices` keeps every proven cone alive as a ring member of
+    /// its representative: fanouts are rewired (the outputs merge exactly
+    /// like a destructive sweep) but no logic disappears, and the rings
+    /// carry the proven polarity.
+    #[test]
+    fn record_choices_keeps_proven_cones_as_ring_members() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let s = aig.create_pi();
+        let x = aig.create_and(a, b);
+        let dup = redundant_copy(&mut aig, x, s);
+        aig.create_po(x);
+        aig.create_po(!dup);
+        let reference = aig.clone();
+        let before = aig.num_gates();
+        let stats = sweep(
+            &mut aig,
+            &SweepParams {
+                record_choices: true,
+                ..SweepParams::default()
+            },
+        );
+        assert!(stats.proven >= 1, "{stats:?}");
+        assert_eq!(stats.choices_recorded, stats.proven, "{stats:?}");
+        // outputs merged onto the representative (with the proven polarity)
+        let pos = aig.po_signals();
+        assert_eq!(pos[1], !pos[0]);
+        // but the losing cone is alive, ringed to the representative
+        assert_eq!(aig.num_gates(), before, "no logic was deleted");
+        assert!(aig.num_choice_nodes() >= 1);
+        assert_eq!(aig.choice_repr(dup.node()), x.node());
+        // `dup` is an OR built as a complemented AND: the ring phase is
+        // the polarity of the *node* relative to the representative
+        assert_eq!(aig.choice_phase(dup.node()), dup.is_complemented());
+        glsx_network::views::check_choice_integrity(&aig).unwrap();
+        assert!(check_equivalence(&reference, &aig).is_equivalent());
+        // every ring member simulates to its representative (modulo the
+        // recorded phase) — the functional half of the ring invariant
+        let sim = WordSimulator::random(&aig, 4, 0x1234);
+        aig.foreach_choice(x.node(), |member, phase| {
+            for w in 0..sim.num_words() {
+                let repr_word = sim.word(w, x.node());
+                let member_word = sim.word(w, member);
+                let expected = if phase { !repr_word } else { repr_word };
+                assert_eq!(member_word, expected, "member {member} diverged");
+            }
+        });
+    }
+
+    /// Choice registration handles antivalent pairs through the ring
+    /// phase, and a choices-on sweep of an irredundant network records
+    /// nothing.
+    #[test]
+    fn record_choices_stores_antivalent_polarity() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let s = aig.create_pi();
+        let q1 = aig.create_and(a, s);
+        let q2 = aig.create_and(a, !s);
+        let r = aig.create_and(!q1, !q2); // == !a — antivalent to the PI
+        aig.create_po(!r);
+        aig.create_po(a);
+        let reference = aig.clone();
+        let stats = sweep(
+            &mut aig,
+            &SweepParams {
+                record_choices: true,
+                ..SweepParams::default()
+            },
+        );
+        // the candidate's representative is the PI `a`: a non-gate cannot
+        // ring a choice, so the pair is proven but skipped — the network
+        // must survive unchanged and equivalent
+        assert!(stats.proven + stats.skipped >= 1, "{stats:?}");
+        glsx_network::views::check_choice_integrity(&aig).unwrap();
+        assert!(check_equivalence(&reference, &aig).is_equivalent());
+    }
+
+    /// The engine carries pattern words and the solver across sweeps: the
+    /// second sweep starts from the recycled words (observable in the
+    /// stats) and never attempts more candidate pairs than a fresh sweep
+    /// of the same network would.
+    #[test]
+    fn sweep_engine_recycles_words_across_sweeps() {
+        let mut aig = Aig::new();
+        let pis: Vec<Signal> = (0..12).map(|_| aig.create_pi()).collect();
+        let mut signals = pis.clone();
+        let mut state = 0xfeed_f00d_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..60 {
+            let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+            let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+            signals.push(aig.create_and(a, b));
+        }
+        for s in signals.iter().rev().take(5) {
+            aig.create_po(*s);
+        }
+        let params = SweepParams {
+            num_words: 1, // provoke collisions → real refinement rounds
+            ..SweepParams::default()
+        };
+        let mut engine = SweepEngine::new();
+        let reference = aig.clone();
+        let first = sweep_with_engine(&mut aig, &params, &mut engine);
+        assert_eq!(first.recycled_words, 0, "first sweep starts fresh");
+        assert!(
+            engine.num_pattern_words() >= 1,
+            "the engine must carry the accumulated words"
+        );
+        // a fresh engine's first sweep is bit-identical to plain sweep()
+        let mut plain = reference.clone();
+        let plain_stats = sweep(&mut plain, &params);
+        assert_eq!(first, plain_stats);
+        assert_eq!(aig.po_signals(), plain.po_signals());
+
+        // second sweep over the (already swept) network: starts from the
+        // recycled words and classes collapse without re-earning them
+        let fresh_second = {
+            let mut copy = aig.clone();
+            sweep(&mut copy, &params)
+        };
+        let engine_second = sweep_with_engine(&mut aig, &params, &mut engine);
+        assert_eq!(
+            engine_second.recycled_words,
+            engine.num_pattern_words(),
+            "second sweep must inherit the engine's words: {engine_second:?}"
+        );
+        assert!(engine_second.recycled_words >= 1);
+        assert!(
+            engine_second.candidate_pairs <= fresh_second.candidate_pairs,
+            "recycled words can only refine classes: {engine_second:?} vs {fresh_second:?}"
+        );
+        assert!(
+            engine_second.refuted <= fresh_second.refuted,
+            "recycled counterexamples are not rediscovered: {engine_second:?} vs {fresh_second:?}"
+        );
+        assert!(check_equivalence(&reference, &aig).is_equivalent());
     }
 
     #[test]

@@ -33,11 +33,12 @@ pub use portfolio::{portfolio_best_luts, PortfolioResult};
 pub use script::{FlowScript, FlowStep, ParseFlowScriptError};
 
 use glsx_core::balancing::{balance, BalanceParams};
+use glsx_core::lut_mapping::{lut_map_with_stats, LutMapParams, LutMapStats};
 use glsx_core::refactoring::{refactor_with, RefactorParams};
 use glsx_core::resubstitution::{resubstitute, ResubNetwork, ResubParams};
 use glsx_core::rewriting::{rewrite_with, CutMaintenance, RewriteParams};
-use glsx_core::sweeping::{sweep, SweepParams};
-use glsx_network::{cleanup_dangling, GateBuilder, Network};
+use glsx_core::sweeping::{sweep_with_engine, SweepEngine, SweepParams};
+use glsx_network::{cleanup_dangling, GateBuilder, Klut, Network};
 use glsx_synth::{NpnDatabase, SopResynthesis};
 use std::time::Instant;
 
@@ -90,8 +91,29 @@ pub struct FlowStats {
 }
 
 /// Runs one step of the flow script on a network and returns the number of
-/// committed substitutions (rebuild operations for balancing).
+/// committed substitutions (rebuild operations for balancing).  Creates a
+/// fresh [`SweepEngine`] per call; [`run_step_with`] recycles one across
+/// the `fraig` steps of a flow.
 pub fn run_step<N>(ntk: &mut N, step: &FlowStep, options: &FlowOptions) -> usize
+where
+    N: Network + GateBuilder + ResubNetwork,
+{
+    run_step_with(ntk, step, options, &mut SweepEngine::new())
+}
+
+/// [`run_step`] with a caller-provided [`SweepEngine`]: consecutive
+/// `fraig` steps of one flow recycle the engine's simulation pattern
+/// words (initial random patterns plus every counterexample already paid
+/// for) and its incremental miter solver, so repeated sweeps refine
+/// instead of restarting.  Sound within one flow because every pass
+/// preserves each node's function over the primary inputs and node ids
+/// are never reused; pass a fresh engine per network.
+pub fn run_step_with<N>(
+    ntk: &mut N,
+    step: &FlowStep,
+    options: &FlowOptions,
+    sweep_engine: &mut SweepEngine,
+) -> usize
 where
     N: Network + GateBuilder + ResubNetwork,
 {
@@ -142,22 +164,40 @@ where
             );
             stats.substitutions
         }
-        FlowStep::Fraig { conflict_limit } => {
+        FlowStep::Fraig {
+            conflict_limit,
+            record_choices,
+        } => {
             let mut params = options.sweep;
             if let Some(limit) = conflict_limit {
                 params.conflict_limit = *limit;
             }
+            if *record_choices {
+                params.record_choices = true;
+            }
             if options.full_recompute {
                 params.incremental_classes = false;
             }
-            let stats = sweep(ntk, &params);
+            let stats = sweep_with_engine(ntk, &params, sweep_engine);
             stats.proven
         }
+        // mapping changes the representation and is consumed by
+        // `run_script_and_map` as the terminal step; inside an in-place
+        // pass sequence it has nothing to do
+        FlowStep::LutMap { .. } => 0,
     }
 }
 
 /// Runs a complete flow script on a network and returns statistics.  The
-/// network is compacted (dangling logic removed) at the end.
+/// network is compacted (dangling logic removed) at the end — note that
+/// the compaction rebuild also drops choice rings recorded by
+/// `fraig -choices` steps, so flows that should *map over* the recorded
+/// choices use [`run_script_and_map`] (which maps before compacting);
+/// [`FlowStep::LutMap`] steps are skipped here for the same reason.
+///
+/// Consecutive `fraig` steps share one [`SweepEngine`] (pattern words and
+/// miter solver recycled) unless [`FlowOptions::full_recompute`] selects
+/// the from-scratch reference, which gives every step a fresh engine.
 pub fn run_script<N>(ntk: &mut N, script: &FlowScript, options: &FlowOptions) -> FlowStats
 where
     N: Network + GateBuilder + ResubNetwork,
@@ -168,14 +208,76 @@ where
         initial_depth: glsx_network::views::network_depth(ntk),
         ..FlowStats::default()
     };
+    let mut engine = SweepEngine::new();
     for step in script.steps() {
-        stats.substitutions += run_step(ntk, step, options);
+        if options.full_recompute {
+            engine.reset();
+        }
+        stats.substitutions += run_step_with(ntk, step, options, &mut engine);
     }
     *ntk = cleanup_dangling(ntk);
     stats.final_size = ntk.num_gates();
     stats.final_depth = glsx_network::views::network_depth(ntk);
     stats.runtime_seconds = start.elapsed().as_secs_f64();
     stats
+}
+
+/// Runs a flow script that ends in LUT mapping: every optimisation step is
+/// executed in place ([`run_step_with`], one shared [`SweepEngine`]), then
+/// the network is mapped **before** the compaction rebuild, so choice
+/// rings recorded by `fraig -choices` steps are still alive when the
+/// mapper selects over them.  The mapping parameters come from the
+/// script's trailing [`FlowStep::LutMap`] step (or `defaults` when the
+/// script ends without one); a `lut_map` step anywhere but last is
+/// rejected by debug assertion and skipped.
+///
+/// Returns the flow statistics, the mapped network and the mapping
+/// statistics.
+pub fn run_script_and_map<N>(
+    ntk: &mut N,
+    script: &FlowScript,
+    options: &FlowOptions,
+    defaults: &LutMapParams,
+) -> (FlowStats, Klut, LutMapStats)
+where
+    N: Network + GateBuilder + ResubNetwork,
+{
+    let start = Instant::now();
+    let mut stats = FlowStats {
+        initial_size: ntk.num_gates(),
+        initial_depth: glsx_network::views::network_depth(ntk),
+        ..FlowStats::default()
+    };
+    let mut map_params = *defaults;
+    let steps = script.steps();
+    let passes = match steps.last() {
+        Some(FlowStep::LutMap {
+            lut_size,
+            use_choices,
+        }) => {
+            map_params.lut_size = *lut_size;
+            map_params.use_choices = *use_choices;
+            &steps[..steps.len() - 1]
+        }
+        _ => steps,
+    };
+    let mut engine = SweepEngine::new();
+    for step in passes {
+        debug_assert!(
+            !matches!(step, FlowStep::LutMap { .. }),
+            "lut_map must be the final step of a mapping script"
+        );
+        if options.full_recompute {
+            engine.reset();
+        }
+        stats.substitutions += run_step_with(ntk, step, options, &mut engine);
+    }
+    let (klut, map_stats) = lut_map_with_stats(ntk, &map_params);
+    *ntk = cleanup_dangling(ntk);
+    stats.final_size = ntk.num_gates();
+    stats.final_depth = glsx_network::views::network_depth(ntk);
+    stats.runtime_seconds = start.elapsed().as_secs_f64();
+    (stats, klut, map_stats)
 }
 
 /// The paper's generic area-optimisation flow, modelled after ABC's
@@ -317,6 +419,70 @@ mod tests {
         assert_eq!(inc_stats.substitutions, full_stats.substitutions);
         assert_eq!(incremental.num_gates(), full.num_gates());
         assert!(glsx_core::sweeping::check_equivalence(&incremental, &full).is_equivalent());
+    }
+
+    /// The `fraig -choices; lut_map -choices` script path: choices are
+    /// recorded, survive until mapping, the mapped result is miter-proven
+    /// equivalent to the source, and it never uses more LUTs than the
+    /// choices-off reference flow.
+    #[test]
+    fn choice_flow_maps_over_recorded_choices() {
+        let mut source: Aig = adder(4);
+        glsx_benchmarks::inject_restructured(&mut source, 4, 0xc01c);
+        let reference = source.clone();
+
+        let on_script = FlowScript::parse("fraig -choices; lut_map -k 4 -choices").unwrap();
+        let off_script = FlowScript::parse("fraig; lut_map -k 4").unwrap();
+        let defaults = glsx_core::lut_mapping::LutMapParams::with_lut_size(4);
+
+        let mut on_ntk = source.clone();
+        let (on_flow, on_klut, on_stats) =
+            run_script_and_map(&mut on_ntk, &on_script, &FlowOptions::default(), &defaults);
+        assert!(
+            on_flow.substitutions >= 1,
+            "fraig must prove the alternatives"
+        );
+        let mut off_ntk = source.clone();
+        let (_, off_klut, off_stats) = run_script_and_map(
+            &mut off_ntk,
+            &off_script,
+            &FlowOptions::default(),
+            &defaults,
+        );
+
+        assert!(
+            glsx_core::sweeping::check_equivalence(&reference, &on_klut).is_equivalent(),
+            "choices-on mapping broke the function"
+        );
+        assert!(
+            glsx_core::sweeping::check_equivalence(&reference, &off_klut).is_equivalent(),
+            "choices-off mapping broke the function"
+        );
+        assert!(
+            on_stats.num_luts <= off_stats.num_luts,
+            "choices must never cost LUTs: {on_stats:?} vs {off_stats:?}"
+        );
+        // the optimised in-place networks are compacted after mapping
+        assert!(!on_ntk.has_choices() || on_ntk.num_choice_nodes() == 0);
+    }
+
+    /// A script without a trailing `lut_map` maps with the provided
+    /// defaults, and plain `run_script` skips `lut_map` steps entirely.
+    #[test]
+    fn mapping_scripts_degrade_gracefully() {
+        let defaults = glsx_core::lut_mapping::LutMapParams::with_lut_size(6);
+        let mut aig: Aig = adder(3);
+        let reference = aig.clone();
+        let script = FlowScript::parse("rw").unwrap();
+        let (_, klut, _) =
+            run_script_and_map(&mut aig, &script, &FlowOptions::default(), &defaults);
+        assert!(glsx_core::sweeping::check_equivalence(&reference, &klut).is_equivalent());
+
+        let mut aig: Aig = adder(3);
+        let with_map = FlowScript::parse("rw; lut_map").unwrap();
+        let stats = run_script(&mut aig, &with_map, &FlowOptions::default());
+        assert!(stats.final_size <= stats.initial_size);
+        assert!(equivalent_by_simulation(&reference, &aig));
     }
 
     #[test]

@@ -25,13 +25,31 @@ pub enum FlowStep {
         /// Maximum number of inserted gates (`-d`, default 1).
         depth: usize,
     },
-    /// SAT sweeping / fraiging (`fraig [-c <conflicts>]`): merge
-    /// proven-equivalent nodes, optionally overriding the per-pair
+    /// SAT sweeping / fraiging (`fraig [-c <conflicts>] [-choices]`):
+    /// merge proven-equivalent nodes, optionally overriding the per-pair
     /// conflict budget of the flow options.
     Fraig {
         /// Per-pair conflict budget (`-c`); `None` uses the flow options'
         /// [`SweepParams::conflict_limit`](glsx_core::sweeping::SweepParams).
         conflict_limit: Option<u64>,
+        /// Keep proven cones as structural choices (`-choices`) instead of
+        /// deleting them (see
+        /// [`SweepParams::record_choices`](glsx_core::sweeping::SweepParams)).
+        record_choices: bool,
+    },
+    /// Terminal LUT mapping (`lut_map [-k <lut size>] [-choices]`).
+    ///
+    /// Mapping changes the representation (any graph network → k-LUTs), so
+    /// this step is consumed by
+    /// [`run_script_and_map`](crate::run_script_and_map) as the script's
+    /// final step; the in-place [`run_script`](crate::run_script) skips it
+    /// (documented there).
+    LutMap {
+        /// Number of LUT inputs (`-k`, default 6).
+        lut_size: usize,
+        /// Map over the enlarged, choice-aware cut sets (`-choices`; see
+        /// [`LutMapParams::use_choices`](glsx_core::lut_mapping::LutMapParams)).
+        use_choices: bool,
     },
 }
 
@@ -103,6 +121,7 @@ impl FlowScript {
                 "rfz" => FlowStep::Refactor { zero_gain: true },
                 "fraig" => {
                     let mut conflict_limit = None;
+                    let mut record_choices = false;
                     let rest: Vec<&str> = tokens.by_ref().collect();
                     let mut i = 0;
                     while i < rest.len() {
@@ -119,6 +138,10 @@ impl FlowScript {
                                 conflict_limit = Some(parsed);
                                 i += 2;
                             }
+                            "-choices" => {
+                                record_choices = true;
+                                i += 1;
+                            }
                             other => {
                                 return Err(ParseFlowScriptError {
                                     message: format!("unknown option `{other}` in `{command}`"),
@@ -126,7 +149,43 @@ impl FlowScript {
                             }
                         }
                     }
-                    FlowStep::Fraig { conflict_limit }
+                    FlowStep::Fraig {
+                        conflict_limit,
+                        record_choices,
+                    }
+                }
+                "lut_map" => {
+                    let mut lut_size = 6usize;
+                    let mut use_choices = false;
+                    let rest: Vec<&str> = tokens.by_ref().collect();
+                    let mut i = 0;
+                    while i < rest.len() {
+                        match rest[i] {
+                            "-k" => {
+                                let value =
+                                    rest.get(i + 1).ok_or_else(|| ParseFlowScriptError {
+                                        message: format!("missing value after -k in `{command}`"),
+                                    })?;
+                                lut_size = value.parse().map_err(|_| ParseFlowScriptError {
+                                    message: format!("invalid number `{value}` in `{command}`"),
+                                })?;
+                                i += 2;
+                            }
+                            "-choices" => {
+                                use_choices = true;
+                                i += 1;
+                            }
+                            other => {
+                                return Err(ParseFlowScriptError {
+                                    message: format!("unknown option `{other}` in `{command}`"),
+                                })
+                            }
+                        }
+                    }
+                    FlowStep::LutMap {
+                        lut_size,
+                        use_choices,
+                    }
                 }
                 "rs" => {
                     let mut cut_size = 8usize;
@@ -199,11 +258,31 @@ impl fmt::Display for FlowScript {
                     }
                 }
                 FlowStep::Fraig {
-                    conflict_limit: None,
-                } => "fraig".to_string(),
-                FlowStep::Fraig {
-                    conflict_limit: Some(limit),
-                } => format!("fraig -c {limit}"),
+                    conflict_limit,
+                    record_choices,
+                } => {
+                    let mut s = "fraig".to_string();
+                    if let Some(limit) = conflict_limit {
+                        s.push_str(&format!(" -c {limit}"));
+                    }
+                    if *record_choices {
+                        s.push_str(" -choices");
+                    }
+                    s
+                }
+                FlowStep::LutMap {
+                    lut_size,
+                    use_choices,
+                } => {
+                    let mut s = "lut_map".to_string();
+                    if *lut_size != 6 {
+                        s.push_str(&format!(" -k {lut_size}"));
+                    }
+                    if *use_choices {
+                        s.push_str(" -choices");
+                    }
+                    s
+                }
             })
             .collect();
         write!(f, "{}", rendered.join("; "))
@@ -255,19 +334,64 @@ mod tests {
         assert_eq!(
             script.steps()[0],
             FlowStep::Fraig {
-                conflict_limit: None
+                conflict_limit: None,
+                record_choices: false,
             }
         );
         assert_eq!(
             script.steps()[2],
             FlowStep::Fraig {
-                conflict_limit: Some(250)
+                conflict_limit: Some(250),
+                record_choices: false,
             }
         );
         assert_eq!(script.to_string(), "fraig; rw; fraig -c 250");
         assert!(FlowScript::parse("fraig extra").is_err());
         assert!(FlowScript::parse("fraig -c").is_err());
         assert!(FlowScript::parse("fraig -c x").is_err());
+    }
+
+    #[test]
+    fn parses_choice_steps() {
+        let script =
+            FlowScript::parse("fraig -choices; fraig -c 9 -choices; lut_map -choices").unwrap();
+        assert_eq!(
+            script.steps()[0],
+            FlowStep::Fraig {
+                conflict_limit: None,
+                record_choices: true,
+            }
+        );
+        assert_eq!(
+            script.steps()[1],
+            FlowStep::Fraig {
+                conflict_limit: Some(9),
+                record_choices: true,
+            }
+        );
+        assert_eq!(
+            script.steps()[2],
+            FlowStep::LutMap {
+                lut_size: 6,
+                use_choices: true,
+            }
+        );
+        assert_eq!(
+            script.to_string(),
+            "fraig -choices; fraig -c 9 -choices; lut_map -choices"
+        );
+        let script = FlowScript::parse("lut_map -k 4").unwrap();
+        assert_eq!(
+            script.steps()[0],
+            FlowStep::LutMap {
+                lut_size: 4,
+                use_choices: false,
+            }
+        );
+        assert_eq!(script.to_string(), "lut_map -k 4");
+        assert!(FlowScript::parse("lut_map -k").is_err());
+        assert!(FlowScript::parse("lut_map -k x").is_err());
+        assert!(FlowScript::parse("fraig -choices extra").is_err());
     }
 
     #[test]

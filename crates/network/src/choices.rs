@@ -1,0 +1,245 @@
+//! Structural choices: equivalence rings of functionally proven-equal
+//! nodes, the substrate of choice-aware technology mapping.
+//!
+//! A classic fraig pass *destroys* information: when two cones are proven
+//! equivalent, one of them is merged into the other and deleted, and every
+//! downstream consumer — most importantly the LUT mapper — is locked into
+//! whichever structure happened to survive (structural bias).  ABC-style
+//! *choice networks* fix this: the losing cone's fanouts are still rewired
+//! onto the winner, but the cone itself is **kept alive** and linked into
+//! the winner's *choice ring* together with the polarity relating the two.
+//! A choice-aware mapper can then enumerate cuts across the whole ring and
+//! realise whichever structure packs best into LUTs.
+//!
+//! # Representation
+//!
+//! The store keeps one [`ChoiceLink`] per node:
+//!
+//! * `repr` — the representative of the node's equivalence class (the node
+//!   itself when it has no class),
+//! * `next` — the next node of the ring ([`NO_CHOICE`] terminates; the
+//!   representative's `next` points at the first *member*),
+//! * `phase` — the polarity of the node **relative to its representative**
+//!   (`node ≡ repr ⊕ phase`).  Storing the absolute phase rather than a
+//!   per-edge complement keeps polarity lookups O(1) for every member.
+//!
+//! Rings are therefore singly linked lists headed by the representative:
+//! `repr → m1 → m2 → …`, with members appended in registration order so
+//! iteration (and everything derived from it, e.g. choice-cut enumeration)
+//! is deterministic.
+//!
+//! # Invariants
+//!
+//! * A member is a live gate and carries no ring of its own (registration
+//!   migrates an existing ring onto the new representative).
+//! * The representative of a non-trivial ring is live; rings never contain
+//!   a node twice.
+//! * Ring participants are protected from dangling-logic removal
+//!   (`take_out`), which is what keeps the (fanout-free) losing cones
+//!   alive; [`crate::Network::clear_choices`] lifts the protection.
+//! * Rings are maintained across substitutions: when a ringed node is
+//!   substituted (an optimisation pass or a cascading structural-hash
+//!   merge), its ring migrates onto the replacement — the same mutation
+//!   points that emit [`crate::ChangeEvent`]s keep the rings consistent,
+//!   so a consumer draining the [`crate::ChangeLog`] always observes rings
+//!   that match the structure described by the events.
+
+use crate::{NodeId, Signal};
+
+/// Sentinel terminating a choice ring (no real node id: node 0 is the
+/// constant, which never participates in a ring).
+pub const NO_CHOICE: NodeId = NodeId::MAX;
+
+/// Per-node choice-ring link (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct ChoiceLink {
+    /// Representative of this node's class (`self` when unclassed).
+    pub repr: NodeId,
+    /// Next ring node ([`NO_CHOICE`] terminates).
+    pub next: NodeId,
+    /// Polarity relative to the representative (`node ≡ repr ⊕ phase`).
+    pub phase: bool,
+}
+
+impl ChoiceLink {
+    fn unclassed(node: NodeId) -> Self {
+        Self {
+            repr: node,
+            next: NO_CHOICE,
+            phase: false,
+        }
+    }
+}
+
+/// The per-network choice table (held by the storage once choices are
+/// enabled; see [`crate::Network::enable_choices`]).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ChoiceStore {
+    links: Vec<ChoiceLink>,
+    /// Number of nodes currently linked into a ring as a *member*.
+    num_members: usize,
+}
+
+impl ChoiceStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn link(&self, node: NodeId) -> ChoiceLink {
+        self.links
+            .get(node as usize)
+            .copied()
+            .unwrap_or_else(|| ChoiceLink::unclassed(node))
+    }
+
+    #[inline]
+    fn link_mut(&mut self, node: NodeId) -> &mut ChoiceLink {
+        let index = node as usize;
+        if self.links.len() <= index {
+            let len = self.links.len();
+            self.links
+                .extend((len..=index).map(|id| ChoiceLink::unclassed(id as NodeId)));
+        }
+        &mut self.links[index]
+    }
+
+    /// Representative of `node`'s class (`node` itself when unclassed).
+    #[inline]
+    pub fn repr(&self, node: NodeId) -> NodeId {
+        self.link(node).repr
+    }
+
+    /// Polarity of `node` relative to its representative.
+    #[inline]
+    pub fn phase(&self, node: NodeId) -> bool {
+        self.link(node).phase
+    }
+
+    /// Next ring node after `node`, if any.
+    #[inline]
+    pub fn next(&self, node: NodeId) -> Option<NodeId> {
+        match self.link(node).next {
+            NO_CHOICE => None,
+            n => Some(n),
+        }
+    }
+
+    /// Returns `true` if `node` participates in any ring (as representative
+    /// of a non-trivial ring or as a member) — such nodes are protected
+    /// from dangling-logic removal.
+    #[inline]
+    pub fn participates(&self, node: NodeId) -> bool {
+        let link = self.link(node);
+        link.repr != node || link.next != NO_CHOICE
+    }
+
+    /// Number of ring members over all classes (representatives excluded).
+    #[inline]
+    pub fn num_members(&self) -> usize {
+        self.num_members
+    }
+
+    /// Appends `node` (with `phase` relative to `repr`) to `repr`'s ring.
+    /// If `node` heads a ring of its own, the whole ring migrates: its
+    /// members become members of `repr` with their phases rebased.
+    ///
+    /// The caller guarantees `node != repr`, that neither participates in
+    /// the other's ring already, and that `node` is functionally
+    /// `repr ⊕ phase`.
+    pub fn append(&mut self, repr: NodeId, node: NodeId, phase: bool) {
+        debug_assert_ne!(repr, node);
+        debug_assert_eq!(self.link(node).repr, node, "node is already a member");
+        debug_assert_eq!(self.link(repr).repr, repr, "repr is itself a member");
+        // rebase node's own chain (if any) onto the new representative:
+        // m ≡ node ⊕ φ and node ≡ repr ⊕ phase gives m ≡ repr ⊕ (φ ^ phase)
+        let mut chain = self.link(node).next;
+        while chain != NO_CHOICE {
+            let link = self.link_mut(chain);
+            link.repr = repr;
+            link.phase ^= phase;
+            chain = link.next;
+        }
+        {
+            let link = self.link_mut(node);
+            link.repr = repr;
+            link.phase = phase;
+        }
+        self.num_members += 1;
+        // append node (head of its rebased chain) at the end of repr's ring
+        let mut tail = repr;
+        loop {
+            let next = self.link(tail).next;
+            if next == NO_CHOICE {
+                break;
+            }
+            tail = next;
+        }
+        self.link_mut(tail).next = node;
+    }
+
+    /// Unlinks `node` from its ring (no-op when unclassed).  When `node`
+    /// is the representative of a non-trivial ring, the ring dissolves iff
+    /// `promote` is `None`; otherwise the members are rebased onto the
+    /// given replacement signal's node (`node ≡ promote`, so a member's
+    /// new phase is its old phase xored with the promotion polarity).
+    pub fn remove(&mut self, node: NodeId, promote: Option<Signal>) {
+        let link = self.link(node);
+        if link.repr != node {
+            // a plain member: unlink from the chain
+            let mut prev = link.repr;
+            while self.link(prev).next != node {
+                prev = self.link(prev).next;
+                debug_assert_ne!(prev, NO_CHOICE, "member not reachable from repr");
+            }
+            self.link_mut(prev).next = link.next;
+            *self.link_mut(node) = ChoiceLink::unclassed(node);
+            self.num_members -= 1;
+            return;
+        }
+        if link.next == NO_CHOICE {
+            return; // unclassed
+        }
+        // a representative: migrate or dissolve the ring
+        match promote {
+            Some(new) if new.node() != node => {
+                let new_repr = new.node();
+                let rebase = new.is_complemented();
+                debug_assert_eq!(
+                    self.link(new_repr).repr,
+                    new_repr,
+                    "promotion target is a ring member"
+                );
+                let mut chain = link.next;
+                while chain != NO_CHOICE {
+                    let l = self.link_mut(chain);
+                    l.repr = new_repr;
+                    l.phase ^= rebase;
+                    chain = l.next;
+                }
+                // splice the old chain onto the end of the new ring (the
+                // members stay members, so `num_members` is unchanged)
+                let mut tail = new_repr;
+                loop {
+                    let next = self.link(tail).next;
+                    if next == NO_CHOICE {
+                        break;
+                    }
+                    tail = next;
+                }
+                self.link_mut(tail).next = link.next;
+            }
+            _ => {
+                // dissolve: every member reverts to unclassed
+                let mut chain = link.next;
+                while chain != NO_CHOICE {
+                    let next = self.link(chain).next;
+                    *self.link_mut(chain) = ChoiceLink::unclassed(chain);
+                    self.num_members -= 1;
+                    chain = next;
+                }
+            }
+        }
+        *self.link_mut(node) = ChoiceLink::unclassed(node);
+    }
+}

@@ -42,6 +42,10 @@ fn reachable_flags<N: Network>(ntk: &N) -> Vec<bool> {
 /// Rebuilds `ntk` keeping only the gates reachable from its primary
 /// outputs.  The result has the same primary inputs and outputs (in the
 /// same order) and the same function, but no dead or unreachable gates.
+/// Choice rings (see [`crate::choices`]) do not survive the rebuild:
+/// ring members are fanout-free and therefore unreachable — consumers
+/// that map over choices do so *before* compacting
+/// (`glsx_flow::run_script_and_map`-style).
 ///
 /// # Example
 ///

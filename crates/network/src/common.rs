@@ -182,6 +182,41 @@ macro_rules! impl_network_common {
             fn requeue_changes(&mut self, log: &mut crate::ChangeLog) {
                 self.storage.requeue_changes(log);
             }
+
+            fn enable_choices(&mut self) {
+                self.storage.enable_choices();
+            }
+
+            fn has_choices(&self) -> bool {
+                self.storage.has_choices()
+            }
+
+            fn clear_choices(&mut self) {
+                self.storage.clear_choices();
+            }
+
+            #[inline]
+            fn choice_repr(&self, node: crate::NodeId) -> crate::NodeId {
+                self.storage.choice_repr(node)
+            }
+
+            #[inline]
+            fn choice_phase(&self, node: crate::NodeId) -> bool {
+                self.storage.choice_phase(node)
+            }
+
+            #[inline]
+            fn next_choice(&self, node: crate::NodeId) -> Option<crate::NodeId> {
+                self.storage.next_choice(node)
+            }
+
+            fn num_choice_nodes(&self) -> usize {
+                self.storage.num_choice_nodes()
+            }
+
+            fn register_choice(&mut self, node: crate::NodeId, repr: crate::Signal) -> bool {
+                self.storage.register_choice(node, repr)
+            }
         }
 
         impl Default for $ty {

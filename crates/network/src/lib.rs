@@ -29,7 +29,8 @@
 //! pattern simulation backing SAT sweeping), [`bitops`] (the shared
 //! gate-kind dispatch all simulators evaluate gates through), [`changes`]
 //! (the change-event layer recording structural mutations for incremental
-//! consumers) and [`cleanup_dangling`].
+//! consumers), [`choices`] (per-node equivalence rings keeping
+//! proven-equal cones alive as mapping choices) and [`cleanup_dangling`].
 //!
 //! # Example
 //!
@@ -50,6 +51,7 @@
 
 mod aig;
 pub mod changes;
+pub mod choices;
 mod common;
 mod fanin;
 mod kind;
@@ -71,6 +73,7 @@ pub mod wordsim;
 pub use aig::Aig;
 pub use bitops::SimBlock;
 pub use changes::{ChangeEvent, ChangeLog};
+pub use choices::NO_CHOICE;
 pub use cleanup::{cleanup_dangling, cleanup_dangling_klut, convert_network};
 pub use fanin::{FaninArray, MAX_INLINE_FANINS};
 pub use kind::GateKind;

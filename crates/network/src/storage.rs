@@ -19,6 +19,7 @@
 //!   use for traversal marks or per-node metadata without auxiliary maps.
 
 use crate::changes::{ChangeEvent, ChangeLog};
+use crate::choices::ChoiceStore;
 use crate::{FaninArray, GateKind, NodeId, Signal};
 use glsx_truth::TruthTable;
 use std::collections::HashMap;
@@ -148,6 +149,10 @@ pub(crate) struct Storage {
     /// [`crate::changes`]); off by default, one branch per mutation when
     /// off.
     track_changes: bool,
+    /// Structural-choice rings (see [`crate::choices`]); absent until
+    /// [`Storage::enable_choices`], one `Option` check per mutation when
+    /// absent.
+    choices: Option<ChoiceStore>,
 }
 
 impl Storage {
@@ -247,6 +252,162 @@ impl Storage {
         if self.track_changes {
             self.changes.push(event);
         }
+    }
+
+    // -- structural choices (see [`crate::choices`]) -----------------------
+
+    /// Enables the choice table (idempotent).
+    pub fn enable_choices(&mut self) {
+        if self.choices.is_none() {
+            self.choices = Some(ChoiceStore::new());
+        }
+    }
+
+    /// Returns `true` once the choice table exists.
+    pub fn has_choices(&self) -> bool {
+        self.choices.is_some()
+    }
+
+    /// Drops the choice table, lifting the removal protection of ring
+    /// participants.  Cones that were only kept alive as choices become
+    /// ordinary dangling logic (removed by the next cleanup).
+    pub fn clear_choices(&mut self) {
+        self.choices = None;
+    }
+
+    /// Representative of `node`'s equivalence class (`node` when
+    /// unclassed or choices are disabled).
+    #[inline]
+    pub fn choice_repr(&self, node: NodeId) -> NodeId {
+        match &self.choices {
+            Some(store) => store.repr(node),
+            None => node,
+        }
+    }
+
+    /// Polarity of `node` relative to its representative.
+    #[inline]
+    pub fn choice_phase(&self, node: NodeId) -> bool {
+        match &self.choices {
+            Some(store) => store.phase(node),
+            None => false,
+        }
+    }
+
+    /// Next node of `node`'s choice ring, if any.
+    #[inline]
+    pub fn next_choice(&self, node: NodeId) -> Option<NodeId> {
+        self.choices.as_ref().and_then(|store| store.next(node))
+    }
+
+    /// Number of ring members over all classes.
+    pub fn num_choice_nodes(&self) -> usize {
+        self.choices
+            .as_ref()
+            .map(ChoiceStore::num_members)
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if `node` participates in a ring (and is therefore
+    /// protected from dangling-logic removal).
+    #[inline]
+    fn is_choice_protected(&self, node: NodeId) -> bool {
+        match &self.choices {
+            Some(store) => store.participates(node),
+            None => false,
+        }
+    }
+
+    /// Registers `node` as a structural choice of the signal `repr`:
+    /// every fanout and primary-output use of `node` is rewired onto
+    /// `repr` (exactly like [`Storage::substitute`], cascading
+    /// structural-hash merges included) but `node` — and with it its cone —
+    /// stays **alive**, linked into `repr.node()`'s choice ring with the
+    /// polarity `repr.is_complemented()`.
+    ///
+    /// Returns `false` when no ring entry was created: choices are not
+    /// enabled, either side is dead, `node` is not a gate, or the pair is
+    /// already ringed together — all of which leave the network unchanged.
+    /// One `false` path *does* mutate: when a cascading structural-hash
+    /// merge unifies the pair during the rewire itself, the fanouts have
+    /// been rewired and the equivalence has become structural, so there is
+    /// nothing left to ring.  The caller asserts functional equivalence
+    /// (`node ≡ repr`) and that `node` does not appear in `repr`'s cone
+    /// (the rewire would create a structural cycle).  The representative
+    /// appearing inside the member's cone is legal — redundant
+    /// re-expressions are typically built on top of the original node.
+    pub fn register_choice(&mut self, node: NodeId, repr: Signal) -> bool {
+        let Some(store) = &self.choices else {
+            return false;
+        };
+        // resolve the representative through its own class: registering
+        // against a node that is itself a member lands in that member's
+        // ring head with the composed polarity
+        let target = store.repr(repr.node());
+        let phase = repr.is_complemented() ^ store.phase(repr.node());
+        if node == target
+            || self.node(node).dead
+            || self.node(target).dead
+            || !self.node(node).kind.is_gate()
+        {
+            return false;
+        }
+        let store = self.choices.as_ref().expect("checked above");
+        if store.repr(node) == target {
+            // already ringed together; report success iff the recorded
+            // polarity agrees (a disagreement would mean node ≡ ¬node)
+            return store.phase(node) == phase;
+        }
+        if store.repr(node) != node {
+            // a member of a *different* ring: the caller's proof relates
+            // two classes; merging whole classes is the representative's
+            // business, refuse the member-level registration
+            return false;
+        }
+        // rewire fanouts/outputs onto the representative, keeping `node`
+        self.substitute_impl(node, Signal::new(target, phase), true);
+        if self.node(node).dead || self.node(target).dead {
+            // a cascading merge killed one side before linking: nothing to
+            // ring (the equivalence is already structural)
+            return false;
+        }
+        self.choices
+            .as_mut()
+            .expect("choices enabled")
+            .append(target, node, phase);
+        true
+    }
+
+    /// Ring maintenance for a node that is about to die by substitution:
+    /// its ring (or membership) migrates onto the live replacement.
+    fn choice_on_substituted(&mut self, old: NodeId, new: Signal) {
+        let Some(store) = &mut self.choices else {
+            return;
+        };
+        if !store.participates(old) {
+            return;
+        }
+        if store.repr(old) != old {
+            // a dying member simply leaves its ring: its structure is
+            // gone, the replacement signal keeps the class's function
+            store.remove(old, None);
+            return;
+        }
+        // a dying representative: promote the ring onto the replacement
+        // (resolving through the replacement's own class; non-gate
+        // replacements dissolve the ring — a PI or constant needs no
+        // structural alternatives)
+        let target = store.repr(new.node());
+        let phase = new.is_complemented() ^ store.phase(new.node());
+        let promote = if self.nodes[target as usize].kind.is_gate() && target != old {
+            Some(Signal::new(target, phase))
+        } else {
+            None
+        };
+        self.choices
+            .as_mut()
+            .expect("choices enabled")
+            .remove(old, promote);
     }
 
     pub fn create_pi(&mut self) -> Signal {
@@ -386,11 +547,19 @@ impl Storage {
     /// kept consistent; parents that become structural duplicates of
     /// existing nodes are merged recursively.
     pub fn substitute(&mut self, old: NodeId, new: Signal) {
-        let mut worklist = vec![(old, new)];
+        self.substitute_impl(old, new, false);
+    }
+
+    /// [`Storage::substitute`] with an option to keep the *initial* `old`
+    /// node alive after its fanouts have been rewired (the
+    /// [`Storage::register_choice`] path).  Cascading structural-hash
+    /// merges always remove their duplicates.
+    fn substitute_impl(&mut self, old: NodeId, new: Signal, keep_initial: bool) {
+        let mut worklist = vec![(old, new, keep_initial)];
         // Nodes whose removal is deferred until all pending merges are done:
         // taking a node out eagerly could kill the target of a later merge.
         let mut to_remove: Vec<NodeId> = Vec::new();
-        while let Some((old, new)) = worklist.pop() {
+        while let Some((old, new, keep)) = worklist.pop() {
             if old == new.node() || self.node(old).dead || self.node(new.node()).dead {
                 continue;
             }
@@ -445,7 +614,7 @@ impl Storage {
                     let key = StrashKey::new(kind, self.node(p).fanins.as_slice());
                     match self.strash.get(&key) {
                         Some(&q) if q != p && !self.node(q).dead => {
-                            worklist.push((p, Signal::new(q, false)));
+                            worklist.push((p, Signal::new(q, false), false));
                         }
                         Some(_) => {}
                         None => {
@@ -455,6 +624,15 @@ impl Storage {
                 }
             }
             self.replace_in_outputs(old, new);
+            if keep {
+                // choice registration: fanouts are gone but the node (and
+                // its cone, referenced through it) stays alive.  Its cone
+                // did not change, so no `Substituted` event is recorded —
+                // the parents' `RewiredFanin` events already cover every
+                // piece of cone-derived state the rewire made stale.
+                continue;
+            }
+            self.choice_on_substituted(old, new);
             self.record(ChangeEvent::Substituted { old, new });
             to_remove.push(old);
         }
@@ -486,7 +664,9 @@ impl Storage {
     }
 
     /// Removes `id` if it is a gate with no fanouts, recursively removing
-    /// fanins that become dangling.
+    /// fanins that become dangling.  Choice-ring participants are *kept*:
+    /// a registered choice cone is fanout-free by construction and must
+    /// survive until the rings are cleared (see [`crate::choices`]).
     pub fn take_out(&mut self, id: NodeId) {
         let mut stack = vec![id];
         while let Some(id) = stack.pop() {
@@ -495,6 +675,9 @@ impl Storage {
                 if n.dead || !n.kind.is_gate() || n.fanout_count > 0 {
                     continue;
                 }
+            }
+            if self.is_choice_protected(id) {
+                continue;
             }
             // mark dead and unregister from strash
             let kind = self.node(id).kind;
@@ -640,6 +823,96 @@ mod tests {
     fn storage_stays_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Storage>();
+    }
+
+    #[test]
+    fn register_choice_rewires_fanouts_but_keeps_the_cone() {
+        let mut s = Storage::new();
+        let a = s.create_pi();
+        let b = s.create_pi();
+        let c = s.create_pi();
+        // original: g = a & b, with a consumer and a PO
+        let g = s.find_or_create_gate(GateKind::And, &[a, b]);
+        let top = s.find_or_create_gate(GateKind::And, &[sig(g), c]);
+        s.create_po(sig(top));
+        // alternative structure for g (structurally distinct)
+        let h1 = s.find_or_create_gate(GateKind::And, &[a, c]);
+        let h = s.find_or_create_gate(GateKind::And, &[sig(h1), b]);
+        s.create_po(!sig(h));
+        s.enable_choices();
+        assert!(s.register_choice(h, sig(g)));
+        // h's PO now points at g (complemented), h is alive but fanout-free
+        assert_eq!(s.pos[1], !sig(g));
+        assert!(!s.node(h).dead);
+        assert_eq!(s.fanout_size(h), 0);
+        // ring: g -> h, with positive phase
+        assert_eq!(s.choice_repr(h), g);
+        assert!(!s.choice_phase(h));
+        assert_eq!(s.next_choice(g), Some(h));
+        assert_eq!(s.next_choice(h), None);
+        assert_eq!(s.num_choice_nodes(), 1);
+        // the protected cone survives take_out
+        s.take_out(h);
+        assert!(!s.node(h).dead && !s.node(h1).dead);
+        // clearing the rings lifts the protection
+        s.clear_choices();
+        s.take_out(h);
+        assert!(s.node(h).dead && s.node(h1).dead);
+    }
+
+    #[test]
+    fn substituting_a_representative_migrates_its_ring() {
+        let mut s = Storage::new();
+        let a = s.create_pi();
+        let b = s.create_pi();
+        let c = s.create_pi();
+        let g = s.find_or_create_gate(GateKind::And, &[a, b]);
+        s.create_po(sig(g));
+        let h1 = s.find_or_create_gate(GateKind::And, &[a, c]);
+        let h = s.find_or_create_gate(GateKind::And, &[sig(h1), b]);
+        s.create_po(sig(h));
+        s.enable_choices();
+        assert!(s.register_choice(h, !sig(g)));
+        assert!(s.choice_phase(h), "registered with a complemented edge");
+        // a later pass replaces g by a fresh equivalent gate g2
+        let g2 = s.find_or_create_gate(GateKind::And, &[b, c]);
+        s.create_po(sig(g2));
+        s.substitute(g, !sig(g2));
+        assert!(s.node(g).dead);
+        // the ring migrated: h is now a choice of g2, phase rebased
+        assert_eq!(s.choice_repr(h), g2);
+        assert!(!s.choice_phase(h), "phase rebased through the complement");
+        assert_eq!(s.next_choice(g2), Some(h));
+        assert!(!s.node(h).dead);
+    }
+
+    #[test]
+    fn registering_against_a_member_lands_in_the_ring_head() {
+        let mut s = Storage::new();
+        let a = s.create_pi();
+        let b = s.create_pi();
+        let c = s.create_pi();
+        let d = s.create_pi();
+        let g = s.find_or_create_gate(GateKind::And, &[a, b]);
+        s.create_po(sig(g));
+        let m1 = s.find_or_create_gate(GateKind::And, &[a, c]);
+        let m = s.find_or_create_gate(GateKind::And, &[sig(m1), b]);
+        s.create_po(sig(m));
+        let n1 = s.find_or_create_gate(GateKind::And, &[b, d]);
+        let n = s.find_or_create_gate(GateKind::And, &[sig(n1), a]);
+        s.create_po(sig(n));
+        s.enable_choices();
+        assert!(s.register_choice(m, !sig(g)));
+        // registering n against the member m resolves to the head g, with
+        // the phase composed through m's complement
+        assert!(s.register_choice(n, sig(m)));
+        assert_eq!(s.choice_repr(n), g);
+        assert!(s.choice_phase(n), "n ≡ m ≡ ¬g");
+        assert_eq!(s.num_choice_nodes(), 2);
+        // ring order is registration order: g -> m -> n
+        assert_eq!(s.next_choice(g), Some(m));
+        assert_eq!(s.next_choice(m), Some(n));
+        assert_eq!(s.next_choice(n), None);
     }
 
     #[test]

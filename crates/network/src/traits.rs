@@ -220,6 +220,57 @@ pub trait Network: Sized {
     /// the events the pass consumed *and* any recorded since.
     fn requeue_changes(&mut self, log: &mut ChangeLog);
 
+    // -- structural choices (see [`crate::choices`]) -----------------------
+
+    /// Enables the structural-choice table (idempotent).  While enabled,
+    /// nodes registered as choices — and the cones hanging off them — are
+    /// protected from dangling-logic removal, and the choice accessors
+    /// below report the equivalence rings.
+    fn enable_choices(&mut self);
+
+    /// Returns `true` once the choice table exists.
+    fn has_choices(&self) -> bool;
+
+    /// Drops every choice ring and lifts the removal protection.  Cones
+    /// that were only kept alive as choices become ordinary dangling logic
+    /// (removed by the next cleanup or `take_out`).
+    fn clear_choices(&mut self);
+
+    /// Representative of `node`'s equivalence class (`node` itself when it
+    /// has no class or choices are disabled).
+    fn choice_repr(&self, node: NodeId) -> NodeId;
+
+    /// Polarity of `node` relative to its representative
+    /// (`node ≡ choice_repr(node) ⊕ choice_phase(node)`).
+    fn choice_phase(&self, node: NodeId) -> bool;
+
+    /// Next node of `node`'s choice ring (the representative's successor is
+    /// the first member; `None` terminates).
+    fn next_choice(&self, node: NodeId) -> Option<NodeId>;
+
+    /// Number of ring members over all classes (representatives excluded).
+    fn num_choice_nodes(&self) -> usize;
+
+    /// Registers `node` as a structural choice of the signal `repr`:
+    /// `node`'s fanouts and output uses are rewired onto `repr` (cascading
+    /// structural-hash merges included) and `node` is linked into
+    /// `repr`'s choice ring — alive, fanout-free, available to choice-aware
+    /// consumers.  Returns `false` (network unchanged) when registration is
+    /// impossible; see [`crate::choices`] for the caller's obligations
+    /// (proven equivalence and acyclicity in both directions).
+    fn register_choice(&mut self, node: NodeId, repr: Signal) -> bool;
+
+    /// Calls `f(member, phase)` for every ring member of `repr` (the
+    /// representative itself excluded), in registration order.  `phase` is
+    /// the member's polarity relative to `repr`.
+    fn foreach_choice<F: FnMut(NodeId, bool)>(&self, repr: NodeId, mut f: F) {
+        let mut current = self.next_choice(repr);
+        while let Some(member) = current {
+            f(member, self.choice_phase(member));
+            current = self.next_choice(member);
+        }
+    }
+
     // -- convenience iteration helpers (the paper's foreach-methods) -------
 
     /// Calls `f` for every primary input node.

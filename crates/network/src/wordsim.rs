@@ -74,6 +74,50 @@ impl WordSimulator {
         sim
     }
 
+    /// Creates a simulator from explicit primary-input pattern words
+    /// (`patterns[w][i]` is word `w` of the `i`-th primary input) and
+    /// simulates the whole network.  This is the recycling constructor:
+    /// a [`sweep engine`](crate::wordsim) consumer can carry the pattern
+    /// words — initial random patterns *plus* every accumulated
+    /// counterexample — across repeated sweeps of a flow, so later sweeps
+    /// start from already-refined candidate classes instead of
+    /// rediscovering the counterexamples from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty or any word does not provide exactly
+    /// one value per primary input.
+    pub fn from_pi_patterns<N: Network>(ntk: &N, patterns: &[Vec<u64>]) -> Self {
+        assert!(
+            !patterns.is_empty(),
+            "at least one pattern word is required"
+        );
+        let mut sim = Self {
+            values: vec![vec![0u64; ntk.size()]; patterns.len()],
+            num_nodes: ntk.size(),
+            fanin_buf: Vec::new(),
+        };
+        let pis = ntk.pi_nodes();
+        for (w, word) in patterns.iter().enumerate() {
+            assert_eq!(word.len(), pis.len(), "one value per primary input");
+            for (i, pi) in pis.iter().enumerate() {
+                sim.values[w][*pi as usize] = word[i];
+            }
+        }
+        sim.resimulate(ntk);
+        sim
+    }
+
+    /// Extracts the primary-input pattern words (the inverse of
+    /// [`WordSimulator::from_pi_patterns`]): `result[w][i]` is word `w` of
+    /// the `i`-th primary input.
+    pub fn pi_patterns<N: Network>(&self, ntk: &N) -> Vec<Vec<u64>> {
+        let pis = ntk.pi_nodes();
+        (0..self.num_words())
+            .map(|w| pis.iter().map(|&pi| self.word(w, pi)).collect())
+            .collect()
+    }
+
     /// Number of pattern words per node.
     #[inline]
     pub fn num_words(&self) -> usize {

@@ -744,3 +744,207 @@ fn cut_merge_invariants() {
         assert_eq!(a.dominates(&b), is_subset);
     }
 }
+
+/// The incremental depth view is bit-identical to its from-scratch twin:
+/// under randomized substitution/deletion sequences (with change tracking
+/// on), refreshing from the drained log reproduces `DepthView::new`'s
+/// level for every live node and the same overall depth.
+#[test]
+fn incremental_depth_view_matches_from_scratch_twin() {
+    use glsx::network::views::{DepthView, IncrementalDepthView};
+    let mut rng = Rng::seed_from_u64(0xdeb7);
+    for case in 0..12 {
+        let mut aig = arbitrary_network(&mut rng, 6, 50);
+        let mut view = IncrementalDepthView::new(&aig);
+        let mut log = ChangeLog::new();
+        aig.set_change_tracking(true);
+        for step in 0..12 {
+            let gates = aig.gate_nodes();
+            if gates.is_empty() {
+                break;
+            }
+            let node = gates[rng.gen_range(gates.len())];
+            if rng.gen_bool() {
+                // substitute by one of its fanins (always acyclic)
+                let fanin = aig.fanin(node, rng.gen_range(aig.fanin_size(node)));
+                aig.substitute_node(node, fanin.complement_if(rng.gen_bool()));
+            } else {
+                aig.take_out_node(node);
+            }
+            // occasionally grow fresh logic so new-node levelling is hit
+            if rng.gen_range(3) == 0 {
+                let gates = aig.gate_nodes();
+                if !gates.is_empty() {
+                    let a = Signal::new(gates[rng.gen_range(gates.len())], rng.gen_bool());
+                    let b = Signal::new(aig.pi_nodes()[0], false);
+                    let fresh = aig.create_and(a, b);
+                    aig.create_po(fresh);
+                }
+            }
+            aig.drain_changes(&mut log);
+            view.refresh_from(&aig, &log);
+            log.clear();
+            let scratch = DepthView::new(&aig);
+            for node in aig.node_ids() {
+                assert_eq!(
+                    view.level(node),
+                    scratch.level(node),
+                    "case {case}, step {step}, node {node}"
+                );
+            }
+            assert_eq!(
+                view.depth(&aig),
+                scratch.depth(),
+                "case {case}, step {step}"
+            );
+        }
+        aig.set_change_tracking(false);
+    }
+}
+
+/// Choice rings stay structurally consistent under randomized
+/// substitute/delete sequences: members stay live and reachable from live
+/// representatives, rings migrate across substitutions, and no node lands
+/// in two rings — on top of ordinary network integrity.
+#[test]
+fn choice_rings_survive_randomized_mutations() {
+    use glsx::network::views::check_choice_integrity;
+    let mut rng = Rng::seed_from_u64(0xc1c1);
+    for case in 0..10 {
+        let mut aig = arbitrary_network(&mut rng, 6, 60);
+        glsx::benchmarks::inject_redundancy(&mut aig, 4, 0xbead + case);
+        let stats = sweep(
+            &mut aig,
+            &SweepParams {
+                record_choices: true,
+                ..SweepParams::default()
+            },
+        );
+        if stats.choices_recorded == 0 {
+            continue;
+        }
+        check_choice_integrity(&aig).unwrap();
+        for step in 0..20 {
+            let gates = aig.gate_nodes();
+            if gates.is_empty() {
+                break;
+            }
+            let node = gates[rng.gen_range(gates.len())];
+            if rng.gen_bool() {
+                let fanin = aig.fanin(node, rng.gen_range(aig.fanin_size(node)));
+                aig.substitute_node(node, fanin.complement_if(rng.gen_bool()));
+            } else {
+                aig.take_out_node(node);
+            }
+            check_choice_integrity(&aig)
+                .unwrap_or_else(|e| panic!("case {case}, step {step}: {e}"));
+            check_network_integrity(&aig)
+                .unwrap_or_else(|e| panic!("case {case}, step {step}: {e}"));
+        }
+        // clearing the rings releases the kept cones to ordinary cleanup
+        aig.clear_choices();
+        assert_eq!(aig.num_choice_nodes(), 0);
+        check_network_integrity(&aig).unwrap();
+    }
+}
+
+/// The choices-off/choices-on mapping contract on seeded networks with
+/// injected redundancy, across representations: choices-off mapping of a
+/// ringed network is bit-identical to mapping with the rings stripped
+/// (the pre-choice mapper), and the choices-on mapped network is
+/// miter-equivalent to the pre-sweep source while never using more LUTs.
+#[test]
+fn choice_mapping_contract_across_representations() {
+    fn check<N>(build: impl Fn(&mut Rng) -> N, rng: &mut Rng, cases: u32) -> usize
+    where
+        N: Network + glsx::network::GateBuilder + Clone,
+    {
+        let mut wins = 0usize;
+        for case in 0..cases {
+            let mut ntk = build(rng);
+            glsx::benchmarks::inject_redundancy(&mut ntk, 3, 0x0a17 + u64::from(case));
+            glsx::benchmarks::inject_restructured(&mut ntk, 3, 0x1a17 + u64::from(case));
+            let source = ntk.clone();
+            let stats = sweep(
+                &mut ntk,
+                &SweepParams {
+                    record_choices: true,
+                    ..SweepParams::default()
+                },
+            );
+            let params_off = LutMapParams::with_lut_size(4);
+            let params_on = LutMapParams {
+                use_choices: true,
+                ..params_off
+            };
+            // choices-off is blind to the rings
+            let mut stripped = ntk.clone();
+            stripped.clear_choices();
+            let klut_off = lut_map(&ntk, &params_off);
+            let klut_stripped = lut_map(&stripped, &params_off);
+            assert_eq!(
+                klut_off.po_signals(),
+                klut_stripped.po_signals(),
+                "{}: case {case}: rings leaked into the choices-off mapper",
+                N::NAME
+            );
+            assert_eq!(klut_off.num_gates(), klut_stripped.num_gates());
+            // choices-on: proven equivalent, never more LUTs
+            let klut_on = lut_map(&ntk, &params_on);
+            assert!(
+                check_equivalence(&source, &klut_on).is_equivalent(),
+                "{}: case {case}: choice-aware mapping broke the function \
+                 ({stats:?})",
+                N::NAME
+            );
+            assert!(
+                klut_on.num_gates() <= klut_off.num_gates(),
+                "{}: case {case}: choices cost LUTs ({} > {})",
+                N::NAME,
+                klut_on.num_gates(),
+                klut_off.num_gates()
+            );
+            let on_stats = lut_map_stats(&ntk, &params_on);
+            wins += on_stats.choice_wins;
+        }
+        wins
+    }
+    let mut rng = Rng::seed_from_u64(0xc0f3);
+    let aig_wins = check(|rng| arbitrary_network(rng, 6, 60), &mut rng, 8);
+    let _ = aig_wins;
+    // XAG and MIG exercise the generic paths (XOR gates, MAJ gates with
+    // constant fanins) through the same contract
+    fn arbitrary_xag(rng: &mut Rng) -> glsx::network::Xag {
+        let mut xag = glsx::network::Xag::new();
+        let mut signals: Vec<Signal> = (0..6).map(|_| xag.create_pi()).collect();
+        for _ in 0..50 {
+            let x = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            let y = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            signals.push(if rng.gen_bool() {
+                xag.create_and(x, y)
+            } else {
+                xag.create_xor(x, y)
+            });
+        }
+        for s in signals.iter().rev().take(3) {
+            xag.create_po(*s);
+        }
+        xag
+    }
+    fn arbitrary_mig(rng: &mut Rng) -> glsx::network::Mig {
+        let mut mig = glsx::network::Mig::new();
+        let mut signals: Vec<Signal> = (0..6).map(|_| mig.create_pi()).collect();
+        for _ in 0..40 {
+            let x = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            let y = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            let z = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            signals.push(mig.create_maj(x, y, z));
+        }
+        for s in signals.iter().rev().take(3) {
+            mig.create_po(*s);
+        }
+        mig
+    }
+    check(arbitrary_xag, &mut rng, 6);
+    check(arbitrary_mig, &mut rng, 6);
+}
