@@ -1,0 +1,369 @@
+//! Thread-parallel execution benchmarks (`BENCH_parallel.json`): serial
+//! versus multi-thread wall time for every parallel component — word
+//! simulation, bulk cut enumeration, phased SAT sweeping and the
+//! portfolio flow — on the large arithmetic workloads (`multiplier_16`
+//! and the ≥10k-gate `mac_datapath`).
+//!
+//! Every parallel run is checked against its serial twin before it is
+//! timed: word values, cut arenas and sweep outcomes must be
+//! bit-identical (the phased sweep across *thread counts*; its
+//! serial-schedule baseline is miter-proven instead, because the phased
+//! schedule is a different algorithm).  Timings report the best of
+//! several runs; the headline `speedup` is parallel-threads best over
+//! serial best.
+//!
+//! The container running this bin may have a single hardware thread —
+//! `available_parallelism` is recorded in the JSON and the ≥2× speedup
+//! acceptance bar is only enforced when at least four CPUs are actually
+//! available (the CI runner class).  Setting
+//! `GLSX_WRITE_BENCH_BASELINE=1` records the results at the repository
+//! root.
+//!
+//! `--smoke` skips the timing loops: it runs the 4-thread configuration
+//! of every component once against the serial twin (bit-identity for
+//! simulation/cuts/sweep/portfolio, miter proof for the phased-vs-legacy
+//! sweep) on a smaller circuit — the CI guard of the parallel layer.
+
+use glsx_benchmarks::arithmetic::{mac_datapath, multiplier_16};
+use glsx_benchmarks::inject_redundancy;
+use glsx_core::cuts::{CutManager, CutParams};
+use glsx_core::sweeping::{check_equivalence, sweep, SweepParams};
+use glsx_flow::{portfolio_best_luts, FlowOptions};
+use glsx_network::wordsim::WordSimulator;
+use glsx_network::{Aig, Network, Parallelism};
+use std::time::Instant;
+
+/// Thread count of the parallel configuration (the CI runner class).
+const THREADS: usize = 4;
+
+/// Best-of-N wall time of `run`, with a fixed repetition budget.
+fn best_seconds(mut run: impl FnMut(), repeats: u32, budget_ms: u128) -> f64 {
+    let started = Instant::now();
+    let mut best = f64::INFINITY;
+    let mut runs = 0;
+    while runs < repeats && (runs == 0 || started.elapsed().as_millis() < budget_ms) {
+        let t = Instant::now();
+        run();
+        best = best.min(t.elapsed().as_secs_f64());
+        runs += 1;
+    }
+    best
+}
+
+struct Row {
+    component: &'static str,
+    circuit: &'static str,
+    gates: usize,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.serial_seconds / self.parallel_seconds
+    }
+}
+
+/// Word simulation: parallel resimulation must reproduce every word of
+/// every node, then both sides are timed.
+fn bench_simulation(name: &'static str, aig: &Aig, words: usize, timed: bool) -> Row {
+    let serial = Parallelism::serial();
+    let par = Parallelism::new(THREADS);
+    let mut reference = WordSimulator::random_with(aig, words, 0xbe9c_0001, serial);
+    let mut sim = WordSimulator::random_with(aig, words, 0xbe9c_0001, par);
+    for node in 0..aig.size() as u32 {
+        for w in 0..words {
+            assert_eq!(
+                reference.word(w, node),
+                sim.word(w, node),
+                "{name}: parallel simulation diverged at node {node} word {w}"
+            );
+        }
+    }
+    let (repeats, budget) = if timed { (10, 3_000) } else { (1, 1) };
+    let serial_seconds = best_seconds(|| reference.resimulate_with(aig, serial), repeats, budget);
+    let parallel_seconds = best_seconds(|| sim.resimulate_with(aig, par), repeats, budget);
+    Row {
+        component: "simulation",
+        circuit: name,
+        gates: aig.num_gates(),
+        serial_seconds,
+        parallel_seconds,
+    }
+}
+
+/// Bulk cut enumeration: identical arenas (length, per-node sets, order)
+/// at 1 and `THREADS` threads, then both sides timed from scratch.
+fn bench_cuts(name: &'static str, aig: &Aig, timed: bool) -> Row {
+    let params = CutParams {
+        compute_truth: false,
+        ..CutParams::default()
+    };
+    let mut reference = CutManager::new(params);
+    reference.enumerate(aig, Parallelism::serial());
+    let mut manager = CutManager::new(params);
+    manager.enumerate(aig, Parallelism::new(THREADS));
+    assert_eq!(
+        reference.arena_len(),
+        manager.arena_len(),
+        "{name}: parallel enumeration arena diverged"
+    );
+    for node in aig.gate_nodes() {
+        assert_eq!(
+            reference.cuts_of(aig, node),
+            manager.cuts_of(aig, node),
+            "{name}: cut set of node {node} diverged"
+        );
+    }
+    let (repeats, budget) = if timed { (10, 5_000) } else { (1, 1) };
+    let serial_seconds = best_seconds(
+        || {
+            let mut m = CutManager::new(params);
+            m.enumerate(aig, Parallelism::serial());
+        },
+        repeats,
+        budget,
+    );
+    let parallel_seconds = best_seconds(
+        || {
+            let mut m = CutManager::new(params);
+            m.enumerate(aig, Parallelism::new(THREADS));
+        },
+        repeats,
+        budget,
+    );
+    Row {
+        component: "cut_enumeration",
+        circuit: name,
+        gates: aig.num_gates(),
+        serial_seconds,
+        parallel_seconds,
+    }
+}
+
+/// Phased SAT sweeping: bit-identical stats and network at 1 and
+/// `THREADS` threads — the parallel-execution contract — then the phased
+/// schedule is timed at both thread counts.  `prove_vs_legacy`
+/// additionally miter-proves the phased result against the legacy serial
+/// schedule (a different algorithm, so equivalence is the contract, not
+/// bit-identity); callers enable it only on CEC-tractable circuits —
+/// multiplier cones blow CDCL miters up exponentially.
+fn bench_sweep(name: &'static str, redundant: &Aig, timed: bool, prove_vs_legacy: bool) -> Row {
+    let phased = |threads: usize| SweepParams {
+        parallel_proving: Some(Parallelism::new(threads)),
+        ..SweepParams::default()
+    };
+    let mut baseline = redundant.clone();
+    let baseline_stats = sweep(&mut baseline, &phased(1));
+    let mut parallel = redundant.clone();
+    let parallel_stats = sweep(&mut parallel, &phased(THREADS));
+    assert_eq!(
+        baseline_stats, parallel_stats,
+        "{name}: phased sweep stats diverged across thread counts"
+    );
+    assert_eq!(
+        (baseline.num_gates(), baseline.po_signals()),
+        (parallel.num_gates(), parallel.po_signals()),
+        "{name}: phased sweep network diverged across thread counts"
+    );
+    assert!(
+        baseline_stats.proven >= 1,
+        "{name}: sweep found no injected redundancy ({baseline_stats:?})"
+    );
+    if prove_vs_legacy {
+        // different algorithm than the legacy schedule: prove, don't compare
+        let mut legacy = redundant.clone();
+        sweep(&mut legacy, &SweepParams::default());
+        assert!(
+            check_equivalence(&legacy, &baseline).is_equivalent(),
+            "{name}: phased and legacy sweeps are not equivalent"
+        );
+    }
+    let (repeats, budget) = if timed { (5, 10_000) } else { (1, 1) };
+    let serial_seconds = best_seconds(
+        || {
+            let mut ntk = redundant.clone();
+            sweep(&mut ntk, &phased(1));
+        },
+        repeats,
+        budget,
+    );
+    let parallel_seconds = best_seconds(
+        || {
+            let mut ntk = redundant.clone();
+            sweep(&mut ntk, &phased(THREADS));
+        },
+        repeats,
+        budget,
+    );
+    Row {
+        component: "sat_sweep",
+        circuit: name,
+        gates: redundant.num_gates(),
+        serial_seconds,
+        parallel_seconds,
+    }
+}
+
+/// Portfolio flow: the three representation flows on one thread each must
+/// return exactly the serial result, then both sides are timed.
+fn bench_portfolio(name: &'static str, aig: &Aig, lut_size: usize, timed: bool) -> Row {
+    let options = |par: Parallelism| FlowOptions {
+        parallelism: par,
+        ..FlowOptions::default()
+    };
+    let reference = portfolio_best_luts(aig, &options(Parallelism::serial()), lut_size);
+    let parallel = portfolio_best_luts(aig, &options(Parallelism::new(THREADS)), lut_size);
+    assert_eq!(
+        reference, parallel,
+        "{name}: parallel portfolio diverged from serial"
+    );
+    let (repeats, budget) = if timed { (3, 30_000) } else { (1, 1) };
+    let serial_seconds = best_seconds(
+        || {
+            portfolio_best_luts(aig, &options(Parallelism::serial()), lut_size);
+        },
+        repeats,
+        budget,
+    );
+    let parallel_seconds = best_seconds(
+        || {
+            portfolio_best_luts(aig, &options(Parallelism::new(THREADS)), lut_size);
+        },
+        repeats,
+        budget,
+    );
+    Row {
+        component: "portfolio",
+        circuit: name,
+        gates: aig.num_gates(),
+        serial_seconds,
+        parallel_seconds,
+    }
+}
+
+fn available_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `--smoke`: one pass of every component at 4 threads against the
+/// serial twin, on a circuit small enough for CI.
+fn smoke() {
+    let aig: Aig = multiplier_16();
+    bench_simulation("multiplier_16", &aig, 16, false);
+    bench_cuts("multiplier_16", &aig, false);
+    // bit-identity across thread counts on the big circuit, the
+    // phased-vs-legacy miter on a CEC-tractable one
+    let mut redundant = aig.clone();
+    inject_redundancy(&mut redundant, 12, 0x9a11);
+    bench_sweep("multiplier_16", &redundant, false, false);
+    let mut small_redundant: Aig = glsx_benchmarks::arithmetic::multiplier(8);
+    inject_redundancy(&mut small_redundant, 8, 0x9a12);
+    bench_sweep("multiplier_8", &small_redundant, false, true);
+    let small: Aig = glsx_benchmarks::arithmetic::multiplier(6);
+    bench_portfolio("multiplier_6", &small, 6, false);
+    println!(
+        "smoke: simulation, cut enumeration, phased sweep and portfolio \
+         verified at {THREADS} threads against the serial twin \
+         (bit-identity + sweep miter proof) on {} CPUs",
+        available_cpus()
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    let cpus = available_cpus();
+    let m16: Aig = multiplier_16();
+    let datapath: Aig = mac_datapath(16, 4);
+    let mut redundant = datapath.clone();
+    inject_redundancy(&mut redundant, 64, 0x9a11);
+
+    // the phased-vs-legacy miter runs once, on a CEC-tractable circuit;
+    // the big-circuit rows below assert bit-identity across thread counts
+    let mut small_redundant: Aig = glsx_benchmarks::arithmetic::multiplier(8);
+    inject_redundancy(&mut small_redundant, 8, 0x9a12);
+    bench_sweep("multiplier_8", &small_redundant, false, true);
+
+    let rows = vec![
+        bench_simulation("mac_datapath_16x4", &datapath, 64, true),
+        bench_cuts("mac_datapath_16x4", &datapath, true),
+        bench_sweep("mac_datapath_16x4", &redundant, true, false),
+        bench_portfolio("multiplier_16", &m16, 6, true),
+    ];
+
+    for row in &rows {
+        println!(
+            "{:<16} {:<18} {:>6} gates  serial {:>9.4}s  {}T {:>9.4}s  speedup {:>5.2}x",
+            row.component,
+            row.circuit,
+            row.gates,
+            row.serial_seconds,
+            THREADS,
+            row.parallel_seconds,
+            row.speedup()
+        );
+    }
+
+    // the acceptance bar: with real hardware parallelism, at least one
+    // pass must be ≥2x faster at 4 threads on the ≥10k-gate circuit
+    let best = rows
+        .iter()
+        .map(|r| r.speedup())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if cpus >= THREADS {
+        assert!(
+            best >= 2.0,
+            "no component reached a 2x speedup at {THREADS} threads on {cpus} CPUs \
+             (best {best:.2}x)"
+        );
+    } else {
+        println!(
+            "({cpus} CPU(s) available: speedup bar not enforced, results recorded \
+             for reference only)"
+        );
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"component\": \"{}\", \"circuit\": \"{}\", \"gates\": {}, ",
+                    "\"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, ",
+                    "\"threads\": {}, \"speedup\": {:.3}}}"
+                ),
+                r.component,
+                r.circuit,
+                r.gates,
+                r.serial_seconds,
+                r.parallel_seconds,
+                THREADS,
+                r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"parallel_execution\",\n",
+            "  \"available_parallelism\": {},\n",
+            "  \"speedup_bar_enforced\": {},\n",
+            "  \"components\": [\n{}\n  ]\n}}\n"
+        ),
+        cpus,
+        cpus >= THREADS,
+        json_rows.join(",\n")
+    );
+    if std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+        std::fs::write(path, json).expect("write BENCH_parallel.json");
+        println!("wrote {path}");
+    } else {
+        println!("(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_parallel.json)");
+    }
+}

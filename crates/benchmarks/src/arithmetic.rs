@@ -156,6 +156,36 @@ pub fn multiplier<N: GateBuilder>(bits: usize) -> N {
     ntk
 }
 
+/// The `multiplier_16` benchmark: a 16×16 array multiplier, the largest
+/// single-block arithmetic circuit of the suite and the base unit of the
+/// parallel-execution workload [`mac_datapath`].
+pub fn multiplier_16<N: GateBuilder>() -> N {
+    multiplier(16)
+}
+
+/// A composed multiply-accumulate datapath: `stages` chained
+/// `acc = lo(acc × xᵢ) + xᵢ` steps over n-bit inputs, one fresh input
+/// word per stage.  Each stage is a full array multiplier feeding a
+/// ripple-carry adder, so `mac_datapath(16, 6)` lands above ten thousand
+/// gates — the parallel-execution benchmarks use it as the circuit large
+/// enough for thread-level speedups to be measurable.
+pub fn mac_datapath<N: GateBuilder>(bits: usize, stages: usize) -> N {
+    let mut ntk = N::new();
+    let mut acc = input_word(&mut ntk, bits);
+    for _ in 0..stages {
+        let x = input_word(&mut ntk, bits);
+        let product = array_multiplier(&mut ntk, &acc, &x);
+        let truncated: Word = product.into_iter().take(bits).collect();
+        let zero = ntk.get_constant(false);
+        let (sum, _) = ripple_carry_adder(&mut ntk, &truncated, &x, zero);
+        acc = sum;
+    }
+    for s in acc {
+        ntk.create_po(s);
+    }
+    ntk
+}
+
 /// The `square` benchmark: an n-bit squarer.
 pub fn square<N: GateBuilder>(bits: usize) -> N {
     let mut ntk = N::new();
@@ -362,6 +392,53 @@ mod tests {
         for (bit, (a, b)) in cases.iter().enumerate() {
             assert_eq!(eval_word(&outputs, 0, 8, bit), a * b, "{a} * {b}");
         }
+    }
+
+    #[test]
+    fn mac_datapath_computes_chained_multiply_accumulate() {
+        let bits = 4;
+        let stages = 2;
+        let aig: Aig = mac_datapath(bits, stages);
+        assert_eq!(aig.num_pis(), bits * (stages + 1));
+        assert_eq!(aig.num_pos(), bits);
+        // inputs: acc₀ then x₁, x₂; model: acc = lo(acc·xᵢ) + xᵢ mod 2ⁿ
+        let cases = [(3u64, 5, 7), (15, 15, 15), (0, 9, 4), (7, 8, 1)];
+        let mut patterns = vec![0u64; bits * (stages + 1)];
+        for (bit, &(a0, x1, x2)) in cases.iter().enumerate() {
+            for (word, value) in [a0, x1, x2].into_iter().enumerate() {
+                for i in 0..bits {
+                    if (value >> i) & 1 == 1 {
+                        patterns[word * bits + i] |= 1 << bit;
+                    }
+                }
+            }
+        }
+        let outputs = simulate_patterns(&aig, &patterns);
+        let mask = (1u64 << bits) - 1;
+        for (bit, &(a0, x1, x2)) in cases.iter().enumerate() {
+            let mut acc = a0;
+            for x in [x1, x2] {
+                acc = ((acc * x) & mask).wrapping_add(x) & mask;
+            }
+            assert_eq!(
+                eval_word(&outputs, 0, bits, bit),
+                acc,
+                "mac({a0}; {x1}, {x2})"
+            );
+        }
+    }
+
+    /// The parallel-benchmark instantiations have the advertised scale:
+    /// `multiplier_16` in the thousands, `mac_datapath(16, 4)` past ten
+    /// thousand gates.
+    #[test]
+    fn parallel_workload_circuits_have_the_advertised_scale() {
+        let m16: Aig = multiplier_16();
+        assert_eq!(m16.num_pis(), 32);
+        assert_eq!(m16.num_pos(), 32);
+        assert!(m16.num_gates() > 2_000, "{}", m16.num_gates());
+        let datapath: Aig = mac_datapath(16, 4);
+        assert!(datapath.num_gates() >= 10_000, "{}", datapath.num_gates());
     }
 
     #[test]

@@ -33,9 +33,14 @@
 //! arena spans; once more than half of the arena is dead the manager
 //! compacts it in place instead of bump-leaking until drop.
 
-use glsx_network::{ChangeEvent, ChangeLog, GateKind, Network, NodeId, SimBlock, Traversal};
+use glsx_network::views::DepthView;
+use glsx_network::{
+    ChangeEvent, ChangeLog, GateKind, LocalScratch, Network, NodeId, Parallelism, SimBlock,
+    Traversal,
+};
 use glsx_truth::TruthTable;
 use std::collections::BTreeMap;
+use std::ops::Range;
 
 /// Maximum number of leaves a [`Cut`] can hold (the `k` of k-feasible
 /// cuts; covers the paper's 4-input rewriting cuts and 6-input LUT
@@ -504,6 +509,196 @@ pub struct CutCounters {
     pub choice_cuts: u64,
 }
 
+/// Reusable buffers of one cut-set computation: the Cartesian merge
+/// pipeline, the pruned result (with fused functions) and the cone-walk
+/// state for truth computation.
+///
+/// The [`CutManager`] owns one workspace for its serial path; parallel
+/// bulk enumeration ([`CutManager::enumerate`]) hands every worker thread
+/// its own, so the shared arena is only ever *read* while workers compute.
+/// The truth-table cone walk marks visited nodes in a thread-local
+/// [`LocalScratch`] instead of the network's shared scratch slots — the
+/// partition-safe replacement for the single-traversal-at-a-time
+/// [`Traversal`] contract.
+#[derive(Debug, Default)]
+struct CutWorkspace {
+    /// Cartesian merge front (reused across nodes).
+    partial: Vec<Cut>,
+    next_partial: Vec<Cut>,
+    /// The pruned cut set of the node under computation (trivial first).
+    result: Vec<Cut>,
+    /// Fused functions parallel to `result` (under `compute_truth`).
+    result_functions: Vec<CutFunction>,
+    /// Cone-walk values, indexed by [`LocalScratch`] stamps.
+    sim_values: Vec<CutFunction>,
+    sim_stack: Vec<NodeId>,
+    /// Thread-local visited marks of the cone walk.
+    scratch: LocalScratch,
+}
+
+impl CutWorkspace {
+    /// Computes the pruned cut set of `node` into `self.result` (trivial
+    /// cut first) by merging the fanins' committed cut sets (Cartesian
+    /// product, pruned by size and dominance), then composes the surviving
+    /// cuts' truth tables into `self.result_functions` when truth fusion
+    /// is enabled.  Fanin cut sets are read from `arena[fanin_span(f)]`,
+    /// so the caller decides whether `arena` is the manager's own (serial)
+    /// or a shared snapshot (parallel workers).
+    fn compute_node<N: Network>(
+        &mut self,
+        ntk: &N,
+        node: NodeId,
+        params: &CutParams,
+        arena: &[Cut],
+        fanin_span: &impl Fn(NodeId) -> Range<usize>,
+    ) {
+        debug_assert!(self.result.is_empty());
+        self.partial.clear();
+        self.partial.push(Cut::empty());
+        let fanin_size = ntk.fanin_size(node);
+        for index in 0..fanin_size {
+            let fanin = ntk.fanin(node, index).node();
+            let fanin_cuts = fanin_span(fanin);
+            self.next_partial.clear();
+            for base in &self.partial {
+                for cut in &arena[fanin_cuts.clone()] {
+                    if let Some(merged) = base.merge(cut, params.cut_size) {
+                        self.next_partial.push(merged);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.partial, &mut self.next_partial);
+            if self.partial.is_empty() {
+                break;
+            }
+        }
+        // the trivial cut comes first so callers can skip it easily
+        self.result.push(Cut::trivial(node));
+        for i in 0..self.partial.len() {
+            let cut = self.partial[i];
+            if cut.size() <= params.cut_size {
+                add_cut_pruned(&mut self.result, cut, params.cut_limit);
+            }
+        }
+        if params.compute_truth {
+            self.compute_result_functions(ntk, node);
+        }
+    }
+
+    /// Computes the truth table of every cut in `self.result` (the pruned
+    /// cut set of `node`) by an allocation-free cone walk over fixed-size
+    /// [`CutFunction`] blocks.
+    ///
+    /// Why a walk and not composition from the fanin cuts' stored tables?
+    /// Composition (expand each fanin cut's function to the leaf union,
+    /// evaluate the gate) is *not* bit-identical to cone simulation in
+    /// reconvergent networks: dominance pruning can leave only a fanin
+    /// sub-cut whose cone bypasses one of the merged cut's own leaves, and
+    /// the expanded table then fixes that leaf to its cone function instead
+    /// of treating it as a free variable.  Both tables agree under
+    /// consistent leaf valuations, but the contract here is exact equality
+    /// with [`simulate_cut`] — so every table is computed with the same
+    /// stop-at-every-leaf semantics, just without its per-call heap
+    /// allocations.
+    fn compute_result_functions<N: Network>(&mut self, ntk: &N, node: NodeId) {
+        debug_assert!(self.result_functions.is_empty());
+        // the trivial cut {node} is the projection of its single leaf
+        self.result_functions.push(CutFunction::nth_var(1, 0));
+        for index in 1..self.result.len() {
+            let cut = self.result[index];
+            let tt = self.cone_function(ntk, node, cut.leaves());
+            self.result_functions.push(tt);
+        }
+    }
+
+    /// Simulates the cone of `root` down to `leaves` in [`CutFunction`]
+    /// arithmetic (bit-identical to [`simulate_cut`], allocation-free in
+    /// the steady state).  The visited window lives in the workspace's
+    /// [`LocalScratch`], so concurrent workers never contend on the
+    /// network's shared scratch slots.
+    fn cone_function<N: Network>(
+        &mut self,
+        ntk: &N,
+        root: NodeId,
+        leaves: &[NodeId],
+    ) -> CutFunction {
+        let num_vars = leaves.len();
+        self.scratch.reset(ntk.size());
+        self.sim_values.clear();
+        // mirror `simulate_cut`: the constant node reads as zero unless it
+        // is itself a leaf (the later stamp overwrites)
+        self.scratch.set_value(0, 0);
+        self.sim_values.push(CutFunction::zero(num_vars));
+        for (i, &leaf) in leaves.iter().enumerate() {
+            self.scratch.set_value(leaf, self.sim_values.len() as u32);
+            self.sim_values.push(CutFunction::nth_var(num_vars, i));
+        }
+        debug_assert!(self.sim_stack.is_empty());
+        self.sim_stack.push(root);
+        while let Some(&current) = self.sim_stack.last() {
+            if self.scratch.value(current).is_some() {
+                self.sim_stack.pop();
+                continue;
+            }
+            debug_assert!(
+                ntk.is_gate(current),
+                "cut cone reached node {current} outside the cut"
+            );
+            let mut missing = false;
+            ntk.foreach_fanin(current, |f| {
+                if self.scratch.value(f.node()).is_none() {
+                    self.sim_stack.push(f.node());
+                    missing = true;
+                }
+            });
+            if missing {
+                continue;
+            }
+            let fanin_size = ntk.fanin_size(current);
+            assert!(
+                fanin_size <= MAX_CUT_LEAVES,
+                "fused truth tables support gates with at most {MAX_CUT_LEAVES} fanins"
+            );
+            let mut fanin_tts = [CutFunction::zero(0); MAX_CUT_LEAVES];
+            for (j, slot) in fanin_tts.iter_mut().enumerate().take(fanin_size) {
+                let f = ntk.fanin(current, j);
+                let value = self.sim_values
+                    [self.scratch.value(f.node()).expect("fanin simulated") as usize];
+                *slot = if f.is_complemented() {
+                    value.complement()
+                } else {
+                    value
+                };
+            }
+            let tt = evaluate_cut_gate(
+                ntk.gate_kind(current),
+                || ntk.node_function(current),
+                &fanin_tts[..fanin_size],
+            );
+            self.scratch
+                .set_value(current, self.sim_values.len() as u32);
+            self.sim_values.push(tt);
+            self.sim_stack.pop();
+        }
+        self.sim_values[self.scratch.value(root).expect("root simulated") as usize]
+    }
+}
+
+/// Per-worker output of one parallel enumeration bucket: the cut sets of
+/// the worker's nodes concatenated, with per-node set lengths, ready to be
+/// committed serially in bucket order.
+#[derive(Debug, Default)]
+struct BucketResults {
+    lens: Vec<u16>,
+    cuts: Vec<Cut>,
+    functions: Vec<CutFunction>,
+}
+
+/// Level buckets smaller than this are enumerated serially even under a
+/// parallel configuration: the fork/join overhead of a scoped-thread round
+/// dominates the merge work for narrow levels.
+const PARALLEL_BUCKET_MIN: usize = 64;
+
 /// Bottom-up priority-cut enumeration with lazy, per-node memoisation and
 /// optional fused truth tables.
 ///
@@ -534,16 +729,10 @@ pub struct CutManager {
     /// Arena length at which the next compaction check runs (doubles each
     /// time, so the recount is amortised O(1) per commit).
     next_compact_check: usize,
-    /// Reused per-node merge buffers (kept on the manager so steady-state
-    /// enumeration performs no allocations).
-    partial: Vec<Cut>,
-    next_partial: Vec<Cut>,
-    result: Vec<Cut>,
-    result_functions: Vec<CutFunction>,
-    /// Reused cone-walk buffers for truth computation (values are indexed
-    /// by scratch-slot stamps, see [`CutManager::cut_cone_function`]).
-    sim_values: Vec<CutFunction>,
-    sim_stack: Vec<NodeId>,
+    /// Reused per-node computation buffers (kept on the manager so
+    /// steady-state enumeration performs no allocations).  Parallel bulk
+    /// enumeration gives every worker thread its own workspace.
+    workspace: CutWorkspace,
     /// Reused transitive-fanout worklist of [`CutManager::refresh_from`].
     refresh_stack: Vec<NodeId>,
     /// Choice-cut tails: per-representative extra cuts harvested from ring
@@ -591,12 +780,7 @@ impl CutManager {
             spans: Vec::new(),
             live: 0,
             next_compact_check: COMPACT_MIN_ARENA,
-            partial: Vec::new(),
-            next_partial: Vec::new(),
-            result: Vec::new(),
-            result_functions: Vec::new(),
-            sim_values: Vec::new(),
-            sim_stack: Vec::new(),
+            workspace: CutWorkspace::default(),
             refresh_stack: Vec::new(),
             choice_arena: Vec::new(),
             choice_roots: Vec::new(),
@@ -963,13 +1147,13 @@ impl CutManager {
     fn commit<N: Network>(&mut self, ntk: &N, node: NodeId) {
         self.maybe_compact(ntk);
         let start = self.arena.len() as u32;
-        let len = self.result.len() as u16;
-        self.arena.append(&mut self.result);
+        let len = self.workspace.result.len() as u16;
+        self.arena.append(&mut self.workspace.result);
         if self.params.compute_truth {
-            debug_assert_eq!(self.result_functions.len(), len as usize);
-            self.functions.append(&mut self.result_functions);
+            debug_assert_eq!(self.workspace.result_functions.len(), len as usize);
+            self.functions.append(&mut self.workspace.result_functions);
         } else {
-            self.result_functions.clear();
+            self.workspace.result_functions.clear();
         }
         self.live += len as usize;
         self.grow_spans(node);
@@ -998,9 +1182,11 @@ impl CutManager {
                 continue;
             }
             if !ntk.is_gate(current) {
-                self.result.push(Cut::trivial(current));
+                self.workspace.result.push(Cut::trivial(current));
                 if self.params.compute_truth {
-                    self.result_functions.push(CutFunction::nth_var(1, 0));
+                    self.workspace
+                        .result_functions
+                        .push(CutFunction::nth_var(1, 0));
                 }
                 self.commit(ntk, current);
                 stack.pop();
@@ -1022,140 +1208,129 @@ impl CutManager {
         }
     }
 
-    /// Computes the cut set of `node` into `self.result` by merging the
-    /// fanins' cut sets (Cartesian product, pruned by size and dominance),
-    /// then composes the surviving cuts' truth tables from the fanin cuts'
-    /// tables when truth fusion is enabled.
+    /// Computes the cut set of `node` into the workspace by merging the
+    /// fanins' committed cut sets (see [`CutWorkspace::compute_node`]).
     fn compute_cuts<N: Network>(&mut self, ntk: &N, node: NodeId) {
-        debug_assert!(self.result.is_empty());
-        self.partial.clear();
-        self.partial.push(Cut::empty());
-        let fanin_size = ntk.fanin_size(node);
-        for index in 0..fanin_size {
-            let fanin = ntk.fanin(node, index).node();
-            let span = self.spans[fanin as usize];
+        let CutManager {
+            params,
+            arena,
+            spans,
+            workspace,
+            ..
+        } = self;
+        workspace.compute_node(ntk, node, params, arena, &|fanin| {
+            let span = spans[fanin as usize];
             debug_assert_eq!(span.state, SpanState::Computed);
-            let fanin_cuts = span.start as usize..span.start as usize + span.len as usize;
-            self.next_partial.clear();
-            for base in &self.partial {
-                for cut in &self.arena[fanin_cuts.clone()] {
-                    if let Some(merged) = base.merge(cut, self.params.cut_size) {
-                        self.next_partial.push(merged);
-                    }
-                }
-            }
-            std::mem::swap(&mut self.partial, &mut self.next_partial);
-            if self.partial.is_empty() {
-                break;
-            }
-        }
-        // the trivial cut comes first so callers can skip it easily
-        self.result.push(Cut::trivial(node));
-        for i in 0..self.partial.len() {
-            let cut = self.partial[i];
-            if cut.size() <= self.params.cut_size {
-                add_cut_pruned(&mut self.result, cut, self.params.cut_limit);
-            }
-        }
-        if self.params.compute_truth {
-            self.compute_result_functions(ntk, node);
-        }
+            span.start as usize..span.start as usize + span.len as usize
+        });
     }
 
-    /// Computes the truth table of every cut in `self.result` (the pruned
-    /// cut set of `node`) by an allocation-free cone walk over fixed-size
-    /// [`CutFunction`] blocks, with the visited window held in the
-    /// scratch-slot traversal engine.
+    /// Bulk-enumerates the cut sets of every live node, level by level.
     ///
-    /// Why a walk and not composition from the fanin cuts' stored tables?
-    /// Composition (expand each fanin cut's function to the leaf union,
-    /// evaluate the gate) is *not* bit-identical to cone simulation in
-    /// reconvergent networks: dominance pruning can leave only a fanin
-    /// sub-cut whose cone bypasses one of the merged cut's own leaves, and
-    /// the expanded table then fixes that leaf to its cone function instead
-    /// of treating it as a free variable.  Both tables agree under
-    /// consistent leaf valuations, but the contract here is exact equality
-    /// with [`simulate_cut`] — so every table is computed with the same
-    /// stop-at-every-leaf semantics, just without its per-call heap
-    /// allocations.
-    fn compute_result_functions<N: Network>(&mut self, ntk: &N, node: NodeId) {
-        debug_assert!(self.result_functions.is_empty());
-        // the trivial cut {node} is the projection of its single leaf
-        self.result_functions.push(CutFunction::nth_var(1, 0));
-        for index in 1..self.result.len() {
-            let cut = self.result[index];
-            let tt = self.cut_cone_function(ntk, node, cut.leaves());
-            self.result_functions.push(tt);
-        }
-    }
-
-    /// Simulates the cone of `root` down to `leaves` in [`CutFunction`]
-    /// arithmetic (bit-identical to [`simulate_cut`], allocation-free in
-    /// the steady state).
-    fn cut_cone_function<N: Network>(
-        &mut self,
-        ntk: &N,
-        root: NodeId,
-        leaves: &[NodeId],
-    ) -> CutFunction {
-        let num_vars = leaves.len();
-        let trav = Traversal::new(ntk);
-        self.sim_values.clear();
-        // mirror `simulate_cut`: the constant node reads as zero unless it
-        // is itself a leaf (the later stamp overwrites)
-        trav.set_value(ntk, 0, 0);
-        self.sim_values.push(CutFunction::zero(num_vars));
-        for (i, &leaf) in leaves.iter().enumerate() {
-            trav.set_value(ntk, leaf, self.sim_values.len() as u32);
-            self.sim_values.push(CutFunction::nth_var(num_vars, i));
-        }
-        debug_assert!(self.sim_stack.is_empty());
-        self.sim_stack.push(root);
-        while let Some(&current) = self.sim_stack.last() {
-            if trav.value(ntk, current).is_some() {
-                self.sim_stack.pop();
+    /// The commit order is *fixed* regardless of the thread count — the
+    /// constant node, then primary inputs in id order, then the
+    /// [`DepthView`] level buckets in ascending order (topological within
+    /// each bucket) — so the arena layout, the per-node cut sets and every
+    /// counter come out bit-identical at every thread count.  Under a
+    /// parallel `par`, each level bucket is partitioned across worker
+    /// threads that compute into private [`CutWorkspace`]s while reading
+    /// the committed arena immutably (a gate's fanins all live at lower,
+    /// already-committed levels); the per-worker results are then
+    /// committed serially in bucket order.  Already-computed nodes are
+    /// skipped, so the call composes with lazy [`CutManager::cuts_of`]
+    /// use — per-node cut sets are identical either way, only the arena
+    /// layout differs between lazy and bulk order.
+    pub fn enumerate<N: Network>(&mut self, ntk: &N, par: Parallelism) {
+        let depth = DepthView::new(ntk);
+        // non-gate spans first: the constant node, then PIs in id order
+        let mut prelude: Vec<NodeId> = vec![0];
+        prelude.extend(ntk.pi_nodes());
+        for node in prelude {
+            if self.is_computed(node) {
                 continue;
             }
-            debug_assert!(
-                ntk.is_gate(current),
-                "cut cone reached node {current} outside the cut"
+            self.workspace.result.push(Cut::trivial(node));
+            if self.params.compute_truth {
+                self.workspace
+                    .result_functions
+                    .push(CutFunction::nth_var(1, 0));
+            }
+            self.commit(ntk, node);
+        }
+        let mut worker_spaces: Vec<CutWorkspace> = Vec::new();
+        let mut bucket: Vec<NodeId> = Vec::new();
+        for level in 1..depth.num_levels() {
+            bucket.clear();
+            bucket.extend(
+                depth
+                    .gates_at_level(level)
+                    .iter()
+                    .copied()
+                    .filter(|&n| !self.is_computed(n)),
             );
-            let mut missing = false;
-            ntk.foreach_fanin(current, |f| {
-                if trav.value(ntk, f.node()).is_none() {
-                    self.sim_stack.push(f.node());
-                    missing = true;
+            if bucket.is_empty() {
+                continue;
+            }
+            if !par.is_parallel() || bucket.len() < PARALLEL_BUCKET_MIN {
+                for &node in &bucket {
+                    self.compute_cuts(ntk, node);
+                    self.commit(ntk, node);
                 }
-            });
-            if missing {
                 continue;
             }
-            let fanin_size = ntk.fanin_size(current);
-            assert!(
-                fanin_size <= MAX_CUT_LEAVES,
-                "fused truth tables support gates with at most {MAX_CUT_LEAVES} fanins"
-            );
-            let mut fanin_tts = [CutFunction::zero(0); MAX_CUT_LEAVES];
-            for (j, slot) in fanin_tts.iter_mut().enumerate().take(fanin_size) {
-                let f = ntk.fanin(current, j);
-                let value =
-                    self.sim_values[trav.value(ntk, f.node()).expect("fanin simulated") as usize];
-                *slot = if f.is_complemented() {
-                    value.complement()
-                } else {
-                    value
-                };
+            if worker_spaces.len() < par.threads {
+                worker_spaces.resize_with(par.threads, CutWorkspace::default);
             }
-            let tt = evaluate_cut_gate(
-                ntk.gate_kind(current),
-                || ntk.node_function(current),
-                &fanin_tts[..fanin_size],
-            );
-            trav.set_value(ntk, current, self.sim_values.len() as u32);
-            self.sim_values.push(tt);
-            self.sim_stack.pop();
+            let bounds = par.chunk_bounds(bucket.len());
+            let params = &self.params;
+            let arena = &self.arena;
+            let spans = &self.spans;
+            let bucket_ref = &bucket;
+            let outputs: Vec<BucketResults> = std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .zip(worker_spaces.iter_mut())
+                    .map(|(&(start, end), workspace)| {
+                        scope.spawn(move || {
+                            let mut out = BucketResults::default();
+                            for &node in &bucket_ref[start..end] {
+                                workspace.compute_node(ntk, node, params, arena, &|fanin| {
+                                    let span = spans[fanin as usize];
+                                    debug_assert_eq!(span.state, SpanState::Computed);
+                                    span.start as usize..span.start as usize + span.len as usize
+                                });
+                                out.lens.push(workspace.result.len() as u16);
+                                out.cuts.append(&mut workspace.result);
+                                out.functions.append(&mut workspace.result_functions);
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            // serial commit in bucket order restores the fixed layout
+            let mut index = 0usize;
+            for out in outputs {
+                let mut offset = 0usize;
+                for &len in &out.lens {
+                    let node = bucket[index];
+                    index += 1;
+                    let end = offset + len as usize;
+                    self.workspace
+                        .result
+                        .extend_from_slice(&out.cuts[offset..end]);
+                    if self.params.compute_truth {
+                        self.workspace
+                            .result_functions
+                            .extend_from_slice(&out.functions[offset..end]);
+                    }
+                    self.commit(ntk, node);
+                    offset = end;
+                }
+            }
+            debug_assert_eq!(index, bucket.len());
         }
-        self.sim_values[trav.value(ntk, root).expect("root simulated") as usize]
     }
 }
 
@@ -1542,6 +1717,90 @@ mod tests {
         let g3 = aig.create_and(g1, g2);
         aig.create_po(g3);
         (aig, vec![g1, g2, g3])
+    }
+
+    /// A wide layered network (every level > `PARALLEL_BUCKET_MIN` nodes)
+    /// so parallel enumeration actually exercises the scoped-thread path.
+    fn wide_aig() -> Aig {
+        let mut aig = Aig::new();
+        let pis: Vec<_> = (0..80).map(|_| aig.create_pi()).collect();
+        let mut layer = pis.clone();
+        for round in 0..3 {
+            let mut next = Vec::new();
+            for i in 0..layer.len() {
+                let a = layer[i];
+                let b = layer[(i + 1 + round) % layer.len()];
+                next.push(if i % 3 == 0 {
+                    aig.create_and(a, !b)
+                } else {
+                    aig.create_or(a, b)
+                });
+            }
+            layer = next;
+        }
+        for &s in &layer {
+            aig.create_po(s);
+        }
+        aig
+    }
+
+    #[test]
+    fn bulk_enumeration_is_bit_identical_at_every_thread_count() {
+        let aig = wide_aig();
+        let params = CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+            compute_truth: true,
+        };
+        let mut reference = CutManager::new(params);
+        reference.enumerate(&aig, Parallelism::serial());
+        for threads in [2, 4] {
+            let mut manager = CutManager::new(params);
+            manager.enumerate(&aig, Parallelism::new(threads));
+            assert_eq!(
+                manager.arena_len(),
+                reference.arena_len(),
+                "{threads} threads"
+            );
+            assert_eq!(manager.counters(), reference.counters());
+            for node in 0..aig.size() as NodeId {
+                if !aig.is_gate(node) {
+                    continue;
+                }
+                let expect: Vec<Cut> = reference.cuts_of(&aig, node).to_vec();
+                let got: Vec<Cut> = manager.cuts_of(&aig, node).to_vec();
+                assert_eq!(got, expect, "cut set of node {node} ({threads} threads)");
+                for index in 0..expect.len() {
+                    assert_eq!(
+                        manager.cut_function(node, index),
+                        reference.cut_function(node, index),
+                        "function of cut {index} of node {node}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Bulk enumeration answers every per-node query identically to the
+    /// lazy path (the arena layout may differ, the cut sets may not).
+    #[test]
+    fn bulk_enumeration_matches_lazy_per_node_sets() {
+        let aig = wide_aig();
+        let params = CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+            compute_truth: false,
+        };
+        let mut lazy = CutManager::new(params);
+        let mut bulk = CutManager::new(params);
+        bulk.enumerate(&aig, Parallelism::new(3));
+        for node in aig.gate_nodes() {
+            assert_eq!(
+                bulk.cuts_of(&aig, node).to_vec(),
+                lazy.cuts_of(&aig, node).to_vec(),
+                "node {node}"
+            );
+        }
     }
 
     #[test]

@@ -223,6 +223,15 @@ fn select_cover<N: Network>(ntk: &N, params: &LutMapParams) -> SelectedCover {
         cut_limit: params.cut_limit,
         compute_truth: false,
     });
+    // Under a parallel configuration, the whole cut substrate is enumerated
+    // up front with level-partitioned workers; the per-node cut sets are
+    // bit-identical to the lazy serial fill below, so the mapping result
+    // does not depend on the thread count and the knob is safe to drive
+    // from the environment.
+    let par = glsx_network::Parallelism::from_env();
+    if par.is_parallel() {
+        cut_manager.enumerate(ntk, par);
+    }
     let order = ntk.gate_nodes();
     // Area flow divides a leaf's cost by its fanout count as a sharing
     // estimate.  In a choice network the raw counts are inflated: cones

@@ -19,8 +19,9 @@
 
 use crate::cuts::{Cut, CutCounters, CutManager, CutParams};
 use crate::replace::{ReplaceOutcome, Replacer};
-use glsx_network::{ChangeLog, GateBuilder, Network, NodeId};
+use glsx_network::{ChangeEvent, ChangeLog, GateBuilder, Network, NodeId};
 use glsx_synth::{NpnDatabase, Resynthesis};
+use std::collections::VecDeque;
 
 /// How the pass keeps the cut manager consistent with the network after a
 /// committed substitution.  Both modes answer every cut query identically
@@ -49,6 +50,16 @@ pub struct RewriteParams {
     pub allow_zero_gain: bool,
     /// Cut-manager maintenance mode (incremental by default).
     pub cut_maintenance: CutMaintenance,
+    /// Revisit the fanout frontier of committed substitutions (default):
+    /// a commit rewires its fanouts onto new structure, so their cut sets
+    /// — already visited or not — now hold candidates the stale pre-pass
+    /// order never sees.  Rewired nodes are queued (from the pass's own
+    /// [`ChangeEvent::RewiredFanin`](glsx_network::ChangeEvent) records)
+    /// and re-attempted after the main sweep.  Revisits demand strictly
+    /// positive gain even under `allow_zero_gain` — every revisit commit
+    /// shrinks the network, which both bounds the loop and guarantees a
+    /// pass is never worse than with the frontier disabled.
+    pub revisit_frontier: bool,
 }
 
 impl Default for RewriteParams {
@@ -58,6 +69,7 @@ impl Default for RewriteParams {
             cut_limit: 8,
             allow_zero_gain: false,
             cut_maintenance: CutMaintenance::Incremental,
+            revisit_frontier: true,
         }
     }
 }
@@ -76,6 +88,9 @@ pub struct RewriteStats {
     /// re-enumerated (strictly fewer under incremental maintenance than a
     /// full rebuild would cost).
     pub cuts: CutCounters,
+    /// Number of fanout-frontier nodes re-attempted after the main sweep
+    /// (see [`RewriteParams::revisit_frontier`]).
+    pub frontier_revisits: usize,
 }
 
 /// Rewrites `ntk` using the given resynthesis engine and returns pass
@@ -110,11 +125,37 @@ where
     // manager can be invalidated mid-iteration; the buffer is reused, so
     // the steady state allocates nothing
     let mut cuts: Vec<Cut> = Vec::new();
-    for node in nodes {
-        if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
-            continue;
-        }
-        stats.visited += 1;
+    // fanout frontier of committed substitutions: rewired-but-live nodes
+    // queued for a second attempt after the main sweep, FIFO in commit
+    // order.  `pending` dedups the queue (a slot per node, grown on
+    // demand: substitutions create fresh ids mid-pass).
+    let mut revisit: VecDeque<NodeId> = VecDeque::new();
+    let mut pending: Vec<bool> = Vec::new();
+
+    /// One rewrite attempt at `node`: scan its (current) priority cuts and
+    /// commit the first resynthesis candidate whose DAG-aware gain clears
+    /// `allow_zero_gain`.  On commit, the drained change events refresh
+    /// the cut manager and — when the frontier is enabled — enqueue every
+    /// rewired fanout for a later revisit.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_node<N, R>(
+        ntk: &mut N,
+        node: NodeId,
+        allow_zero_gain: bool,
+        params: &RewriteParams,
+        cut_manager: &mut CutManager,
+        replacer: &mut Replacer,
+        resynthesis: &mut R,
+        cuts: &mut Vec<Cut>,
+        log: &mut ChangeLog,
+        consumed: &mut ChangeLog,
+        revisit: &mut VecDeque<NodeId>,
+        pending: &mut Vec<bool>,
+        stats: &mut RewriteStats,
+    ) where
+        N: Network + GateBuilder,
+        R: Resynthesis<N>,
+    {
         cuts.clear();
         cuts.extend_from_slice(cut_manager.cuts_of(ntk, node));
         for (index, cut) in cuts.iter().enumerate().skip(1) {
@@ -128,7 +169,7 @@ where
                 cut.leaves(),
                 Some(function),
                 resynthesis,
-                params.allow_zero_gain,
+                allow_zero_gain,
             ) {
                 ReplaceOutcome::Substituted(gain) => {
                     stats.substitutions += 1;
@@ -137,17 +178,79 @@ where
                     // events from earlier attempts (and possibly an
                     // enclosing consumer's pre-pass events); refreshing
                     // from extras is harmless over-invalidation
-                    ntk.drain_changes(&mut log);
+                    ntk.drain_changes(log);
                     match params.cut_maintenance {
-                        CutMaintenance::Incremental => cut_manager.refresh_from(ntk, &log),
+                        CutMaintenance::Incremental => cut_manager.refresh_from(ntk, log),
                         CutMaintenance::FullRecompute => cut_manager.invalidate_all(),
                     }
-                    consumed.append(&mut log);
+                    if params.revisit_frontier {
+                        for event in log.events() {
+                            let &ChangeEvent::RewiredFanin { node: rewired } = event else {
+                                continue;
+                            };
+                            if pending.len() < ntk.size() {
+                                pending.resize(ntk.size(), false);
+                            }
+                            if !pending[rewired as usize] {
+                                pending[rewired as usize] = true;
+                                revisit.push_back(rewired);
+                            }
+                        }
+                    }
+                    consumed.append(log);
                     break;
                 }
                 ReplaceOutcome::Rejected => {}
             }
         }
+    }
+
+    for node in nodes {
+        if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
+            continue;
+        }
+        stats.visited += 1;
+        attempt_node(
+            ntk,
+            node,
+            params.allow_zero_gain,
+            params,
+            &mut cut_manager,
+            &mut replacer,
+            resynthesis,
+            &mut cuts,
+            &mut log,
+            &mut consumed,
+            &mut revisit,
+            &mut pending,
+            &mut stats,
+        );
+    }
+    // drain the frontier: every commit here must *strictly* shrink the
+    // network (zero-gain restructuring is excluded even in `rwz` passes),
+    // so the number of revisit commits is bounded by the gate count and
+    // the queue — which only grows on commit — runs dry
+    while let Some(node) = revisit.pop_front() {
+        pending[node as usize] = false;
+        if !ntk.is_gate(node) || ntk.is_dead(node) || ntk.fanout_size(node) == 0 {
+            continue;
+        }
+        stats.frontier_revisits += 1;
+        attempt_node(
+            ntk,
+            node,
+            false,
+            params,
+            &mut cut_manager,
+            &mut replacer,
+            resynthesis,
+            &mut cuts,
+            &mut log,
+            &mut consumed,
+            &mut revisit,
+            &mut pending,
+            &mut stats,
+        );
     }
     if was_tracking {
         // hand every drained event back, in order, for the enclosing
@@ -338,6 +441,61 @@ mod tests {
         let mut aig = wasteful_projection_aig();
         rewrite(&mut aig, &RewriteParams::default());
         assert!(!aig.is_change_tracking());
+    }
+
+    /// The fanout frontier only ever adds strictly-shrinking commits on
+    /// top of the stale-order pass, so enabling it never costs gates; on
+    /// structures whose second-chance candidates appear only after a
+    /// commit it actually revisits.
+    #[test]
+    fn frontier_revisits_never_cost_gates() {
+        use glsx_network::Signal;
+        let mut state = 0x5eed_0006_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let mut total_revisits = 0;
+        for _ in 0..8 {
+            let mut aig = Aig::new();
+            let mut signals: Vec<Signal> = (0..8).map(|_| aig.create_pi()).collect();
+            for _ in 0..60 {
+                let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                signals.push(aig.create_and(a, b));
+            }
+            for s in signals.iter().rev().take(4) {
+                aig.create_po(*s);
+            }
+            for zero_gain in [false, true] {
+                let reference = aig.clone();
+                let mut with_frontier = aig.clone();
+                let mut without = aig.clone();
+                let params = RewriteParams {
+                    allow_zero_gain: zero_gain,
+                    ..RewriteParams::default()
+                };
+                let stats = rewrite(&mut with_frontier, &params);
+                let base_stats = rewrite(
+                    &mut without,
+                    &RewriteParams {
+                        revisit_frontier: false,
+                        ..params
+                    },
+                );
+                assert_eq!(base_stats.frontier_revisits, 0);
+                assert!(
+                    with_frontier.num_gates() <= without.num_gates(),
+                    "frontier made the result worse: {stats:?} vs {base_stats:?}"
+                );
+                assert!(equivalent_by_simulation(&reference, &with_frontier));
+                total_revisits += stats.frontier_revisits;
+            }
+        }
+        assert!(
+            total_revisits > 0,
+            "no network exercised the revisit queue at all"
+        );
     }
 
     #[test]

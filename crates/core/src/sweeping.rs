@@ -37,7 +37,7 @@
 //!
 //! The CNF is built incrementally: one solver per sweep, one variable per
 //! encoded node, cones encoded on demand with the cone walk's visited set
-//! in the scratch-slot [`Traversal`] engine — no per-candidate maps.  The
+//! in an encoder-owned [`LocalScratch`] — no per-candidate maps.  The
 //! encoding stays consistent across merges because node functions never
 //! change: a merged node's clauses keep defining its variable as the
 //! function of its (former) cone, which the proof showed equals the
@@ -45,7 +45,7 @@
 
 use crate::replace::Replacer;
 use glsx_network::wordsim::WordSimulator;
-use glsx_network::{GateKind, Network, NodeId, Signal, Traversal};
+use glsx_network::{GateKind, LocalScratch, Network, NodeId, Parallelism, Signal};
 use glsx_sat::{Lit, SatResult, Solver, SolverStats, Var};
 
 /// Parameters of SAT sweeping.
@@ -77,6 +77,18 @@ pub struct SweepParams {
     /// available to choice-aware cut enumeration and LUT mapping.  The
     /// default `false` is the classic destructive fraig.
     pub record_choices: bool,
+    /// *Phased* proving: every candidate class of a round is proven
+    /// against the frozen network on its own fresh solver — distributed
+    /// across the configured worker threads — and the proven merges are
+    /// applied serially in class order afterwards.  Each class's outcomes
+    /// are a pure function of the class alone, so the result is
+    /// bit-identical at every thread count (1 included).  `None` (the
+    /// default) selects the legacy interleaved prove-and-merge schedule
+    /// with one incremental, recycled solver; the phased schedule is a
+    /// *different* algorithm (proofs do not see earlier merges of the same
+    /// round), so its result is equivalence-preserving but not bit-equal
+    /// to the legacy one — CI miter-proves the two against each other.
+    pub parallel_proving: Option<Parallelism>,
 }
 
 impl Default for SweepParams {
@@ -88,6 +100,7 @@ impl Default for SweepParams {
             max_rounds: 8,
             incremental_classes: true,
             record_choices: false,
+            parallel_proving: None,
         }
     }
 }
@@ -179,11 +192,14 @@ const NO_VAR: u32 = u32::MAX;
 /// Lazy Tseitin encoder of one network into a shared [`Solver`].
 ///
 /// One variable per encoded node; cones are encoded on demand by a DFS
-/// whose visited set lives in the scratch-slot [`Traversal`] engine (O(1)
-/// start per call, no per-candidate maps).  Encoded clauses stay valid for
-/// the lifetime of the solver even when nodes die: node ids are never
-/// reused and a dead node's clauses still define its variable as its
-/// former cone's function over the primary-input variables.
+/// whose visited set lives in an encoder-owned [`LocalScratch`] (O(1)
+/// start per call, no per-candidate maps, and — because the scratch is
+/// thread-local, not the network's shared slots — any number of encoders
+/// can walk the same network concurrently, which phased parallel proving
+/// relies on).  Encoded clauses stay valid for the lifetime of the solver
+/// even when nodes die: node ids are never reused and a dead node's
+/// clauses still define its variable as its former cone's function over
+/// the primary-input variables.
 #[derive(Debug)]
 struct CnfEncoder {
     /// `vars[node]` = SAT variable index of the node, or [`NO_VAR`].
@@ -191,6 +207,8 @@ struct CnfEncoder {
     stack: Vec<NodeId>,
     clause: Vec<Lit>,
     fanin_lits: Vec<Lit>,
+    /// DFS "fanins already scheduled" marks of [`CnfEncoder::encode_cone`].
+    expanded: LocalScratch,
 }
 
 impl CnfEncoder {
@@ -200,6 +218,7 @@ impl CnfEncoder {
             stack: Vec::new(),
             clause: Vec::new(),
             fanin_lits: Vec::new(),
+            expanded: LocalScratch::new(),
         }
     }
 
@@ -235,14 +254,14 @@ impl CnfEncoder {
     /// Iterative post-order DFS over the unencoded part of `root`'s cone.
     ///
     /// The per-node DFS state ("fanins already scheduled") lives in the
-    /// scratch-slot [`Traversal`] engine: a gate surfacing unmarked pushes
+    /// encoder's own [`LocalScratch`]: a gate surfacing unmarked pushes
     /// its unencoded fanins and marks itself; surfacing marked, its fanins
     /// are guaranteed encoded (a marked gate re-surfacing with unresolved
     /// fanins would require the pusher to sit inside the gate's own cone —
     /// a cycle), so it emits its clauses.  Each fanin list is scanned at
     /// most twice and no per-candidate map is allocated.
     fn encode_cone<N: Network>(&mut self, ntk: &N, solver: &mut Solver, root: NodeId) {
-        let expanded = Traversal::new(ntk);
+        self.expanded.reset(ntk.size());
         debug_assert!(self.stack.is_empty());
         self.stack.push(root);
         while let Some(&node) = self.stack.last() {
@@ -261,7 +280,7 @@ impl CnfEncoder {
                 self.stack.pop();
                 continue;
             }
-            if expanded.mark(ntk, node) {
+            if self.expanded.mark(node) {
                 let before = self.stack.len();
                 ntk.foreach_fanin(node, |f| {
                     if self.vars[f.node() as usize] == NO_VAR {
@@ -408,6 +427,68 @@ impl MiterEngine {
     }
 }
 
+/// Proof outcomes of one equivalence class under the phased schedule.
+///
+/// Produced on a frozen network by [`prove_class`], consumed in class
+/// order by the serial apply phase of [`sweep_with_engine`].
+struct ClassOutcomes {
+    /// The representative every pair was proven against: the lowest-ranked
+    /// member alive when the phase started (class members arrive in rank
+    /// order).  Meaningless when `pairs` is empty.
+    repr: NodeId,
+    /// One `(candidate, antivalent, outcome)` entry per attempted pair, in
+    /// class order.
+    pairs: Vec<(NodeId, bool, PairOutcome)>,
+    /// SAT conflicts spent on this class.
+    conflicts: u64,
+}
+
+/// Proves every candidate pair of one class against a frozen network.
+///
+/// The class gets a fresh [`MiterEngine`] (allocated lazily, only when a
+/// provable pair exists), so its outcomes are a pure function of the
+/// class, the network, the simulator and the no-retry set — independent
+/// of which thread runs it and of what other classes run concurrently.
+/// That purity is the phased schedule's determinism argument: any
+/// chunking of the class list produces the same outcome vector.
+fn prove_class<N: Network>(
+    ntk: &N,
+    class: &[NodeId],
+    sim: &WordSimulator,
+    no_retry: &std::collections::HashSet<(NodeId, NodeId)>,
+    conflict_limit: u64,
+) -> ClassOutcomes {
+    let mut out = ClassOutcomes {
+        repr: 0,
+        pairs: Vec::new(),
+        conflicts: 0,
+    };
+    let mut engine: Option<MiterEngine> = None;
+    let mut repr: Option<NodeId> = None;
+    for &node in class {
+        if ntk.is_dead(node) {
+            continue;
+        }
+        let repr_node = match repr {
+            None => {
+                repr = Some(node);
+                continue;
+            }
+            Some(r) => r,
+        };
+        if no_retry.contains(&(repr_node, node)) {
+            continue;
+        }
+        let antivalent = sim.phase(repr_node) != sim.phase(node);
+        let engine = engine.get_or_insert_with(|| MiterEngine::new(ntk.size()));
+        let outcome = engine.prove_pair(ntk, repr_node, node, antivalent, conflict_limit);
+        out.pairs.push((node, antivalent, outcome));
+    }
+    out.repr = repr.unwrap_or(0);
+    out.conflicts = engine.map_or(0, |e| e.solver.stats().conflicts);
+    out
+}
+
 /// Reusable state shared by the `fraig` steps of one flow: the simulation
 /// pattern words (initial random patterns plus every counterexample
 /// discovered so far) and the incremental miter solver with its lazily
@@ -535,10 +616,20 @@ pub fn sweep_with_engine<N: Network>(
         rank[gate as usize] = next_rank;
     }
 
-    let engine = engine_state
-        .miter
-        .get_or_insert_with(|| MiterEngine::new(ntk.size()));
-    engine.enc.ensure_len(ntk.size());
+    // Phased proving builds a fresh solver per class (outcomes must be a
+    // pure function of the class, independent of proof order), so the
+    // recycled incremental miter is used — and kept — only by the legacy
+    // schedule.
+    let mut engine = if params.parallel_proving.is_none() {
+        let engine = engine_state
+            .miter
+            .get_or_insert_with(|| MiterEngine::new(ntk.size()));
+        engine.enc.ensure_len(ntk.size());
+        Some(engine)
+    } else {
+        engine_state.miter = None;
+        None
+    };
     let mut replacer = Replacer::new();
     // the class partition: `members` holds class members contiguously and
     // `bounds` the (start, end) range of every multi-member class, in
@@ -656,76 +747,168 @@ pub fn sweep_with_engine<N: Network>(
         }
 
         cex_patterns.clear();
-        for &(start, end) in &bounds {
-            let class = &members[start as usize..end as usize];
-            // the representative is the lowest-ranked live member; it can
-            // die when another class's (or an earlier pair's) merge
-            // cascades over it, in which case the next live member takes
-            // over before the pair is attempted
-            let mut repr: Option<NodeId> = None;
-            for &node in class {
-                if ntk.is_dead(node) {
-                    continue;
+        if let Some(par) = params.parallel_proving {
+            // ---- phased schedule ------------------------------------------
+            // Phase 1: prove every class against the *frozen* network.  The
+            // class list is chunked contiguously across workers; each class
+            // gets a fresh per-thread solver in `prove_class`, so outcomes
+            // are a pure function of the class and the chunking is
+            // invisible — every thread count yields the same vector.
+            let frozen: &N = ntk;
+            let class_chunks = par.chunk_bounds(bounds.len());
+            let mut outcomes: Vec<ClassOutcomes> = Vec::with_capacity(bounds.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = class_chunks
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let chunk = &bounds[lo..hi];
+                        let members = &members;
+                        let sim = &sim;
+                        let no_retry = &no_retry;
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|&(s, e)| {
+                                    prove_class(
+                                        frozen,
+                                        &members[s as usize..e as usize],
+                                        sim,
+                                        no_retry,
+                                        params.conflict_limit,
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                // join in chunk order restores the global class order
+                for handle in handles {
+                    outcomes.extend(handle.join().expect("class-proving worker panicked"));
                 }
-                let repr_node = match repr {
-                    None => {
-                        repr = Some(node);
-                        continue;
-                    }
-                    Some(r) if ntk.is_dead(r) => {
-                        repr = Some(node);
-                        continue;
-                    }
-                    Some(r) => r,
-                };
-                if no_retry.contains(&(repr_node, node)) {
-                    continue;
-                }
-                // only gates can be merged away; a non-gate sharing a class
-                // (a PI colliding with the constant or another PI) is still
-                // proven below — SAT refutes it and the counterexample
-                // splits the class next round
-                let antivalent = sim.phase(repr_node) != sim.phase(node);
-                stats.candidate_pairs += 1;
-                let spent = conflicts_before(engine);
-                let outcome =
-                    engine.prove_pair(ntk, repr_node, node, antivalent, params.conflict_limit);
-                stats.conflicts += conflicts_before(engine) - spent;
-                match outcome {
-                    PairOutcome::Proven => {
-                        let replacement = Signal::new(repr_node, antivalent);
-                        let committed = ntk.is_gate(node)
-                            && if params.record_choices {
-                                // keep the losing cone alive as a mapping
-                                // choice of the winner; the node survives,
-                                // so the pair must not be re-proven when
-                                // its class reaches the next round
-                                replacer.keep_as_choice(ntk, node, replacement)
+            });
+            // Phase 2: apply the outcomes serially, in class order.  Unlike
+            // the legacy schedule, a merge cascade here can invalidate an
+            // *already proven* pair by killing one endpoint before its turn;
+            // such pairs are dropped without a no-retry mark so the next
+            // round re-examines them against fresh classes.
+            for out in outcomes {
+                stats.candidate_pairs += out.pairs.len();
+                stats.conflicts += out.conflicts;
+                let repr_node = out.repr;
+                for (node, antivalent, outcome) in out.pairs {
+                    match outcome {
+                        PairOutcome::Proven => {
+                            if ntk.is_dead(repr_node) || ntk.is_dead(node) {
+                                continue;
+                            }
+                            let replacement = Signal::new(repr_node, antivalent);
+                            let committed = ntk.is_gate(node)
+                                && if params.record_choices {
+                                    replacer.keep_as_choice(ntk, node, replacement)
+                                } else {
+                                    replacer.merge_equivalent(ntk, node, replacement)
+                                };
+                            if committed {
+                                stats.proven += 1;
+                                if params.record_choices {
+                                    stats.choices_recorded += 1;
+                                    no_retry.insert((repr_node, node));
+                                }
                             } else {
-                                replacer.merge_equivalent(ntk, node, replacement)
-                            };
-                        if committed {
-                            stats.proven += 1;
-                            if params.record_choices {
-                                stats.choices_recorded += 1;
+                                stats.skipped += 1;
                                 no_retry.insert((repr_node, node));
                             }
-                        } else {
-                            // structurally unmergeable despite the proof
-                            // (non-gate candidate, or a rank inversion the
-                            // acyclicity walk refused): give up on the
-                            // pair instead of re-proving it every round
+                        }
+                        PairOutcome::Refuted(pattern) => {
+                            stats.refuted += 1;
+                            cex_patterns.push(pattern);
+                        }
+                        PairOutcome::Undecided => {
                             stats.skipped += 1;
                             no_retry.insert((repr_node, node));
                         }
                     }
-                    PairOutcome::Refuted(pattern) => {
-                        stats.refuted += 1;
-                        cex_patterns.push(pattern);
+                }
+            }
+        } else {
+            // ---- legacy schedule: prove and merge interleaved, one
+            // recycled incremental solver across the whole sweep ----------
+            let engine = engine
+                .as_deref_mut()
+                .expect("legacy schedule keeps the recycled miter");
+            for &(start, end) in &bounds {
+                let class = &members[start as usize..end as usize];
+                // the representative is the lowest-ranked live member; it
+                // can die when another class's (or an earlier pair's) merge
+                // cascades over it, in which case the next live member takes
+                // over before the pair is attempted
+                let mut repr: Option<NodeId> = None;
+                for &node in class {
+                    if ntk.is_dead(node) {
+                        continue;
                     }
-                    PairOutcome::Undecided => {
-                        stats.skipped += 1;
-                        no_retry.insert((repr_node, node));
+                    let repr_node = match repr {
+                        None => {
+                            repr = Some(node);
+                            continue;
+                        }
+                        Some(r) if ntk.is_dead(r) => {
+                            repr = Some(node);
+                            continue;
+                        }
+                        Some(r) => r,
+                    };
+                    if no_retry.contains(&(repr_node, node)) {
+                        continue;
+                    }
+                    // only gates can be merged away; a non-gate sharing a
+                    // class (a PI colliding with the constant or another PI)
+                    // is still proven below — SAT refutes it and the
+                    // counterexample splits the class next round
+                    let antivalent = sim.phase(repr_node) != sim.phase(node);
+                    stats.candidate_pairs += 1;
+                    let spent = conflicts_before(engine);
+                    let outcome =
+                        engine.prove_pair(ntk, repr_node, node, antivalent, params.conflict_limit);
+                    stats.conflicts += conflicts_before(engine) - spent;
+                    match outcome {
+                        PairOutcome::Proven => {
+                            let replacement = Signal::new(repr_node, antivalent);
+                            let committed = ntk.is_gate(node)
+                                && if params.record_choices {
+                                    // keep the losing cone alive as a
+                                    // mapping choice of the winner; the node
+                                    // survives, so the pair must not be
+                                    // re-proven when its class reaches the
+                                    // next round
+                                    replacer.keep_as_choice(ntk, node, replacement)
+                                } else {
+                                    replacer.merge_equivalent(ntk, node, replacement)
+                                };
+                            if committed {
+                                stats.proven += 1;
+                                if params.record_choices {
+                                    stats.choices_recorded += 1;
+                                    no_retry.insert((repr_node, node));
+                                }
+                            } else {
+                                // structurally unmergeable despite the proof
+                                // (non-gate candidate, or a rank inversion
+                                // the acyclicity walk refused): give up on
+                                // the pair instead of re-proving it every
+                                // round
+                                stats.skipped += 1;
+                                no_retry.insert((repr_node, node));
+                            }
+                        }
+                        PairOutcome::Refuted(pattern) => {
+                            stats.refuted += 1;
+                            cex_patterns.push(pattern);
+                        }
+                        PairOutcome::Undecided => {
+                            stats.skipped += 1;
+                            no_retry.insert((repr_node, node));
+                        }
                     }
                 }
             }
@@ -1148,6 +1331,68 @@ mod tests {
             );
         }
         assert!(check_equivalence(&incremental, &full).is_equivalent());
+    }
+
+    /// The phased schedule is bit-identical at every thread count (same
+    /// stats, same network) and miter-equivalent to the legacy schedule.
+    #[test]
+    fn phased_proving_is_thread_count_invariant() {
+        let build = || {
+            // random AND cones over few patterns force refinement rounds
+            // and give the phased scheduler many multi-member classes
+            let mut aig = Aig::new();
+            let pis: Vec<Signal> = (0..12).map(|_| aig.create_pi()).collect();
+            let mut signals = pis.clone();
+            let mut state = 0x9e37_79b9_u64;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as usize
+            };
+            for _ in 0..120 {
+                let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+                signals.push(aig.create_and(a, b));
+            }
+            for s in signals.iter().rev().take(8) {
+                aig.create_po(*s);
+            }
+            aig
+        };
+        let phased_params = |threads: usize| SweepParams {
+            num_words: 1,
+            parallel_proving: Some(Parallelism::new(threads)),
+            ..SweepParams::default()
+        };
+        let mut legacy = build();
+        let legacy_stats = sweep(
+            &mut legacy,
+            &SweepParams {
+                num_words: 1,
+                ..SweepParams::default()
+            },
+        );
+        let mut baseline = build();
+        let baseline_stats = sweep(&mut baseline, &phased_params(1));
+        assert!(
+            baseline_stats.rounds > 1 && baseline_stats.refuted > 0,
+            "the refinement path must actually run: {baseline_stats:?}"
+        );
+        for threads in [2, 4] {
+            let mut ntk = build();
+            let stats = sweep(&mut ntk, &phased_params(threads));
+            assert_eq!(stats, baseline_stats, "threads = {threads}");
+            assert_eq!(ntk.num_gates(), baseline.num_gates(), "threads = {threads}");
+            assert_eq!(
+                ntk.po_signals(),
+                baseline.po_signals(),
+                "threads = {threads}"
+            );
+        }
+        // phased and legacy interleave merges differently, so they may
+        // produce different (equivalent) networks — the contract is
+        // semantic, checked by the miter
+        assert!(check_equivalence(&baseline, &legacy).is_equivalent());
+        assert_eq!(legacy.num_gates(), legacy_stats.gates_after);
     }
 
     /// The equivalence outcome carries real proof-effort numbers.

@@ -38,7 +38,7 @@ use glsx_core::refactoring::{refactor_with, RefactorParams};
 use glsx_core::resubstitution::{resubstitute, ResubNetwork, ResubParams};
 use glsx_core::rewriting::{rewrite_with, CutMaintenance, RewriteParams};
 use glsx_core::sweeping::{sweep_with_engine, SweepEngine, SweepParams};
-use glsx_network::{cleanup_dangling, GateBuilder, Klut, Network};
+use glsx_network::{cleanup_dangling, GateBuilder, Klut, Network, Parallelism};
 use glsx_synth::{NpnDatabase, SopResynthesis};
 use std::time::Instant;
 
@@ -59,6 +59,13 @@ pub struct FlowOptions {
     /// produce bit-identical networks; the CI smoke run executes each pass
     /// in both and asserts exactly that.
     pub full_recompute: bool,
+    /// Pass-level parallelism of [`portfolio_best_luts`]: the AIG, MIG and
+    /// XAG flows are fully independent, so they run on one scoped thread
+    /// each, joined in the fixed AIG, MIG, XAG order.  The result is
+    /// bit-identical to the serial run at every thread count.  Defaults to
+    /// [`Parallelism::from_env`] (the `GLSX_THREADS` knob; serial when
+    /// unset).
+    pub parallelism: Parallelism,
 }
 
 impl Default for FlowOptions {
@@ -69,6 +76,7 @@ impl Default for FlowOptions {
             max_divisors: 50,
             sweep: SweepParams::default(),
             full_recompute: false,
+            parallelism: Parallelism::from_env(),
         }
     }
 }

@@ -4,7 +4,8 @@
 
 use crate::{compress2rs, FlowOptions};
 use glsx_core::lut_mapping::{lut_map_stats, LutMapParams};
-use glsx_network::{convert_network, Aig, Mig, Xag};
+use glsx_core::resubstitution::ResubNetwork;
+use glsx_network::{convert_network, Aig, GateBuilder, Mig, Network, Xag};
 
 /// Result of a portfolio run for one benchmark.
 #[derive(Clone, Debug, PartialEq)]
@@ -17,22 +18,49 @@ pub struct PortfolioResult {
     pub luts_per_representation: [usize; 3],
 }
 
+/// One representation's portfolio job: optimise in place, map, count LUTs.
+fn flow_and_map<N>(ntk: &mut N, options: &FlowOptions, map_params: &LutMapParams) -> usize
+where
+    N: Network + GateBuilder + ResubNetwork,
+{
+    compress2rs(ntk, options);
+    lut_map_stats(ntk, map_params).num_luts
+}
+
 /// Optimises `aig` with the generic flow instantiated for AIGs, MIGs and
 /// XAGs, maps every result into `lut_size`-input LUTs and returns the best.
+///
+/// The three per-representation jobs are fully independent, so under
+/// [`FlowOptions::parallelism`] they run on one scoped thread each and are
+/// joined in the fixed AIG, MIG, XAG order — the result is bit-identical
+/// to the serial run.
 pub fn portfolio_best_luts(aig: &Aig, options: &FlowOptions, lut_size: usize) -> PortfolioResult {
     let map_params = LutMapParams::with_lut_size(lut_size);
 
+    // conversion is cheap and deterministic; doing it up front leaves
+    // three jobs with no shared state at all
     let mut as_aig = aig.clone();
-    compress2rs(&mut as_aig, options);
-    let aig_luts = lut_map_stats(&as_aig, &map_params).num_luts;
-
     let mut as_mig: Mig = convert_network(aig);
-    compress2rs(&mut as_mig, options);
-    let mig_luts = lut_map_stats(&as_mig, &map_params).num_luts;
-
     let mut as_xag: Xag = convert_network(aig);
-    compress2rs(&mut as_xag, options);
-    let xag_luts = lut_map_stats(&as_xag, &map_params).num_luts;
+
+    let [aig_luts, mig_luts, xag_luts] = if options.parallelism.is_parallel() {
+        std::thread::scope(|scope| {
+            let aig_job = scope.spawn(|| flow_and_map(&mut as_aig, options, &map_params));
+            let mig_job = scope.spawn(|| flow_and_map(&mut as_mig, options, &map_params));
+            let xag_job = scope.spawn(|| flow_and_map(&mut as_xag, options, &map_params));
+            [
+                aig_job.join().expect("AIG portfolio worker panicked"),
+                mig_job.join().expect("MIG portfolio worker panicked"),
+                xag_job.join().expect("XAG portfolio worker panicked"),
+            ]
+        })
+    } else {
+        [
+            flow_and_map(&mut as_aig, options, &map_params),
+            flow_and_map(&mut as_mig, options, &map_params),
+            flow_and_map(&mut as_xag, options, &map_params),
+        ]
+    };
 
     let results = [("AIG", aig_luts), ("MIG", mig_luts), ("XAG", xag_luts)];
     let (winner, best_luts) = results
@@ -60,5 +88,29 @@ mod tests {
         assert_eq!(result.best_luts, expected_best);
         assert!(["AIG", "MIG", "XAG"].contains(&result.winner));
         assert!(result.best_luts > 0);
+    }
+
+    #[test]
+    fn parallel_portfolio_is_bit_identical_to_serial() {
+        let aig: Aig = adder(4);
+        let serial = portfolio_best_luts(
+            &aig,
+            &FlowOptions {
+                parallelism: glsx_network::Parallelism::serial(),
+                ..FlowOptions::default()
+            },
+            6,
+        );
+        for threads in [2, 4] {
+            let parallel = portfolio_best_luts(
+                &aig,
+                &FlowOptions {
+                    parallelism: glsx_network::Parallelism::new(threads),
+                    ..FlowOptions::default()
+                },
+                6,
+            );
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
     }
 }

@@ -65,6 +65,7 @@ mod xmg;
 
 pub mod bitops;
 pub mod cleanup;
+pub mod parallel;
 pub mod simulation;
 pub mod traversal;
 pub mod views;
@@ -79,8 +80,9 @@ pub use fanin::{FaninArray, MAX_INLINE_FANINS};
 pub use kind::GateKind;
 pub use klut::Klut;
 pub use mig::Mig;
+pub use parallel::Parallelism;
 pub use signal::{NodeId, Signal};
 pub use traits::{assert_network_interface, GateBuilder, HasLevels, Network};
-pub use traversal::Traversal;
+pub use traversal::{LocalScratch, Traversal};
 pub use xag::Xag;
 pub use xmg::Xmg;

@@ -21,7 +21,14 @@ use glsx_truth::TruthTable;
 /// The *mandatory* interface of the paper corresponds to the required
 /// methods; convenience iteration helpers (`foreach_*`) are provided as
 /// default methods on top of them.
-pub trait Network: Sized {
+///
+/// Networks are required to be `Send + Sync` so read-only parallel passes
+/// (level-partitioned simulation and cut enumeration, portfolio threads)
+/// can share `&N` across [`std::thread::scope`] workers.  The storage
+/// layer already satisfies this: the only interior mutability is the
+/// atomic per-node scratch slot, and parallel phases use thread-local
+/// scratch ([`crate::traversal::LocalScratch`]) instead of stamping it.
+pub trait Network: Sized + Send + Sync {
     /// Short human-readable name of the representation (e.g. `"AIG"`).
     const NAME: &'static str;
 

@@ -72,20 +72,28 @@ impl Traversal {
     /// Debug-build owner check: writing through a traversal that is no
     /// longer the network's youngest silently evicts the younger
     /// traversal's marks — the exact interleaving the documented contract
-    /// forbids.  Checked on every write so the bug panics at its source.
+    /// forbids.  Checked on every write so the bug panics at its source,
+    /// and the diagnostic names the conflicting epoch pair *and* the
+    /// writing thread so cross-thread interleavings can be attributed.
     #[inline]
     fn assert_owner<N: Network>(&self, ntk: &N) {
         #[cfg(debug_assertions)]
         {
             let current = ntk.current_traversal_epoch();
-            assert!(
-                current == self.epoch,
-                "interleaved traversal write: this traversal owns epoch {} but a \
-                 younger traversal (epoch {current}) has started on the network; \
-                 run traversals strictly one after another or keep long-lived \
-                 state in a side structure (see glsx_network::traversal)",
-                self.epoch
-            );
+            if current != self.epoch {
+                let thread = std::thread::current();
+                panic!(
+                    "interleaved traversal write: traversal epoch {} (writing on \
+                     thread {:?}, id {:?}) is no longer the network's youngest — a \
+                     younger traversal (epoch {current}) has started; run traversals \
+                     strictly one after another, or give parallel workers \
+                     thread-local scratch (glsx_network::traversal::LocalScratch) \
+                     instead of stamping the shared slots",
+                    self.epoch,
+                    thread.name().unwrap_or("<unnamed>"),
+                    thread.id(),
+                );
+            }
         }
         #[cfg(not(debug_assertions))]
         let _ = ntk;
@@ -147,6 +155,88 @@ impl Traversal {
                 self.set_value(ntk, node, v);
                 v
             }
+        }
+    }
+}
+
+/// Thread-local traversal scratch: the partition-safe alternative to
+/// [`Traversal`] for read-only parallel phases.
+///
+/// A [`Traversal`] stamps the network's *shared* per-node scratch slots,
+/// so only one traversal at a time may write — exactly what the debug
+/// epoch check enforces.  Parallel workers that each need their own
+/// "visited" marks therefore cannot use it.  A `LocalScratch` owns its
+/// slot array and epoch counter outright: every worker keeps one, marks
+/// and values are private to it, and the shared network is only ever read.
+/// Starting a new traversal ([`reset`](Self::reset)) is O(1), the same
+/// epoch-tagging trick as [`Traversal`], and repeated use reuses the
+/// allocation.
+#[derive(Clone, Debug, Default)]
+pub struct LocalScratch {
+    /// `(epoch << 32) | value` per node, same packing as the shared slots.
+    slots: Vec<u64>,
+    /// Private monotonic epoch counter.
+    epoch: u64,
+}
+
+impl LocalScratch {
+    /// Creates an empty scratch; call [`reset`](Self::reset) to size it
+    /// before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new traversal over a node space of `num_nodes` nodes:
+    /// bumps the private epoch (O(1) — stale stamps are ignored, not
+    /// cleared) and grows the slot array if the node space grew.
+    pub fn reset(&mut self, num_nodes: usize) {
+        if self.slots.len() < num_nodes {
+            self.slots.resize(num_nodes, 0);
+        }
+        self.epoch += 1;
+        if self.epoch >= u64::from(u32::MAX) {
+            self.slots.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn tag(&self) -> u64 {
+        self.epoch << 32
+    }
+
+    /// Returns `true` if the current traversal has visited `node`.
+    #[inline]
+    pub fn is_marked(&self, node: NodeId) -> bool {
+        self.slots[node as usize] >> 32 == self.epoch
+    }
+
+    /// Marks `node` as visited; returns `true` if it was not marked
+    /// before.  A stale value from an earlier traversal is reset to `0`.
+    #[inline]
+    pub fn mark(&mut self, node: NodeId) -> bool {
+        if self.is_marked(node) {
+            return false;
+        }
+        self.slots[node as usize] = self.tag();
+        true
+    }
+
+    /// Stores a 32-bit value for `node` (marking it visited).
+    #[inline]
+    pub fn set_value(&mut self, node: NodeId, value: u32) {
+        self.slots[node as usize] = self.tag() | u64::from(value);
+    }
+
+    /// Returns the value stored for `node` by the current traversal, or
+    /// `None` if the node has not been visited.
+    #[inline]
+    pub fn value(&self, node: NodeId) -> Option<u32> {
+        let slot = self.slots[node as usize];
+        if slot >> 32 == self.epoch {
+            Some(slot as u32)
+        } else {
+            None
         }
     }
 }
@@ -234,6 +324,27 @@ mod tests {
         assert_eq!(t1.value(&aig, a), Some(11));
         assert!(t1.is_marked(&aig, a));
         assert!(!t1.is_marked(&aig, g));
+    }
+
+    #[test]
+    fn local_scratch_mirrors_traversal_semantics() {
+        let mut scratch = LocalScratch::new();
+        scratch.reset(4);
+        assert!(!scratch.is_marked(2));
+        assert!(scratch.mark(2));
+        assert!(!scratch.mark(2), "second mark reports already-visited");
+        scratch.set_value(3, 77);
+        assert_eq!(scratch.value(3), Some(77));
+        assert_eq!(scratch.value(1), None);
+        // a reset starts from a blank slate without clearing slots
+        scratch.reset(4);
+        assert!(!scratch.is_marked(2));
+        assert_eq!(scratch.value(3), None);
+        assert!(scratch.mark(3), "mark resets the stale value");
+        assert_eq!(scratch.value(3), Some(0));
+        // resets may grow the node space
+        scratch.reset(8);
+        assert!(scratch.mark(7));
     }
 
     #[test]

@@ -52,16 +52,25 @@ pub struct DepthView {
     /// Level per node id (dense; dead nodes keep level 0).
     levels: Vec<u32>,
     depth: u32,
+    /// CSR bucket offsets into `bucket_nodes`: the live gates of level `l`
+    /// (levels start at 1; level 0 holds inputs/constants, not gates) are
+    /// `bucket_nodes[bucket_offsets[l] .. bucket_offsets[l + 1]]`.
+    bucket_offsets: Vec<u32>,
+    /// Live gates grouped by level, topological order within each bucket.
+    bucket_nodes: Vec<NodeId>,
 }
 
 impl DepthView {
     /// Computes levels for all live nodes of `ntk`.
     pub fn new<N: Network>(ntk: &N) -> Self {
         let mut levels: Vec<u32> = vec![0; ntk.size()];
-        for node in ntk.gate_nodes() {
+        let gates = ntk.gate_nodes();
+        let mut max_gate_level = 0u32;
+        for &node in &gates {
             let mut level = 0;
             ntk.foreach_fanin(node, |f| level = level.max(levels[f.node() as usize]));
             levels[node as usize] = level + 1;
+            max_gate_level = max_gate_level.max(level + 1);
         }
         let depth = ntk
             .po_signals()
@@ -69,7 +78,29 @@ impl DepthView {
             .map(|s| levels[s.node() as usize])
             .max()
             .unwrap_or(0);
-        Self { levels, depth }
+        // counting sort of the gates into per-level buckets; the stable
+        // two-pass construction keeps topological order within each bucket
+        let num_levels = max_gate_level as usize + 1;
+        let mut bucket_offsets = vec![0u32; num_levels + 1];
+        for &node in &gates {
+            bucket_offsets[levels[node as usize] as usize + 1] += 1;
+        }
+        for l in 0..num_levels {
+            bucket_offsets[l + 1] += bucket_offsets[l];
+        }
+        let mut cursor = bucket_offsets.clone();
+        let mut bucket_nodes = vec![0 as NodeId; gates.len()];
+        for &node in &gates {
+            let l = levels[node as usize] as usize;
+            bucket_nodes[cursor[l] as usize] = node;
+            cursor[l] += 1;
+        }
+        Self {
+            levels,
+            depth,
+            bucket_offsets,
+            bucket_nodes,
+        }
     }
 
     /// Returns the level of `node` (0 for nodes not known to the view).
@@ -80,6 +111,26 @@ impl DepthView {
     /// Returns the depth of the network (maximum primary-output level).
     pub fn depth(&self) -> u32 {
         self.depth
+    }
+
+    /// Number of level buckets (one past the deepest *gate* level; level 0
+    /// is always present and always empty of gates).
+    pub fn num_levels(&self) -> usize {
+        self.bucket_offsets.len() - 1
+    }
+
+    /// The live gates at `level`, in topological order.  This is the
+    /// dependency frontier parallel passes partition over: every fanin of
+    /// a gate at level `l` lives at a level `< l`, so the gates of one
+    /// bucket can be processed concurrently once all lower buckets are
+    /// done.  Out-of-range levels return an empty slice.
+    pub fn gates_at_level(&self, level: usize) -> &[NodeId] {
+        if level + 1 >= self.bucket_offsets.len() {
+            return &[];
+        }
+        let start = self.bucket_offsets[level] as usize;
+        let end = self.bucket_offsets[level + 1] as usize;
+        &self.bucket_nodes[start..end]
     }
 }
 
@@ -447,6 +498,32 @@ mod tests {
         assert_eq!(depth.level(g2.node()), 2);
         assert_eq!(depth.depth(), 2);
         assert_eq!(network_depth(&aig), 2);
+    }
+
+    #[test]
+    fn depth_view_level_buckets_partition_the_gates() {
+        let (aig, g1, g2) = sample_aig();
+        let depth = DepthView::new(&aig);
+        assert_eq!(depth.num_levels(), 3);
+        assert!(depth.gates_at_level(0).is_empty(), "level 0 holds no gates");
+        assert_eq!(depth.gates_at_level(1), &[g1.node()]);
+        let level2 = depth.gates_at_level(2);
+        assert_eq!(level2.len(), 2);
+        assert_eq!(level2[0], g2.node(), "topological order within a bucket");
+        assert!(depth.gates_at_level(99).is_empty());
+        // the buckets partition exactly the live gates and agree with level()
+        let mut from_buckets: Vec<NodeId> = (0..depth.num_levels())
+            .flat_map(|l| depth.gates_at_level(l).iter().copied())
+            .collect();
+        for l in 0..depth.num_levels() {
+            for &n in depth.gates_at_level(l) {
+                assert_eq!(depth.level(n) as usize, l);
+            }
+        }
+        from_buckets.sort_unstable();
+        let mut gates = aig.gate_nodes();
+        gates.sort_unstable();
+        assert_eq!(from_buckets, gates);
     }
 
     #[test]

@@ -21,7 +21,42 @@
 //! ([`crate::bitops::evaluate_gate`]) — the same code path as exhaustive
 //! truth-table simulation and `glsx-core`'s fused cut functions.
 
+use crate::parallel::Parallelism;
+use crate::views::DepthView;
 use crate::{GateKind, Network, NodeId, Signal};
+use std::sync::Barrier;
+
+/// Raw row pointers into the word-major value table, shared across
+/// simulation workers.
+///
+/// Soundness argument for the `Sync` impl: within one level the workers
+/// write *disjoint* node columns (each node is assigned to exactly one
+/// worker), and every read targets a node of a strictly lower level,
+/// whose writes a [`Barrier`] ordered before the current level began.  No
+/// two threads ever touch the same `(word, node)` cell without a barrier
+/// between them.
+struct SharedRows {
+    rows: Vec<*mut u64>,
+}
+
+unsafe impl Sync for SharedRows {}
+
+impl SharedRows {
+    /// # Safety
+    /// `node` was fully written before the caller's level started (lower
+    /// level, or a primary input/constant initialised before the scope).
+    #[inline]
+    unsafe fn read(&self, w: usize, node: usize) -> u64 {
+        unsafe { *self.rows[w].add(node) }
+    }
+
+    /// # Safety
+    /// `node` is owned by the calling worker for the current level.
+    #[inline]
+    unsafe fn write(&self, w: usize, node: usize, value: u64) {
+        unsafe { *self.rows[w].add(node) = value };
+    }
+}
 
 /// splitmix64 step (public-domain constants from Vigna's reference
 /// implementation); the workspace is offline, so no `rand` dependency.
@@ -58,6 +93,12 @@ impl WordSimulator {
     ///
     /// Panics if `num_words` is zero.
     pub fn random<N: Network>(ntk: &N, num_words: usize, seed: u64) -> Self {
+        Self::random_with(ntk, num_words, seed, Parallelism::from_env())
+    }
+
+    /// [`random`](Self::random) with an explicit thread configuration (the
+    /// result is bit-identical at every thread count).
+    pub fn random_with<N: Network>(ntk: &N, num_words: usize, seed: u64, par: Parallelism) -> Self {
         assert!(num_words > 0, "at least one pattern word is required");
         let mut sim = Self {
             values: vec![vec![0u64; ntk.size()]; num_words],
@@ -70,7 +111,7 @@ impl WordSimulator {
                 sim.values[w][pi as usize] = splitmix64(&mut state);
             }
         }
-        sim.resimulate(ntk);
+        sim.resimulate_with(ntk, par);
         sim
     }
 
@@ -88,6 +129,16 @@ impl WordSimulator {
     /// Panics if `patterns` is empty or any word does not provide exactly
     /// one value per primary input.
     pub fn from_pi_patterns<N: Network>(ntk: &N, patterns: &[Vec<u64>]) -> Self {
+        Self::from_pi_patterns_with(ntk, patterns, Parallelism::from_env())
+    }
+
+    /// [`from_pi_patterns`](Self::from_pi_patterns) with an explicit
+    /// thread configuration (bit-identical at every thread count).
+    pub fn from_pi_patterns_with<N: Network>(
+        ntk: &N,
+        patterns: &[Vec<u64>],
+        par: Parallelism,
+    ) -> Self {
         assert!(
             !patterns.is_empty(),
             "at least one pattern word is required"
@@ -104,7 +155,7 @@ impl WordSimulator {
                 sim.values[w][*pi as usize] = word[i];
             }
         }
-        sim.resimulate(ntk);
+        sim.resimulate_with(ntk, par);
         sim
     }
 
@@ -164,15 +215,79 @@ impl WordSimulator {
     /// Re-simulates every gate from the current primary-input pattern
     /// words (used after the pattern set changed).  Dead nodes keep stale
     /// values; callers only read live nodes.
+    ///
+    /// The thread count comes from the `GLSX_THREADS` environment variable
+    /// (default: serial); the result is bit-identical either way, so this
+    /// is safe to drive from the environment.
     pub fn resimulate<N: Network>(&mut self, ntk: &N) {
+        self.resimulate_with(ntk, Parallelism::from_env());
+    }
+
+    /// [`resimulate`](Self::resimulate) with an explicit thread
+    /// configuration.
+    ///
+    /// The parallel path partitions each [`DepthView`] level bucket across
+    /// the workers (a gate's fanins all live at lower levels, so a barrier
+    /// between levels is the only synchronisation) and every worker
+    /// evaluates all pattern words of its assigned nodes.  Gate values are
+    /// a pure function of the fanin values, so the result is bit-identical
+    /// to the serial sweep at every thread count.
+    pub fn resimulate_with<N: Network>(&mut self, ntk: &N, par: Parallelism) {
         assert!(
             ntk.size() <= self.num_nodes,
             "network grew under the simulator"
         );
-        let gates = ntk.gate_nodes();
-        for w in 0..self.values.len() {
-            self.simulate_word(ntk, &gates, w);
+        if !par.is_parallel() {
+            let gates = ntk.gate_nodes();
+            for w in 0..self.values.len() {
+                self.simulate_word(ntk, &gates, w);
+            }
+            return;
         }
+        let depth = DepthView::new(ntk);
+        let num_words = self.values.len();
+        let rows = SharedRows {
+            rows: self.values.iter_mut().map(|row| row.as_mut_ptr()).collect(),
+        };
+        let workers = par.threads;
+        let barrier = Barrier::new(workers);
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let rows = &rows;
+                let depth = &depth;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut fanin_buf: Vec<u64> = Vec::new();
+                    for level in 1..depth.num_levels() {
+                        let bucket = depth.gates_at_level(level);
+                        let bounds = par.chunk_bounds(bucket.len());
+                        if let Some(&(start, end)) = bounds.get(worker) {
+                            for &node in &bucket[start..end] {
+                                for w in 0..num_words {
+                                    fanin_buf.clear();
+                                    ntk.foreach_fanin(node, |f| {
+                                        // fanins live at strictly lower levels,
+                                        // committed before the last barrier
+                                        let v = unsafe { rows.read(w, f.node() as usize) };
+                                        fanin_buf.push(if f.is_complemented() { !v } else { v });
+                                    });
+                                    let value = match ntk.gate_kind(node) {
+                                        GateKind::Constant | GateKind::Input => 0,
+                                        kind => crate::bitops::evaluate_gate(
+                                            kind,
+                                            || ntk.node_function(node),
+                                            &fanin_buf,
+                                        ),
+                                    };
+                                    unsafe { rows.write(w, node as usize, value) };
+                                }
+                            }
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
     }
 
     /// Appends one pattern word (`patterns[i]` is the new word of the
@@ -285,6 +400,43 @@ mod tests {
             })
             .collect();
         assert_eq!(canonical, complemented);
+    }
+
+    #[test]
+    fn parallel_resimulation_is_bit_identical() {
+        // a circuit with some width per level so every worker gets nodes
+        let mut aig = Aig::new();
+        let pis: Vec<_> = (0..8).map(|_| aig.create_pi()).collect();
+        let mut layer = pis.clone();
+        for round in 0..4 {
+            let mut next = Vec::new();
+            for i in 0..layer.len() {
+                let a = layer[i];
+                let b = layer[(i + 1 + round) % layer.len()];
+                next.push(if i % 2 == 0 {
+                    aig.create_and(a, !b)
+                } else {
+                    aig.create_or(a, b)
+                });
+            }
+            layer = next;
+        }
+        for &s in &layer {
+            aig.create_po(s);
+        }
+        let serial = WordSimulator::random_with(&aig, 5, 0xabc, Parallelism::serial());
+        for threads in [2, 4, 7] {
+            let par = WordSimulator::random_with(&aig, 5, 0xabc, Parallelism::new(threads));
+            for w in 0..5 {
+                for node in 0..aig.size() as NodeId {
+                    assert_eq!(
+                        serial.word(w, node),
+                        par.word(w, node),
+                        "threads={threads} word={w} node={node}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -948,3 +948,162 @@ fn choice_mapping_contract_across_representations() {
     check(arbitrary_xag, &mut rng, 6);
     check(arbitrary_mig, &mut rng, 6);
 }
+
+/// The parallel-execution contract: at every thread count the
+/// level-partitioned word simulator, the bulk cut enumerator, the phased
+/// sweep schedule and the portfolio runner return results bit-identical
+/// to the serial run, on arbitrary networks in every representation.
+#[test]
+fn parallel_execution_is_bit_identical_to_serial() {
+    use glsx::flow::{portfolio_best_luts, FlowOptions};
+    use glsx::network::wordsim::WordSimulator;
+    use glsx::network::Parallelism;
+
+    const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+    // data parallelism: word simulation and bulk cut enumeration
+    fn check_data_parallel<N: Network>(ntk: &N, label: &str) {
+        let reference = WordSimulator::random_with(ntk, 4, 0xfeed, Parallelism::serial());
+        let params = CutParams {
+            cut_size: 4,
+            cut_limit: 8,
+            compute_truth: true,
+        };
+        let mut serial_mgr = CutManager::new(params);
+        serial_mgr.enumerate(ntk, Parallelism::serial());
+        let serial_cuts = cut_snapshot(ntk, &mut serial_mgr);
+        for threads in THREAD_COUNTS {
+            let sim = WordSimulator::random_with(ntk, 4, 0xfeed, Parallelism::new(threads));
+            for w in 0..reference.num_words() {
+                for &node in ntk.node_ids().iter() {
+                    assert_eq!(
+                        sim.word(w, node),
+                        reference.word(w, node),
+                        "{label}: word {w} of node {node} diverged at {threads} threads"
+                    );
+                }
+            }
+            let mut mgr = CutManager::new(params);
+            mgr.enumerate(ntk, Parallelism::new(threads));
+            assert_eq!(
+                mgr.arena_len(),
+                serial_mgr.arena_len(),
+                "{label}: cut arena diverged at {threads} threads"
+            );
+            assert_eq!(
+                cut_snapshot(ntk, &mut mgr),
+                serial_cuts,
+                "{label}: cut sets diverged at {threads} threads"
+            );
+        }
+    }
+
+    // pass parallelism: the phased sweep schedule proves candidate classes
+    // on independent per-thread miters and must be thread-count invariant
+    fn check_phased_sweep<N: Network + Clone>(ntk: &N, label: &str) {
+        let phased_params = |threads| SweepParams {
+            num_words: 1,
+            parallel_proving: Some(Parallelism::new(threads)),
+            ..SweepParams::default()
+        };
+        let mut baseline = N::clone(ntk);
+        let baseline_stats = sweep(&mut baseline, &phased_params(1));
+        assert!(
+            check_equivalence(ntk, &baseline).is_equivalent(),
+            "{label}: phased sweep changed the function"
+        );
+        for threads in &THREAD_COUNTS[1..] {
+            let mut swept = N::clone(ntk);
+            let stats = sweep(&mut swept, &phased_params(*threads));
+            assert_eq!(
+                stats, baseline_stats,
+                "{label}: sweep stats diverged at {threads} threads"
+            );
+            assert_eq!(
+                swept.num_gates(),
+                baseline.num_gates(),
+                "{label}: swept gate count diverged at {threads} threads"
+            );
+            assert_eq!(
+                swept.po_signals(),
+                baseline.po_signals(),
+                "{label}: swept outputs diverged at {threads} threads"
+            );
+        }
+        // the phased schedule is a different algorithm than the legacy
+        // incremental-miter schedule, so the cross-check is semantic
+        let mut legacy = N::clone(ntk);
+        sweep(
+            &mut legacy,
+            &SweepParams {
+                num_words: 1,
+                ..SweepParams::default()
+            },
+        );
+        assert!(
+            check_equivalence(&legacy, &baseline).is_equivalent(),
+            "{label}: phased and legacy sweeps disagree on the function"
+        );
+    }
+
+    let mut rng = Rng::seed_from_u64(0x9a9_0006);
+    for case in 0..4 {
+        let aig = arbitrary_network(&mut rng, 8, 60);
+        check_data_parallel(&aig, &format!("AIG case {case}"));
+        check_phased_sweep(&aig, &format!("AIG case {case}"));
+
+        let mut xag = Xag::new();
+        let mut signals: Vec<Signal> = (0..8).map(|_| xag.create_pi()).collect();
+        for _ in 0..50 {
+            let x = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            let y = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            signals.push(if rng.gen_bool() {
+                xag.create_and(x, y)
+            } else {
+                xag.create_xor(x, y)
+            });
+        }
+        for s in signals.iter().rev().take(3) {
+            xag.create_po(*s);
+        }
+        check_data_parallel(&xag, &format!("XAG case {case}"));
+        check_phased_sweep(&xag, &format!("XAG case {case}"));
+
+        let mut mig = Mig::new();
+        let mut signals: Vec<Signal> = (0..8).map(|_| mig.create_pi()).collect();
+        for _ in 0..40 {
+            let x = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            let y = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            let z = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            signals.push(mig.create_maj(x, y, z));
+        }
+        for s in signals.iter().rev().take(3) {
+            mig.create_po(*s);
+        }
+        check_data_parallel(&mig, &format!("MIG case {case}"));
+        check_phased_sweep(&mig, &format!("MIG case {case}"));
+    }
+
+    // pass parallelism: the portfolio runs one representation per thread
+    // and joins in fixed order, so the result is bit-identical to serial
+    let aig = arbitrary_network(&mut rng, 6, 40);
+    let serial = portfolio_best_luts(
+        &aig,
+        &FlowOptions {
+            parallelism: Parallelism::serial(),
+            ..FlowOptions::default()
+        },
+        4,
+    );
+    for threads in THREAD_COUNTS {
+        let parallel = portfolio_best_luts(
+            &aig,
+            &FlowOptions {
+                parallelism: Parallelism::new(threads),
+                ..FlowOptions::default()
+            },
+            4,
+        );
+        assert_eq!(parallel, serial, "portfolio diverged at {threads} threads");
+    }
+}
