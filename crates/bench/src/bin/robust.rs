@@ -1,0 +1,287 @@
+//! Resilient-flow benchmarks (`BENCH_robust.json`): the cost of the
+//! guarded executor over the plain flow, and its recovery behaviour
+//! under the standard fault plan.
+//!
+//! Two sections:
+//!
+//! * **Overhead.**  Every circuit of the arithmetic suite runs the
+//!   `compress2rs` script unguarded ([`run_script`]) and guarded
+//!   ([`run_script_guarded`]) with journal checkpoints and verification
+//!   off — i.e. the always-on resilience machinery alone: per-step undo
+//!   journals, the `catch_unwind` boundary and report bookkeeping.  Both
+//!   runs must produce the identical network; the acceptance bar is a
+//!   suite-aggregate overhead of **≤ 10 %**.  A second guarded run with
+//!   full per-step miter verification is recorded for reference (its
+//!   cost is dominated by SAT and intentionally not barred).
+//! * **Recovery.**  One flow runs under the standard fault plan
+//!   `panic@rewrite:1,exhaust@fraig:1,unknown@verify:2` with per-step
+//!   miters: the injected panic and the starved verification must each
+//!   force a rollback, the injected exhaustion must stop its step early
+//!   without failing it, the remaining steps must still run, and the
+//!   final miter against the flow input must be green.
+//!
+//! Timings report the best of several runs.  Setting
+//! `GLSX_WRITE_BENCH_BASELINE=1` records the results at the repository
+//! root.  `--smoke` skips the timing loops and runs the recovery section
+//! (plus a guarded-equals-unguarded identity check) on a small circuit —
+//! the CI guard of the resilience layer.
+
+use glsx_benchmarks::arithmetic::{adder, barrel_shifter, multiplier, square};
+use glsx_flow::{
+    run_script, run_script_guarded, FaultPlan, FlowOptions, FlowReport, FlowScript, GuardOptions,
+    RollbackStrategy, VerifyMode,
+};
+use glsx_network::{Aig, Network};
+use std::time::Instant;
+
+/// The fault plan exercised by the recovery section (and the CI smoke
+/// step): one pass panic, one budget exhaustion, one starved miter.
+const STANDARD_FAULT_PLAN: &str = "panic@rewrite:1,exhaust@fraig:1,unknown@verify:2";
+
+/// Best-of-N wall time of `run`, with a fixed repetition budget.
+fn best_seconds(mut run: impl FnMut(), repeats: u32, budget_ms: u128) -> f64 {
+    let started = Instant::now();
+    let mut best = f64::INFINITY;
+    let mut runs = 0;
+    while runs < repeats && (runs == 0 || started.elapsed().as_millis() < budget_ms) {
+        let t = Instant::now();
+        run();
+        best = best.min(t.elapsed().as_secs_f64());
+        runs += 1;
+    }
+    best
+}
+
+fn script() -> FlowScript {
+    FlowScript::parse("bz; rs -c 6; rw; rs -c 6 -d 2; bz; fraig; rs -c 8; rwz; bz").unwrap()
+}
+
+/// The guard whose cost the ≤10% bar applies to: journal checkpoints and
+/// panic isolation on, verification off.
+fn machinery_guard() -> GuardOptions {
+    GuardOptions {
+        rollback: RollbackStrategy::Journal,
+        verify: VerifyMode::None,
+        ..GuardOptions::default()
+    }
+}
+
+struct Row {
+    circuit: &'static str,
+    gates: usize,
+    unguarded_seconds: f64,
+    guarded_seconds: f64,
+    verified_seconds: f64,
+}
+
+impl Row {
+    fn overhead(&self) -> f64 {
+        self.guarded_seconds / self.unguarded_seconds - 1.0
+    }
+}
+
+/// Guarded (verification off) and unguarded flows must produce the
+/// identical network; then all three configurations are timed.
+fn bench_overhead(name: &'static str, source: &Aig, timed: bool) -> Row {
+    let options = FlowOptions::default();
+    let mut plain = source.clone();
+    let plain_stats = run_script(&mut plain, &script(), &options);
+    let mut guarded = source.clone();
+    let report = run_script_guarded(&mut guarded, &script(), &options, &machinery_guard());
+    assert_eq!(report.rollbacks, 0, "{name}: fault-free flow rolled back");
+    assert_eq!(
+        report.substitutions, plain_stats.substitutions,
+        "{name}: guarded flow diverged from the plain flow"
+    );
+    assert_eq!(
+        (guarded.num_gates(), guarded.po_signals()),
+        (plain.num_gates(), plain.po_signals()),
+        "{name}: guarded network diverged from the plain flow"
+    );
+    let (repeats, budget) = if timed { (7, 10_000) } else { (1, 1) };
+    let unguarded_seconds = best_seconds(
+        || {
+            let mut ntk = source.clone();
+            run_script(&mut ntk, &script(), &options);
+        },
+        repeats,
+        budget,
+    );
+    let guarded_seconds = best_seconds(
+        || {
+            let mut ntk = source.clone();
+            run_script_guarded(&mut ntk, &script(), &options, &machinery_guard());
+        },
+        repeats,
+        budget,
+    );
+    let verified_seconds = best_seconds(
+        || {
+            let mut ntk = source.clone();
+            run_script_guarded(&mut ntk, &script(), &options, &GuardOptions::default());
+        },
+        if timed { 3 } else { 1 },
+        budget,
+    );
+    Row {
+        circuit: name,
+        gates: source.num_gates(),
+        unguarded_seconds,
+        guarded_seconds,
+        verified_seconds,
+    }
+}
+
+/// Runs the standard fault plan with per-step miters and checks every
+/// recovery path fired as planned.
+fn recovery_run(source: &Aig) -> FlowReport {
+    let mut ntk = source.clone();
+    let report = run_script_guarded(
+        &mut ntk,
+        &script(),
+        &FlowOptions::default(),
+        &GuardOptions {
+            fault_plan: FaultPlan::parse(STANDARD_FAULT_PLAN).unwrap(),
+            ..GuardOptions::default()
+        },
+    );
+    assert!(
+        report.rollbacks >= 2,
+        "the injected panic and the starved miter must each roll back: {report:?}"
+    );
+    assert_eq!(report.panics, 1, "{report:?}");
+    assert_eq!(report.verify_failures, 1, "{report:?}");
+    assert_eq!(
+        report.exhausted_steps, 1,
+        "the injected exhaustion must stop its step early, not fail it: {report:?}"
+    );
+    assert!(
+        report.committed >= script().steps().len() - report.rollbacks,
+        "the remaining steps must keep running: {report:?}"
+    );
+    assert_eq!(
+        report.final_verify,
+        Some(true),
+        "never-corrupt contract: the final miter must be green: {report:?}"
+    );
+    report
+}
+
+/// `--smoke`: the recovery section plus a guarded-equals-unguarded
+/// identity check on a small circuit.
+fn smoke() {
+    let aig: Aig = multiplier(6);
+    bench_overhead("multiplier_6", &aig, false);
+    let report = recovery_run(&aig);
+    println!(
+        "smoke: guarded flow recovered from `{STANDARD_FAULT_PLAN}` \
+         ({} rollbacks, {} committed steps, final miter green) and the \
+         fault-free guarded flow is identical to the plain flow",
+        report.rollbacks, report.committed
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    let suite: Vec<(&'static str, Aig)> = vec![
+        ("adder_32", adder(32)),
+        ("barrel_shifter_16", barrel_shifter(16)),
+        ("multiplier_8", multiplier(8)),
+        ("square_10", square(10)),
+    ];
+
+    let rows: Vec<Row> = suite
+        .iter()
+        .map(|(name, aig)| bench_overhead(name, aig, true))
+        .collect();
+
+    for row in &rows {
+        println!(
+            "{:<18} {:>6} gates  unguarded {:>9.4}s  guarded {:>9.4}s  \
+             (+{:>5.1}%)  verified {:>9.4}s",
+            row.circuit,
+            row.gates,
+            row.unguarded_seconds,
+            row.guarded_seconds,
+            100.0 * row.overhead(),
+            row.verified_seconds
+        );
+    }
+
+    // the acceptance bar: checkpointing + panic isolation cost ≤ 10%
+    // over the whole suite
+    let unguarded_total: f64 = rows.iter().map(|r| r.unguarded_seconds).sum();
+    let guarded_total: f64 = rows.iter().map(|r| r.guarded_seconds).sum();
+    let overhead = guarded_total / unguarded_total - 1.0;
+    assert!(
+        overhead <= 0.10,
+        "guarded-flow overhead {:.1}% exceeds the 10% bar \
+         (unguarded {unguarded_total:.4}s, guarded {guarded_total:.4}s)",
+        100.0 * overhead
+    );
+    println!("suite overhead: +{:.2}% (bar: 10%)", 100.0 * overhead);
+
+    let recovery = recovery_run(&suite[2].1);
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"circuit\": \"{}\", \"gates\": {}, ",
+                    "\"unguarded_seconds\": {:.6}, \"guarded_seconds\": {:.6}, ",
+                    "\"verified_seconds\": {:.6}, \"overhead\": {:.4}}}"
+                ),
+                r.circuit,
+                r.gates,
+                r.unguarded_seconds,
+                r.guarded_seconds,
+                r.verified_seconds,
+                r.overhead()
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"resilient_flow\",\n",
+            "  \"suite_overhead\": {:.4},\n",
+            "  \"overhead_bar\": 0.10,\n",
+            "  \"circuits\": [\n{}\n  ],\n",
+            "  \"recovery\": {{\n",
+            "    \"fault_plan\": \"{}\",\n",
+            "    \"circuit\": \"{}\",\n",
+            "    \"steps\": {},\n",
+            "    \"committed\": {},\n",
+            "    \"rollbacks\": {},\n",
+            "    \"panics\": {},\n",
+            "    \"verify_failures\": {},\n",
+            "    \"exhausted_steps\": {},\n",
+            "    \"substitutions\": {},\n",
+            "    \"final_miter_green\": {}\n",
+            "  }}\n}}\n"
+        ),
+        overhead,
+        json_rows.join(",\n"),
+        STANDARD_FAULT_PLAN,
+        suite[2].0,
+        recovery.steps.len(),
+        recovery.committed,
+        recovery.rollbacks,
+        recovery.panics,
+        recovery.verify_failures,
+        recovery.exhausted_steps,
+        recovery.substitutions,
+        recovery.final_verify == Some(true)
+    );
+    if std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robust.json");
+        std::fs::write(path, json).expect("write BENCH_robust.json");
+        println!("wrote {path}");
+    } else {
+        println!("(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_robust.json)");
+    }
+}

@@ -7,7 +7,7 @@
 //! and re-built as a balanced tree ordered by arrival times.
 
 use glsx_network::views::DepthView;
-use glsx_network::{GateBuilder, GateKind, Network, NodeId, Signal};
+use glsx_network::{Budget, GateBuilder, GateKind, Network, NodeId, Signal, StepOutcome};
 
 /// Parameters of tree balancing.
 #[derive(Clone, Copy, Debug)]
@@ -33,11 +33,25 @@ pub struct BalanceStats {
     pub depth_before: u32,
     /// Network depth after the pass.
     pub depth_after: u32,
+    /// Whether the pass ran to completion or stopped on an exhausted
+    /// effort budget.
+    pub outcome: StepOutcome,
 }
 
 /// Balances `ntk` and returns pass statistics.  The gate count never
 /// increases (rebuilding reuses structural hashing, so it may decrease).
 pub fn balance<N: Network + GateBuilder>(ntk: &mut N, params: &BalanceParams) -> BalanceStats {
+    balance_with_budget(ntk, params, &Budget::unlimited())
+}
+
+/// [`balance`] under a cooperative effort [`Budget`] (one tick per
+/// candidate root, polled before a group is grown — a group is always
+/// rebuilt and substituted whole, never half-applied).
+pub fn balance_with_budget<N: Network + GateBuilder>(
+    ntk: &mut N,
+    params: &BalanceParams,
+    budget: &Budget,
+) -> BalanceStats {
     let mut stats = BalanceStats {
         depth_before: DepthView::new(ntk).depth(),
         ..BalanceStats::default()
@@ -52,6 +66,9 @@ pub fn balance<N: Network + GateBuilder>(ntk: &mut N, params: &BalanceParams) ->
         let kind = ntk.gate_kind(node);
         if !kind.is_associative() || kind.arity() != Some(2) {
             continue;
+        }
+        if !budget.consume(1) {
+            break;
         }
         // grow the group of same-kind gates reachable through
         // non-complemented, single-fanout edges
@@ -80,6 +97,7 @@ pub fn balance<N: Network + GateBuilder>(ntk: &mut N, params: &BalanceParams) ->
         stats.rebuilt += 1;
     }
     stats.depth_after = DepthView::new(ntk).depth();
+    stats.outcome = budget.outcome();
     stats
 }
 

@@ -33,7 +33,7 @@
 //! verified reference, with a miter proof guarding the choices-on result.
 
 use crate::cuts::{ConeSimulator, Cut, CutManager, CutParams};
-use glsx_network::{Klut, Network, NodeId, Signal, Traversal};
+use glsx_network::{Budget, Klut, Network, NodeId, Signal, StepOutcome, Traversal};
 
 /// Parameters of LUT mapping.
 #[derive(Clone, Copy, Debug)]
@@ -106,6 +106,12 @@ pub struct LutMapStats {
     /// best structural cut during cover ordering (see the module docs;
     /// expected to stay at or near zero).
     pub choice_cycle_fallbacks: usize,
+    /// Whether the refinement rounds ran to completion or stopped on an
+    /// exhausted effort budget.  The delay-oriented round is mandatory
+    /// (every reachable gate needs a choice before a cover can be
+    /// derived), so even an exhausted run returns a valid — merely less
+    /// refined — cover.
+    pub outcome: StepOutcome,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -166,7 +172,20 @@ pub fn lut_map<N: Network>(ntk: &N, params: &LutMapParams) -> Klut {
 /// [`LutMapStats::choice_wins`] reports wins only when the choice cover
 /// actually shipped.
 pub fn lut_map_with_stats<N: Network>(ntk: &N, params: &LutMapParams) -> (Klut, LutMapStats) {
-    let selected = select_cover(ntk, params);
+    lut_map_budgeted(ntk, params, &Budget::unlimited())
+}
+
+/// [`lut_map_with_stats`] under a cooperative effort [`Budget`].  The
+/// delay-oriented selection round is mandatory; one tick is charged per
+/// node evaluation in the area-flow refinement rounds, and an exhausted
+/// budget stops refinement early — the cover derived from the choices
+/// selected so far is still complete and valid.
+pub fn lut_map_budgeted<N: Network>(
+    ntk: &N,
+    params: &LutMapParams,
+    budget: &Budget,
+) -> (Klut, LutMapStats) {
+    let selected = select_cover_budgeted(ntk, params, budget);
     let klut = build_klut(ntk, &selected.cover, &selected.choices);
     let mut stats = LutMapStats {
         num_luts: klut.num_gates(),
@@ -174,6 +193,7 @@ pub fn lut_map_with_stats<N: Network>(ntk: &N, params: &LutMapParams) -> (Klut, 
         choice_evaluations: selected.evaluations,
         choice_wins: selected.choice_wins,
         choice_cycle_fallbacks: selected.cycle_fallbacks,
+        outcome: budget.outcome(),
     };
     if !params.use_choices {
         return (klut, stats);
@@ -182,9 +202,10 @@ pub fn lut_map_with_stats<N: Network>(ntk: &N, params: &LutMapParams) -> (Klut, 
         use_choices: false,
         ..*params
     };
-    let off_selected = select_cover(ntk, &off_params);
+    let off_selected = select_cover_budgeted(ntk, &off_params, budget);
     let off_klut = build_klut(ntk, &off_selected.cover, &off_selected.choices);
     stats.choice_evaluations += off_selected.evaluations;
+    stats.outcome = budget.outcome();
     if klut.num_gates() < off_klut.num_gates() {
         (klut, stats)
     } else {
@@ -212,7 +233,11 @@ struct SelectedCover {
     cycle_fallbacks: usize,
 }
 
-fn select_cover<N: Network>(ntk: &N, params: &LutMapParams) -> SelectedCover {
+fn select_cover_budgeted<N: Network>(
+    ntk: &N,
+    params: &LutMapParams,
+    budget: &Budget,
+) -> SelectedCover {
     // truth fusion stays OFF here: the mapper reads only one function per
     // *cover* node (roughly a third of the gates), so paying for a table
     // per *enumerated* cut (cut_limit per gate) would be an order of
@@ -288,7 +313,7 @@ fn select_cover<N: Network>(ntk: &N, params: &LutMapParams) -> SelectedCover {
     // previous cover, required times), the round where that state changes
     // must re-evaluate every node, like `round == 1` does here.
     let dirty = Traversal::new(ntk);
-    for round in 0..(1 + params.area_flow_rounds) {
+    'rounds: for round in 0..(1 + params.area_flow_rounds) {
         let area_oriented = round > 0;
         let tag = round as u32 + 1;
         // choice-aware mapping re-evaluates every node each round: a
@@ -313,6 +338,12 @@ fn select_cover<N: Network>(ntk: &N, params: &LutMapParams) -> SelectedCover {
                 // evaluation, so re-evaluating would reproduce the cached
                 // choice bit for bit — skip the whole cut-set read
                 continue;
+            }
+            // the delay-oriented round is mandatory (the cover walk needs
+            // a choice on every reachable gate); refinement is the
+            // budgeted effort
+            if area_oriented && !budget.consume(1) {
+                break 'rounds;
             }
             evaluations += 1;
             // evaluate one candidate cut realised by `root` (⊕ phase)
@@ -652,6 +683,50 @@ mod tests {
             assert!(equivalent_by_simulation(&mig, &klut));
             assert!(klut.num_gates() <= mig.num_gates());
         }
+    }
+
+    /// A budgeted mapping always ships a complete, equivalent cover (the
+    /// delay round is mandatory); an exhausted budget merely skips
+    /// refinement and is reported in the stats.
+    #[test]
+    fn budgeted_mapping_always_yields_a_valid_cover() {
+        use glsx_network::{Budget, StepOutcome};
+        let mut state = 0xfeed_4321_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let mut aig = Aig::new();
+        let mut signals: Vec<Signal> = (0..8).map(|_| aig.create_pi()).collect();
+        for _ in 0..80 {
+            let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+            let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+            signals.push(aig.create_and(a, b));
+        }
+        for s in signals.iter().rev().take(3) {
+            aig.create_po(*s);
+        }
+        let params = LutMapParams {
+            area_flow_rounds: 3,
+            ..LutMapParams::with_lut_size(4)
+        };
+        let (full_klut, full_stats) = lut_map_with_stats(&aig, &params);
+        assert_eq!(full_stats.outcome, StepOutcome::Completed);
+        let mut saw_exhausted = false;
+        for limit in [0u64, 1, 8, 64, u64::MAX / 2] {
+            let budget = Budget::with_ticks(limit);
+            let (klut, stats) = lut_map_budgeted(&aig, &params, &budget);
+            assert!(
+                equivalent_by_simulation(&aig, &klut),
+                "limit {limit} broke the cover"
+            );
+            if let StepOutcome::Exhausted { .. } = stats.outcome {
+                saw_exhausted = true;
+            } else {
+                assert_eq!(klut.num_gates(), full_klut.num_gates());
+            }
+        }
+        assert!(saw_exhausted, "no tick limit ever exhausted refinement");
     }
 
     /// The incremental area-flow refinement skips nodes with unchanged

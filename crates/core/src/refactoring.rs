@@ -9,7 +9,7 @@
 
 use crate::cuts::ReconvergenceCut;
 use crate::replace::{ReplaceOutcome, Replacer};
-use glsx_network::{GateBuilder, Network, NodeId};
+use glsx_network::{Budget, GateBuilder, Network, NodeId, StepOutcome};
 use glsx_synth::{Resynthesis, SopResynthesis};
 
 /// Parameters of refactoring.
@@ -43,6 +43,9 @@ pub struct RefactorStats {
     pub substitutions: usize,
     /// Sum of the estimated gains of committed substitutions.
     pub estimated_gain: i64,
+    /// Whether the pass ran to completion or stopped on an exhausted
+    /// effort budget.
+    pub outcome: StepOutcome,
 }
 
 /// Refactors `ntk` using the given resynthesis engine.
@@ -50,6 +53,22 @@ pub fn refactor_with<N, R>(
     ntk: &mut N,
     resynthesis: &mut R,
     params: &RefactorParams,
+) -> RefactorStats
+where
+    N: Network + GateBuilder,
+    R: Resynthesis<N>,
+{
+    refactor_with_budget(ntk, resynthesis, params, &Budget::unlimited())
+}
+
+/// [`refactor_with`] under a cooperative effort [`Budget`] (one tick per
+/// candidate gate, polled between candidates — an exhausted pass keeps
+/// every committed substitution and stops cleanly).
+pub fn refactor_with_budget<N, R>(
+    ntk: &mut N,
+    resynthesis: &mut R,
+    params: &RefactorParams,
+    budget: &Budget,
 ) -> RefactorStats
 where
     N: Network + GateBuilder,
@@ -65,6 +84,9 @@ where
     for node in nodes {
         if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
             continue;
+        }
+        if !budget.consume(1) {
+            break;
         }
         stats.visited += 1;
         if crate::refs::mffc_size(ntk, node) < params.min_mffc_size {
@@ -89,6 +111,7 @@ where
             ReplaceOutcome::Rejected => {}
         }
     }
+    stats.outcome = budget.outcome();
     stats
 }
 

@@ -13,7 +13,9 @@
 
 use crate::cuts::{ConeSimulator, ReconvergenceCut};
 use crate::refs::mffc_into;
-use glsx_network::{Aig, GateBuilder, Mig, Network, NodeId, Signal, Traversal, Xag, Xmg};
+use glsx_network::{
+    Aig, Budget, GateBuilder, Mig, Network, NodeId, Signal, StepOutcome, Traversal, Xag, Xmg,
+};
 use glsx_truth::TruthTable;
 
 /// The divisor-selection and resubstitution-rule style of a representation.
@@ -86,6 +88,9 @@ pub struct ResubStats {
     pub substitutions: usize,
     /// Sum of the estimated gains of committed substitutions.
     pub estimated_gain: i64,
+    /// Whether the pass ran to completion or stopped on an exhausted
+    /// effort budget.
+    pub outcome: StepOutcome,
 }
 
 /// A divisor: an existing signal together with its window function.
@@ -97,6 +102,17 @@ struct Divisor {
 
 /// Runs Boolean resubstitution on `ntk`.
 pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams) -> ResubStats {
+    resubstitute_with_budget(ntk, params, &Budget::unlimited())
+}
+
+/// [`resubstitute`] under a cooperative effort [`Budget`] (one tick per
+/// candidate gate, polled between candidates — an exhausted pass keeps
+/// every committed substitution and stops cleanly).
+pub fn resubstitute_with_budget<N: ResubNetwork + Network>(
+    ntk: &mut N,
+    params: &ResubParams,
+    budget: &Budget,
+) -> ResubStats {
     let mut stats = ResubStats::default();
     // buffers shared across all visited nodes: the steady state allocates
     // no side tables (windows and membership tests live in the scratch-slot
@@ -111,6 +127,9 @@ pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams
     for node in nodes {
         if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
             continue;
+        }
+        if !budget.consume(1) {
+            break;
         }
         stats.visited += 1;
         let leaves = cut.compute(ntk, node, params.max_leaves);
@@ -177,6 +196,7 @@ pub fn resubstitute<N: ResubNetwork + Network>(ntk: &mut N, params: &ResubParams
         }
         crate::replace::sweep_new_dangling(ntk, size_before);
     }
+    stats.outcome = budget.outcome();
     stats
 }
 

@@ -19,7 +19,7 @@
 
 use crate::cuts::{Cut, CutCounters, CutManager, CutParams};
 use crate::replace::{ReplaceOutcome, Replacer};
-use glsx_network::{ChangeEvent, ChangeLog, GateBuilder, Network, NodeId};
+use glsx_network::{Budget, ChangeEvent, ChangeLog, GateBuilder, Network, NodeId, StepOutcome};
 use glsx_synth::{NpnDatabase, Resynthesis};
 use std::collections::VecDeque;
 
@@ -91,11 +91,33 @@ pub struct RewriteStats {
     /// Number of fanout-frontier nodes re-attempted after the main sweep
     /// (see [`RewriteParams::revisit_frontier`]).
     pub frontier_revisits: usize,
+    /// Whether the pass ran to completion or stopped on an exhausted
+    /// effort budget (having committed only the substitutions applied so
+    /// far).
+    pub outcome: StepOutcome,
 }
 
 /// Rewrites `ntk` using the given resynthesis engine and returns pass
 /// statistics.
 pub fn rewrite_with<N, R>(ntk: &mut N, resynthesis: &mut R, params: &RewriteParams) -> RewriteStats
+where
+    N: Network + GateBuilder,
+    R: Resynthesis<N>,
+{
+    rewrite_with_budget(ntk, resynthesis, params, &Budget::unlimited())
+}
+
+/// [`rewrite_with`] under a cooperative effort [`Budget`]: the budget is
+/// charged one tick per candidate gate and polled *between* candidates, so
+/// an exhausted pass stops cleanly — every committed substitution stands,
+/// no candidate is left half-applied — and reports
+/// [`StepOutcome::Exhausted`] in [`RewriteStats::outcome`].
+pub fn rewrite_with_budget<N, R>(
+    ntk: &mut N,
+    resynthesis: &mut R,
+    params: &RewriteParams,
+    budget: &Budget,
+) -> RewriteStats
 where
     N: Network + GateBuilder,
     R: Resynthesis<N>,
@@ -209,6 +231,9 @@ where
         if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
             continue;
         }
+        if !budget.consume(1) {
+            break;
+        }
         stats.visited += 1;
         attempt_node(
             ntk,
@@ -235,6 +260,9 @@ where
         if !ntk.is_gate(node) || ntk.is_dead(node) || ntk.fanout_size(node) == 0 {
             continue;
         }
+        if !budget.consume(1) {
+            break;
+        }
         stats.frontier_revisits += 1;
         attempt_node(
             ntk,
@@ -260,6 +288,7 @@ where
         ntk.set_change_tracking(false);
     }
     stats.cuts = cut_manager.counters();
+    stats.outcome = budget.outcome();
     stats
 }
 
@@ -510,5 +539,50 @@ mod tests {
         rewrite(&mut aig, &params);
         assert!(aig.num_gates() <= before);
         assert!(equivalent_by_simulation(&reference, &aig));
+    }
+
+    /// At every tick limit, a budgeted pass commits a valid — always
+    /// equivalent — prefix of the unlimited pass's work: never more
+    /// substitutions than the full run, monotone enough that some limit
+    /// exhausts and the unlimited limit completes.
+    #[test]
+    fn budgeted_rewriting_commits_an_equivalent_prefix_at_every_limit() {
+        use glsx_network::{Budget, StepOutcome};
+        use glsx_synth::NpnDatabase;
+        let reference = wasteful_projection_aig();
+        let full = {
+            let mut aig = reference.clone();
+            rewrite(&mut aig, &RewriteParams::default())
+        };
+        assert!(full.substitutions > 0);
+        let mut saw_exhausted = false;
+        for limit in 0..=(full.visited as u64 + 4) {
+            let mut aig = reference.clone();
+            let budget = Budget::with_ticks(limit);
+            let stats = rewrite_with_budget(
+                &mut aig,
+                &mut NpnDatabase::new(),
+                &RewriteParams::default(),
+                &budget,
+            );
+            assert!(stats.substitutions <= full.substitutions);
+            assert!(stats.visited <= full.visited);
+            assert!(
+                equivalent_by_simulation(&reference, &aig),
+                "limit {limit} corrupted the network"
+            );
+            match stats.outcome {
+                StepOutcome::Exhausted { at } => {
+                    saw_exhausted = true;
+                    // `at` counts ticks charged when the pass ended, so it
+                    // is at least the limit that tripped it
+                    assert!(at >= limit.max(1).min(full.visited as u64));
+                }
+                StepOutcome::Completed => {
+                    assert_eq!(stats.substitutions, full.substitutions);
+                }
+            }
+        }
+        assert!(saw_exhausted, "no limit ever exhausted the budget");
     }
 }

@@ -45,7 +45,9 @@
 
 use crate::replace::Replacer;
 use glsx_network::wordsim::WordSimulator;
-use glsx_network::{GateKind, LocalScratch, Network, NodeId, Parallelism, Signal};
+use glsx_network::{
+    Budget, GateKind, LocalScratch, Network, NodeId, Parallelism, Signal, StepOutcome,
+};
 use glsx_sat::{Lit, SatResult, Solver, SolverStats, Var};
 
 /// Parameters of SAT sweeping.
@@ -145,6 +147,10 @@ pub struct SweepStats {
     /// sweeps of the same flow paid SAT conflicts for — that this sweep
     /// did not have to rediscover.
     pub recycled_words: usize,
+    /// Whether the sweep ran to completion or stopped on an exhausted
+    /// effort budget (every merge committed so far is backed by a proof
+    /// and stands).
+    pub outcome: StepOutcome,
 }
 
 /// Result of a combinational equivalence check.
@@ -176,6 +182,12 @@ pub struct EquivalenceOutcome {
     /// Aggregate statistics of the miter solve (conflicts, decisions,
     /// propagations, restarts).
     pub solver: SolverStats,
+    /// `true` when an [`EquivalenceResult::Unknown`] verdict was caused by
+    /// a resource limit running out (conflict or propagation budget)
+    /// rather than a genuine solver failure — callers use this to tell
+    /// "the verification budget was too small" apart from "the solver
+    /// broke", and resilient executors report the two differently.
+    pub limit_exhausted: bool,
 }
 
 impl EquivalenceOutcome {
@@ -441,6 +453,9 @@ struct ClassOutcomes {
     pairs: Vec<(NodeId, bool, PairOutcome)>,
     /// SAT conflicts spent on this class.
     conflicts: u64,
+    /// SAT propagations spent on this class (charged back to an effort
+    /// budget serially after the phase).
+    propagations: u64,
 }
 
 /// Proves every candidate pair of one class against a frozen network.
@@ -462,6 +477,7 @@ fn prove_class<N: Network>(
         repr: 0,
         pairs: Vec::new(),
         conflicts: 0,
+        propagations: 0,
     };
     let mut engine: Option<MiterEngine> = None;
     let mut repr: Option<NodeId> = None;
@@ -485,7 +501,10 @@ fn prove_class<N: Network>(
         out.pairs.push((node, antivalent, outcome));
     }
     out.repr = repr.unwrap_or(0);
-    out.conflicts = engine.map_or(0, |e| e.solver.stats().conflicts);
+    if let Some(e) = engine {
+        out.conflicts = e.solver.stats().conflicts;
+        out.propagations = e.solver.stats().propagations;
+    }
     out
 }
 
@@ -564,12 +583,41 @@ pub fn sweep_with_engine<N: Network>(
     params: &SweepParams,
     engine_state: &mut SweepEngine,
 ) -> SweepStats {
+    sweep_with_engine_budgeted(ntk, params, engine_state, &Budget::unlimited())
+}
+
+/// [`sweep_with_engine`] under a cooperative effort [`Budget`].
+///
+/// SAT effort is folded into the tick currency: under the legacy schedule
+/// the budget is polled before every candidate pair, each pair's solve
+/// runs under the budget's remaining propagation allowance (so a single
+/// hard miter cannot blow through the budget), and the spent propagations
+/// are charged back.  Under the phased parallel schedule, workers never
+/// touch the budget (their proof outcomes must stay a pure function of
+/// the class); instead the whole round's pairs and conflicts are charged
+/// serially after the phase and the budget is polled between rounds.
+/// Either way an exhausted sweep stops cleanly — every committed merge is
+/// backed by an `UNSAT` proof and stands.
+pub fn sweep_with_engine_budgeted<N: Network>(
+    ntk: &mut N,
+    params: &SweepParams,
+    engine_state: &mut SweepEngine,
+    budget: &Budget,
+) -> SweepStats {
     let mut stats = SweepStats {
         gates_before: ntk.num_gates(),
         ..SweepStats::default()
     };
     if stats.gates_before == 0 {
         stats.gates_after = 0;
+        return stats;
+    }
+    // one entry tick, so a sweep always polls the budget at least once —
+    // a tick-1 budget (or an injected fault at tick 1) takes effect even
+    // when simulation leaves no candidate pairs to prove
+    if !budget.consume(1) {
+        stats.gates_after = stats.gates_before;
+        stats.outcome = budget.outcome();
         return stats;
     }
     if params.record_choices {
@@ -652,7 +700,10 @@ pub fn sweep_with_engine<N: Network>(
         std::collections::HashSet::new();
     let conflicts_before = |e: &MiterEngine| e.solver.stats().conflicts;
 
-    for round in 0..params.max_rounds.max(1) {
+    'rounds: for round in 0..params.max_rounds.max(1) {
+        if budget.is_exhausted() {
+            break;
+        }
         stats.rounds = round + 1;
 
         if round == 0 || !params.incremental_classes {
@@ -794,6 +845,14 @@ pub fn sweep_with_engine<N: Network>(
             for out in outcomes {
                 stats.candidate_pairs += out.pairs.len();
                 stats.conflicts += out.conflicts;
+                // charge the round's proof work serially (workers must not
+                // touch the budget: outcomes stay a pure function of the
+                // class); an exhausted budget still applies every proven
+                // merge of this round and stops at the round boundary
+                if !out.pairs.is_empty() {
+                    budget.consume(out.pairs.len() as u64);
+                    budget.consume_sat(out.propagations);
+                }
                 let repr_node = out.repr;
                 for (node, antivalent, outcome) in out.pairs {
                     match outcome {
@@ -865,12 +924,25 @@ pub fn sweep_with_engine<N: Network>(
                     // class (a PI colliding with the constant or another PI)
                     // is still proven below — SAT refutes it and the
                     // counterexample splits the class next round
+                    if !budget.consume(1) {
+                        break 'rounds;
+                    }
                     let antivalent = sim.phase(repr_node) != sim.phase(node);
                     stats.candidate_pairs += 1;
                     let spent = conflicts_before(engine);
+                    let spent_propagations = engine.solver.stats().propagations;
+                    // a finite budget caps each pair's solve at the
+                    // remaining propagation allowance, so one hard miter
+                    // cannot blow through the whole budget; the spent
+                    // propagations are charged back below
+                    engine
+                        .solver
+                        .set_propagation_limit(budget.sat_propagation_allowance());
                     let outcome =
                         engine.prove_pair(ntk, repr_node, node, antivalent, params.conflict_limit);
+                    engine.solver.set_propagation_limit(None);
                     stats.conflicts += conflicts_before(engine) - spent;
+                    budget.consume_sat(engine.solver.stats().propagations - spent_propagations);
                     match outcome {
                         PairOutcome::Proven => {
                             let replacement = Signal::new(repr_node, antivalent);
@@ -941,6 +1013,7 @@ pub fn sweep_with_engine<N: Network>(
     engine_state.last_size = ntk.size();
 
     stats.gates_after = ntk.num_gates();
+    stats.outcome = budget.outcome();
     stats
 }
 
@@ -976,6 +1049,23 @@ pub fn check_equivalence_with<A: Network, B: Network>(
     a: &A,
     b: &B,
     conflict_limit: Option<u64>,
+) -> EquivalenceOutcome {
+    check_equivalence_with_limits(a, b, conflict_limit, None)
+}
+
+/// [`check_equivalence`] with explicit conflict *and* propagation budgets
+/// (`None` lifts the respective limit).  The propagation limit is the
+/// deterministic knob effort budgets drive
+/// ([`glsx_network::Budget::sat_propagation_allowance`]); when either
+/// limit runs out the verdict is [`EquivalenceResult::Unknown`] and
+/// [`EquivalenceOutcome::limit_exhausted`] is `true`, which is how
+/// callers tell a too-small verification budget apart from a genuine
+/// solver failure.
+pub fn check_equivalence_with_limits<A: Network, B: Network>(
+    a: &A,
+    b: &B,
+    conflict_limit: Option<u64>,
+    propagation_limit: Option<u64>,
 ) -> EquivalenceOutcome {
     assert_eq!(
         a.num_pis(),
@@ -1018,6 +1108,7 @@ pub fn check_equivalence_with<A: Network, B: Network>(
     solver.add_clause(&taps);
 
     solver.set_conflict_limit(conflict_limit);
+    solver.set_propagation_limit(propagation_limit);
     let result = match solver.solve() {
         SatResult::Unsat => EquivalenceResult::Equivalent,
         SatResult::Unknown => EquivalenceResult::Unknown,
@@ -1032,6 +1123,7 @@ pub fn check_equivalence_with<A: Network, B: Network>(
     EquivalenceOutcome {
         result,
         solver: solver.stats(),
+        limit_exhausted: solver.last_limit().is_some(),
     }
 }
 
@@ -1566,5 +1658,63 @@ mod tests {
         let stats = sweep(&mut aig, &SweepParams::default());
         assert_eq!(stats.proven, 0, "{stats:?}");
         assert_eq!(aig.num_gates(), before);
+    }
+
+    /// A starved verification budget must come back as `Unknown` with
+    /// `limit_exhausted` set — distinguishable from a genuine failure —
+    /// while the same check without limits proves equivalence cleanly and
+    /// reports `limit_exhausted: false`.
+    #[test]
+    fn exhausted_verification_budgets_are_flagged_as_limit_unknowns() {
+        let (aig, _) = parity_pair();
+        let reference = aig.clone();
+        let starved = check_equivalence_with_limits(&reference, &aig, None, Some(1));
+        assert_eq!(starved.result, EquivalenceResult::Unknown);
+        assert!(starved.limit_exhausted, "{starved:?}");
+        let full = check_equivalence(&reference, &aig);
+        assert!(full.is_equivalent());
+        assert!(!full.limit_exhausted, "{full:?}");
+    }
+
+    /// A budgeted sweep stops cleanly: the network stays equivalent, the
+    /// merge count never exceeds the unlimited run's, and the outcome
+    /// names the exhaustion.
+    #[test]
+    fn budgeted_sweep_commits_an_equivalent_prefix() {
+        use glsx_network::{Budget, StepOutcome};
+        let build = || {
+            let mut aig = Aig::new();
+            let a = aig.create_pi();
+            let b = aig.create_pi();
+            let s = aig.create_pi();
+            let x = aig.create_and(a, b);
+            let dup = redundant_copy(&mut aig, x, s);
+            let y = aig.create_and(x, s);
+            let dup2 = redundant_copy(&mut aig, y, b);
+            aig.create_po(dup);
+            aig.create_po(dup2);
+            aig
+        };
+        let reference = build();
+        let full = {
+            let mut aig = build();
+            sweep(&mut aig, &SweepParams::default())
+        };
+        assert!(full.proven >= 2, "{full:?}");
+        let mut saw_exhausted = false;
+        for limit in 0..12u64 {
+            let mut aig = build();
+            let budget = Budget::with_ticks(limit);
+            let mut engine = SweepEngine::default();
+            let stats =
+                sweep_with_engine_budgeted(&mut aig, &SweepParams::default(), &mut engine, &budget);
+            assert!(stats.proven <= full.proven, "{stats:?}");
+            assert!(equivalent_by_simulation(&reference, &aig));
+            assert!(check_equivalence(&reference, &aig).is_equivalent());
+            if let StepOutcome::Exhausted { .. } = stats.outcome {
+                saw_exhausted = true;
+            }
+        }
+        assert!(saw_exhausted, "no tick limit ever exhausted the sweep");
     }
 }

@@ -1,0 +1,771 @@
+//! Resilient flow execution: checkpointed, panic-isolated, verified steps.
+//!
+//! [`run_script_guarded`] executes a [`FlowScript`](crate::FlowScript)
+//! under a *never-corrupt* contract: whatever a pass does — exhaust its
+//! effort budget, produce a functionally wrong network, or panic halfway
+//! through a substitution — the network handed back is always a valid,
+//! input-equivalent state.  The machinery:
+//!
+//! * **Checkpoints.**  Before every step the executor captures the network
+//!   — a full [`NetworkSnapshot`](glsx_network::NetworkSnapshot)
+//!   ([`RollbackStrategy::Snapshot`]) or a cheap first-touch
+//!   [`UndoJournal`](glsx_network::Network::begin_undo) recording only the
+//!   step's own mutations ([`RollbackStrategy::Journal`]).
+//! * **Panic isolation.**  The step runs under
+//!   [`std::panic::catch_unwind`]; a panic rolls the network back to the
+//!   checkpoint (which also bumps the traversal epoch, so scratch stamps a
+//!   dying pass left mid-traversal can never alias a later traversal) and
+//!   the flow continues with the next step.
+//! * **Verification.**  After a committed step the network is checked
+//!   against the *flow input* (one clone taken up front) — by random
+//!   simulation or a full SAT miter ([`VerifyMode`]).  A refuted or
+//!   unprovable step is rolled back like a panic.  Budget-starved miters
+//!   are distinguishable from genuine failures via
+//!   [`EquivalenceOutcome::limit_exhausted`](glsx_core::sweeping::EquivalenceOutcome).
+//! * **Budgets and deadlines.**  Per-step effort budgets come from the
+//!   script (`rw -budget 2M`) or [`GuardOptions::step_budget`]; a
+//!   flow-level wall-clock deadline is threaded into every budget and
+//!   steps that would start past it are skipped outright.
+//! * **Fault injection.**  A [`FaultPlan`] (`GLSX_FAULT_PLAN=`
+//!   `panic@rewrite:3,exhaust@fraig:1,unknown@verify:2`) deterministically
+//!   injects pass panics, budget exhaustions and verification unknowns at
+//!   exact sites, which is how the recovery paths are tested — no mocks,
+//!   the real rollback machinery runs.
+//!
+//! In debug builds every rollback is followed by a full structural audit
+//! ([`check_network_integrity`], which includes the structural-hash and
+//! choice-ring checks), so a checkpoint that failed to restore invariants
+//! fails loudly instead of corrupting later steps.
+
+use crate::{run_step_budgeted, FlowOptions, FlowScript, FlowStep};
+use glsx_core::resubstitution::ResubNetwork;
+use glsx_core::sweeping::{check_equivalence_with_limits, EquivalenceResult, SweepEngine};
+use glsx_network::simulation::equivalent_by_random_simulation;
+use glsx_network::views::check_network_integrity;
+use glsx_network::{cleanup_dangling, Budget, GateBuilder, InjectedFault, Network, StepOutcome};
+use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+/// How a guarded step's checkpoint is taken.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RollbackStrategy {
+    /// Full [`NetworkSnapshot`](glsx_network::NetworkSnapshot) per step:
+    /// O(network) to capture, restore cost independent of how much the
+    /// step mutated.  The robust default.
+    #[default]
+    Snapshot,
+    /// First-touch undo journal
+    /// ([`begin_undo`](glsx_network::Network::begin_undo)): capture is
+    /// O(outputs), rollback cost proportional to the step's own mutation
+    /// footprint — much cheaper when steps usually succeed.
+    Journal,
+}
+
+/// How a committed step is checked against the flow input.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// No verification at all — per-step checks and the final contract
+    /// check are both skipped ([`FlowReport::final_verify`] stays `None`).
+    /// Rollback on panic still works; use this to measure the bare cost
+    /// of the checkpoint/unwind machinery.
+    None,
+    /// Random word-parallel simulation — fast, refutation-only.
+    Simulation,
+    /// Full SAT miter per step — a proof, at solver cost.
+    #[default]
+    Miter,
+}
+
+/// A deterministic fault to inject at a specific site occurrence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic inside the pass at its first budget poll.
+    Panic,
+    /// Force the step's budget to exhaust at its first poll.
+    Exhaust,
+    /// Starve the verification miter (propagation limit 1) so it returns
+    /// `Unknown` with `limit_exhausted` set.  Only meaningful at the
+    /// `verify` site.
+    Unknown,
+}
+
+impl FaultAction {
+    fn name(&self) -> &'static str {
+        match self {
+            FaultAction::Panic => "panic",
+            FaultAction::Exhaust => "exhaust",
+            FaultAction::Unknown => "unknown",
+        }
+    }
+}
+
+/// One planned fault: `action@site:occurrence` (1-based occurrence of the
+/// site within the flow).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PlannedFault {
+    action: FaultAction,
+    site: String,
+    occurrence: usize,
+}
+
+/// Error returned when a fault plan cannot be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseFaultPlanError {
+    message: String,
+}
+
+impl fmt::Display for ParseFaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.message)
+    }
+}
+
+impl Error for ParseFaultPlanError {}
+
+/// A deterministic fault-injection plan.
+///
+/// Parsed from `action@site:occurrence` entries separated by commas, e.g.
+/// `panic@rewrite:3,exhaust@fraig:1,unknown@verify:2` — panic inside the
+/// third rewriting step, exhaust the first fraig step's budget
+/// immediately, and starve the second per-step verification into
+/// `Unknown`.  Sites are the step names (`balance`, `rewrite`,
+/// `refactor`, `resub`, `fraig`, `lut_map`) plus `verify`; occurrences
+/// are 1-based.  The plan is consulted by [`run_script_guarded`]; the
+/// `GLSX_FAULT_PLAN` environment variable feeds [`FaultPlan::from_env`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the plan injects no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Parses a plan from the `action@site:occurrence[,...]` notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown actions, malformed entries or a zero
+    /// occurrence (occurrences are 1-based).
+    pub fn parse(text: &str) -> Result<Self, ParseFaultPlanError> {
+        let mut faults = Vec::new();
+        for entry in text.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (action_text, rest) = entry.split_once('@').ok_or_else(|| ParseFaultPlanError {
+                message: format!("`{entry}` is missing `@` (want action@site:occurrence)"),
+            })?;
+            let (site, occurrence_text) =
+                rest.split_once(':').ok_or_else(|| ParseFaultPlanError {
+                    message: format!("`{entry}` is missing `:` (want action@site:occurrence)"),
+                })?;
+            let action = match action_text {
+                "panic" => FaultAction::Panic,
+                "exhaust" => FaultAction::Exhaust,
+                "unknown" => FaultAction::Unknown,
+                other => {
+                    return Err(ParseFaultPlanError {
+                        message: format!("unknown action `{other}` in `{entry}`"),
+                    })
+                }
+            };
+            let occurrence: usize = occurrence_text.parse().map_err(|_| ParseFaultPlanError {
+                message: format!("invalid occurrence `{occurrence_text}` in `{entry}`"),
+            })?;
+            if occurrence == 0 {
+                return Err(ParseFaultPlanError {
+                    message: format!("occurrences are 1-based (`{entry}`)"),
+                });
+            }
+            if action == FaultAction::Unknown && site != "verify" {
+                return Err(ParseFaultPlanError {
+                    message: format!(
+                        "`unknown` faults only apply to the `verify` site (`{entry}`)"
+                    ),
+                });
+            }
+            faults.push(PlannedFault {
+                action,
+                site: site.to_string(),
+                occurrence,
+            });
+        }
+        Ok(Self { faults })
+    }
+
+    /// Reads the plan from the `GLSX_FAULT_PLAN` environment variable; an
+    /// unset variable yields the empty plan, a malformed one panics (a
+    /// silently dropped fault plan would make a failing resilience test
+    /// pass vacuously).
+    pub fn from_env() -> Self {
+        match std::env::var("GLSX_FAULT_PLAN") {
+            Ok(text) => Self::parse(&text).unwrap_or_else(|e| panic!("GLSX_FAULT_PLAN: {e}")),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// The fault planned for the `occurrence`-th visit of `site`, if any.
+    fn fault_at(&self, site: &str, occurrence: usize) -> Option<FaultAction> {
+        self.faults
+            .iter()
+            .find(|f| f.site == site && f.occurrence == occurrence)
+            .map(|f| f.action)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<String> = self
+            .faults
+            .iter()
+            .map(|fault| {
+                format!(
+                    "{}@{}:{}",
+                    fault.action.name(),
+                    fault.site,
+                    fault.occurrence
+                )
+            })
+            .collect();
+        write!(f, "{}", rendered.join(","))
+    }
+}
+
+/// Options of the guarded executor.
+#[derive(Clone, Debug, Default)]
+pub struct GuardOptions {
+    /// How per-step checkpoints are taken.
+    pub rollback: RollbackStrategy,
+    /// How committed steps are verified against the flow input.
+    pub verify: VerifyMode,
+    /// Default per-step effort budget in ticks for steps the script does
+    /// not budget itself (`None` = unlimited).
+    pub step_budget: Option<u64>,
+    /// Flow-level wall-clock deadline: threaded into every step budget,
+    /// and steps that would *start* past it are skipped outright.
+    pub deadline: Option<Duration>,
+    /// Deterministic faults to inject (see [`FaultPlan`]).
+    pub fault_plan: FaultPlan,
+}
+
+/// Why a guarded step was rolled back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The pass panicked; the unwind was caught at the step boundary.
+    Panic,
+    /// Verification refuted the step (a counterexample exists).
+    VerifyInequivalent,
+    /// Verification could not prove the step (budget-starved miter); the
+    /// step is rolled back conservatively.
+    VerifyUnknown,
+}
+
+/// What happened to one guarded step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The step ran, passed verification and its mutations stand.
+    Committed,
+    /// The step failed ([`FailureKind`]) and the checkpoint was restored.
+    RolledBack,
+    /// The step never ran: the flow deadline had already passed.
+    Skipped,
+}
+
+/// Per-step record of a guarded flow.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// The step in script notation (e.g. `rs -c 6`).
+    pub step: String,
+    /// Fault-plan site name of the step (`rewrite`, `fraig`, …).
+    pub site: &'static str,
+    /// Outcome of the guarded execution.
+    pub status: StepStatus,
+    /// Failure that caused a rollback, if any.
+    pub failure: Option<FailureKind>,
+    /// Committed substitutions (0 for rolled-back or skipped steps).
+    pub substitutions: usize,
+    /// Whether the step's budget ran dry ([`StepOutcome::Exhausted`]).
+    pub outcome: StepOutcome,
+    /// Budget ticks the step charged.
+    pub ticks: u64,
+    /// Whether the step's verification miter hit a resource limit.
+    pub verify_limit_exhausted: bool,
+}
+
+/// Report of a guarded flow run ([`run_script_guarded`]).
+#[derive(Clone, Debug, Default)]
+pub struct FlowReport {
+    /// One record per script step, in order.
+    pub steps: Vec<StepReport>,
+    /// Steps whose mutations stand.
+    pub committed: usize,
+    /// Steps rolled back to their checkpoint (any [`FailureKind`]).
+    pub rollbacks: usize,
+    /// Rollbacks caused by a caught pass panic.
+    pub panics: usize,
+    /// Rollbacks caused by verification (refuted or unprovable).
+    pub verify_failures: usize,
+    /// Committed steps that stopped on an exhausted budget.
+    pub exhausted_steps: usize,
+    /// Steps skipped because the flow deadline had passed.
+    pub deadline_skips: usize,
+    /// Total committed substitutions.
+    pub substitutions: usize,
+    /// Total budget ticks charged over all steps.
+    pub ticks_spent: u64,
+    /// Gate count before / after the flow.
+    pub initial_size: usize,
+    /// Gate count after the flow (post-compaction).
+    pub final_size: usize,
+    /// Verdict of the final miter against the flow input: `Some(true)` is
+    /// a proof, `Some(false)` a refutation (never expected — the contract
+    /// violation the guarded executor exists to prevent), `None` means
+    /// the final check was skipped or unresolved.
+    pub final_verify: Option<bool>,
+    /// Wall-clock runtime of the guarded flow in seconds.
+    pub runtime_seconds: f64,
+}
+
+/// Fault-plan site name of a step.
+fn step_site(step: &FlowStep) -> &'static str {
+    match step {
+        FlowStep::Balance => "balance",
+        FlowStep::Rewrite { .. } => "rewrite",
+        FlowStep::Refactor { .. } => "refactor",
+        FlowStep::Resubstitute { .. } => "resub",
+        FlowStep::Fraig { .. } => "fraig",
+        FlowStep::LutMap { .. } => "lut_map",
+    }
+}
+
+thread_local! {
+    /// Set while a guarded step runs, so the process panic hook stays
+    /// silent for panics the executor is about to catch and handle.
+    static EXPECTED_PANIC: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// backtrace spew for panics raised inside a guarded step — they are
+/// caught, recorded in the [`FlowReport`] and recovered from, so the
+/// stderr noise would only obscure genuine failures.  Panics on other
+/// threads or outside guarded steps still reach the previous hook.
+fn install_quiet_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if EXPECTED_PANIC.with(|flag| flag.get()) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Runs `script` on `ntk` under the never-corrupt contract described in
+/// the [module docs](self): every step is checkpointed, panic-isolated,
+/// budgeted and verified, failures roll back and the flow continues.  The
+/// network is compacted at the end (like
+/// [`run_script`](crate::run_script)) and a final check against the flow
+/// input — as strong as the configured [`VerifyMode`] — is recorded in
+/// [`FlowReport::final_verify`].
+///
+/// The [`SweepEngine`] recycled across `fraig` steps is reset after every
+/// rollback: its accumulated pattern words may reference node ids that
+/// only existed in the rolled-back burst.
+pub fn run_script_guarded<N>(
+    ntk: &mut N,
+    script: &FlowScript,
+    options: &FlowOptions,
+    guard: &GuardOptions,
+) -> FlowReport
+where
+    N: Network + GateBuilder + ResubNetwork + Clone,
+{
+    install_quiet_panic_hook();
+    let start = Instant::now();
+    // the single reference clone every per-step verification (and the
+    // final miter) checks against
+    let input = ntk.clone();
+    let mut report = FlowReport {
+        initial_size: ntk.num_gates(),
+        ..FlowReport::default()
+    };
+    let mut engine = SweepEngine::new();
+    // 1-based occurrence counters per fault-plan site
+    let mut site_counts: Vec<(&'static str, usize)> = Vec::new();
+    let mut verify_count = 0usize;
+    for (index, step) in script.steps().iter().enumerate() {
+        let site = step_site(step);
+        let occurrence = {
+            match site_counts.iter_mut().find(|(s, _)| *s == site) {
+                Some((_, count)) => {
+                    *count += 1;
+                    *count
+                }
+                None => {
+                    site_counts.push((site, 1));
+                    1
+                }
+            }
+        };
+        let mut step_report = StepReport {
+            step: step_text(script, index),
+            site,
+            status: StepStatus::Skipped,
+            failure: None,
+            substitutions: 0,
+            outcome: StepOutcome::Completed,
+            ticks: 0,
+            verify_limit_exhausted: false,
+        };
+        // a step that would start past the deadline is not started at all
+        if let Some(deadline) = guard.deadline {
+            if start.elapsed() >= deadline {
+                report.deadline_skips += 1;
+                report.steps.push(step_report);
+                continue;
+            }
+        }
+        let mut budget = match script.budget_of(index).or(guard.step_budget) {
+            Some(ticks) => Budget::with_ticks(ticks),
+            None => Budget::unlimited(),
+        };
+        if let Some(deadline) = guard.deadline {
+            budget = budget.and_deadline(deadline.saturating_sub(start.elapsed()));
+        }
+        match guard.fault_plan.fault_at(site, occurrence) {
+            Some(FaultAction::Panic) => budget = budget.inject(InjectedFault::Panic, 1),
+            Some(FaultAction::Exhaust) => budget = budget.inject(InjectedFault::Exhaust, 1),
+            _ => {}
+        }
+        // checkpoint, run under the unwind guard, then verify
+        let checkpoint = match guard.rollback {
+            RollbackStrategy::Snapshot => Some(ntk.snapshot()),
+            RollbackStrategy::Journal => {
+                ntk.begin_undo();
+                None
+            }
+        };
+        let rollback = |ntk: &mut N, engine: &mut SweepEngine| {
+            match &checkpoint {
+                Some(snapshot) => ntk.restore(snapshot),
+                None => {
+                    let rolled = ntk.rollback_undo();
+                    debug_assert!(rolled, "journal checkpoint vanished mid-step");
+                }
+            }
+            // the engine's pattern words may reference rolled-back nodes
+            engine.reset();
+            if cfg!(debug_assertions) {
+                check_network_integrity(ntk)
+                    .unwrap_or_else(|e| panic!("rollback left a corrupt network: {e}"));
+            }
+        };
+        let result = {
+            EXPECTED_PANIC.with(|flag| flag.set(true));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                run_step_budgeted(ntk, step, options, &mut engine, &budget)
+            }));
+            EXPECTED_PANIC.with(|flag| flag.set(false));
+            result
+        };
+        step_report.ticks = budget.spent();
+        step_report.outcome = budget.outcome();
+        report.ticks_spent += step_report.ticks;
+        match result {
+            Err(_panic_payload) => {
+                rollback(ntk, &mut engine);
+                step_report.status = StepStatus::RolledBack;
+                step_report.failure = Some(FailureKind::Panic);
+                report.rollbacks += 1;
+                report.panics += 1;
+            }
+            Ok(substitutions) => {
+                let verdict = match guard.verify {
+                    VerifyMode::None => None,
+                    VerifyMode::Simulation => {
+                        verify_count += 1;
+                        Some(if equivalent_by_random_simulation(&input, ntk, 8, 0x5eed) {
+                            EquivalenceResult::Equivalent
+                        } else {
+                            EquivalenceResult::Inequivalent(Vec::new())
+                        })
+                    }
+                    VerifyMode::Miter => {
+                        verify_count += 1;
+                        let propagation_limit =
+                            match guard.fault_plan.fault_at("verify", verify_count) {
+                                Some(FaultAction::Unknown) => Some(1),
+                                _ => None,
+                            };
+                        let outcome =
+                            check_equivalence_with_limits(&input, ntk, None, propagation_limit);
+                        step_report.verify_limit_exhausted = outcome.limit_exhausted;
+                        Some(outcome.result)
+                    }
+                };
+                match verdict {
+                    None | Some(EquivalenceResult::Equivalent) => {
+                        if checkpoint.is_none() {
+                            ntk.commit_undo();
+                        }
+                        step_report.status = StepStatus::Committed;
+                        step_report.substitutions = substitutions;
+                        report.committed += 1;
+                        report.substitutions += substitutions;
+                        if matches!(step_report.outcome, StepOutcome::Exhausted { .. }) {
+                            report.exhausted_steps += 1;
+                        }
+                    }
+                    Some(refuted_or_unknown) => {
+                        rollback(ntk, &mut engine);
+                        step_report.status = StepStatus::RolledBack;
+                        step_report.failure =
+                            Some(if refuted_or_unknown == EquivalenceResult::Unknown {
+                                FailureKind::VerifyUnknown
+                            } else {
+                                FailureKind::VerifyInequivalent
+                            });
+                        report.rollbacks += 1;
+                        report.verify_failures += 1;
+                    }
+                }
+            }
+        }
+        report.steps.push(step_report);
+    }
+    *ntk = cleanup_dangling(ntk);
+    report.final_size = ntk.num_gates();
+    // the final check is never fault-injected: it is the contract check;
+    // its strength follows the configured verification mode
+    report.final_verify = match guard.verify {
+        VerifyMode::None => None,
+        VerifyMode::Simulation => Some(equivalent_by_random_simulation(&input, ntk, 8, 0x5eed)),
+        VerifyMode::Miter => match check_equivalence_with_limits(&input, ntk, None, None).result {
+            EquivalenceResult::Equivalent => Some(true),
+            EquivalenceResult::Inequivalent(_) => Some(false),
+            EquivalenceResult::Unknown => None,
+        },
+    };
+    report.runtime_seconds = start.elapsed().as_secs_f64();
+    report
+}
+
+/// The step in script notation, including its `-budget` flag.
+fn step_text(script: &FlowScript, index: usize) -> String {
+    let single = FlowScript::from_steps(vec![script.steps()[index]]);
+    let mut text = single.to_string();
+    if let Some(ticks) = script.budget_of(index) {
+        let mut budgeted = single;
+        budgeted.set_budget(0, Some(ticks));
+        text = budgeted.to_string();
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsx_benchmarks::arithmetic::adder;
+    use glsx_core::sweeping::check_equivalence;
+    use glsx_network::simulation::equivalent_by_simulation;
+    use glsx_network::Aig;
+
+    fn guarded_script() -> FlowScript {
+        FlowScript::parse("bz; rw; rs -c 6; fraig; rwz; rf").unwrap()
+    }
+
+    #[test]
+    fn fault_plans_parse_and_roundtrip() {
+        let plan = FaultPlan::parse("panic@rewrite:3, exhaust@fraig:1,unknown@verify:2").unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.fault_at("rewrite", 3), Some(FaultAction::Panic));
+        assert_eq!(plan.fault_at("rewrite", 2), None);
+        assert_eq!(plan.fault_at("fraig", 1), Some(FaultAction::Exhaust));
+        assert_eq!(plan.fault_at("verify", 2), Some(FaultAction::Unknown));
+        assert_eq!(
+            plan.to_string(),
+            "panic@rewrite:3,exhaust@fraig:1,unknown@verify:2"
+        );
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("panic@rewrite").is_err());
+        assert!(FaultPlan::parse("panic:3").is_err());
+        assert!(FaultPlan::parse("explode@rewrite:1").is_err());
+        assert!(FaultPlan::parse("panic@rewrite:0").is_err());
+        assert!(FaultPlan::parse("unknown@rewrite:1").is_err());
+    }
+
+    #[test]
+    fn guarded_flow_without_faults_matches_the_plain_flow() {
+        let source: Aig = adder(4);
+        let mut plain = source.clone();
+        let plain_stats = crate::run_script(&mut plain, &guarded_script(), &FlowOptions::default());
+        for rollback in [RollbackStrategy::Snapshot, RollbackStrategy::Journal] {
+            let mut guarded = source.clone();
+            let report = run_script_guarded(
+                &mut guarded,
+                &guarded_script(),
+                &FlowOptions::default(),
+                &GuardOptions {
+                    rollback,
+                    ..GuardOptions::default()
+                },
+            );
+            assert_eq!(report.rollbacks, 0, "{report:?}");
+            assert_eq!(report.committed, guarded_script().steps().len());
+            assert_eq!(report.substitutions, plain_stats.substitutions);
+            assert_eq!(guarded.num_gates(), plain.num_gates());
+            assert_eq!(guarded.po_signals(), plain.po_signals());
+            assert_eq!(report.final_verify, Some(true));
+        }
+    }
+
+    #[test]
+    fn injected_panics_roll_back_and_the_flow_recovers() {
+        let source: Aig = adder(4);
+        let plan = FaultPlan::parse("panic@rewrite:1,panic@resub:1").unwrap();
+        for rollback in [RollbackStrategy::Snapshot, RollbackStrategy::Journal] {
+            let mut ntk = source.clone();
+            let report = run_script_guarded(
+                &mut ntk,
+                &guarded_script(),
+                &FlowOptions::default(),
+                &GuardOptions {
+                    rollback,
+                    fault_plan: plan.clone(),
+                    ..GuardOptions::default()
+                },
+            );
+            assert_eq!(report.panics, 2, "{report:?}");
+            assert_eq!(report.rollbacks, 2);
+            assert_eq!(
+                report.committed,
+                guarded_script().steps().len() - 2,
+                "the remaining steps keep running"
+            );
+            assert_eq!(report.final_verify, Some(true));
+            assert!(equivalent_by_simulation(&source, &ntk));
+            let panicked: Vec<&str> = report
+                .steps
+                .iter()
+                .filter(|s| s.failure == Some(FailureKind::Panic))
+                .map(|s| s.site)
+                .collect();
+            assert_eq!(panicked, ["rewrite", "resub"]);
+        }
+    }
+
+    #[test]
+    fn injected_exhaustion_commits_a_clean_prefix() {
+        let mut ntk: Aig = adder(4);
+        let source = ntk.clone();
+        let report = run_script_guarded(
+            &mut ntk,
+            &guarded_script(),
+            &FlowOptions::default(),
+            &GuardOptions {
+                fault_plan: FaultPlan::parse("exhaust@rewrite:1").unwrap(),
+                ..GuardOptions::default()
+            },
+        );
+        assert_eq!(report.rollbacks, 0, "exhaustion is not a failure");
+        assert_eq!(report.exhausted_steps, 1, "{report:?}");
+        let rewrite_step = report
+            .steps
+            .iter()
+            .find(|s| s.site == "rewrite")
+            .expect("script has a rewrite step");
+        assert!(matches!(
+            rewrite_step.outcome,
+            StepOutcome::Exhausted { .. }
+        ));
+        assert_eq!(rewrite_step.status, StepStatus::Committed);
+        assert_eq!(report.final_verify, Some(true));
+        assert!(check_equivalence(&source, &ntk).is_equivalent());
+    }
+
+    #[test]
+    fn starved_verification_rolls_back_conservatively() {
+        let mut ntk: Aig = adder(4);
+        let source = ntk.clone();
+        let report = run_script_guarded(
+            &mut ntk,
+            &guarded_script(),
+            &FlowOptions::default(),
+            &GuardOptions {
+                fault_plan: FaultPlan::parse("unknown@verify:2").unwrap(),
+                ..GuardOptions::default()
+            },
+        );
+        assert_eq!(report.verify_failures, 1, "{report:?}");
+        assert_eq!(report.rollbacks, 1);
+        let failed = &report.steps[1];
+        assert_eq!(failed.status, StepStatus::RolledBack);
+        assert_eq!(failed.failure, Some(FailureKind::VerifyUnknown));
+        assert!(
+            failed.verify_limit_exhausted,
+            "a starved miter must be distinguishable from a genuine failure: {failed:?}"
+        );
+        assert_eq!(report.final_verify, Some(true));
+        assert!(check_equivalence(&source, &ntk).is_equivalent());
+    }
+
+    #[test]
+    fn deadline_skips_steps_instead_of_corrupting_them() {
+        let mut ntk: Aig = adder(5);
+        let source = ntk.clone();
+        let report = run_script_guarded(
+            &mut ntk,
+            &guarded_script(),
+            &FlowOptions::default(),
+            &GuardOptions {
+                deadline: Some(Duration::ZERO),
+                ..GuardOptions::default()
+            },
+        );
+        assert_eq!(report.deadline_skips, guarded_script().steps().len());
+        assert_eq!(report.committed, 0);
+        assert!(report.steps.iter().all(|s| s.status == StepStatus::Skipped));
+        assert_eq!(report.final_verify, Some(true));
+        assert!(equivalent_by_simulation(&source, &ntk));
+    }
+
+    #[test]
+    fn script_budgets_reach_the_guarded_steps() {
+        let mut ntk: Aig = adder(4);
+        let script = FlowScript::parse("rw -budget 1; rs -c 6").unwrap();
+        let report = run_script_guarded(
+            &mut ntk,
+            &script,
+            &FlowOptions::default(),
+            &GuardOptions::default(),
+        );
+        assert!(matches!(
+            report.steps[0].outcome,
+            StepOutcome::Exhausted { .. }
+        ));
+        assert_eq!(report.steps[0].step, "rw -budget 1");
+        assert_eq!(report.steps[1].outcome, StepOutcome::Completed);
+        assert_eq!(report.final_verify, Some(true));
+    }
+}

@@ -25,20 +25,25 @@
 //! assert!(stats.final_size <= stats.initial_size);
 //! ```
 
+mod executor;
 mod portfolio;
 mod script;
 pub mod specialized;
 
+pub use executor::{
+    run_script_guarded, FailureKind, FaultAction, FaultPlan, FlowReport, GuardOptions,
+    ParseFaultPlanError, RollbackStrategy, StepReport, StepStatus, VerifyMode,
+};
 pub use portfolio::{portfolio_best_luts, PortfolioResult};
 pub use script::{FlowScript, FlowStep, ParseFlowScriptError};
 
-use glsx_core::balancing::{balance, BalanceParams};
+use glsx_core::balancing::{balance_with_budget, BalanceParams};
 use glsx_core::lut_mapping::{lut_map_with_stats, LutMapParams, LutMapStats};
-use glsx_core::refactoring::{refactor_with, RefactorParams};
-use glsx_core::resubstitution::{resubstitute, ResubNetwork, ResubParams};
-use glsx_core::rewriting::{rewrite_with, CutMaintenance, RewriteParams};
-use glsx_core::sweeping::{sweep_with_engine, SweepEngine, SweepParams};
-use glsx_network::{cleanup_dangling, GateBuilder, Klut, Network, Parallelism};
+use glsx_core::refactoring::{refactor_with_budget, RefactorParams};
+use glsx_core::resubstitution::{resubstitute_with_budget, ResubNetwork, ResubParams};
+use glsx_core::rewriting::{rewrite_with_budget, CutMaintenance, RewriteParams};
+use glsx_core::sweeping::{sweep_with_engine_budgeted, SweepEngine, SweepParams};
+use glsx_network::{cleanup_dangling, Budget, GateBuilder, Klut, Network, Parallelism};
 use glsx_synth::{NpnDatabase, SopResynthesis};
 use std::time::Instant;
 
@@ -125,14 +130,31 @@ pub fn run_step_with<N>(
 where
     N: Network + GateBuilder + ResubNetwork,
 {
+    run_step_budgeted(ntk, step, options, sweep_engine, &Budget::unlimited())
+}
+
+/// [`run_step_with`] under a cooperative effort [`Budget`]: the budget is
+/// threaded into the pass's budget-aware variant, so an exhausted step
+/// stops cleanly between candidates with every committed substitution
+/// intact (the pass's `outcome` is readable via [`Budget::outcome`]).
+pub fn run_step_budgeted<N>(
+    ntk: &mut N,
+    step: &FlowStep,
+    options: &FlowOptions,
+    sweep_engine: &mut SweepEngine,
+    budget: &Budget,
+) -> usize
+where
+    N: Network + GateBuilder + ResubNetwork,
+{
     match step {
         FlowStep::Balance => {
-            let stats = balance(ntk, &BalanceParams::default());
+            let stats = balance_with_budget(ntk, &BalanceParams::default(), budget);
             stats.rebuilt
         }
         FlowStep::Rewrite { zero_gain } => {
             let mut database = NpnDatabase::new();
-            let stats = rewrite_with(
+            let stats = rewrite_with_budget(
                 ntk,
                 &mut database,
                 &RewriteParams {
@@ -145,11 +167,12 @@ where
                     },
                     ..RewriteParams::default()
                 },
+                budget,
             );
             stats.substitutions
         }
         FlowStep::Refactor { zero_gain } => {
-            let stats = refactor_with(
+            let stats = refactor_with_budget(
                 ntk,
                 &mut SopResynthesis,
                 &RefactorParams {
@@ -157,11 +180,12 @@ where
                     allow_zero_gain: *zero_gain,
                     ..RefactorParams::default()
                 },
+                budget,
             );
             stats.substitutions
         }
         FlowStep::Resubstitute { cut_size, depth } => {
-            let stats = resubstitute(
+            let stats = resubstitute_with_budget(
                 ntk,
                 &ResubParams {
                     max_leaves: (*cut_size).min(12),
@@ -169,6 +193,7 @@ where
                     max_divisors: options.max_divisors,
                     allow_zero_gain: false,
                 },
+                budget,
             );
             stats.substitutions
         }
@@ -186,7 +211,7 @@ where
             if options.full_recompute {
                 params.incremental_classes = false;
             }
-            let stats = sweep_with_engine(ntk, &params, sweep_engine);
+            let stats = sweep_with_engine_budgeted(ntk, &params, sweep_engine, budget);
             stats.proven
         }
         // mapping changes the representation and is consumed by
@@ -217,11 +242,15 @@ where
         ..FlowStats::default()
     };
     let mut engine = SweepEngine::new();
-    for step in script.steps() {
+    for (index, step) in script.steps().iter().enumerate() {
         if options.full_recompute {
             engine.reset();
         }
-        stats.substitutions += run_step_with(ntk, step, options, &mut engine);
+        let budget = match script.budget_of(index) {
+            Some(ticks) => Budget::with_ticks(ticks),
+            None => Budget::unlimited(),
+        };
+        stats.substitutions += run_step_budgeted(ntk, step, options, &mut engine, &budget);
     }
     *ntk = cleanup_dangling(ntk);
     stats.final_size = ntk.num_gates();
@@ -270,7 +299,7 @@ where
         _ => steps,
     };
     let mut engine = SweepEngine::new();
-    for step in passes {
+    for (index, step) in passes.iter().enumerate() {
         debug_assert!(
             !matches!(step, FlowStep::LutMap { .. }),
             "lut_map must be the final step of a mapping script"
@@ -278,7 +307,12 @@ where
         if options.full_recompute {
             engine.reset();
         }
-        stats.substitutions += run_step_with(ntk, step, options, &mut engine);
+        // `passes` is a prefix of the script, so indices line up
+        let budget = match script.budget_of(index) {
+            Some(ticks) => Budget::with_ticks(ticks),
+            None => Budget::unlimited(),
+        };
+        stats.substitutions += run_step_budgeted(ntk, step, options, &mut engine, &budget);
     }
     let (klut, map_stats) = lut_map_with_stats(ntk, &map_params);
     *ntk = cleanup_dangling(ntk);

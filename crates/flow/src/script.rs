@@ -82,17 +82,37 @@ impl Error for ParseFlowScriptError {}
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct FlowScript {
     steps: Vec<FlowStep>,
+    /// Per-step effort budgets (`-budget <n>[K|M|G]`, node-visit ticks;
+    /// see [`glsx_network::Budget`]), parallel to `steps`.  `None` means
+    /// unlimited — the executor may still impose its own default.
+    budgets: Vec<Option<u64>>,
 }
 
 impl FlowScript {
-    /// Creates a script from explicit steps.
+    /// Creates a script from explicit steps (all budgets unlimited).
     pub fn from_steps(steps: Vec<FlowStep>) -> Self {
-        Self { steps }
+        let budgets = vec![None; steps.len()];
+        Self { steps, budgets }
     }
 
     /// Returns the steps of the script.
     pub fn steps(&self) -> &[FlowStep] {
         &self.steps
+    }
+
+    /// The effort budget of step `index` in ticks (`-budget`), or `None`
+    /// when the script leaves the step unlimited.
+    pub fn budget_of(&self, index: usize) -> Option<u64> {
+        self.budgets.get(index).copied().flatten()
+    }
+
+    /// Sets the effort budget of step `index` (`None` removes it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_budget(&mut self, index: usize, budget: Option<u64>) {
+        self.budgets[index] = budget;
     }
 
     /// Parses a script in the paper's notation: commands separated by `;`,
@@ -101,18 +121,41 @@ impl FlowScript {
     /// `fraig [-c <conflicts>]` SAT sweeping with an optional per-pair
     /// conflict budget.
     ///
+    /// Every command additionally accepts `-budget <ticks>` — an effort
+    /// budget in node-visit ticks with an optional `K`/`M`/`G` suffix
+    /// (e.g. `rw -budget 2M`), retrievable per step via
+    /// [`FlowScript::budget_of`] and honoured by the budget-aware runners.
+    ///
     /// # Errors
     ///
     /// Returns an error for unknown commands or malformed options.
     pub fn parse(text: &str) -> Result<Self, ParseFlowScriptError> {
         let mut steps = Vec::new();
+        let mut budgets = Vec::new();
         for command in text.split(';') {
             let command = command.trim();
             if command.is_empty() {
                 continue;
             }
-            let mut tokens = command.split_whitespace();
-            let head = tokens.next().expect("non-empty command");
+            let mut tokens: Vec<&str> = command.split_whitespace().collect();
+            let head = tokens.remove(0);
+            // `-budget <n>` is command-independent: extract it before the
+            // command-specific option loops
+            let mut budget = None;
+            let mut t = 0;
+            while t < tokens.len() {
+                if tokens[t] == "-budget" {
+                    let value = tokens.get(t + 1).ok_or_else(|| ParseFlowScriptError {
+                        message: format!("missing value after -budget in `{command}`"),
+                    })?;
+                    budget = Some(parse_tick_count(value).ok_or_else(|| ParseFlowScriptError {
+                        message: format!("invalid budget `{value}` in `{command}`"),
+                    })?);
+                    tokens.drain(t..t + 2);
+                } else {
+                    t += 1;
+                }
+            }
             let step = match head {
                 "b" | "bz" => FlowStep::Balance,
                 "rw" => FlowStep::Rewrite { zero_gain: false },
@@ -122,7 +165,7 @@ impl FlowScript {
                 "fraig" => {
                     let mut conflict_limit = None;
                     let mut record_choices = false;
-                    let rest: Vec<&str> = tokens.by_ref().collect();
+                    let rest = std::mem::take(&mut tokens);
                     let mut i = 0;
                     while i < rest.len() {
                         match rest[i] {
@@ -157,7 +200,7 @@ impl FlowScript {
                 "lut_map" => {
                     let mut lut_size = 6usize;
                     let mut use_choices = false;
-                    let rest: Vec<&str> = tokens.by_ref().collect();
+                    let rest = std::mem::take(&mut tokens);
                     let mut i = 0;
                     while i < rest.len() {
                         match rest[i] {
@@ -190,7 +233,7 @@ impl FlowScript {
                 "rs" => {
                     let mut cut_size = 8usize;
                     let mut depth = 1usize;
-                    let rest: Vec<&str> = tokens.by_ref().collect();
+                    let rest = std::mem::take(&mut tokens);
                     let mut i = 0;
                     while i < rest.len() {
                         match rest[i] {
@@ -228,14 +271,41 @@ impl FlowScript {
                     })
                 }
             };
-            if head != "rs" && tokens.next().is_some() {
+            if !tokens.is_empty() {
                 return Err(ParseFlowScriptError {
                     message: format!("unexpected arguments in `{command}`"),
                 });
             }
             steps.push(step);
+            budgets.push(budget);
         }
-        Ok(Self { steps })
+        Ok(Self { steps, budgets })
+    }
+}
+
+/// Parses a tick count with an optional `K`/`M`/`G` (×10³/10⁶/10⁹)
+/// suffix, e.g. `2M` → 2 000 000.  Returns `None` on malformed input or
+/// overflow.
+fn parse_tick_count(text: &str) -> Option<u64> {
+    let (digits, multiplier) = match text.as_bytes().last()? {
+        b'K' | b'k' => (&text[..text.len() - 1], 1_000u64),
+        b'M' | b'm' => (&text[..text.len() - 1], 1_000_000),
+        b'G' | b'g' => (&text[..text.len() - 1], 1_000_000_000),
+        _ => (text, 1),
+    };
+    let value: u64 = digits.parse().ok()?;
+    value.checked_mul(multiplier)
+}
+
+/// Formats a tick count back into the `-budget` notation, folding exact
+/// multiples into the `K`/`M`/`G` suffixes ([`parse_tick_count`]'s
+/// inverse on its own output).
+fn format_tick_count(ticks: u64) -> String {
+    match ticks {
+        t if t >= 1_000_000_000 && t % 1_000_000_000 == 0 => format!("{}G", t / 1_000_000_000),
+        t if t >= 1_000_000 && t % 1_000_000 == 0 => format!("{}M", t / 1_000_000),
+        t if t >= 1_000 && t % 1_000 == 0 => format!("{}K", t / 1_000),
+        t => t.to_string(),
     }
 }
 
@@ -244,45 +314,52 @@ impl fmt::Display for FlowScript {
         let rendered: Vec<String> = self
             .steps
             .iter()
-            .map(|step| match step {
-                FlowStep::Balance => "bz".to_string(),
-                FlowStep::Rewrite { zero_gain: false } => "rw".to_string(),
-                FlowStep::Rewrite { zero_gain: true } => "rwz".to_string(),
-                FlowStep::Refactor { zero_gain: false } => "rf".to_string(),
-                FlowStep::Refactor { zero_gain: true } => "rfz".to_string(),
-                FlowStep::Resubstitute { cut_size, depth } => {
-                    if *depth == 1 {
-                        format!("rs -c {cut_size}")
-                    } else {
-                        format!("rs -c {cut_size} -d {depth}")
+            .zip(&self.budgets)
+            .map(|(step, budget)| {
+                let mut text = match step {
+                    FlowStep::Balance => "bz".to_string(),
+                    FlowStep::Rewrite { zero_gain: false } => "rw".to_string(),
+                    FlowStep::Rewrite { zero_gain: true } => "rwz".to_string(),
+                    FlowStep::Refactor { zero_gain: false } => "rf".to_string(),
+                    FlowStep::Refactor { zero_gain: true } => "rfz".to_string(),
+                    FlowStep::Resubstitute { cut_size, depth } => {
+                        if *depth == 1 {
+                            format!("rs -c {cut_size}")
+                        } else {
+                            format!("rs -c {cut_size} -d {depth}")
+                        }
                     }
+                    FlowStep::Fraig {
+                        conflict_limit,
+                        record_choices,
+                    } => {
+                        let mut s = "fraig".to_string();
+                        if let Some(limit) = conflict_limit {
+                            s.push_str(&format!(" -c {limit}"));
+                        }
+                        if *record_choices {
+                            s.push_str(" -choices");
+                        }
+                        s
+                    }
+                    FlowStep::LutMap {
+                        lut_size,
+                        use_choices,
+                    } => {
+                        let mut s = "lut_map".to_string();
+                        if *lut_size != 6 {
+                            s.push_str(&format!(" -k {lut_size}"));
+                        }
+                        if *use_choices {
+                            s.push_str(" -choices");
+                        }
+                        s
+                    }
+                };
+                if let Some(ticks) = budget {
+                    text.push_str(&format!(" -budget {}", format_tick_count(*ticks)));
                 }
-                FlowStep::Fraig {
-                    conflict_limit,
-                    record_choices,
-                } => {
-                    let mut s = "fraig".to_string();
-                    if let Some(limit) = conflict_limit {
-                        s.push_str(&format!(" -c {limit}"));
-                    }
-                    if *record_choices {
-                        s.push_str(" -choices");
-                    }
-                    s
-                }
-                FlowStep::LutMap {
-                    lut_size,
-                    use_choices,
-                } => {
-                    let mut s = "lut_map".to_string();
-                    if *lut_size != 6 {
-                        s.push_str(&format!(" -k {lut_size}"));
-                    }
-                    if *use_choices {
-                        s.push_str(" -choices");
-                    }
-                    s
-                }
+                text
             })
             .collect();
         write!(f, "{}", rendered.join("; "))
@@ -392,6 +469,54 @@ mod tests {
         assert!(FlowScript::parse("lut_map -k").is_err());
         assert!(FlowScript::parse("lut_map -k x").is_err());
         assert!(FlowScript::parse("fraig -choices extra").is_err());
+    }
+
+    #[test]
+    fn parses_step_budgets() {
+        let script =
+            FlowScript::parse("rw -budget 2M; rs -c 6 -budget 500; fraig -c 9 -budget 1K; bz")
+                .unwrap();
+        assert_eq!(script.steps().len(), 4);
+        assert_eq!(script.budget_of(0), Some(2_000_000));
+        assert_eq!(script.budget_of(1), Some(500));
+        assert_eq!(
+            script.steps()[1],
+            FlowStep::Resubstitute {
+                cut_size: 6,
+                depth: 1
+            }
+        );
+        assert_eq!(script.budget_of(2), Some(1_000));
+        assert_eq!(
+            script.steps()[2],
+            FlowStep::Fraig {
+                conflict_limit: Some(9),
+                record_choices: false,
+            }
+        );
+        assert_eq!(script.budget_of(3), None);
+        assert_eq!(script.budget_of(99), None);
+        // the flag may appear before command-specific options
+        let script = FlowScript::parse("rs -budget 3G -c 8 -d 2").unwrap();
+        assert_eq!(script.budget_of(0), Some(3_000_000_000));
+        assert_eq!(
+            script.steps()[0],
+            FlowStep::Resubstitute {
+                cut_size: 8,
+                depth: 2
+            }
+        );
+        assert!(FlowScript::parse("rw -budget").is_err());
+        assert!(FlowScript::parse("rw -budget x").is_err());
+        assert!(FlowScript::parse("rw -budget 1T").is_err());
+    }
+
+    #[test]
+    fn budgets_roundtrip_through_display() {
+        let text = "rw -budget 2M; rs -c 6; fraig -c 9 -budget 1K; bz -budget 12345";
+        let script = FlowScript::parse(text).unwrap();
+        assert_eq!(script.to_string(), text);
+        assert_eq!(FlowScript::parse(&script.to_string()).unwrap(), script);
     }
 
     #[test]

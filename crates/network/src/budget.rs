@@ -1,0 +1,313 @@
+//! Effort budgets and deadlines: the cooperative resource-governance
+//! substrate of resilient flow execution.
+//!
+//! A [`Budget`] bounds how much work an optimisation pass may spend.  The
+//! primary currency is **ticks** — one tick per candidate considered (a
+//! node visit in rewriting/refactoring/resubstitution/balancing, a proof
+//! attempt in sweeping, a mapping decision in LUT covering) — so budgets
+//! are *deterministic*: the same network and the same limit exhaust at
+//! exactly the same decision point on every run, which is what makes
+//! budget behaviour property-testable.  An optional **wall-clock
+//! deadline** rides on top for real deployments; it is polled only every
+//! [`DEADLINE_POLL_INTERVAL`] ticks so the hot loop never pays an
+//! `Instant::now()` per candidate.
+//!
+//! Passes poll the budget *between* candidates ([`Budget::consume`]) and
+//! stop cleanly when it reports exhaustion: every substitution already
+//! committed stands, no candidate is ever left half-applied, and the pass
+//! reports [`StepOutcome::Exhausted`] with the tick at which it stopped.
+//!
+//! The budget is also the deterministic **fault-injection** point of the
+//! resilient executor: [`Budget::inject`] arms a panic or a forced
+//! exhaustion at an exact tick, so recovery paths are exercised at
+//! reproducible decision points rather than by killing threads at random.
+//!
+//! SAT effort is folded into the same currency: a finite tick budget maps
+//! to a solver propagation allowance
+//! ([`Budget::sat_propagation_allowance`], at
+//! [`SAT_PROPAGATIONS_PER_TICK`] propagations per tick) and solver work
+//! is charged back with [`Budget::consume_sat`] — propagation counts are
+//! deterministic, so budgeted proving remains reproducible.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How often (in ticks) a wall-clock deadline is actually compared
+/// against `Instant::now()`.
+pub const DEADLINE_POLL_INTERVAL: u64 = 1024;
+
+/// Exchange rate between solver propagations and budget ticks: a finite
+/// budget of `n` remaining ticks grants the SAT solver
+/// `n * SAT_PROPAGATIONS_PER_TICK` propagations, and `p` spent
+/// propagations charge `p / SAT_PROPAGATIONS_PER_TICK + 1` ticks.
+pub const SAT_PROPAGATIONS_PER_TICK: u64 = 256;
+
+/// How a budgeted pass ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The pass visited every candidate.
+    #[default]
+    Completed,
+    /// The budget ran out; the pass stopped at tick `at` having committed
+    /// only the substitutions applied so far.
+    Exhausted {
+        /// Tick count at the moment the pass observed exhaustion.
+        at: u64,
+    },
+}
+
+impl StepOutcome {
+    /// `true` when the pass ran to completion.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, StepOutcome::Completed)
+    }
+}
+
+/// A deterministic fault armed on a budget (see [`Budget::inject`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic at the armed tick — exercises the executor's `catch_unwind`
+    /// isolation and rollback.
+    Panic,
+    /// Report exhaustion at the armed tick regardless of the limit —
+    /// exercises the cooperative-stop path.
+    Exhaust,
+}
+
+/// Panic payload message prefix of injected faults (tests match on it to
+/// distinguish injected panics from real ones).
+pub const INJECTED_PANIC_MESSAGE: &str = "injected fault: panic at budget tick";
+
+/// A cooperative effort budget (ticks + optional wall-clock deadline).
+///
+/// Interior-mutable (`&Budget` is enough to charge it), `Sync`, and
+/// latching: once exhausted it stays exhausted, so a pass that missed one
+/// poll still stops at the next.
+#[derive(Debug)]
+pub struct Budget {
+    ticks: AtomicU64,
+    /// Tick limit; `u64::MAX` means unlimited.
+    tick_limit: u64,
+    deadline: Option<Instant>,
+    exhausted: AtomicBool,
+    /// Tick at which the armed fault fires; `u64::MAX` means none.
+    inject_at: u64,
+    inject: Option<InjectedFault>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never exhausts (the default of every non-guarded
+    /// entry point).
+    pub fn unlimited() -> Self {
+        Self {
+            ticks: AtomicU64::new(0),
+            tick_limit: u64::MAX,
+            deadline: None,
+            exhausted: AtomicBool::new(false),
+            inject_at: u64::MAX,
+            inject: None,
+        }
+    }
+
+    /// A deterministic budget of `limit` ticks (no wall clock involved —
+    /// the mode every test uses).
+    pub fn with_ticks(limit: u64) -> Self {
+        Self {
+            tick_limit: limit,
+            ..Self::unlimited()
+        }
+    }
+
+    /// A wall-clock budget: exhausts once `deadline` has elapsed (checked
+    /// every [`DEADLINE_POLL_INTERVAL`] ticks).
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            deadline: Some(Instant::now() + deadline),
+            ..Self::unlimited()
+        }
+    }
+
+    /// Adds a wall-clock deadline on top of an existing tick limit.
+    pub fn and_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(Instant::now() + deadline);
+        self
+    }
+
+    /// Arms a deterministic fault that fires when the tick counter
+    /// reaches `at_tick` (see [`InjectedFault`]).
+    pub fn inject(mut self, fault: InjectedFault, at_tick: u64) -> Self {
+        self.inject = Some(fault);
+        self.inject_at = at_tick;
+        self
+    }
+
+    /// Charges `n` ticks and returns `true` while the budget still has
+    /// headroom.  Passes call this between candidates and stop (cleanly)
+    /// on `false`.
+    #[inline]
+    pub fn consume(&self, n: u64) -> bool {
+        let before = self.ticks.fetch_add(n, Ordering::Relaxed);
+        let now = before.saturating_add(n);
+        if let Some(fault) = self.inject {
+            if before < self.inject_at && now >= self.inject_at {
+                match fault {
+                    InjectedFault::Panic => {
+                        panic!("{} {}", INJECTED_PANIC_MESSAGE, self.inject_at)
+                    }
+                    InjectedFault::Exhaust => self.exhausted.store(true, Ordering::Relaxed),
+                }
+            }
+        }
+        if now >= self.tick_limit {
+            self.exhausted.store(true, Ordering::Relaxed);
+        }
+        if let Some(deadline) = self.deadline {
+            // amortised: only look at the clock when a poll interval
+            // boundary was crossed by this charge
+            if before / DEADLINE_POLL_INTERVAL != now / DEADLINE_POLL_INTERVAL
+                && Instant::now() >= deadline
+            {
+                self.exhausted.store(true, Ordering::Relaxed);
+            }
+        }
+        !self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Charges solver work back to the budget (`propagations` spent by a
+    /// SAT query), converted at [`SAT_PROPAGATIONS_PER_TICK`].
+    #[inline]
+    pub fn consume_sat(&self, propagations: u64) -> bool {
+        self.consume(propagations / SAT_PROPAGATIONS_PER_TICK + 1)
+    }
+
+    /// Propagation allowance for the next SAT query under this budget:
+    /// `None` when the budget is unlimited (no tick limit), otherwise the
+    /// remaining ticks converted at [`SAT_PROPAGATIONS_PER_TICK`] (at
+    /// least 1, so an exhausted budget yields `Unknown` rather than a
+    /// runaway solve).
+    #[inline]
+    pub fn sat_propagation_allowance(&self) -> Option<u64> {
+        if self.tick_limit == u64::MAX {
+            return None;
+        }
+        Some(
+            self.remaining()
+                .saturating_mul(SAT_PROPAGATIONS_PER_TICK)
+                .max(1),
+        )
+    }
+
+    /// Ticks charged so far.
+    #[inline]
+    pub fn spent(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Ticks left before the tick limit (``u64::MAX`` when unlimited).
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        if self.tick_limit == u64::MAX {
+            u64::MAX
+        } else {
+            self.tick_limit.saturating_sub(self.spent())
+        }
+    }
+
+    /// `true` once any limit (or an injected exhaustion) has fired.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// The [`StepOutcome`] this budget dictates right now.
+    #[inline]
+    pub fn outcome(&self) -> StepOutcome {
+        if self.is_exhausted() {
+            StepOutcome::Exhausted { at: self.spent() }
+        } else {
+            StepOutcome::Completed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.consume(1));
+        }
+        assert!(!b.is_exhausted());
+        assert_eq!(b.outcome(), StepOutcome::Completed);
+        assert_eq!(b.spent(), 10_000);
+        assert_eq!(b.sat_propagation_allowance(), None);
+    }
+
+    #[test]
+    fn tick_budget_exhausts_deterministically() {
+        let b = Budget::with_ticks(5);
+        assert!(b.consume(1));
+        assert!(b.consume(3));
+        assert!(!b.consume(1)); // 5th tick trips the limit
+        assert!(b.is_exhausted());
+        assert_eq!(b.outcome(), StepOutcome::Exhausted { at: 5 });
+        // latched: it stays exhausted
+        assert!(!b.consume(1));
+    }
+
+    #[test]
+    fn injected_exhaustion_fires_at_exact_tick() {
+        let b = Budget::with_ticks(1_000_000).inject(InjectedFault::Exhaust, 3);
+        assert!(b.consume(1));
+        assert!(b.consume(1));
+        assert!(!b.consume(1));
+        assert_eq!(b.outcome(), StepOutcome::Exhausted { at: 3 });
+    }
+
+    #[test]
+    fn injected_panic_fires_at_exact_tick() {
+        let b = Budget::unlimited().inject(InjectedFault::Panic, 2);
+        assert!(b.consume(1));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.consume(1)))
+            .expect_err("tick 2 must panic");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.starts_with(INJECTED_PANIC_MESSAGE), "{message}");
+    }
+
+    #[test]
+    fn sat_allowance_tracks_remaining_ticks() {
+        let b = Budget::with_ticks(10);
+        assert_eq!(
+            b.sat_propagation_allowance(),
+            Some(10 * SAT_PROPAGATIONS_PER_TICK)
+        );
+        b.consume(9);
+        assert_eq!(
+            b.sat_propagation_allowance(),
+            Some(SAT_PROPAGATIONS_PER_TICK)
+        );
+        assert!(!b.consume_sat(5 * SAT_PROPAGATIONS_PER_TICK));
+        assert!(b.is_exhausted());
+        // exhausted but still well-defined: minimum allowance of 1
+        assert_eq!(b.sat_propagation_allowance(), Some(1));
+    }
+
+    #[test]
+    fn elapsed_deadline_exhausts_on_interval_crossing() {
+        let b = Budget::with_deadline(Duration::from_secs(0));
+        // the deadline is only polled when an interval boundary is
+        // crossed; a whole-interval charge always crosses one
+        assert!(!b.consume(DEADLINE_POLL_INTERVAL));
+        assert!(b.is_exhausted());
+    }
+}

@@ -167,6 +167,38 @@ macro_rules! impl_network_common {
                 self.storage.take_out(node);
             }
 
+            fn snapshot(&self) -> crate::NetworkSnapshot {
+                self.storage.snapshot()
+            }
+
+            fn restore(&mut self, snapshot: &crate::NetworkSnapshot) {
+                self.storage.restore(snapshot);
+            }
+
+            fn begin_undo(&mut self) {
+                self.storage.begin_undo();
+            }
+
+            fn commit_undo(&mut self) {
+                self.storage.commit_undo();
+            }
+
+            fn rollback_undo(&mut self) -> bool {
+                self.storage.rollback_undo()
+            }
+
+            fn has_undo(&self) -> bool {
+                self.storage.has_undo()
+            }
+
+            fn find_structural(
+                &self,
+                kind: crate::GateKind,
+                fanins: &[crate::Signal],
+            ) -> Option<crate::NodeId> {
+                self.storage.find_gate(kind, fanins)
+            }
+
             fn set_change_tracking(&mut self, enabled: bool) {
                 self.storage.set_change_tracking(enabled);
             }

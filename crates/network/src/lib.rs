@@ -50,6 +50,7 @@
 //! ```
 
 mod aig;
+pub mod budget;
 pub mod changes;
 pub mod choices;
 mod common;
@@ -73,6 +74,7 @@ pub mod wordsim;
 
 pub use aig::Aig;
 pub use bitops::SimBlock;
+pub use budget::{Budget, InjectedFault, StepOutcome};
 pub use changes::{ChangeEvent, ChangeLog};
 pub use choices::NO_CHOICE;
 pub use cleanup::{cleanup_dangling, cleanup_dangling_klut, convert_network};
@@ -82,6 +84,7 @@ pub use klut::Klut;
 pub use mig::Mig;
 pub use parallel::Parallelism;
 pub use signal::{NodeId, Signal};
+pub use storage::NetworkSnapshot;
 pub use traits::{assert_network_interface, GateBuilder, HasLevels, Network};
 pub use traversal::{LocalScratch, Traversal};
 pub use xag::Xag;

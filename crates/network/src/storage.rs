@@ -128,6 +128,65 @@ impl NodeData {
     }
 }
 
+/// An opaque, restorable copy of a network's logical state: node records
+/// (fanins, fanouts, PO references, liveness, LUT functions), PI/PO
+/// lists, the structural-hash table, the choice rings and any pending
+/// change events.  Scratch slots and the traversal-epoch counter are
+/// deliberately *not* part of a snapshot — they are per-run algorithm
+/// state, and restoring must never rewind the epoch (stale marks from a
+/// panicked pass would read as owned again).
+///
+/// Created by [`crate::Network::snapshot`], consumed by
+/// [`crate::Network::restore`]; the checkpoint half of the resilient
+/// flow executor's never-corrupt contract.
+#[derive(Clone, Debug)]
+pub struct NetworkSnapshot {
+    nodes: Vec<NodeData>,
+    pis: Vec<NodeId>,
+    pos: Vec<Signal>,
+    strash: HashMap<StrashKey, NodeId>,
+    num_dead_gates: usize,
+    choices: Option<ChoiceStore>,
+    changes: ChangeLog,
+    track_changes: bool,
+}
+
+impl NetworkSnapshot {
+    /// Number of node records captured (live and dead).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Pre-image undo journal: the cheap rollback path for *small* mutation
+/// bursts.  Where a [`NetworkSnapshot`] copies the whole network up
+/// front, the journal records only what a burst actually touches — the
+/// first-touch pre-image of every mutated node record, the pre-value of
+/// every structural-hash entry written, watermarks for appended
+/// nodes/PIs, and eager copies of the small shared tables (PO list,
+/// choice rings).  Rolling back replays the records newest-first.
+#[derive(Clone, Debug)]
+struct UndoJournal {
+    /// Node count at `begin_undo`; records at or past it are appends and
+    /// roll back by truncation.
+    node_watermark: usize,
+    pi_watermark: usize,
+    /// Eager copy — the PO list is small and mutated in place.
+    pos: Vec<Signal>,
+    /// First-touch pre-images of mutated pre-existing node records.
+    touched: HashMap<NodeId, NodeData>,
+    /// Pre-value of every strash entry written, oldest first; replayed in
+    /// reverse, each key ends at its pre-burst value.
+    strash_ops: Vec<(StrashKey, Option<NodeId>)>,
+    num_dead_gates: usize,
+    /// Eager copy — ring links are rebased in place during substitution.
+    choices: Option<ChoiceStore>,
+    /// Pending change-event count at `begin_undo`; events recorded by the
+    /// rolled-back burst are truncated away (they describe undone
+    /// structure).
+    changes_len: usize,
+}
+
 /// Shared storage: node table, PI/PO lists, structural hashing, scratch
 /// slots.
 #[derive(Clone, Debug, Default)]
@@ -153,6 +212,9 @@ pub(crate) struct Storage {
     /// [`Storage::enable_choices`], one `Option` check per mutation when
     /// absent.
     choices: Option<ChoiceStore>,
+    /// Active undo journal (see [`UndoJournal`]); absent outside guarded
+    /// mutation bursts, one `Option` check per mutation when absent.
+    journal: Option<Box<UndoJournal>>,
 }
 
 impl Storage {
@@ -251,6 +313,142 @@ impl Storage {
     fn record(&mut self, event: ChangeEvent) {
         if self.track_changes {
             self.changes.push(event);
+        }
+    }
+
+    // -- checkpoint / rollback ---------------------------------------------
+
+    /// Captures the complete logical state (see [`NetworkSnapshot`]).
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        NetworkSnapshot {
+            nodes: self.nodes.clone(),
+            pis: self.pis.clone(),
+            pos: self.pos.clone(),
+            strash: self.strash.clone(),
+            num_dead_gates: self.num_dead_gates,
+            choices: self.choices.clone(),
+            changes: self.changes.clone(),
+            track_changes: self.track_changes,
+        }
+    }
+
+    /// Restores the logical state captured by `snapshot`, discarding any
+    /// active undo journal.  Scratch slots are rebuilt zeroed and the
+    /// traversal epoch is **bumped, never rewound** — any stamp a
+    /// panicked pass left mid-traversal becomes unreachable, so the
+    /// single-traversal debug check cannot fire spuriously and no stale
+    /// mark can alias a fresh traversal.
+    pub fn restore(&mut self, snapshot: &NetworkSnapshot) {
+        self.nodes.clone_from(&snapshot.nodes);
+        self.pis.clone_from(&snapshot.pis);
+        self.pos.clone_from(&snapshot.pos);
+        self.strash.clone_from(&snapshot.strash);
+        self.num_dead_gates = snapshot.num_dead_gates;
+        self.choices.clone_from(&snapshot.choices);
+        self.changes.clone_from(&snapshot.changes);
+        self.track_changes = snapshot.track_changes;
+        self.journal = None;
+        self.scratch.clear();
+        self.scratch
+            .extend((0..snapshot.nodes.len()).map(|_| ScratchSlot::default()));
+        self.next_traversal_epoch();
+    }
+
+    /// Starts recording pre-images for the cheap rollback path (see
+    /// [`UndoJournal`]).  A journal that is already active is committed
+    /// first — nested bursts fold into the outer transaction's commit.
+    pub fn begin_undo(&mut self) {
+        self.journal = Some(Box::new(UndoJournal {
+            node_watermark: self.nodes.len(),
+            pi_watermark: self.pis.len(),
+            pos: self.pos.clone(),
+            touched: HashMap::new(),
+            strash_ops: Vec::new(),
+            num_dead_gates: self.num_dead_gates,
+            choices: self.choices.clone(),
+            changes_len: self.changes.len(),
+        }));
+    }
+
+    /// Accepts the mutations since [`Storage::begin_undo`] and drops the
+    /// journal.  No-op without an active journal.
+    pub fn commit_undo(&mut self) {
+        self.journal = None;
+    }
+
+    /// Returns `true` while an undo journal is recording.
+    pub fn has_undo(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Rolls the network back to the state at [`Storage::begin_undo`] and
+    /// drops the journal; returns `false` (and does nothing) without an
+    /// active journal.  Epoch hygiene matches [`Storage::restore`]: the
+    /// traversal epoch is bumped, never rewound.
+    pub fn rollback_undo(&mut self) -> bool {
+        let Some(journal) = self.journal.take() else {
+            return false;
+        };
+        let journal = *journal;
+        // strash entries: newest-first replay lands every key on its
+        // pre-burst value (the first op on a key recorded it)
+        for (key, previous) in journal.strash_ops.into_iter().rev() {
+            match previous {
+                Some(id) => {
+                    self.strash.insert(key, id);
+                }
+                None => {
+                    self.strash.remove(&key);
+                }
+            }
+        }
+        for (id, data) in journal.touched {
+            self.nodes[id as usize] = data;
+        }
+        self.nodes.truncate(journal.node_watermark);
+        self.scratch.truncate(journal.node_watermark);
+        self.pis.truncate(journal.pi_watermark);
+        self.pos = journal.pos;
+        self.num_dead_gates = journal.num_dead_gates;
+        self.choices = journal.choices;
+        self.changes.truncate(journal.changes_len);
+        self.next_traversal_epoch();
+        true
+    }
+
+    /// Records the pre-image of node `id` into the active journal (first
+    /// touch only; appended nodes roll back by truncation instead).
+    /// Called before every mutation of an existing node record.
+    #[inline]
+    fn journal_touch(&mut self, id: NodeId) {
+        if let Some(journal) = &mut self.journal {
+            let index = id as usize;
+            if index < journal.node_watermark {
+                journal
+                    .touched
+                    .entry(id)
+                    .or_insert_with(|| self.nodes[index].clone());
+            }
+        }
+    }
+
+    /// Strash insertion with journalled pre-value.
+    #[inline]
+    fn strash_insert(&mut self, key: StrashKey, id: NodeId) {
+        let previous = self.strash.insert(key, id);
+        if let Some(journal) = &mut self.journal {
+            journal.strash_ops.push((key, previous));
+        }
+    }
+
+    /// Strash removal with journalled pre-value (no-op entries skipped).
+    #[inline]
+    fn strash_remove(&mut self, key: &StrashKey) {
+        let previous = self.strash.remove(key);
+        if previous.is_some() {
+            if let Some(journal) = &mut self.journal {
+                journal.strash_ops.push((*key, previous));
+            }
         }
     }
 
@@ -420,6 +618,7 @@ impl Storage {
     }
 
     pub fn create_po(&mut self, signal: Signal) -> usize {
+        self.journal_touch(signal.node());
         let driver = self.node_mut(signal.node());
         driver.po_refs += 1;
         driver.fanout_count += 1;
@@ -446,12 +645,13 @@ impl Storage {
     ) -> NodeId {
         let id = self.nodes.len() as NodeId;
         for f in fanins {
+            self.journal_touch(f.node());
             let fanin = &mut self.nodes[f.node() as usize];
             fanin.fanouts.push(id);
             fanin.fanout_count += 1;
         }
         if kind != GateKind::Lut {
-            self.strash.insert(StrashKey::new(kind, fanins), id);
+            self.strash_insert(StrashKey::new(kind, fanins), id);
         }
         self.nodes.push(NodeData::new(
             kind,
@@ -563,6 +763,8 @@ impl Storage {
             if old == new.node() || self.node(old).dead || self.node(new.node()).dead {
                 continue;
             }
+            self.journal_touch(old);
+            self.journal_touch(new.node());
             // Unique parents (a parent appears once per fanin occurrence).
             let mut parents = self.node(old).fanouts.clone();
             parents.sort_unstable();
@@ -571,12 +773,13 @@ impl Storage {
                 if self.node(p).dead {
                     continue;
                 }
+                self.journal_touch(p);
                 let kind = self.node(p).kind;
                 // Remove the stale strash entry for p (if it points to p).
                 if kind != GateKind::Lut {
                     let key = StrashKey::new(kind, self.node(p).fanins.as_slice());
                     if self.strash.get(&key) == Some(&p) {
-                        self.strash.remove(&key);
+                        self.strash_remove(&key);
                     }
                 }
                 // Update fanins of p and move fanout references.
@@ -618,7 +821,7 @@ impl Storage {
                         }
                         Some(_) => {}
                         None => {
-                            self.strash.insert(key, p);
+                            self.strash_insert(key, p);
                         }
                     }
                 }
@@ -646,6 +849,8 @@ impl Storage {
         if old == new.node() {
             return;
         }
+        self.journal_touch(old);
+        self.journal_touch(new.node());
         let mut moved = 0u32;
         for po in &mut self.pos {
             if po.node() == old {
@@ -680,11 +885,12 @@ impl Storage {
                 continue;
             }
             // mark dead and unregister from strash
+            self.journal_touch(id);
             let kind = self.node(id).kind;
             if kind != GateKind::Lut {
                 let key = StrashKey::new(kind, self.node(id).fanins.as_slice());
                 if self.strash.get(&key) == Some(&id) {
-                    self.strash.remove(&key);
+                    self.strash_remove(&key);
                 }
             }
             self.nodes[id as usize].dead = true;
@@ -692,6 +898,7 @@ impl Storage {
             self.record(ChangeEvent::Deleted { node: id });
             let fanins = self.nodes[id as usize].fanins.clone();
             for f in &fanins {
+                self.journal_touch(f.node());
                 let fanin = &mut self.nodes[f.node() as usize];
                 if let Some(pos) = fanin.fanouts.iter().position(|&q| q == id) {
                     fanin.fanouts.swap_remove(pos);
@@ -913,6 +1120,151 @@ mod tests {
         assert_eq!(s.next_choice(g), Some(m));
         assert_eq!(s.next_choice(m), Some(n));
         assert_eq!(s.next_choice(n), None);
+    }
+
+    /// Deterministic rendering of the complete logical state (strash
+    /// entries sorted — `HashMap` iteration order is arbitrary).
+    fn fingerprint(s: &Storage) -> String {
+        let mut strash: Vec<String> = s
+            .strash
+            .iter()
+            .map(|(k, v)| format!("{k:?}=>{v}"))
+            .collect();
+        strash.sort();
+        format!(
+            "nodes={:?} pis={:?} pos={:?} strash={:?} dead={} choices={:?} changes={:?} track={}",
+            s.nodes, s.pis, s.pos, strash, s.num_dead_gates, s.choices, s.changes, s.track_changes
+        )
+    }
+
+    /// A small network with sharing, a dead node and a complemented PO.
+    fn build_sample() -> (Storage, Signal, Signal, Signal, NodeId, NodeId) {
+        let mut s = Storage::new();
+        let a = s.create_pi();
+        let b = s.create_pi();
+        let c = s.create_pi();
+        let g1 = s.find_or_create_gate(GateKind::And, &[a, b]);
+        let g2 = s.find_or_create_gate(GateKind::And, &[sig(g1), c]);
+        s.create_po(sig(g2));
+        s.create_po(!sig(g1));
+        (s, a, b, c, g1, g2)
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_and_bumps_the_epoch() {
+        let (mut s, a, b, _c, g1, g2) = build_sample();
+        let before = fingerprint(&s);
+        let snap = s.snapshot();
+        assert_eq!(snap.num_nodes(), s.nodes.len());
+        // mutate heavily: substitution, deletion, fresh structure, new PO
+        s.substitute(g1, a);
+        s.take_out(g2);
+        let h = s.find_or_create_gate(GateKind::And, &[!a, b]);
+        s.create_po(sig(h));
+        assert_ne!(fingerprint(&s), before);
+        let epoch_before = s.current_traversal_epoch();
+        s.restore(&snap);
+        assert_eq!(fingerprint(&s), before);
+        // scratch follows the restored node table, zeroed
+        assert_eq!(s.scratch.len(), s.nodes.len());
+        assert!((0..s.nodes.len()).all(|i| s.scratch(i as NodeId) == 0));
+        // the epoch is bumped, never rewound
+        assert!(s.current_traversal_epoch() > epoch_before);
+    }
+
+    #[test]
+    fn snapshot_preserves_pending_change_events() {
+        let (mut s, a, _b, _c, g1, _g2) = build_sample();
+        s.set_change_tracking(true);
+        s.substitute(g1, a);
+        let pending = s.changes.len();
+        assert!(pending > 0);
+        let snap = s.snapshot();
+        let mut log = ChangeLog::new();
+        s.drain_changes(&mut log);
+        s.restore(&snap);
+        // the enclosing consumer's undrained events are reinstated exactly
+        assert_eq!(s.changes.len(), pending);
+        assert_eq!(s.changes.events(), log.events());
+    }
+
+    #[test]
+    fn journal_rollback_restores_pre_burst_state() {
+        let (mut s, a, b, _c, g1, g2) = build_sample();
+        let before = fingerprint(&s);
+        assert!(!s.has_undo());
+        assert!(!s.rollback_undo(), "no journal, nothing to roll back");
+        s.begin_undo();
+        assert!(s.has_undo());
+        // a burst touching every journalled surface: node appends, fanin
+        // rewires, strash writes, deletions, PO edits
+        s.substitute(g1, a);
+        s.take_out(g2);
+        let h = s.find_or_create_gate(GateKind::And, &[!a, b]);
+        s.create_po(!sig(h));
+        assert_ne!(fingerprint(&s), before);
+        let epoch_before = s.current_traversal_epoch();
+        assert!(s.rollback_undo());
+        assert_eq!(fingerprint(&s), before);
+        assert!(!s.has_undo());
+        assert!(s.current_traversal_epoch() > epoch_before);
+        // the strash replay is consistent: looking up g1's key finds g1
+        // again rather than creating a duplicate
+        let again = s.find_or_create_gate(GateKind::And, &[a, b]);
+        assert_eq!(again, g1);
+    }
+
+    #[test]
+    fn journal_commit_accepts_the_burst() {
+        let (mut s, a, _b, _c, g1, _g2) = build_sample();
+        s.begin_undo();
+        s.substitute(g1, a);
+        let mutated = fingerprint(&s);
+        s.commit_undo();
+        assert!(!s.has_undo());
+        assert!(!s.rollback_undo(), "committed: nothing left to undo");
+        assert_eq!(fingerprint(&s), mutated);
+    }
+
+    #[test]
+    fn journal_rollback_truncates_burst_change_events() {
+        let (mut s, a, _b, _c, g1, _g2) = build_sample();
+        s.set_change_tracking(true);
+        s.begin_undo();
+        s.substitute(g1, a);
+        assert!(!s.changes.is_empty());
+        assert!(s.rollback_undo());
+        // events describing undone structure never reach a consumer
+        assert!(s.changes.is_empty());
+        let mut log = ChangeLog::new();
+        s.drain_changes(&mut log);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn journal_rollback_restores_choice_rings() {
+        let mut s = Storage::new();
+        let a = s.create_pi();
+        let b = s.create_pi();
+        let c = s.create_pi();
+        let g = s.find_or_create_gate(GateKind::And, &[a, b]);
+        s.create_po(sig(g));
+        let h1 = s.find_or_create_gate(GateKind::And, &[a, c]);
+        let h = s.find_or_create_gate(GateKind::And, &[sig(h1), b]);
+        s.create_po(sig(h));
+        s.enable_choices();
+        assert!(s.register_choice(h, sig(g)));
+        let before = fingerprint(&s);
+        s.begin_undo();
+        // substituting the representative migrates the ring in place
+        let g2 = s.find_or_create_gate(GateKind::And, &[b, c]);
+        s.create_po(sig(g2));
+        s.substitute(g, sig(g2));
+        assert_eq!(s.choice_repr(h), g2);
+        assert!(s.rollback_undo());
+        assert_eq!(fingerprint(&s), before);
+        assert_eq!(s.choice_repr(h), g);
+        assert_eq!(s.next_choice(g), Some(h));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Views: derived information layered on top of a network without
 //! modifying it (topological order, levels/depth, reachability).
 
-use crate::{ChangeEvent, ChangeLog, Network, NodeId, Signal};
+use crate::{ChangeEvent, ChangeLog, GateKind, Network, NodeId, Signal};
 
 /// Returns the set of nodes reachable from the primary outputs (the
 /// "useful" logic), including primary inputs and the constant node.
@@ -348,8 +348,12 @@ pub fn is_in_transitive_fanin<N: Network>(ntk: &N, root: NodeId, query: NodeId) 
 }
 
 /// Checks structural sanity of a network: fanins of live nodes are live,
-/// fanout counts are consistent and primary outputs point at live nodes.
-/// Used by tests and debug assertions in the algorithms.
+/// fanout counts are consistent, primary outputs point at live nodes,
+/// the gate order is topological, every live fixed-function gate is
+/// findable through the structural-hash table, and (when enabled) the
+/// choice rings pass [`check_choice_integrity`].  Used by tests, debug
+/// assertions in the algorithms, and the resilient executor's
+/// post-rollback audit.
 pub fn check_network_integrity<N: Network>(ntk: &N) -> Result<(), String> {
     // dense per-node PO reference counts, computed once
     let mut po_ref_counts = vec![0usize; ntk.size()];
@@ -403,7 +407,32 @@ pub fn check_network_integrity<N: Network>(ntk: &N) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    // structural-hash consistency: every live fixed-function gate must be
+    // findable through the hash table (LUTs are not hashed).  Without
+    // choice rings, duplicates are merged eagerly, so the table must
+    // answer with the gate itself; with rings, a member kept alive as a
+    // mapping choice may share its key with a live duplicate.
+    for node in ntk.gate_nodes() {
+        let kind = ntk.gate_kind(node);
+        if kind == GateKind::Lut {
+            continue;
+        }
+        let fanins = ntk.fanins(node);
+        match ntk.find_structural(kind, &fanins) {
+            None => {
+                return Err(format!(
+                    "live gate {node} is missing from the structural-hash table"
+                ));
+            }
+            Some(found) if found != node && !ntk.has_choices() => {
+                return Err(format!(
+                    "structural-hash entry for live gate {node} points at {found}"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    check_choice_integrity(ntk)
 }
 
 /// Returns the primary-output signals as a vector (convenience used by

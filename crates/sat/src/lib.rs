@@ -31,7 +31,7 @@
 
 mod solver;
 
-pub use solver::{Lit, SatResult, Solver, SolverStats, Var};
+pub use solver::{Lit, SatResult, Solver, SolverLimit, SolverStats, Var};
 
 #[cfg(test)]
 mod tests {
@@ -177,7 +177,27 @@ mod tests {
         }
         s.set_conflict_limit(Some(1));
         assert_eq!(s.solve(), SatResult::Unknown);
+        assert_eq!(s.last_limit(), Some(SolverLimit::Conflicts));
         s.set_conflict_limit(None);
+    }
+
+    #[test]
+    fn propagation_limit_returns_unknown_and_names_the_limit() {
+        // a chain of implications forces propagations on the very first
+        // decision; a budget of 1 propagation must give up deterministically
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..20).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause(&[lit(w[0], false), lit(w[1], true)]);
+        }
+        s.set_propagation_limit(Some(1));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        assert_eq!(s.last_limit(), Some(SolverLimit::Propagations));
+        // lifting the limit restores a definite answer and clears the
+        // indicator
+        s.set_propagation_limit(None);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.last_limit(), None);
     }
 
     #[test]

@@ -110,8 +110,27 @@ pub enum SatResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
-    /// The solver gave up because the conflict limit was reached.
+    /// The solver gave up because a resource limit (conflicts or
+    /// propagations) was reached; see [`Solver::last_limit`] for which.
     Unknown,
+}
+
+/// Which resource limit ended a solve call with [`SatResult::Unknown`].
+///
+/// Callers use this to distinguish "the budget ran out" from a genuine
+/// solver failure: in this solver `Unknown` is *only* ever produced by a
+/// limit, so an `Unknown` with [`Solver::last_limit`] `== None` cannot
+/// happen — the distinction matters to consumers (e.g. equivalence
+/// checking) that fold solver and non-solver failure modes into one
+/// result type.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SolverLimit {
+    /// The per-call conflict limit ([`Solver::set_conflict_limit`]).
+    Conflicts,
+    /// The per-call propagation limit
+    /// ([`Solver::set_propagation_limit`]) — the knob effort budgets
+    /// drive, since propagation counts are deterministic.
+    Propagations,
 }
 
 /// Aggregate statistics of a solver instance.
@@ -168,6 +187,10 @@ pub struct Solver {
     ok: bool,
     stats: SolverStats,
     conflict_limit: Option<u64>,
+    propagation_limit: Option<u64>,
+    /// Which limit (if any) ended the most recent solve call with
+    /// [`SatResult::Unknown`].
+    last_limit: Option<SolverLimit>,
     model: Vec<LBool>,
 }
 
@@ -198,6 +221,8 @@ impl Solver {
             ok: true,
             stats: SolverStats::default(),
             conflict_limit: None,
+            propagation_limit: None,
+            last_limit: None,
             model: Vec::new(),
         }
     }
@@ -222,6 +247,22 @@ impl Solver {
     /// [`SatResult::Unknown`].
     pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
         self.conflict_limit = limit;
+    }
+
+    /// Limits the number of literal propagations per [`Solver::solve`]
+    /// call; `None` removes the limit.  When the limit is hit the solve
+    /// call returns [`SatResult::Unknown`].  Propagation counts are
+    /// deterministic for a fixed formula, which makes this the limit of
+    /// choice for reproducible effort budgets.
+    pub fn set_propagation_limit(&mut self, limit: Option<u64>) {
+        self.propagation_limit = limit;
+    }
+
+    /// Which resource limit ended the most recent solve call with
+    /// [`SatResult::Unknown`]; `None` if the last call returned a
+    /// definite result (or no call was made).
+    pub fn last_limit(&self) -> Option<SolverLimit> {
+        self.last_limit
     }
 
     /// Creates a fresh variable and returns it.
@@ -315,12 +356,22 @@ impl Solver {
         }
         self.model.clear();
         self.cancel_until(0);
+        self.last_limit = None;
         let start_conflicts = self.stats.conflicts;
+        let start_propagations = self.stats.propagations;
         let mut restart_limit = 100u64;
         let mut learnt_limit = (self.clauses.len() as u64 / 3).max(100);
 
         loop {
             let conflict = self.propagate();
+            // checked once per propagation batch, not per literal
+            if let Some(limit) = self.propagation_limit {
+                if self.stats.propagations - start_propagations >= limit {
+                    self.cancel_until(0);
+                    self.last_limit = Some(SolverLimit::Propagations);
+                    return SatResult::Unknown;
+                }
+            }
             if let Some(cref) = conflict {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
@@ -330,6 +381,7 @@ impl Solver {
                 if let Some(limit) = self.conflict_limit {
                     if self.stats.conflicts - start_conflicts >= limit {
                         self.cancel_until(0);
+                        self.last_limit = Some(SolverLimit::Conflicts);
                         return SatResult::Unknown;
                     }
                 }

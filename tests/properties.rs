@@ -1107,3 +1107,240 @@ fn parallel_execution_is_bit_identical_to_serial() {
         assert_eq!(parallel, serial, "portfolio diverged at {threads} threads");
     }
 }
+
+/// Interface-plus-structure fingerprint used to assert bit-identical
+/// checkpoint restoration: node-table size, live gate count, PO signals
+/// and every gate's exact fanin list.
+type NetworkFingerprint = (usize, usize, Vec<Signal>, Vec<(NodeId, Vec<Signal>)>);
+
+fn network_fingerprint<N: Network>(ntk: &N) -> NetworkFingerprint {
+    (
+        ntk.size(),
+        ntk.num_gates(),
+        ntk.po_signals(),
+        ntk.gate_nodes()
+            .into_iter()
+            .map(|n| (n, ntk.fanins(n)))
+            .collect(),
+    )
+}
+
+/// Checkpoint property: snapshot → arbitrary mutation burst → restore is
+/// bit-identical to the pre-snapshot network (same for the cheaper undo
+/// journal), on all three graph representations, and the restored
+/// network passes the full structural audit (strash + choice rings).
+#[test]
+fn checkpoints_restore_bit_identical_networks() {
+    fn check<N: Network + GateBuilder + Clone>(
+        build: impl Fn(&mut Rng) -> N,
+        rng: &mut Rng,
+        cases: u32,
+    ) {
+        for case in 0..cases {
+            let mut ntk = build(rng);
+            let reference = network_fingerprint(&ntk);
+            // full snapshot
+            let snapshot = ntk.snapshot();
+            glsx::benchmarks::inject_redundancy(&mut ntk, 3, 0xf00d + case as u64);
+            sweep(&mut ntk, &SweepParams::default());
+            balance(&mut ntk, &BalanceParams::default());
+            ntk.restore(&snapshot);
+            assert_eq!(
+                network_fingerprint(&ntk),
+                reference,
+                "{} case {case}: snapshot restore is not bit-identical",
+                N::NAME
+            );
+            assert!(
+                check_network_integrity(&ntk).is_ok(),
+                "{} case {case}: restored network fails the structural audit",
+                N::NAME
+            );
+            // undo journal
+            ntk.begin_undo();
+            glsx::benchmarks::inject_redundancy(&mut ntk, 3, 0xfeed + case as u64);
+            sweep(&mut ntk, &SweepParams::default());
+            balance(&mut ntk, &BalanceParams::default());
+            assert!(
+                ntk.rollback_undo(),
+                "{} case {case}: journal vanished",
+                N::NAME
+            );
+            assert_eq!(
+                network_fingerprint(&ntk),
+                reference,
+                "{} case {case}: journal rollback is not bit-identical",
+                N::NAME
+            );
+            assert!(
+                check_network_integrity(&ntk).is_ok(),
+                "{} case {case}: rolled-back network fails the structural audit",
+                N::NAME
+            );
+        }
+    }
+
+    let mut rng = Rng::seed_from_u64(0x1515);
+    check(|rng| arbitrary_network(rng, 6, 40), &mut rng, 6);
+    check(
+        |rng| {
+            let mut xag = Xag::new();
+            let mut signals: Vec<Signal> = (0..5).map(|_| xag.create_pi()).collect();
+            for step in 0..30 {
+                let a = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let b = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                signals.push(if step % 3 == 0 {
+                    xag.create_xor(a, b)
+                } else {
+                    xag.create_and(a, b)
+                });
+            }
+            for s in signals.iter().rev().take(3) {
+                xag.create_po(*s);
+            }
+            xag
+        },
+        &mut rng,
+        4,
+    );
+    check(
+        |rng| {
+            let mut mig = Mig::new();
+            let mut signals: Vec<Signal> = (0..5).map(|_| mig.create_pi()).collect();
+            for _ in 0..30 {
+                let a = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let b = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let c = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                signals.push(mig.create_maj(a, b, c));
+            }
+            for s in signals.iter().rev().take(3) {
+                mig.create_po(*s);
+            }
+            mig
+        },
+        &mut rng,
+        4,
+    );
+}
+
+/// Never-corrupt contract: the guarded executor stays miter-equivalent
+/// to its input under *any* fault plan — random panics, exhaustions and
+/// starved verifications at random sites, with both rollback strategies,
+/// on all three graph representations.
+#[test]
+fn guarded_flows_survive_arbitrary_fault_plans() {
+    use glsx::algorithms::resubstitution::ResubNetwork;
+    use glsx::flow::{
+        run_script_guarded, FaultPlan, FlowOptions, FlowScript, GuardOptions, RollbackStrategy,
+        StepStatus, VerifyMode,
+    };
+
+    fn arbitrary_fault_plan(rng: &mut Rng) -> FaultPlan {
+        let mut entries = Vec::new();
+        for site in ["balance", "rewrite", "refactor", "resub", "fraig"] {
+            if rng.gen_bool() {
+                let action = if rng.gen_bool() { "panic" } else { "exhaust" };
+                entries.push(format!("{action}@{site}:{}", 1 + rng.gen_range(2)));
+            }
+        }
+        if rng.gen_bool() {
+            entries.push(format!("unknown@verify:{}", 1 + rng.gen_range(5)));
+        }
+        FaultPlan::parse(&entries.join(",")).expect("generated plans are well-formed")
+    }
+
+    fn check<N: Network + GateBuilder + ResubNetwork + Clone>(
+        build: impl Fn(&mut Rng) -> N,
+        rng: &mut Rng,
+        cases: u32,
+    ) {
+        let script = FlowScript::parse("bz; rw; rs -c 6; fraig; rf; rwz").unwrap();
+        for case in 0..cases {
+            let source = build(rng);
+            let plan = arbitrary_fault_plan(rng);
+            for rollback in [RollbackStrategy::Snapshot, RollbackStrategy::Journal] {
+                let mut ntk = source.clone();
+                let report = run_script_guarded(
+                    &mut ntk,
+                    &script,
+                    &FlowOptions::default(),
+                    &GuardOptions {
+                        rollback,
+                        verify: VerifyMode::Miter,
+                        fault_plan: plan.clone(),
+                        ..GuardOptions::default()
+                    },
+                );
+                assert_eq!(
+                    report.final_verify,
+                    Some(true),
+                    "{} case {case} plan `{plan}` {rollback:?}: final miter not green: {report:?}",
+                    N::NAME
+                );
+                assert!(
+                    check_equivalence(&source, &ntk).is_equivalent(),
+                    "{} case {case} plan `{plan}` {rollback:?}: output diverged from input",
+                    N::NAME
+                );
+                assert!(
+                    check_network_integrity(&ntk).is_ok(),
+                    "{} case {case} plan `{plan}` {rollback:?}: corrupt output network",
+                    N::NAME
+                );
+                assert!(
+                    report.steps.iter().all(|s| s.status != StepStatus::Skipped),
+                    "{} case {case}: no deadline was set, nothing may be skipped",
+                    N::NAME
+                );
+                assert_eq!(
+                    report.committed + report.rollbacks,
+                    script.steps().len(),
+                    "{} case {case} plan `{plan}` {rollback:?}: steps unaccounted for: {report:?}",
+                    N::NAME
+                );
+            }
+        }
+    }
+
+    let mut rng = Rng::seed_from_u64(0x1516);
+    check(|rng| arbitrary_network(rng, 6, 40), &mut rng, 4);
+    check(
+        |rng| {
+            let mut xag = Xag::new();
+            let mut signals: Vec<Signal> = (0..5).map(|_| xag.create_pi()).collect();
+            for step in 0..30 {
+                let a = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let b = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                signals.push(if step % 3 == 0 {
+                    xag.create_xor(a, b)
+                } else {
+                    xag.create_and(a, b)
+                });
+            }
+            for s in signals.iter().rev().take(3) {
+                xag.create_po(*s);
+            }
+            xag
+        },
+        &mut rng,
+        2,
+    );
+    check(
+        |rng| {
+            let mut mig = Mig::new();
+            let mut signals: Vec<Signal> = (0..5).map(|_| mig.create_pi()).collect();
+            for _ in 0..30 {
+                let a = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let b = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                let c = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+                signals.push(mig.create_maj(a, b, c));
+            }
+            for s in signals.iter().rev().take(3) {
+                mig.create_po(*s);
+            }
+            mig
+        },
+        &mut rng,
+        2,
+    );
+}
