@@ -97,13 +97,7 @@ fn record_cut_throughput() {
     );
     // BENCH_cuts.json is a tracked baseline; only refresh it when asked,
     // so a casual bench run on a loaded machine cannot churn it
-    if std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cuts.json");
-        std::fs::write(path, json).expect("write BENCH_cuts.json");
-        println!("wrote {path}");
-    } else {
-        println!("(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_cuts.json)");
-    }
+    glsx_bench::emit_json("BENCH_cuts.json", &json);
 }
 
 fn bench_cut_enumeration(c: &mut Criterion) {

@@ -359,11 +359,5 @@ fn main() {
         cpus >= THREADS,
         json_rows.join(",\n")
     );
-    if std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
-        std::fs::write(path, json).expect("write BENCH_parallel.json");
-        println!("wrote {path}");
-    } else {
-        println!("(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_parallel.json)");
-    }
+    glsx_bench::emit_json("BENCH_parallel.json", &json);
 }

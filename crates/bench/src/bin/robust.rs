@@ -277,11 +277,5 @@ fn main() {
         recovery.substitutions,
         recovery.final_verify == Some(true)
     );
-    if std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robust.json");
-        std::fs::write(path, json).expect("write BENCH_robust.json");
-        println!("wrote {path}");
-    } else {
-        println!("(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_robust.json)");
-    }
+    glsx_bench::emit_json("BENCH_robust.json", &json);
 }

@@ -480,20 +480,7 @@ fn main() {
         map_json_rows.join(",\n")
     );
     // tracked baselines: only refresh on request, like BENCH_cuts.json
-    if std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rewrite.json");
-        std::fs::write(path, json).expect("write BENCH_rewrite.json");
-        println!("wrote {path}");
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
-        std::fs::write(path, sweep_json).expect("write BENCH_sweep.json");
-        println!("wrote {path}");
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_map.json");
-        std::fs::write(path, map_json).expect("write BENCH_map.json");
-        println!("wrote {path}");
-    } else {
-        println!(
-            "(set GLSX_WRITE_BENCH_BASELINE=1 to refresh BENCH_rewrite.json / \
-             BENCH_sweep.json / BENCH_map.json)"
-        );
-    }
+    glsx_bench::emit_json("BENCH_rewrite.json", &json);
+    glsx_bench::emit_json("BENCH_sweep.json", &sweep_json);
+    glsx_bench::emit_json("BENCH_map.json", &map_json);
 }

@@ -103,6 +103,20 @@ pub fn format_row(name: &str, cells: &[String]) -> String {
     row
 }
 
+/// Writes a tracked bench baseline (`BENCH_*.json`, `file_name` relative
+/// to the repository root) when `GLSX_WRITE_BENCH_BASELINE` is set, and
+/// prints the refresh hint otherwise — the shared tail of every bench
+/// binary.
+pub fn emit_json(file_name: &str, json: &str) {
+    let path = format!("{}/../../{file_name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("GLSX_WRITE_BENCH_BASELINE").is_some() {
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {file_name}: {e}"));
+        println!("wrote {path}");
+    } else {
+        println!("(set GLSX_WRITE_BENCH_BASELINE=1 to refresh {file_name})");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,6 +6,7 @@
 //! fanout and no complemented internal edges) are collected into a group
 //! and re-built as a balanced tree ordered by arrival times.
 
+use glsx_network::telemetry::{self, BatchSpans, MetricsSource, Tracer, BATCH_INTERVAL};
 use glsx_network::views::DepthView;
 use glsx_network::{Budget, GateBuilder, GateKind, Network, NodeId, Signal, StepOutcome};
 
@@ -52,6 +53,22 @@ pub fn balance_with_budget<N: Network + GateBuilder>(
     params: &BalanceParams,
     budget: &Budget,
 ) -> BalanceStats {
+    balance_traced(ntk, params, budget, telemetry::global())
+}
+
+/// [`balance_with_budget`] reporting through an explicit telemetry
+/// [`Tracer`]: a `balance` pass span, candidate-batch spans in full
+/// mode, and the pass statistics absorbed into the metrics registry.
+/// Tracing is observational only — results are bit-identical at any
+/// trace mode.
+pub fn balance_traced<N: Network + GateBuilder>(
+    ntk: &mut N,
+    params: &BalanceParams,
+    budget: &Budget,
+    tracer: &Tracer,
+) -> BalanceStats {
+    let _pass = tracer.span("balance");
+    let mut batch = BatchSpans::new(tracer, "balance_candidates", BATCH_INTERVAL);
     let mut stats = BalanceStats {
         depth_before: DepthView::new(ntk).depth(),
         ..BalanceStats::default()
@@ -70,6 +87,7 @@ pub fn balance_with_budget<N: Network + GateBuilder>(
         if !budget.consume(1) {
             break;
         }
+        batch.tick();
         // grow the group of same-kind gates reachable through
         // non-complemented, single-fanout edges
         let leaves = grow_group(ntk, node, kind);
@@ -98,7 +116,17 @@ pub fn balance_with_budget<N: Network + GateBuilder>(
     }
     stats.depth_after = DepthView::new(ntk).depth();
     stats.outcome = budget.outcome();
+    tracer.absorb("balance", &stats);
+    tracer.set_gauge("balance.depth_after", u64::from(stats.depth_after));
     stats
+}
+
+impl MetricsSource for BalanceStats {
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&str, u64)) {
+        visit("groups", self.groups as u64);
+        visit("rebuilt", self.rebuilt as u64);
+        visit("exhausted", u64::from(!self.outcome.is_completed()));
+    }
 }
 
 /// Collects the leaves of the maximal group of `kind`-gates rooted at

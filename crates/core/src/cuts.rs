@@ -509,6 +509,18 @@ pub struct CutCounters {
     pub choice_cuts: u64,
 }
 
+impl glsx_network::MetricsSource for CutCounters {
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&str, u64)) {
+        visit("enumerated_nodes", self.enumerated_nodes);
+        visit("enumerated_cuts", self.enumerated_cuts);
+        visit("reenumerated_nodes", self.reenumerated_nodes);
+        visit("reenumerated_cuts", self.reenumerated_cuts);
+        visit("invalidated_nodes", self.invalidated_nodes);
+        visit("refreshes", self.refreshes);
+        visit("choice_cuts", self.choice_cuts);
+    }
+}
+
 /// Reusable buffers of one cut-set computation: the Cartesian merge
 /// pipeline, the pruned result (with fused functions) and the cone-walk
 /// state for truth computation.

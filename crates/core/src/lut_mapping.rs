@@ -33,6 +33,7 @@
 //! verified reference, with a miter proof guarding the choices-on result.
 
 use crate::cuts::{ConeSimulator, Cut, CutManager, CutParams};
+use glsx_network::telemetry::{self, MetricsSource, Tracer};
 use glsx_network::{Budget, Klut, Network, NodeId, Signal, StepOutcome, Traversal};
 
 /// Parameters of LUT mapping.
@@ -185,7 +186,22 @@ pub fn lut_map_budgeted<N: Network>(
     params: &LutMapParams,
     budget: &Budget,
 ) -> (Klut, LutMapStats) {
-    let selected = select_cover_budgeted(ntk, params, budget);
+    lut_map_traced(ntk, params, budget, telemetry::global())
+}
+
+/// [`lut_map_budgeted`] reporting through an explicit telemetry
+/// [`Tracer`]: a `lut_map` pass span with per-round `map_round` spans
+/// (and a `choices_off_reference` span for the recovery selection),
+/// statistics absorbed into the metrics registry, and the final LUT
+/// count/depth as gauges.  Observational only.
+pub fn lut_map_traced<N: Network>(
+    ntk: &N,
+    params: &LutMapParams,
+    budget: &Budget,
+    tracer: &Tracer,
+) -> (Klut, LutMapStats) {
+    let _pass = tracer.span("lut_map");
+    let selected = select_cover_budgeted(ntk, params, budget, tracer);
     let klut = build_klut(ntk, &selected.cover, &selected.choices);
     let mut stats = LutMapStats {
         num_luts: klut.num_gates(),
@@ -195,25 +211,43 @@ pub fn lut_map_budgeted<N: Network>(
         choice_cycle_fallbacks: selected.cycle_fallbacks,
         outcome: budget.outcome(),
     };
-    if !params.use_choices {
-        return (klut, stats);
-    }
-    let off_params = LutMapParams {
-        use_choices: false,
-        ..*params
-    };
-    let off_selected = select_cover_budgeted(ntk, &off_params, budget);
-    let off_klut = build_klut(ntk, &off_selected.cover, &off_selected.choices);
-    stats.choice_evaluations += off_selected.evaluations;
-    stats.outcome = budget.outcome();
-    if klut.num_gates() < off_klut.num_gates() {
+    let (klut, stats) = if !params.use_choices {
         (klut, stats)
     } else {
-        // the enlarged cut space did not pay off: ship the reference cover
-        stats.num_luts = off_klut.num_gates();
-        stats.depth = glsx_network::views::network_depth(&off_klut);
-        stats.choice_wins = 0;
-        (off_klut, stats)
+        let off_params = LutMapParams {
+            use_choices: false,
+            ..*params
+        };
+        let off_selected = {
+            let _reference = tracer.span("choices_off_reference");
+            select_cover_budgeted(ntk, &off_params, budget, tracer)
+        };
+        let off_klut = build_klut(ntk, &off_selected.cover, &off_selected.choices);
+        stats.choice_evaluations += off_selected.evaluations;
+        stats.outcome = budget.outcome();
+        if klut.num_gates() < off_klut.num_gates() {
+            (klut, stats)
+        } else {
+            // the enlarged cut space did not pay off: ship the reference
+            // cover
+            stats.num_luts = off_klut.num_gates();
+            stats.depth = glsx_network::views::network_depth(&off_klut);
+            stats.choice_wins = 0;
+            (off_klut, stats)
+        }
+    };
+    tracer.absorb("lut_map", &stats);
+    tracer.set_gauge("lut_map.num_luts", stats.num_luts as u64);
+    tracer.set_gauge("lut_map.depth", u64::from(stats.depth));
+    (klut, stats)
+}
+
+impl MetricsSource for LutMapStats {
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&str, u64)) {
+        visit("choice_evaluations", self.choice_evaluations as u64);
+        visit("choice_wins", self.choice_wins as u64);
+        visit("choice_cycle_fallbacks", self.choice_cycle_fallbacks as u64);
+        visit("exhausted", u64::from(!self.outcome.is_completed()));
     }
 }
 
@@ -237,6 +271,7 @@ fn select_cover_budgeted<N: Network>(
     ntk: &N,
     params: &LutMapParams,
     budget: &Budget,
+    tracer: &Tracer,
 ) -> SelectedCover {
     // truth fusion stays OFF here: the mapper reads only one function per
     // *cover* node (roughly a third of the gates), so paying for a table
@@ -314,6 +349,7 @@ fn select_cover_budgeted<N: Network>(
     // must re-evaluate every node, like `round == 1` does here.
     let dirty = Traversal::new(ntk);
     'rounds: for round in 0..(1 + params.area_flow_rounds) {
+        let _round = tracer.span("map_round");
         let area_oriented = round > 0;
         let tag = round as u32 + 1;
         // choice-aware mapping re-evaluates every node each round: a

@@ -9,6 +9,7 @@
 
 use crate::cuts::ReconvergenceCut;
 use crate::replace::{ReplaceOutcome, Replacer};
+use glsx_network::telemetry::{self, BatchSpans, MetricsSource, Tracer, BATCH_INTERVAL};
 use glsx_network::{Budget, GateBuilder, Network, NodeId, StepOutcome};
 use glsx_synth::{Resynthesis, SopResynthesis};
 
@@ -74,6 +75,25 @@ where
     N: Network + GateBuilder,
     R: Resynthesis<N>,
 {
+    refactor_traced(ntk, resynthesis, params, budget, telemetry::global())
+}
+
+/// [`refactor_with_budget`] reporting through an explicit telemetry
+/// [`Tracer`] (pass span, candidate-batch spans in full mode, stats
+/// absorbed into the registry).  Observational only.
+pub fn refactor_traced<N, R>(
+    ntk: &mut N,
+    resynthesis: &mut R,
+    params: &RefactorParams,
+    budget: &Budget,
+    tracer: &Tracer,
+) -> RefactorStats
+where
+    N: Network + GateBuilder,
+    R: Resynthesis<N>,
+{
+    let _pass = tracer.span("refactor");
+    let mut batch = BatchSpans::new(tracer, "refactor_candidates", BATCH_INTERVAL);
     let mut stats = RefactorStats::default();
     let mut replacer = Replacer::new();
     // the cut computer's leaf buffer is reused across all visited nodes
@@ -88,6 +108,7 @@ where
         if !budget.consume(1) {
             break;
         }
+        batch.tick();
         stats.visited += 1;
         if crate::refs::mffc_size(ntk, node) < params.min_mffc_size {
             continue;
@@ -112,7 +133,17 @@ where
         }
     }
     stats.outcome = budget.outcome();
+    tracer.absorb("refactor", &stats);
     stats
+}
+
+impl MetricsSource for RefactorStats {
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&str, u64)) {
+        visit("visited", self.visited as u64);
+        visit("substitutions", self.substitutions as u64);
+        visit("estimated_gain", self.estimated_gain.max(0) as u64);
+        visit("exhausted", u64::from(!self.outcome.is_completed()));
+    }
 }
 
 /// Refactors `ntk` with the default SOP-factoring resynthesis engine.

@@ -13,6 +13,7 @@
 
 use crate::cuts::{ConeSimulator, ReconvergenceCut};
 use crate::refs::mffc_into;
+use glsx_network::telemetry::{self, BatchSpans, MetricsSource, Tracer, BATCH_INTERVAL};
 use glsx_network::{
     Aig, Budget, GateBuilder, Mig, Network, NodeId, Signal, StepOutcome, Traversal, Xag, Xmg,
 };
@@ -113,6 +114,20 @@ pub fn resubstitute_with_budget<N: ResubNetwork + Network>(
     params: &ResubParams,
     budget: &Budget,
 ) -> ResubStats {
+    resubstitute_traced(ntk, params, budget, telemetry::global())
+}
+
+/// [`resubstitute_with_budget`] reporting through an explicit telemetry
+/// [`Tracer`] (pass span, candidate-batch spans in full mode, stats
+/// absorbed into the registry).  Observational only.
+pub fn resubstitute_traced<N: ResubNetwork + Network>(
+    ntk: &mut N,
+    params: &ResubParams,
+    budget: &Budget,
+    tracer: &Tracer,
+) -> ResubStats {
+    let _pass = tracer.span("resub");
+    let mut batch = BatchSpans::new(tracer, "resub_candidates", BATCH_INTERVAL);
     let mut stats = ResubStats::default();
     // buffers shared across all visited nodes: the steady state allocates
     // no side tables (windows and membership tests live in the scratch-slot
@@ -131,6 +146,7 @@ pub fn resubstitute_with_budget<N: ResubNetwork + Network>(
         if !budget.consume(1) {
             break;
         }
+        batch.tick();
         stats.visited += 1;
         let leaves = cut.compute(ntk, node, params.max_leaves);
         if leaves.is_empty() || leaves.len() > 14 {
@@ -197,7 +213,17 @@ pub fn resubstitute_with_budget<N: ResubNetwork + Network>(
         crate::replace::sweep_new_dangling(ntk, size_before);
     }
     stats.outcome = budget.outcome();
+    tracer.absorb("resub", &stats);
     stats
+}
+
+impl MetricsSource for ResubStats {
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&str, u64)) {
+        visit("visited", self.visited as u64);
+        visit("substitutions", self.substitutions as u64);
+        visit("estimated_gain", self.estimated_gain.max(0) as u64);
+        visit("exhausted", u64::from(!self.outcome.is_completed()));
+    }
 }
 
 /// Grows the simulation window with side divisors: fanouts of window nodes

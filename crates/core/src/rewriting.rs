@@ -19,6 +19,7 @@
 
 use crate::cuts::{Cut, CutCounters, CutManager, CutParams};
 use crate::replace::{ReplaceOutcome, Replacer};
+use glsx_network::telemetry::{self, BatchSpans, MetricsSource, Tracer, BATCH_INTERVAL};
 use glsx_network::{Budget, ChangeEvent, ChangeLog, GateBuilder, Network, NodeId, StepOutcome};
 use glsx_synth::{NpnDatabase, Resynthesis};
 use std::collections::VecDeque;
@@ -122,6 +123,27 @@ where
     N: Network + GateBuilder,
     R: Resynthesis<N>,
 {
+    rewrite_traced(ntk, resynthesis, params, budget, telemetry::global())
+}
+
+/// [`rewrite_with_budget`] reporting through an explicit telemetry
+/// [`Tracer`]: a `rewrite` pass span with `main_sweep` and `frontier`
+/// phase spans, candidate-batch spans in full mode, and the pass
+/// statistics (cut counters included) absorbed into the metrics
+/// registry.  Observational only — results are bit-identical at any
+/// trace mode.
+pub fn rewrite_traced<N, R>(
+    ntk: &mut N,
+    resynthesis: &mut R,
+    params: &RewriteParams,
+    budget: &Budget,
+    tracer: &Tracer,
+) -> RewriteStats
+where
+    N: Network + GateBuilder,
+    R: Resynthesis<N>,
+{
+    let _pass = tracer.span("rewrite");
     let mut stats = RewriteStats::default();
     // truth tables are fused into enumeration: each candidate's function is
     // read off the cut arena in O(1) instead of re-simulating its cone
@@ -227,6 +249,8 @@ where
         }
     }
 
+    let _sweep = tracer.span("main_sweep");
+    let mut batch = BatchSpans::new(tracer, "rewrite_candidates", BATCH_INTERVAL);
     for node in nodes {
         if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
             continue;
@@ -234,6 +258,7 @@ where
         if !budget.consume(1) {
             break;
         }
+        batch.tick();
         stats.visited += 1;
         attempt_node(
             ntk,
@@ -251,10 +276,16 @@ where
             &mut stats,
         );
     }
+    // close the main-sweep span before the frontier phase opens so the
+    // two phases show as siblings under the pass span
+    drop(batch);
+    drop(_sweep);
     // drain the frontier: every commit here must *strictly* shrink the
     // network (zero-gain restructuring is excluded even in `rwz` passes),
     // so the number of revisit commits is bounded by the gate count and
     // the queue — which only grows on commit — runs dry
+    let _frontier = tracer.span("frontier");
+    let mut batch = BatchSpans::new(tracer, "frontier_candidates", BATCH_INTERVAL);
     while let Some(node) = revisit.pop_front() {
         pending[node as usize] = false;
         if !ntk.is_gate(node) || ntk.is_dead(node) || ntk.fanout_size(node) == 0 {
@@ -263,6 +294,7 @@ where
         if !budget.consume(1) {
             break;
         }
+        batch.tick();
         stats.frontier_revisits += 1;
         attempt_node(
             ntk,
@@ -289,7 +321,20 @@ where
     }
     stats.cuts = cut_manager.counters();
     stats.outcome = budget.outcome();
+    tracer.absorb("rewrite", &stats);
     stats
+}
+
+impl MetricsSource for RewriteStats {
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&str, u64)) {
+        visit("visited", self.visited as u64);
+        visit("substitutions", self.substitutions as u64);
+        visit("estimated_gain", self.estimated_gain.max(0) as u64);
+        visit("frontier_revisits", self.frontier_revisits as u64);
+        visit("exhausted", u64::from(!self.outcome.is_completed()));
+        let mut nested = |name: &str, value: u64| visit(&format!("cuts.{name}"), value);
+        self.cuts.visit_metrics(&mut nested);
+    }
 }
 
 /// Rewrites `ntk` with a fresh NPN-database resynthesis engine (heuristic

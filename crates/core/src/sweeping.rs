@@ -44,6 +44,7 @@
 //! representative's.
 
 use crate::replace::Replacer;
+use glsx_network::telemetry::{self, BatchSpans, MetricsSource, Tracer, BATCH_INTERVAL};
 use glsx_network::wordsim::WordSimulator;
 use glsx_network::{
     Budget, GateKind, LocalScratch, Network, NodeId, Parallelism, Signal, StepOutcome,
@@ -472,6 +473,7 @@ fn prove_class<N: Network>(
     sim: &WordSimulator,
     no_retry: &std::collections::HashSet<(NodeId, NodeId)>,
     conflict_limit: u64,
+    tracer: &Tracer,
 ) -> ClassOutcomes {
     let mut out = ClassOutcomes {
         repr: 0,
@@ -496,7 +498,12 @@ fn prove_class<N: Network>(
             continue;
         }
         let antivalent = sim.phase(repr_node) != sim.phase(node);
-        let engine = engine.get_or_insert_with(|| MiterEngine::new(ntk.size()));
+        let engine = engine.get_or_insert_with(|| {
+            let mut engine = MiterEngine::new(ntk.size());
+            // per-solve spans in full trace mode; purely observational
+            engine.solver.set_tracer(tracer.clone());
+            engine
+        });
         let outcome = engine.prove_pair(ntk, repr_node, node, antivalent, conflict_limit);
         out.pairs.push((node, antivalent, outcome));
     }
@@ -604,6 +611,24 @@ pub fn sweep_with_engine_budgeted<N: Network>(
     engine_state: &mut SweepEngine,
     budget: &Budget,
 ) -> SweepStats {
+    sweep_traced(ntk, params, engine_state, budget, telemetry::global())
+}
+
+/// [`sweep_with_engine_budgeted`] reporting through an explicit
+/// telemetry [`Tracer`]: a `fraig` pass span with per-round spans, the
+/// round phases (`classify`, `prove_parallel`/`prove_merge`, `apply`,
+/// `resimulate`) as child spans, per-chunk worker spans in the phased
+/// parallel schedule (one per thread lane), and the sweep plus solver
+/// statistics absorbed into the metrics registry.  Observational only —
+/// results are bit-identical at any trace mode.
+pub fn sweep_traced<N: Network>(
+    ntk: &mut N,
+    params: &SweepParams,
+    engine_state: &mut SweepEngine,
+    budget: &Budget,
+    tracer: &Tracer,
+) -> SweepStats {
+    let _pass = tracer.span("fraig");
     let mut stats = SweepStats {
         gates_before: ntk.num_gates(),
         ..SweepStats::default()
@@ -673,6 +698,8 @@ pub fn sweep_with_engine_budgeted<N: Network>(
             .miter
             .get_or_insert_with(|| MiterEngine::new(ntk.size()));
         engine.enc.ensure_len(ntk.size());
+        // per-solve spans in full trace mode; purely observational
+        engine.solver.set_tracer(tracer.clone());
         Some(engine)
     } else {
         engine_state.miter = None;
@@ -704,8 +731,10 @@ pub fn sweep_with_engine_budgeted<N: Network>(
         if budget.is_exhausted() {
             break;
         }
+        let _round = tracer.span("sweep_round");
         stats.rounds = round + 1;
 
+        let classify = tracer.span("classify");
         if round == 0 || !params.incremental_classes {
             // deterministic partition from scratch: sort all live nodes by
             // their polarity-normalised signature, then by topological
@@ -797,6 +826,7 @@ pub fn sweep_with_engine_budgeted<N: Network>(
             std::mem::swap(&mut bounds, &mut next_bounds);
         }
 
+        drop(classify);
         cex_patterns.clear();
         if let Some(par) = params.parallel_proving {
             // ---- phased schedule ------------------------------------------
@@ -808,15 +838,21 @@ pub fn sweep_with_engine_budgeted<N: Network>(
             let frozen: &N = ntk;
             let class_chunks = par.chunk_bounds(bounds.len());
             let mut outcomes: Vec<ClassOutcomes> = Vec::with_capacity(bounds.len());
+            let prove_phase = tracer.span("prove_parallel");
             std::thread::scope(|scope| {
                 let handles: Vec<_> = class_chunks
                     .iter()
-                    .map(|&(lo, hi)| {
+                    .enumerate()
+                    .map(|(worker, &(lo, hi))| {
                         let chunk = &bounds[lo..hi];
                         let members = &members;
                         let sim = &sim;
                         let no_retry = &no_retry;
                         scope.spawn(move || {
+                            // one span per worker chunk: phased proving
+                            // shows up as concurrent lanes in the trace
+                            tracer.name_lane(&format!("sweep-worker-{worker}"));
+                            let _chunk = tracer.span("prove_chunk");
                             chunk
                                 .iter()
                                 .map(|&(s, e)| {
@@ -826,6 +862,7 @@ pub fn sweep_with_engine_budgeted<N: Network>(
                                         sim,
                                         no_retry,
                                         params.conflict_limit,
+                                        tracer,
                                     )
                                 })
                                 .collect::<Vec<_>>()
@@ -837,11 +874,13 @@ pub fn sweep_with_engine_budgeted<N: Network>(
                     outcomes.extend(handle.join().expect("class-proving worker panicked"));
                 }
             });
+            drop(prove_phase);
             // Phase 2: apply the outcomes serially, in class order.  Unlike
             // the legacy schedule, a merge cascade here can invalidate an
             // *already proven* pair by killing one endpoint before its turn;
             // such pairs are dropped without a no-retry mark so the next
             // round re-examines them against fresh classes.
+            let _apply = tracer.span("apply");
             for out in outcomes {
                 stats.candidate_pairs += out.pairs.len();
                 stats.conflicts += out.conflicts;
@@ -895,6 +934,8 @@ pub fn sweep_with_engine_budgeted<N: Network>(
             let engine = engine
                 .as_deref_mut()
                 .expect("legacy schedule keeps the recycled miter");
+            let _prove = tracer.span("prove_merge");
+            let mut batch = BatchSpans::new(tracer, "pair_candidates", BATCH_INTERVAL);
             for &(start, end) in &bounds {
                 let class = &members[start as usize..end as usize];
                 // the representative is the lowest-ranked live member; it
@@ -927,6 +968,7 @@ pub fn sweep_with_engine_budgeted<N: Network>(
                     if !budget.consume(1) {
                         break 'rounds;
                     }
+                    batch.tick();
                     let antivalent = sim.phase(repr_node) != sim.phase(node);
                     stats.candidate_pairs += 1;
                     let spent = conflicts_before(engine);
@@ -991,6 +1033,7 @@ pub fn sweep_with_engine_budgeted<N: Network>(
         }
         // pack up to 64 counterexamples per fresh pattern word and
         // re-simulate, splitting every class the patterns distinguish
+        let _resim = tracer.span("resimulate");
         new_words_start = sim.num_words();
         for chunk in cex_patterns.chunks(64) {
             let mut words: Vec<u64> = vec![0; ntk.num_pis()];
@@ -1005,6 +1048,13 @@ pub fn sweep_with_engine_budgeted<N: Network>(
         }
     }
 
+    // the recycled solver's lifetime stats (legacy schedule only; the
+    // phased schedule's per-class solver work is already summed into
+    // `stats.conflicts` through the class outcomes)
+    if let Some(engine) = engine.as_deref() {
+        tracer.absorb("fraig.sat", &engine.solver.stats());
+    }
+
     // hand the accumulated pattern words (initial + every counterexample)
     // back to the engine for the next sweep of the flow
     engine_state.patterns = sim.pi_patterns(ntk);
@@ -1014,7 +1064,24 @@ pub fn sweep_with_engine_budgeted<N: Network>(
 
     stats.gates_after = ntk.num_gates();
     stats.outcome = budget.outcome();
+    tracer.absorb("fraig", &stats);
+    tracer.set_gauge("fraig.gates_after", stats.gates_after as u64);
     stats
+}
+
+impl MetricsSource for SweepStats {
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&str, u64)) {
+        visit("rounds", self.rounds as u64);
+        visit("candidate_pairs", self.candidate_pairs as u64);
+        visit("proven", self.proven as u64);
+        visit("refuted", self.refuted as u64);
+        visit("skipped", self.skipped as u64);
+        visit("conflicts", self.conflicts);
+        visit("reclassed_nodes", self.reclassed_nodes as u64);
+        visit("choices_recorded", self.choices_recorded as u64);
+        visit("recycled_words", self.recycled_words as u64);
+        visit("exhausted", u64::from(!self.outcome.is_completed()));
+    }
 }
 
 /// Default conflict budget of [`check_equivalence`] (generous: the check

@@ -37,10 +37,13 @@
 //! choice-ring checks), so a checkpoint that failed to restore invariants
 //! fails loudly instead of corrupting later steps.
 
-use crate::{run_step_budgeted, FlowOptions, FlowScript, FlowStep};
+use crate::{
+    apply_step_override, clear_step_overrides, run_step_traced, FlowOptions, FlowScript, FlowStep,
+};
 use glsx_core::resubstitution::ResubNetwork;
 use glsx_core::sweeping::{check_equivalence_with_limits, EquivalenceResult, SweepEngine};
 use glsx_network::simulation::equivalent_by_random_simulation;
+use glsx_network::telemetry::{self, build_span_tree, MetricsRegistry, SpanNode, Tracer};
 use glsx_network::views::check_network_integrity;
 use glsx_network::{cleanup_dangling, Budget, GateBuilder, InjectedFault, Network, StepOutcome};
 use std::cell::Cell;
@@ -308,6 +311,16 @@ pub struct StepReport {
     pub ticks: u64,
     /// Whether the step's verification miter hit a resource limit.
     pub verify_limit_exhausted: bool,
+    /// Wall-clock duration of the guarded step (checkpoint, pass, verify
+    /// and any rollback), on the same monotonic clock as the spans.
+    pub duration_seconds: f64,
+    /// The step's span tree (the `step:<site>` root with the pass's own
+    /// spans nested inside), from the tracer the flow ran under; empty
+    /// when span recording is off.
+    pub spans: Vec<SpanNode>,
+    /// Counters the step incremented (sorted, zero deltas dropped); empty
+    /// when counter recording is off.
+    pub metric_deltas: Vec<(String, u64)>,
 }
 
 /// Report of a guarded flow run ([`run_script_guarded`]).
@@ -400,6 +413,26 @@ pub fn run_script_guarded<N>(
 where
     N: Network + GateBuilder + ResubNetwork + Clone,
 {
+    run_script_guarded_traced(ntk, script, options, guard, telemetry::global())
+}
+
+/// [`run_script_guarded`] reporting through an explicit telemetry
+/// [`Tracer`]: every step runs under a `step:<site>` span (the pass's own
+/// spans nest inside), per-step verification under a `verify` span and
+/// the final contract check under `final_verify`; each [`StepReport`]
+/// carries the step's span tree and counter deltas, and each step's
+/// budget charge is absorbed as `<site>.ticks_spent`.  Scripts with
+/// `-trace` marks narrow span recording to exactly the marked steps.
+pub fn run_script_guarded_traced<N>(
+    ntk: &mut N,
+    script: &FlowScript,
+    options: &FlowOptions,
+    guard: &GuardOptions,
+    tracer: &Tracer,
+) -> FlowReport
+where
+    N: Network + GateBuilder + ResubNetwork + Clone,
+{
     install_quiet_panic_hook();
     let start = Instant::now();
     // the single reference clone every per-step verification (and the
@@ -436,6 +469,9 @@ where
             outcome: StepOutcome::Completed,
             ticks: 0,
             verify_limit_exhausted: false,
+            duration_seconds: 0.0,
+            spans: Vec::new(),
+            metric_deltas: Vec::new(),
         };
         // a step that would start past the deadline is not started at all
         if let Some(deadline) = guard.deadline {
@@ -457,6 +493,11 @@ where
             Some(FaultAction::Exhaust) => budget = budget.inject(InjectedFault::Exhaust, 1),
             _ => {}
         }
+        apply_step_override(tracer, script, index);
+        let step_start = Instant::now();
+        let span_mark = tracer.event_mark();
+        let metrics_before = tracer.metrics_snapshot();
+        let step_span = tracer.span(&format!("step:{site}"));
         // checkpoint, run under the unwind guard, then verify
         let checkpoint = match guard.rollback {
             RollbackStrategy::Snapshot => Some(ntk.snapshot()),
@@ -483,7 +524,7 @@ where
         let result = {
             EXPECTED_PANIC.with(|flag| flag.set(true));
             let result = panic::catch_unwind(AssertUnwindSafe(|| {
-                run_step_budgeted(ntk, step, options, &mut engine, &budget)
+                run_step_traced(ntk, step, options, &mut engine, &budget, tracer)
             }));
             EXPECTED_PANIC.with(|flag| flag.set(false));
             result
@@ -491,6 +532,7 @@ where
         step_report.ticks = budget.spent();
         step_report.outcome = budget.outcome();
         report.ticks_spent += step_report.ticks;
+        tracer.absorb(site, &budget);
         match result {
             Err(_panic_payload) => {
                 rollback(ntk, &mut engine);
@@ -500,6 +542,7 @@ where
                 report.panics += 1;
             }
             Ok(substitutions) => {
+                let verify_span = tracer.span("verify");
                 let verdict = match guard.verify {
                     VerifyMode::None => None,
                     VerifyMode::Simulation => {
@@ -523,6 +566,7 @@ where
                         Some(outcome.result)
                     }
                 };
+                drop(verify_span);
                 match verdict {
                     None | Some(EquivalenceResult::Equivalent) => {
                         if checkpoint.is_none() {
@@ -551,20 +595,31 @@ where
                 }
             }
         }
+        drop(step_span);
+        step_report.duration_seconds = step_start.elapsed().as_secs_f64();
+        step_report.spans = build_span_tree(&tracer.events_since(span_mark));
+        step_report.metric_deltas =
+            MetricsRegistry::counter_deltas(&metrics_before, &tracer.metrics_snapshot());
         report.steps.push(step_report);
     }
+    clear_step_overrides(tracer, script);
     *ntk = cleanup_dangling(ntk);
     report.final_size = ntk.num_gates();
     // the final check is never fault-injected: it is the contract check;
     // its strength follows the configured verification mode
-    report.final_verify = match guard.verify {
-        VerifyMode::None => None,
-        VerifyMode::Simulation => Some(equivalent_by_random_simulation(&input, ntk, 8, 0x5eed)),
-        VerifyMode::Miter => match check_equivalence_with_limits(&input, ntk, None, None).result {
-            EquivalenceResult::Equivalent => Some(true),
-            EquivalenceResult::Inequivalent(_) => Some(false),
-            EquivalenceResult::Unknown => None,
-        },
+    report.final_verify = {
+        let _final = tracer.span("final_verify");
+        match guard.verify {
+            VerifyMode::None => None,
+            VerifyMode::Simulation => Some(equivalent_by_random_simulation(&input, ntk, 8, 0x5eed)),
+            VerifyMode::Miter => {
+                match check_equivalence_with_limits(&input, ntk, None, None).result {
+                    EquivalenceResult::Equivalent => Some(true),
+                    EquivalenceResult::Inequivalent(_) => Some(false),
+                    EquivalenceResult::Unknown => None,
+                }
+            }
+        }
     };
     report.runtime_seconds = start.elapsed().as_secs_f64();
     report
@@ -748,6 +803,86 @@ mod tests {
         assert!(report.steps.iter().all(|s| s.status == StepStatus::Skipped));
         assert_eq!(report.final_verify, Some(true));
         assert!(equivalent_by_simulation(&source, &ntk));
+    }
+
+    #[test]
+    fn traced_guarded_steps_carry_spans_durations_and_deltas() {
+        use glsx_network::telemetry::{TraceMode, Tracer};
+        let source: Aig = adder(4);
+        let mut plain = source.clone();
+        let plain_report = run_script_guarded(
+            &mut plain,
+            &guarded_script(),
+            &FlowOptions::default(),
+            &GuardOptions::default(),
+        );
+        let tracer = Tracer::new(TraceMode::Full);
+        let mut traced = source.clone();
+        let report = run_script_guarded_traced(
+            &mut traced,
+            &guarded_script(),
+            &FlowOptions::default(),
+            &GuardOptions::default(),
+            &tracer,
+        );
+        // tracing is observational: the flow is bit-identical
+        assert_eq!(report.substitutions, plain_report.substitutions);
+        assert_eq!(traced.num_gates(), plain.num_gates());
+        assert_eq!(traced.po_signals(), plain.po_signals());
+        for step in &report.steps {
+            assert!(step.duration_seconds > 0.0, "{step:?}");
+            assert_eq!(step.spans.len(), 1, "one step:<site> root: {step:?}");
+            let root = &step.spans[0];
+            assert_eq!(root.name, format!("step:{}", step.site));
+            assert!(
+                root.children.iter().any(|c| c.name == step.site),
+                "the pass span nests inside the step span: {root:?}"
+            );
+            assert!(
+                root.children.iter().any(|c| c.name == "verify"),
+                "per-step verification is visible: {root:?}"
+            );
+        }
+        assert!(
+            report.steps.iter().any(|s| !s.metric_deltas.is_empty()),
+            "pass work shows up as counter deltas"
+        );
+        let rewrite_step = report
+            .steps
+            .iter()
+            .find(|s| s.site == "rewrite")
+            .expect("script has a rewrite step");
+        assert!(
+            rewrite_step
+                .metric_deltas
+                .iter()
+                .any(|(name, _)| name == "rewrite.ticks_spent"),
+            "the step budget is absorbed under the site prefix: {rewrite_step:?}"
+        );
+    }
+
+    #[test]
+    fn selective_trace_marks_narrow_span_recording() {
+        use glsx_network::telemetry::{TraceMode, Tracer};
+        let mut ntk: Aig = adder(4);
+        let script = FlowScript::parse("bz; rw -trace; rs -c 6").unwrap();
+        let tracer = Tracer::new(TraceMode::Full);
+        let report = run_script_guarded_traced(
+            &mut ntk,
+            &script,
+            &FlowOptions::default(),
+            &GuardOptions::default(),
+            &tracer,
+        );
+        assert!(report.steps[0].spans.is_empty(), "{:?}", report.steps[0]);
+        assert!(!report.steps[1].spans.is_empty(), "{:?}", report.steps[1]);
+        assert!(report.steps[2].spans.is_empty(), "{:?}", report.steps[2]);
+        // counters are not narrowed by -trace: unmarked steps still report
+        assert!(
+            !report.steps[2].metric_deltas.is_empty(),
+            "{:?}",
+            report.steps[2]
+        );
     }
 
     #[test]

@@ -31,18 +31,19 @@ mod script;
 pub mod specialized;
 
 pub use executor::{
-    run_script_guarded, FailureKind, FaultAction, FaultPlan, FlowReport, GuardOptions,
-    ParseFaultPlanError, RollbackStrategy, StepReport, StepStatus, VerifyMode,
+    run_script_guarded, run_script_guarded_traced, FailureKind, FaultAction, FaultPlan, FlowReport,
+    GuardOptions, ParseFaultPlanError, RollbackStrategy, StepReport, StepStatus, VerifyMode,
 };
-pub use portfolio::{portfolio_best_luts, PortfolioResult};
+pub use portfolio::{portfolio_best_luts, portfolio_best_luts_traced, PortfolioResult};
 pub use script::{FlowScript, FlowStep, ParseFlowScriptError};
 
-use glsx_core::balancing::{balance_with_budget, BalanceParams};
-use glsx_core::lut_mapping::{lut_map_with_stats, LutMapParams, LutMapStats};
-use glsx_core::refactoring::{refactor_with_budget, RefactorParams};
-use glsx_core::resubstitution::{resubstitute_with_budget, ResubNetwork, ResubParams};
-use glsx_core::rewriting::{rewrite_with_budget, CutMaintenance, RewriteParams};
-use glsx_core::sweeping::{sweep_with_engine_budgeted, SweepEngine, SweepParams};
+use glsx_core::balancing::{balance_traced, BalanceParams};
+use glsx_core::lut_mapping::{lut_map_traced, LutMapParams, LutMapStats};
+use glsx_core::refactoring::{refactor_traced, RefactorParams};
+use glsx_core::resubstitution::{resubstitute_traced, ResubNetwork, ResubParams};
+use glsx_core::rewriting::{rewrite_traced, CutMaintenance, RewriteParams};
+use glsx_core::sweeping::{sweep_traced, SweepEngine, SweepParams};
+use glsx_network::telemetry::{self, SpanOverride, Tracer};
 use glsx_network::{cleanup_dangling, Budget, GateBuilder, Klut, Network, Parallelism};
 use glsx_synth::{NpnDatabase, SopResynthesis};
 use std::time::Instant;
@@ -147,14 +148,41 @@ pub fn run_step_budgeted<N>(
 where
     N: Network + GateBuilder + ResubNetwork,
 {
+    run_step_traced(
+        ntk,
+        step,
+        options,
+        sweep_engine,
+        budget,
+        telemetry::global(),
+    )
+}
+
+/// [`run_step_budgeted`] reporting through an explicit telemetry
+/// [`Tracer`]: the step is dispatched to the pass's `*_traced` variant,
+/// which records its pass/phase/candidate-batch spans and pours its stats
+/// into the tracer's metrics registry.  The plain entry points observe
+/// the process-wide `GLSX_TRACE` tracer ([`glsx_network::telemetry::global`]),
+/// so this is only needed to aggregate into a private tracer.
+pub fn run_step_traced<N>(
+    ntk: &mut N,
+    step: &FlowStep,
+    options: &FlowOptions,
+    sweep_engine: &mut SweepEngine,
+    budget: &Budget,
+    tracer: &Tracer,
+) -> usize
+where
+    N: Network + GateBuilder + ResubNetwork,
+{
     match step {
         FlowStep::Balance => {
-            let stats = balance_with_budget(ntk, &BalanceParams::default(), budget);
+            let stats = balance_traced(ntk, &BalanceParams::default(), budget, tracer);
             stats.rebuilt
         }
         FlowStep::Rewrite { zero_gain } => {
             let mut database = NpnDatabase::new();
-            let stats = rewrite_with_budget(
+            let stats = rewrite_traced(
                 ntk,
                 &mut database,
                 &RewriteParams {
@@ -168,11 +196,12 @@ where
                     ..RewriteParams::default()
                 },
                 budget,
+                tracer,
             );
             stats.substitutions
         }
         FlowStep::Refactor { zero_gain } => {
-            let stats = refactor_with_budget(
+            let stats = refactor_traced(
                 ntk,
                 &mut SopResynthesis,
                 &RefactorParams {
@@ -181,11 +210,12 @@ where
                     ..RefactorParams::default()
                 },
                 budget,
+                tracer,
             );
             stats.substitutions
         }
         FlowStep::Resubstitute { cut_size, depth } => {
-            let stats = resubstitute_with_budget(
+            let stats = resubstitute_traced(
                 ntk,
                 &ResubParams {
                     max_leaves: (*cut_size).min(12),
@@ -194,6 +224,7 @@ where
                     allow_zero_gain: false,
                 },
                 budget,
+                tracer,
             );
             stats.substitutions
         }
@@ -211,7 +242,7 @@ where
             if options.full_recompute {
                 params.incremental_classes = false;
             }
-            let stats = sweep_with_engine_budgeted(ntk, &params, sweep_engine, budget);
+            let stats = sweep_traced(ntk, &params, sweep_engine, budget, tracer);
             stats.proven
         }
         // mapping changes the representation and is consumed by
@@ -235,6 +266,42 @@ pub fn run_script<N>(ntk: &mut N, script: &FlowScript, options: &FlowOptions) ->
 where
     N: Network + GateBuilder + ResubNetwork,
 {
+    run_script_traced(ntk, script, options, telemetry::global())
+}
+
+/// Applies the script's selective `-trace` marks for step `index`: when
+/// the script marks any step ([`FlowScript::has_traced_steps`]), span
+/// recording is forced on the marked steps and suppressed on the rest.
+/// The caller resets the override with [`clear_step_overrides`].
+pub(crate) fn apply_step_override(tracer: &Tracer, script: &FlowScript, index: usize) {
+    if script.has_traced_steps() {
+        tracer.set_span_override(if script.is_traced(index) {
+            SpanOverride::Force
+        } else {
+            SpanOverride::Suppress
+        });
+    }
+}
+
+/// Undoes [`apply_step_override`] after the last step of a script.
+pub(crate) fn clear_step_overrides(tracer: &Tracer, script: &FlowScript) {
+    if script.has_traced_steps() {
+        tracer.set_span_override(SpanOverride::ModeDefault);
+    }
+}
+
+/// [`run_script`] reporting through an explicit telemetry [`Tracer`]
+/// (see [`run_step_traced`]); `-trace` marks in the script narrow span
+/// recording to exactly the marked steps.
+pub fn run_script_traced<N>(
+    ntk: &mut N,
+    script: &FlowScript,
+    options: &FlowOptions,
+    tracer: &Tracer,
+) -> FlowStats
+where
+    N: Network + GateBuilder + ResubNetwork,
+{
     let start = Instant::now();
     let mut stats = FlowStats {
         initial_size: ntk.num_gates(),
@@ -250,8 +317,10 @@ where
             Some(ticks) => Budget::with_ticks(ticks),
             None => Budget::unlimited(),
         };
-        stats.substitutions += run_step_budgeted(ntk, step, options, &mut engine, &budget);
+        apply_step_override(tracer, script, index);
+        stats.substitutions += run_step_traced(ntk, step, options, &mut engine, &budget, tracer);
     }
+    clear_step_overrides(tracer, script);
     *ntk = cleanup_dangling(ntk);
     stats.final_size = ntk.num_gates();
     stats.final_depth = glsx_network::views::network_depth(ntk);
@@ -275,6 +344,22 @@ pub fn run_script_and_map<N>(
     script: &FlowScript,
     options: &FlowOptions,
     defaults: &LutMapParams,
+) -> (FlowStats, Klut, LutMapStats)
+where
+    N: Network + GateBuilder + ResubNetwork,
+{
+    run_script_and_map_traced(ntk, script, options, defaults, telemetry::global())
+}
+
+/// [`run_script_and_map`] reporting through an explicit telemetry
+/// [`Tracer`] (see [`run_step_traced`]); the terminal mapping records its
+/// `lut_map` span and stats on the same tracer.
+pub fn run_script_and_map_traced<N>(
+    ntk: &mut N,
+    script: &FlowScript,
+    options: &FlowOptions,
+    defaults: &LutMapParams,
+    tracer: &Tracer,
 ) -> (FlowStats, Klut, LutMapStats)
 where
     N: Network + GateBuilder + ResubNetwork,
@@ -312,9 +397,20 @@ where
             Some(ticks) => Budget::with_ticks(ticks),
             None => Budget::unlimited(),
         };
-        stats.substitutions += run_step_budgeted(ntk, step, options, &mut engine, &budget);
+        apply_step_override(tracer, script, index);
+        stats.substitutions += run_step_traced(ntk, step, options, &mut engine, &budget, tracer);
     }
-    let (klut, map_stats) = lut_map_with_stats(ntk, &map_params);
+    // a trailing `lut_map -trace` mark applies to the mapping itself; a
+    // selective script without one keeps the defaults-mapping suppressed
+    if script.has_traced_steps() {
+        if steps.len() > passes.len() {
+            apply_step_override(tracer, script, steps.len() - 1);
+        } else {
+            tracer.set_span_override(SpanOverride::Suppress);
+        }
+    }
+    let (klut, map_stats) = lut_map_traced(ntk, &map_params, &Budget::unlimited(), tracer);
+    clear_step_overrides(tracer, script);
     *ntk = cleanup_dangling(ntk);
     stats.final_size = ntk.num_gates();
     stats.final_depth = glsx_network::views::network_depth(ntk);

@@ -2,10 +2,11 @@
 //! same generic flow with every representation and keep the best result
 //! after LUT mapping.
 
-use crate::{compress2rs, FlowOptions};
-use glsx_core::lut_mapping::{lut_map_stats, LutMapParams};
+use crate::{compress2rs_script, run_script_traced, FlowOptions};
+use glsx_core::lut_mapping::{lut_map_traced, LutMapParams};
 use glsx_core::resubstitution::ResubNetwork;
-use glsx_network::{convert_network, Aig, GateBuilder, Mig, Network, Xag};
+use glsx_network::telemetry::{self, Tracer};
+use glsx_network::{convert_network, Aig, Budget, GateBuilder, Mig, Network, Xag};
 
 /// Result of a portfolio run for one benchmark.
 #[derive(Clone, Debug, PartialEq)]
@@ -19,12 +20,19 @@ pub struct PortfolioResult {
 }
 
 /// One representation's portfolio job: optimise in place, map, count LUTs.
-fn flow_and_map<N>(ntk: &mut N, options: &FlowOptions, map_params: &LutMapParams) -> usize
+fn flow_and_map<N>(
+    ntk: &mut N,
+    options: &FlowOptions,
+    map_params: &LutMapParams,
+    tracer: &Tracer,
+) -> usize
 where
     N: Network + GateBuilder + ResubNetwork,
 {
-    compress2rs(ntk, options);
-    lut_map_stats(ntk, map_params).num_luts
+    run_script_traced(ntk, &compress2rs_script(), options, tracer);
+    lut_map_traced(ntk, map_params, &Budget::unlimited(), tracer)
+        .1
+        .num_luts
 }
 
 /// Optimises `aig` with the generic flow instantiated for AIGs, MIGs and
@@ -35,6 +43,22 @@ where
 /// joined in the fixed AIG, MIG, XAG order — the result is bit-identical
 /// to the serial run.
 pub fn portfolio_best_luts(aig: &Aig, options: &FlowOptions, lut_size: usize) -> PortfolioResult {
+    portfolio_best_luts_traced(aig, options, lut_size, telemetry::global())
+}
+
+/// [`portfolio_best_luts`] reporting through an explicit telemetry
+/// [`Tracer`]: each representation's job runs under a `portfolio_aig` /
+/// `portfolio_mig` / `portfolio_xag` span, and in the parallel
+/// configuration each worker names its trace lane (`portfolio-aig`, …) —
+/// an exported Chrome trace of a parallel run shows the three flows as
+/// concurrent named rows.  Tracing is observational only: the result
+/// stays bit-identical to the untraced (and serial) run.
+pub fn portfolio_best_luts_traced(
+    aig: &Aig,
+    options: &FlowOptions,
+    lut_size: usize,
+    tracer: &Tracer,
+) -> PortfolioResult {
     let map_params = LutMapParams::with_lut_size(lut_size);
 
     // conversion is cheap and deterministic; doing it up front leaves
@@ -45,9 +69,21 @@ pub fn portfolio_best_luts(aig: &Aig, options: &FlowOptions, lut_size: usize) ->
 
     let [aig_luts, mig_luts, xag_luts] = if options.parallelism.is_parallel() {
         std::thread::scope(|scope| {
-            let aig_job = scope.spawn(|| flow_and_map(&mut as_aig, options, &map_params));
-            let mig_job = scope.spawn(|| flow_and_map(&mut as_mig, options, &map_params));
-            let xag_job = scope.spawn(|| flow_and_map(&mut as_xag, options, &map_params));
+            let aig_job = scope.spawn(|| {
+                tracer.name_lane("portfolio-aig");
+                let _job = tracer.span("portfolio_aig");
+                flow_and_map(&mut as_aig, options, &map_params, tracer)
+            });
+            let mig_job = scope.spawn(|| {
+                tracer.name_lane("portfolio-mig");
+                let _job = tracer.span("portfolio_mig");
+                flow_and_map(&mut as_mig, options, &map_params, tracer)
+            });
+            let xag_job = scope.spawn(|| {
+                tracer.name_lane("portfolio-xag");
+                let _job = tracer.span("portfolio_xag");
+                flow_and_map(&mut as_xag, options, &map_params, tracer)
+            });
             [
                 aig_job.join().expect("AIG portfolio worker panicked"),
                 mig_job.join().expect("MIG portfolio worker panicked"),
@@ -56,9 +92,18 @@ pub fn portfolio_best_luts(aig: &Aig, options: &FlowOptions, lut_size: usize) ->
         })
     } else {
         [
-            flow_and_map(&mut as_aig, options, &map_params),
-            flow_and_map(&mut as_mig, options, &map_params),
-            flow_and_map(&mut as_xag, options, &map_params),
+            {
+                let _job = tracer.span("portfolio_aig");
+                flow_and_map(&mut as_aig, options, &map_params, tracer)
+            },
+            {
+                let _job = tracer.span("portfolio_mig");
+                flow_and_map(&mut as_mig, options, &map_params, tracer)
+            },
+            {
+                let _job = tracer.span("portfolio_xag");
+                flow_and_map(&mut as_xag, options, &map_params, tracer)
+            },
         ]
     };
 
@@ -88,6 +133,35 @@ mod tests {
         assert_eq!(result.best_luts, expected_best);
         assert!(["AIG", "MIG", "XAG"].contains(&result.winner));
         assert!(result.best_luts > 0);
+    }
+
+    #[test]
+    fn traced_parallel_portfolio_is_pure_well_nested_and_concurrent() {
+        use glsx_network::telemetry::{
+            concurrent_lanes, parse_chrome_trace, spans_well_nested, TraceMode, Tracer,
+        };
+        let aig: Aig = adder(4);
+        let options = FlowOptions {
+            parallelism: glsx_network::Parallelism::new(4),
+            ..FlowOptions::default()
+        };
+        let untraced = portfolio_best_luts_traced(&aig, &options, 6, &Tracer::off());
+        let tracer = Tracer::new(TraceMode::Full);
+        let traced = portfolio_best_luts_traced(&aig, &options, 6, &tracer);
+        assert_eq!(traced, untraced, "tracing is observational only");
+        assert!(
+            spans_well_nested(&tracer.events()),
+            "every lane's spans must nest"
+        );
+        let exported = tracer.chrome_trace_json();
+        let spans = parse_chrome_trace(&exported).expect("the export parses back");
+        assert!(
+            concurrent_lanes(&spans) >= 2,
+            "a 4-thread portfolio shows overlapping lanes"
+        );
+        for lane in ["portfolio-aig", "portfolio-mig", "portfolio-xag"] {
+            assert!(exported.contains(lane), "missing lane name {lane}");
+        }
     }
 
     #[test]

@@ -86,13 +86,24 @@ pub struct FlowScript {
     /// see [`glsx_network::Budget`]), parallel to `steps`.  `None` means
     /// unlimited — the executor may still impose its own default.
     budgets: Vec<Option<u64>>,
+    /// Per-step `-trace` marks, parallel to `steps`.  A script that marks
+    /// *any* step narrows span recording to exactly the marked steps (see
+    /// [`FlowScript::is_traced`]); a script with no marks traces every
+    /// step at whatever the tracer's mode records.
+    traced: Vec<bool>,
 }
 
 impl FlowScript {
-    /// Creates a script from explicit steps (all budgets unlimited).
+    /// Creates a script from explicit steps (all budgets unlimited, no
+    /// `-trace` marks).
     pub fn from_steps(steps: Vec<FlowStep>) -> Self {
         let budgets = vec![None; steps.len()];
-        Self { steps, budgets }
+        let traced = vec![false; steps.len()];
+        Self {
+            steps,
+            budgets,
+            traced,
+        }
     }
 
     /// Returns the steps of the script.
@@ -115,6 +126,28 @@ impl FlowScript {
         self.budgets[index] = budget;
     }
 
+    /// Whether step `index` carries the `-trace` mark.  Only meaningful
+    /// when [`FlowScript::has_traced_steps`] — the traced runners then
+    /// force span recording on marked steps and suppress it on the rest.
+    pub fn is_traced(&self, index: usize) -> bool {
+        self.traced.get(index).copied().unwrap_or(false)
+    }
+
+    /// Sets or clears the `-trace` mark of step `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_traced(&mut self, index: usize, traced: bool) {
+        self.traced[index] = traced;
+    }
+
+    /// `true` when any step carries a `-trace` mark, i.e. the script asks
+    /// for selective (per-step) span recording.
+    pub fn has_traced_steps(&self) -> bool {
+        self.traced.iter().any(|&t| t)
+    }
+
     /// Parses a script in the paper's notation: commands separated by `;`,
     /// where `b`/`bz` is balancing, `rw`/`rwz` rewriting, `rf`/`rfz`
     /// refactoring, `rs -c <n> [-d <k>]` resubstitution and
@@ -124,7 +157,9 @@ impl FlowScript {
     /// Every command additionally accepts `-budget <ticks>` — an effort
     /// budget in node-visit ticks with an optional `K`/`M`/`G` suffix
     /// (e.g. `rw -budget 2M`), retrievable per step via
-    /// [`FlowScript::budget_of`] and honoured by the budget-aware runners.
+    /// [`FlowScript::budget_of`] and honoured by the budget-aware runners
+    /// — and `-trace`, marking the step for selective span recording
+    /// ([`FlowScript::is_traced`]).
     ///
     /// # Errors
     ///
@@ -132,6 +167,7 @@ impl FlowScript {
     pub fn parse(text: &str) -> Result<Self, ParseFlowScriptError> {
         let mut steps = Vec::new();
         let mut budgets = Vec::new();
+        let mut traced = Vec::new();
         for command in text.split(';') {
             let command = command.trim();
             if command.is_empty() {
@@ -139,9 +175,10 @@ impl FlowScript {
             }
             let mut tokens: Vec<&str> = command.split_whitespace().collect();
             let head = tokens.remove(0);
-            // `-budget <n>` is command-independent: extract it before the
-            // command-specific option loops
+            // `-budget <n>` and `-trace` are command-independent: extract
+            // them before the command-specific option loops
             let mut budget = None;
+            let mut trace = false;
             let mut t = 0;
             while t < tokens.len() {
                 if tokens[t] == "-budget" {
@@ -152,6 +189,9 @@ impl FlowScript {
                         message: format!("invalid budget `{value}` in `{command}`"),
                     })?);
                     tokens.drain(t..t + 2);
+                } else if tokens[t] == "-trace" {
+                    trace = true;
+                    tokens.remove(t);
                 } else {
                     t += 1;
                 }
@@ -278,8 +318,13 @@ impl FlowScript {
             }
             steps.push(step);
             budgets.push(budget);
+            traced.push(trace);
         }
-        Ok(Self { steps, budgets })
+        Ok(Self {
+            steps,
+            budgets,
+            traced,
+        })
     }
 }
 
@@ -314,8 +359,8 @@ impl fmt::Display for FlowScript {
         let rendered: Vec<String> = self
             .steps
             .iter()
-            .zip(&self.budgets)
-            .map(|(step, budget)| {
+            .zip(self.budgets.iter().zip(&self.traced))
+            .map(|(step, (budget, traced))| {
                 let mut text = match step {
                     FlowStep::Balance => "bz".to_string(),
                     FlowStep::Rewrite { zero_gain: false } => "rw".to_string(),
@@ -358,6 +403,9 @@ impl fmt::Display for FlowScript {
                 };
                 if let Some(ticks) = budget {
                     text.push_str(&format!(" -budget {}", format_tick_count(*ticks)));
+                }
+                if *traced {
+                    text.push_str(" -trace");
                 }
                 text
             })
@@ -509,6 +557,38 @@ mod tests {
         assert!(FlowScript::parse("rw -budget").is_err());
         assert!(FlowScript::parse("rw -budget x").is_err());
         assert!(FlowScript::parse("rw -budget 1T").is_err());
+    }
+
+    #[test]
+    fn parses_trace_marks() {
+        let script = FlowScript::parse("bz; rw -trace; rs -c 6 -trace -d 2; fraig").unwrap();
+        assert!(!script.is_traced(0));
+        assert!(script.is_traced(1));
+        assert!(script.is_traced(2));
+        assert_eq!(
+            script.steps()[2],
+            FlowStep::Resubstitute {
+                cut_size: 6,
+                depth: 2
+            }
+        );
+        assert!(!script.is_traced(3));
+        assert!(!script.is_traced(99));
+        assert!(script.has_traced_steps());
+        assert!(!FlowScript::parse("bz; rw").unwrap().has_traced_steps());
+        // composes with -budget in either order
+        let script = FlowScript::parse("rw -trace -budget 2M; rf -budget 1K -trace").unwrap();
+        assert!(script.is_traced(0) && script.is_traced(1));
+        assert_eq!(script.budget_of(0), Some(2_000_000));
+        assert_eq!(script.budget_of(1), Some(1_000));
+    }
+
+    #[test]
+    fn trace_marks_roundtrip_through_display() {
+        let text = "bz; rw -trace; rs -c 6 -d 2 -trace; fraig -c 9 -budget 1K -trace";
+        let script = FlowScript::parse(text).unwrap();
+        assert_eq!(script.to_string(), text);
+        assert_eq!(FlowScript::parse(&script.to_string()).unwrap(), script);
     }
 
     #[test]

@@ -237,6 +237,13 @@ impl Budget {
     }
 }
 
+impl crate::telemetry::MetricsSource for Budget {
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&str, u64)) {
+        visit("ticks_spent", self.spent());
+        visit("exhausted", u64::from(self.is_exhausted()));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -68,6 +68,7 @@ pub mod bitops;
 pub mod cleanup;
 pub mod parallel;
 pub mod simulation;
+pub mod telemetry;
 pub mod traversal;
 pub mod views;
 pub mod wordsim;
@@ -85,6 +86,7 @@ pub use mig::Mig;
 pub use parallel::Parallelism;
 pub use signal::{NodeId, Signal};
 pub use storage::NetworkSnapshot;
+pub use telemetry::{MetricsRegistry, MetricsSource, SpanNode, TraceMode, Tracer};
 pub use traits::{assert_network_interface, GateBuilder, HasLevels, Network};
 pub use traversal::{LocalScratch, Traversal};
 pub use xag::Xag;

@@ -148,6 +148,16 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
 }
 
+impl glsx_network::MetricsSource for SolverStats {
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&str, u64)) {
+        visit("conflicts", self.conflicts);
+        visit("decisions", self.decisions);
+        visit("propagations", self.propagations);
+        visit("restarts", self.restarts);
+        visit("learnt_clauses", self.learnt_clauses);
+    }
+}
+
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 enum LBool {
     True,
@@ -192,6 +202,9 @@ pub struct Solver {
     /// [`SatResult::Unknown`].
     last_limit: Option<SolverLimit>,
     model: Vec<LBool>,
+    /// Telemetry handle (disabled by default): per-solve spans in full
+    /// trace mode; never consulted for decisions.
+    tracer: glsx_network::Tracer,
 }
 
 impl Default for Solver {
@@ -224,7 +237,15 @@ impl Solver {
             propagation_limit: None,
             last_limit: None,
             model: Vec::new(),
+            tracer: glsx_network::Tracer::off(),
         }
+    }
+
+    /// Attaches a telemetry handle: in full trace mode every solve call
+    /// records a `sat_solve` span.  Observational only — attaching a
+    /// tracer never changes solver behaviour.
+    pub fn set_tracer(&mut self, tracer: glsx_network::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Returns the number of variables.
@@ -354,6 +375,9 @@ impl Solver {
         if !self.ok {
             return SatResult::Unsat;
         }
+        // per-solve spans are batch-granularity detail: full mode only
+        let tracer = self.tracer.clone();
+        let _span = tracer.batches_enabled().then(|| tracer.span("sat_solve"));
         self.model.clear();
         self.cancel_until(0);
         self.last_limit = None;

@@ -1344,3 +1344,82 @@ fn guarded_flows_survive_arbitrary_fault_plans() {
         2,
     );
 }
+
+/// The telemetry contract: tracing is observational only.  A flow run
+/// under a spans / counters / full tracer is bit-identical to the
+/// untraced run on arbitrary seeded networks in every representation,
+/// and the spans it records are well-nested on every lane.
+#[test]
+fn traced_flows_are_bit_identical_to_untraced() {
+    use glsx::algorithms::resubstitution::ResubNetwork;
+    use glsx::flow::{run_script_traced, FlowOptions, FlowScript};
+    use glsx::network::telemetry::{spans_well_nested, TraceMode, Tracer};
+
+    fn check<N>(ntk: &N, label: &str)
+    where
+        N: Network + GateBuilder + ResubNetwork + Clone,
+    {
+        let script = FlowScript::parse("bz; rw; rs -c 6; rf; fraig; rwz").unwrap();
+        let options = FlowOptions::default();
+        let mut untraced = N::clone(ntk);
+        let untraced_stats = run_script_traced(&mut untraced, &script, &options, &Tracer::off());
+        for mode in [TraceMode::Spans, TraceMode::Counters, TraceMode::Full] {
+            let tracer = Tracer::new(mode);
+            let mut traced = N::clone(ntk);
+            let stats = run_script_traced(&mut traced, &script, &options, &tracer);
+            assert_eq!(
+                stats.substitutions, untraced_stats.substitutions,
+                "{label}: {mode:?} tracing changed the flow"
+            );
+            assert_eq!(
+                traced.num_gates(),
+                untraced.num_gates(),
+                "{label}: {mode:?} tracing changed the gate count"
+            );
+            assert_eq!(
+                traced.po_signals(),
+                untraced.po_signals(),
+                "{label}: {mode:?} tracing changed the outputs"
+            );
+            assert!(
+                spans_well_nested(&tracer.events()),
+                "{label}: {mode:?} spans are not well-nested"
+            );
+        }
+    }
+
+    let mut rng = Rng::seed_from_u64(0x7e1e);
+    for case in 0..3 {
+        let aig = arbitrary_network(&mut rng, 6, 50);
+        check(&aig, &format!("AIG case {case}"));
+
+        let mut xag = Xag::new();
+        let mut signals: Vec<Signal> = (0..6).map(|_| xag.create_pi()).collect();
+        for _ in 0..40 {
+            let x = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            let y = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            signals.push(if rng.gen_bool() {
+                xag.create_and(x, y)
+            } else {
+                xag.create_xor(x, y)
+            });
+        }
+        for s in signals.iter().rev().take(3) {
+            xag.create_po(*s);
+        }
+        check(&xag, &format!("XAG case {case}"));
+
+        let mut mig = Mig::new();
+        let mut signals: Vec<Signal> = (0..6).map(|_| mig.create_pi()).collect();
+        for _ in 0..30 {
+            let x = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            let y = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            let z = signals[rng.gen_range(signals.len())].complement_if(rng.gen_bool());
+            signals.push(mig.create_maj(x, y, z));
+        }
+        for s in signals.iter().rev().take(3) {
+            mig.create_po(*s);
+        }
+        check(&mig, &format!("MIG case {case}"));
+    }
+}
