@@ -1,0 +1,423 @@
+//! Streaming-I/O benchmarks (`BENCH_io.json`): circuit ingest and egress
+//! as a measured hot path.
+//!
+//! The workload is the multiply-accumulate datapath streamed straight
+//! from the generator into a GBC byte stream (no intermediate in-memory
+//! network), then loaded back through the strash-free bulk path.  Three
+//! sections:
+//!
+//! * **Format throughput.**  Write and read MB/s and gates/s for ASCII
+//!   AIGER (`aag`), binary AIGER (`aig`) and GBC on the same circuit.
+//!   Every timed round-trip is verified equivalent *before* any timing
+//!   (miter-proven at smoke scale, random word-parallel simulation at
+//!   bench scale).  Bar (`--large`): GBC read throughput ≥ 10× ASCII
+//!   AIGER.
+//! * **Bulk vs per-node build.**  The identical record stream loaded
+//!   through [`NetworkSink`] (bulk: no per-gate strash probe or fanout
+//!   churn, derived state rebuilt in linear passes, levelised on ingest)
+//!   and through [`BuilderSink`] (per-node `create_gate` replay).  Both
+//!   must produce bit-identical networks.  Bar (`--large`): bulk ≥ 5×.
+//! * **Scale proof.**  `--large` streams a ~1M-gate circuit in, checks it
+//!   arrives levelised, and runs one budgeted rewrite pass
+//!   (`rw -budget 2M`) under the guarded executor with simulation
+//!   verification.
+//!
+//! Timings report the best of several runs.  Setting
+//! `GLSX_WRITE_BENCH_BASELINE=1` records the results at the repository
+//! root.  `--smoke` is the CI guard: a small circuit, every round-trip
+//! miter-proven, bulk-vs-per-node bit-identity, and the guarded rewrite —
+//! no timing bars.  The default run uses a ~100k-gate circuit; `--large`
+//! the ~1M-gate one the acceptance bars apply to.
+
+use glsx_benchmarks::arithmetic::mac_datapath;
+use glsx_benchmarks::streaming::stream_mac_datapath;
+use glsx_core::sweeping::{check_equivalence, EquivalenceResult};
+use glsx_flow::{run_script_guarded, FlowOptions, FlowScript, GuardOptions, VerifyMode};
+use glsx_io::stream::{transfer, BuilderSink, NetworkSink, NetworkSource};
+use glsx_io::{
+    read_aiger, read_gbc, read_gbc_info, write_aiger, write_aiger_binary, write_gbc, GbcWriter,
+};
+use glsx_network::simulation::equivalent_by_random_simulation;
+use glsx_network::views::DepthView;
+use glsx_network::{Aig, Network};
+use std::io::Cursor;
+use std::time::Instant;
+
+/// Simulation rounds used to verify large round-trips (64 random
+/// patterns per round).
+const SIM_ROUNDS: usize = 8;
+const SIM_SEED: u64 = 0x1057_5EED;
+
+/// Best-of-N wall time of `run`, with a fixed repetition budget.
+fn best_seconds<T>(mut run: impl FnMut() -> T, repeats: u32, budget_ms: u128) -> f64 {
+    let started = Instant::now();
+    let mut best = f64::INFINITY;
+    let mut runs = 0;
+    while runs < repeats && (runs == 0 || started.elapsed().as_millis() < budget_ms) {
+        let t = Instant::now();
+        std::hint::black_box(run());
+        best = best.min(t.elapsed().as_secs_f64());
+        runs += 1;
+    }
+    best
+}
+
+/// Equivalence of a round-trip, scaled to the circuit: a full SAT miter
+/// proof at smoke scale, random word-parallel simulation refutation
+/// checking above it.
+fn verify_roundtrip(original: &Aig, back: &Aig, what: &str, miter: bool) {
+    assert_eq!(original.num_pis(), back.num_pis(), "{what}: PI count");
+    assert_eq!(original.num_pos(), back.num_pos(), "{what}: PO count");
+    if miter {
+        let outcome = check_equivalence(original, back);
+        assert_eq!(
+            outcome.result,
+            EquivalenceResult::Equivalent,
+            "{what}: round-trip must be miter-proven equivalent"
+        );
+    } else {
+        assert!(
+            equivalent_by_random_simulation(original, back, SIM_ROUNDS, SIM_SEED),
+            "{what}: round-trip refuted by random simulation"
+        );
+    }
+}
+
+/// The bulk-loaded and the per-node-built network must agree node for
+/// node, not just functionally.
+fn assert_bit_identical(bulk: &Aig, per_node: &Aig) {
+    assert_eq!(bulk.size(), per_node.size());
+    assert_eq!(bulk.num_gates(), per_node.num_gates());
+    assert_eq!(bulk.po_signals(), per_node.po_signals());
+    for node in bulk.node_ids() {
+        assert_eq!(bulk.gate_kind(node), per_node.gate_kind(node));
+        assert_eq!(bulk.fanins(node), per_node.fanins(node));
+    }
+}
+
+struct FormatRow {
+    format: &'static str,
+    bytes: usize,
+    write_seconds: f64,
+    read_seconds: f64,
+}
+
+impl FormatRow {
+    fn mbps(bytes: usize, seconds: f64) -> f64 {
+        bytes as f64 / seconds / 1e6
+    }
+    fn gates_per_second(gates: usize, seconds: f64) -> f64 {
+        gates as f64 / seconds
+    }
+}
+
+struct BenchResult {
+    circuit: String,
+    gates: usize,
+    depth: u32,
+    generate_seconds: f64,
+    formats: Vec<FormatRow>,
+    bulk_seconds: f64,
+    per_node_seconds: f64,
+    rewrite_committed: usize,
+    rewrite_ticks: u64,
+    rewrite_seconds: f64,
+}
+
+impl BenchResult {
+    fn bulk_speedup(&self) -> f64 {
+        self.per_node_seconds / self.bulk_seconds
+    }
+    fn gbc_over_ascii_read(&self) -> f64 {
+        self.formats[0].read_seconds / self.formats[2].read_seconds
+    }
+}
+
+/// Runs the full benchmark on a `mac_datapath(bits, stages)` workload.
+///
+/// `timed` skips the timing loops in smoke mode; `miter` selects the
+/// round-trip verification strength.
+fn bench(bits: usize, stages: usize, timed: bool, miter: bool) -> BenchResult {
+    let circuit = format!("mac_datapath_{bits}x{stages}");
+
+    // -- generate straight through the sink into GBC bytes ---------------
+    let t = Instant::now();
+    let cursor = stream_mac_datapath(bits, stages, GbcWriter::new(Cursor::new(Vec::new())))
+        .expect("in-memory GBC write cannot fail");
+    let generate_seconds = t.elapsed().as_secs_f64();
+    let gbc_bytes = cursor.into_inner();
+
+    // -- levelizing bulk ingest ------------------------------------------
+    let (aig, depth) = read_gbc::<Aig>(&gbc_bytes).expect("generated GBC must read back");
+    let gates = aig.num_gates();
+    println!(
+        "{circuit}: {gates} gates, depth {}, {} pis, {} pos, gbc {} bytes",
+        depth.depth(),
+        aig.num_pis(),
+        aig.num_pos(),
+        gbc_bytes.len()
+    );
+
+    // the ingest level table must equal a freshly computed depth view
+    let twin = DepthView::new(&aig);
+    assert_eq!(depth.depth(), twin.depth(), "ingest levelization diverged");
+    for node in aig.node_ids() {
+        assert_eq!(depth.level(node), twin.level(node));
+    }
+
+    // -- every timed round-trip is verified first ------------------------
+    let ascii = write_aiger(&aig);
+    let binary = write_aiger_binary(&aig);
+    verify_roundtrip(&aig, &read_aiger(&ascii).unwrap(), "ascii aiger", miter);
+    verify_roundtrip(&aig, &read_aiger(&binary).unwrap(), "binary aiger", miter);
+    {
+        let (back, _) = read_gbc::<Aig>(&gbc_bytes).unwrap();
+        verify_roundtrip(&aig, &back, "gbc", miter);
+        // GBC round-trips bit-identically, not just functionally
+        assert_bit_identical(&aig, &back);
+        assert_eq!(
+            write_gbc(&back).unwrap(),
+            gbc_bytes,
+            "gbc re-write must reproduce the bytes"
+        );
+    }
+    let info = read_gbc_info(Cursor::new(&gbc_bytes)).unwrap();
+    assert_eq!(info.num_gates as usize, gates);
+    // the block index records the deepest *gate* level, which can exceed
+    // the deepest PO level (the datapath drops its final ripple carry)
+    assert_eq!(info.max_level as usize, depth.num_levels() - 1);
+
+    // -- bulk vs per-node build of the identical record stream -----------
+    let (bulk, _) = transfer(&mut NetworkSource::new(&aig), NetworkSink::<Aig>::new()).unwrap();
+    let per_node: Aig = transfer(&mut NetworkSource::new(&aig), BuilderSink::new()).unwrap();
+    assert_bit_identical(&bulk, &per_node);
+    drop((bulk, per_node));
+
+    let (repeats, budget) = if timed { (5, 20_000) } else { (1, 1) };
+    let bulk_seconds = best_seconds(
+        || transfer(&mut NetworkSource::new(&aig), NetworkSink::<Aig>::new()).unwrap(),
+        repeats,
+        budget,
+    );
+    let per_node_seconds = best_seconds(
+        || -> Aig { transfer(&mut NetworkSource::new(&aig), BuilderSink::new()).unwrap() },
+        repeats,
+        budget,
+    );
+
+    // -- format throughput -----------------------------------------------
+    let formats = vec![
+        FormatRow {
+            format: "ascii_aiger",
+            bytes: ascii.len(),
+            write_seconds: best_seconds(|| write_aiger(&aig), repeats, budget),
+            read_seconds: best_seconds(|| read_aiger(&ascii).unwrap(), repeats, budget),
+        },
+        FormatRow {
+            format: "binary_aiger",
+            bytes: binary.len(),
+            write_seconds: best_seconds(|| write_aiger_binary(&aig), repeats, budget),
+            read_seconds: best_seconds(|| read_aiger(&binary).unwrap(), repeats, budget),
+        },
+        FormatRow {
+            format: "gbc",
+            bytes: gbc_bytes.len(),
+            write_seconds: best_seconds(|| write_gbc(&aig).unwrap(), repeats, budget),
+            read_seconds: best_seconds(|| read_gbc::<Aig>(&gbc_bytes).unwrap(), repeats, budget),
+        },
+    ];
+
+    // -- one budgeted rewrite pass under the guarded executor -------------
+    let mut optimised = aig;
+    let script = FlowScript::parse("rw -budget 2M").unwrap();
+    let guard = GuardOptions {
+        verify: if miter {
+            VerifyMode::Miter
+        } else {
+            VerifyMode::Simulation
+        },
+        ..GuardOptions::default()
+    };
+    let t = Instant::now();
+    let report = run_script_guarded(&mut optimised, &script, &FlowOptions::default(), &guard);
+    let rewrite_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(
+        report.rollbacks, 0,
+        "budgeted rewrite rolled back: {report:?}"
+    );
+    assert_eq!(
+        report.committed, 1,
+        "budgeted rewrite did not commit: {report:?}"
+    );
+    assert_ne!(
+        report.final_verify,
+        Some(false),
+        "budgeted rewrite refuted: {report:?}"
+    );
+    println!(
+        "{circuit}: rw -budget 2M committed ({} -> {} gates, {} ticks, {:.2}s)",
+        report.initial_size, report.final_size, report.ticks_spent, rewrite_seconds
+    );
+
+    BenchResult {
+        circuit,
+        gates,
+        depth: depth.depth(),
+        generate_seconds,
+        formats,
+        bulk_seconds,
+        per_node_seconds,
+        rewrite_committed: report.committed,
+        rewrite_ticks: report.ticks_spent,
+        rewrite_seconds,
+    }
+}
+
+fn print_and_emit(result: &BenchResult, enforce_bars: bool) {
+    println!(
+        "{}: generated through the sink in {:.3}s ({:.0} gates/s)",
+        result.circuit,
+        result.generate_seconds,
+        result.gates as f64 / result.generate_seconds
+    );
+    for row in &result.formats {
+        println!(
+            "{:<13} {:>10} bytes  write {:>8.4}s ({:>7.1} MB/s, {:>9.0} gates/s)  \
+             read {:>8.4}s ({:>7.1} MB/s, {:>9.0} gates/s)",
+            row.format,
+            row.bytes,
+            row.write_seconds,
+            FormatRow::mbps(row.bytes, row.write_seconds),
+            FormatRow::gates_per_second(result.gates, row.write_seconds),
+            row.read_seconds,
+            FormatRow::mbps(row.bytes, row.read_seconds),
+            FormatRow::gates_per_second(result.gates, row.read_seconds),
+        );
+    }
+    println!(
+        "bulk load {:.4}s vs per-node build {:.4}s: {:.1}x  |  gbc read vs ascii read: {:.1}x",
+        result.bulk_seconds,
+        result.per_node_seconds,
+        result.bulk_speedup(),
+        result.gbc_over_ascii_read()
+    );
+
+    if enforce_bars {
+        assert!(
+            result.bulk_speedup() >= 5.0,
+            "bulk load must be >= 5x the per-node build on the ~1M-gate circuit \
+             (got {:.2}x)",
+            result.bulk_speedup()
+        );
+        assert!(
+            result.gbc_over_ascii_read() >= 10.0,
+            "gbc read must be >= 10x ascii aiger read on the ~1M-gate circuit \
+             (got {:.2}x)",
+            result.gbc_over_ascii_read()
+        );
+        println!(
+            "bars met: bulk {:.1}x (>= 5x), gbc read {:.1}x ascii (>= 10x)",
+            result.bulk_speedup(),
+            result.gbc_over_ascii_read()
+        );
+    }
+
+    let format_rows: Vec<String> = result
+        .formats
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"format\": \"{}\", \"bytes\": {}, ",
+                    "\"write_seconds\": {:.6}, \"write_mb_per_s\": {:.2}, ",
+                    "\"read_seconds\": {:.6}, \"read_mb_per_s\": {:.2}, ",
+                    "\"read_gates_per_s\": {:.0}}}"
+                ),
+                r.format,
+                r.bytes,
+                r.write_seconds,
+                FormatRow::mbps(r.bytes, r.write_seconds),
+                r.read_seconds,
+                FormatRow::mbps(r.bytes, r.read_seconds),
+                FormatRow::gates_per_second(result.gates, r.read_seconds),
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"streaming_io\",\n",
+            "  \"circuit\": \"{}\",\n",
+            "  \"gates\": {},\n",
+            "  \"depth\": {},\n",
+            "  \"generate_seconds\": {:.6},\n",
+            "  \"formats\": [\n{}\n  ],\n",
+            "  \"bulk_load_seconds\": {:.6},\n",
+            "  \"per_node_build_seconds\": {:.6},\n",
+            "  \"bulk_speedup\": {:.2},\n",
+            "  \"bulk_speedup_bar\": 5.0,\n",
+            "  \"gbc_read_speedup_over_ascii\": {:.2},\n",
+            "  \"gbc_read_speedup_bar\": 10.0,\n",
+            "  \"bars_enforced\": {},\n",
+            "  \"guarded_rewrite\": {{\"script\": \"rw -budget 2M\", ",
+            "\"committed\": {}, \"ticks\": {}, \"seconds\": {:.4}}}\n",
+            "}}\n"
+        ),
+        result.circuit,
+        result.gates,
+        result.depth,
+        result.generate_seconds,
+        format_rows.join(",\n"),
+        result.bulk_seconds,
+        result.per_node_seconds,
+        result.bulk_speedup(),
+        result.gbc_over_ascii_read(),
+        enforce_bars,
+        result.rewrite_committed,
+        result.rewrite_ticks,
+        result.rewrite_seconds,
+    );
+    glsx_bench::emit_json("BENCH_io.json", &json);
+}
+
+/// `--smoke`: everything miter-proven on a small circuit, plus the
+/// streamed-generator-equals-in-memory-generator identity — the CI guard
+/// of the ingest layer.
+fn smoke() {
+    // small on purpose: the miter proofs are SAT on a multiplier chain,
+    // which gets expensive fast with the word width
+    let (bits, stages) = (4, 2);
+    let reference: Aig = mac_datapath(bits, stages);
+    let (streamed, _) = stream_mac_datapath(bits, stages, NetworkSink::<Aig>::new()).unwrap();
+    // same gates, same function as the in-memory generator (ids differ:
+    // the stream declares all inputs up front)
+    assert_eq!(streamed.num_gates(), reference.num_gates());
+    let outcome = check_equivalence(&reference, &streamed);
+    assert_eq!(outcome.result, EquivalenceResult::Equivalent);
+    let result = bench(bits, stages, false, true);
+    println!(
+        "smoke: {} ({} gates) — gbc/aag/aig round-trips miter-proven, bulk load \
+         bit-identical to the per-node build, budgeted rewrite committed under guard",
+        result.circuit, result.gates
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    // the big-circuit generator stays behind --large so default bench
+    // time stays bounded
+    let large = args.iter().any(|a| a == "--large");
+    let (bits, stages) = if large { (16, 380) } else { (16, 36) };
+    let result = bench(bits, stages, true, false);
+    if large {
+        assert!(
+            result.gates >= 1_000_000,
+            "the --large workload must reach a million gates (got {})",
+            result.gates
+        );
+    }
+    print_and_emit(&result, large);
+}

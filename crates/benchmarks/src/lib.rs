@@ -33,6 +33,7 @@ pub mod control;
 pub mod redundancy;
 pub mod restructure;
 pub mod rng;
+pub mod streaming;
 pub mod suite;
 
 pub use redundancy::inject_redundancy;

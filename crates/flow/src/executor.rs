@@ -435,6 +435,9 @@ where
 {
     install_quiet_panic_hook();
     let start = Instant::now();
+    // a bulk-loaded network materialises its deferred fanout lists and
+    // strash table here, before the passes (and the checkpoints) see it
+    ntk.ensure_derived_state();
     // the single reference clone every per-step verification (and the
     // final miter) checks against
     let input = ntk.clone();

@@ -303,6 +303,9 @@ where
     N: Network + GateBuilder + ResubNetwork,
 {
     let start = Instant::now();
+    // a bulk-loaded network materialises its deferred fanout lists and
+    // strash table here, before any pass traverses fanouts
+    ntk.ensure_derived_state();
     let mut stats = FlowStats {
         initial_size: ntk.num_gates(),
         initial_depth: glsx_network::views::network_depth(ntk),

@@ -1,0 +1,182 @@
+//! Command-line circuit file tool over the streaming I/O layer.
+//!
+//! Converts, inspects, and verifies circuits stored in any of the three
+//! on-disk formats this crate speaks, dispatched by file extension:
+//!
+//! | extension | format                              |
+//! |-----------|-------------------------------------|
+//! | `.aag`    | ASCII AIGER                         |
+//! | `.aig`    | binary AIGER                        |
+//! | `.gbc`    | packed block-structured GBC         |
+//!
+//! Commands:
+//!
+//! - `convert <input> <output>` — re-encode a circuit between formats.
+//! - `info <file>` — print a header summary.  For GBC files this reads
+//!   only the header and block index ([`read_gbc_info`]) without decoding
+//!   a single gate, so it is instant even on million-gate files.
+//! - `verify <a> <b>` — prove two files implement the same function:
+//!   exhaustive simulation for small input counts, a SAT miter otherwise.
+//!
+//! AIGER carries AIGs only; GBC stores any two-input or three-input
+//! representation.  `info` works on every GBC file, while `convert` and
+//! `verify` load AIG payloads.
+//!
+//! Run with
+//! `cargo run --release -p glsx-io --example circuit_tool -- info file.gbc`
+
+use std::fs;
+use std::io::Cursor;
+use std::process::ExitCode;
+
+use glsx_core::{check_equivalence, EquivalenceResult};
+use glsx_io::{
+    read_aiger, read_gbc, read_gbc_info, write_aiger, write_aiger_binary, write_gbc, CircuitKind,
+};
+use glsx_network::simulation::{equivalent_by_simulation, MAX_EXHAUSTIVE_PIS};
+use glsx_network::views::DepthView;
+use glsx_network::{Aig, Network};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    AsciiAiger,
+    BinaryAiger,
+    Gbc,
+}
+
+impl Format {
+    fn of(path: &str) -> Result<Self, String> {
+        match path.rsplit('.').next() {
+            Some("aag") => Ok(Self::AsciiAiger),
+            Some("aig") => Ok(Self::BinaryAiger),
+            Some("gbc") => Ok(Self::Gbc),
+            _ => Err(format!(
+                "{path}: unknown extension (expected .aag, .aig, or .gbc)"
+            )),
+        }
+    }
+}
+
+fn load_aig(path: &str) -> Result<Aig, String> {
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    match Format::of(path)? {
+        Format::AsciiAiger | Format::BinaryAiger => {
+            read_aiger(&bytes).map_err(|e| format!("{path}: {e}"))
+        }
+        Format::Gbc => {
+            let info = read_gbc_info(Cursor::new(&bytes)).map_err(|e| format!("{path}: {e}"))?;
+            if info.kind != CircuitKind::Aig {
+                return Err(format!(
+                    "{path}: holds a {} circuit; only AIG payloads convert to/from AIGER",
+                    info.kind
+                ));
+            }
+            read_gbc::<Aig>(&bytes)
+                .map(|(aig, _depth)| aig)
+                .map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn convert(input: &str, output: &str) -> Result<(), String> {
+    let aig = load_aig(input)?;
+    let bytes = match Format::of(output)? {
+        Format::AsciiAiger => write_aiger(&aig).into_bytes(),
+        Format::BinaryAiger => write_aiger_binary(&aig),
+        Format::Gbc => write_gbc(&aig).map_err(|e| format!("{output}: {e}"))?,
+    };
+    fs::write(output, &bytes).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{input} -> {output}: {} PIs, {} gates, {} POs, {} bytes",
+        aig.num_pis(),
+        aig.num_gates(),
+        aig.num_pos(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn info(path: &str) -> Result<(), String> {
+    if Format::of(path)? == Format::Gbc {
+        // Header + block index only — no gate record is decoded.
+        let file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let info = read_gbc_info(file).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: GBC ({})", info.kind);
+        println!("  inputs    {}", info.num_pis);
+        println!("  gates     {}", info.num_gates);
+        println!("  outputs   {}", info.num_pos);
+        println!("  depth     {}", info.max_level);
+        println!("  blocks    {}", info.num_blocks);
+        println!("  bytes     {}", info.bytes);
+        return Ok(());
+    }
+    let aig = load_aig(path)?;
+    let depth = DepthView::new(&aig);
+    println!("{path}: AIGER (aig)");
+    println!("  inputs    {}", aig.num_pis());
+    println!("  gates     {}", aig.num_gates());
+    println!("  outputs   {}", aig.num_pos());
+    println!("  depth     {}", depth.depth());
+    Ok(())
+}
+
+fn verify(path_a: &str, path_b: &str) -> Result<(), String> {
+    let a = load_aig(path_a)?;
+    let b = load_aig(path_b)?;
+    if a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos() {
+        return Err(format!(
+            "interface mismatch: {path_a} has {}/{} PIs/POs, {path_b} has {}/{}",
+            a.num_pis(),
+            a.num_pos(),
+            b.num_pis(),
+            b.num_pos()
+        ));
+    }
+    if a.num_pis() <= MAX_EXHAUSTIVE_PIS {
+        if equivalent_by_simulation(&a, &b) {
+            println!("EQUIVALENT ({} inputs, exhaustive simulation)", a.num_pis());
+            return Ok(());
+        }
+        return Err(format!("{path_a} and {path_b} differ (simulation)"));
+    }
+    match check_equivalence(&a, &b).result {
+        EquivalenceResult::Equivalent => {
+            println!("EQUIVALENT ({} inputs, SAT miter)", a.num_pis());
+            Ok(())
+        }
+        EquivalenceResult::Inequivalent(_) => {
+            Err(format!("{path_a} and {path_b} differ (SAT counterexample)"))
+        }
+        EquivalenceResult::Unknown => Err(format!(
+            "{path_a} vs {path_b}: undecided within the solver budget"
+        )),
+    }
+}
+
+fn usage() -> String {
+    "usage: circuit_tool convert <input> <output>\n       \
+     circuit_tool info <file>\n       \
+     circuit_tool verify <a> <b>\n\
+     formats by extension: .aag (ASCII AIGER), .aig (binary AIGER), .gbc (packed)"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args {
+        [cmd, input, output] if cmd == "convert" => convert(input, output),
+        [cmd, path] if cmd == "info" => info(path),
+        [cmd, a, b] if cmd == "verify" => verify(a, b),
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

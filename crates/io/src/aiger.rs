@@ -1,0 +1,413 @@
+//! AIGER interchange for And-inverter graphs: the ASCII (`aag`) and
+//! binary (`aig`) variants of the format the EPFL benchmark suites are
+//! distributed in.
+//!
+//! Both readers go through the robust [`BuilderSink`]-style path
+//! (`create_and` per gate) rather than the bulk loader: external files
+//! are untrusted, may carry structurally duplicate or constant-foldable
+//! ANDs, and binary AIGER's rhs ordering (`rhs0 ≥ rhs1`) differs from
+//! this workspace's normalisation, so every gate is re-normalised and
+//! re-hashed on ingest.
+//!
+//! # Accepted grammar (ASCII)
+//!
+//! [`read_aiger`] accepts a superset of the strict format:
+//!
+//! * header `aag M I L O A` (`L` must be 0 — the library is
+//!   combinational; latch declarations are rejected),
+//! * exactly `I` input literals, `O` output literals and `A` AND
+//!   definitions of three literals each, as whitespace-separated decimal
+//!   tokens — *any* whitespace (spaces, tabs, `\r`, blank lines, several
+//!   numbers per line) separates tokens, not just the strict
+//!   one-line-per-record layout,
+//! * AND definitions in **any order**, as long as every fanin is
+//!   eventually defined (the strict format requires fanins to precede
+//!   uses; this reader resolves out-of-order definitions iteratively and
+//!   rejects only genuinely cyclic or undefined ones),
+//! * each literal defined at most once, all literals ≤ `2·M + 1`,
+//! * an optional symbol/comment section after the last AND definition,
+//!   which is ignored.
+
+use glsx_network::{Aig, GateBuilder, Network, NodeId, Signal};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing an AIGER file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAigerError {
+    message: String,
+}
+
+impl ParseAigerError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AIGER input: {}", self.message)
+    }
+}
+
+impl Error for ParseAigerError {}
+
+/// Dense literal assignment shared by both writers: inputs first, then
+/// the live gates in topological order.
+fn dense_literals(aig: &Aig) -> (HashMap<NodeId, u32>, Vec<NodeId>) {
+    let mut literal: HashMap<NodeId, u32> = HashMap::new();
+    literal.insert(0, 0);
+    let mut next_index = 1u32;
+    for pi in aig.pi_nodes() {
+        literal.insert(pi, 2 * next_index);
+        next_index += 1;
+    }
+    let gates = aig.gate_nodes();
+    for &gate in &gates {
+        literal.insert(gate, 2 * next_index);
+        next_index += 1;
+    }
+    (literal, gates)
+}
+
+fn lit_of(literal: &HashMap<NodeId, u32>, s: Signal) -> u32 {
+    literal[&s.node()] + s.is_complemented() as u32
+}
+
+/// Serialises an AIG in the ASCII AIGER format (`aag` header).
+///
+/// Node indices are re-numbered densely: inputs first, then gates in
+/// topological order, matching the format's requirements.
+pub fn write_aiger(aig: &Aig) -> String {
+    let (literal, gates) = dense_literals(aig);
+    let max_index = aig.num_pis() + gates.len();
+    let mut out = format!(
+        "aag {} {} 0 {} {}\n",
+        max_index,
+        aig.num_pis(),
+        aig.num_pos(),
+        gates.len()
+    );
+    for pi in aig.pi_nodes() {
+        out.push_str(&format!("{}\n", literal[&pi]));
+    }
+    for po in aig.po_signals() {
+        out.push_str(&format!("{}\n", lit_of(&literal, po)));
+    }
+    for &gate in &gates {
+        let fanins = aig.fanins(gate);
+        out.push_str(&format!(
+            "{} {} {}\n",
+            literal[&gate],
+            lit_of(&literal, fanins[0]),
+            lit_of(&literal, fanins[1])
+        ));
+    }
+    out
+}
+
+fn push_varint(out: &mut Vec<u8>, mut value: u32) {
+    while value >= 0x80 {
+        out.push((value & 0x7F) as u8 | 0x80);
+        value >>= 7;
+    }
+    out.push(value as u8);
+}
+
+/// Serialises an AIG in the binary AIGER format (`aig` header): inputs
+/// are implicit, each AND stores two LEB128 varint deltas
+/// (`lhs − rhs0`, `rhs0 − rhs1` with `rhs0 ≥ rhs1`), typically ~3 bytes
+/// per gate instead of ~15 in ASCII.
+pub fn write_aiger_binary(aig: &Aig) -> Vec<u8> {
+    let (literal, gates) = dense_literals(aig);
+    let num_inputs = aig.num_pis();
+    let max_index = num_inputs + gates.len();
+    let mut out = format!(
+        "aig {} {} 0 {} {}\n",
+        max_index,
+        num_inputs,
+        aig.num_pos(),
+        gates.len()
+    )
+    .into_bytes();
+    for po in aig.po_signals() {
+        out.extend_from_slice(format!("{}\n", lit_of(&literal, po)).as_bytes());
+    }
+    for &gate in &gates {
+        let lhs = literal[&gate];
+        let fanins = aig.fanins(gate);
+        let (lit0, lit1) = (lit_of(&literal, fanins[0]), lit_of(&literal, fanins[1]));
+        let (rhs0, rhs1) = (lit0.max(lit1), lit0.min(lit1));
+        debug_assert!(lhs > rhs0, "dense topological order guarantees lhs > rhs0");
+        push_varint(&mut out, lhs - rhs0);
+        push_varint(&mut out, rhs0 - rhs1);
+    }
+    out
+}
+
+/// Parses an AIGER file — ASCII (`aag`) or binary (`aig`), sniffed from
+/// the header — into an [`Aig`].
+///
+/// Latches are not supported (the library handles combinational logic
+/// only); symbol and comment sections are ignored.  The ASCII variant is
+/// whitespace- and order-tolerant; see the
+/// [module docs](self) for the exact accepted grammar.
+///
+/// # Errors
+///
+/// Returns an error on malformed headers, out-of-range or duplicate
+/// literals, latch declarations, truncated binary data or undefined
+/// fanins.
+pub fn read_aiger(input: impl AsRef<[u8]>) -> Result<Aig, ParseAigerError> {
+    let bytes = input.as_ref();
+    if bytes.starts_with(b"aig ") || bytes.starts_with(b"aig\t") {
+        read_aiger_binary(bytes)
+    } else {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| ParseAigerError::new("ASCII AIGER input is not valid UTF-8"))?;
+        read_aiger_ascii(text)
+    }
+}
+
+struct Header {
+    max_index: usize,
+    num_inputs: usize,
+    num_outputs: usize,
+    num_ands: usize,
+}
+
+fn parse_number(s: &str) -> Result<usize, ParseAigerError> {
+    s.parse()
+        .map_err(|_| ParseAigerError::new(format!("invalid number `{s}`")))
+}
+
+fn parse_header<'a>(
+    tag: &str,
+    mut fields: impl Iterator<Item = &'a str>,
+) -> Result<Header, ParseAigerError> {
+    let mut next = |what: &str| {
+        fields
+            .next()
+            .ok_or_else(|| ParseAigerError::new(format!("header is missing the {what} count")))
+    };
+    if next("format")? != tag {
+        return Err(ParseAigerError::new(format!("expected an `{tag}` header")));
+    }
+    let max_index = parse_number(next("maximum index")?)?;
+    let num_inputs = parse_number(next("input")?)?;
+    let num_latches = parse_number(next("latch")?)?;
+    let num_outputs = parse_number(next("output")?)?;
+    let num_ands = parse_number(next("AND")?)?;
+    if num_latches != 0 {
+        return Err(ParseAigerError::new("latches are not supported"));
+    }
+    if max_index < num_inputs + num_ands {
+        return Err(ParseAigerError::new(format!(
+            "maximum index {max_index} is below inputs + ANDs ({})",
+            num_inputs + num_ands
+        )));
+    }
+    Ok(Header {
+        max_index,
+        num_inputs,
+        num_outputs,
+        num_ands,
+    })
+}
+
+fn read_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
+    // records are plain whitespace-separated decimal tokens: consuming a
+    // token stream (instead of exact lines) tolerates blank lines, `\r`,
+    // extra spaces and several records per line for free.  The symbol/
+    // comment section begins at the first non-numeric token after the
+    // last AND definition and is never reached below.
+    let text = text.trim_start();
+    let (header_line, rest) = text.split_once('\n').unwrap_or((text, ""));
+    let header = parse_header("aag", header_line.split_whitespace())?;
+    let mut tokens = rest.split_whitespace();
+    let mut next_literal = |what: &str| -> Result<usize, ParseAigerError> {
+        let token = tokens
+            .next()
+            .ok_or_else(|| ParseAigerError::new(format!("missing {what}")))?;
+        let lit = parse_number(token)?;
+        if lit / 2 > header.max_index {
+            return Err(ParseAigerError::new(format!(
+                "literal {lit} exceeds maximum index {}",
+                header.max_index
+            )));
+        }
+        Ok(lit)
+    };
+
+    let mut aig = Aig::new();
+    let mut signals: Vec<Option<Signal>> = vec![None; header.max_index + 1];
+    signals[0] = Some(aig.get_constant(false));
+    for _ in 0..header.num_inputs {
+        let lit = next_literal("input literal")?;
+        if lit % 2 != 0 {
+            return Err(ParseAigerError::new(format!("invalid input literal {lit}")));
+        }
+        if signals[lit / 2].is_some() {
+            return Err(ParseAigerError::new(format!(
+                "literal {lit} defined more than once"
+            )));
+        }
+        signals[lit / 2] = Some(aig.create_pi());
+    }
+    let mut output_literals = Vec::with_capacity(header.num_outputs);
+    for _ in 0..header.num_outputs {
+        output_literals.push(next_literal("output literal")?);
+    }
+    let mut and_definitions = Vec::with_capacity(header.num_ands);
+    let mut defined = vec![false; header.max_index + 1];
+    for _ in 0..header.num_ands {
+        let lhs = next_literal("AND definition")?;
+        let rhs0 = next_literal("AND fanin")?;
+        let rhs1 = next_literal("AND fanin")?;
+        if lhs % 2 != 0 {
+            return Err(ParseAigerError::new(format!(
+                "AND defines complemented literal {lhs}"
+            )));
+        }
+        if signals[lhs / 2].is_some() || defined[lhs / 2] {
+            return Err(ParseAigerError::new(format!(
+                "literal {lhs} defined more than once"
+            )));
+        }
+        defined[lhs / 2] = true;
+        and_definitions.push((lhs, rhs0, rhs1));
+    }
+    // ANDs may be listed in any order in which every fanin is eventually
+    // defined; resolve iteratively
+    let mut remaining = and_definitions;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|&(lhs, rhs0, rhs1)| {
+            let resolve = |lit: usize, signals: &[Option<Signal>]| -> Option<Signal> {
+                signals
+                    .get(lit / 2)
+                    .copied()
+                    .flatten()
+                    .map(|s| s.complement_if(lit % 2 == 1))
+            };
+            match (resolve(rhs0, &signals), resolve(rhs1, &signals)) {
+                (Some(a), Some(b)) => {
+                    let gate = aig.create_and(a, b);
+                    signals[lhs / 2] = Some(gate);
+                    false
+                }
+                _ => true,
+            }
+        });
+        if remaining.len() == before {
+            return Err(ParseAigerError::new("cyclic or undefined AND definitions"));
+        }
+    }
+    for lit in output_literals {
+        let signal = signals
+            .get(lit / 2)
+            .copied()
+            .flatten()
+            .ok_or_else(|| ParseAigerError::new(format!("undefined output literal {lit}")))?;
+        aig.create_po(signal.complement_if(lit % 2 == 1));
+    }
+    Ok(aig)
+}
+
+fn read_aiger_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
+    // the header and the output literals are ASCII lines; everything
+    // after them is the varint-packed AND section
+    let mut pos = 0usize;
+    let mut next_line = |what: &str| -> Result<&str, ParseAigerError> {
+        let start = pos;
+        let end = bytes[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| start + i)
+            .ok_or_else(|| ParseAigerError::new(format!("truncated before {what}")))?;
+        pos = end + 1;
+        std::str::from_utf8(&bytes[start..end])
+            .map_err(|_| ParseAigerError::new(format!("{what} is not valid ASCII")))
+    };
+    let header = parse_header("aig", next_line("header")?.split_whitespace())?;
+    if header.max_index != header.num_inputs + header.num_ands {
+        return Err(ParseAigerError::new(format!(
+            "binary AIGER requires M = I + A (got M={}, I={}, A={})",
+            header.max_index, header.num_inputs, header.num_ands
+        )));
+    }
+    let mut output_literals = Vec::with_capacity(header.num_outputs);
+    for _ in 0..header.num_outputs {
+        let line = next_line("output literal")?;
+        let lit = parse_number(line.trim())?;
+        if lit / 2 > header.max_index {
+            return Err(ParseAigerError::new(format!(
+                "literal {lit} exceeds maximum index {}",
+                header.max_index
+            )));
+        }
+        output_literals.push(lit);
+    }
+
+    let mut aig = Aig::new();
+    let mut signals: Vec<Signal> = Vec::with_capacity(header.max_index + 1);
+    signals.push(aig.get_constant(false));
+    for _ in 0..header.num_inputs {
+        let pi = aig.create_pi();
+        signals.push(pi);
+    }
+    let mut read_varint = |what: u32| -> Result<u32, ParseAigerError> {
+        let mut value = 0u32;
+        let mut shift = 0u32;
+        loop {
+            let byte = *bytes
+                .get(pos)
+                .ok_or_else(|| ParseAigerError::new(format!("truncated in AND {what}")))?;
+            pos += 1;
+            if shift >= 32 || (shift == 28 && byte & 0x7F > 0x0F) {
+                return Err(ParseAigerError::new(format!(
+                    "varint overflow in AND {what}"
+                )));
+            }
+            value |= u32::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    };
+    for i in 0..header.num_ands {
+        // the definition order and lhs literals are implicit in binary
+        // AIGER: gate i defines literal 2·(I + 1 + i)
+        let lhs = 2 * (header.num_inputs as u32 + 1 + i as u32);
+        let delta0 = read_varint(lhs)?;
+        if delta0 == 0 || delta0 > lhs {
+            return Err(ParseAigerError::new(format!(
+                "AND {lhs}: delta {delta0} out of range"
+            )));
+        }
+        let rhs0 = lhs - delta0;
+        let delta1 = read_varint(lhs)?;
+        if delta1 > rhs0 {
+            return Err(ParseAigerError::new(format!(
+                "AND {lhs}: delta {delta1} out of range"
+            )));
+        }
+        let rhs1 = rhs0 - delta1;
+        let resolve =
+            |lit: u32| -> Signal { signals[(lit / 2) as usize].complement_if(lit % 2 == 1) };
+        let gate = aig.create_and(resolve(rhs0), resolve(rhs1));
+        signals.push(gate);
+    }
+    for lit in output_literals {
+        let signal = signals
+            .get(lit / 2)
+            .copied()
+            .ok_or_else(|| ParseAigerError::new(format!("undefined output literal {lit}")))?;
+        aig.create_po(signal.complement_if(lit % 2 == 1));
+    }
+    Ok(aig)
+}

@@ -1,0 +1,149 @@
+//! Netlist writers: BLIF and structural Verilog, the usual hand-off
+//! formats towards technology mapping and downstream synthesis tools.
+
+use glsx_network::{GateKind, Network, NodeId, Signal};
+use glsx_truth::isop;
+
+/// Serialises any network in BLIF: every gate becomes a `.names` block
+/// whose cover is derived from the gate's local function.
+pub fn write_blif<N: Network>(ntk: &N, model_name: &str) -> String {
+    let mut out = format!(".model {model_name}\n");
+    let name = |n: NodeId| format!("n{n}");
+    out.push_str(".inputs");
+    for pi in ntk.pi_nodes() {
+        out.push_str(&format!(" {}", name(pi)));
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for i in 0..ntk.num_pos() {
+        out.push_str(&format!(" po{i}"));
+    }
+    out.push('\n');
+    // constant zero driver (only if referenced)
+    out.push_str(&format!(".names {}\n", name(0)));
+    for node in ntk.gate_nodes() {
+        let fanins = ntk.fanins(node);
+        out.push_str(".names");
+        for f in &fanins {
+            out.push_str(&format!(" {}", name(f.node())));
+        }
+        out.push_str(&format!(" {}\n", name(node)));
+        // local function with edge complementations folded in
+        let mut function = ntk.node_function(node);
+        for (i, f) in fanins.iter().enumerate() {
+            if f.is_complemented() {
+                function = function.flip(i);
+            }
+        }
+        for cube in isop(&function).cubes() {
+            let mut row = String::new();
+            for i in 0..fanins.len() {
+                row.push(if !cube.has_literal(i) {
+                    '-'
+                } else if cube.polarity(i) {
+                    '1'
+                } else {
+                    '0'
+                });
+            }
+            out.push_str(&format!("{row} 1\n"));
+        }
+    }
+    for (i, po) in ntk.po_signals().iter().enumerate() {
+        out.push_str(&format!(".names {} po{i}\n", name(po.node())));
+        out.push_str(if po.is_complemented() {
+            "0 1\n"
+        } else {
+            "1 1\n"
+        });
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Serialises any network as structural Verilog using `assign` statements.
+pub fn write_verilog<N: Network>(ntk: &N, module_name: &str) -> String {
+    let name = |n: NodeId| format!("n{n}");
+    let expr = |s: Signal| {
+        if s.is_complemented() {
+            format!("~{}", name(s.node()))
+        } else {
+            name(s.node())
+        }
+    };
+    let mut out = format!("module {module_name}(");
+    let ports: Vec<String> = ntk
+        .pi_nodes()
+        .iter()
+        .map(|&pi| name(pi))
+        .chain((0..ntk.num_pos()).map(|i| format!("po{i}")))
+        .collect();
+    out.push_str(&ports.join(", "));
+    out.push_str(");\n");
+    for pi in ntk.pi_nodes() {
+        out.push_str(&format!("  input {};\n", name(pi)));
+    }
+    for i in 0..ntk.num_pos() {
+        out.push_str(&format!("  output po{i};\n"));
+    }
+    out.push_str(&format!("  wire {} = 1'b0;\n", name(0)));
+    for node in ntk.gate_nodes() {
+        let fanins = ntk.fanins(node);
+        let rhs = match ntk.gate_kind(node) {
+            GateKind::And => format!("{} & {}", expr(fanins[0]), expr(fanins[1])),
+            GateKind::Xor => format!("{} ^ {}", expr(fanins[0]), expr(fanins[1])),
+            GateKind::Xor3 => format!(
+                "{} ^ {} ^ {}",
+                expr(fanins[0]),
+                expr(fanins[1]),
+                expr(fanins[2])
+            ),
+            GateKind::Maj => {
+                let (a, b, c) = (expr(fanins[0]), expr(fanins[1]), expr(fanins[2]));
+                format!("({a} & {b}) | ({a} & {c}) | ({b} & {c})")
+            }
+            GateKind::Lut | GateKind::Constant | GateKind::Input => {
+                // LUTs are expressed as a sum of products of their cover
+                let mut function = ntk.node_function(node);
+                for (i, f) in fanins.iter().enumerate() {
+                    if f.is_complemented() {
+                        function = function.flip(i);
+                    }
+                }
+                let cubes = isop(&function);
+                if cubes.is_empty() {
+                    "1'b0".to_string()
+                } else {
+                    cubes
+                        .cubes()
+                        .iter()
+                        .map(|cube| {
+                            let literals: Vec<String> = (0..fanins.len())
+                                .filter(|&i| cube.has_literal(i))
+                                .map(|i| {
+                                    if cube.polarity(i) {
+                                        name(fanins[i].node())
+                                    } else {
+                                        format!("~{}", name(fanins[i].node()))
+                                    }
+                                })
+                                .collect();
+                            if literals.is_empty() {
+                                "1'b1".to_string()
+                            } else {
+                                format!("({})", literals.join(" & "))
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" | ")
+                }
+            }
+        };
+        out.push_str(&format!("  wire {} = {};\n", name(node), rhs));
+    }
+    for (i, po) in ntk.po_signals().iter().enumerate() {
+        out.push_str(&format!("  assign po{i} = {};\n", expr(*po)));
+    }
+    out.push_str("endmodule\n");
+    out
+}

@@ -89,11 +89,11 @@ macro_rules! impl_network_common {
             }
 
             fn fanouts(&self, node: crate::NodeId) -> Vec<crate::NodeId> {
-                self.storage.node(node).fanouts.clone()
+                self.storage.node_fanouts(node).to_vec()
             }
 
             fn foreach_fanout<F: FnMut(crate::NodeId)>(&self, node: crate::NodeId, mut f: F) {
-                for &n in &self.storage.node(node).fanouts {
+                for &n in self.storage.node_fanouts(node) {
                     f(n);
                 }
             }
@@ -125,9 +125,11 @@ macro_rules! impl_network_common {
             fn node_function(&self, node: crate::NodeId) -> glsx_truth::TruthTable {
                 let data = self.storage.node(node);
                 match data.kind {
-                    crate::GateKind::Lut => {
-                        data.function.clone().expect("LUT node stores its function")
-                    }
+                    crate::GateKind::Lut => (**data
+                        .function
+                        .as_ref()
+                        .expect("LUT node stores its function"))
+                    .clone(),
                     crate::GateKind::Input => {
                         panic!("primary inputs have no local function")
                     }
@@ -248,6 +250,14 @@ macro_rules! impl_network_common {
 
             fn register_choice(&mut self, node: crate::NodeId, repr: crate::Signal) -> bool {
                 self.storage.register_choice(node, repr)
+            }
+
+            fn ensure_derived_state(&mut self) {
+                self.storage.ensure_derived();
+            }
+
+            fn has_derived_state(&self) -> bool {
+                self.storage.has_derived()
             }
         }
 

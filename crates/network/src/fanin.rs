@@ -42,7 +42,12 @@ enum Repr {
         len: u8,
         items: [Signal; MAX_INLINE_FANINS],
     },
-    Spill(Vec<Signal>),
+    /// Boxed slice rather than `Vec`: spilled arrays are practically
+    /// immutable (LUT fanins are fixed at creation), and the two-word
+    /// representation keeps the whole enum at 24 bytes — every node
+    /// record in the workspace carries one of these, so the footprint is
+    /// paid millions of times over.
+    Spill(Box<[Signal]>),
 }
 
 impl FaninArray {
@@ -66,7 +71,7 @@ impl FaninArray {
                 items,
             })
         } else {
-            Self(Repr::Spill(signals.to_vec()))
+            Self(Repr::Spill(signals.into()))
         }
     }
 
@@ -86,7 +91,10 @@ impl FaninArray {
     }
 
     /// Appends a signal, spilling to the heap if the inline capacity is
-    /// exhausted.
+    /// exhausted.  Pushing onto an already-spilled array reallocates the
+    /// boxed slice — acceptable because spills only occur while building
+    /// wide LUTs, never on the fixed-arity hot paths.
+    #[inline]
     pub fn push(&mut self, signal: Signal) {
         match &mut self.0 {
             Repr::Inline { len, items } => {
@@ -96,10 +104,14 @@ impl FaninArray {
                 } else {
                     let mut spilled = items.to_vec();
                     spilled.push(signal);
-                    self.0 = Repr::Spill(spilled);
+                    self.0 = Repr::Spill(spilled.into_boxed_slice());
                 }
             }
-            Repr::Spill(v) => v.push(signal),
+            Repr::Spill(boxed) => {
+                let mut spilled = std::mem::take(boxed).into_vec();
+                spilled.push(signal);
+                *boxed = spilled.into_boxed_slice();
+            }
         }
     }
 

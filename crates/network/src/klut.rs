@@ -76,7 +76,7 @@ impl Klut {
         self.storage
             .node(node)
             .function
-            .as_ref()
+            .as_deref()
             .expect("node is a LUT gate")
     }
 

@@ -51,6 +51,7 @@
 
 mod aig;
 pub mod budget;
+pub mod bulk;
 pub mod changes;
 pub mod choices;
 mod common;
@@ -76,6 +77,7 @@ pub mod wordsim;
 pub use aig::Aig;
 pub use bitops::SimBlock;
 pub use budget::{Budget, InjectedFault, StepOutcome};
+pub use bulk::{BulkError, BulkTarget, CircuitKind, NetworkBuilder};
 pub use changes::{ChangeEvent, ChangeLog};
 pub use choices::NO_CHOICE;
 pub use cleanup::{cleanup_dangling, cleanup_dangling_klut, convert_network};

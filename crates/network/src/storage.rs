@@ -97,21 +97,29 @@ impl StrashKey {
 }
 
 /// Data stored per node.
+///
+/// Kept deliberately lean (56 bytes): the record holds only the
+/// fanin-side structure plus two cached counters.  Fanout *lists* live in
+/// a parallel side table ([`Storage::fanout_lists`]) because they are
+/// derived state — bulk loading leaves them unmaterialised, and the
+/// append hot path must not pay for a third pointer triple per record.
+/// LUT functions are boxed for the same reason: only k-LUT networks carry
+/// them, so every AIG/XAG/MIG node would otherwise waste an inline
+/// truth-table's footprint.
 #[derive(Clone, Debug)]
 pub(crate) struct NodeData {
     pub kind: GateKind,
     /// Fanin signals, stored inline (heap-free for arity ≤ 4).
     pub fanins: FaninArray,
-    /// Gate fanouts, one entry per fanin occurrence.
-    pub fanouts: Vec<NodeId>,
     /// Number of primary outputs referring to this node.
     pub po_refs: u32,
-    /// Cached fanout count: `fanouts.len() + po_refs`, maintained
+    /// Cached fanout count: fanout-list length plus `po_refs`, maintained
     /// incrementally so `fanout_size` never walks the list.
     pub fanout_count: u32,
     pub dead: bool,
-    /// Explicit function for LUT nodes.
-    pub function: Option<TruthTable>,
+    /// Explicit function for LUT nodes (boxed — absent on every
+    /// fixed-function node).
+    pub function: Option<Box<TruthTable>>,
 }
 
 impl NodeData {
@@ -119,11 +127,10 @@ impl NodeData {
         Self {
             kind,
             fanins,
-            fanouts: Vec::new(),
             po_refs: 0,
             fanout_count: 0,
             dead: false,
-            function,
+            function: function.map(Box::new),
         }
     }
 }
@@ -142,6 +149,7 @@ impl NodeData {
 #[derive(Clone, Debug)]
 pub struct NetworkSnapshot {
     nodes: Vec<NodeData>,
+    fanout_lists: Vec<Vec<NodeId>>,
     pis: Vec<NodeId>,
     pos: Vec<Signal>,
     strash: HashMap<StrashKey, NodeId>,
@@ -149,6 +157,7 @@ pub struct NetworkSnapshot {
     choices: Option<ChoiceStore>,
     changes: ChangeLog,
     track_changes: bool,
+    derived_stale: bool,
 }
 
 impl NetworkSnapshot {
@@ -173,8 +182,10 @@ struct UndoJournal {
     pi_watermark: usize,
     /// Eager copy — the PO list is small and mutated in place.
     pos: Vec<Signal>,
-    /// First-touch pre-images of mutated pre-existing node records.
-    touched: HashMap<NodeId, NodeData>,
+    /// First-touch pre-images of mutated pre-existing node records,
+    /// paired with the node's fanout list (which lives in a side table
+    /// but is journalled together with the record it belongs to).
+    touched: HashMap<NodeId, (NodeData, Vec<NodeId>)>,
     /// Pre-value of every strash entry written, oldest first; replayed in
     /// reverse, each key ends at its pre-burst value.
     strash_ops: Vec<(StrashKey, Option<NodeId>)>,
@@ -192,6 +203,13 @@ struct UndoJournal {
 #[derive(Clone, Debug, Default)]
 pub(crate) struct Storage {
     pub nodes: Vec<NodeData>,
+    /// Per-node fanout lists, one entry per fanin occurrence; parallel to
+    /// `nodes` whenever the derived state is fresh.  Kept outside
+    /// [`NodeData`] because the lists are *derived* — bulk loading leaves
+    /// them unmaterialised ([`Storage::ensure_derived`] rebuilds the whole
+    /// table in one sweep) and the append hot path writes 24 fewer bytes
+    /// per record.
+    fanout_lists: Vec<Vec<NodeId>>,
     pub pis: Vec<NodeId>,
     pub pos: Vec<Signal>,
     strash: HashMap<StrashKey, NodeId>,
@@ -215,6 +233,12 @@ pub(crate) struct Storage {
     /// Active undo journal (see [`UndoJournal`]); absent outside guarded
     /// mutation bursts, one `Option` check per mutation when absent.
     journal: Option<Box<UndoJournal>>,
+    /// `true` while the fanout lists and the structural-hash table are
+    /// unmaterialised after a bulk load (see
+    /// [`Storage::seal_bulk_load`]).  The cached fanout counts are
+    /// always valid; [`Storage::ensure_derived`] materialises the rest on
+    /// first structural use.
+    derived_stale: bool,
 }
 
 impl Storage {
@@ -224,6 +248,7 @@ impl Storage {
         storage
             .nodes
             .push(NodeData::new(GateKind::Constant, FaninArray::new(), None));
+        storage.fanout_lists.push(Vec::new());
         storage.scratch.push(ScratchSlot::default());
         storage
     }
@@ -322,6 +347,7 @@ impl Storage {
     pub fn snapshot(&self) -> NetworkSnapshot {
         NetworkSnapshot {
             nodes: self.nodes.clone(),
+            fanout_lists: self.fanout_lists.clone(),
             pis: self.pis.clone(),
             pos: self.pos.clone(),
             strash: self.strash.clone(),
@@ -329,6 +355,7 @@ impl Storage {
             choices: self.choices.clone(),
             changes: self.changes.clone(),
             track_changes: self.track_changes,
+            derived_stale: self.derived_stale,
         }
     }
 
@@ -340,6 +367,7 @@ impl Storage {
     /// mark can alias a fresh traversal.
     pub fn restore(&mut self, snapshot: &NetworkSnapshot) {
         self.nodes.clone_from(&snapshot.nodes);
+        self.fanout_lists.clone_from(&snapshot.fanout_lists);
         self.pis.clone_from(&snapshot.pis);
         self.pos.clone_from(&snapshot.pos);
         self.strash.clone_from(&snapshot.strash);
@@ -347,6 +375,7 @@ impl Storage {
         self.choices.clone_from(&snapshot.choices);
         self.changes.clone_from(&snapshot.changes);
         self.track_changes = snapshot.track_changes;
+        self.derived_stale = snapshot.derived_stale;
         self.journal = None;
         self.scratch.clear();
         self.scratch
@@ -358,6 +387,7 @@ impl Storage {
     /// [`UndoJournal`]).  A journal that is already active is committed
     /// first — nested bursts fold into the outer transaction's commit.
     pub fn begin_undo(&mut self) {
+        self.ensure_derived();
         self.journal = Some(Box::new(UndoJournal {
             node_watermark: self.nodes.len(),
             pi_watermark: self.pis.len(),
@@ -402,10 +432,12 @@ impl Storage {
                 }
             }
         }
-        for (id, data) in journal.touched {
+        for (id, (data, fanouts)) in journal.touched {
             self.nodes[id as usize] = data;
+            self.fanout_lists[id as usize] = fanouts;
         }
         self.nodes.truncate(journal.node_watermark);
+        self.fanout_lists.truncate(journal.node_watermark);
         self.scratch.truncate(journal.node_watermark);
         self.pis.truncate(journal.pi_watermark);
         self.pos = journal.pos;
@@ -424,10 +456,9 @@ impl Storage {
         if let Some(journal) = &mut self.journal {
             let index = id as usize;
             if index < journal.node_watermark {
-                journal
-                    .touched
-                    .entry(id)
-                    .or_insert_with(|| self.nodes[index].clone());
+                journal.touched.entry(id).or_insert_with(|| {
+                    (self.nodes[index].clone(), self.fanout_lists[index].clone())
+                });
             }
         }
     }
@@ -612,6 +643,9 @@ impl Storage {
         let id = self.nodes.len() as NodeId;
         self.nodes
             .push(NodeData::new(GateKind::Input, FaninArray::new(), None));
+        // harmless while the derived state is stale: `ensure_derived`
+        // rebuilds the whole side table to match the node count
+        self.fanout_lists.push(Vec::new());
         self.scratch.push(ScratchSlot::default());
         self.pis.push(id);
         Signal::new(id, false)
@@ -627,7 +661,17 @@ impl Storage {
     }
 
     /// Looks up an existing live gate with the given kind and fanins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structural-hash table is unmaterialised after a bulk
+    /// load (see [`Storage::ensure_derived`]).
     pub fn find_gate(&self, kind: GateKind, fanins: &[Signal]) -> Option<NodeId> {
+        assert!(
+            !self.derived_stale,
+            "the structural-hash table is unmaterialised after a bulk load; \
+             call ensure_derived_state() before structural lookups"
+        );
         let key = StrashKey::new(kind, fanins);
         self.strash
             .get(&key)
@@ -643,12 +687,12 @@ impl Storage {
         fanins: &[Signal],
         function: Option<TruthTable>,
     ) -> NodeId {
+        self.ensure_derived();
         let id = self.nodes.len() as NodeId;
         for f in fanins {
             self.journal_touch(f.node());
-            let fanin = &mut self.nodes[f.node() as usize];
-            fanin.fanouts.push(id);
-            fanin.fanout_count += 1;
+            self.fanout_lists[f.node() as usize].push(id);
+            self.nodes[f.node() as usize].fanout_count += 1;
         }
         if kind != GateKind::Lut {
             self.strash_insert(StrashKey::new(kind, fanins), id);
@@ -658,12 +702,14 @@ impl Storage {
             FaninArray::from_slice(fanins),
             function,
         ));
+        self.fanout_lists.push(Vec::new());
         self.scratch.push(ScratchSlot::default());
         id
     }
 
     /// Finds an existing gate with the given kind/fanins or creates one.
     pub fn find_or_create_gate(&mut self, kind: GateKind, fanins: &[Signal]) -> NodeId {
+        self.ensure_derived();
         if let Some(existing) = self.find_gate(kind, fanins) {
             existing
         } else {
@@ -674,9 +720,10 @@ impl Storage {
     #[inline]
     pub fn fanout_size(&self, id: NodeId) -> usize {
         let n = self.node(id);
-        debug_assert_eq!(
-            n.fanout_count as usize,
-            n.fanouts.len() + n.po_refs as usize,
+        debug_assert!(
+            self.derived_stale
+                || n.fanout_count as usize
+                    == self.fanout_lists[id as usize].len() + n.po_refs as usize,
             "cached fanout count diverged for node {id}"
         );
         n.fanout_count as usize
@@ -687,11 +734,171 @@ impl Storage {
         !n.dead && n.kind.is_gate()
     }
 
+    // -- bulk loading (see [`crate::bulk`]) --------------------------------
+    //
+    // The bulk path appends topologically-sorted node records *without* the
+    // per-node bookkeeping of `create_gate` — no structural-hash probe, no
+    // fanout pushes, no cached-count increments — and reconstructs all of
+    // that derived state in a handful of linear passes at the end.  For a
+    // million-gate ingest this turns scattered per-gate hash/`Vec` traffic
+    // into sequential sweeps over dense arrays.
+
+    /// Pre-allocates room for `additional` upcoming node records (bulk
+    /// ingest reserves the whole file's worth up front).
+    pub(crate) fn reserve_nodes(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+        self.scratch.reserve(additional);
+    }
+
+    /// Bumps the cached fanout count of `id` by one.  Bulk-append
+    /// companion of [`Storage::bulk_append_gate`]: the builder folds this
+    /// into its single validation sweep over the fanins (those records
+    /// are cache-hot — streams reference mostly recent nodes), so the
+    /// append itself is a pure record push.
+    #[inline]
+    pub(crate) fn bulk_bump_fanout(&mut self, id: NodeId) {
+        self.nodes[id as usize].fanout_count += 1;
+    }
+
+    /// Reverts [`Storage::bulk_bump_fanout`] — the builder's cold path
+    /// when a later fanin of the same record turns out to be invalid.
+    #[inline]
+    pub(crate) fn bulk_unbump_fanout(&mut self, id: NodeId) {
+        self.nodes[id as usize].fanout_count -= 1;
+    }
+
+    /// Appends a gate record with *no* derived-state maintenance: the
+    /// caller has already bumped the fanin counts
+    /// ([`Storage::bulk_bump_fanout`]), the fanout lists and the
+    /// structural-hash table stay stale until [`Storage::ensure_derived`]
+    /// runs, and the scratch table is extended in one resize at
+    /// [`Storage::seal_bulk_load`] instead of a push per record.  Only
+    /// the bulk builder may call this, on a storage it exclusively owns.
+    #[inline]
+    pub(crate) fn bulk_append_gate(&mut self, kind: GateKind, fanins: FaninArray) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(NodeData::new(kind, fanins, None));
+        id
+    }
+
+    /// Appends a primary output, maintaining the driver's PO-reference and
+    /// cached fanout count (like [`Storage::create_po`], minus the undo
+    /// journal the bulk path never has).
+    pub(crate) fn bulk_append_po(&mut self, signal: Signal) {
+        let driver = self.node_mut(signal.node());
+        driver.po_refs += 1;
+        driver.fanout_count += 1;
+        self.pos.push(signal);
+    }
+
+    /// Seals a bulk load: extends the scratch table to cover the appended
+    /// records (one resize instead of a push per append) and marks the
+    /// *expensive* derived state — the per-node fanout lists and the
+    /// structural-hash table — stale.  The cached fanout and PO-reference
+    /// counts were already maintained at append time, so nothing here
+    /// touches the node table.
+    ///
+    /// This is the strash-free half of bulk loading: a freshly loaded
+    /// network answers every fanin-side query (simulation, writers,
+    /// equivalence checking, depth views) and [`Storage::fanout_size`]
+    /// without ever having paid for fanout lists or hashing.  The first
+    /// structural mutation or fanout traversal triggers
+    /// [`Storage::ensure_derived`], which materialises the rest.
+    pub(crate) fn seal_bulk_load(&mut self) {
+        self.scratch
+            .resize_with(self.nodes.len(), ScratchSlot::default);
+        self.strash = HashMap::new();
+        self.derived_stale = true;
+    }
+
+    /// `false` while the fanout lists and structural-hash table are
+    /// pending materialisation after a bulk load.
+    #[inline]
+    pub fn has_derived(&self) -> bool {
+        !self.derived_stale
+    }
+
+    /// Materialises the deferred derived state (no-op when fresh):
+    ///
+    /// 1. every fanout list is allocated at its exact final capacity
+    ///    (recovered from the cached counts) and filled — no incremental
+    ///    `Vec` growth,
+    /// 2. the structural-hash table is built with one reservation and one
+    ///    insertion per hashed gate (first definition wins, so
+    ///    duplicate-free inputs — which every writer in this workspace
+    ///    produces — reconstruct exactly the table incremental creation
+    ///    would have built).
+    ///
+    /// Every `&mut self` structural entry point calls this first, so a
+    /// bulk-loaded network lazily self-repairs on first mutation; `&self`
+    /// fanout/strash readers instead assert freshness (see
+    /// [`Storage::node_fanouts`]).
+    pub fn ensure_derived(&mut self) {
+        if !self.derived_stale {
+            return;
+        }
+        let n = self.nodes.len();
+        let mut num_hashed = 0usize;
+        self.fanout_lists.clear();
+        self.fanout_lists.resize_with(n, Vec::new);
+        for (id, node) in self.nodes.iter().enumerate() {
+            // degree = cached fanout count minus PO references
+            let capacity = (node.fanout_count - node.po_refs) as usize;
+            self.fanout_lists[id] = Vec::with_capacity(capacity);
+            if node.kind.is_gate() && node.kind != GateKind::Lut && !node.dead {
+                num_hashed += 1;
+            }
+        }
+        for (id, node) in self.nodes.iter().enumerate() {
+            for f in node.fanins.iter() {
+                self.fanout_lists[f.node() as usize].push(id as NodeId);
+            }
+        }
+        self.strash = HashMap::with_capacity(num_hashed);
+        for id in 0..n {
+            let node = &self.nodes[id];
+            if node.dead || !node.kind.is_gate() || node.kind == GateKind::Lut {
+                continue;
+            }
+            let key = StrashKey::new(node.kind, node.fanins.as_slice());
+            self.strash.entry(key).or_insert(id as NodeId);
+        }
+        self.derived_stale = false;
+    }
+
+    /// The fanout list of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived state is stale (freshly bulk-loaded network
+    /// that has not been mutated): fanout lists do not exist yet, and a
+    /// shared reference cannot build them.  Call
+    /// [`Network::ensure_derived_state`](crate::Network::ensure_derived_state)
+    /// first.
+    #[inline]
+    pub fn node_fanouts(&self, id: NodeId) -> &[NodeId] {
+        assert!(
+            !self.derived_stale,
+            "fanout lists are unmaterialised after a bulk load; \
+             call ensure_derived_state() before traversing fanouts"
+        );
+        &self.fanout_lists[id as usize]
+    }
+
+    /// Number of live gates, in O(1): every node is the constant, a PI or
+    /// a gate, and only gates die, so the live-gate count falls out of the
+    /// table sizes and the dead counter.
     pub fn num_gates(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| !n.dead && n.kind.is_gate())
-            .count()
+        let count = self.nodes.len() - 1 - self.pis.len() - self.num_dead_gates;
+        debug_assert_eq!(
+            count,
+            self.nodes
+                .iter()
+                .filter(|n| !n.dead && n.kind.is_gate())
+                .count(),
+            "live-gate counter diverged from the node table"
+        );
+        count
     }
 
     /// Returns all live gates in a topological order (fanins before
@@ -755,6 +962,7 @@ impl Storage {
     /// [`Storage::register_choice`] path).  Cascading structural-hash
     /// merges always remove their duplicates.
     fn substitute_impl(&mut self, old: NodeId, new: Signal, keep_initial: bool) {
+        self.ensure_derived();
         let mut worklist = vec![(old, new, keep_initial)];
         // Nodes whose removal is deferred until all pending merges are done:
         // taking a node out eagerly could kill the target of a later merge.
@@ -766,7 +974,7 @@ impl Storage {
             self.journal_touch(old);
             self.journal_touch(new.node());
             // Unique parents (a parent appears once per fanin occurrence).
-            let mut parents = self.node(old).fanouts.clone();
+            let mut parents = self.fanout_lists[old as usize].clone();
             parents.sort_unstable();
             parents.dedup();
             for p in parents {
@@ -792,9 +1000,8 @@ impl Storage {
                 }
                 // Remove `occurrences` entries of p from old's fanouts and
                 // add them to new's fanouts.
-                let old_data = &mut self.nodes[old as usize];
                 let mut removed = 0usize;
-                old_data.fanouts.retain(|&q| {
+                self.fanout_lists[old as usize].retain(|&q| {
                     if q == p && removed < occurrences {
                         removed += 1;
                         false
@@ -802,12 +1009,12 @@ impl Storage {
                         true
                     }
                 });
-                old_data.fanout_count -= removed as u32;
-                let new_data = &mut self.nodes[new.node() as usize];
+                self.nodes[old as usize].fanout_count -= removed as u32;
+                let new_list = &mut self.fanout_lists[new.node() as usize];
                 for _ in 0..occurrences {
-                    new_data.fanouts.push(p);
+                    new_list.push(p);
                 }
-                new_data.fanout_count += occurrences as u32;
+                self.nodes[new.node() as usize].fanout_count += occurrences as u32;
                 if occurrences > 0 {
                     self.record(ChangeEvent::RewiredFanin { node: p });
                 }
@@ -873,6 +1080,7 @@ impl Storage {
     /// a registered choice cone is fanout-free by construction and must
     /// survive until the rings are cleared (see [`crate::choices`]).
     pub fn take_out(&mut self, id: NodeId) {
+        self.ensure_derived();
         let mut stack = vec![id];
         while let Some(id) = stack.pop() {
             {
@@ -899,10 +1107,10 @@ impl Storage {
             let fanins = self.nodes[id as usize].fanins.clone();
             for f in &fanins {
                 self.journal_touch(f.node());
-                let fanin = &mut self.nodes[f.node() as usize];
-                if let Some(pos) = fanin.fanouts.iter().position(|&q| q == id) {
-                    fanin.fanouts.swap_remove(pos);
-                    fanin.fanout_count -= 1;
+                let list = &mut self.fanout_lists[f.node() as usize];
+                if let Some(pos) = list.iter().position(|&q| q == id) {
+                    list.swap_remove(pos);
+                    self.nodes[f.node() as usize].fanout_count -= 1;
                 }
             }
             for f in &fanins {
@@ -1014,7 +1222,7 @@ mod tests {
             for (id, n) in s.nodes.iter().enumerate() {
                 assert_eq!(
                     n.fanout_count as usize,
-                    n.fanouts.len() + n.po_refs as usize,
+                    s.fanout_lists[id].len() + n.po_refs as usize,
                     "node {id}"
                 );
             }

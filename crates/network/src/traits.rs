@@ -119,7 +119,31 @@ pub trait Network: Sized + Send + Sync {
     ///
     /// Cold-path convenience (allocates on every call): use
     /// [`Network::foreach_fanout`] in algorithm inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a freshly bulk-loaded network whose fanout lists have not
+    /// been materialised yet — call [`Network::ensure_derived_state`]
+    /// first (every structural mutation does so implicitly).
     fn fanouts(&self, node: NodeId) -> Vec<NodeId>;
+
+    /// Materialises the derived state a bulk load defers — the per-node
+    /// fanout lists and the structural-hash table (see
+    /// [`NetworkBuilder`](crate::bulk::NetworkBuilder)).  A no-op on
+    /// networks that are already fresh, which is every network not built
+    /// through the bulk path.
+    ///
+    /// Structural mutations ([`GateBuilder`](crate::GateBuilder) creation,
+    /// [`Network::substitute_node`], …) call this implicitly; read-only
+    /// consumers that traverse fanouts or call
+    /// [`Network::find_structural`] on a bulk-loaded network must call it
+    /// once up front.
+    fn ensure_derived_state(&mut self);
+
+    /// `false` while a bulk-loaded network's fanout lists and
+    /// structural-hash table are pending materialisation (see
+    /// [`Network::ensure_derived_state`]).
+    fn has_derived_state(&self) -> bool;
 
     /// Reads the generic per-node scratch slot of `node`.
     ///
@@ -239,6 +263,12 @@ pub trait Network: Sized + Send + Sync {
     /// kinds; `None` for LUTs, which are not hashed).  Backs the strash
     /// consistency audit of
     /// [`check_network_integrity`](crate::views::check_network_integrity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a freshly bulk-loaded network whose structural-hash table
+    /// has not been materialised yet — call
+    /// [`Network::ensure_derived_state`] first.
     fn find_structural(&self, kind: GateKind, fanins: &[Signal]) -> Option<NodeId>;
 
     // -- the change-event layer (see [`crate::changes`]) -------------------

@@ -103,6 +103,161 @@ impl DepthView {
         }
     }
 
+    /// Builds the view from a precomputed per-node level table (indexed by
+    /// [`NodeId`], `levels.len() == ntk.size()`), skipping the fanin
+    /// traversal of [`DepthView::new`].
+    ///
+    /// This is the free depth view promised by the bulk-ingest path: the
+    /// [`NetworkBuilder`](crate::bulk::NetworkBuilder) levelizes records as
+    /// they arrive, so the loaded network's depth view costs one counting
+    /// sort over the node table.  The caller is responsible for the table
+    /// being the true levels (in debug builds a from-scratch twin check
+    /// enforces it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != ntk.size()`, and in debug builds if the
+    /// table disagrees with a freshly computed one.
+    pub fn from_levels<N: Network>(ntk: &N, levels: Vec<u32>) -> Self {
+        assert_eq!(
+            levels.len(),
+            ntk.size(),
+            "level table must cover every node"
+        );
+        let depth = ntk
+            .po_signals()
+            .iter()
+            .map(|s| levels[s.node() as usize])
+            .max()
+            .unwrap_or(0);
+        // counting sort over ascending node ids — no topological traversal
+        // needed: gates sharing a level are mutually independent (every
+        // fanin sits at a strictly lower level), so any order within a
+        // bucket is a valid schedule and ascending id is deterministic
+        let mut max_gate_level = 0u32;
+        let mut num_gates = 0usize;
+        for node in 0..ntk.size() as NodeId {
+            if ntk.is_gate(node) {
+                max_gate_level = max_gate_level.max(levels[node as usize]);
+                num_gates += 1;
+            }
+        }
+        let num_levels = max_gate_level as usize + 1;
+        let mut bucket_offsets = vec![0u32; num_levels + 1];
+        for node in 0..ntk.size() as NodeId {
+            if ntk.is_gate(node) {
+                bucket_offsets[levels[node as usize] as usize + 1] += 1;
+            }
+        }
+        for l in 0..num_levels {
+            bucket_offsets[l + 1] += bucket_offsets[l];
+        }
+        let mut cursor = bucket_offsets.clone();
+        let mut bucket_nodes = vec![0 as NodeId; num_gates];
+        for node in 0..ntk.size() as NodeId {
+            if ntk.is_gate(node) {
+                let l = levels[node as usize] as usize;
+                bucket_nodes[cursor[l] as usize] = node;
+                cursor[l] += 1;
+            }
+        }
+        let view = Self {
+            levels,
+            depth,
+            bucket_offsets,
+            bucket_nodes,
+        };
+        #[cfg(debug_assertions)]
+        {
+            let twin = Self::new(ntk);
+            for node in ntk.node_ids() {
+                if !ntk.is_dead(node) {
+                    debug_assert_eq!(
+                        view.levels[node as usize], twin.levels[node as usize],
+                        "supplied level table disagrees with recomputation at node {node}"
+                    );
+                }
+            }
+            debug_assert_eq!(view.depth, twin.depth);
+        }
+        view
+    }
+
+    /// [`DepthView::from_levels`] for *dense* networks whose gates occupy
+    /// exactly the ids `first_gate..size` (what the bulk builder produces
+    /// when all inputs are declared up front, i.e. every record stream).
+    ///
+    /// Knowing the gate range up front means the counting sort runs over
+    /// the compact `u32` level table alone — it never touches the node
+    /// table, which at a million gates is the difference between sweeping
+    /// a few megabytes and sweeping a hundred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != ntk.size()`; in debug builds, if any id
+    /// in `first_gate..size` is not a live gate (or any below is), or if
+    /// the table disagrees with a freshly computed one.
+    pub fn from_levels_dense<N: Network>(ntk: &N, levels: Vec<u32>, first_gate: NodeId) -> Self {
+        assert_eq!(
+            levels.len(),
+            ntk.size(),
+            "level table must cover every node"
+        );
+        #[cfg(debug_assertions)]
+        for node in 0..ntk.size() as NodeId {
+            debug_assert_eq!(
+                ntk.is_gate(node),
+                node >= first_gate,
+                "network is not dense: gate range mismatch at node {node}"
+            );
+        }
+        let depth = ntk
+            .po_signals()
+            .iter()
+            .map(|s| levels[s.node() as usize])
+            .max()
+            .unwrap_or(0);
+        let gate_levels = &levels[first_gate as usize..];
+        let mut max_gate_level = 0u32;
+        for &l in gate_levels {
+            max_gate_level = max_gate_level.max(l);
+        }
+        let num_levels = max_gate_level as usize + 1;
+        let mut bucket_offsets = vec![0u32; num_levels + 1];
+        for &l in gate_levels {
+            bucket_offsets[l as usize + 1] += 1;
+        }
+        for l in 0..num_levels {
+            bucket_offsets[l + 1] += bucket_offsets[l];
+        }
+        let mut cursor = bucket_offsets.clone();
+        let mut bucket_nodes = vec![0 as NodeId; gate_levels.len()];
+        for (i, &l) in gate_levels.iter().enumerate() {
+            bucket_nodes[cursor[l as usize] as usize] = first_gate + i as NodeId;
+            cursor[l as usize] += 1;
+        }
+        let view = Self {
+            levels,
+            depth,
+            bucket_offsets,
+            bucket_nodes,
+        };
+        #[cfg(debug_assertions)]
+        {
+            let twin = Self::new(ntk);
+            for node in ntk.node_ids() {
+                if !ntk.is_dead(node) {
+                    debug_assert_eq!(
+                        view.levels[node as usize], twin.levels[node as usize],
+                        "supplied level table disagrees with recomputation at node {node}"
+                    );
+                }
+            }
+            debug_assert_eq!(view.depth, twin.depth);
+        }
+        view
+    }
+
     /// Returns the level of `node` (0 for nodes not known to the view).
     pub fn level(&self, node: NodeId) -> u32 {
         self.levels.get(node as usize).copied().unwrap_or(0)
@@ -355,25 +510,42 @@ pub fn is_in_transitive_fanin<N: Network>(ntk: &N, root: NodeId, query: NodeId) 
 /// assertions in the algorithms, and the resilient executor's
 /// post-rollback audit.
 pub fn check_network_integrity<N: Network>(ntk: &N) -> Result<(), String> {
+    // a freshly bulk-loaded network legitimately has no fanout lists or
+    // strash table yet; audit only what exists (the fanin-side structure
+    // and the cached counts), the rest is checked once materialised
+    let derived = ntk.has_derived_state();
     // dense per-node PO reference counts, computed once
     let mut po_ref_counts = vec![0usize; ntk.size()];
     for po in ntk.po_signals() {
         po_ref_counts[po.node() as usize] += 1;
+    }
+    // dense fanin-degree counts, for auditing the cached fanout counts
+    // without the fanout lists
+    let mut degrees = vec![0usize; ntk.size()];
+    for node in ntk.gate_nodes() {
+        for f in ntk.fanins_inline(node).iter() {
+            degrees[f.node() as usize] += 1;
+        }
     }
     for node in ntk.gate_nodes() {
         for f in ntk.fanins_inline(node).iter() {
             if ntk.is_dead(f.node()) {
                 return Err(format!("live node {node} has dead fanin {}", f.node()));
             }
-            if !ntk.fanouts(f.node()).contains(&node) {
+            if derived && !ntk.fanouts(f.node()).contains(&node) {
                 return Err(format!(
                     "fanout list of {} does not contain its reader {node}",
                     f.node()
                 ));
             }
         }
-        let mut counted = 0usize;
-        ntk.foreach_fanout(node, |_| counted += 1);
+        let counted = if derived {
+            let mut counted = 0usize;
+            ntk.foreach_fanout(node, |_| counted += 1);
+            counted
+        } else {
+            degrees[node as usize]
+        };
         let po_refs = po_ref_counts[node as usize];
         if counted + po_refs != ntk.fanout_size(node) {
             return Err(format!(
@@ -413,6 +585,9 @@ pub fn check_network_integrity<N: Network>(ntk: &N) -> Result<(), String> {
     // answer with the gate itself; with rings, a member kept alive as a
     // mapping choice may share its key with a live duplicate.
     for node in ntk.gate_nodes() {
+        if !derived {
+            break;
+        }
         let kind = ntk.gate_kind(node);
         if kind == GateKind::Lut {
             continue;

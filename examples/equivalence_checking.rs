@@ -61,7 +61,7 @@ fn main() {
     assert!(check_equivalence(&redundant, &aig).is_equivalent());
 
     // and the guarantee survives an AIGER round-trip
-    let reread = read_aiger(&write_aiger(&aig)).expect("well-formed AIGER");
+    let reread = read_aiger(write_aiger(&aig)).expect("well-formed AIGER");
     assert!(check_equivalence(&aig, &reread).is_equivalent());
     println!("miter: optimised + exported + re-read network still equivalent");
 }
