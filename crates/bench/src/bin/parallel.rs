@@ -1,16 +1,18 @@
 //! Thread-parallel execution benchmarks (`BENCH_parallel.json`): serial
 //! versus multi-thread wall time for every parallel component — word
-//! simulation, bulk cut enumeration, phased SAT sweeping and the
-//! portfolio flow — on the large arithmetic workloads (`multiplier_16`
-//! and the ≥10k-gate `mac_datapath`).
+//! simulation, bulk cut enumeration, phased SAT sweeping, windowed
+//! rewriting and the portfolio flow — on the large arithmetic workloads
+//! (`multiplier_16` and the ≥10k-gate `mac_datapath`), plus a
+//! `wide_simulation` row measuring the 256-bit `SimBlock` path against
+//! one-word-at-a-time scalar evaluation.
 //!
 //! Every parallel run is checked against its serial twin before it is
-//! timed: word values, cut arenas and sweep outcomes must be
-//! bit-identical (the phased sweep across *thread counts*; its
-//! serial-schedule baseline is miter-proven instead, because the phased
-//! schedule is a different algorithm).  Timings report the best of
-//! several runs; the headline `speedup` is parallel-threads best over
-//! serial best.
+//! timed: word values, cut arenas, sweep outcomes and rewritten
+//! networks must be bit-identical (the phased sweep across *thread
+//! counts*; its serial-schedule baseline is miter-proven instead,
+//! because the phased schedule is a different algorithm).  Timings
+//! report the best of several runs; the headline `speedup` is
+//! parallel-threads best over serial best.
 //!
 //! The container running this bin may have a single hardware thread —
 //! `available_parallelism` is recorded in the JSON and the ≥2× speedup
@@ -21,16 +23,21 @@
 //!
 //! `--smoke` skips the timing loops: it runs the 4-thread configuration
 //! of every component once against the serial twin (bit-identity for
-//! simulation/cuts/sweep/portfolio, miter proof for the phased-vs-legacy
-//! sweep) on a smaller circuit — the CI guard of the parallel layer.
+//! simulation/cuts/sweep/rewriting/portfolio, miter proofs for the
+//! phased-vs-legacy sweep and the windowed rewrite) on a smaller
+//! circuit — the CI guard of the parallel layer.  `--large` extends the
+//! rewrite section with the ~1M-gate `mac_datapath(16, 380)` workload.
 
 use glsx_benchmarks::arithmetic::{mac_datapath, multiplier_16};
 use glsx_benchmarks::inject_redundancy;
 use glsx_core::cuts::{CutManager, CutParams};
+use glsx_core::rewriting::{rewrite_with, RewriteParams, WindowCounters};
 use glsx_core::sweeping::{check_equivalence, sweep, SweepParams};
+use glsx_core::windowed::rewrite_windowed;
 use glsx_flow::{portfolio_best_luts, FlowOptions};
 use glsx_network::wordsim::WordSimulator;
 use glsx_network::{Aig, Network, Parallelism};
+use glsx_synth::NpnDatabase;
 use std::time::Instant;
 
 /// Thread count of the parallel configuration (the CI runner class).
@@ -56,6 +63,12 @@ struct Row {
     gates: usize,
     serial_seconds: f64,
     parallel_seconds: f64,
+    /// Threads of the parallel configuration (1 for the SIMD-only
+    /// `wide_simulation` row, where the gain is block width, not
+    /// threads).
+    threads: usize,
+    /// Window conflict counters of the `rewrite` rows.
+    windows: Option<WindowCounters>,
 }
 
 impl Row {
@@ -89,6 +102,8 @@ fn bench_simulation(name: &'static str, aig: &Aig, words: usize, timed: bool) ->
         gates: aig.num_gates(),
         serial_seconds,
         parallel_seconds,
+        threads: THREADS,
+        windows: None,
     }
 }
 
@@ -138,6 +153,8 @@ fn bench_cuts(name: &'static str, aig: &Aig, timed: bool) -> Row {
         gates: aig.num_gates(),
         serial_seconds,
         parallel_seconds,
+        threads: THREADS,
+        windows: None,
     }
 }
 
@@ -202,6 +219,8 @@ fn bench_sweep(name: &'static str, redundant: &Aig, timed: bool, prove_vs_legacy
         gates: redundant.num_gates(),
         serial_seconds,
         parallel_seconds,
+        threads: THREADS,
+        windows: None,
     }
 }
 
@@ -239,6 +258,120 @@ fn bench_portfolio(name: &'static str, aig: &Aig, lut_size: usize, timed: bool) 
         gates: aig.num_gates(),
         serial_seconds,
         parallel_seconds,
+        threads: THREADS,
+        windows: None,
+    }
+}
+
+/// Windowed rewriting: the windowed pass at `THREADS` threads must
+/// produce exactly the serial `rewrite_with` network (bit-identical
+/// substitutions, gains and fanins — the merge phase *is* the serial
+/// loop), then both sides are timed.  `miter` additionally proves the
+/// rewritten network equivalent to the input — enabled only on
+/// CEC-tractable circuits.  The returned row carries the window
+/// conflict counters (proposed / confirmed / invalidated / rejected).
+fn bench_rewrite(name: &'static str, aig: &Aig, timed: bool, miter: bool) -> Row {
+    let params = RewriteParams::default();
+    let mut serial_ntk = aig.clone();
+    let serial_stats = rewrite_with(&mut serial_ntk, &mut NpnDatabase::new(), &params);
+    let mut windowed_ntk = aig.clone();
+    let stats = rewrite_windowed(
+        &mut windowed_ntk,
+        &mut NpnDatabase::new(),
+        &params,
+        Parallelism::new(THREADS),
+    );
+    assert_eq!(
+        (
+            stats.substitutions,
+            stats.estimated_gain,
+            windowed_ntk.num_gates()
+        ),
+        (
+            serial_stats.substitutions,
+            serial_stats.estimated_gain,
+            serial_ntk.num_gates()
+        ),
+        "{name}: windowed rewrite diverged from the serial twin"
+    );
+    assert_eq!(
+        windowed_ntk.po_signals(),
+        serial_ntk.po_signals(),
+        "{name}: windowed rewrite network diverged from the serial twin"
+    );
+    assert!(
+        windowed_ntk.num_gates() <= aig.num_gates(),
+        "{name}: windowed rewrite grew the network"
+    );
+    if miter {
+        assert!(
+            check_equivalence(aig, &windowed_ntk).is_equivalent(),
+            "{name}: windowed rewrite is not equivalent to its input"
+        );
+    }
+    let (repeats, budget) = if timed { (5, 15_000) } else { (1, 1) };
+    let serial_seconds = best_seconds(
+        || {
+            let mut ntk = aig.clone();
+            rewrite_with(&mut ntk, &mut NpnDatabase::new(), &params);
+        },
+        repeats,
+        budget,
+    );
+    let parallel_seconds = best_seconds(
+        || {
+            let mut ntk = aig.clone();
+            rewrite_windowed(
+                &mut ntk,
+                &mut NpnDatabase::new(),
+                &params,
+                Parallelism::new(THREADS),
+            );
+        },
+        repeats,
+        budget,
+    );
+    Row {
+        component: "rewrite",
+        circuit: name,
+        gates: aig.num_gates(),
+        serial_seconds,
+        parallel_seconds,
+        threads: THREADS,
+        windows: Some(stats.windows),
+    }
+}
+
+/// Wide `SimBlock` path: one 256-bit-block sweep must reproduce every
+/// word of the scalar one-word-at-a-time sweep (the `SimBlock` lane
+/// contract), then both are timed on the same pattern set.  Single
+/// thread on both sides — the gain measured here is block width alone.
+fn bench_wide_simulation(name: &'static str, aig: &Aig, words: usize, timed: bool) -> Row {
+    let serial = Parallelism::serial();
+    let mut scalar = WordSimulator::random_with(aig, words, 0xbe9c_0002, serial);
+    let mut wide = WordSimulator::random_with(aig, words, 0xbe9c_0002, serial);
+    scalar.resimulate_scalar(aig);
+    wide.resimulate_with(aig, serial);
+    for node in 0..aig.size() as u32 {
+        for w in 0..words {
+            assert_eq!(
+                scalar.word(w, node),
+                wide.word(w, node),
+                "{name}: wide simulation diverged at node {node} word {w}"
+            );
+        }
+    }
+    let (repeats, budget) = if timed { (10, 3_000) } else { (1, 1) };
+    let serial_seconds = best_seconds(|| scalar.resimulate_scalar(aig), repeats, budget);
+    let parallel_seconds = best_seconds(|| wide.resimulate_with(aig, serial), repeats, budget);
+    Row {
+        component: "wide_simulation",
+        circuit: name,
+        gates: aig.num_gates(),
+        serial_seconds,
+        parallel_seconds,
+        threads: 1,
+        windows: None,
     }
 }
 
@@ -262,21 +395,54 @@ fn smoke() {
     let mut small_redundant: Aig = glsx_benchmarks::arithmetic::multiplier(8);
     inject_redundancy(&mut small_redundant, 8, 0x9a12);
     bench_sweep("multiplier_8", &small_redundant, false, true);
+    // windowed rewrite: bit-identity vs serial on the big circuit, the
+    // input miter on a CEC-tractable one
+    bench_rewrite("multiplier_16", &aig, false, false);
+    let small_mult: Aig = glsx_benchmarks::arithmetic::multiplier(8);
+    bench_rewrite("multiplier_8", &small_mult, false, true);
+    // the env-driven windowed pass: CI runs this smoke at GLSX_THREADS=1
+    // and =4, and at every setting the result must reproduce the serial
+    // twin exactly and prove the input miter
+    let params = RewriteParams::default();
+    let mut serial_twin = small_mult.clone();
+    rewrite_with(&mut serial_twin, &mut NpnDatabase::new(), &params);
+    let mut env_driven = small_mult.clone();
+    rewrite_windowed(
+        &mut env_driven,
+        &mut NpnDatabase::new(),
+        &params,
+        Parallelism::from_env(),
+    );
+    assert_eq!(
+        (env_driven.num_gates(), env_driven.po_signals()),
+        (serial_twin.num_gates(), serial_twin.po_signals()),
+        "env-driven windowed rewrite diverged from the serial twin \
+         (GLSX_THREADS={:?})",
+        std::env::var("GLSX_THREADS").ok()
+    );
+    assert!(
+        check_equivalence(&small_mult, &env_driven).is_equivalent(),
+        "env-driven windowed rewrite is not equivalent to its input"
+    );
+    bench_wide_simulation("multiplier_16", &aig, 16, false);
     let small: Aig = glsx_benchmarks::arithmetic::multiplier(6);
     bench_portfolio("multiplier_6", &small, 6, false);
     println!(
-        "smoke: simulation, cut enumeration, phased sweep and portfolio \
-         verified at {THREADS} threads against the serial twin \
-         (bit-identity + sweep miter proof) on {} CPUs",
+        "smoke: simulation, wide blocks, cut enumeration, phased sweep, \
+         windowed rewrite and portfolio verified at {THREADS} threads \
+         against the serial twin (bit-identity + sweep/rewrite miter \
+         proofs) on {} CPUs",
         available_cpus()
     );
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
         smoke();
         return;
     }
+    let large = args.iter().any(|a| a == "--large");
 
     let cpus = available_cpus();
     let m16: Aig = multiplier_16();
@@ -284,36 +450,64 @@ fn main() {
     let mut redundant = datapath.clone();
     inject_redundancy(&mut redundant, 64, 0x9a11);
 
-    // the phased-vs-legacy miter runs once, on a CEC-tractable circuit;
-    // the big-circuit rows below assert bit-identity across thread counts
+    // the phased-vs-legacy and rewrite-vs-input miters run once, on
+    // CEC-tractable circuits; the big-circuit rows below assert
+    // bit-identity across thread counts
     let mut small_redundant: Aig = glsx_benchmarks::arithmetic::multiplier(8);
     inject_redundancy(&mut small_redundant, 8, 0x9a12);
     bench_sweep("multiplier_8", &small_redundant, false, true);
+    let small_mult: Aig = glsx_benchmarks::arithmetic::multiplier(8);
+    bench_rewrite("multiplier_8", &small_mult, false, true);
 
-    let rows = vec![
+    let mut rows = vec![
         bench_simulation("mac_datapath_16x4", &datapath, 64, true),
+        bench_wide_simulation("mac_datapath_16x4", &datapath, 64, true),
         bench_cuts("mac_datapath_16x4", &datapath, true),
         bench_sweep("mac_datapath_16x4", &redundant, true, false),
+        bench_rewrite("multiplier_16", &m16, true, false),
+        bench_rewrite("mac_datapath_16x4", &datapath, true, false),
         bench_portfolio("multiplier_16", &m16, 6, true),
     ];
+    if large {
+        // the ~1M-gate workload stays behind --large so the default run
+        // fits the CI budget
+        let million: Aig = mac_datapath(16, 380);
+        assert!(
+            million.num_gates() >= 1_000_000,
+            "the --large workload must reach a million gates (got {})",
+            million.num_gates()
+        );
+        rows.push(bench_rewrite("mac_datapath_16x380", &million, true, false));
+    }
 
     for row in &rows {
         println!(
-            "{:<16} {:<18} {:>6} gates  serial {:>9.4}s  {}T {:>9.4}s  speedup {:>5.2}x",
+            "{:<16} {:<18} {:>7} gates  serial {:>9.4}s  {}T {:>9.4}s  speedup {:>5.2}x{}",
             row.component,
             row.circuit,
             row.gates,
             row.serial_seconds,
-            THREADS,
+            row.threads,
             row.parallel_seconds,
-            row.speedup()
+            row.speedup(),
+            row.windows
+                .map(|w| {
+                    format!(
+                        "  ({} windows: {} proposed, {} confirmed, {} invalidated, {} rejected)",
+                        w.windows, w.proposed, w.confirmed, w.invalidated, w.rejected
+                    )
+                })
+                .unwrap_or_default()
         );
     }
 
     // the acceptance bar: with real hardware parallelism, at least one
     // pass must be ≥2x faster at 4 threads on the ≥10k-gate circuit
+    // (the single-thread wide_simulation row measures SIMD width, not
+    // threads, and sits outside the bar)
     let best = rows
         .iter()
+        .filter(|r| r.threads >= THREADS)
         .map(|r| r.speedup())
         .fold(f64::NEG_INFINITY, f64::max);
     if cpus >= THREADS {
@@ -332,19 +526,32 @@ fn main() {
     let json_rows: Vec<String> = rows
         .iter()
         .map(|r| {
+            let conflicts = r
+                .windows
+                .map(|w| {
+                    format!(
+                        concat!(
+                            ", \"windows\": {}, \"proposed\": {}, \"confirmed\": {}, ",
+                            "\"invalidated\": {}, \"rejected\": {}"
+                        ),
+                        w.windows, w.proposed, w.confirmed, w.invalidated, w.rejected
+                    )
+                })
+                .unwrap_or_default();
             format!(
                 concat!(
                     "    {{\"component\": \"{}\", \"circuit\": \"{}\", \"gates\": {}, ",
                     "\"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, ",
-                    "\"threads\": {}, \"speedup\": {:.3}}}"
+                    "\"threads\": {}, \"speedup\": {:.3}{}}}"
                 ),
                 r.component,
                 r.circuit,
                 r.gates,
                 r.serial_seconds,
                 r.parallel_seconds,
-                THREADS,
-                r.speedup()
+                r.threads,
+                r.speedup(),
+                conflicts
             )
         })
         .collect();

@@ -47,6 +47,7 @@ mod replace;
 pub mod resubstitution;
 pub mod rewriting;
 pub mod sweeping;
+pub mod windowed;
 
 pub use balancing::{balance, balance_with_budget, BalanceParams, BalanceStats};
 pub use cuts::{
@@ -66,7 +67,12 @@ pub use resubstitution::{
 };
 pub use rewriting::{
     rewrite, rewrite_with, rewrite_with_budget, CutMaintenance, RewriteParams, RewriteStats,
+    WindowCounters,
 };
+pub use windowed::{
+    rewrite_windowed, rewrite_windowed_traced, rewrite_windowed_with_budget, WindowSchedule,
+};
+
 pub use sweeping::{
     check_equivalence, check_equivalence_with, check_equivalence_with_limits, sweep,
     sweep_with_engine, sweep_with_engine_budgeted, EquivalenceOutcome, EquivalenceResult,

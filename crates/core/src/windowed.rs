@@ -1,0 +1,594 @@
+//! Windowed parallel rewriting: the thread-parallel acceleration of
+//! [`rewrite_with`](crate::rewriting::rewrite_with) whose result is
+//! *bit-identical to the serial pass at every thread count*.
+//!
+//! # Architecture
+//!
+//! The pass runs in four phases:
+//!
+//! 1. **Enumerate** — [`CutManager::enumerate`] computes every node's
+//!    priority cuts and cut functions in level-parallel bulk.  Bulk and
+//!    lazy enumeration answer every cut query identically, so this phase
+//!    moves the dominant enumeration cost off the serial critical path
+//!    without perturbing anything downstream.
+//! 2. **Partition** — [`WindowSchedule::partition`] carves the live gates
+//!    into disjoint *MFFC-closed windows*: each window is rooted at a gate
+//!    with external sharing (multiple distinct fanout windows, or a
+//!    primary-output reference) and contains exactly the gates whose every
+//!    fanout path stays inside the window.  No two windows share a node,
+//!    and a non-root member has no fanout outside its window — the
+//!    ownership contract that lets workers evaluate windows without any
+//!    synchronisation.
+//! 3. **Evaluate** — worker threads on [`std::thread::scope`] walk their
+//!    windows against the *frozen* read-only network.  Each worker owns a
+//!    private [`NpnDatabase`] (spawned with
+//!    [`NpnDatabase::with_params`] from the main database) and a private
+//!    [`LocalScratch`]; it reads cuts through the read-only
+//!    [`CutManager::cached_cuts_of`] accessor, NPN-canonises every
+//!    candidate function and synthesises its replacement chain into the
+//!    private database ([`NpnDatabase::warm`] — the expensive pure
+//!    computation of the rewrite loop), and records an *intended
+//!    substitution* for the first cut whose estimated gain (chain steps
+//!    vs. frozen MFFC size) clears the bar.  Worker state never leaves
+//!    the thread except through the commit lists and databases returned
+//!    at join.
+//! 4. **Merge** — the private databases are absorbed into the main one
+//!    ([`NpnDatabase::absorb`]; both caches are pure functions of their
+//!    keys, so the merge is order-independent), and the serial merge
+//!    phase replays the *exact* serial rewrite loop
+//!    ([`rewrite_loop`](crate::rewriting)) over the pre-enumerated
+//!    manager and pre-warmed database, in the deterministic window order
+//!    of the frozen gate snapshot.  Every intended substitution is
+//!    re-verified by the same DAG-aware machinery the serial pass uses —
+//!    no miter needed — and conflict outcomes are counted in
+//!    [`WindowCounters`]: a proposal whose window an earlier commit
+//!    invalidated (node dead, cut span stale) is re-verified and, when
+//!    it no longer commits, dropped as `invalidated`.
+//!
+//! # Why this is bit-identical to serial
+//!
+//! The merge phase *is* the serial loop: same gate snapshot, same visit
+//! order, same budget ticks, same cut queries (bulk enumeration is
+//! verified to agree with lazy), same resynthesis answers (database
+//! caches are pure functions of their keys, so pre-warming changes
+//! nothing).  The parallel phases only precompute state the serial loop
+//! would compute anyway.  Consequently the windowed pass at 1, 2 or any
+//! number of threads produces the same network, gate for gate and id for
+//! id, as [`rewrite_with`](crate::rewriting::rewrite_with) — which makes
+//! the serial pass the verified twin and turns the acceptance bar
+//! "miter-equivalent, never worse in gate count, deterministic per
+//! thread count" into a property that holds by construction and is
+//! re-checked by the property suite.
+
+use crate::cuts::{CutManager, CutParams};
+use crate::rewriting::{rewrite_loop, MergeObserver, RewriteParams, RewriteStats, WindowCounters};
+use glsx_network::telemetry::{self, Tracer};
+use glsx_network::{
+    views::DepthView, Budget, GateBuilder, LocalScratch, Network, NodeId, Parallelism,
+};
+use glsx_synth::{NpnDatabase, NpnDatabaseParams};
+use glsx_truth::TruthTable;
+use std::ops::Range;
+
+/// Sentinel for "no owner": dead gates, PIs and the constant node.
+const NO_WINDOW: NodeId = NodeId::MAX;
+
+/// A disjoint MFFC-closed partition of the live gates.
+///
+/// Every live gate belongs to exactly one window.  A window's *root* is a
+/// gate with external sharing — a primary-output reference, or fanouts in
+/// more than one window — and its *members* are the gates whose every
+/// fanout path stays inside the window (the root's maximum fanout-free
+/// cone, unbounded by cut leaves).  Non-root members therefore have no
+/// observer outside their window: two workers holding different windows
+/// can evaluate them against the frozen network without ever reading the
+/// same mutable state.
+#[derive(Debug)]
+pub struct WindowSchedule {
+    /// Window roots, ascending by node id.
+    roots: Vec<NodeId>,
+    /// Members per window (parallel to `roots`), each ascending by id.
+    members: Vec<Vec<NodeId>>,
+    /// Owning root per node (`NO_WINDOW` for non-gates and dead gates).
+    owner: Vec<NodeId>,
+}
+
+impl WindowSchedule {
+    /// Partitions the live gates of `ntk` into maximal MFFC-closed
+    /// windows.
+    ///
+    /// One reverse-topological sweep (descending [`DepthView`] levels, so
+    /// every gate's fanouts — which sit at strictly higher levels — are
+    /// assigned first): a gate roots its own window when it has a
+    /// primary-output reference or its fanouts do not agree on a single
+    /// window; otherwise it joins its fanouts' window.  Purely a function
+    /// of the network structure — independent of thread count.
+    pub fn partition<N: Network>(ntk: &N) -> Self {
+        let depth = DepthView::new(ntk);
+        let mut owner = vec![NO_WINDOW; ntk.size()];
+        for level in (1..depth.num_levels()).rev() {
+            for &gate in depth.gates_at_level(level) {
+                if ntk.fanout_size(gate) == 0 {
+                    continue; // dangling: the rewrite loop never visits it
+                }
+                let mut gate_fanouts = 0usize;
+                let mut shared = NO_WINDOW;
+                let mut consensus = true;
+                ntk.foreach_fanout(gate, |fanout| {
+                    let window = owner[fanout as usize];
+                    if gate_fanouts == 0 {
+                        shared = window;
+                    } else if window != shared {
+                        consensus = false;
+                    }
+                    gate_fanouts += 1;
+                });
+                // `fanout_size` counts primary-output references on top of
+                // gate fanouts, so any excess means a PO observes the gate
+                let po_referenced = ntk.fanout_size(gate) > gate_fanouts;
+                owner[gate as usize] =
+                    if po_referenced || !consensus || shared == NO_WINDOW || gate_fanouts == 0 {
+                        gate
+                    } else {
+                        shared
+                    };
+            }
+        }
+        let gates = ntk.gate_nodes();
+        let mut index_of = vec![u32::MAX; ntk.size()];
+        let mut roots = Vec::new();
+        for &gate in &gates {
+            if owner[gate as usize] == gate {
+                index_of[gate as usize] = roots.len() as u32;
+                roots.push(gate);
+            }
+        }
+        let mut members = vec![Vec::new(); roots.len()];
+        for &gate in &gates {
+            let root = owner[gate as usize];
+            if root != NO_WINDOW {
+                members[index_of[root as usize] as usize].push(gate);
+            }
+        }
+        Self {
+            roots,
+            members,
+            owner,
+        }
+    }
+
+    /// Number of windows.
+    pub fn num_windows(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The root gate of window `index`.
+    pub fn root(&self, index: usize) -> NodeId {
+        self.roots[index]
+    }
+
+    /// The member gates of window `index`, ascending by id (includes the
+    /// root).
+    pub fn members(&self, index: usize) -> &[NodeId] {
+        &self.members[index]
+    }
+
+    /// The root of the window owning `node`, if `node` is a live gate.
+    pub fn owner_of(&self, node: NodeId) -> Option<NodeId> {
+        match self.owner.get(node as usize) {
+            Some(&root) if root != NO_WINDOW => Some(root),
+            _ => None,
+        }
+    }
+}
+
+/// What one worker brings back from its windows: the warmed private
+/// database and the per-thread commit list of intended substitutions
+/// `(node, cut index)`, in window order.
+struct WorkerHarvest {
+    database: NpnDatabase,
+    proposals: Vec<(NodeId, u32)>,
+}
+
+/// Evaluates the windows in `range` against the frozen network: warms the
+/// private database with every candidate cut function and records an
+/// intended substitution for the first cut whose estimated gain — chain
+/// steps of the NPN class vs. gates freed on the frozen network — clears
+/// the acceptance bar.  Pure per window, so the union of harvests is
+/// independent of how windows are split across workers.
+fn evaluate_windows<N: Network>(
+    ntk: &N,
+    manager: &CutManager,
+    schedule: &WindowSchedule,
+    range: Range<usize>,
+    params: &RewriteParams,
+    db_params: NpnDatabaseParams,
+) -> WorkerHarvest {
+    let mut database = NpnDatabase::with_params(db_params);
+    let mut scratch = LocalScratch::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut function_buf = TruthTable::zero(0);
+    let mut proposals = Vec::new();
+    for window in range {
+        for &node in schedule.members(window) {
+            if !ntk.is_gate(node) || ntk.fanout_size(node) == 0 {
+                continue;
+            }
+            let Some(cuts) = manager.cached_cuts_of(node) else {
+                continue;
+            };
+            for (index, cut) in cuts.iter().enumerate().skip(1) {
+                if cut.size() < 2 || cut.leaves().contains(&node) {
+                    continue;
+                }
+                manager
+                    .cut_function(node, index)
+                    .write_truth_table(&mut function_buf);
+                let steps = database.warm(&function_buf) as i64;
+                let freed = frozen_freed(ntk, node, &mut scratch, &mut stack);
+                let accepts = if params.allow_zero_gain {
+                    steps <= freed
+                } else {
+                    steps < freed
+                };
+                if accepts {
+                    proposals.push((node, index as u32));
+                    break;
+                }
+            }
+        }
+    }
+    WorkerHarvest {
+        database,
+        proposals,
+    }
+}
+
+/// The frozen-network twin of
+/// [`RefCountView::deref_recursive`](crate::refs::RefCountView): gates
+/// freed by virtually removing `node`, computed against a private
+/// [`LocalScratch`] so concurrent workers never touch the network's
+/// shared traversal scratch.
+fn frozen_freed<N: Network>(
+    ntk: &N,
+    node: NodeId,
+    scratch: &mut LocalScratch,
+    stack: &mut Vec<NodeId>,
+) -> i64 {
+    scratch.reset(ntk.size());
+    let mut freed = 1i64;
+    stack.clear();
+    stack.push(node);
+    while let Some(current) = stack.pop() {
+        for index in 0..ntk.fanin_size(current) {
+            let fanin = ntk.fanin(current, index).node();
+            let count = scratch
+                .value(fanin)
+                .unwrap_or_else(|| ntk.fanout_size(fanin) as u32)
+                .saturating_sub(1);
+            scratch.set_value(fanin, count);
+            if count == 0 && ntk.is_gate(fanin) {
+                freed += 1;
+                stack.push(fanin);
+            }
+        }
+    }
+    freed
+}
+
+/// Windowed parallel rewriting, bit-identical to
+/// [`rewrite_with`](crate::rewriting::rewrite_with) with the same
+/// database and parameters at every thread count (see the module docs
+/// for why).  `par` controls only how the pre-computation fans out.
+pub fn rewrite_windowed<N>(
+    ntk: &mut N,
+    database: &mut NpnDatabase,
+    params: &RewriteParams,
+    par: Parallelism,
+) -> RewriteStats
+where
+    N: Network + GateBuilder,
+{
+    rewrite_windowed_with_budget(ntk, database, params, &Budget::unlimited(), par)
+}
+
+/// [`rewrite_windowed`] under a cooperative effort [`Budget`].  Ticks are
+/// charged only by the serial merge phase — one per candidate gate,
+/// exactly as the serial pass charges them — so a budgeted windowed pass
+/// commits the same prefix the budgeted serial pass would.
+pub fn rewrite_windowed_with_budget<N>(
+    ntk: &mut N,
+    database: &mut NpnDatabase,
+    params: &RewriteParams,
+    budget: &Budget,
+    par: Parallelism,
+) -> RewriteStats
+where
+    N: Network + GateBuilder,
+{
+    rewrite_windowed_traced(ntk, database, params, budget, par, telemetry::global())
+}
+
+/// [`rewrite_windowed_with_budget`] reporting through an explicit
+/// telemetry [`Tracer`]: a `rewrite_windowed` pass span with
+/// `enumerate`, `partition`, `evaluate` and `merge` phase spans, plus the
+/// pass statistics ([`WindowCounters`] included) absorbed into the
+/// metrics registry.
+pub fn rewrite_windowed_traced<N>(
+    ntk: &mut N,
+    database: &mut NpnDatabase,
+    params: &RewriteParams,
+    budget: &Budget,
+    par: Parallelism,
+    tracer: &Tracer,
+) -> RewriteStats
+where
+    N: Network + GateBuilder,
+{
+    let _pass = tracer.span("rewrite_windowed");
+    let mut cut_manager = CutManager::new(CutParams {
+        cut_size: params.cut_size,
+        cut_limit: params.cut_limit,
+        compute_truth: true,
+    });
+    {
+        let _enumerate = tracer.span("enumerate");
+        cut_manager.enumerate(&*ntk, par);
+    }
+    let schedule = {
+        let _partition = tracer.span("partition");
+        WindowSchedule::partition(&*ntk)
+    };
+    let mut proposals: Vec<Option<u32>> = vec![None; ntk.size()];
+    let mut proposed = 0usize;
+    {
+        let _evaluate = tracer.span("evaluate");
+        let harvests: Vec<WorkerHarvest> = if par.is_parallel() {
+            let bounds = par.chunk_bounds(schedule.num_windows());
+            let frozen = &*ntk;
+            let manager = &cut_manager;
+            let schedule = &schedule;
+            let db_params = database.params();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .map(|&(start, end)| {
+                        scope.spawn(move || {
+                            evaluate_windows(
+                                frozen,
+                                manager,
+                                schedule,
+                                start..end,
+                                params,
+                                db_params,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("windowed rewrite worker panicked"))
+                    .collect()
+            })
+        } else {
+            vec![evaluate_windows(
+                &*ntk,
+                &cut_manager,
+                &schedule,
+                0..schedule.num_windows(),
+                params,
+                database.params(),
+            )]
+        };
+        for harvest in harvests {
+            database.absorb(harvest.database);
+            proposed += harvest.proposals.len();
+            for (node, index) in harvest.proposals {
+                proposals[node as usize] = Some(index);
+            }
+        }
+    }
+    let mut observer = MergeObserver {
+        proposals: &proposals,
+        counters: WindowCounters {
+            windows: schedule.num_windows(),
+            proposed,
+            ..WindowCounters::default()
+        },
+    };
+    let stats = {
+        let _merge = tracer.span("merge");
+        rewrite_loop(
+            ntk,
+            database,
+            params,
+            budget,
+            tracer,
+            &mut cut_manager,
+            Some(&mut observer),
+        )
+    };
+    tracer.absorb("rewrite_windowed", &stats);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewriting::rewrite_with;
+    use glsx_network::simulation::equivalent_by_simulation;
+    use glsx_network::{Aig, GateBuilder, Signal};
+
+    fn random_aig(seed: u64, gates: usize) -> Aig {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let mut aig = Aig::new();
+        let mut signals: Vec<Signal> = (0..8).map(|_| aig.create_pi()).collect();
+        for _ in 0..gates {
+            let a = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+            let b = signals[next() % signals.len()].complement_if(next() % 2 == 0);
+            signals.push(aig.create_and(a, b));
+        }
+        for s in signals.iter().rev().take(4) {
+            aig.create_po(*s);
+        }
+        aig
+    }
+
+    #[test]
+    fn partition_covers_live_gates_disjointly_and_is_mffc_closed() {
+        let aig = random_aig(0x51ab_0001, 80);
+        let schedule = WindowSchedule::partition(&aig);
+        assert!(schedule.num_windows() > 1);
+        let mut seen = vec![false; aig.size()];
+        for window in 0..schedule.num_windows() {
+            let root = schedule.root(window);
+            for &member in schedule.members(window) {
+                assert!(!seen[member as usize], "node {member} owned twice");
+                seen[member as usize] = true;
+                assert_eq!(schedule.owner_of(member), Some(root));
+                if member == root {
+                    continue;
+                }
+                // MFFC closure: a non-root member has no observer outside
+                // its window — every fanout is a gate in the same window
+                // and no primary output reads it
+                let mut gate_fanouts = 0;
+                aig.foreach_fanout(member, |fanout| {
+                    gate_fanouts += 1;
+                    assert_eq!(
+                        schedule.owner_of(fanout),
+                        Some(root),
+                        "member {member} of window {root} escapes through {fanout}"
+                    );
+                });
+                assert_eq!(
+                    aig.fanout_size(member),
+                    gate_fanouts,
+                    "member {member} is read by a primary output"
+                );
+            }
+        }
+        for &gate in &aig.gate_nodes() {
+            assert_eq!(
+                seen[gate as usize],
+                aig.fanout_size(gate) > 0,
+                "live gate {gate} not covered exactly by the partition"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_rewrite_is_bit_identical_to_serial_at_every_thread_count() {
+        for (seed, zero_gain) in [(0x77aa_0001_u64, false), (0x77aa_0002, true)] {
+            let reference = random_aig(seed, 120);
+            let params = RewriteParams {
+                allow_zero_gain: zero_gain,
+                ..RewriteParams::default()
+            };
+            let mut serial = reference.clone();
+            let serial_stats = rewrite_with(&mut serial, &mut NpnDatabase::new(), &params);
+            for threads in [1, 2, 4] {
+                let mut windowed = reference.clone();
+                let mut database = NpnDatabase::new();
+                let stats = rewrite_windowed(
+                    &mut windowed,
+                    &mut database,
+                    &params,
+                    Parallelism::new(threads),
+                );
+                // bit-identical: same substitutions, same gains, same
+                // resulting structure node for node
+                assert_eq!(stats.substitutions, serial_stats.substitutions);
+                assert_eq!(stats.estimated_gain, serial_stats.estimated_gain);
+                assert_eq!(stats.visited, serial_stats.visited);
+                assert_eq!(stats.frontier_revisits, serial_stats.frontier_revisits);
+                assert_eq!(windowed.num_gates(), serial.num_gates());
+                assert_eq!(windowed.gate_nodes(), serial.gate_nodes());
+                for node in windowed.gate_nodes() {
+                    assert_eq!(windowed.fanins(node), serial.fanins(node));
+                }
+                assert!(equivalent_by_simulation(&reference, &windowed));
+                assert!(stats.windows.windows > 0);
+                assert!(
+                    stats.windows.confirmed + stats.windows.invalidated + stats.windows.rejected
+                        <= stats.windows.proposed
+                );
+            }
+        }
+    }
+
+    /// A deliberately conflicting pair of windows: the upstream window's
+    /// commit restructures the cone the downstream window's proposal was
+    /// computed on, so the merge re-verifies the downstream proposal and
+    /// drops it, counting the conflict.
+    #[test]
+    fn conflicting_window_commit_is_rejected_and_counted() {
+        let mut aig = Aig::new();
+        let a = aig.create_pi();
+        let b = aig.create_pi();
+        let c = aig.create_pi();
+        let ab = aig.create_and(a, b);
+        let anb = aig.create_and(a, !b);
+        let f = aig.create_or(ab, anb); // == a, collapsed by window 1
+        let g = aig.create_and(f, c); // == a & c, window 2 (PO root)
+        aig.create_po(f); // the PO ref makes f root its own window
+        aig.create_po(g);
+        let reference = aig.clone();
+        let schedule = WindowSchedule::partition(&aig);
+        assert!(
+            schedule.owner_of(f.node()) != schedule.owner_of(g.node()),
+            "the conflicting proposals must live in different windows"
+        );
+        let params = RewriteParams {
+            allow_zero_gain: true,
+            ..RewriteParams::default()
+        };
+        let mut serial = reference.clone();
+        rewrite_with(&mut serial, &mut NpnDatabase::new(), &params);
+        let mut database = NpnDatabase::new();
+        let stats = rewrite_windowed(&mut aig, &mut database, &params, Parallelism::new(2));
+        assert!(stats.windows.proposed >= 2, "stats: {:?}", stats.windows);
+        assert!(
+            stats.windows.invalidated + stats.windows.rejected >= 1,
+            "the stale downstream proposal must be counted: {:?}",
+            stats.windows
+        );
+        assert!(stats.windows.confirmed >= 1, "stats: {:?}", stats.windows);
+        assert_eq!(aig.num_gates(), serial.num_gates());
+        assert!(equivalent_by_simulation(&reference, &aig));
+    }
+
+    #[test]
+    fn budgeted_windowed_pass_matches_budgeted_serial_prefix() {
+        let reference = random_aig(0xb7d6_0001, 100);
+        let params = RewriteParams::default();
+        for limit in [0u64, 3, 10, u64::MAX] {
+            let mut serial = reference.clone();
+            let serial_stats = crate::rewriting::rewrite_with_budget(
+                &mut serial,
+                &mut NpnDatabase::new(),
+                &params,
+                &Budget::with_ticks(limit),
+            );
+            let mut windowed = reference.clone();
+            let stats = rewrite_windowed_with_budget(
+                &mut windowed,
+                &mut NpnDatabase::new(),
+                &params,
+                &Budget::with_ticks(limit),
+                Parallelism::new(2),
+            );
+            assert_eq!(stats.substitutions, serial_stats.substitutions);
+            assert_eq!(
+                stats.outcome.is_completed(),
+                serial_stats.outcome.is_completed()
+            );
+            assert_eq!(windowed.gate_nodes(), serial.gate_nodes());
+            assert!(equivalent_by_simulation(&reference, &windowed));
+        }
+    }
+}

@@ -292,6 +292,24 @@ pub enum StepStatus {
     Skipped,
 }
 
+/// Which checkpoint strategy actually ran before a guarded step.
+///
+/// Read-only steps (e.g. a [`FlowStep::LutMap`] mapping query inside an
+/// in-place script, which mutates nothing) skip checkpointing entirely —
+/// there is no mutation to protect against, so paying a full snapshot
+/// clone (or opening an undo journal) for them would be pure overhead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointStrategy {
+    /// A full network snapshot was taken ([`RollbackStrategy::Snapshot`]).
+    Snapshot,
+    /// An undo journal was opened ([`RollbackStrategy::Journal`]).
+    Journal,
+    /// No checkpoint was taken: the step is read-only, so there is
+    /// nothing a rollback could need to restore (per-step verification
+    /// is skipped for the same reason).
+    None,
+}
+
 /// Per-step record of a guarded flow.
 #[derive(Clone, Debug)]
 pub struct StepReport {
@@ -311,6 +329,10 @@ pub struct StepReport {
     pub ticks: u64,
     /// Whether the step's verification miter hit a resource limit.
     pub verify_limit_exhausted: bool,
+    /// Which checkpoint strategy ran before the step
+    /// ([`CheckpointStrategy::None`] for read-only and deadline-skipped
+    /// steps).
+    pub checkpoint: CheckpointStrategy,
     /// Wall-clock duration of the guarded step (checkpoint, pass, verify
     /// and any rollback), on the same monotonic clock as the spans.
     pub duration_seconds: f64,
@@ -355,6 +377,15 @@ pub struct FlowReport {
     pub final_verify: Option<bool>,
     /// Wall-clock runtime of the guarded flow in seconds.
     pub runtime_seconds: f64,
+}
+
+/// Whether a step cannot mutate the network inside an in-place guarded
+/// script, so checkpointing and per-step verification are skipped for it.
+/// [`FlowStep::LutMap`] is a pure mapping query here: the in-place
+/// runners do not consume it (only [`run_script_and_map`] does, as the
+/// terminal representation change).
+fn step_is_read_only(step: &FlowStep) -> bool {
+    matches!(step, FlowStep::LutMap { .. })
 }
 
 /// Fault-plan site name of a step.
@@ -472,6 +503,7 @@ where
             outcome: StepOutcome::Completed,
             ticks: 0,
             verify_limit_exhausted: false,
+            checkpoint: CheckpointStrategy::None,
             duration_seconds: 0.0,
             spans: Vec::new(),
             metric_deltas: Vec::new(),
@@ -501,21 +533,32 @@ where
         let span_mark = tracer.event_mark();
         let metrics_before = tracer.metrics_snapshot();
         let step_span = tracer.span(&format!("step:{site}"));
-        // checkpoint, run under the unwind guard, then verify
-        let checkpoint = match guard.rollback {
-            RollbackStrategy::Snapshot => Some(ntk.snapshot()),
-            RollbackStrategy::Journal => {
-                ntk.begin_undo();
-                None
+        // checkpoint, run under the unwind guard, then verify.  Read-only
+        // steps skip both checkpoint and verification: there is no
+        // mutation to protect, so a snapshot clone of a large network
+        // would be pure overhead.
+        let read_only = step_is_read_only(step);
+        let (checkpoint, strategy) = if read_only {
+            (None, CheckpointStrategy::None)
+        } else {
+            match guard.rollback {
+                RollbackStrategy::Snapshot => (Some(ntk.snapshot()), CheckpointStrategy::Snapshot),
+                RollbackStrategy::Journal => {
+                    ntk.begin_undo();
+                    (None, CheckpointStrategy::Journal)
+                }
             }
         };
+        step_report.checkpoint = strategy;
         let rollback = |ntk: &mut N, engine: &mut SweepEngine| {
-            match &checkpoint {
-                Some(snapshot) => ntk.restore(snapshot),
-                None => {
+            match (&checkpoint, strategy) {
+                (Some(snapshot), _) => ntk.restore(snapshot),
+                (None, CheckpointStrategy::Journal) => {
                     let rolled = ntk.rollback_undo();
                     debug_assert!(rolled, "journal checkpoint vanished mid-step");
                 }
+                // read-only step: nothing was (or could have been) mutated
+                (None, _) => {}
             }
             // the engine's pattern words may reference rolled-back nodes
             engine.reset();
@@ -547,6 +590,9 @@ where
             Ok(substitutions) => {
                 let verify_span = tracer.span("verify");
                 let verdict = match guard.verify {
+                    // a read-only step changed nothing, so there is
+                    // nothing to verify (or to roll back)
+                    _ if read_only => None,
                     VerifyMode::None => None,
                     VerifyMode::Simulation => {
                         verify_count += 1;
@@ -572,7 +618,7 @@ where
                 drop(verify_span);
                 match verdict {
                     None | Some(EquivalenceResult::Equivalent) => {
-                        if checkpoint.is_none() {
+                        if strategy == CheckpointStrategy::Journal {
                             ntk.commit_undo();
                         }
                         step_report.status = StepStatus::Committed;
@@ -694,6 +740,90 @@ mod tests {
             assert_eq!(report.substitutions, plain_stats.substitutions);
             assert_eq!(guarded.num_gates(), plain.num_gates());
             assert_eq!(guarded.po_signals(), plain.po_signals());
+            assert_eq!(report.final_verify, Some(true));
+        }
+    }
+
+    #[test]
+    fn read_only_steps_skip_checkpoint_and_verification() {
+        let source: Aig = adder(4);
+        for rollback in [RollbackStrategy::Snapshot, RollbackStrategy::Journal] {
+            let mut ntk = source.clone();
+            let report = run_script_guarded(
+                &mut ntk,
+                &FlowScript::parse("rw; lut_map -k 4; rwz").unwrap(),
+                &FlowOptions::default(),
+                &GuardOptions {
+                    rollback,
+                    verify: VerifyMode::Miter,
+                    ..GuardOptions::default()
+                },
+            );
+            assert_eq!(report.rollbacks, 0, "{report:?}");
+            assert_eq!(report.committed, 3);
+            // mutating steps checkpoint with the configured strategy,
+            // the read-only mapping query with none at all
+            let expected = match rollback {
+                RollbackStrategy::Snapshot => CheckpointStrategy::Snapshot,
+                RollbackStrategy::Journal => CheckpointStrategy::Journal,
+            };
+            assert_eq!(report.steps[0].checkpoint, expected);
+            assert_eq!(report.steps[1].checkpoint, CheckpointStrategy::None);
+            assert_eq!(report.steps[2].checkpoint, expected);
+            // the read-only step also skips its per-step verification:
+            // no `verify` span and no miter limit flag
+            assert_eq!(report.steps[1].substitutions, 0);
+            assert!(!report.steps[1].verify_limit_exhausted);
+            assert_eq!(report.final_verify, Some(true));
+            assert!(equivalent_by_simulation(&source, &ntk));
+        }
+        // a deadline-skipped step reports no checkpoint either
+        let mut ntk = source.clone();
+        let report = run_script_guarded(
+            &mut ntk,
+            &guarded_script(),
+            &FlowOptions::default(),
+            &GuardOptions {
+                deadline: Some(Duration::ZERO),
+                ..GuardOptions::default()
+            },
+        );
+        assert!(report
+            .steps
+            .iter()
+            .all(|s| s.checkpoint == CheckpointStrategy::None));
+    }
+
+    #[test]
+    fn parallel_rewrite_steps_run_guarded_like_serial_ones() {
+        let source: Aig = adder(6);
+        let mut serial = source.clone();
+        let serial_report = run_script_guarded(
+            &mut serial,
+            &FlowScript::parse("bz; rw; rwz").unwrap(),
+            &FlowOptions::default(),
+            &GuardOptions::default(),
+        );
+        for threads in [1, 4] {
+            let mut parallel = source.clone();
+            let options = FlowOptions {
+                parallelism: glsx_network::Parallelism::new(threads),
+                ..FlowOptions::default()
+            };
+            let report = run_script_guarded(
+                &mut parallel,
+                &FlowScript::parse("bz; rw -par; rwz -par").unwrap(),
+                &options,
+                &GuardOptions {
+                    verify: VerifyMode::Miter,
+                    ..GuardOptions::default()
+                },
+            );
+            assert_eq!(report.rollbacks, 0, "{report:?}");
+            // bit-identical to the serial flow at any thread count
+            assert_eq!(report.substitutions, serial_report.substitutions);
+            assert_eq!(parallel.num_gates(), serial.num_gates());
+            assert_eq!(parallel.po_signals(), serial.po_signals());
             assert_eq!(report.final_verify, Some(true));
         }
     }

@@ -31,8 +31,9 @@ mod script;
 pub mod specialized;
 
 pub use executor::{
-    run_script_guarded, run_script_guarded_traced, FailureKind, FaultAction, FaultPlan, FlowReport,
-    GuardOptions, ParseFaultPlanError, RollbackStrategy, StepReport, StepStatus, VerifyMode,
+    run_script_guarded, run_script_guarded_traced, CheckpointStrategy, FailureKind, FaultAction,
+    FaultPlan, FlowReport, GuardOptions, ParseFaultPlanError, RollbackStrategy, StepReport,
+    StepStatus, VerifyMode,
 };
 pub use portfolio::{portfolio_best_luts, portfolio_best_luts_traced, PortfolioResult};
 pub use script::{FlowScript, FlowStep, ParseFlowScriptError};
@@ -43,6 +44,7 @@ use glsx_core::refactoring::{refactor_traced, RefactorParams};
 use glsx_core::resubstitution::{resubstitute_traced, ResubNetwork, ResubParams};
 use glsx_core::rewriting::{rewrite_traced, CutMaintenance, RewriteParams};
 use glsx_core::sweeping::{sweep_traced, SweepEngine, SweepParams};
+use glsx_core::windowed::rewrite_windowed_traced;
 use glsx_network::telemetry::{self, SpanOverride, Tracer};
 use glsx_network::{cleanup_dangling, Budget, GateBuilder, Klut, Network, Parallelism};
 use glsx_synth::{NpnDatabase, SopResynthesis};
@@ -180,24 +182,35 @@ where
             let stats = balance_traced(ntk, &BalanceParams::default(), budget, tracer);
             stats.rebuilt
         }
-        FlowStep::Rewrite { zero_gain } => {
+        FlowStep::Rewrite {
+            zero_gain,
+            parallel,
+        } => {
             let mut database = NpnDatabase::new();
-            let stats = rewrite_traced(
-                ntk,
-                &mut database,
-                &RewriteParams {
-                    cut_size: options.rewrite_cut_size,
-                    allow_zero_gain: *zero_gain,
-                    cut_maintenance: if options.full_recompute {
-                        CutMaintenance::FullRecompute
-                    } else {
-                        CutMaintenance::Incremental
-                    },
-                    ..RewriteParams::default()
+            let params = RewriteParams {
+                cut_size: options.rewrite_cut_size,
+                allow_zero_gain: *zero_gain,
+                cut_maintenance: if options.full_recompute {
+                    CutMaintenance::FullRecompute
+                } else {
+                    CutMaintenance::Incremental
                 },
-                budget,
-                tracer,
-            );
+                ..RewriteParams::default()
+            };
+            // the windowed engine is bit-identical to the serial pass at
+            // every thread count, so `-par` only changes scheduling
+            let stats = if *parallel {
+                rewrite_windowed_traced(
+                    ntk,
+                    &mut database,
+                    &params,
+                    budget,
+                    options.parallelism,
+                    tracer,
+                )
+            } else {
+                rewrite_traced(ntk, &mut database, &params, budget, tracer)
+            };
             stats.substitutions
         }
         FlowStep::Refactor { zero_gain } => {

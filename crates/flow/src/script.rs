@@ -8,10 +8,17 @@ use std::fmt;
 pub enum FlowStep {
     /// Tree balancing (`b`/`bz`).
     Balance,
-    /// DAG-aware rewriting (`rw`, or `rwz` for zero-gain).
+    /// DAG-aware rewriting (`rw`, or `rwz` for zero-gain; `-par` selects
+    /// the windowed parallel engine).
     Rewrite {
         /// Accept zero-gain replacements.
         zero_gain: bool,
+        /// Run the windowed parallel engine
+        /// ([`glsx_core::windowed::rewrite_windowed`]) with the flow
+        /// options' thread count.  Bit-identical to the serial pass at
+        /// every thread count, so the flag only changes how the work is
+        /// scheduled.
+        parallel: bool,
     },
     /// Refactoring (`rf`, or `rfz` for zero-gain).
     Refactor {
@@ -198,8 +205,24 @@ impl FlowScript {
             }
             let step = match head {
                 "b" | "bz" => FlowStep::Balance,
-                "rw" => FlowStep::Rewrite { zero_gain: false },
-                "rwz" => FlowStep::Rewrite { zero_gain: true },
+                "rw" | "rwz" => {
+                    let mut parallel = false;
+                    let rest = std::mem::take(&mut tokens);
+                    for option in rest {
+                        match option {
+                            "-par" => parallel = true,
+                            other => {
+                                return Err(ParseFlowScriptError {
+                                    message: format!("unknown option `{other}` in `{command}`"),
+                                })
+                            }
+                        }
+                    }
+                    FlowStep::Rewrite {
+                        zero_gain: head == "rwz",
+                        parallel,
+                    }
+                }
                 "rf" => FlowStep::Refactor { zero_gain: false },
                 "rfz" => FlowStep::Refactor { zero_gain: true },
                 "fraig" => {
@@ -363,8 +386,16 @@ impl fmt::Display for FlowScript {
             .map(|(step, (budget, traced))| {
                 let mut text = match step {
                     FlowStep::Balance => "bz".to_string(),
-                    FlowStep::Rewrite { zero_gain: false } => "rw".to_string(),
-                    FlowStep::Rewrite { zero_gain: true } => "rwz".to_string(),
+                    FlowStep::Rewrite {
+                        zero_gain,
+                        parallel,
+                    } => {
+                        let mut s = if *zero_gain { "rwz" } else { "rw" }.to_string();
+                        if *parallel {
+                            s.push_str(" -par");
+                        }
+                        s
+                    }
                     FlowStep::Refactor { zero_gain: false } => "rf".to_string(),
                     FlowStep::Refactor { zero_gain: true } => "rfz".to_string(),
                     FlowStep::Resubstitute { cut_size, depth } => {
@@ -441,7 +472,13 @@ mod tests {
                 depth: 2
             }
         );
-        assert_eq!(script.steps()[10], FlowStep::Rewrite { zero_gain: true });
+        assert_eq!(
+            script.steps()[10],
+            FlowStep::Rewrite {
+                zero_gain: true,
+                parallel: false
+            }
+        );
         assert_eq!(script.steps()[14], FlowStep::Refactor { zero_gain: true });
     }
 
@@ -597,6 +634,47 @@ mod tests {
         let script = FlowScript::parse(text).unwrap();
         assert_eq!(script.to_string(), text);
         assert_eq!(FlowScript::parse(&script.to_string()).unwrap(), script);
+    }
+
+    #[test]
+    fn parses_parallel_rewrite_steps() {
+        let script =
+            FlowScript::parse("rw -par; rwz -par; rw; rwz -par -budget 2M -trace").unwrap();
+        assert_eq!(
+            script.steps()[0],
+            FlowStep::Rewrite {
+                zero_gain: false,
+                parallel: true
+            }
+        );
+        assert_eq!(
+            script.steps()[1],
+            FlowStep::Rewrite {
+                zero_gain: true,
+                parallel: true
+            }
+        );
+        assert_eq!(
+            script.steps()[2],
+            FlowStep::Rewrite {
+                zero_gain: false,
+                parallel: false
+            }
+        );
+        assert_eq!(
+            script.steps()[3],
+            FlowStep::Rewrite {
+                zero_gain: true,
+                parallel: true
+            }
+        );
+        assert_eq!(script.budget_of(3), Some(2_000_000));
+        assert!(script.is_traced(3));
+        let text = "rw -par; rwz -par; rw; rwz -par -budget 2M -trace";
+        assert_eq!(script.to_string(), text);
+        assert_eq!(FlowScript::parse(&script.to_string()).unwrap(), script);
+        assert!(FlowScript::parse("rw -parallel").is_err());
+        assert!(FlowScript::parse("rwz extra").is_err());
     }
 
     #[test]

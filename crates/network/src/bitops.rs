@@ -173,6 +173,70 @@ impl SimBlock for u64 {
     }
 }
 
+/// A SIMD-width block of `W` 64-bit pattern words evaluated together.
+///
+/// `WideWord<4>` is the 256-bit block the word-parallel simulator
+/// processes per pass: the per-lane loops below compile to straight-line
+/// vector code (no branches, no cross-lane dependencies), so the
+/// auto-vectorizer emits one AVX2 op where the `u64` block needs four
+/// scalar ones.  Lane `i` of every operation is exactly the `u64`
+/// operation on lane `i` of the operands — widening a pass from `u64` to
+/// `WideWord<W>` is bit-identical per lane by construction, which is what
+/// the width-genericity tests below pin down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WideWord<const W: usize>(pub [u64; W]);
+
+impl<const W: usize> WideWord<W> {
+    /// Gathers a block from `W` independent pattern words.
+    #[inline]
+    pub fn from_lanes(lanes: [u64; W]) -> Self {
+        Self(lanes)
+    }
+
+    /// The block's lanes, in order.
+    #[inline]
+    pub fn lanes(&self) -> &[u64; W] {
+        &self.0
+    }
+}
+
+impl<const W: usize> SimBlock for WideWord<W> {
+    #[inline]
+    fn zero(_num_vars: usize) -> Self {
+        Self([0; W])
+    }
+
+    #[inline]
+    fn ones(_num_vars: usize) -> Self {
+        Self([u64::MAX; W])
+    }
+
+    #[inline]
+    fn num_vars(&self) -> usize {
+        0
+    }
+
+    #[inline]
+    fn and(&self, other: &Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] & other.0[i]))
+    }
+
+    #[inline]
+    fn or(&self, other: &Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] | other.0[i]))
+    }
+
+    #[inline]
+    fn xor(&self, other: &Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] ^ other.0[i]))
+    }
+
+    #[inline]
+    fn complement(&self) -> Self {
+        Self(std::array::from_fn(|i| !self.0[i]))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +292,72 @@ mod tests {
         for m in 0..8 {
             assert_eq!((word >> m) & 1 == 1, maj.bit(m), "lut minterm {m}");
         }
+    }
+
+    /// Deterministic pseudo-random pattern words for the width tests.
+    fn pattern(seed: u64) -> u64 {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A 256-bit block evaluation is bit-identical to 4 independent 64-bit
+    /// word passes across every gate kind, including the LUT fallback —
+    /// the width-genericity contract the wide simulator path relies on.
+    #[test]
+    fn wide_blocks_match_independent_word_passes_for_every_gate_kind() {
+        for kind in [GateKind::And, GateKind::Xor, GateKind::Maj, GateKind::Xor3] {
+            let arity = kind.arity().unwrap();
+            let lut = kind.function().unwrap();
+            for (mode, use_lut) in [("fast", false), ("lut", true)] {
+                // W fanin lanes per input, gathered into wide blocks
+                let words: Vec<[u64; 4]> = (0..arity)
+                    .map(|i| std::array::from_fn(|lane| pattern((i * 4 + lane) as u64)))
+                    .collect();
+                let wide_fanins: Vec<WideWord<4>> =
+                    words.iter().map(|&w| WideWord::from_lanes(w)).collect();
+                let wide = if use_lut {
+                    evaluate_gate(GateKind::Lut, || lut.clone(), &wide_fanins)
+                } else {
+                    evaluate_gate(kind, || unreachable!(), &wide_fanins)
+                };
+                for lane in 0..4 {
+                    let scalar_fanins: Vec<u64> = words.iter().map(|w| w[lane]).collect();
+                    let scalar = if use_lut {
+                        evaluate_gate(GateKind::Lut, || lut.clone(), &scalar_fanins)
+                    } else {
+                        evaluate_gate(kind, || unreachable!(), &scalar_fanins)
+                    };
+                    assert_eq!(
+                        wide.lanes()[lane],
+                        scalar,
+                        "{kind} ({mode}) lane {lane} diverged from the u64 pass"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The block operations themselves are lane-wise u64 operations at
+    /// every width, not just W=4.
+    #[test]
+    fn wide_block_operations_are_lanewise() {
+        fn check<const W: usize>() {
+            let a = WideWord::<W>(std::array::from_fn(|i| pattern(i as u64)));
+            let b = WideWord::<W>(std::array::from_fn(|i| pattern(100 + i as u64)));
+            for i in 0..W {
+                assert_eq!(a.and(&b).lanes()[i], a.lanes()[i] & b.lanes()[i]);
+                assert_eq!(a.or(&b).lanes()[i], a.lanes()[i] | b.lanes()[i]);
+                assert_eq!(a.xor(&b).lanes()[i], a.lanes()[i] ^ b.lanes()[i]);
+                assert_eq!(a.complement().lanes()[i], !a.lanes()[i]);
+            }
+            assert_eq!(WideWord::<W>::zero(0).lanes(), &[0; W]);
+            assert_eq!(WideWord::<W>::ones(0).lanes(), &[u64::MAX; W]);
+        }
+        check::<1>();
+        check::<2>();
+        check::<4>();
+        check::<8>();
     }
 }

@@ -75,7 +75,7 @@ pub mod views;
 pub mod wordsim;
 
 pub use aig::Aig;
-pub use bitops::SimBlock;
+pub use bitops::{SimBlock, WideWord};
 pub use budget::{Budget, InjectedFault, StepOutcome};
 pub use bulk::{BulkError, BulkTarget, CircuitKind, NetworkBuilder};
 pub use changes::{ChangeEvent, ChangeLog};

@@ -21,10 +21,20 @@
 //! ([`crate::bitops::evaluate_gate`]) — the same code path as exhaustive
 //! truth-table simulation and `glsx-core`'s fused cut functions.
 
+use crate::bitops::WideWord;
 use crate::parallel::Parallelism;
 use crate::views::DepthView;
 use crate::{GateKind, Network, NodeId, Signal};
 use std::sync::Barrier;
+
+/// Lane width of the wide simulation blocks: 4 × 64 = 256 bits per
+/// [`WideWord`] evaluation, matching one AVX2 register.  Every simulation
+/// sweep processes its pattern words in chunks of this width (remainder
+/// words fall back to the scalar path); each lane computes exactly what
+/// the scalar pass computes for that word, so the widening is
+/// bit-identical by construction (pinned down by the width-genericity
+/// tests in [`crate::bitops`]).
+const WIDE_LANES: usize = 4;
 
 /// Raw row pointers into the word-major value table, shared across
 /// simulation workers.
@@ -239,7 +249,12 @@ impl WordSimulator {
         );
         if !par.is_parallel() {
             let gates = ntk.gate_nodes();
-            for w in 0..self.values.len() {
+            let num_words = self.values.len();
+            let full = (num_words / WIDE_LANES) * WIDE_LANES;
+            for w0 in (0..full).step_by(WIDE_LANES) {
+                self.simulate_word_chunk::<WIDE_LANES>(ntk, &gates, w0);
+            }
+            for w in full..num_words {
                 self.simulate_word(ntk, &gates, w);
             }
             return;
@@ -258,16 +273,45 @@ impl WordSimulator {
                 let barrier = &barrier;
                 scope.spawn(move || {
                     let mut fanin_buf: Vec<u64> = Vec::new();
+                    let mut wide_buf: Vec<WideWord<WIDE_LANES>> = Vec::new();
+                    let full = (num_words / WIDE_LANES) * WIDE_LANES;
                     for level in 1..depth.num_levels() {
                         let bucket = depth.gates_at_level(level);
                         let bounds = par.chunk_bounds(bucket.len());
                         if let Some(&(start, end)) = bounds.get(worker) {
                             for &node in &bucket[start..end] {
-                                for w in 0..num_words {
-                                    fanin_buf.clear();
+                                // 256-bit blocks first: 4 words per gate
+                                // evaluation, lane i = scalar word w0 + i
+                                for w0 in (0..full).step_by(WIDE_LANES) {
+                                    wide_buf.clear();
                                     ntk.foreach_fanin(node, |f| {
                                         // fanins live at strictly lower levels,
                                         // committed before the last barrier
+                                        let mut lanes = [0u64; WIDE_LANES];
+                                        for (i, lane) in lanes.iter_mut().enumerate() {
+                                            let v = unsafe { rows.read(w0 + i, f.node() as usize) };
+                                            *lane = if f.is_complemented() { !v } else { v };
+                                        }
+                                        wide_buf.push(WideWord::from_lanes(lanes));
+                                    });
+                                    let value = match ntk.gate_kind(node) {
+                                        GateKind::Constant | GateKind::Input => {
+                                            WideWord([0; WIDE_LANES])
+                                        }
+                                        kind => crate::bitops::evaluate_gate(
+                                            kind,
+                                            || ntk.node_function(node),
+                                            &wide_buf,
+                                        ),
+                                    };
+                                    for (i, &lane) in value.lanes().iter().enumerate() {
+                                        unsafe { rows.write(w0 + i, node as usize, lane) };
+                                    }
+                                }
+                                // remainder words stay on the scalar path
+                                for w in full..num_words {
+                                    fanin_buf.clear();
+                                    ntk.foreach_fanin(node, |f| {
                                         let v = unsafe { rows.read(w, f.node() as usize) };
                                         fanin_buf.push(if f.is_complemented() { !v } else { v });
                                     });
@@ -288,6 +332,25 @@ impl WordSimulator {
                 });
             }
         });
+    }
+
+    /// Re-simulates every gate one pattern word at a time, never
+    /// entering the 256-bit block path.
+    ///
+    /// This is the scalar twin the `parallel` bench measures
+    /// [`resimulate_with`](Self::resimulate_with) against: by the
+    /// [`SimBlock`](crate::bitops::SimBlock) lane contract every word it
+    /// produces is bit-identical to the corresponding lane of the wide
+    /// sweep, so the two paths differ only in evaluations per gate visit.
+    pub fn resimulate_scalar<N: Network>(&mut self, ntk: &N) {
+        assert!(
+            ntk.size() <= self.num_nodes,
+            "network grew under the simulator"
+        );
+        let gates = ntk.gate_nodes();
+        for w in 0..self.values.len() {
+            self.simulate_word(ntk, &gates, w);
+        }
     }
 
     /// Appends one pattern word (`patterns[i]` is the new word of the
@@ -314,6 +377,37 @@ impl WordSimulator {
         let gates = ntk.gate_nodes();
         let w = self.values.len() - 1;
         self.simulate_word(ntk, &gates, w);
+    }
+
+    /// Simulates the `W` words starting at `w0` for every gate in `gates`
+    /// (topological order) through one [`WideWord`] evaluation per gate.
+    /// Lane `i` of each block is exactly the scalar value of word
+    /// `w0 + i`, so the chunked sweep is bit-identical to `W` independent
+    /// [`simulate_word`](Self::simulate_word) passes.
+    fn simulate_word_chunk<const W: usize>(
+        &mut self,
+        ntk: &impl Network,
+        gates: &[NodeId],
+        w0: usize,
+    ) {
+        let mut fanin_buf: Vec<WideWord<W>> = Vec::new();
+        for &node in gates {
+            fanin_buf.clear();
+            ntk.foreach_fanin(node, |f| {
+                let mut lanes = [0u64; W];
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    *lane = self.signal_word(w0 + i, f);
+                }
+                fanin_buf.push(WideWord::from_lanes(lanes));
+            });
+            let value = match ntk.gate_kind(node) {
+                GateKind::Constant | GateKind::Input => WideWord([0; W]),
+                kind => crate::bitops::evaluate_gate(kind, || ntk.node_function(node), &fanin_buf),
+            };
+            for (i, &lane) in value.lanes().iter().enumerate() {
+                self.values[w0 + i][node as usize] = lane;
+            }
+        }
     }
 
     /// Simulates word `w` for every gate in `gates` (topological order).
@@ -359,6 +453,27 @@ mod tests {
             let outputs = simulate_patterns(&aig, &patterns);
             for (i, po) in aig.po_signals().iter().enumerate() {
                 assert_eq!(outputs[i], sim.signal_word(w, *po), "word {w}, output {i}");
+            }
+        }
+    }
+
+    /// Nine words force the wide path (two full 256-bit chunks plus one
+    /// scalar remainder word); every word must still match the
+    /// independent per-pattern simulation engine exactly.
+    #[test]
+    fn wide_chunked_sweep_matches_pattern_simulation() {
+        let aig: Aig = full_adder();
+        let num_words = 2 * WIDE_LANES + 1;
+        let serial = WordSimulator::random_with(&aig, num_words, 0x71de, Parallelism::serial());
+        for w in 0..num_words {
+            let patterns: Vec<u64> = aig.pi_nodes().iter().map(|&p| serial.word(w, p)).collect();
+            let outputs = simulate_patterns(&aig, &patterns);
+            for (i, po) in aig.po_signals().iter().enumerate() {
+                assert_eq!(
+                    outputs[i],
+                    serial.signal_word(w, *po),
+                    "word {w}, output {i}"
+                );
             }
         }
     }

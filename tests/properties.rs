@@ -1112,6 +1112,88 @@ fn parallel_execution_is_bit_identical_to_serial() {
     }
 }
 
+/// The windowed parallel rewriting contract: at 1, 2 and 4 threads the
+/// result is miter-proven equivalent to the input, never worse in gate
+/// count than the serial pass (bit-identical to it, in fact — the serial
+/// pass is the verified twin), and bit-identical across repeated runs at
+/// the same thread count — on AIGs, XAGs and MIGs.
+#[test]
+fn windowed_rewrite_matches_serial() {
+    use glsx::algorithms::rewriting::rewrite_with;
+    use glsx::algorithms::windowed::rewrite_windowed;
+    use glsx::network::Parallelism;
+    use glsx::synth::NpnDatabase;
+
+    fn check<N: Network + GateBuilder + Clone>(source: &N, label: &str) {
+        for zero_gain in [false, true] {
+            let params = RewriteParams {
+                allow_zero_gain: zero_gain,
+                ..RewriteParams::default()
+            };
+            let mut serial = source.clone();
+            rewrite_with(&mut serial, &mut NpnDatabase::new(), &params);
+            let serial_print = network_fingerprint(&serial);
+            for threads in [1usize, 2, 4] {
+                let mut windowed = source.clone();
+                let stats = rewrite_windowed(
+                    &mut windowed,
+                    &mut NpnDatabase::new(),
+                    &params,
+                    Parallelism::new(threads),
+                );
+                assert!(
+                    check_equivalence(source, &windowed).is_equivalent(),
+                    "{label}: windowed pass at {threads} threads is not miter-equivalent"
+                );
+                assert!(
+                    windowed.num_gates() <= serial.num_gates(),
+                    "{label}: windowed pass at {threads} threads cost gates \
+                     ({} vs {} serial)",
+                    windowed.num_gates(),
+                    serial.num_gates()
+                );
+                assert_eq!(
+                    network_fingerprint(&windowed),
+                    serial_print,
+                    "{label}: windowed pass at {threads} threads diverged from serial"
+                );
+                // re-running at the same thread count is bit-identical,
+                // stats included
+                let mut again = source.clone();
+                let stats_again = rewrite_windowed(
+                    &mut again,
+                    &mut NpnDatabase::new(),
+                    &params,
+                    Parallelism::new(threads),
+                );
+                assert_eq!(
+                    network_fingerprint(&again),
+                    network_fingerprint(&windowed),
+                    "{label}: repeated windowed run at {threads} threads diverged"
+                );
+                assert_eq!(stats, stats_again, "{label}: stats diverged on re-run");
+                assert!(stats.windows.windows > 0, "{label}: no windows carved");
+                assert!(
+                    stats.windows.confirmed + stats.windows.invalidated + stats.windows.rejected
+                        <= stats.windows.proposed,
+                    "{label}: window accounting inconsistent: {:?}",
+                    stats.windows
+                );
+            }
+        }
+    }
+
+    let mut rng = Rng::seed_from_u64(0x11d0_0001);
+    for case in 0..3 {
+        check(
+            &arbitrary_network(&mut rng, 6, 60),
+            &format!("AIG case {case}"),
+        );
+        check(&arbitrary_xag(&mut rng, 6, 50), &format!("XAG case {case}"));
+        check(&arbitrary_mig(&mut rng, 5, 40), &format!("MIG case {case}"));
+    }
+}
+
 /// Interface-plus-structure fingerprint used to assert bit-identical
 /// checkpoint restoration: node-table size, live gate count, PO signals
 /// and every gate's exact fanin list.
